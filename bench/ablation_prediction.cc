@@ -1,0 +1,92 @@
+// Prediction ablation: the paper names "web pre-fetching, link
+// prediction" as the first applications of WUM. This bench trains a
+// first-order Markov next-page model on each heuristic's reconstructed
+// sessions and scores hit-rate@k against the *ground-truth* navigation
+// of a held-out population on the same site — so session reconstruction
+// quality is measured by the downstream product it exists to serve.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "wum/common/table.h"
+#include "wum/mining/markov_predictor.h"
+
+int main(int argc, char** argv) {
+  wum_bench::BenchArgs args = wum_bench::ParseArgs(argc, argv);
+  wum::ExperimentConfig config = wum_bench::ConfigFromArgs(args);
+  wum_bench::PrintConfigHeader(config, "Prediction ablation",
+                               "training-session source (held-out test set)");
+
+  wum::Rng site_rng(config.seed);
+  wum::Result<wum::WebGraph> graph =
+      wum::GenerateSite(config.topology_model, config.site, &site_rng);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  wum::Rng train_rng(config.seed ^ 0x7261696EULL);  // "rain"
+  wum::Result<wum::Workload> train = wum::SimulateWorkload(
+      *graph, config.profile, config.workload, &train_rng);
+  wum::Rng test_rng(config.seed ^ 0x74657374ULL);  // "test"
+  wum::Result<wum::Workload> test = wum::SimulateWorkload(
+      *graph, config.profile, config.workload, &test_rng);
+  if (!train.ok() || !test.ok()) {
+    std::cerr << "simulation failed\n";
+    return 1;
+  }
+  std::vector<std::vector<wum::PageId>> test_corpus;
+  for (const wum::AgentRun& agent : test->agents) {
+    for (const wum::Session& session : agent.trace.real_sessions) {
+      test_corpus.push_back(session.PageSequence());
+    }
+  }
+
+  wum::Table table({"training sessions", "hit@1 %", "hit@3 %", "hit@5 %",
+                    "transitions", "states"});
+  auto add_row = [&](const std::string& label,
+                     const wum::MarkovPredictor& model) {
+    std::vector<std::string> row{label};
+    for (std::size_t k : {1u, 3u, 5u}) {
+      row.push_back(wum::FormatDouble(
+          wum::EvaluatePredictor(model, test_corpus, k).hit_rate() * 100.0,
+          2));
+    }
+    row.push_back(std::to_string(model.transitions_observed()));
+    row.push_back(std::to_string(model.states_observed()));
+    table.AddRow(std::move(row));
+  };
+
+  for (const auto& heuristic :
+       wum::MakePaperHeuristics(&graph.ValueOrDie(), config.thresholds)) {
+    wum::MarkovPredictor model(graph->num_pages());
+    for (const wum::AgentRun& agent : train->agents) {
+      wum::Result<std::vector<wum::Session>> sessions =
+          heuristic->Reconstruct(agent.trace.server_requests);
+      if (!sessions.ok()) {
+        std::cerr << sessions.status().ToString() << "\n";
+        return 1;
+      }
+      for (const wum::Session& session : *sessions) {
+        wum::Status trained = model.Train(session.PageSequence());
+        if (!trained.ok()) {
+          std::cerr << trained.ToString() << "\n";
+          return 1;
+        }
+      }
+    }
+    add_row(heuristic->name(), model);
+  }
+  // Upper bound: train on the ground truth itself.
+  wum::MarkovPredictor oracle_model(graph->num_pages());
+  for (const wum::AgentRun& agent : train->agents) {
+    for (const wum::Session& session : agent.trace.real_sessions) {
+      (void)oracle_model.Train(session.PageSequence());
+    }
+  }
+  add_row("ground truth (upper bound)", oracle_model);
+  table.Render(&std::cout);
+  std::cout << "\n# Hit@k: fraction of held-out ground-truth transitions "
+               "whose true next page is in the\n"
+            << "# model's top-k prediction for the current page.\n";
+  return 0;
+}

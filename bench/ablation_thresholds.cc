@@ -1,0 +1,70 @@
+// Threshold ablation: the paper adopts delta = 30 min and rho = 10 min
+// from Catledge & Pitkow. This bench sweeps both thresholds for
+// Smart-SRA (all four heuristics shown for context) to quantify how
+// sensitive the headline result is to the folklore constants.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "wum/common/table.h"
+
+namespace {
+
+int RunThresholdTable(const wum::ExperimentConfig& base,
+                      const std::string& swept,
+                      const std::vector<wum::TimeThresholds>& settings,
+                      const std::vector<std::string>& labels) {
+  wum::Table table({swept, "heur1 %", "heur2 %", "heur3 %", "heur4 %",
+                    "heur4 vs best other"});
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    wum::ExperimentConfig config = base;
+    config.thresholds = settings[i];
+    wum::Result<wum::SweepPoint> point = wum::RunExperimentPoint(
+        config, wum::SweepParameter::kStp, config.profile.stp, i);
+    if (!point.ok()) {
+      std::cerr << "run failed: " << point.status().ToString() << "\n";
+      return 1;
+    }
+    std::vector<std::string> row{labels[i]};
+    for (const wum::HeuristicScore& score : point->scores) {
+      row.push_back(wum::FormatDouble(score.result.accuracy() * 100.0, 2));
+    }
+    row.push_back(
+        wum::FormatRelativeMargin(wum::SmartSraRelativeMargin(*point)));
+    table.AddRow(std::move(row));
+  }
+  table.Render(&std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wum_bench::BenchArgs args = wum_bench::ParseArgs(argc, argv);
+  wum::ExperimentConfig base = wum_bench::ConfigFromArgs(args);
+  wum_bench::PrintConfigHeader(base, "Threshold ablation",
+                               "delta / rho (behaviour fixed)");
+
+  std::cout << "# Sweep rho (page-stay bound), delta fixed at 30 min:\n";
+  std::vector<wum::TimeThresholds> rho_settings;
+  std::vector<std::string> rho_labels;
+  for (int minutes : {2, 5, 10, 20, 30}) {
+    rho_settings.push_back(
+        wum::TimeThresholds{wum::Minutes(30), wum::Minutes(minutes)});
+    rho_labels.push_back("rho = " + std::to_string(minutes) + " min");
+  }
+  if (int rc = RunThresholdTable(base, "rho", rho_settings, rho_labels)) {
+    return rc;
+  }
+
+  std::cout << "\n# Sweep delta (session-duration bound), rho fixed at 10 "
+               "min:\n";
+  std::vector<wum::TimeThresholds> delta_settings;
+  std::vector<std::string> delta_labels;
+  for (int minutes : {10, 20, 30, 60, 120}) {
+    delta_settings.push_back(
+        wum::TimeThresholds{wum::Minutes(minutes), wum::Minutes(10)});
+    delta_labels.push_back("delta = " + std::to_string(minutes) + " min");
+  }
+  return RunThresholdTable(base, "delta", delta_settings, delta_labels);
+}

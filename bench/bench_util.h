@@ -1,0 +1,118 @@
+// Shared plumbing for the figure/ablation bench binaries: light CLI
+// parsing and the standard header block describing the Table 5 setup.
+
+#ifndef WEBSRA_BENCH_BENCH_UTIL_H_
+#define WEBSRA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "wum/common/string_util.h"
+#include "wum/eval/experiment.h"
+#include "wum/eval/report.h"
+
+namespace wum_bench {
+
+/// Options every figure bench accepts:
+///   --agents N   population size (default: paper's 10000)
+///   --seed S     master seed
+///   --quick      600 agents; for smoke runs and CI
+///   --csv PATH   also write the series as CSV
+///   --threads N  sweep worker threads (0 = hardware)
+struct BenchArgs {
+  std::size_t agents = 10000;
+  std::uint64_t seed = 20060102;
+  std::string csv_path;
+  std::size_t threads = 0;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--agents") {
+      args.agents = static_cast<std::size_t>(
+          wum::ParseUint64(next_value()).ValueOr(10000));
+    } else if (arg == "--seed") {
+      args.seed = wum::ParseUint64(next_value()).ValueOr(20060102);
+    } else if (arg == "--quick") {
+      args.agents = 600;
+    } else if (arg == "--csv") {
+      args.csv_path = next_value();
+    } else if (arg == "--threads") {
+      args.threads =
+          static_cast<std::size_t>(wum::ParseUint64(next_value()).ValueOr(0));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--agents N] [--seed S] [--quick] "
+                   "[--csv PATH] [--threads N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline wum::ExperimentConfig ConfigFromArgs(const BenchArgs& args) {
+  wum::ExperimentConfig config = wum::PaperDefaults();
+  config.workload.num_agents = args.agents;
+  config.seed = args.seed;
+  config.num_threads = args.threads;
+  return config;
+}
+
+inline void PrintConfigHeader(const wum::ExperimentConfig& config,
+                              const std::string& figure,
+                              const std::string& swept) {
+  std::cout << "# " << figure << ": real accuracy of the four reactive\n"
+            << "# heuristics vs " << swept
+            << " (other behaviour parameters fixed at Table 5 values).\n"
+            << "#\n"
+            << "# Table 5 setup: pages=" << config.site.num_pages
+            << " mean_out_degree=" << config.site.mean_out_degree
+            << " agents=" << config.workload.num_agents
+            << " stay=" << config.profile.page_stay_mean_minutes << "+-"
+            << config.profile.page_stay_stddev_minutes << "min\n"
+            << "# STP=" << config.profile.stp
+            << " LPP=" << config.profile.lpp << " NIP=" << config.profile.nip
+            << " delta=30min rho=10min seed=" << config.seed << "\n"
+            << "#\n";
+}
+
+inline int RunFigureSweep(const wum::ExperimentConfig& config,
+                          wum::SweepParameter parameter,
+                          const std::vector<double>& values,
+                          const BenchArgs& args) {
+  wum::Result<std::vector<wum::SweepPoint>> points =
+      wum::RunSweep(config, parameter, values);
+  if (!points.ok()) {
+    std::cerr << "sweep failed: " << points.status().ToString() << "\n";
+    return 1;
+  }
+  wum::RenderSweepTable(*points, parameter, &std::cout);
+  std::cout << "\n# shape: " << wum::SummarizeSweepShape(*points) << "\n";
+  if (!args.csv_path.empty()) {
+    std::ofstream csv(args.csv_path);
+    if (!csv) {
+      std::cerr << "cannot open " << args.csv_path << "\n";
+      return 1;
+    }
+    wum::RenderSweepCsv(*points, parameter, &csv);
+    std::cout << "# csv written to " << args.csv_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace wum_bench
+
+#endif  // WEBSRA_BENCH_BENCH_UTIL_H_

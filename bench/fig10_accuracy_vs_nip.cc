@@ -1,0 +1,15 @@
+// Figure 10 reproduction: real accuracy vs NIP (0%..90%), STP = 5%,
+// LPP = 30%. Paper shape: accuracy falls for every heuristic as session
+// re-entry grows; Smart-SRA remains roughly twice as accurate as the
+// best baseline.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  wum_bench::BenchArgs args = wum_bench::ParseArgs(argc, argv);
+  wum::ExperimentConfig config = wum_bench::ConfigFromArgs(args);
+  wum_bench::PrintConfigHeader(config, "Figure 10",
+                               "NIP (new-initial-page probability)");
+  return wum_bench::RunFigureSweep(config, wum::SweepParameter::kNip,
+                                   wum::Figure10NipValues(), args);
+}

@@ -1,0 +1,15 @@
+// Figure 8 reproduction: real accuracy vs STP (1%..20%), LPP = NIP = 30%.
+// Paper shape: all four heuristics improve as STP grows (shorter agent
+// histories mean fewer interleavings); Smart-SRA dominates at every point
+// with a large, stable relative margin.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  wum_bench::BenchArgs args = wum_bench::ParseArgs(argc, argv);
+  wum::ExperimentConfig config = wum_bench::ConfigFromArgs(args);
+  wum_bench::PrintConfigHeader(config, "Figure 8",
+                               "STP (session termination probability)");
+  return wum_bench::RunFigureSweep(config, wum::SweepParameter::kStp,
+                                   wum::Figure8StpValues(), args);
+}

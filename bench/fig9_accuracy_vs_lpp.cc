@@ -1,0 +1,15 @@
+// Figure 9 reproduction: real accuracy vs LPP (0%..90%), STP = 5%,
+// NIP = 30%. Paper shape: every heuristic degrades as backtracking
+// grows (sessions interleave through the browser cache); Smart-SRA stays
+// clearly ahead across the whole range.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  wum_bench::BenchArgs args = wum_bench::ParseArgs(argc, argv);
+  wum::ExperimentConfig config = wum_bench::ConfigFromArgs(args);
+  wum_bench::PrintConfigHeader(config, "Figure 9",
+                               "LPP (link-from-previous-pages probability)");
+  return wum_bench::RunFigureSweep(config, wum::SweepParameter::kLpp,
+                                   wum::Figure9LppValues(), args);
+}

@@ -1,0 +1,215 @@
+// google-benchmark microbenches: throughput of every pipeline stage —
+// CLF formatting/parsing, each sessionizer, the streaming pipeline,
+// topology generation, capture matching and mining.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "wum/clf/clf_parser.h"
+#include "wum/clf/clf_writer.h"
+#include "wum/mining/apriori_all.h"
+#include "wum/session/navigation_heuristic.h"
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/simulator/workload.h"
+#include "wum/stream/incremental_sessionizer.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+// Shared fixture state, built once.
+struct Fixture {
+  WebGraph graph{0};
+  Workload workload;
+  std::vector<LogRecord> log;
+  std::vector<std::string> log_lines;
+  std::vector<std::vector<PageRequest>> streams;  // per IP
+
+  static const Fixture& Get() {
+    static const Fixture* const fixture = [] {
+      auto* f = new Fixture();
+      Rng site_rng(99);
+      SiteGeneratorOptions site;  // Table 5 defaults
+      f->graph = *GenerateUniformSite(site, &site_rng);
+      WorkloadOptions options;
+      options.num_agents = 2000;
+      Rng rng(1234);
+      f->workload =
+          *SimulateWorkload(f->graph, AgentProfile(), options, &rng);
+      f->log = CollectServerLog(f->workload.ToAgentRequests());
+      f->log_lines.reserve(f->log.size());
+      for (const LogRecord& record : f->log) {
+        f->log_lines.push_back(FormatClfLine(record));
+      }
+      for (const AgentRun& agent : f->workload.agents) {
+        f->streams.push_back(agent.trace.server_requests);
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_ClfFormat(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FormatClfLine(fixture.log[i++ % fixture.log.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClfFormat);
+
+void BM_ClfParse(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ParseClfLine(fixture.log_lines[i++ % fixture.log_lines.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClfParse);
+
+template <typename MakeSessionizer>
+void SessionizerLoop(benchmark::State& state, MakeSessionizer make) {
+  const Fixture& fixture = Fixture::Get();
+  auto sessionizer = make(fixture);
+  std::size_t requests = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& stream = fixture.streams[i++ % fixture.streams.size()];
+    requests += stream.size();
+    benchmark::DoNotOptimize(sessionizer->Reconstruct(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+
+void BM_SessionizeDuration(benchmark::State& state) {
+  SessionizerLoop(state, [](const Fixture&) {
+    return std::make_unique<SessionDurationSessionizer>();
+  });
+}
+BENCHMARK(BM_SessionizeDuration);
+
+void BM_SessionizePageStay(benchmark::State& state) {
+  SessionizerLoop(state, [](const Fixture&) {
+    return std::make_unique<PageStaySessionizer>();
+  });
+}
+BENCHMARK(BM_SessionizePageStay);
+
+void BM_SessionizeNavigation(benchmark::State& state) {
+  SessionizerLoop(state, [](const Fixture& fixture) {
+    return std::make_unique<NavigationSessionizer>(&fixture.graph);
+  });
+}
+BENCHMARK(BM_SessionizeNavigation);
+
+void BM_SessionizeSmartSra(benchmark::State& state) {
+  SessionizerLoop(state, [](const Fixture& fixture) {
+    return std::make_unique<SmartSra>(&fixture.graph);
+  });
+}
+BENCHMARK(BM_SessionizeSmartSra);
+
+void BM_StreamingPipelineEndToEnd(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  std::size_t records = 0;
+  for (auto _ : state) {
+    CallbackSessionSink sink(
+        [](const std::string&, Session) { return Status::OK(); });
+    SessionizeSink sessionize(
+        [&fixture]() {
+          return std::make_unique<IncrementalSmartSra>(&fixture.graph,
+                                                       SmartSra::Options());
+        },
+        &sink, fixture.graph.num_pages());
+    Pipeline pipeline(&sessionize);
+    for (const LogRecord& record : fixture.log) {
+      if (!pipeline.Accept(record).ok()) state.SkipWithError("accept failed");
+    }
+    if (!pipeline.Finish().ok()) state.SkipWithError("finish failed");
+    records += fixture.log.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_StreamingPipelineEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  SiteGeneratorOptions options;
+  options.num_pages = static_cast<std::size_t>(state.range(0));
+  options.mean_out_degree = 15.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(GenerateUniformSite(options, &rng));
+  }
+}
+BENCHMARK(BM_TopologyGeneration)->Arg(300)->Arg(3000);
+
+void BM_SubstringCapture(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  // Typical capture query: short needle against a reconstruction set.
+  std::vector<std::vector<PageId>> haystacks;
+  SmartSra sra(&fixture.graph);
+  for (std::size_t i = 0; i < 50; ++i) {
+    Result<std::vector<Session>> sessions =
+        sra.Reconstruct(fixture.streams[i]);
+    for (const Session& session : *sessions) {
+      haystacks.push_back(session.PageSequence());
+    }
+  }
+  const std::vector<PageId> needle =
+      haystacks.empty() ? std::vector<PageId>{1, 2}
+                        : haystacks.front();
+  for (auto _ : state) {
+    bool hit = false;
+    for (const auto& haystack : haystacks) {
+      hit |= ContainsAsSubstring(haystack, needle);
+    }
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_SubstringCapture);
+
+void BM_MineContiguousPatterns(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  SmartSra sra(&fixture.graph);
+  std::vector<std::vector<PageId>> sequences;
+  for (const auto& stream : fixture.streams) {
+    Result<std::vector<Session>> sessions = sra.Reconstruct(stream);
+    for (const Session& session : *sessions) {
+      sequences.push_back(session.PageSequence());
+    }
+  }
+  AprioriOptions options;
+  options.min_support = std::max<std::size_t>(2, sequences.size() / 200);
+  AprioriAllMiner miner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.Mine(sequences));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sequences.size()));
+}
+BENCHMARK(BM_MineContiguousPatterns)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateAgent(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  AgentSimulator simulator(&fixture.graph, AgentProfile());
+  Rng rng(5);
+  for (auto _ : state) {
+    Rng agent_rng = rng.Fork();
+    benchmark::DoNotOptimize(simulator.SimulateAgent(0, &agent_rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulateAgent);
+
+}  // namespace
+}  // namespace wum
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Session-length study: §2.2 argues navigation-oriented sessions "tend
+// to become much longer due to insertion of backward movements" and that
+// mining such sessions is harder; §6 claims Smart-SRA's sessions are
+// "much shorter and therefore easier to process". This bench prints the
+// reconstructed-session length distributions per heuristic plus the
+// downstream mining cost on each heuristic's output.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.h"
+#include "wum/common/histogram.h"
+#include "wum/common/table.h"
+#include "wum/mining/apriori_all.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wum_bench::BenchArgs args = wum_bench::ParseArgs(argc, argv);
+  wum::ExperimentConfig config = wum_bench::ConfigFromArgs(args);
+  wum_bench::PrintConfigHeader(config, "Session-length study",
+                               "reconstruction heuristic");
+
+  wum::Rng site_rng(config.seed);
+  wum::WebGraph graph =
+      *wum::GenerateUniformSite(config.site, &site_rng);
+  std::uint64_t state = config.seed;
+  (void)wum::SplitMix64(&state);
+  wum::Rng workload_rng(wum::SplitMix64(&state));
+  wum::Workload workload = *wum::SimulateWorkload(
+      graph, config.profile, config.workload, &workload_rng);
+
+  wum::Table table({"heuristic", "sessions", "mean len", "p50", "p95", "max",
+                    "patterns(sup>=0.2%)", "mine ms"});
+  for (const auto& heuristic :
+       wum::MakePaperHeuristics(&graph, config.thresholds)) {
+    wum::Histogram lengths(0, 64, 64);
+    std::vector<std::vector<wum::PageId>> sequences;
+    for (const auto& [ip, stream] : wum::BuildIpStreams(workload)) {
+      wum::Result<std::vector<wum::Session>> sessions =
+          heuristic->Reconstruct(stream);
+      if (!sessions.ok()) {
+        std::cerr << heuristic->name()
+                  << " failed: " << sessions.status().ToString() << "\n";
+        return 1;
+      }
+      for (const wum::Session& session : *sessions) {
+        lengths.Add(static_cast<double>(session.size()));
+        sequences.push_back(session.PageSequence());
+      }
+    }
+    // Mine frequent contiguous paths over this heuristic's output.
+    wum::AprioriOptions mining;
+    mining.min_support =
+        std::max<std::size_t>(2, sequences.size() / 500);  // ~0.2%
+    mining.mode = wum::MatchMode::kContiguous;
+    wum::AprioriAllMiner miner(mining);
+    const Clock::time_point start = Clock::now();
+    wum::Result<std::vector<wum::SequentialPattern>> patterns =
+        miner.Mine(sequences);
+    const double mine_ms = MillisSince(start);
+    if (!patterns.ok()) {
+      std::cerr << "mining failed: " << patterns.status().ToString() << "\n";
+      return 1;
+    }
+    table.AddRow({heuristic->name(), std::to_string(sequences.size()),
+                  wum::FormatDouble(lengths.stats().mean(), 2),
+                  wum::FormatDouble(lengths.Quantile(0.5), 1),
+                  wum::FormatDouble(lengths.Quantile(0.95), 1),
+                  wum::FormatDouble(lengths.stats().max(), 0),
+                  std::to_string(patterns->size()),
+                  wum::FormatDouble(mine_ms, 1)});
+  }
+  table.Render(&std::cout);
+  std::cout << "\n# Real (ground-truth) session lengths for reference:\n";
+  wum::Histogram real_lengths(0, 64, 64);
+  for (const wum::AgentRun& agent : workload.agents) {
+    for (const wum::Session& session : agent.trace.real_sessions) {
+      real_lengths.Add(static_cast<double>(session.size()));
+    }
+  }
+  std::cout << "# mean=" << wum::FormatDouble(real_lengths.stats().mean(), 2)
+            << " p50=" << wum::FormatDouble(real_lengths.Quantile(0.5), 1)
+            << " p95=" << wum::FormatDouble(real_lengths.Quantile(0.95), 1)
+            << " max=" << wum::FormatDouble(real_lengths.stats().max(), 0)
+            << "\n";
+  return 0;
+}

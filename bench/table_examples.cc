@@ -1,0 +1,88 @@
+// Reproduces the paper's worked examples (Tables 1-4) end to end on the
+// Figure 1 topology and prints them in the paper's own terms, so the
+// implementation can be eyeballed against the publication.
+
+#include <iostream>
+
+#include "wum/session/navigation_heuristic.h"
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/topology/site_generator.h"
+
+namespace {
+
+using wum::Figure1PageName;
+using wum::MakeSession;
+using wum::PageId;
+using wum::Session;
+
+std::string Names(const Session& session) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < session.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Figure1PageName(session.requests[i].page);
+  }
+  return out + "]";
+}
+
+void PrintSessions(const std::string& label,
+                   const std::vector<Session>& sessions) {
+  std::cout << label << "\n";
+  for (const Session& session : sessions) {
+    std::cout << "    " << Names(session) << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  const wum::WebGraph graph = wum::MakeFigure1Topology();
+  std::cout << "# Worked examples of the paper on the Figure 1 topology\n"
+            << "# (pages P1, P13, P20, P23, P34, P49; start pages P1, P49).\n"
+            << "#\n"
+            << "# Table 1 request sequence: P1@0, P20@6, P13@15, P49@29, "
+               "P34@32, P23@47 (minutes).\n\n";
+
+  const auto table1 = MakeSession({0, 2, 1, 5, 4, 3},
+                                  {wum::Minutes(0), wum::Minutes(6),
+                                   wum::Minutes(15), wum::Minutes(29),
+                                   wum::Minutes(32), wum::Minutes(47)});
+
+  wum::SessionDurationSessionizer heur1;
+  PrintSessions("heur1 (total duration <= 30 min), expected "
+                "[P1,P20,P13,P49] [P34,P23]:",
+                *heur1.Reconstruct(table1.requests));
+
+  wum::PageStaySessionizer heur2;
+  PrintSessions("\nheur2 (page stay <= 10 min), expected "
+                "[P1,P20,P13] [P49,P34] [P23]:",
+                *heur2.Reconstruct(table1.requests));
+
+  wum::NavigationSessionizer heur3(&graph);
+  PrintSessions("\nheur3 (navigation-oriented, Table 2 trace), expected "
+                "[P1,P20,P1,P13,P49,P13,P34,P23]:",
+                *heur3.Reconstruct(table1.requests));
+
+  std::cout << "\n# Table 3 request sequence: P1@0, P20@6, P13@9, P49@12, "
+               "P34@14, P23@15 (minutes).\n\n";
+  const auto table3 = MakeSession({0, 2, 1, 5, 4, 3},
+                                  {wum::Minutes(0), wum::Minutes(6),
+                                   wum::Minutes(9), wum::Minutes(12),
+                                   wum::Minutes(14), wum::Minutes(15)});
+  wum::SmartSra heur4(&graph);
+  PrintSessions("heur4 (Smart-SRA, Table 4 trace), expected "
+                "[P1,P13,P34,P23] [P1,P13,P49,P23] [P1,P20,P23]:",
+                *heur4.Reconstruct(table3.requests));
+
+  std::cout << "\n# The behaviour-3 motif of §4: navigation "
+               "[P1,P13,P34] then back to P1 and on to P20.\n"
+            << "# Server log: [P1, P13, P34, P20] (the cached revisit of P1 "
+               "is invisible).\n\n";
+  const auto motif = MakeSession({0, 1, 4, 2}, {0, 130, 265, 450});
+  PrintSessions("heur4 recovers the real sessions "
+                "[P1,P13,P34] and [P1,P20]:",
+                *heur4.Reconstruct(motif.requests));
+  PrintSessions("\nheur2 on the same log (single seam-broken session):",
+                *heur2.Reconstruct(motif.requests));
+  return 0;
+}

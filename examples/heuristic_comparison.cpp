@@ -1,0 +1,46 @@
+// Compares the four reactive heuristics of the paper on one simulated
+// population and prints a compact scorecard — a laptop-scale version of
+// the Figure 8-10 experiments (see bench/ for the full sweeps).
+
+#include <iostream>
+
+#include "wum/common/table.h"
+#include "wum/eval/experiment.h"
+#include "wum/eval/report.h"
+
+int main() {
+  wum::ExperimentConfig config = wum::PaperDefaults();
+  config.workload.num_agents = 1000;  // laptop-scale
+  config.seed = 8;
+
+  std::cout << "comparing heur1..heur4 on " << config.workload.num_agents
+            << " simulated users (Table 5 behaviour: STP=5%, LPP=30%, "
+               "NIP=30%)\n\n";
+
+  wum::Result<wum::SweepPoint> point = wum::RunExperimentPoint(
+      config, wum::SweepParameter::kStp, config.profile.stp, 0);
+  if (!point.ok()) {
+    std::cerr << point.status().ToString() << "\n";
+    return 1;
+  }
+
+  wum::Table table({"heuristic", "accuracy %", "recall %", "correct/built",
+                    "valid", "mean length"});
+  for (const wum::HeuristicScore& score : point->scores) {
+    const wum::AccuracyResult& r = score.result;
+    table.AddRow({score.heuristic,
+                  wum::FormatDouble(r.accuracy() * 100.0, 2),
+                  wum::FormatDouble(r.capture_rate() * 100.0, 2),
+                  std::to_string(r.correct_reconstructions) + "/" +
+                      std::to_string(r.reconstructed_sessions),
+                  std::to_string(r.valid_reconstructed_sessions),
+                  wum::FormatDouble(r.reconstructed_length.mean(), 2)});
+  }
+  table.Render(&std::cout);
+  std::cout << "\nSmart-SRA margin over the best baseline: "
+            << wum::FormatRelativeMargin(wum::SmartSraRelativeMargin(*point))
+            << "\n"
+            << "(run bench/fig8_accuracy_vs_stp etc. for the full paper "
+               "sweeps)\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "wum/clf/clf_parser.h"
+
+#include "wum/common/string_util.h"
+
+namespace wum {
+namespace {
+
+Result<HttpMethod> ParseMethod(std::string_view token) {
+  if (token == "GET") return HttpMethod::kGet;
+  if (token == "POST") return HttpMethod::kPost;
+  if (token == "HEAD") return HttpMethod::kHead;
+  return Status::ParseError("unsupported method '" + std::string(token) + "'");
+}
+
+}  // namespace
+
+Result<LogRecord> ParseClfLine(std::string_view line) {
+  line = StripWhitespace(line);
+  if (line.empty()) return Status::ParseError("empty line");
+
+  LogRecord record;
+
+  // %h: client host.
+  std::size_t pos = line.find(' ');
+  if (pos == std::string_view::npos) return Status::ParseError("missing host");
+  record.client_ip = std::string(line.substr(0, pos));
+
+  // %l %u: identity fields, up to the '['.
+  std::size_t bracket = line.find('[', pos);
+  if (bracket == std::string_view::npos) {
+    return Status::ParseError("missing '[' before timestamp");
+  }
+  std::size_t bracket_end = line.find(']', bracket);
+  if (bracket_end == std::string_view::npos) {
+    return Status::ParseError("missing ']' after timestamp");
+  }
+  WUM_ASSIGN_OR_RETURN(
+      record.timestamp,
+      ParseClfTimestamp(line.substr(bracket + 1, bracket_end - bracket - 1)));
+
+  // "%r": the quoted request.
+  std::size_t quote = line.find('"', bracket_end);
+  if (quote == std::string_view::npos) {
+    return Status::ParseError("missing opening quote of request");
+  }
+  std::size_t quote_end = line.find('"', quote + 1);
+  if (quote_end == std::string_view::npos) {
+    return Status::ParseError("missing closing quote of request");
+  }
+  std::string_view request = line.substr(quote + 1, quote_end - quote - 1);
+  std::vector<std::string_view> request_parts;
+  for (std::string_view part : SplitString(request, ' ')) {
+    if (!part.empty()) request_parts.push_back(part);
+  }
+  if (request_parts.size() != 3) {
+    return Status::ParseError("request line must be 'METHOD URL PROTOCOL'");
+  }
+  WUM_ASSIGN_OR_RETURN(record.method, ParseMethod(request_parts[0]));
+  record.url = std::string(request_parts[1]);
+  record.protocol = std::string(request_parts[2]);
+  if (record.protocol != "HTTP/1.0" && record.protocol != "HTTP/1.1") {
+    return Status::ParseError("unsupported protocol '" + record.protocol +
+                              "'");
+  }
+
+  // %>s %b: status and bytes, then optionally the combined-format
+  // "referer" "user-agent" quoted fields.
+  std::string_view tail = StripWhitespace(line.substr(quote_end + 1));
+  const std::size_t first_space = tail.find(' ');
+  if (first_space == std::string_view::npos) {
+    return Status::ParseError("expected '<status> <bytes>' after request");
+  }
+  std::string_view status_token = tail.substr(0, first_space);
+  std::string_view rest = StripWhitespace(tail.substr(first_space + 1));
+  const std::size_t second_space = rest.find(' ');
+  std::string_view bytes_token =
+      second_space == std::string_view::npos ? rest
+                                             : rest.substr(0, second_space);
+  std::string_view extras =
+      second_space == std::string_view::npos
+          ? std::string_view()
+          : StripWhitespace(rest.substr(second_space + 1));
+
+  WUM_ASSIGN_OR_RETURN(std::int64_t status, ParseInt64(status_token));
+  if (status < 100 || status > 599) {
+    return Status::ParseError("status code out of range");
+  }
+  record.status_code = static_cast<int>(status);
+  if (bytes_token == "-") {
+    record.bytes = -1;
+  } else {
+    WUM_ASSIGN_OR_RETURN(record.bytes, ParseInt64(bytes_token));
+    if (record.bytes < 0) return Status::ParseError("negative byte count");
+  }
+
+  if (!extras.empty()) {
+    // Combined Log Format: "referer" "user-agent".
+    auto take_quoted = [&extras]() -> Result<std::string> {
+      if (extras.empty() || extras.front() != '"') {
+        return Status::ParseError("expected quoted combined-format field");
+      }
+      const std::size_t closing = extras.find('"', 1);
+      if (closing == std::string_view::npos) {
+        return Status::ParseError("unterminated combined-format field");
+      }
+      std::string value(extras.substr(1, closing - 1));
+      extras = StripWhitespace(extras.substr(closing + 1));
+      if (value == "-") value.clear();
+      return value;
+    };
+    WUM_ASSIGN_OR_RETURN(record.referrer, take_quoted());
+    WUM_ASSIGN_OR_RETURN(record.user_agent, take_quoted());
+    if (!extras.empty()) {
+      return Status::ParseError("trailing content after combined fields");
+    }
+  }
+  return record;
+}
+
+Status ClfParser::ParseStream(std::istream* in,
+                              std::vector<LogRecord>* records) {
+  std::string line;
+  while (std::getline(*in, line)) {
+    ++stats_.lines_seen;
+    if (StripWhitespace(line).empty()) continue;
+    Result<LogRecord> parsed = ParseClfLine(line);
+    if (parsed.ok()) {
+      records->push_back(std::move(parsed).ValueOrDie());
+      ++stats_.records_parsed;
+    } else {
+      ++stats_.lines_rejected;
+      if (stats_.sample_errors.size() < kMaxSampleErrors) {
+        stats_.sample_errors.push_back(
+            "line " + std::to_string(stats_.lines_seen) + ": " +
+            parsed.status().message());
+      }
+    }
+  }
+  if (in->bad()) return Status::IoError("stream read failure");
+  return Status::OK();
+}
+
+}  // namespace wum

@@ -1,0 +1,48 @@
+// Robust Common Log Format parsing. Malformed lines are counted and
+// reported, never fatal to the stream (real-world access logs are dirty).
+
+#ifndef WUM_CLF_CLF_PARSER_H_
+#define WUM_CLF_CLF_PARSER_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "wum/clf/log_record.h"
+#include "wum/common/result.h"
+
+namespace wum {
+
+/// Parses one CLF line into a LogRecord. Accepts the "%h %l %u [%t]
+/// \"%r\" %>s %b" layout produced by ClfWriter and by Apache/NCSA httpd;
+/// the two identity fields are tolerated but discarded.
+Result<LogRecord> ParseClfLine(std::string_view line);
+
+/// Stream parser with malformed-line accounting.
+class ClfParser {
+ public:
+  struct Stats {
+    std::uint64_t lines_seen = 0;
+    std::uint64_t records_parsed = 0;
+    std::uint64_t lines_rejected = 0;
+    /// First few reject reasons, for diagnostics.
+    std::vector<std::string> sample_errors;
+  };
+
+  ClfParser() = default;
+
+  /// Parses every line of `in`; appends good records to `*records`.
+  /// IO failure is the only error condition — malformed lines are
+  /// tallied in stats().
+  Status ParseStream(std::istream* in, std::vector<LogRecord>* records);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kMaxSampleErrors = 8;
+  Stats stats_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_CLF_CLF_PARSER_H_

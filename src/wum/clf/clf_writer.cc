@@ -1,0 +1,41 @@
+#include "wum/clf/clf_writer.h"
+
+namespace wum {
+
+std::string FormatClfLine(const LogRecord& record) {
+  std::string line;
+  line.reserve(96);
+  line += record.client_ip;
+  line += " - - [";
+  line += FormatClfTimestamp(record.timestamp);
+  line += "] \"";
+  line += HttpMethodToString(record.method);
+  line += ' ';
+  line += record.url;
+  line += ' ';
+  line += record.protocol;
+  line += "\" ";
+  line += std::to_string(record.status_code);
+  line += ' ';
+  line += record.bytes < 0 ? "-" : std::to_string(record.bytes);
+  return line;
+}
+
+std::string FormatCombinedLogLine(const LogRecord& record) {
+  std::string line = FormatClfLine(record);
+  line += " \"";
+  line += record.referrer.empty() ? "-" : record.referrer;
+  line += "\" \"";
+  line += record.user_agent.empty() ? "-" : record.user_agent;
+  line += '"';
+  return line;
+}
+
+void ClfWriter::Write(const LogRecord& record) {
+  *out_ << (combined_ ? FormatCombinedLogLine(record)
+                      : FormatClfLine(record))
+        << '\n';
+  ++records_written_;
+}
+
+}  // namespace wum

@@ -1,0 +1,46 @@
+// Serializes LogRecords as Common Log Format lines:
+//   127.0.0.1 - - [02/Jan/2006:15:04:05 +0000] "GET /x.html HTTP/1.1" 200 2326
+
+#ifndef WUM_CLF_CLF_WRITER_H_
+#define WUM_CLF_CLF_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "wum/clf/log_record.h"
+
+namespace wum {
+
+/// Formats one record as a CLF line (no trailing newline). The combined
+/// extras (referrer, user agent) are NOT emitted; use
+/// FormatCombinedLogLine for those.
+std::string FormatClfLine(const LogRecord& record);
+
+/// NCSA Combined Log Format: the CLF line plus "referer" and
+/// "user-agent" quoted fields (empty fields render as "-").
+std::string FormatCombinedLogLine(const LogRecord& record);
+
+/// Streams CLF lines to an ostream.
+class ClfWriter {
+ public:
+  /// The writer does not own `out`. When `combined` is true every line
+  /// carries the referrer / user-agent fields.
+  explicit ClfWriter(std::ostream* out, bool combined = false)
+      : out_(out), combined_(combined) {}
+
+  ClfWriter(const ClfWriter&) = delete;
+  ClfWriter& operator=(const ClfWriter&) = delete;
+
+  void Write(const LogRecord& record);
+
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  std::ostream* out_;
+  bool combined_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace wum
+
+#endif  // WUM_CLF_CLF_WRITER_H_

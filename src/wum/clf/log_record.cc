@@ -1,0 +1,71 @@
+#include "wum/clf/log_record.h"
+
+#include <cstdio>
+
+#include "wum/common/string_util.h"
+
+namespace wum {
+
+std::string_view HttpMethodToString(HttpMethod method) {
+  switch (method) {
+    case HttpMethod::kGet:
+      return "GET";
+    case HttpMethod::kPost:
+      return "POST";
+    case HttpMethod::kHead:
+      return "HEAD";
+  }
+  return "GET";
+}
+
+std::string PageUrl(std::uint32_t page) {
+  return "/pages/p" + std::to_string(page) + ".html";
+}
+
+Result<std::uint32_t> PageFromUrl(std::string_view url) {
+  constexpr std::string_view kPrefix = "/pages/p";
+  constexpr std::string_view kSuffix = ".html";
+  if (!StartsWith(url, kPrefix) || !EndsWith(url, kSuffix) ||
+      url.size() <= kPrefix.size() + kSuffix.size()) {
+    return Status::NotFound("not a canonical page URL: '" + std::string(url) +
+                            "'");
+  }
+  std::string_view digits =
+      url.substr(kPrefix.size(), url.size() - kPrefix.size() - kSuffix.size());
+  WUM_ASSIGN_OR_RETURN(std::uint64_t value, ParseUint64(digits));
+  if (value > 0xFFFFFFFFULL) {
+    return Status::OutOfRange("page id too large in URL");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+std::string ReferrerUrl(std::uint32_t page) {
+  return "http://www.site.example" + PageUrl(page);
+}
+
+Result<std::uint32_t> PageFromReferrer(std::string_view referrer) {
+  if (referrer.empty()) return Status::NotFound("no referrer");
+  constexpr std::string_view kHttp = "http://";
+  constexpr std::string_view kHttps = "https://";
+  if (StartsWith(referrer, kHttp) || StartsWith(referrer, kHttps)) {
+    const std::size_t host_start =
+        StartsWith(referrer, kHttp) ? kHttp.size() : kHttps.size();
+    const std::size_t path_start = referrer.find('/', host_start);
+    if (path_start == std::string_view::npos) {
+      return Status::NotFound("referrer has no path");
+    }
+    referrer = referrer.substr(path_start);
+  }
+  return PageFromUrl(referrer);
+}
+
+std::string AgentIp(std::uint64_t agent_id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "10.%u.%u.%u",
+                static_cast<unsigned>((agent_id / (254 * 254)) % 254),
+                static_cast<unsigned>((agent_id / 254) % 254),
+                static_cast<unsigned>(agent_id % 254) + 1);
+  return buffer;
+}
+
+}  // namespace wum

@@ -1,0 +1,75 @@
+// Common Log Format record model (paper §1, W3C httpd "common" format).
+//
+// Each server-handled request is one record with the seven attributes the
+// paper lists: client IP, access date/time, request method, URL, protocol,
+// return code, and bytes transmitted.
+
+#ifndef WUM_CLF_LOG_RECORD_H_
+#define WUM_CLF_LOG_RECORD_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "wum/common/time.h"
+
+namespace wum {
+
+/// HTTP request method as restricted by CLF-era web usage mining.
+enum class HttpMethod {
+  kGet = 0,
+  kPost = 1,
+  kHead = 2,
+};
+
+std::string_view HttpMethodToString(HttpMethod method);
+
+/// One access-log line in structured form.
+struct LogRecord {
+  /// Dotted-quad client address (proxy users share one, per §1).
+  std::string client_ip;
+  /// Request instant, UNIX seconds UTC.
+  TimeSeconds timestamp = 0;
+  HttpMethod method = HttpMethod::kGet;
+  /// Request path, e.g. "/pages/p42.html".
+  std::string url;
+  /// "HTTP/1.0" or "HTTP/1.1".
+  std::string protocol = "HTTP/1.1";
+  /// HTTP status (200, 304, 404, ...).
+  int status_code = 200;
+  /// Response size in bytes; -1 renders as "-" (no body).
+  std::int64_t bytes = 0;
+  /// Combined Log Format extras; empty renders as "-". Plain CLF output
+  /// omits them entirely (the paper's seven-attribute format), but the
+  /// parser accepts both layouts and the referrer-oracle ablation needs
+  /// them.
+  std::string referrer;
+  std::string user_agent;
+
+  friend auto operator<=>(const LogRecord&, const LogRecord&) = default;
+};
+
+/// Maps a dense PageId to the canonical URL used by the simulator
+/// ("/pages/p<id>.html") and back.
+std::string PageUrl(std::uint32_t page);
+
+/// Extracts the page id from a canonical URL; returns kNotFound for URLs
+/// not of the canonical form.
+Result<std::uint32_t> PageFromUrl(std::string_view url);
+
+/// Renders a synthetic client IP for an agent id, so at most 254^2 hosts
+/// per /16: "10.<a>.<b>.<c>".
+std::string AgentIp(std::uint64_t agent_id);
+
+/// Absolute Referer-header URL for a page, as a 2006-era browser would
+/// send it: "http://www.site.example/pages/p<id>.html".
+std::string ReferrerUrl(std::uint32_t page);
+
+/// Extracts the page id from a Referer value; accepts both the absolute
+/// form produced by ReferrerUrl and a bare canonical path. NotFound for
+/// external or empty referrers.
+Result<std::uint32_t> PageFromReferrer(std::string_view referrer);
+
+}  // namespace wum
+
+#endif  // WUM_CLF_LOG_RECORD_H_

@@ -1,0 +1,56 @@
+// User identification: groups cleaned log records into per-user request
+// streams keyed by client IP (the only identity a reactive strategy has,
+// per §1 — users behind one proxy collapse into one stream, which the
+// proxy ablation bench exploits deliberately).
+
+#ifndef WUM_CLF_USER_PARTITIONER_H_
+#define WUM_CLF_USER_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "wum/clf/log_record.h"
+#include "wum/common/result.h"
+#include "wum/session/session.h"
+
+namespace wum {
+
+/// How log records are attributed to users. CLF only offers the IP; the
+/// Combined format's User-Agent field separates distinct browsers behind
+/// one proxy (the classic Cooley et al. refinement).
+enum class UserIdentity {
+  kClientIp = 0,
+  kClientIpAndUserAgent = 1,
+};
+
+/// Composite identity key ("ip" or "ip\x1fuser-agent").
+std::string UserKeyFor(const std::string& client_ip,
+                       const std::string& user_agent, UserIdentity identity);
+
+/// One user's request stream in timestamp order.
+struct UserStream {
+  /// Identity key the stream was grouped by (see UserKeyFor).
+  std::string user_key;
+  std::string client_ip;
+  std::string user_agent;  // empty under kClientIp
+  std::vector<PageRequest> requests;
+};
+
+/// Partitions records by client IP and converts canonical URLs to page
+/// ids. Records whose URL is not a canonical page URL are skipped and
+/// counted. Streams are sorted by timestamp (stable, preserving log order
+/// for equal stamps); the stream list is sorted by IP for determinism.
+struct PartitionResult {
+  std::vector<UserStream> streams;
+  std::uint64_t skipped_non_page_urls = 0;
+};
+
+/// `num_pages` bounds valid page ids; out-of-range pages are rejected
+/// with InvalidArgument (they indicate a topology/log mismatch).
+Result<PartitionResult> PartitionByUser(
+    const std::vector<LogRecord>& records, std::size_t num_pages,
+    UserIdentity identity = UserIdentity::kClientIp);
+
+}  // namespace wum
+
+#endif  // WUM_CLF_USER_PARTITIONER_H_

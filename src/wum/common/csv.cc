@@ -1,0 +1,47 @@
+#include "wum/common/csv.h"
+
+#include <cstdio>
+
+namespace wum {
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << EscapeField(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_written_;
+}
+
+void CsvWriter::WriteRow(const std::string& label,
+                         const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  char buffer[64];
+  for (double v : values) {
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+    fields.emplace_back(buffer);
+  }
+  WriteRow(fields);
+}
+
+}  // namespace wum

@@ -1,0 +1,41 @@
+// Minimal CSV emission for experiment results.
+
+#ifndef WUM_COMMON_CSV_H_
+#define WUM_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wum {
+
+/// Writes rows of fields as RFC-4180-style CSV (quotes fields containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  /// The writer does not own `out`; it must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; fields are escaped as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric rows: first field label, rest values.
+  void WriteRow(const std::string& label, const std::vector<double>& values,
+                int precision = 4);
+
+  int rows_written() const { return rows_written_; }
+
+  /// Escapes a single field per RFC 4180.
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ostream* out_;
+  int rows_written_ = 0;
+};
+
+}  // namespace wum
+
+#endif  // WUM_COMMON_CSV_H_

@@ -1,0 +1,97 @@
+#include "wum/common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wum {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bucket_count)),
+      buckets_(bucket_count, 0) {
+  assert(lo < hi);
+  assert(bucket_count >= 1);
+}
+
+void Histogram::Add(double value) {
+  stats_.Add(value);
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<std::size_t>((value - lo_) / width_);
+  if (index >= buckets_.size()) index = buckets_.size() - 1;  // fp edge
+  ++buckets_[index];
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t total = total_count();
+  if (total == 0) return lo_;
+  const double target = q * static_cast<double>(total);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target && underflow_ > 0) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double fraction =
+          (target - cumulative) / static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i) + fraction) * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(std::size_t max_bar_width) const {
+  std::uint64_t peak = 1;
+  for (std::uint64_t b : buckets_) peak = std::max(peak, b);
+  std::ostringstream oss;
+  char label[64];
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double bucket_lo = lo_ + static_cast<double>(i) * width_;
+    std::snprintf(label, sizeof(label), "[%8.2f, %8.2f) %8llu ", bucket_lo,
+                  bucket_lo + width_,
+                  static_cast<unsigned long long>(buckets_[i]));
+    oss << label;
+    const std::size_t bar = static_cast<std::size_t>(
+        static_cast<double>(buckets_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_bar_width));
+    for (std::size_t j = 0; j < bar; ++j) oss << '#';
+    oss << '\n';
+  }
+  if (underflow_ > 0) oss << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) oss << "overflow:  " << overflow_ << '\n';
+  return oss.str();
+}
+
+}  // namespace wum

@@ -1,0 +1,70 @@
+// Streaming summary statistics and a fixed-width-bucket histogram, used to
+// characterize session-length and duration distributions.
+
+#ifndef WUM_COMMON_HISTOGRAM_H_
+#define WUM_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wum {
+
+/// Accumulates count / mean / min / max / variance (Welford) of a stream.
+class RunningStats {
+ public:
+  void Add(double value);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bucket histogram over [lo, hi); out-of-range samples land in
+/// underflow/overflow buckets.
+class Histogram {
+ public:
+  /// Requires lo < hi and bucket_count >= 1.
+  Histogram(double lo, double hi, std::size_t bucket_count);
+
+  void Add(double value);
+
+  std::uint64_t total_count() const { return stats_.count(); }
+  const RunningStats& stats() const { return stats_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_[i]; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Value `v` such that ~q of the mass is below it (linear interpolation
+  /// within buckets). q in [0, 1].
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering with proportional bars.
+  std::string ToAscii(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  RunningStats stats_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_COMMON_HISTOGRAM_H_

@@ -1,0 +1,116 @@
+#include "wum/common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace wum {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  // Seed the full Mersenne state from SplitMix64 per the xoshiro authors'
+  // recommendation for seeding big-state generators.
+  std::seed_seq seq{SplitMix64(&state), SplitMix64(&state), SplitMix64(&state),
+                    SplitMix64(&state)};
+  engine_.seed(seq);
+  fork_state_ = SplitMix64(&state);
+}
+
+Rng Rng::Fork() { return Rng(SplitMix64(&fork_state_)); }
+
+double Rng::NextUnit() {
+  // 53-bit mantissa construction; uniform in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextUnit() < p;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      std::numeric_limits<std::uint64_t>::max() % bound;
+  std::uint64_t value;
+  do {
+    value = engine_();
+  } while (value >= limit);
+  return value % bound;
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(engine_());
+  }
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextNormal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::NextTruncatedNormal(double mean, double stddev,
+                                double lower_bound) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double value = NextNormal(mean, stddev);
+    if (value > lower_bound) return value;
+  }
+  return lower_bound + 1e-9;
+}
+
+std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = NextUnit() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  // Floating point slack: return the last index with positive weight.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected, produces a set; sort for determinism.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = static_cast<std::size_t>(NextBounded(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace wum

@@ -1,0 +1,84 @@
+// Deterministic random number generation. All randomness in the library
+// flows from an explicit 64-bit seed through this wrapper, so identical
+// seeds reproduce identical topologies, sessions and logs.
+
+#ifndef WUM_COMMON_RANDOM_H_
+#define WUM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace wum {
+
+/// SplitMix64 step; used to derive well-distributed child seeds from a
+/// master seed (so agent i's stream is independent of agent j's).
+std::uint64_t SplitMix64(std::uint64_t* state);
+
+/// Deterministic PRNG facade over std::mt19937_64.
+///
+/// The engine is seeded through SplitMix64 to avoid the classic
+/// low-entropy-seed pathologies of Mersenne Twister.
+class Rng {
+ public:
+  /// Constructs a generator whose entire stream is a function of `seed`.
+  explicit Rng(std::uint64_t seed);
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) noexcept = default;
+  Rng& operator=(Rng&&) noexcept = default;
+
+  /// Derives an independent child generator; successive calls yield
+  /// different children.
+  Rng Fork();
+
+  /// Uniform double in [0, 1).
+  double NextUnit();
+
+  /// Returns true with probability `p` (p <= 0 -> never, p >= 1 -> always).
+  bool Bernoulli(double p);
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Normal draw with the given mean / standard deviation.
+  double NextNormal(double mean, double stddev);
+
+  /// Normal draw truncated (by resampling) to be strictly greater than
+  /// `lower_bound`. Falls back to `lower_bound + epsilon` after 64 failed
+  /// attempts (possible only for pathological parameters).
+  double NextTruncatedNormal(double mean, double stddev, double lower_bound);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to `weights[i]`. All weights must be >= 0 with a positive sum.
+  std::size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (std::size_t i = values->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in increasing order.
+  /// Requires k <= n.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t fork_state_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+// Result<T>: value-or-Status, the library's return type for fallible
+// operations that produce a value.
+
+#ifndef WUM_COMMON_RESULT_H_
+#define WUM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "wum/common/status.h"
+
+namespace wum {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Usage:
+///   Result<WebGraph> r = LoadGraph(path);
+///   if (!r.ok()) return r.status();
+///   WebGraph g = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value; undefined if !ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when in the error state.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace wum
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status: `WUM_ASSIGN_OR_RETURN(auto g, LoadGraph(path));`.
+#define WUM_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  WUM_ASSIGN_OR_RETURN_IMPL_(                           \
+      WUM_RESULT_CONCAT_(_wum_result_, __LINE__), lhs, rexpr)
+
+#define WUM_RESULT_CONCAT_INNER_(a, b) a##b
+#define WUM_RESULT_CONCAT_(a, b) WUM_RESULT_CONCAT_INNER_(a, b)
+#define WUM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // WUM_COMMON_RESULT_H_

@@ -1,0 +1,42 @@
+// Small string helpers used across the library.
+
+#ifndef WUM_COMMON_STRING_UTIL_H_
+#define WUM_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wum/common/result.h"
+
+namespace wum {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          char delimiter);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True iff `text` begins with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// ASCII lower-casing (locale independent).
+std::string AsciiToLower(std::string_view text);
+
+/// Parses a base-10 signed/unsigned integer occupying the whole string.
+Result<std::int64_t> ParseInt64(std::string_view text);
+Result<std::uint64_t> ParseUint64(std::string_view text);
+
+/// Parses a floating point number occupying the whole string.
+Result<double> ParseDouble(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator);
+
+}  // namespace wum
+
+#endif  // WUM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,68 @@
+#include "wum/common/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace wum {
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+void Table::Render(std::ostream* out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    *out << '|';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      *out << ' ' << cells[i];
+      for (std::size_t pad = cells[i].size(); pad < widths[i]; ++pad) {
+        *out << ' ';
+      }
+      *out << " |";
+    }
+    *out << '\n';
+  };
+  emit_row(header_);
+  *out << '|';
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    *out << ' ';
+    for (std::size_t pad = 0; pad < widths[i]; ++pad) *out << '-';
+    *out << " |";
+  }
+  *out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::ToString() const {
+  std::ostringstream oss;
+  Render(&oss);
+  return oss.str();
+}
+
+}  // namespace wum

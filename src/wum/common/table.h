@@ -1,0 +1,44 @@
+// Markdown/ASCII table rendering for benchmark and experiment output.
+
+#ifndef WUM_COMMON_TABLE_H_
+#define WUM_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wum {
+
+/// Accumulates rows of string cells and renders them as an aligned
+/// GitHub-flavored-Markdown table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Numeric convenience: label in the first column, fixed-precision
+  /// values after it.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) with padded columns.
+  void Render(std::ostream* out) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace wum
+
+#endif  // WUM_COMMON_TABLE_H_

@@ -1,0 +1,159 @@
+#include "wum/common/time.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "wum/common/string_util.h"
+
+namespace wum {
+namespace {
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[static_cast<std::size_t>(month - 1)];
+}
+
+// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(std::int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0, 399]
+  const std::int64_t yr = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0, 11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                   // [1, 31]
+  const unsigned month = mp + (mp < 10 ? 3 : -9);                      // [1, 12]
+  *y = static_cast<int>(yr + (month <= 2));
+  *m = static_cast<int>(month);
+  *d = static_cast<int>(day);
+}
+
+int MonthFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kMonthNames.size(); ++i) {
+    if (name == kMonthNames[i]) return static_cast<int>(i) + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TimeSeconds MinutesF(double minutes) {
+  return static_cast<TimeSeconds>(std::llround(minutes * 60.0));
+}
+
+bool IsValidCivilTime(const CivilTime& ct) {
+  if (ct.month < 1 || ct.month > 12) return false;
+  if (ct.day < 1 || ct.day > DaysInMonth(ct.year, ct.month)) return false;
+  if (ct.hour < 0 || ct.hour > 23) return false;
+  if (ct.minute < 0 || ct.minute > 59) return false;
+  if (ct.second < 0 || ct.second > 59) return false;
+  return true;
+}
+
+CivilTime CivilTimeFromUnixSeconds(TimeSeconds seconds) {
+  std::int64_t days = seconds / 86400;
+  std::int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  CivilTime ct;
+  CivilFromDays(days, &ct.year, &ct.month, &ct.day);
+  ct.hour = static_cast<int>(rem / 3600);
+  ct.minute = static_cast<int>((rem % 3600) / 60);
+  ct.second = static_cast<int>(rem % 60);
+  return ct;
+}
+
+Result<TimeSeconds> UnixSecondsFromCivilTime(const CivilTime& ct) {
+  if (!IsValidCivilTime(ct)) {
+    return Status::InvalidArgument("invalid civil time");
+  }
+  return DaysFromCivil(ct.year, ct.month, ct.day) * 86400 + ct.hour * 3600 +
+         ct.minute * 60 + ct.second;
+}
+
+std::string FormatClfTimestamp(TimeSeconds unix_seconds) {
+  CivilTime ct = CivilTimeFromUnixSeconds(unix_seconds);
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%02d/%s/%04d:%02d:%02d:%02d +0000",
+                ct.day, kMonthNames[static_cast<std::size_t>(ct.month - 1)],
+                ct.year, ct.hour, ct.minute, ct.second);
+  return buffer;
+}
+
+Result<TimeSeconds> ParseClfTimestamp(std::string_view text) {
+  // Layout: DD/Mon/YYYY:HH:MM:SS [+-]HHMM
+  if (text.size() < 26) {
+    return Status::ParseError("CLF timestamp too short: '" +
+                              std::string(text) + "'");
+  }
+  auto digits = [&](std::size_t pos, std::size_t len, int* out) -> bool {
+    int value = 0;
+    for (std::size_t i = pos; i < pos + len; ++i) {
+      if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+      value = value * 10 + (text[i] - '0');
+    }
+    *out = value;
+    return true;
+  };
+  CivilTime ct;
+  if (!digits(0, 2, &ct.day) || text[2] != '/') {
+    return Status::ParseError("bad CLF day field");
+  }
+  ct.month = MonthFromName(text.substr(3, 3));
+  if (ct.month == 0 || text[6] != '/') {
+    return Status::ParseError("bad CLF month field");
+  }
+  if (!digits(7, 4, &ct.year) || text[11] != ':') {
+    return Status::ParseError("bad CLF year field");
+  }
+  if (!digits(12, 2, &ct.hour) || text[14] != ':' || !digits(15, 2, &ct.minute) ||
+      text[17] != ':' || !digits(18, 2, &ct.second) || text[20] != ' ') {
+    return Status::ParseError("bad CLF time-of-day field");
+  }
+  const char sign = text[21];
+  if (sign != '+' && sign != '-') {
+    return Status::ParseError("bad CLF zone sign");
+  }
+  int zone_hours = 0;
+  int zone_minutes = 0;
+  if (!digits(22, 2, &zone_hours) || !digits(24, 2, &zone_minutes)) {
+    return Status::ParseError("bad CLF zone offset");
+  }
+  if (!IsValidCivilTime(ct)) {
+    return Status::ParseError("CLF timestamp has impossible date fields: '" +
+                              std::string(text) + "'");
+  }
+  WUM_ASSIGN_OR_RETURN(TimeSeconds local, UnixSecondsFromCivilTime(ct));
+  TimeSeconds offset = zone_hours * 3600 + zone_minutes * 60;
+  if (sign == '-') offset = -offset;
+  return local - offset;  // local = utc + offset
+}
+
+}  // namespace wum

@@ -1,0 +1,160 @@
+#include "wum/eval/accuracy.h"
+
+#include <algorithm>
+
+namespace wum {
+
+std::string_view AccuracyDefinitionToString(AccuracyDefinition definition) {
+  switch (definition) {
+    case AccuracyDefinition::kCorrectReconstructions:
+      return "correct-reconstructions";
+    case AccuracyDefinition::kRealSessionsCaptured:
+      return "real-sessions-captured";
+  }
+  return "unknown";
+}
+
+std::string_view CaptureRelationToString(CaptureRelation relation) {
+  switch (relation) {
+    case CaptureRelation::kSubstring:
+      return "substring";
+    case CaptureRelation::kSubsequence:
+      return "subsequence";
+  }
+  return "unknown";
+}
+
+bool IsCaptured(const std::vector<PageId>& real,
+                const std::vector<std::vector<PageId>>& reconstructed,
+                CaptureRelation relation) {
+  for (const std::vector<PageId>& candidate : reconstructed) {
+    const bool hit = relation == CaptureRelation::kSubstring
+                         ? ContainsAsSubstring(candidate, real)
+                         : ContainsAsSubsequence(candidate, real);
+    if (hit) return true;
+  }
+  return false;
+}
+
+std::map<std::string, std::vector<PageRequest>> BuildIpStreams(
+    const Workload& workload, UserIdentity identity) {
+  std::map<std::string, std::vector<PageRequest>> streams;
+  for (const AgentRun& agent : workload.agents) {
+    auto& stream =
+        streams[UserKeyFor(agent.client_ip, agent.user_agent, identity)];
+    stream.insert(stream.end(), agent.trace.server_requests.begin(),
+                  agent.trace.server_requests.end());
+  }
+  for (auto& [ip, stream] : streams) {
+    std::stable_sort(stream.begin(), stream.end(),
+                     [](const PageRequest& a, const PageRequest& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  return streams;
+}
+
+AccuracyEvaluator::AccuracyEvaluator(const WebGraph* graph,
+                                     TimeThresholds thresholds,
+                                     AccuracyOptions options)
+    : graph_(graph), thresholds_(thresholds), options_(options) {}
+
+std::map<std::string, std::vector<ReferredRequest>> BuildIpReferredStreams(
+    const Workload& workload, UserIdentity identity) {
+  std::map<std::string, std::vector<ReferredRequest>> streams;
+  for (const AgentRun& agent : workload.agents) {
+    auto& stream =
+        streams[UserKeyFor(agent.client_ip, agent.user_agent, identity)];
+    const AgentTrace& trace = agent.trace;
+    for (std::size_t i = 0; i < trace.server_requests.size(); ++i) {
+      const PageId referrer = i < trace.server_referrers.size()
+                                  ? trace.server_referrers[i]
+                                  : kInvalidPage;
+      stream.push_back(ReferredRequest{trace.server_requests[i].page,
+                                       referrer,
+                                       trace.server_requests[i].timestamp});
+    }
+  }
+  for (auto& [ip, stream] : streams) {
+    std::stable_sort(stream.begin(), stream.end(),
+                     [](const ReferredRequest& a, const ReferredRequest& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  return streams;
+}
+
+AccuracyResult AccuracyEvaluator::ScoreReconstructions(
+    const Workload& workload,
+    const std::map<std::string, std::vector<Session>>& reconstructions)
+    const {
+  AccuracyResult result;
+  result.definition = options_.definition;
+  std::map<std::string, std::vector<std::vector<PageId>>> eligible;
+  for (const auto& [ip, sessions] : reconstructions) {
+    std::vector<std::vector<PageId>> sequences;
+    sequences.reserve(sessions.size());
+    for (const Session& session : sessions) {
+      result.reconstructed_length.Add(static_cast<double>(session.size()));
+      ++result.reconstructed_sessions;
+      const bool valid =
+          !options_.require_valid_sessions ||
+          (SatisfiesTopologyRule(session, *graph_) &&
+           SatisfiesTimestampRule(session, thresholds_.max_page_stay));
+      if (valid) {
+        ++result.valid_reconstructed_sessions;
+        sequences.push_back(session.PageSequence());
+      }
+    }
+    eligible[ip] = std::move(sequences);
+  }
+
+  // Ground truth grouped by the same user key as the reconstructions.
+  std::map<std::string, std::vector<std::vector<PageId>>> real_by_user;
+  for (const AgentRun& agent : workload.agents) {
+    auto& list = real_by_user[UserKeyFor(agent.client_ip, agent.user_agent,
+                                         options_.identity)];
+    for (const Session& real : agent.trace.real_sessions) {
+      ++result.real_sessions;
+      result.real_length.Add(static_cast<double>(real.size()));
+      list.push_back(real.PageSequence());
+    }
+  }
+
+  for (const auto& [user, reals] : real_by_user) {
+    const auto& candidates = eligible[user];
+    // Recall-style numerator: real sessions captured by some H.
+    for (const std::vector<PageId>& real : reals) {
+      if (IsCaptured(real, candidates, options_.relation)) {
+        ++result.captured_sessions;
+      }
+    }
+    // The paper's numerator: reconstructions capturing some real session.
+    for (const std::vector<PageId>& candidate : candidates) {
+      for (const std::vector<PageId>& real : reals) {
+        const bool hit = options_.relation == CaptureRelation::kSubstring
+                             ? ContainsAsSubstring(candidate, real)
+                             : ContainsAsSubsequence(candidate, real);
+        if (hit) {
+          ++result.correct_reconstructions;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Result<AccuracyResult> AccuracyEvaluator::Evaluate(
+    const Workload& workload, const Sessionizer& sessionizer) const {
+  std::map<std::string, std::vector<Session>> reconstructions;
+  for (const auto& [ip, stream] :
+       BuildIpStreams(workload, options_.identity)) {
+    WUM_ASSIGN_OR_RETURN(std::vector<Session> sessions,
+                         sessionizer.Reconstruct(stream));
+    reconstructions[ip] = std::move(sessions);
+  }
+  return ScoreReconstructions(workload, reconstructions);
+}
+
+}  // namespace wum

@@ -1,0 +1,72 @@
+#include "wum/eval/berendt_measures.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wum {
+
+std::size_t LongestCommonSubsequenceLength(const std::vector<PageId>& a,
+                                           const std::vector<PageId>& b) {
+  if (a.empty() || b.empty()) return 0;
+  // Rolling single-row DP.
+  std::vector<std::size_t> row(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = 0;  // row[j-1] from the previous iteration
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t above = row[j];
+      row[j] = a[i - 1] == b[j - 1] ? diagonal + 1
+                                    : std::max(above, row[j - 1]);
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+double SequenceSimilarity(const std::vector<PageId>& a,
+                          const std::vector<PageId>& b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return static_cast<double>(LongestCommonSubsequenceLength(a, b)) /
+         static_cast<double>(longest);
+}
+
+Result<BerendtMeasures> EvaluateBerendtMeasures(
+    const Workload& workload, const Sessionizer& sessionizer,
+    UserIdentity identity) {
+  // Reconstruct once per user key.
+  std::map<std::string, std::vector<std::vector<PageId>>> reconstructions;
+  for (const auto& [user, stream] : BuildIpStreams(workload, identity)) {
+    WUM_ASSIGN_OR_RETURN(std::vector<Session> sessions,
+                         sessionizer.Reconstruct(stream));
+    auto& sequences = reconstructions[user];
+    sequences.reserve(sessions.size());
+    for (const Session& session : sessions) {
+      sequences.push_back(session.PageSequence());
+    }
+  }
+
+  BerendtMeasures measures;
+  for (const AgentRun& agent : workload.agents) {
+    const auto& candidates = reconstructions[UserKeyFor(
+        agent.client_ip, agent.user_agent, identity)];
+    for (const Session& real : agent.trace.real_sessions) {
+      ++measures.real_sessions;
+      const std::vector<PageId> real_pages = real.PageSequence();
+      double best = 0.0;
+      bool exact = false;
+      for (const std::vector<PageId>& candidate : candidates) {
+        if (candidate == real_pages) {
+          exact = true;
+          best = 1.0;
+          break;
+        }
+        best = std::max(best, SequenceSimilarity(candidate, real_pages));
+      }
+      if (exact) ++measures.exact_reconstructions;
+      measures.similarity_sum += best;
+    }
+  }
+  return measures;
+}
+
+}  // namespace wum

@@ -1,0 +1,62 @@
+// Session-reconstruction quality measures from the paper's reference
+// [2] (Berendt, Mobasher, Spiliopoulou, Nakagawa, "A Framework for the
+// Evaluation of Session Reconstruction Heuristics", INFORMS J. on
+// Computing 15(2), 2003): a *categorical* measure — the fraction of real
+// sessions reconstructed exactly — and a *gradual* measure — the average
+// similarity between each real session and its best-matching
+// reconstruction. They complement the paper's capture metric: capture is
+// binary per session, these quantify how close the misses were.
+
+#ifndef WUM_EVAL_BERENDT_MEASURES_H_
+#define WUM_EVAL_BERENDT_MEASURES_H_
+
+#include <vector>
+
+#include "wum/common/result.h"
+#include "wum/eval/accuracy.h"
+
+namespace wum {
+
+/// Length of the longest common subsequence of two page sequences
+/// (classic O(|a|·|b|) dynamic program).
+std::size_t LongestCommonSubsequenceLength(const std::vector<PageId>& a,
+                                           const std::vector<PageId>& b);
+
+/// Similarity in [0, 1]: |LCS(a, b)| / max(|a|, |b|); 1 iff equal,
+/// 0 iff disjoint (both empty counts as 1).
+double SequenceSimilarity(const std::vector<PageId>& a,
+                          const std::vector<PageId>& b);
+
+/// Aggregate outcome over a workload.
+struct BerendtMeasures {
+  std::size_t real_sessions = 0;
+  /// Real sessions for which some reconstruction is exactly equal
+  /// (page sequence identity) — the categorical measure M_cr.
+  std::size_t exact_reconstructions = 0;
+  /// Sum over real sessions of the best similarity to any
+  /// reconstruction of the same user.
+  double similarity_sum = 0.0;
+
+  double exact_ratio() const {
+    return real_sessions == 0 ? 0.0
+                              : static_cast<double>(exact_reconstructions) /
+                                    static_cast<double>(real_sessions);
+  }
+  double mean_best_similarity() const {
+    return real_sessions == 0 ? 0.0
+                              : similarity_sum /
+                                    static_cast<double>(real_sessions);
+  }
+};
+
+/// Computes both measures for one heuristic on one workload. The same
+/// user-identity grouping as AccuracyEvaluator applies; reconstructions
+/// are NOT validity-filtered (the similarity measure is about closeness,
+/// not eligibility).
+Result<BerendtMeasures> EvaluateBerendtMeasures(
+    const Workload& workload, const Sessionizer& sessionizer,
+    UserIdentity identity = UserIdentity::kClientIp);
+
+}  // namespace wum
+
+#endif  // WUM_EVAL_BERENDT_MEASURES_H_

@@ -1,0 +1,176 @@
+#include "wum/eval/experiment.h"
+
+#include <atomic>
+#include <thread>
+
+#include "wum/session/navigation_heuristic.h"
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+
+namespace wum {
+
+ExperimentConfig PaperDefaults() {
+  ExperimentConfig config;
+  config.site.num_pages = 300;
+  config.site.mean_out_degree = 15.0;
+  // Few entry pages ("index.html"-style): 1% of 300 = 3. The paper keeps
+  // the number unspecified; it must be small for Figure 10's shape to
+  // exist at all — behaviour-1 degrades accuracy only once the entry
+  // pages are exhausted and re-entries are served from the browser
+  // cache, leaving sessions whose first page never reaches the log.
+  config.site.start_page_fraction = 0.01;
+  config.profile.stp = 0.05;
+  config.profile.lpp = 0.30;
+  config.profile.nip = 0.30;
+  config.profile.page_stay_mean_minutes = 2.2;
+  config.profile.page_stay_stddev_minutes = 0.5;
+  config.workload.num_agents = 10000;
+  return config;
+}
+
+std::vector<std::unique_ptr<Sessionizer>> MakePaperHeuristics(
+    const WebGraph* graph, const TimeThresholds& thresholds) {
+  std::vector<std::unique_ptr<Sessionizer>> heuristics;
+  heuristics.push_back(std::make_unique<SessionDurationSessionizer>(
+      thresholds.max_session_duration));
+  heuristics.push_back(
+      std::make_unique<PageStaySessionizer>(thresholds.max_page_stay));
+  heuristics.push_back(std::make_unique<NavigationSessionizer>(graph));
+  SmartSra::Options sra_options;
+  sra_options.thresholds = thresholds;
+  heuristics.push_back(std::make_unique<SmartSra>(graph, sra_options));
+  return heuristics;
+}
+
+Result<WebGraph> GenerateSite(TopologyModel model,
+                              const SiteGeneratorOptions& options, Rng* rng) {
+  switch (model) {
+    case TopologyModel::kUniform:
+      return GenerateUniformSite(options, rng);
+    case TopologyModel::kPowerLaw:
+      return GeneratePowerLawSite(options, rng);
+    case TopologyModel::kHierarchical:
+      return GenerateHierarchicalSite(options, rng);
+  }
+  return Status::InvalidArgument("unknown topology model");
+}
+
+std::string_view SweepParameterToString(SweepParameter parameter) {
+  switch (parameter) {
+    case SweepParameter::kStp:
+      return "STP";
+    case SweepParameter::kLpp:
+      return "LPP";
+    case SweepParameter::kNip:
+      return "NIP";
+  }
+  return "?";
+}
+
+Result<SweepPoint> RunExperimentPoint(const ExperimentConfig& config,
+                                      SweepParameter parameter, double value,
+                                      std::size_t point_index) {
+  ExperimentConfig point_config = config;
+  switch (parameter) {
+    case SweepParameter::kStp:
+      point_config.profile.stp = value;
+      break;
+    case SweepParameter::kLpp:
+      point_config.profile.lpp = value;
+      break;
+    case SweepParameter::kNip:
+      point_config.profile.nip = value;
+      break;
+  }
+  WUM_RETURN_NOT_OK(ValidateAgentProfile(point_config.profile));
+
+  // All points of a sweep share the topology (only behaviour varies),
+  // mirroring the paper's "first fix two parameters" methodology.
+  Rng site_rng(config.seed);
+  Result<WebGraph> graph =
+      GenerateSite(config.topology_model, point_config.site, &site_rng);
+  if (!graph.ok()) return graph.status();
+
+  // Independent workload stream per point, derived from the master seed.
+  std::uint64_t state = config.seed;
+  (void)SplitMix64(&state);
+  state += static_cast<std::uint64_t>(parameter) * 0x9E3779B9ULL +
+           point_index + 1;
+  Rng workload_rng(SplitMix64(&state));
+  WUM_ASSIGN_OR_RETURN(Workload workload,
+                       SimulateWorkload(*graph, point_config.profile,
+                                        point_config.workload, &workload_rng));
+
+  SweepPoint point;
+  point.parameter_value = value;
+  point.real_sessions = workload.TotalRealSessions();
+  AccuracyEvaluator evaluator(&graph.ValueOrDie(), config.thresholds,
+                              config.accuracy);
+  for (const auto& heuristic :
+       MakePaperHeuristics(&graph.ValueOrDie(), config.thresholds)) {
+    WUM_ASSIGN_OR_RETURN(AccuracyResult result,
+                         evaluator.Evaluate(workload, *heuristic));
+    point.scores.push_back(HeuristicScore{heuristic->name(), result});
+  }
+  return point;
+}
+
+Result<std::vector<SweepPoint>> RunSweep(const ExperimentConfig& config,
+                                         SweepParameter parameter,
+                                         const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("sweep needs at least one value");
+  }
+  std::size_t num_threads = config.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, values.size());
+
+  std::vector<Result<SweepPoint>> results(values.size(),
+                                          Status::Internal("not run"));
+  std::atomic<std::size_t> next_index{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next_index.fetch_add(1);
+      if (i >= values.size()) return;
+      results[i] = RunExperimentPoint(config, parameter, values[i], i);
+    }
+  };
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
+  for (Result<SweepPoint>& result : results) {
+    if (!result.ok()) return result.status();
+    points.push_back(std::move(result).ValueOrDie());
+  }
+  return points;
+}
+
+std::vector<double> Figure8StpValues() {
+  std::vector<double> values;
+  for (int percent = 1; percent <= 20; ++percent) {
+    values.push_back(percent / 100.0);
+  }
+  return values;
+}
+
+std::vector<double> Figure9LppValues() {
+  std::vector<double> values;
+  for (int percent = 0; percent <= 90; percent += 10) {
+    values.push_back(percent / 100.0);
+  }
+  return values;
+}
+
+std::vector<double> Figure10NipValues() { return Figure9LppValues(); }
+
+}  // namespace wum

@@ -1,0 +1,92 @@
+// Experiment runner: regenerates the paper's Figures 8-10 — accuracy of
+// the four heuristics as one behaviour probability sweeps while the other
+// two stay at their Table 5 defaults.
+
+#ifndef WUM_EVAL_EXPERIMENT_H_
+#define WUM_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wum/common/time.h"
+#include "wum/eval/accuracy.h"
+#include "wum/session/sessionizer.h"
+#include "wum/simulator/workload.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+
+/// Which topology generator an experiment uses.
+enum class TopologyModel {
+  kUniform = 0,       // the paper's model
+  kPowerLaw = 1,      // ablation
+  kHierarchical = 2,  // ablation
+};
+
+/// Dispatches to the matching generator.
+Result<WebGraph> GenerateSite(TopologyModel model,
+                              const SiteGeneratorOptions& options, Rng* rng);
+
+/// Full configuration of one experiment run.
+struct ExperimentConfig {
+  SiteGeneratorOptions site;
+  TopologyModel topology_model = TopologyModel::kUniform;
+  AgentProfile profile;
+  WorkloadOptions workload;
+  TimeThresholds thresholds;
+  AccuracyOptions accuracy;
+  std::uint64_t seed = 20060102;
+  /// Worker threads for sweep points; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+};
+
+/// Table 5 parameters: 300 pages, mean out-degree 15, stay 2.2 +- 0.5 min,
+/// 10000 agents, STP 5%, LPP 30%, NIP 30%.
+ExperimentConfig PaperDefaults();
+
+/// The four heuristics of §5, in the paper's order, sharing `graph` and
+/// `thresholds`.
+std::vector<std::unique_ptr<Sessionizer>> MakePaperHeuristics(
+    const WebGraph* graph, const TimeThresholds& thresholds);
+
+/// Behaviour parameter a sweep varies.
+enum class SweepParameter { kStp = 0, kLpp = 1, kNip = 2 };
+
+std::string_view SweepParameterToString(SweepParameter parameter);
+
+/// Accuracy of one heuristic at one sweep point.
+struct HeuristicScore {
+  std::string heuristic;
+  AccuracyResult result;
+};
+
+/// One x-value of a figure.
+struct SweepPoint {
+  double parameter_value = 0.0;
+  std::size_t real_sessions = 0;
+  std::vector<HeuristicScore> scores;
+};
+
+/// Runs one point: generates the topology (seeded by config.seed, so all
+/// points of a sweep share the site), simulates the workload (seeded by
+/// config.seed and `point_index`), and scores every heuristic.
+Result<SweepPoint> RunExperimentPoint(const ExperimentConfig& config,
+                                      SweepParameter parameter, double value,
+                                      std::size_t point_index);
+
+/// Runs all points (in parallel across threads; deterministic regardless
+/// of thread count). `values` are probabilities in [0, 1).
+Result<std::vector<SweepPoint>> RunSweep(const ExperimentConfig& config,
+                                         SweepParameter parameter,
+                                         const std::vector<double>& values);
+
+/// The paper's sweep grids: Fig 8 STP 1..20%, Fig 9/10 LPP/NIP 0..90%.
+std::vector<double> Figure8StpValues();
+std::vector<double> Figure9LppValues();
+std::vector<double> Figure10NipValues();
+
+}  // namespace wum
+
+#endif  // WUM_EVAL_EXPERIMENT_H_

@@ -1,0 +1,95 @@
+#include "wum/eval/pattern_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "wum/eval/accuracy.h"
+
+namespace wum {
+
+PatternQuality ComparePatternSets(
+    const std::vector<SequentialPattern>& truth,
+    const std::vector<SequentialPattern>& mined,
+    std::size_t truth_corpus_size, std::size_t mined_corpus_size) {
+  std::map<std::vector<PageId>, std::size_t> truth_map;
+  for (const SequentialPattern& pattern : truth) {
+    truth_map[pattern.pages] = pattern.support;
+  }
+  PatternQuality quality;
+  quality.true_patterns = truth_map.size();
+  std::map<std::vector<PageId>, std::size_t> mined_map;
+  for (const SequentialPattern& pattern : mined) {
+    mined_map[pattern.pages] = pattern.support;
+  }
+  quality.mined_patterns = mined_map.size();
+  double distortion_sum = 0.0;
+  const bool with_distortion =
+      truth_corpus_size > 0 && mined_corpus_size > 0;
+  for (const auto& [pages, support] : mined_map) {
+    auto it = truth_map.find(pages);
+    if (it == truth_map.end()) continue;
+    ++quality.matched;
+    if (with_distortion && support > 0 && it->second > 0) {
+      const double mined_relative =
+          static_cast<double>(support) /
+          static_cast<double>(mined_corpus_size);
+      const double truth_relative =
+          static_cast<double>(it->second) /
+          static_cast<double>(truth_corpus_size);
+      distortion_sum += std::abs(std::log2(mined_relative / truth_relative));
+    }
+  }
+  if (with_distortion && quality.matched > 0) {
+    quality.mean_support_distortion =
+        distortion_sum / static_cast<double>(quality.matched);
+  }
+  return quality;
+}
+
+Result<std::vector<SequentialPattern>> MineCorpus(
+    const std::vector<std::vector<PageId>>& sessions,
+    const PatternQualityOptions& options) {
+  AprioriOptions mining;
+  mining.min_support = std::max<std::size_t>(
+      options.min_support_floor,
+      static_cast<std::size_t>(options.min_support_fraction *
+                               static_cast<double>(sessions.size())));
+  mining.mode = options.mode;
+  AprioriAllMiner miner(mining);
+  WUM_ASSIGN_OR_RETURN(std::vector<SequentialPattern> patterns,
+                       miner.Mine(sessions));
+  std::erase_if(patterns, [&options](const SequentialPattern& pattern) {
+    return pattern.pages.size() < options.min_pattern_length;
+  });
+  return patterns;
+}
+
+Result<PatternQuality> EvaluatePatternQuality(
+    const Workload& workload, const Sessionizer& sessionizer,
+    const PatternQualityOptions& options) {
+  std::vector<std::vector<PageId>> truth_corpus;
+  for (const AgentRun& agent : workload.agents) {
+    for (const Session& session : agent.trace.real_sessions) {
+      truth_corpus.push_back(session.PageSequence());
+    }
+  }
+  std::vector<std::vector<PageId>> mined_corpus;
+  for (const auto& [ip, stream] :
+       BuildIpStreams(workload, options.identity)) {
+    WUM_ASSIGN_OR_RETURN(std::vector<Session> sessions,
+                         sessionizer.Reconstruct(stream));
+    for (const Session& session : sessions) {
+      mined_corpus.push_back(session.PageSequence());
+    }
+  }
+  WUM_ASSIGN_OR_RETURN(std::vector<SequentialPattern> truth,
+                       MineCorpus(truth_corpus, options));
+  WUM_ASSIGN_OR_RETURN(std::vector<SequentialPattern> mined,
+                       MineCorpus(mined_corpus, options));
+  return ComparePatternSets(truth, mined, truth_corpus.size(),
+                            mined_corpus.size());
+}
+
+}  // namespace wum

@@ -1,0 +1,87 @@
+// Downstream mining quality: the paper's motivation for accurate session
+// reconstruction is that pattern discovery runs on the sessions. This
+// module mines frequent navigation patterns from a heuristic's
+// reconstruction and from the ground truth, and scores the overlap —
+// precision/recall/F1 of the *knowledge* extracted, not just of the
+// sessions themselves.
+
+#ifndef WUM_EVAL_PATTERN_QUALITY_H_
+#define WUM_EVAL_PATTERN_QUALITY_H_
+
+#include <vector>
+
+#include "wum/clf/user_partitioner.h"
+#include "wum/common/result.h"
+#include "wum/mining/apriori_all.h"
+#include "wum/session/sessionizer.h"
+#include "wum/simulator/workload.h"
+
+namespace wum {
+
+/// Outcome of comparing two mined pattern sets by page sequence.
+struct PatternQuality {
+  std::size_t true_patterns = 0;   // mined from ground truth
+  std::size_t mined_patterns = 0;  // mined from the reconstruction
+  std::size_t matched = 0;         // sequences present in both
+  /// Mean over matched patterns of |log2(rel. support in reconstruction /
+  /// rel. support in truth)| — how badly fragmentation or merging skews
+  /// the support estimates even when the pattern itself is found.
+  /// 0 when corpus sizes were not supplied.
+  double mean_support_distortion = 0.0;
+
+  double precision() const {
+    return mined_patterns == 0 ? 0.0
+                               : static_cast<double>(matched) /
+                                     static_cast<double>(mined_patterns);
+  }
+  double recall() const {
+    return true_patterns == 0 ? 0.0
+                              : static_cast<double>(matched) /
+                                    static_cast<double>(true_patterns);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Set comparison by page sequence. When both corpus sizes are non-zero
+/// the support-distortion statistic is computed from the patterns'
+/// relative supports; otherwise supports are ignored.
+PatternQuality ComparePatternSets(
+    const std::vector<SequentialPattern>& truth,
+    const std::vector<SequentialPattern>& mined,
+    std::size_t truth_corpus_size = 0, std::size_t mined_corpus_size = 0);
+
+/// Mining configuration for the comparison.
+struct PatternQualityOptions {
+  /// Support threshold as a fraction of each side's session count
+  /// (heuristics that fragment into more sessions are thresholded
+  /// against their own corpus size), floored at `min_support_floor`.
+  double min_support_fraction = 0.005;
+  std::size_t min_support_floor = 2;
+  MatchMode mode = MatchMode::kContiguous;
+  /// Patterns shorter than this are ignored (length-1 patterns carry no
+  /// navigation information and would inflate every score).
+  std::size_t min_pattern_length = 2;
+  /// User identity used when building reconstruction inputs.
+  UserIdentity identity = UserIdentity::kClientIp;
+};
+
+/// Mines both sides and compares. The ground-truth corpus is the
+/// workload's real sessions; the reconstruction corpus is the
+/// heuristic's output over the per-user streams.
+Result<PatternQuality> EvaluatePatternQuality(
+    const Workload& workload, const Sessionizer& sessionizer,
+    const PatternQualityOptions& options = PatternQualityOptions());
+
+/// Helper: mines patterns of length >= min_pattern_length from a corpus
+/// with the relative support rule above.
+Result<std::vector<SequentialPattern>> MineCorpus(
+    const std::vector<std::vector<PageId>>& sessions,
+    const PatternQualityOptions& options);
+
+}  // namespace wum
+
+#endif  // WUM_EVAL_PATTERN_QUALITY_H_

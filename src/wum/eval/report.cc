@@ -1,0 +1,108 @@
+#include "wum/eval/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wum/common/csv.h"
+#include "wum/common/table.h"
+
+namespace wum {
+namespace {
+
+// The last score is heur4 by construction (MakePaperHeuristics order).
+double BestBaselineAccuracy(const SweepPoint& point) {
+  double best = 0.0;
+  for (std::size_t i = 0; i + 1 < point.scores.size(); ++i) {
+    best = std::max(best, point.scores[i].result.accuracy());
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string FormatRelativeMargin(double margin) {
+  const std::string value = FormatDouble(margin * 100.0, 1) + "%";
+  return margin >= 0 ? "+" + value : value;
+}
+
+double SmartSraRelativeMargin(const SweepPoint& point) {
+  if (point.scores.empty()) return 0.0;
+  const double best_baseline = BestBaselineAccuracy(point);
+  if (best_baseline <= 0.0) return 0.0;
+  return point.scores.back().result.accuracy() / best_baseline - 1.0;
+}
+
+void RenderSweepTable(const std::vector<SweepPoint>& points,
+                      SweepParameter parameter, std::ostream* out) {
+  std::vector<std::string> header{std::string(SweepParameterToString(parameter)) +
+                                  " %"};
+  if (!points.empty()) {
+    for (const HeuristicScore& score : points.front().scores) {
+      header.push_back(score.heuristic + " %");
+    }
+  }
+  header.push_back("heur4 vs best other");
+  header.push_back("real sessions");
+  Table table(std::move(header));
+  for (const SweepPoint& point : points) {
+    std::vector<std::string> row;
+    row.push_back(FormatDouble(point.parameter_value * 100.0, 0));
+    for (const HeuristicScore& score : point.scores) {
+      row.push_back(FormatDouble(score.result.accuracy() * 100.0, 2));
+    }
+    row.push_back(FormatRelativeMargin(SmartSraRelativeMargin(point)));
+    row.push_back(std::to_string(point.real_sessions));
+    table.AddRow(std::move(row));
+  }
+  table.Render(out);
+}
+
+void RenderSweepCsv(const std::vector<SweepPoint>& points,
+                    SweepParameter parameter, std::ostream* out) {
+  CsvWriter csv(out);
+  std::vector<std::string> header{
+      std::string(SweepParameterToString(parameter))};
+  if (!points.empty()) {
+    for (const HeuristicScore& score : points.front().scores) {
+      header.push_back(score.heuristic);
+    }
+  }
+  header.emplace_back("real_sessions");
+  csv.WriteRow(header);
+  for (const SweepPoint& point : points) {
+    std::vector<std::string> row{FormatDouble(point.parameter_value, 2)};
+    for (const HeuristicScore& score : point.scores) {
+      row.push_back(FormatDouble(score.result.accuracy(), 4));
+    }
+    row.push_back(std::to_string(point.real_sessions));
+    csv.WriteRow(row);
+  }
+}
+
+std::string SummarizeSweepShape(const std::vector<SweepPoint>& points) {
+  if (points.empty()) return "no points";
+  std::size_t smart_sra_wins = 0;
+  double min_margin = 1e300;
+  double max_margin = -1e300;
+  for (const SweepPoint& point : points) {
+    const double margin = SmartSraRelativeMargin(point);
+    min_margin = std::min(min_margin, margin);
+    max_margin = std::max(max_margin, margin);
+    if (point.scores.back().result.accuracy() > BestBaselineAccuracy(point)) {
+      ++smart_sra_wins;
+    }
+  }
+  std::ostringstream oss;
+  oss << "Smart-SRA best at " << smart_sra_wins << "/" << points.size()
+      << " points; relative margin over best baseline in ["
+      << FormatDouble(min_margin * 100.0, 1) << "%, "
+      << FormatDouble(max_margin * 100.0, 1) << "%]; heur4 accuracy "
+      << FormatDouble(points.front().scores.back().result.accuracy() * 100.0,
+                      1)
+      << "% -> "
+      << FormatDouble(points.back().scores.back().result.accuracy() * 100.0, 1)
+      << "% across the sweep";
+  return oss.str();
+}
+
+}  // namespace wum

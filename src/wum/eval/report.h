@@ -1,0 +1,39 @@
+// Rendering of sweep results as the paper-style series (Markdown table +
+// CSV) for the figure benches and EXPERIMENTS.md.
+
+#ifndef WUM_EVAL_REPORT_H_
+#define WUM_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "wum/eval/experiment.h"
+
+namespace wum {
+
+/// Markdown table: one row per sweep point, one accuracy column (in %)
+/// per heuristic, plus a relative-margin column
+/// (heur4 over the best of heur1-3).
+void RenderSweepTable(const std::vector<SweepPoint>& points,
+                      SweepParameter parameter, std::ostream* out);
+
+/// CSV with the same content, for plotting.
+void RenderSweepCsv(const std::vector<SweepPoint>& points,
+                    SweepParameter parameter, std::ostream* out);
+
+/// One-paragraph shape summary: who wins, min/max relative margin,
+/// monotonicity of each series. Used by the figure benches to state the
+/// paper-comparison verdict machine-readably.
+std::string SummarizeSweepShape(const std::vector<SweepPoint>& points);
+
+/// Smart-SRA's relative advantage at one point: accuracy(heur4) /
+/// max(accuracy(heur1..3)) - 1. Returns 0 when the best baseline is 0.
+double SmartSraRelativeMargin(const SweepPoint& point);
+
+/// "+87.0%" / "-9.9%" rendering of a relative margin.
+std::string FormatRelativeMargin(double margin);
+
+}  // namespace wum
+
+#endif  // WUM_EVAL_REPORT_H_

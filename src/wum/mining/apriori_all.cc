@@ -1,0 +1,140 @@
+#include "wum/mining/apriori_all.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace wum {
+namespace {
+
+using Pattern = std::vector<PageId>;
+
+// Distinct frequent single pages.
+std::vector<SequentialPattern> MineLevel1(
+    const std::vector<std::vector<PageId>>& sessions,
+    std::size_t min_support) {
+  std::map<PageId, std::size_t> support;
+  std::set<PageId> in_session;
+  for (const std::vector<PageId>& session : sessions) {
+    in_session.clear();
+    in_session.insert(session.begin(), session.end());
+    for (PageId page : in_session) ++support[page];
+  }
+  std::vector<SequentialPattern> level;
+  for (const auto& [page, count] : support) {
+    if (count >= min_support) {
+      level.push_back(SequentialPattern{{page}, count});
+    }
+  }
+  return level;
+}
+
+// Contiguous mode: count the distinct k-grams of every session whose
+// length-(k-1) prefix and suffix are both frequent (apriori property for
+// contiguous patterns), in one linear pass.
+std::vector<SequentialPattern> NextLevelContiguous(
+    const std::vector<std::vector<PageId>>& sessions,
+    const std::set<Pattern>& previous_frequent, std::size_t k,
+    std::size_t min_support) {
+  std::map<Pattern, std::size_t> support;
+  std::set<Pattern> seen_in_session;
+  for (const std::vector<PageId>& session : sessions) {
+    if (session.size() < k) continue;
+    seen_in_session.clear();
+    for (std::size_t start = 0; start + k <= session.size(); ++start) {
+      Pattern gram(session.begin() + static_cast<std::ptrdiff_t>(start),
+                   session.begin() + static_cast<std::ptrdiff_t>(start + k));
+      Pattern prefix(gram.begin(), gram.end() - 1);
+      Pattern suffix(gram.begin() + 1, gram.end());
+      if (!previous_frequent.contains(prefix) ||
+          !previous_frequent.contains(suffix)) {
+        continue;
+      }
+      if (seen_in_session.insert(gram).second) ++support[gram];
+    }
+  }
+  std::vector<SequentialPattern> level;
+  for (const auto& [gram, count] : support) {
+    if (count >= min_support) level.push_back(SequentialPattern{gram, count});
+  }
+  return level;
+}
+
+// Subsequence mode: GSP-style join (a + last(b) when a's suffix equals
+// b's prefix), apriori prune (every delete-one sub-pattern frequent),
+// then a counting scan.
+std::vector<SequentialPattern> NextLevelSubsequence(
+    const std::vector<std::vector<PageId>>& sessions,
+    const std::vector<SequentialPattern>& previous_level,
+    const std::set<Pattern>& previous_frequent, std::size_t min_support) {
+  std::set<Pattern> candidates;
+  for (const SequentialPattern& a : previous_level) {
+    for (const SequentialPattern& b : previous_level) {
+      if (std::equal(a.pages.begin() + 1, a.pages.end(), b.pages.begin(),
+                     b.pages.end() - 1)) {
+        Pattern candidate = a.pages;
+        candidate.push_back(b.pages.back());
+        candidates.insert(std::move(candidate));
+      }
+    }
+  }
+  std::vector<SequentialPattern> level;
+  Pattern sub;
+  for (const Pattern& candidate : candidates) {
+    bool prunable = false;
+    for (std::size_t skip = 0; skip < candidate.size() && !prunable; ++skip) {
+      sub.clear();
+      for (std::size_t i = 0; i < candidate.size(); ++i) {
+        if (i != skip) sub.push_back(candidate[i]);
+      }
+      if (!previous_frequent.contains(sub)) prunable = true;
+    }
+    if (prunable) continue;
+    const std::size_t support =
+        CountSupport(candidate, sessions, MatchMode::kSubsequence);
+    if (support >= min_support) {
+      level.push_back(SequentialPattern{candidate, support});
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+AprioriAllMiner::AprioriAllMiner(AprioriOptions options)
+    : options_(options) {}
+
+Result<std::vector<SequentialPattern>> AprioriAllMiner::Mine(
+    const std::vector<std::vector<PageId>>& sessions) const {
+  if (options_.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  std::vector<SequentialPattern> all;
+  std::vector<SequentialPattern> level =
+      MineLevel1(sessions, options_.min_support);
+  std::size_t k = 1;
+  while (!level.empty()) {
+    all.insert(all.end(), level.begin(), level.end());
+    if (options_.max_length != 0 && k >= options_.max_length) break;
+    std::set<Pattern> frequent_set;
+    for (const SequentialPattern& pattern : level) {
+      frequent_set.insert(pattern.pages);
+    }
+    ++k;
+    level = options_.mode == MatchMode::kContiguous
+                ? NextLevelContiguous(sessions, frequent_set, k,
+                                      options_.min_support)
+                : NextLevelSubsequence(sessions, level, frequent_set,
+                                       options_.min_support);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SequentialPattern& a, const SequentialPattern& b) {
+              if (a.pages.size() != b.pages.size()) {
+                return a.pages.size() < b.pages.size();
+              }
+              return a.pages < b.pages;
+            });
+  return all;
+}
+
+}  // namespace wum

@@ -1,0 +1,45 @@
+// AprioriAll-style sequential pattern miner (Agrawal & Srikant lineage),
+// level-wise: frequent length-k patterns are joined into length-(k+1)
+// candidates, pruned by the apriori property, then support-counted
+// against the session database.
+
+#ifndef WUM_MINING_APRIORI_ALL_H_
+#define WUM_MINING_APRIORI_ALL_H_
+
+#include <vector>
+
+#include "wum/common/result.h"
+#include "wum/mining/pattern.h"
+
+namespace wum {
+
+/// Miner configuration.
+struct AprioriOptions {
+  /// Minimum number of supporting sessions; must be >= 1.
+  std::size_t min_support = 2;
+  /// 0 = unbounded pattern length.
+  std::size_t max_length = 0;
+  /// Occurrence semantics (see MatchMode).
+  MatchMode mode = MatchMode::kContiguous;
+};
+
+/// Level-wise frequent sequential pattern mining.
+class AprioriAllMiner {
+ public:
+  explicit AprioriAllMiner(AprioriOptions options = AprioriOptions());
+
+  /// Mines all frequent patterns of `sessions` (page-id sequences).
+  /// Output is sorted by (length, pages) — identical ordering to
+  /// BruteForceFrequentPatterns, enabling direct equivalence checks.
+  Result<std::vector<SequentialPattern>> Mine(
+      const std::vector<std::vector<PageId>>& sessions) const;
+
+  const AprioriOptions& options() const { return options_; }
+
+ private:
+  AprioriOptions options_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_MINING_APRIORI_ALL_H_

@@ -1,0 +1,89 @@
+#include "wum/mining/markov_predictor.h"
+
+#include <algorithm>
+
+namespace wum {
+
+MarkovPredictor::MarkovPredictor(std::size_t num_pages)
+    : counts_(num_pages), row_totals_(num_pages, 0) {}
+
+Status MarkovPredictor::Train(const std::vector<PageId>& session) {
+  for (PageId page : session) {
+    if (page >= counts_.size()) {
+      return Status::InvalidArgument("session references page " +
+                                     std::to_string(page) +
+                                     " outside the model");
+    }
+  }
+  for (std::size_t i = 1; i < session.size(); ++i) {
+    ++counts_[session[i - 1]][session[i]];
+    ++row_totals_[session[i - 1]];
+    ++transitions_observed_;
+  }
+  return Status::OK();
+}
+
+Status MarkovPredictor::TrainAll(
+    const std::vector<std::vector<PageId>>& sessions) {
+  for (const std::vector<PageId>& session : sessions) {
+    WUM_RETURN_NOT_OK(Train(session));
+  }
+  return Status::OK();
+}
+
+std::vector<PageId> MarkovPredictor::PredictNext(PageId page,
+                                                 std::size_t k) const {
+  if (page >= counts_.size() || k == 0) return {};
+  const auto& row = counts_[page];
+  std::vector<std::pair<PageId, std::uint64_t>> ranked(row.begin(), row.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<PageId> result;
+  result.reserve(std::min(k, ranked.size()));
+  for (std::size_t i = 0; i < ranked.size() && i < k; ++i) {
+    result.push_back(ranked[i].first);
+  }
+  return result;
+}
+
+double MarkovPredictor::TransitionProbability(PageId from, PageId to) const {
+  if (from >= counts_.size() || row_totals_[from] == 0) return 0.0;
+  auto it = counts_[from].find(to);
+  if (it == counts_[from].end()) return 0.0;
+  return static_cast<double>(it->second) /
+         static_cast<double>(row_totals_[from]);
+}
+
+std::size_t MarkovPredictor::states_observed() const {
+  std::size_t states = 0;
+  for (std::uint64_t total : row_totals_) {
+    if (total > 0) ++states;
+  }
+  return states;
+}
+
+PredictionScore EvaluatePredictor(
+    const MarkovPredictor& predictor,
+    const std::vector<std::vector<PageId>>& test_sessions, std::size_t k) {
+  PredictionScore score;
+  for (const std::vector<PageId>& session : test_sessions) {
+    for (std::size_t i = 1; i < session.size(); ++i) {
+      std::vector<PageId> predicted = predictor.PredictNext(session[i - 1], k);
+      if (predicted.empty()) {
+        ++score.skipped;
+        continue;
+      }
+      ++score.predictions;
+      if (std::find(predicted.begin(), predicted.end(), session[i]) !=
+          predicted.end()) {
+        ++score.hits;
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace wum

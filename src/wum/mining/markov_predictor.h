@@ -1,0 +1,71 @@
+// Next-page prediction, the paper's headline WUM application ("web
+// pre-fetching, link prediction"): a first-order Markov model over page
+// transitions, trained on a session corpus. Session reconstruction
+// quality propagates directly into prediction quality, which the
+// prediction ablation bench quantifies per heuristic.
+
+#ifndef WUM_MINING_MARKOV_PREDICTOR_H_
+#define WUM_MINING_MARKOV_PREDICTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "wum/common/result.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// First-order Markov chain over page transitions.
+class MarkovPredictor {
+ public:
+  explicit MarkovPredictor(std::size_t num_pages);
+
+  /// Accumulates the transitions of one session (consecutive page
+  /// pairs). Sessions with out-of-range pages are rejected.
+  Status Train(const std::vector<PageId>& session);
+
+  /// Convenience: trains on a whole corpus.
+  Status TrainAll(const std::vector<std::vector<PageId>>& sessions);
+
+  /// The up-to-k most likely successors of `page`, most likely first
+  /// (count ties broken by page id). Empty for unseen pages.
+  std::vector<PageId> PredictNext(PageId page, std::size_t k) const;
+
+  /// P(to | from) under the trained counts; 0 for unseen pairs.
+  double TransitionProbability(PageId from, PageId to) const;
+
+  /// Total transitions observed.
+  std::uint64_t transitions_observed() const { return transitions_observed_; }
+  /// Pages with at least one outgoing observation.
+  std::size_t states_observed() const;
+
+ private:
+  std::vector<std::map<PageId, std::uint64_t>> counts_;
+  std::vector<std::uint64_t> row_totals_;
+  std::uint64_t transitions_observed_ = 0;
+};
+
+/// Outcome of scoring a predictor on a test corpus.
+struct PredictionScore {
+  std::uint64_t predictions = 0;  // transitions with a non-empty top-k
+  std::uint64_t hits = 0;         // true successor inside the top-k
+  std::uint64_t skipped = 0;      // transitions from unseen pages
+
+  double hit_rate() const {
+    return predictions == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(predictions);
+  }
+};
+
+/// Hit-rate@k over every transition of the test sessions: the model
+/// predicts the top-k successors of the current page; a hit means the
+/// session's true next page is among them.
+PredictionScore EvaluatePredictor(
+    const MarkovPredictor& predictor,
+    const std::vector<std::vector<PageId>>& test_sessions, std::size_t k);
+
+}  // namespace wum
+
+#endif  // WUM_MINING_MARKOV_PREDICTOR_H_

@@ -1,0 +1,125 @@
+#include "wum/mining/pattern.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "wum/session/session.h"
+
+namespace wum {
+
+std::string_view MatchModeToString(MatchMode mode) {
+  switch (mode) {
+    case MatchMode::kContiguous:
+      return "contiguous";
+    case MatchMode::kSubsequence:
+      return "subsequence";
+  }
+  return "unknown";
+}
+
+std::string PatternToString(const SequentialPattern& pattern) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < pattern.pages.size(); ++i) {
+    if (i > 0) oss << " -> ";
+    oss << 'P' << pattern.pages[i];
+  }
+  oss << " (support " << pattern.support << ')';
+  return oss.str();
+}
+
+namespace {
+
+bool Matches(const std::vector<PageId>& session,
+             const std::vector<PageId>& pattern, MatchMode mode) {
+  return mode == MatchMode::kContiguous
+             ? ContainsAsSubstring(session, pattern)
+             : ContainsAsSubsequence(session, pattern);
+}
+
+// Collects every distinct pattern of `session` up to max_length.
+void EnumeratePatterns(const std::vector<PageId>& session,
+                       std::size_t max_length, MatchMode mode,
+                       std::set<std::vector<PageId>>* out) {
+  if (mode == MatchMode::kContiguous) {
+    for (std::size_t start = 0; start < session.size(); ++start) {
+      std::vector<PageId> pattern;
+      for (std::size_t len = 1;
+           len <= max_length && start + len <= session.size(); ++len) {
+        pattern.push_back(session[start + len - 1]);
+        out->insert(pattern);
+      }
+    }
+    return;
+  }
+  // Subsequences: DFS over index choices (exponential; test-sized only).
+  std::vector<PageId> pattern;
+  auto dfs = [&](auto&& self, std::size_t next_index) -> void {
+    if (!pattern.empty()) out->insert(pattern);
+    if (pattern.size() == max_length) return;
+    for (std::size_t i = next_index; i < session.size(); ++i) {
+      pattern.push_back(session[i]);
+      self(self, i + 1);
+      pattern.pop_back();
+    }
+  };
+  dfs(dfs, 0);
+}
+
+}  // namespace
+
+std::size_t CountSupport(const std::vector<PageId>& pattern,
+                         const std::vector<std::vector<PageId>>& sessions,
+                         MatchMode mode) {
+  std::size_t support = 0;
+  for (const std::vector<PageId>& session : sessions) {
+    if (Matches(session, pattern, mode)) ++support;
+  }
+  return support;
+}
+
+std::vector<SequentialPattern> BruteForceFrequentPatterns(
+    const std::vector<std::vector<PageId>>& sessions, std::size_t min_support,
+    MatchMode mode, std::size_t max_length) {
+  std::set<std::vector<PageId>> candidates;
+  for (const std::vector<PageId>& session : sessions) {
+    EnumeratePatterns(session, max_length, mode, &candidates);
+  }
+  std::vector<SequentialPattern> frequent;
+  for (const std::vector<PageId>& candidate : candidates) {
+    const std::size_t support = CountSupport(candidate, sessions, mode);
+    if (support >= min_support) {
+      frequent.push_back(SequentialPattern{candidate, support});
+    }
+  }
+  std::sort(frequent.begin(), frequent.end(),
+            [](const SequentialPattern& a, const SequentialPattern& b) {
+              if (a.pages.size() != b.pages.size()) {
+                return a.pages.size() < b.pages.size();
+              }
+              return a.pages < b.pages;
+            });
+  return frequent;
+}
+
+std::vector<SequentialPattern> FilterMaximalPatterns(
+    std::vector<SequentialPattern> patterns, MatchMode mode) {
+  std::vector<SequentialPattern> maximal;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < patterns.size() && !subsumed; ++j) {
+      if (i == j || patterns[j].pages.size() <= patterns[i].pages.size()) {
+        continue;
+      }
+      if (patterns[j].support >= patterns[i].support &&
+          Matches(patterns[j].pages, patterns[i].pages, mode)) {
+        subsumed = true;
+      }
+    }
+    if (!subsumed) maximal.push_back(std::move(patterns[i]));
+  }
+  return maximal;
+}
+
+}  // namespace wum

@@ -1,0 +1,62 @@
+// Sequential navigation patterns over reconstructed sessions — the
+// pattern-discovery stage the paper motivates ("discovering useful
+// patterns from these sessions by using pattern discovery techniques
+// like apriori"). Includes a brute-force reference miner used to verify
+// the AprioriAll implementation property-style.
+
+#ifndef WUM_MINING_PATTERN_H_
+#define WUM_MINING_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// How a pattern must occur inside a session to support it.
+enum class MatchMode {
+  /// Contiguous run of pages — frequent navigation *paths*. Natural for
+  /// Smart-SRA output, whose sessions are hyperlink paths.
+  kContiguous = 0,
+  /// Order-preserving with gaps — classic sequential patterns.
+  kSubsequence = 1,
+};
+
+std::string_view MatchModeToString(MatchMode mode);
+
+/// A mined pattern and the number of sessions containing it.
+struct SequentialPattern {
+  std::vector<PageId> pages;
+  std::size_t support = 0;
+
+  friend bool operator==(const SequentialPattern&,
+                         const SequentialPattern&) = default;
+};
+
+/// Renders "P3 -> P7 -> P1 (support 42)".
+std::string PatternToString(const SequentialPattern& pattern);
+
+/// Number of sessions containing `pattern` under `mode` (each session
+/// counts at most once).
+std::size_t CountSupport(const std::vector<PageId>& pattern,
+                         const std::vector<std::vector<PageId>>& sessions,
+                         MatchMode mode);
+
+/// Reference miner: enumerates every occurring pattern up to
+/// `max_length` by exhaustive generation and filters by support.
+/// Exponential in kSubsequence mode — test-sized inputs only.
+/// Patterns are returned sorted by (length, pages).
+std::vector<SequentialPattern> BruteForceFrequentPatterns(
+    const std::vector<std::vector<PageId>>& sessions, std::size_t min_support,
+    MatchMode mode, std::size_t max_length);
+
+/// Keeps only patterns not contained (under `mode`) in another retained
+/// pattern with support >= theirs.
+std::vector<SequentialPattern> FilterMaximalPatterns(
+    std::vector<SequentialPattern> patterns, MatchMode mode);
+
+}  // namespace wum
+
+#endif  // WUM_MINING_PATTERN_H_

@@ -1,0 +1,102 @@
+#include "wum/session/referrer_heuristic.h"
+
+#include <vector>
+
+namespace wum {
+
+ReferrerSessionizer::ReferrerSessionizer(const WebGraph* graph)
+    : ReferrerSessionizer(graph, Options()) {}
+
+ReferrerSessionizer::ReferrerSessionizer(const WebGraph* graph,
+                                         Options options)
+    : graph_(graph), options_(options) {}
+
+Result<std::vector<Session>> ReferrerSessionizer::Reconstruct(
+    const std::vector<ReferredRequest>& requests) const {
+  const TimeSeconds rho = options_.thresholds.max_page_stay;
+  const TimeSeconds delta = options_.thresholds.max_session_duration;
+
+  std::vector<Session> done;
+  // Open sessions, most recently active last.
+  std::vector<Session> open;
+  std::vector<bool> page_seen(graph_->num_pages(), false);
+
+  TimeSeconds previous_timestamp = 0;
+  bool first = true;
+  for (const ReferredRequest& request : requests) {
+    if (request.page >= graph_->num_pages()) {
+      return Status::InvalidArgument("request references page " +
+                                     std::to_string(request.page) +
+                                     " outside the topology");
+    }
+    if (request.referrer != kInvalidPage &&
+        request.referrer >= graph_->num_pages()) {
+      return Status::InvalidArgument("referrer outside the topology");
+    }
+    if (!first && request.timestamp < previous_timestamp) {
+      return Status::InvalidArgument(
+          "request stream not sorted by timestamp");
+    }
+    first = false;
+    previous_timestamp = request.timestamp;
+
+    // Retire sessions that can no longer be extended.
+    for (std::size_t i = 0; i < open.size();) {
+      if (request.timestamp - open[i].requests.back().timestamp > rho) {
+        done.push_back(std::move(open[i]));
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    const bool linked_referrer =
+        request.referrer != kInvalidPage &&
+        graph_->HasLink(request.referrer, request.page);
+    bool placed = false;
+    if (linked_referrer) {
+      // Most recently active open session headed by the referrer.
+      for (std::size_t i = open.size(); i-- > 0;) {
+        Session& session = open[i];
+        if (session.requests.back().page == request.referrer &&
+            request.timestamp - session.requests.front().timestamp <=
+                delta) {
+          session.requests.push_back(
+              PageRequest{request.page, request.timestamp});
+          // Move to the back: most recently active.
+          if (i + 1 != open.size()) {
+            Session moved = std::move(session);
+            open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+            open.push_back(std::move(moved));
+          }
+          placed = true;
+          break;
+        }
+      }
+      if (!placed && page_seen[request.referrer]) {
+        // Cache backtrack: the referrer was re-viewed locally, then this
+        // request branched from it. Its revisit left no log record, so
+        // it enters the reconstruction with the branch's timestamp.
+        Session session;
+        session.requests.push_back(
+            PageRequest{request.referrer, request.timestamp});
+        session.requests.push_back(
+            PageRequest{request.page, request.timestamp});
+        open.push_back(std::move(session));
+        placed = true;
+      }
+    }
+    if (!placed) {
+      Session session;
+      session.requests.push_back(
+          PageRequest{request.page, request.timestamp});
+      open.push_back(std::move(session));
+    }
+    page_seen[request.page] = true;
+    if (request.referrer != kInvalidPage) page_seen[request.referrer] = true;
+  }
+  for (Session& session : open) done.push_back(std::move(session));
+  return done;
+}
+
+}  // namespace wum

@@ -1,0 +1,87 @@
+#include "wum/session/session_io.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "wum/common/string_util.h"
+
+namespace wum {
+namespace {
+
+constexpr std::string_view kMagic = "websra-sessions";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+void WriteSessionsText(const std::vector<UserSession>& sessions,
+                       std::ostream* out) {
+  *out << kMagic << ' ' << kVersion << '\n';
+  for (const UserSession& entry : sessions) {
+    *out << entry.user_key;
+    for (const PageRequest& request : entry.session.requests) {
+      *out << '\t' << request.page << ':' << request.timestamp;
+    }
+    *out << '\n';
+  }
+}
+
+Result<std::vector<UserSession>> ReadSessionsText(std::istream* in) {
+  std::vector<UserSession> sessions;
+  std::string line;
+  bool saw_magic = false;
+  int line_number = 0;
+  auto error = [&](const std::string& what) {
+    return Status::ParseError("sessions line " + std::to_string(line_number) +
+                              ": " + what);
+  };
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_magic) {
+      std::string_view header = StripWhitespace(line);
+      std::string expected = std::string(kMagic) + " " +
+                             std::to_string(kVersion);
+      if (header != expected) {
+        return error("expected header '" + expected + "'");
+      }
+      saw_magic = true;
+      continue;
+    }
+    std::vector<std::string_view> fields = SplitString(line, '\t');
+    UserSession entry;
+    entry.user_key = std::string(fields[0]);
+    if (entry.user_key.empty()) return error("empty user key");
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      std::vector<std::string_view> parts = SplitString(fields[i], ':');
+      if (parts.size() != 2) {
+        return error("request field must be '<page>:<timestamp>'");
+      }
+      WUM_ASSIGN_OR_RETURN(std::uint64_t page, ParseUint64(parts[0]));
+      WUM_ASSIGN_OR_RETURN(std::int64_t timestamp, ParseInt64(parts[1]));
+      if (page >= kInvalidPage) return error("page id out of range");
+      entry.session.requests.push_back(
+          PageRequest{static_cast<PageId>(page), timestamp});
+    }
+    sessions.push_back(std::move(entry));
+  }
+  if (!saw_magic) return Status::ParseError("empty sessions stream");
+  return sessions;
+}
+
+Status WriteSessionsFile(const std::vector<UserSession>& sessions,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  WriteSessionsText(sessions, &out);
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<UserSession>> ReadSessionsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadSessionsText(&in);
+}
+
+}  // namespace wum

@@ -1,0 +1,42 @@
+// Session (de)serialization: a line-oriented text format used by the CLI
+// tools to pass reconstructed or ground-truth sessions between pipeline
+// stages.
+
+#ifndef WUM_SESSION_SESSION_IO_H_
+#define WUM_SESSION_SESSION_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wum/common/result.h"
+#include "wum/session/session.h"
+
+namespace wum {
+
+/// A session attributed to a user key (client IP or IP+agent composite).
+struct UserSession {
+  std::string user_key;
+  Session session;
+
+  friend bool operator==(const UserSession&, const UserSession&) = default;
+};
+
+/// Text format, one session per line:
+///   websra-sessions 1
+///   <user_key>\t<page>:<timestamp>\t<page>:<timestamp>...
+/// The user key must not contain tab or newline characters. Blank lines
+/// and lines starting with '#' are ignored on input.
+void WriteSessionsText(const std::vector<UserSession>& sessions,
+                       std::ostream* out);
+
+Result<std::vector<UserSession>> ReadSessionsText(std::istream* in);
+
+/// Convenience file wrappers.
+Status WriteSessionsFile(const std::vector<UserSession>& sessions,
+                         const std::string& path);
+Result<std::vector<UserSession>> ReadSessionsFile(const std::string& path);
+
+}  // namespace wum
+
+#endif  // WUM_SESSION_SESSION_IO_H_

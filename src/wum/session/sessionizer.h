@@ -1,0 +1,35 @@
+// Sessionizer: common interface of the four reactive session
+// reconstruction heuristics evaluated in the paper.
+
+#ifndef WUM_SESSION_SESSIONIZER_H_
+#define WUM_SESSION_SESSIONIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "wum/common/result.h"
+#include "wum/session/session.h"
+
+namespace wum {
+
+/// A batch session reconstruction heuristic. Implementations are
+/// stateless with respect to Reconstruct calls (safe to reuse across
+/// users); configuration is fixed at construction.
+class Sessionizer {
+ public:
+  virtual ~Sessionizer() = default;
+
+  /// Short identifier for reports, e.g. "heur4-smart-sra".
+  virtual std::string name() const = 0;
+
+  /// Rebuilds sessions from one user's page request stream.
+  ///
+  /// `requests` must be sorted by non-decreasing timestamp (as a server
+  /// access log is); passing an unsorted stream returns InvalidArgument.
+  virtual Result<std::vector<Session>> Reconstruct(
+      const std::vector<PageRequest>& requests) const = 0;
+};
+
+}  // namespace wum
+
+#endif  // WUM_SESSION_SESSIONIZER_H_

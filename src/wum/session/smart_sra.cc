@@ -1,0 +1,122 @@
+#include "wum/session/smart_sra.h"
+
+#include <algorithm>
+
+#include "wum/session/time_heuristics.h"
+
+namespace wum {
+
+SmartSra::SmartSra(const WebGraph* graph) : SmartSra(graph, Options()) {}
+
+SmartSra::SmartSra(const WebGraph* graph, Options options)
+    : graph_(graph), options_(std::move(options)) {}
+
+std::vector<Session> SmartSra::Phase1(
+    const std::vector<PageRequest>& requests) const {
+  return SplitByBothTimeRules(requests, options_.thresholds);
+}
+
+Result<std::vector<Session>> SmartSra::Phase2(const Session& candidate) const {
+  const std::vector<PageRequest>& reqs = candidate.requests;
+  const std::size_t n = reqs.size();
+  const TimeSeconds rho = options_.thresholds.max_page_stay;
+
+  // Sessions are index lists into `reqs` so duplicate page ids keep their
+  // distinct occurrences and timestamps.
+  std::vector<std::vector<std::size_t>> sessions;
+  std::vector<bool> alive(n, true);
+  std::size_t remaining = n;
+
+  auto links_within_rho = [&](std::size_t from, std::size_t to) {
+    const TimeSeconds gap = reqs[to].timestamp - reqs[from].timestamp;
+    return gap >= 0 && gap <= rho &&
+           graph_->HasLink(reqs[from].page, reqs[to].page);
+  };
+
+  while (remaining > 0) {
+    // Step I: occurrences with no remaining earlier referrer. The earliest
+    // remaining occurrence always qualifies, so progress is guaranteed.
+    std::vector<std::size_t> starts;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      bool has_referrer = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (alive[j] && links_within_rho(j, i)) {
+          has_referrer = true;
+          break;
+        }
+      }
+      if (!has_referrer) starts.push_back(i);
+    }
+
+    // Step II: remove them from the candidate.
+    for (std::size_t i : starts) alive[i] = false;
+    remaining -= starts.size();
+
+    // Step III: extend the session set.
+    if (sessions.empty()) {
+      for (std::size_t i : starts) sessions.push_back({i});
+      continue;
+    }
+    std::vector<std::vector<std::size_t>> next_sessions;
+    std::vector<bool> extended(sessions.size(), false);
+    for (std::size_t i : starts) {
+      bool placed = false;
+      for (std::size_t s = 0; s < sessions.size(); ++s) {
+        if (links_within_rho(sessions[s].back(), i)) {
+          next_sessions.push_back(sessions[s]);
+          next_sessions.back().push_back(i);
+          extended[s] = true;
+          placed = true;
+          if (next_sessions.size() > options_.max_sessions_per_candidate) {
+            return Status::OutOfRange(
+                "Smart-SRA phase 2 exceeded max_sessions_per_candidate (" +
+                std::to_string(options_.max_sessions_per_candidate) +
+                "); the topology induces exponentially many maximal paths");
+          }
+        }
+      }
+      if (!placed) {
+        // Unreachable for inputs produced by phase 1 (every late start's
+        // freshest referrer is the tail of some session; see the design
+        // doc), but kept so no occurrence is ever silently dropped when
+        // Phase2 is driven directly with arbitrary candidates.
+        next_sessions.push_back({i});
+      }
+    }
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      if (!extended[s]) next_sessions.push_back(sessions[s]);
+    }
+    sessions = std::move(next_sessions);
+  }
+
+  std::vector<Session> result;
+  result.reserve(sessions.size());
+  for (const auto& indices : sessions) {
+    Session session;
+    session.requests.reserve(indices.size());
+    for (std::size_t i : indices) session.requests.push_back(reqs[i]);
+    result.push_back(std::move(session));
+  }
+  if (options_.deduplicate) {
+    std::sort(result.begin(), result.end(),
+              [](const Session& a, const Session& b) {
+                return a.requests < b.requests;
+              });
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+  }
+  return result;
+}
+
+Result<std::vector<Session>> SmartSra::Reconstruct(
+    const std::vector<PageRequest>& requests) const {
+  WUM_RETURN_NOT_OK(ValidateRequestStream(requests, graph_->num_pages()));
+  std::vector<Session> output;
+  for (const Session& candidate : Phase1(requests)) {
+    WUM_ASSIGN_OR_RETURN(std::vector<Session> sessions, Phase2(candidate));
+    for (Session& session : sessions) output.push_back(std::move(session));
+  }
+  return output;
+}
+
+}  // namespace wum

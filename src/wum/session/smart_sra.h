@@ -1,0 +1,76 @@
+// heur4 — Smart-SRA, the paper's contribution (§3).
+//
+// Phase 1 cuts the per-user request stream into candidate sessions using
+// both time-oriented rules (total duration <= delta, page stay <= rho).
+// Phase 2 turns each candidate into the set of *maximal* sessions
+// satisfying both the timestamp-ordering rule and the topology rule, by
+// repeatedly
+//   (I)   collecting the occurrences with no remaining in-candidate
+//         referrer (an earlier occurrence whose page links to them within
+//         the page-stay bound),
+//   (II)  removing them from the candidate, and
+//   (III) appending them to every constructed session whose last page
+//         links to them within the page-stay bound (unextended sessions
+//         are carried over unchanged).
+//
+// Differences from the paper's pseudocode (see DESIGN.md §2): referrers
+// are earlier pages (the printed `j>i` contradicts both the formal
+// definition and the Table 4 trace), and the step-III time check compares
+// against the session's last element. Additionally the extension requires
+// a non-negative time difference, because occurrence-removal order is not
+// timestamp order and the paper's own timestamp-ordering rule would
+// otherwise be violated.
+
+#ifndef WUM_SESSION_SMART_SRA_H_
+#define WUM_SESSION_SMART_SRA_H_
+
+#include <string>
+#include <vector>
+
+#include "wum/common/time.h"
+#include "wum/session/sessionizer.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// Smart Session Reconstruction Algorithm.
+class SmartSra : public Sessionizer {
+ public:
+  struct Options {
+    /// delta / rho (paper defaults 30 min / 10 min).
+    TimeThresholds thresholds;
+    /// Phase 2 enumerates every maximal path, which is exponential on
+    /// adversarial topologies (chained link diamonds). Reconstruct
+    /// returns OutOfRange once one candidate's session set exceeds this.
+    std::size_t max_sessions_per_candidate = 65536;
+    /// Drop exact-duplicate sessions from each candidate's output.
+    bool deduplicate = true;
+  };
+
+  /// `graph` must outlive the sessionizer. The one-argument form uses
+  /// default Options (paper thresholds).
+  explicit SmartSra(const WebGraph* graph);
+  SmartSra(const WebGraph* graph, Options options);
+
+  std::string name() const override { return "heur4-smart-sra"; }
+
+  Result<std::vector<Session>> Reconstruct(
+      const std::vector<PageRequest>& requests) const override;
+
+  /// Phase 1 only: candidate sessions obeying both time rules.
+  std::vector<Session> Phase1(const std::vector<PageRequest>& requests) const;
+
+  /// Phase 2 only: maximal topology-consistent sessions of one candidate.
+  /// The candidate must be timestamp-sorted.
+  Result<std::vector<Session>> Phase2(const Session& candidate) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const WebGraph* graph_;
+  Options options_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_SESSION_SMART_SRA_H_

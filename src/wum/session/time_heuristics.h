@@ -1,0 +1,66 @@
+// Time-oriented session reconstruction heuristics (paper §2.1):
+//
+//  * heur1 — total session duration bound delta (default 30 min): a request
+//    joins the current session iff t_i - t_0 <= delta; the first request
+//    beyond the bound opens a new session.
+//  * heur2 — page-stay bound rho (default 10 min): a request joins iff
+//    t_i - t_{i-1} <= rho.
+//
+// Both are cut-point heuristics: they partition the request stream, so
+// the union of their output sessions is exactly the input stream.
+
+#ifndef WUM_SESSION_TIME_HEURISTICS_H_
+#define WUM_SESSION_TIME_HEURISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "wum/common/time.h"
+#include "wum/session/sessionizer.h"
+
+namespace wum {
+
+/// heur1: bounds total session duration by delta.
+class SessionDurationSessionizer : public Sessionizer {
+ public:
+  /// `max_session_duration` must be >= 0.
+  explicit SessionDurationSessionizer(
+      TimeSeconds max_session_duration = Minutes(30));
+
+  std::string name() const override { return "heur1-duration"; }
+
+  Result<std::vector<Session>> Reconstruct(
+      const std::vector<PageRequest>& requests) const override;
+
+  TimeSeconds max_session_duration() const { return max_session_duration_; }
+
+ private:
+  TimeSeconds max_session_duration_;
+};
+
+/// heur2: bounds the gap between consecutive requests by rho.
+class PageStaySessionizer : public Sessionizer {
+ public:
+  /// `max_page_stay` must be >= 0.
+  explicit PageStaySessionizer(TimeSeconds max_page_stay = Minutes(10));
+
+  std::string name() const override { return "heur2-pagestay"; }
+
+  Result<std::vector<Session>> Reconstruct(
+      const std::vector<PageRequest>& requests) const override;
+
+  TimeSeconds max_page_stay() const { return max_page_stay_; }
+
+ private:
+  TimeSeconds max_page_stay_;
+};
+
+/// Smart-SRA phase 1 (also reusable standalone): applies *both* time
+/// bounds, cutting whenever the page-stay bound or the total-duration
+/// bound would be violated.
+std::vector<Session> SplitByBothTimeRules(
+    const std::vector<PageRequest>& requests, const TimeThresholds& thresholds);
+
+}  // namespace wum
+
+#endif  // WUM_SESSION_TIME_HEURISTICS_H_

@@ -1,0 +1,165 @@
+#include "wum/simulator/agent_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wum/simulator/browser_cache.h"
+
+namespace wum {
+
+Status ValidateAgentProfile(const AgentProfile& profile) {
+  if (profile.stp <= 0.0 || profile.stp > 1.0) {
+    return Status::InvalidArgument(
+        "stp must be in (0, 1]; a non-positive stp never terminates");
+  }
+  if (profile.lpp < 0.0 || profile.lpp >= 1.0) {
+    return Status::InvalidArgument("lpp must be in [0, 1)");
+  }
+  if (profile.nip < 0.0 || profile.nip >= 1.0) {
+    return Status::InvalidArgument("nip must be in [0, 1)");
+  }
+  if (profile.page_stay_mean_minutes <= 0.0) {
+    return Status::InvalidArgument("page_stay_mean_minutes must be positive");
+  }
+  if (profile.page_stay_stddev_minutes < 0.0) {
+    return Status::InvalidArgument(
+        "page_stay_stddev_minutes must be non-negative");
+  }
+  if (profile.nip_gap_mean_minutes <= 0.0) {
+    return Status::InvalidArgument("nip_gap_mean_minutes must be positive");
+  }
+  if (profile.max_events == 0) {
+    return Status::InvalidArgument("max_events must be positive");
+  }
+  return Status::OK();
+}
+
+AgentSimulator::AgentSimulator(const WebGraph* graph, AgentProfile profile)
+    : graph_(graph), profile_(profile) {}
+
+TimeSeconds AgentSimulator::DrawStay(Rng* rng) const {
+  const double seconds = rng->NextTruncatedNormal(
+      profile_.page_stay_mean_minutes * 60.0,
+      profile_.page_stay_stddev_minutes * 60.0, /*lower_bound=*/0.0);
+  // The paper states inter-request differences in behaviours 2 and 3 are
+  // smaller than 10 minutes; enforce it for arbitrary profiles so the
+  // ground truth always satisfies the page-stay rule.
+  return std::clamp<TimeSeconds>(static_cast<TimeSeconds>(seconds) + 1, 1,
+                                 Minutes(10) - 1);
+}
+
+TimeSeconds AgentSimulator::DrawEntryGap(Rng* rng) const {
+  // Exponential think time before typing a new entry URL; unbounded
+  // above so a fraction of session boundaries are visible to the time
+  // heuristics and the rest stay ambiguous.
+  const double mean_seconds = profile_.nip_gap_mean_minutes * 60.0;
+  const double gap = -mean_seconds * std::log(1.0 - rng->NextUnit());
+  return std::max<TimeSeconds>(1, static_cast<TimeSeconds>(gap));
+}
+
+Result<AgentTrace> AgentSimulator::SimulateAgent(TimeSeconds start_time,
+                                                 Rng* rng) const {
+  WUM_RETURN_NOT_OK(ValidateAgentProfile(profile_));
+  const std::vector<PageId>& entry_pages = graph_->start_pages();
+  if (entry_pages.empty()) {
+    return Status::FailedPrecondition(
+        "topology has no start pages; agents cannot enter the site");
+  }
+
+  AgentTrace trace;
+  BrowserCache cache(graph_->num_pages());
+  Session current;
+  TimeSeconds now = start_time;
+
+  auto visit = [&](PageId page, NavigationKind kind, PageId referrer) {
+    const bool from_cache = cache.Visit(page);
+    trace.events.push_back(
+        NavigationEvent{page, now, from_cache, kind, referrer});
+    if (!from_cache) {
+      trace.server_requests.push_back(PageRequest{page, now});
+      trace.server_referrers.push_back(referrer);
+    }
+    current.requests.push_back(PageRequest{page, now});
+  };
+  auto close_session = [&]() {
+    if (!current.empty()) {
+      trace.real_sessions.push_back(std::move(current));
+      current = Session{};
+    }
+  };
+
+  PageId page =
+      entry_pages[static_cast<std::size_t>(rng->NextBounded(entry_pages.size()))];
+  visit(page, NavigationKind::kInitialEntry, kInvalidPage);
+
+  while (trace.events.size() < profile_.max_events) {
+    if (rng->Bernoulli(profile_.stp)) break;  // behaviour 4: terminate
+
+    if (rng->Bernoulli(profile_.nip)) {  // behaviour 1: new entry page
+      std::vector<PageId> fresh_entries;
+      for (PageId entry : entry_pages) {
+        if (!cache.Contains(entry)) fresh_entries.push_back(entry);
+      }
+      const std::vector<PageId>& pool =
+          fresh_entries.empty() ? entry_pages : fresh_entries;
+      PageId entry =
+          pool[static_cast<std::size_t>(rng->NextBounded(pool.size()))];
+      close_session();
+      now += DrawEntryGap(rng);
+      visit(entry, NavigationKind::kNewStartPage, kInvalidPage);
+      page = entry;
+      continue;
+    }
+
+    if (rng->Bernoulli(profile_.lpp)) {  // behaviour 3: backtrack + branch
+      // Candidate targets: distinct pages of the current session except
+      // the most recently accessed one, offering >= 1 un-accessed link.
+      std::vector<PageId> candidates;
+      if (current.size() >= 2) {
+        for (std::size_t i = 0; i + 1 < current.requests.size(); ++i) {
+          PageId candidate = current.requests[i].page;
+          if (std::find(candidates.begin(), candidates.end(), candidate) !=
+              candidates.end()) {
+            continue;
+          }
+          for (PageId neighbor : graph_->OutLinks(candidate)) {
+            if (!cache.Contains(neighbor)) {
+              candidates.push_back(candidate);
+              break;
+            }
+          }
+        }
+      }
+      if (!candidates.empty()) {
+        PageId target = candidates[static_cast<std::size_t>(
+            rng->NextBounded(candidates.size()))];
+        std::vector<PageId> fresh;
+        for (PageId neighbor : graph_->OutLinks(target)) {
+          if (!cache.Contains(neighbor)) fresh.push_back(neighbor);
+        }
+        PageId next =
+            fresh[static_cast<std::size_t>(rng->NextBounded(fresh.size()))];
+        close_session();
+        now += DrawStay(rng);
+        visit(target, NavigationKind::kCacheBacktrack, kInvalidPage);
+        now += DrawStay(rng);
+        visit(next, NavigationKind::kBranchAfterBack, target);
+        page = next;
+        continue;
+      }
+      // No viable backtrack target: fall through to behaviour 2.
+    }
+
+    // Behaviour 2: follow a hyperlink from the current page.
+    const std::vector<PageId>& out = graph_->OutLinks(page);
+    if (out.empty()) break;  // dead end: nowhere to go
+    PageId next = out[static_cast<std::size_t>(rng->NextBounded(out.size()))];
+    now += DrawStay(rng);
+    visit(next, NavigationKind::kFollowLink, page);
+    page = next;
+  }
+  close_session();
+  return trace;
+}
+
+}  // namespace wum

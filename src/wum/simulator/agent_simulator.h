@@ -1,0 +1,125 @@
+// The paper's agent simulator (§4): generates a web user's navigation on
+// a site topology, producing both the ground-truth sessions and the
+// server-visible request stream (cache-served navigation removed).
+//
+// The four behaviour types of §4 are implemented:
+//   1. start a new session at a site entry page (probability NIP),
+//   2. follow a hyperlink from the current page (default),
+//   3. navigate back through the browser cache to an earlier page of the
+//      session and branch to a fresh page from there (probability LPP),
+//   4. terminate (probability STP per request; termination by the n-th
+//      request therefore follows 1 - (1-STP)^n as in the paper).
+//
+// Points the paper leaves open, resolved as follows (see DESIGN.md §2):
+//   * Behaviour 2 picks uniformly among ALL out-links (the paper's
+//     SelectPage has no freshness constraint); revisits are served from
+//     the cache and stay inside the current ground-truth session.
+//   * Behaviour 3 ends the current session and opens a new one that
+//     begins with the (cache-served) backtrack target, exactly as the
+//     paper's [P1,P13,P34] / [P1,P20] example shows.
+//   * Behaviour 1 prefers an un-accessed entry page ("Select a new,
+//     un-accessed initial page"); when every entry page has been visited
+//     it reuses one uniformly (served from cache).
+//   * Page-stay times are truncated-normal for every advance.
+//   * A page with no out-links ends the agent (nowhere to navigate).
+
+#ifndef WUM_SIMULATOR_AGENT_SIMULATOR_H_
+#define WUM_SIMULATOR_AGENT_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wum/common/random.h"
+#include "wum/common/result.h"
+#include "wum/common/time.h"
+#include "wum/session/session.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// Behaviour probabilities and timing of one simulated user (Table 5
+/// defaults).
+struct AgentProfile {
+  /// Session Termination Probability: chance each visited page is the
+  /// agent's last.
+  double stp = 0.05;
+  /// Link-from-Previous-pages Probability: chance of a behaviour-3
+  /// backtrack-and-branch.
+  double lpp = 0.30;
+  /// New-Initial-page Probability: chance of jumping to an entry page.
+  double nip = 0.30;
+  /// Page-stay time distribution, minutes (paper: 2.2 +- 0.5, normal).
+  double page_stay_mean_minutes = 2.2;
+  double page_stay_stddev_minutes = 0.5;
+  /// Think time before a behaviour-1 jump to an entry page, exponential
+  /// mean in minutes. The paper restricts the normal stay distribution
+  /// to behaviours 2 and 3, leaving behaviour-1 timing open; a new visit
+  /// entered via the address bar plausibly follows a long break, and a
+  /// heavy-tailed gap is what lets time-oriented heuristics cut at some
+  /// session boundaries at all.
+  double nip_gap_mean_minutes = 30.0;
+  /// Hard cap on client-side navigation events, guarding stp ~ 0.
+  std::size_t max_events = 100000;
+};
+
+/// Validates probability ranges and timing parameters.
+Status ValidateAgentProfile(const AgentProfile& profile);
+
+/// Why the agent moved to a page; kept for diagnostics and tests.
+enum class NavigationKind {
+  kInitialEntry = 0,   // first page of the agent's first session
+  kFollowLink = 1,     // behaviour 2
+  kCacheBacktrack = 2, // behaviour 3: the revisited target page
+  kBranchAfterBack = 3,// behaviour 3: the fresh page requested from target
+  kNewStartPage = 4,   // behaviour 1
+};
+
+/// One client-side navigation step.
+struct NavigationEvent {
+  PageId page = kInvalidPage;
+  TimeSeconds timestamp = 0;
+  bool served_from_cache = false;
+  NavigationKind kind = NavigationKind::kFollowLink;
+  /// The page whose hyperlink was followed (what a browser would send as
+  /// the Referer header); kInvalidPage for typed entries.
+  PageId referrer = kInvalidPage;
+};
+
+/// Everything one simulated agent produced.
+struct AgentTrace {
+  /// Ground truth: the real sessions, in order, satisfying the topology
+  /// rule and the page-stay bound by construction.
+  std::vector<Session> real_sessions;
+  /// Complete client-side navigation, including cache-served views.
+  std::vector<NavigationEvent> events;
+  /// The server's view: events with served_from_cache == false.
+  std::vector<PageRequest> server_requests;
+  /// Referer header of each server request (parallel to
+  /// server_requests); kInvalidPage when the URL was typed.
+  std::vector<PageId> server_referrers;
+};
+
+/// Simulates agents on a fixed topology. Thread-compatible: const methods
+/// may run concurrently with distinct Rng instances.
+class AgentSimulator {
+ public:
+  /// `graph` must outlive the simulator and have at least one start page.
+  AgentSimulator(const WebGraph* graph, AgentProfile profile);
+
+  /// Runs one agent starting at `start_time`. Fails if the profile is
+  /// invalid or the topology has no start pages.
+  Result<AgentTrace> SimulateAgent(TimeSeconds start_time, Rng* rng) const;
+
+  const AgentProfile& profile() const { return profile_; }
+
+ private:
+  TimeSeconds DrawStay(Rng* rng) const;
+  TimeSeconds DrawEntryGap(Rng* rng) const;
+
+  const WebGraph* graph_;
+  AgentProfile profile_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_SIMULATOR_AGENT_SIMULATOR_H_

@@ -1,0 +1,50 @@
+#include "wum/simulator/browser_cache.h"
+
+#include <cassert>
+#include <limits>
+
+namespace wum {
+
+BrowserCache::BrowserCache(std::size_t num_pages, std::size_t capacity)
+    : capacity_(capacity),
+      resident_(num_pages, false),
+      last_use_(num_pages, 0) {}
+
+bool BrowserCache::Visit(PageId page) {
+  assert(page < resident_.size());
+  const bool hit = resident_[page];
+  if (!hit) {
+    resident_[page] = true;
+    ++resident_count_;
+    Touch(page);
+    EvictIfNeeded();
+  } else {
+    Touch(page);
+  }
+  return hit;
+}
+
+bool BrowserCache::Contains(PageId page) const {
+  return page < resident_.size() && resident_[page];
+}
+
+void BrowserCache::Touch(PageId page) { last_use_[page] = ++clock_; }
+
+void BrowserCache::EvictIfNeeded() {
+  if (capacity_ == 0 || resident_count_ <= capacity_) return;
+  // Linear LRU scan; cache sizes in ablations are small.
+  PageId victim = kInvalidPage;
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t p = 0; p < resident_.size(); ++p) {
+    if (resident_[p] && last_use_[p] < oldest) {
+      oldest = last_use_[p];
+      victim = static_cast<PageId>(p);
+    }
+  }
+  if (victim != kInvalidPage) {
+    resident_[victim] = false;
+    --resident_count_;
+  }
+}
+
+}  // namespace wum

@@ -1,0 +1,46 @@
+// Client-side browser cache model. In the 2006 setting the paper targets,
+// a page once fetched is served locally on every revisit, so the server
+// log only witnesses first visits — the root cause of the session
+// reconstruction problem.
+
+#ifndef WUM_SIMULATOR_BROWSER_CACHE_H_
+#define WUM_SIMULATOR_BROWSER_CACHE_H_
+
+#include <vector>
+
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// Tracks which pages an agent's browser holds. Infinite capacity by
+/// default (the paper's model); a finite LRU capacity is available for
+/// ablations — evicted pages hit the server again on revisit.
+class BrowserCache {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit BrowserCache(std::size_t num_pages, std::size_t capacity = 0);
+
+  /// Records that `page` was fetched or re-viewed. Returns true when the
+  /// view was served from the cache, false when the server was contacted
+  /// (first visit or post-eviction visit).
+  bool Visit(PageId page);
+
+  /// True iff a visit to `page` now would be a cache hit.
+  bool Contains(PageId page) const;
+
+  std::size_t size() const { return resident_count_; }
+
+ private:
+  void Touch(PageId page);
+  void EvictIfNeeded();
+
+  std::size_t capacity_;  // 0 = unbounded
+  std::vector<bool> resident_;
+  std::vector<std::uint64_t> last_use_;
+  std::uint64_t clock_ = 0;
+  std::size_t resident_count_ = 0;
+};
+
+}  // namespace wum
+
+#endif  // WUM_SIMULATOR_BROWSER_CACHE_H_

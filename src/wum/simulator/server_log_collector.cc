@@ -1,0 +1,71 @@
+#include "wum/simulator/server_log_collector.h"
+
+#include <algorithm>
+
+namespace wum {
+
+std::string UserAgentFromPool(std::size_t index) {
+  static constexpr const char* kPool[] = {
+      "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+      "Mozilla/5.0 (Windows; U; Windows NT 5.1; en-US; rv:1.7.12) "
+      "Gecko/20050915 Firefox/1.0.7",
+      "Mozilla/5.0 (Macintosh; U; PPC Mac OS X; en) AppleWebKit/412 "
+      "(KHTML, like Gecko) Safari/412",
+      "Opera/8.51 (Windows NT 5.1; U; en)",
+      "Mozilla/4.0 (compatible; MSIE 5.5; Windows 98)",
+      "Mozilla/5.0 (X11; U; Linux i686; en-US; rv:1.7.8) Gecko/20050511",
+  };
+  constexpr std::size_t kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+  return kPool[index % kPoolSize];
+}
+
+std::int64_t SimulatedPageBytes(PageId page) {
+  // Arbitrary but stable: spreads sizes over [2 KiB, ~34 KiB].
+  std::uint64_t z = static_cast<std::uint64_t>(page) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return 2048 + static_cast<std::int64_t>(z % 32768);
+}
+
+std::vector<LogRecord> CollectServerLog(
+    const std::vector<AgentRequests>& agents) {
+  struct Tagged {
+    LogRecord record;
+    std::uint64_t agent_id;
+    std::size_t sequence;
+  };
+  std::vector<Tagged> tagged;
+  std::size_t total = 0;
+  for (const AgentRequests& agent : agents) total += agent.requests.size();
+  tagged.reserve(total);
+  for (const AgentRequests& agent : agents) {
+    for (std::size_t i = 0; i < agent.requests.size(); ++i) {
+      const PageRequest& request = agent.requests[i];
+      LogRecord record;
+      record.client_ip = agent.client_ip;
+      record.timestamp = request.timestamp;
+      record.method = HttpMethod::kGet;
+      record.url = PageUrl(request.page);
+      record.protocol = "HTTP/1.1";
+      record.status_code = 200;
+      record.bytes = SimulatedPageBytes(request.page);
+      if (i < agent.referrers.size() && agent.referrers[i] != kInvalidPage) {
+        record.referrer = ReferrerUrl(agent.referrers[i]);
+      }
+      record.user_agent = agent.user_agent;
+      tagged.push_back(Tagged{std::move(record), agent.agent_id, i});
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.record.timestamp != b.record.timestamp) {
+      return a.record.timestamp < b.record.timestamp;
+    }
+    if (a.agent_id != b.agent_id) return a.agent_id < b.agent_id;
+    return a.sequence < b.sequence;
+  });
+  std::vector<LogRecord> log;
+  log.reserve(tagged.size());
+  for (Tagged& t : tagged) log.push_back(std::move(t.record));
+  return log;
+}
+
+}  // namespace wum

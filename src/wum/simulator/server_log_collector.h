@@ -1,0 +1,46 @@
+// Turns simulated agents' server-visible requests into a merged Common
+// Log Format access log — the exact artifact a reactive strategy gets to
+// work with.
+
+#ifndef WUM_SIMULATOR_SERVER_LOG_COLLECTOR_H_
+#define WUM_SIMULATOR_SERVER_LOG_COLLECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "wum/clf/log_record.h"
+#include "wum/session/session.h"
+
+namespace wum {
+
+/// One agent's server-side requests plus the identity the server sees.
+struct AgentRequests {
+  std::uint64_t agent_id = 0;
+  /// Client IP as logged; distinct agents share it when simulated behind
+  /// one proxy.
+  std::string client_ip;
+  std::vector<PageRequest> requests;
+  /// Referer page per request (parallel to `requests`; may be empty when
+  /// the producer has no referrer information).
+  std::vector<PageId> referrers;
+  /// Browser identification, logged in Combined Log Format.
+  std::string user_agent;
+};
+
+/// A small pool of era-appropriate browser identifications; index is
+/// taken modulo the pool size.
+std::string UserAgentFromPool(std::size_t index);
+
+/// Deterministic response size for a page: stable across runs so byte
+/// counts round-trip through CLF.
+std::int64_t SimulatedPageBytes(PageId page);
+
+/// Merges per-agent request streams into one timestamp-sorted log.
+/// Ties are broken by agent id then request order, so output is fully
+/// deterministic.
+std::vector<LogRecord> CollectServerLog(
+    const std::vector<AgentRequests>& agents);
+
+}  // namespace wum
+
+#endif  // WUM_SIMULATOR_SERVER_LOG_COLLECTOR_H_

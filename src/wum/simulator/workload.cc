@@ -1,0 +1,74 @@
+#include "wum/simulator/workload.h"
+
+#include "wum/clf/log_record.h"
+
+namespace wum {
+
+Status ValidateWorkloadOptions(const WorkloadOptions& options) {
+  if (options.num_agents == 0) {
+    return Status::InvalidArgument("num_agents must be positive");
+  }
+  if (options.start_window <= 0) {
+    return Status::InvalidArgument("start_window must be positive");
+  }
+  if (options.agents_per_proxy == 0) {
+    return Status::InvalidArgument("agents_per_proxy must be positive");
+  }
+  return Status::OK();
+}
+
+std::size_t Workload::TotalRealSessions() const {
+  std::size_t total = 0;
+  for (const AgentRun& agent : agents) {
+    total += agent.trace.real_sessions.size();
+  }
+  return total;
+}
+
+std::size_t Workload::TotalServerRequests() const {
+  std::size_t total = 0;
+  for (const AgentRun& agent : agents) {
+    total += agent.trace.server_requests.size();
+  }
+  return total;
+}
+
+std::vector<AgentRequests> Workload::ToAgentRequests() const {
+  std::vector<AgentRequests> result;
+  result.reserve(agents.size());
+  for (const AgentRun& agent : agents) {
+    result.push_back(AgentRequests{agent.agent_id, agent.client_ip,
+                                   agent.trace.server_requests,
+                                   agent.trace.server_referrers,
+                                   agent.user_agent});
+  }
+  return result;
+}
+
+Result<Workload> SimulateWorkload(const WebGraph& graph,
+                                  const AgentProfile& profile,
+                                  const WorkloadOptions& options, Rng* rng) {
+  WUM_RETURN_NOT_OK(ValidateWorkloadOptions(options));
+  AgentSimulator simulator(&graph, profile);
+  Workload workload;
+  workload.agents.reserve(options.num_agents);
+  for (std::size_t i = 0; i < options.num_agents; ++i) {
+    Rng agent_rng = rng->Fork();
+    const TimeSeconds start =
+        options.epoch +
+        static_cast<TimeSeconds>(agent_rng.NextBounded(
+            static_cast<std::uint64_t>(options.start_window)));
+    WUM_ASSIGN_OR_RETURN(AgentTrace trace,
+                         simulator.SimulateAgent(start, &agent_rng));
+    AgentRun run;
+    run.agent_id = i;
+    run.client_ip = AgentIp(i / options.agents_per_proxy);
+    run.user_agent = UserAgentFromPool(
+        static_cast<std::size_t>(agent_rng.NextBounded(6)));
+    run.trace = std::move(trace);
+    workload.agents.push_back(std::move(run));
+  }
+  return workload;
+}
+
+}  // namespace wum

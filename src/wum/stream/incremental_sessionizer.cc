@@ -1,0 +1,89 @@
+#include "wum/stream/incremental_sessionizer.h"
+
+namespace wum {
+
+IncrementalSmartSra::IncrementalSmartSra(const WebGraph* graph,
+                                         SmartSra::Options options)
+    : algorithm_(graph, options) {}
+
+Status IncrementalSmartSra::CloseCandidate(const EmitFn& emit) {
+  if (candidate_.empty()) return Status::OK();
+  WUM_ASSIGN_OR_RETURN(std::vector<Session> sessions,
+                       algorithm_.Phase2(candidate_));
+  candidate_ = Session{};
+  for (Session& session : sessions) {
+    WUM_RETURN_NOT_OK(emit(std::move(session)));
+  }
+  return Status::OK();
+}
+
+Status IncrementalSmartSra::OnRequest(const PageRequest& request,
+                                      const EmitFn& emit) {
+  const TimeThresholds& t = algorithm_.options().thresholds;
+  if (!candidate_.empty()) {
+    const bool page_stay_exceeded =
+        request.timestamp - candidate_.requests.back().timestamp >
+        t.max_page_stay;
+    const bool duration_exceeded =
+        request.timestamp - candidate_.requests.front().timestamp >
+        t.max_session_duration;
+    if (page_stay_exceeded || duration_exceeded) {
+      WUM_RETURN_NOT_OK(CloseCandidate(emit));
+    }
+  }
+  candidate_.requests.push_back(request);
+  return Status::OK();
+}
+
+Status IncrementalSmartSra::Flush(const EmitFn& emit) {
+  return CloseCandidate(emit);
+}
+
+SessionizeSink::SessionizeSink(UserSessionizerFactory factory,
+                               SessionSink* session_sink,
+                               std::size_t num_pages)
+    : factory_(std::move(factory)),
+      session_sink_(session_sink),
+      num_pages_(num_pages) {}
+
+IncrementalUserSessionizer::EmitFn SessionizeSink::MakeEmit(
+    const std::string& client_ip) {
+  return [this, client_ip](Session session) {
+    ++sessions_emitted_;
+    return session_sink_->Accept(client_ip, std::move(session));
+  };
+}
+
+Status SessionizeSink::Accept(const LogRecord& record) {
+  Result<std::uint32_t> page = PageFromUrl(record.url);
+  if (!page.ok()) {
+    ++skipped_non_page_urls_;
+    return Status::OK();
+  }
+  if (*page >= num_pages_) {
+    return Status::InvalidArgument("record references page " +
+                                   std::to_string(*page) +
+                                   " outside the topology");
+  }
+  UserState& user = users_[record.client_ip];
+  if (user.sessionizer == nullptr) user.sessionizer = factory_();
+  if (user.has_seen_request && record.timestamp < user.last_timestamp) {
+    return Status::InvalidArgument(
+        "out-of-order record for " + record.client_ip +
+        "; place an OrderGuardOperator upstream or sort the log");
+  }
+  user.last_timestamp = record.timestamp;
+  user.has_seen_request = true;
+  return user.sessionizer->OnRequest(
+      PageRequest{static_cast<PageId>(*page), record.timestamp},
+      MakeEmit(record.client_ip));
+}
+
+Status SessionizeSink::Finish() {
+  for (auto& [ip, user] : users_) {
+    WUM_RETURN_NOT_OK(user.sessionizer->Flush(MakeEmit(ip)));
+  }
+  return Status::OK();
+}
+
+}  // namespace wum

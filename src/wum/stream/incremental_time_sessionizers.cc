@@ -1,0 +1,93 @@
+#include "wum/stream/incremental_time_sessionizers.h"
+
+namespace wum {
+
+IncrementalDurationSessionizer::IncrementalDurationSessionizer(
+    TimeSeconds max_session_duration)
+    : max_session_duration_(max_session_duration) {}
+
+Status IncrementalDurationSessionizer::OnRequest(const PageRequest& request,
+                                                 const EmitFn& emit) {
+  if (!current_.empty() &&
+      request.timestamp - current_.requests.front().timestamp >
+          max_session_duration_) {
+    WUM_RETURN_NOT_OK(emit(std::move(current_)));
+    current_ = Session{};
+  }
+  current_.requests.push_back(request);
+  return Status::OK();
+}
+
+Status IncrementalDurationSessionizer::Flush(const EmitFn& emit) {
+  if (current_.empty()) return Status::OK();
+  Status status = emit(std::move(current_));
+  current_ = Session{};
+  return status;
+}
+
+IncrementalPageStaySessionizer::IncrementalPageStaySessionizer(
+    TimeSeconds max_page_stay)
+    : max_page_stay_(max_page_stay) {}
+
+Status IncrementalPageStaySessionizer::OnRequest(const PageRequest& request,
+                                                 const EmitFn& emit) {
+  if (!current_.empty() &&
+      request.timestamp - current_.requests.back().timestamp >
+          max_page_stay_) {
+    WUM_RETURN_NOT_OK(emit(std::move(current_)));
+    current_ = Session{};
+  }
+  current_.requests.push_back(request);
+  return Status::OK();
+}
+
+Status IncrementalPageStaySessionizer::Flush(const EmitFn& emit) {
+  if (current_.empty()) return Status::OK();
+  Status status = emit(std::move(current_));
+  current_ = Session{};
+  return status;
+}
+
+IncrementalNavigationSessionizer::IncrementalNavigationSessionizer(
+    const WebGraph* graph)
+    : graph_(graph) {}
+
+Status IncrementalNavigationSessionizer::OnRequest(const PageRequest& request,
+                                                   const EmitFn& emit) {
+  if (current_.empty()) {
+    current_.requests.push_back(request);
+    return Status::OK();
+  }
+  if (graph_->HasLink(current_.requests.back().page, request.page)) {
+    current_.requests.push_back(request);
+    return Status::OK();
+  }
+  std::size_t referrer_index = current_.requests.size();
+  for (std::size_t j = current_.requests.size() - 1; j-- > 0;) {
+    if (graph_->HasLink(current_.requests[j].page, request.page)) {
+      referrer_index = j;
+      break;
+    }
+  }
+  if (referrer_index == current_.requests.size()) {
+    WUM_RETURN_NOT_OK(emit(std::move(current_)));
+    current_ = Session{};
+    current_.requests.push_back(request);
+    return Status::OK();
+  }
+  for (std::size_t j = current_.requests.size() - 1; j-- > referrer_index;) {
+    current_.requests.push_back(
+        PageRequest{current_.requests[j].page, request.timestamp});
+  }
+  current_.requests.push_back(request);
+  return Status::OK();
+}
+
+Status IncrementalNavigationSessionizer::Flush(const EmitFn& emit) {
+  if (current_.empty()) return Status::OK();
+  Status status = emit(std::move(current_));
+  current_ = Session{};
+  return status;
+}
+
+}  // namespace wum

@@ -1,0 +1,62 @@
+// Streaming counterparts of heur1 (session duration), heur2 (page stay)
+// and heur3 (navigation-oriented). Each emits a session the moment its
+// cut rule fires; Flush emits the open remainder.
+
+#ifndef WUM_STREAM_INCREMENTAL_TIME_SESSIONIZERS_H_
+#define WUM_STREAM_INCREMENTAL_TIME_SESSIONIZERS_H_
+
+#include "wum/common/time.h"
+#include "wum/stream/incremental_sessionizer.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// Streaming heur1: cuts when the next request would stretch the session
+/// past `max_session_duration`.
+class IncrementalDurationSessionizer : public IncrementalUserSessionizer {
+ public:
+  explicit IncrementalDurationSessionizer(
+      TimeSeconds max_session_duration = Minutes(30));
+
+  Status OnRequest(const PageRequest& request, const EmitFn& emit) override;
+  Status Flush(const EmitFn& emit) override;
+
+ private:
+  TimeSeconds max_session_duration_;
+  Session current_;
+};
+
+/// Streaming heur2: cuts when the gap to the previous request exceeds
+/// `max_page_stay`.
+class IncrementalPageStaySessionizer : public IncrementalUserSessionizer {
+ public:
+  explicit IncrementalPageStaySessionizer(
+      TimeSeconds max_page_stay = Minutes(10));
+
+  Status OnRequest(const PageRequest& request, const EmitFn& emit) override;
+  Status Flush(const EmitFn& emit) override;
+
+ private:
+  TimeSeconds max_page_stay_;
+  Session current_;
+};
+
+/// Streaming heur3: appends linked pages, inserts backward movements on
+/// path completion, and cuts when the new page has no in-session
+/// referrer.
+class IncrementalNavigationSessionizer : public IncrementalUserSessionizer {
+ public:
+  /// `graph` must outlive this object.
+  explicit IncrementalNavigationSessionizer(const WebGraph* graph);
+
+  Status OnRequest(const PageRequest& request, const EmitFn& emit) override;
+  Status Flush(const EmitFn& emit) override;
+
+ private:
+  const WebGraph* graph_;
+  Session current_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_STREAM_INCREMENTAL_TIME_SESSIONIZERS_H_

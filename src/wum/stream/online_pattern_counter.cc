@@ -1,0 +1,81 @@
+#include "wum/stream/online_pattern_counter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wum {
+
+TopKPathCounter::TopKPathCounter(std::size_t capacity,
+                                 std::size_t path_length)
+    : capacity_(capacity), path_length_(path_length) {
+  assert(capacity_ >= 1);
+  assert(path_length_ >= 1);
+}
+
+void TopKPathCounter::Add(const std::vector<PageId>& path) {
+  ++paths_processed_;
+  auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(path, Entry{path, 1, 0});
+    return;
+  }
+  // Evict the minimum-estimate entry; the newcomer inherits its estimate
+  // as error bound (the SpaceSaving step). Linear scan: capacities are
+  // small (hundreds) and AddSession is not on a hot path.
+  auto victim = entries_.begin();
+  for (auto scan = entries_.begin(); scan != entries_.end(); ++scan) {
+    if (scan->second.count < victim->second.count) victim = scan;
+  }
+  const std::uint64_t inherited = victim->second.count;
+  entries_.erase(victim);
+  entries_.emplace(path, Entry{path, inherited + 1, inherited});
+}
+
+void TopKPathCounter::AddSession(const std::vector<PageId>& pages) {
+  if (pages.size() < path_length_) return;
+  std::vector<PageId> path(path_length_);
+  for (std::size_t start = 0; start + path_length_ <= pages.size(); ++start) {
+    std::copy(pages.begin() + static_cast<std::ptrdiff_t>(start),
+              pages.begin() + static_cast<std::ptrdiff_t>(start + path_length_),
+              path.begin());
+    Add(path);
+  }
+}
+
+std::vector<TopKPathCounter::Entry> TopKPathCounter::TopK(
+    std::size_t k) const {
+  std::vector<Entry> ranked;
+  ranked.reserve(entries_.size());
+  for (const auto& [path, entry] : entries_) ranked.push_back(entry);
+  std::sort(ranked.begin(), ranked.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.path < b.path;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::size_t PatternCountingSink::AddCounter(std::size_t capacity,
+                                            std::size_t path_length) {
+  counters_.emplace_back(capacity, path_length);
+  return counters_.size() - 1;
+}
+
+Status PatternCountingSink::Accept(const std::string& client_ip,
+                                   Session session) {
+  ++sessions_seen_;
+  const std::vector<PageId> pages = session.PageSequence();
+  for (TopKPathCounter& counter : counters_) {
+    counter.AddSession(pages);
+  }
+  if (downstream_ != nullptr) {
+    return downstream_->Accept(client_ip, std::move(session));
+  }
+  return Status::OK();
+}
+
+}  // namespace wum

@@ -1,0 +1,86 @@
+// Online frequent-path tracking for the reactive pipeline: a
+// SpaceSaving (Metwally et al.) top-k counter over fixed-length
+// navigation paths, fed by sessions as they close. This is the streaming
+// counterpart of the batch AprioriAll miner — bounded memory, any-time
+// answers, with SpaceSaving's usual guarantees (estimates never
+// undercount; estimate - error <= true count; any path with true count
+// above N/capacity is retained).
+
+#ifndef WUM_STREAM_ONLINE_PATTERN_COUNTER_H_
+#define WUM_STREAM_ONLINE_PATTERN_COUNTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wum/stream/pipeline.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// SpaceSaving counter over contiguous page paths of one fixed length.
+class TopKPathCounter {
+ public:
+  /// `capacity` bounds the number of tracked paths (the error bound is
+  /// paths_processed / capacity). `path_length` >= 1.
+  TopKPathCounter(std::size_t capacity, std::size_t path_length);
+
+  /// Counts every contiguous `path_length`-gram of the session.
+  void AddSession(const std::vector<PageId>& pages);
+
+  struct Entry {
+    std::vector<PageId> path;
+    /// Estimated count (never below the true count).
+    std::uint64_t count = 0;
+    /// Maximum overestimation (count - error <= true count).
+    std::uint64_t error = 0;
+  };
+
+  /// The current top-k entries, highest estimate first (ties by path).
+  std::vector<Entry> TopK(std::size_t k) const;
+
+  /// Total path occurrences fed so far (the N of the error bound).
+  std::uint64_t paths_processed() const { return paths_processed_; }
+  std::size_t tracked() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t path_length() const { return path_length_; }
+
+ private:
+  void Add(const std::vector<PageId>& path);
+
+  std::size_t capacity_;
+  std::size_t path_length_;
+  std::map<std::vector<PageId>, Entry> entries_;
+  std::uint64_t paths_processed_ = 0;
+};
+
+/// SessionSink adapter: feeds every closed session into one or more
+/// counters (e.g. path lengths 2 and 3) and forwards to an optional
+/// downstream sink.
+class PatternCountingSink : public SessionSink {
+ public:
+  /// `downstream` may be nullptr (sessions are only counted).
+  explicit PatternCountingSink(SessionSink* downstream = nullptr)
+      : downstream_(downstream) {}
+
+  /// Registers a counter; returns its index for later retrieval.
+  /// Counters must be added before the first session arrives.
+  std::size_t AddCounter(std::size_t capacity, std::size_t path_length);
+
+  Status Accept(const std::string& client_ip, Session session) override;
+
+  const TopKPathCounter& counter(std::size_t index) const {
+    return counters_[index];
+  }
+  std::uint64_t sessions_seen() const { return sessions_seen_; }
+
+ private:
+  SessionSink* downstream_;
+  std::vector<TopKPathCounter> counters_;
+  std::uint64_t sessions_seen_ = 0;
+};
+
+}  // namespace wum
+
+#endif  // WUM_STREAM_ONLINE_PATTERN_COUNTER_H_

@@ -1,0 +1,4 @@
+// Operators are header-only; this translation unit anchors their vtables.
+#include "wum/stream/operators.h"
+
+namespace wum {}  // namespace wum

@@ -1,0 +1,99 @@
+// Stock record operators for the reactive pipeline.
+
+#ifndef WUM_STREAM_OPERATORS_H_
+#define WUM_STREAM_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "wum/clf/log_filter.h"
+#include "wum/stream/pipeline.h"
+
+namespace wum {
+
+/// Drops records rejected by a LogFilter (streaming counterpart of the
+/// batch FilterChain).
+class FilterOperator : public RecordOperator {
+ public:
+  explicit FilterOperator(std::unique_ptr<LogFilter> filter)
+      : filter_(std::move(filter)) {}
+
+  Status Accept(const LogRecord& record) override {
+    if (!filter_->Keep(record)) {
+      ++dropped_;
+      return Status::OK();
+    }
+    return Emit(record);
+  }
+
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::unique_ptr<LogFilter> filter_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Applies a function to each record; returning nullopt drops it.
+class TransformOperator : public RecordOperator {
+ public:
+  using Fn = std::function<std::optional<LogRecord>(const LogRecord&)>;
+
+  explicit TransformOperator(Fn fn) : fn_(std::move(fn)) {}
+
+  Status Accept(const LogRecord& record) override {
+    std::optional<LogRecord> mapped = fn_(record);
+    if (!mapped.has_value()) return Status::OK();
+    return Emit(*mapped);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Pass-through stage counting records and tracking the watermark (the
+/// largest timestamp seen), for pipeline observability.
+class WatermarkOperator : public RecordOperator {
+ public:
+  Status Accept(const LogRecord& record) override {
+    ++count_;
+    if (record.timestamp > watermark_) watermark_ = record.timestamp;
+    return Emit(record);
+  }
+
+  std::uint64_t count() const { return count_; }
+  TimeSeconds watermark() const { return watermark_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  TimeSeconds watermark_ = 0;
+};
+
+/// Rejects out-of-order records beyond a tolerated lateness, so the
+/// incremental sessionizers can rely on (bounded) stream order.
+class OrderGuardOperator : public RecordOperator {
+ public:
+  /// Records older than watermark - `max_lateness` are dropped.
+  explicit OrderGuardOperator(TimeSeconds max_lateness)
+      : max_lateness_(max_lateness) {}
+
+  Status Accept(const LogRecord& record) override {
+    if (record.timestamp > watermark_) watermark_ = record.timestamp;
+    if (record.timestamp + max_lateness_ < watermark_) {
+      ++late_dropped_;
+      return Status::OK();
+    }
+    return Emit(record);
+  }
+
+  std::uint64_t late_dropped() const { return late_dropped_; }
+
+ private:
+  TimeSeconds max_lateness_;
+  TimeSeconds watermark_ = 0;
+  std::uint64_t late_dropped_ = 0;
+};
+
+}  // namespace wum
+
+#endif  // WUM_STREAM_OPERATORS_H_

@@ -1,0 +1,35 @@
+#include "wum/stream/pipeline.h"
+
+namespace wum {
+
+Pipeline::Pipeline(RecordSink* terminal) : terminal_(terminal) {}
+
+void Pipeline::Append(std::unique_ptr<RecordOperator> op) {
+  if (!operators_.empty()) {
+    operators_.back()->set_downstream(op.get());
+  }
+  op->set_downstream(terminal_);
+  operators_.push_back(std::move(op));
+}
+
+RecordSink* Pipeline::Entry() {
+  return operators_.empty() ? terminal_
+                            : static_cast<RecordSink*>(operators_.front().get());
+}
+
+Status Pipeline::Accept(const LogRecord& record) {
+  ++records_in_;
+  return Entry()->Accept(record);
+}
+
+Status Pipeline::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("pipeline already finished");
+  }
+  finished_ = true;
+  // Finishing the first operator cascades down the chain; with no
+  // operators, finish the terminal directly.
+  return Entry()->Finish();
+}
+
+}  // namespace wum

@@ -1,0 +1,131 @@
+// Reactive processing pipeline (the paper's title subject): log records
+// flow through a chain of push-based operators into per-user incremental
+// sessionizers that emit sessions as soon as they close, instead of
+// waiting for an offline batch pass.
+//
+//   RecordSource -> [RecordOperator ...] -> IncrementalSessionizer
+//                                               -> SessionSink
+//
+// All stages run on the caller's thread by default; ThreadedDriver
+// (threaded_driver.h) decouples the source from the pipeline with a
+// bounded queue when ingestion and processing should overlap.
+
+#ifndef WUM_STREAM_PIPELINE_H_
+#define WUM_STREAM_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wum/clf/log_record.h"
+#include "wum/common/result.h"
+#include "wum/session/session.h"
+
+namespace wum {
+
+/// Consumer of a record stream.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+
+  /// Processes one record. A non-OK status aborts the stream.
+  virtual Status Accept(const LogRecord& record) = 0;
+
+  /// Signals end-of-stream; implementations flush buffered state.
+  /// Called exactly once, after the last Accept.
+  virtual Status Finish() = 0;
+};
+
+/// A record-to-record stage: consumes records, forwards (a subset /
+/// transformation) downstream.
+class RecordOperator : public RecordSink {
+ public:
+  /// `downstream` must outlive the operator.
+  void set_downstream(RecordSink* downstream) { downstream_ = downstream; }
+
+  Status Finish() override {
+    return downstream_ == nullptr ? Status::OK() : downstream_->Finish();
+  }
+
+ protected:
+  Status Emit(const LogRecord& record) {
+    return downstream_ == nullptr ? Status::OK()
+                                  : downstream_->Accept(record);
+  }
+
+ private:
+  RecordSink* downstream_ = nullptr;
+};
+
+/// Consumer of completed sessions, keyed by the owning client IP.
+class SessionSink {
+ public:
+  virtual ~SessionSink() = default;
+  virtual Status Accept(const std::string& client_ip, Session session) = 0;
+};
+
+/// SessionSink that appends into a vector (tests, examples).
+class CollectingSessionSink : public SessionSink {
+ public:
+  struct Entry {
+    std::string client_ip;
+    Session session;
+  };
+
+  Status Accept(const std::string& client_ip, Session session) override {
+    entries_.push_back(Entry{client_ip, std::move(session)});
+    return Status::OK();
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// SessionSink invoking a callback (adapters for user code).
+class CallbackSessionSink : public SessionSink {
+ public:
+  using Callback = std::function<Status(const std::string&, Session)>;
+
+  explicit CallbackSessionSink(Callback callback)
+      : callback_(std::move(callback)) {}
+
+  Status Accept(const std::string& client_ip, Session session) override {
+    return callback_(client_ip, std::move(session));
+  }
+
+ private:
+  Callback callback_;
+};
+
+/// Owns a chain of operators terminating in a caller-provided sink and
+/// counts throughput.
+class Pipeline : public RecordSink {
+ public:
+  /// `terminal` must outlive the pipeline.
+  explicit Pipeline(RecordSink* terminal);
+
+  /// Inserts `op` at the end of the operator chain (before the terminal
+  /// sink). Ownership transfers to the pipeline.
+  void Append(std::unique_ptr<RecordOperator> op);
+
+  Status Accept(const LogRecord& record) override;
+  Status Finish() override;
+
+  std::uint64_t records_in() const { return records_in_; }
+
+ private:
+  RecordSink* Entry();
+
+  RecordSink* terminal_;
+  std::vector<std::unique_ptr<RecordOperator>> operators_;
+  std::uint64_t records_in_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace wum
+
+#endif  // WUM_STREAM_PIPELINE_H_

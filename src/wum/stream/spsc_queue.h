@@ -1,0 +1,74 @@
+// Bounded single-producer / single-consumer queue used by the threaded
+// pipeline driver. Mutex + condvar implementation: simple, correct, and
+// fast enough for log-record granularity.
+
+#ifndef WUM_STREAM_SPSC_QUEUE_H_
+#define WUM_STREAM_SPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace wum {
+
+/// Blocking bounded queue. Push blocks when full; Pop blocks when empty
+/// until an element arrives or the producer closes the queue.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Blocks until space is available. Returns false (dropping the item)
+  /// if the queue was already closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained; nullopt signals end of stream.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Producer signals end of stream (idempotent). Consumers drain the
+  /// remaining items and then observe nullopt.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wum
+
+#endif  // WUM_STREAM_SPSC_QUEUE_H_

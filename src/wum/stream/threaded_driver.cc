@@ -1,0 +1,56 @@
+#include "wum/stream/threaded_driver.h"
+
+namespace wum {
+
+ThreadedDriver::ThreadedDriver(RecordSink* sink, std::size_t queue_capacity)
+    : queue_(queue_capacity), sink_(sink), worker_([this] { Run(); }) {}
+
+ThreadedDriver::~ThreadedDriver() {
+  if (!finished_) (void)Finish();
+}
+
+void ThreadedDriver::Run() {
+  while (true) {
+    std::optional<LogRecord> record = queue_.Pop();
+    if (!record.has_value()) return;  // closed and drained
+    {
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      if (!first_error_.ok()) continue;  // drain after failure
+    }
+    Status status = sink_->Accept(*record);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      if (first_error_.ok()) first_error_ = std::move(status);
+    }
+  }
+}
+
+Status ThreadedDriver::Offer(const LogRecord& record) {
+  if (finished_) {
+    return Status::FailedPrecondition("driver already finished");
+  }
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (!first_error_.ok()) return first_error_;
+  }
+  if (!queue_.Push(record)) {
+    return Status::FailedPrecondition("queue closed");
+  }
+  return Status::OK();
+}
+
+Status ThreadedDriver::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("driver already finished");
+  }
+  finished_ = true;
+  queue_.Close();
+  worker_.join();
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (!first_error_.ok()) return first_error_;
+  }
+  return sink_->Finish();
+}
+
+}  // namespace wum

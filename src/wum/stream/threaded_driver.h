@@ -1,0 +1,51 @@
+// Two-thread pipeline driver: the caller's thread produces records while
+// a worker thread runs the pipeline, decoupled by a bounded queue. This
+// is the "reactive" deployment shape — the ingest path (the web server
+// appending to its log) never waits on session reconstruction, which is
+// the paper's argument for reactive over proactive processing.
+
+#ifndef WUM_STREAM_THREADED_DRIVER_H_
+#define WUM_STREAM_THREADED_DRIVER_H_
+
+#include <thread>
+
+#include "wum/stream/pipeline.h"
+#include "wum/stream/spsc_queue.h"
+
+namespace wum {
+
+/// Owns the worker thread and the queue feeding a RecordSink.
+class ThreadedDriver {
+ public:
+  /// `sink` must outlive the driver. `queue_capacity` bounds the number
+  /// of in-flight records.
+  explicit ThreadedDriver(RecordSink* sink, std::size_t queue_capacity = 1024);
+
+  /// Joins the worker (calling Finish first if the caller forgot).
+  ~ThreadedDriver();
+
+  ThreadedDriver(const ThreadedDriver&) = delete;
+  ThreadedDriver& operator=(const ThreadedDriver&) = delete;
+
+  /// Enqueues one record; blocks when the queue is full. Returns
+  /// FailedPrecondition after Finish, or the sink's first error.
+  Status Offer(const LogRecord& record);
+
+  /// Signals end of stream, waits for the worker to drain, and returns
+  /// the pipeline's final status (including the sink's Finish).
+  Status Finish();
+
+ private:
+  void Run();
+
+  SpscQueue<LogRecord> queue_;
+  RecordSink* sink_;
+  std::thread worker_;
+  std::mutex status_mutex_;
+  Status first_error_;   // sticky first failure from the worker
+  bool finished_ = false;
+};
+
+}  // namespace wum
+
+#endif  // WUM_STREAM_THREADED_DRIVER_H_

@@ -1,0 +1,102 @@
+#include "wum/topology/graph_algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace wum {
+
+std::vector<bool> ReachablePages(const WebGraph& graph,
+                                 const std::vector<PageId>& sources) {
+  std::vector<bool> reachable(graph.num_pages(), false);
+  std::queue<PageId> frontier;
+  for (PageId source : sources) {
+    if (graph.IsValidPage(source) && !reachable[source]) {
+      reachable[source] = true;
+      frontier.push(source);
+    }
+  }
+  while (!frontier.empty()) {
+    PageId page = frontier.front();
+    frontier.pop();
+    for (PageId next : graph.OutLinks(page)) {
+      if (!reachable[next]) {
+        reachable[next] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return reachable;
+}
+
+InducedSubgraphResult InducedSubgraph(const WebGraph& graph,
+                                      const std::vector<PageId>& pages) {
+  std::vector<bool> keep(graph.num_pages(), false);
+  for (PageId page : pages) {
+    if (graph.IsValidPage(page)) keep[page] = true;
+  }
+  InducedSubgraphResult result{WebGraph(0), {}, {}};
+  result.to_subgraph.assign(graph.num_pages(), kInvalidPage);
+  for (std::size_t p = 0; p < graph.num_pages(); ++p) {
+    if (keep[p]) {
+      result.to_subgraph[p] = static_cast<PageId>(result.to_original.size());
+      result.to_original.push_back(static_cast<PageId>(p));
+    }
+  }
+  result.subgraph = WebGraph(result.to_original.size());
+  for (PageId original : result.to_original) {
+    PageId mapped_from = result.to_subgraph[original];
+    for (PageId target : graph.OutLinks(original)) {
+      PageId mapped_to = result.to_subgraph[target];
+      if (mapped_to != kInvalidPage) {
+        result.subgraph.AddLink(mapped_from, mapped_to);
+      }
+    }
+    if (graph.IsStartPage(original)) {
+      result.subgraph.MarkStartPage(mapped_from);
+    }
+  }
+  return result;
+}
+
+std::vector<PageId> DeadEndPages(const WebGraph& graph) {
+  std::vector<PageId> dead_ends;
+  for (std::size_t p = 0; p < graph.num_pages(); ++p) {
+    if (graph.OutDegree(static_cast<PageId>(p)) == 0) {
+      dead_ends.push_back(static_cast<PageId>(p));
+    }
+  }
+  return dead_ends;
+}
+
+std::vector<std::int64_t> BfsDistances(const WebGraph& graph, PageId source) {
+  std::vector<std::int64_t> distance(graph.num_pages(), -1);
+  if (!graph.IsValidPage(source)) return distance;
+  std::queue<PageId> frontier;
+  distance[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    PageId page = frontier.front();
+    frontier.pop();
+    for (PageId next : graph.OutLinks(page)) {
+      if (distance[next] < 0) {
+        distance[next] = distance[page] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return distance;
+}
+
+DegreeStats ComputeDegreeStats(const WebGraph& graph) {
+  DegreeStats stats;
+  for (std::size_t p = 0; p < graph.num_pages(); ++p) {
+    auto page = static_cast<PageId>(p);
+    stats.out_degree.Add(static_cast<double>(graph.OutDegree(page)));
+    stats.in_degree.Add(static_cast<double>(graph.InDegree(page)));
+    if (graph.OutDegree(page) == 0) ++stats.dead_ends;
+    if (graph.InDegree(page) == 0) ++stats.unreferenced;
+  }
+  return stats;
+}
+
+}  // namespace wum

@@ -1,0 +1,54 @@
+// Graph utilities over WebGraph: reachability, induced subgraphs,
+// dead-end detection, BFS distances and degree statistics.
+
+#ifndef WUM_TOPOLOGY_GRAPH_ALGORITHMS_H_
+#define WUM_TOPOLOGY_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wum/common/histogram.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// reachable[p] == true iff p is reachable from some page in `sources`
+/// by following hyperlinks forward (sources themselves are reachable).
+std::vector<bool> ReachablePages(const WebGraph& graph,
+                                 const std::vector<PageId>& sources);
+
+/// Result of InducedSubgraph: the subgraph plus the id mappings.
+struct InducedSubgraphResult {
+  WebGraph subgraph;
+  /// subgraph id -> original id, in increasing original-id order.
+  std::vector<PageId> to_original;
+  /// original id -> subgraph id, kInvalidPage when absent.
+  std::vector<PageId> to_subgraph;
+};
+
+/// Subgraph induced by `pages` (duplicates ignored). Edges and start-page
+/// marks are preserved among the retained pages. This is the "remove
+/// vertices not appearing in the candidate session" preprocessing step of
+/// Smart-SRA phase 2.
+InducedSubgraphResult InducedSubgraph(const WebGraph& graph,
+                                      const std::vector<PageId>& pages);
+
+/// Pages with no out-links (navigation dead ends).
+std::vector<PageId> DeadEndPages(const WebGraph& graph);
+
+/// BFS hop distances from `source` (-1 for unreachable pages).
+std::vector<std::int64_t> BfsDistances(const WebGraph& graph, PageId source);
+
+/// Degree distribution summary for reporting.
+struct DegreeStats {
+  RunningStats out_degree;
+  RunningStats in_degree;
+  std::size_t dead_ends = 0;        // out-degree 0
+  std::size_t unreferenced = 0;     // in-degree 0
+};
+
+DegreeStats ComputeDegreeStats(const WebGraph& graph);
+
+}  // namespace wum
+
+#endif  // WUM_TOPOLOGY_GRAPH_ALGORITHMS_H_

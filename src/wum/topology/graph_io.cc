@@ -1,0 +1,123 @@
+#include "wum/topology/graph_io.h"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "wum/common/string_util.h"
+
+namespace wum {
+namespace {
+
+constexpr std::string_view kMagic = "websra-graph";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+void WriteGraphText(const WebGraph& graph, std::ostream* out) {
+  *out << kMagic << ' ' << kVersion << '\n';
+  *out << "pages " << graph.num_pages() << '\n';
+  for (PageId start : graph.start_pages()) {
+    *out << "start " << start << '\n';
+  }
+  for (std::size_t p = 0; p < graph.num_pages(); ++p) {
+    for (PageId to : graph.OutLinks(static_cast<PageId>(p))) {
+      *out << "edge " << p << ' ' << to << '\n';
+    }
+  }
+}
+
+Result<WebGraph> ReadGraphText(std::istream* in) {
+  std::string line;
+  std::optional<WebGraph> graph;
+  bool saw_magic = false;
+  int line_number = 0;
+  auto error = [&](const std::string& what) {
+    return Status::ParseError("graph line " + std::to_string(line_number) +
+                              ": " + what);
+  };
+  while (std::getline(*in, line)) {
+    ++line_number;
+    std::string_view text = StripWhitespace(line);
+    if (text.empty() || text.front() == '#') continue;
+    std::vector<std::string_view> tokens;
+    for (std::string_view token : SplitString(text, ' ')) {
+      if (!token.empty()) tokens.push_back(token);
+    }
+    if (!saw_magic) {
+      if (tokens.size() != 2 || tokens[0] != kMagic) {
+        return error("expected '" + std::string(kMagic) + " <version>'");
+      }
+      auto version = ParseInt64(tokens[1]);
+      if (!version.ok() || *version != kVersion) {
+        return error("unsupported version");
+      }
+      saw_magic = true;
+      continue;
+    }
+    if (tokens[0] == "pages") {
+      if (graph.has_value()) return error("duplicate 'pages' line");
+      if (tokens.size() != 2) return error("expected 'pages <N>'");
+      WUM_ASSIGN_OR_RETURN(std::uint64_t n, ParseUint64(tokens[1]));
+      graph.emplace(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (!graph.has_value()) return error("'pages' must precede content lines");
+    if (tokens[0] == "start") {
+      if (tokens.size() != 2) return error("expected 'start <id>'");
+      WUM_ASSIGN_OR_RETURN(std::uint64_t id, ParseUint64(tokens[1]));
+      if (id >= graph->num_pages()) return error("start page out of range");
+      graph->MarkStartPage(static_cast<PageId>(id));
+      continue;
+    }
+    if (tokens[0] == "edge") {
+      if (tokens.size() != 3) return error("expected 'edge <from> <to>'");
+      WUM_ASSIGN_OR_RETURN(std::uint64_t from, ParseUint64(tokens[1]));
+      WUM_ASSIGN_OR_RETURN(std::uint64_t to, ParseUint64(tokens[2]));
+      if (from >= graph->num_pages() || to >= graph->num_pages()) {
+        return error("edge endpoint out of range");
+      }
+      if (!graph->AddLink(static_cast<PageId>(from), static_cast<PageId>(to))) {
+        return error("duplicate edge");
+      }
+      continue;
+    }
+    return error("unknown directive '" + std::string(tokens[0]) + "'");
+  }
+  if (!saw_magic) return Status::ParseError("empty graph stream");
+  if (!graph.has_value()) return Status::ParseError("missing 'pages' line");
+  return std::move(*graph);
+}
+
+Status WriteGraphFile(const WebGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  WriteGraphText(graph, &out);
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<WebGraph> ReadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadGraphText(&in);
+}
+
+std::string GraphToDot(const WebGraph& graph, const std::string& name) {
+  std::ostringstream oss;
+  oss << "digraph " << name << " {\n";
+  for (PageId start : graph.start_pages()) {
+    oss << "  p" << start << " [shape=box, style=filled];\n";
+  }
+  for (std::size_t p = 0; p < graph.num_pages(); ++p) {
+    for (PageId to : graph.OutLinks(static_cast<PageId>(p))) {
+      oss << "  p" << p << " -> p" << to << ";\n";
+    }
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace wum

@@ -1,0 +1,36 @@
+// Serialization of WebGraph: a line-oriented text format for persistence
+// and Graphviz DOT export for visualization.
+
+#ifndef WUM_TOPOLOGY_GRAPH_IO_H_
+#define WUM_TOPOLOGY_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "wum/common/result.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// Text format:
+///   websra-graph 1
+///   pages <N>
+///   start <id>            (one line per start page)
+///   edge <from> <to>      (one line per hyperlink)
+/// Blank lines and lines beginning with '#' are ignored on input.
+void WriteGraphText(const WebGraph& graph, std::ostream* out);
+
+/// Parses the text format; rejects malformed headers, out-of-range ids and
+/// duplicate edges.
+Result<WebGraph> ReadGraphText(std::istream* in);
+
+/// Convenience file wrappers.
+Status WriteGraphFile(const WebGraph& graph, const std::string& path);
+Result<WebGraph> ReadGraphFile(const std::string& path);
+
+/// Graphviz DOT representation (start pages drawn as filled boxes).
+std::string GraphToDot(const WebGraph& graph, const std::string& name = "site");
+
+}  // namespace wum
+
+#endif  // WUM_TOPOLOGY_GRAPH_IO_H_

@@ -1,0 +1,234 @@
+#include "wum/topology/site_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+
+#include "wum/topology/graph_algorithms.h"
+
+namespace wum {
+namespace {
+
+// Number of start pages implied by the options.
+std::size_t StartPageCount(const SiteGeneratorOptions& options) {
+  auto by_fraction = static_cast<std::size_t>(std::llround(
+      options.start_page_fraction * static_cast<double>(options.num_pages)));
+  std::size_t count = std::max(by_fraction, options.min_start_pages);
+  return std::min(count, options.num_pages);
+}
+
+void MarkRandomStartPages(const SiteGeneratorOptions& options, Rng* rng,
+                          WebGraph* graph) {
+  for (std::size_t index :
+       rng->SampleWithoutReplacement(options.num_pages, StartPageCount(options))) {
+    graph->MarkStartPage(static_cast<PageId>(index));
+  }
+}
+
+// Attaches every page not reachable from the start-page set to the
+// reachable region with one extra link, repeating until the whole site is
+// reachable (each pass strictly grows the reachable set).
+void EnsureReachability(Rng* rng, WebGraph* graph) {
+  const std::size_t n = graph->num_pages();
+  while (true) {
+    std::vector<bool> reachable =
+        ReachablePages(*graph, graph->start_pages());
+    std::vector<PageId> reachable_list;
+    std::vector<PageId> unreachable_list;
+    for (std::size_t p = 0; p < n; ++p) {
+      (reachable[p] ? reachable_list : unreachable_list)
+          .push_back(static_cast<PageId>(p));
+    }
+    if (unreachable_list.empty()) return;
+    for (PageId orphan : unreachable_list) {
+      PageId from = reachable_list[static_cast<std::size_t>(
+          rng->NextBounded(reachable_list.size()))];
+      if (from == orphan) continue;  // retried on the next pass
+      graph->AddLink(from, orphan);
+    }
+  }
+}
+
+}  // namespace
+
+Status ValidateSiteGeneratorOptions(const SiteGeneratorOptions& options) {
+  if (options.num_pages == 0) {
+    return Status::InvalidArgument("num_pages must be positive");
+  }
+  if (options.mean_out_degree < 0.0) {
+    return Status::InvalidArgument("mean_out_degree must be non-negative");
+  }
+  if (options.mean_out_degree >
+      static_cast<double>(options.num_pages - 1)) {
+    return Status::InvalidArgument(
+        "mean_out_degree exceeds num_pages - 1; the graph cannot host that "
+        "many distinct links per page");
+  }
+  if (options.start_page_fraction < 0.0 || options.start_page_fraction > 1.0) {
+    return Status::InvalidArgument("start_page_fraction must be in [0, 1]");
+  }
+  if (options.min_start_pages == 0) {
+    return Status::InvalidArgument(
+        "min_start_pages must be >= 1 (sessions need an entry page)");
+  }
+  if (options.min_start_pages > options.num_pages) {
+    return Status::InvalidArgument("min_start_pages exceeds num_pages");
+  }
+  return Status::OK();
+}
+
+Result<WebGraph> GenerateUniformSite(const SiteGeneratorOptions& options,
+                                     Rng* rng) {
+  WUM_RETURN_NOT_OK(ValidateSiteGeneratorOptions(options));
+  WebGraph graph(options.num_pages);
+  MarkRandomStartPages(options, rng, &graph);
+
+  const auto target_edges = static_cast<std::size_t>(std::llround(
+      options.mean_out_degree * static_cast<double>(options.num_pages)));
+  const std::size_t n = options.num_pages;
+  if (n > 1) {
+    std::size_t added = 0;
+    // Rejection loop; capacity n*(n-1) far exceeds the target for the
+    // paper's density (15/299), so collisions are rare.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = target_edges * 20 + 1000;
+    while (added < target_edges && attempts < max_attempts) {
+      ++attempts;
+      auto from = static_cast<PageId>(rng->NextBounded(n));
+      auto to = static_cast<PageId>(rng->NextBounded(n));
+      if (from == to) continue;
+      if (graph.AddLink(from, to)) ++added;
+    }
+  }
+  if (options.ensure_reachable_from_start_pages) {
+    EnsureReachability(rng, &graph);
+  }
+  return graph;
+}
+
+Result<WebGraph> GeneratePowerLawSite(const SiteGeneratorOptions& options,
+                                      Rng* rng) {
+  WUM_RETURN_NOT_OK(ValidateSiteGeneratorOptions(options));
+  WebGraph graph(options.num_pages);
+  MarkRandomStartPages(options, rng, &graph);
+
+  const std::size_t n = options.num_pages;
+  const auto target_edges = static_cast<std::size_t>(std::llround(
+      options.mean_out_degree * static_cast<double>(n)));
+  if (n > 1) {
+    // Repeated-endpoint list: each inserted edge appends its target, so
+    // sampling a uniform element of `attachment` is proportional to
+    // in-degree + 1 (every page is seeded once).
+    std::vector<PageId> attachment;
+    attachment.reserve(n + target_edges);
+    for (std::size_t p = 0; p < n; ++p) {
+      attachment.push_back(static_cast<PageId>(p));
+    }
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = target_edges * 40 + 1000;
+    while (added < target_edges && attempts < max_attempts) {
+      ++attempts;
+      auto from = static_cast<PageId>(rng->NextBounded(n));
+      PageId to = attachment[static_cast<std::size_t>(
+          rng->NextBounded(attachment.size()))];
+      if (from == to) continue;
+      if (graph.AddLink(from, to)) {
+        attachment.push_back(to);
+        ++added;
+      }
+    }
+  }
+  if (options.ensure_reachable_from_start_pages) {
+    EnsureReachability(rng, &graph);
+  }
+  return graph;
+}
+
+Result<WebGraph> GenerateHierarchicalSite(const SiteGeneratorOptions& options,
+                                          Rng* rng) {
+  WUM_RETURN_NOT_OK(ValidateSiteGeneratorOptions(options));
+  if (options.hierarchy_branching_factor == 0) {
+    return Status::InvalidArgument(
+        "hierarchy_branching_factor must be positive");
+  }
+  if (options.hierarchy_up_link_probability < 0.0 ||
+      options.hierarchy_up_link_probability > 1.0) {
+    return Status::InvalidArgument(
+        "hierarchy_up_link_probability must be in [0, 1]");
+  }
+  WebGraph graph(options.num_pages);
+  const std::size_t n = options.num_pages;
+  const std::size_t branching = options.hierarchy_branching_factor;
+
+  // Navigation tree: page p's children are p*b + 1 .. p*b + b.
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t c = 1; c <= branching; ++c) {
+      const std::size_t child = p * branching + c;
+      if (child >= n) break;
+      graph.AddLink(static_cast<PageId>(p), static_cast<PageId>(child));
+      if (rng->Bernoulli(options.hierarchy_up_link_probability)) {
+        graph.AddLink(static_cast<PageId>(child), static_cast<PageId>(p));
+      }
+    }
+  }
+
+  // Spend the remaining edge budget on uniform cross links.
+  const auto target_edges = static_cast<std::size_t>(std::llround(
+      options.mean_out_degree * static_cast<double>(n)));
+  if (n > 1) {
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = target_edges * 20 + 1000;
+    while (graph.num_edges() < target_edges && attempts < max_attempts) {
+      ++attempts;
+      auto from = static_cast<PageId>(rng->NextBounded(n));
+      auto to = static_cast<PageId>(rng->NextBounded(n));
+      if (from == to) continue;
+      graph.AddLink(from, to);
+    }
+  }
+
+  graph.MarkStartPage(0);  // the site index
+  MarkRandomStartPages(options, rng, &graph);
+  if (options.ensure_reachable_from_start_pages) {
+    EnsureReachability(rng, &graph);
+  }
+  return graph;
+}
+
+WebGraph MakeFigure1Topology() {
+  // Page ids: 0=P1, 1=P13, 2=P20, 3=P23, 4=P34, 5=P49.
+  WebGraph graph(6);
+  graph.AddLink(0, 1);  // P1  -> P13
+  graph.AddLink(0, 2);  // P1  -> P20
+  graph.AddLink(1, 4);  // P13 -> P34
+  graph.AddLink(1, 5);  // P13 -> P49
+  graph.AddLink(2, 3);  // P20 -> P23
+  graph.AddLink(4, 3);  // P34 -> P23
+  graph.AddLink(5, 3);  // P49 -> P23
+  graph.MarkStartPage(0);  // P1
+  graph.MarkStartPage(5);  // P49
+  return graph;
+}
+
+std::string Figure1PageName(PageId id) {
+  switch (id) {
+    case 0:
+      return "P1";
+    case 1:
+      return "P13";
+    case 2:
+      return "P20";
+    case 3:
+      return "P23";
+    case 4:
+      return "P34";
+    case 5:
+      return "P49";
+    default:
+      return "P?" + std::to_string(id);
+  }
+}
+
+}  // namespace wum

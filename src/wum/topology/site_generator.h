@@ -1,0 +1,83 @@
+// Random web-site topology generators.
+//
+// The paper evaluates on synthetic topologies with a fixed page count and
+// mean out-degree (Table 5: 300 pages, mean out-degree 15, sizes taken from
+// the Berkeley "How much information" study). SiteGenerator reproduces
+// that uniform model; PowerLawSiteGenerator implements a preferential-
+// attachment variant matching the web-graph literature the paper cites
+// ([1] Broder et al., [8] Cooper & Frieze, [10] Kumar et al.) and is used
+// by the topology ablation bench.
+
+#ifndef WUM_TOPOLOGY_SITE_GENERATOR_H_
+#define WUM_TOPOLOGY_SITE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "wum/common/random.h"
+#include "wum/common/result.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+/// Parameters shared by both generators.
+struct SiteGeneratorOptions {
+  /// Number of pages (paper default: 300).
+  std::size_t num_pages = 300;
+  /// Mean hyperlinks per page (paper default: 15).
+  double mean_out_degree = 15.0;
+  /// Fraction of pages marked as session entry pages. The paper keeps the
+  /// exact value unspecified ("not all of the pages are likely to take the
+  /// first hit"); 5% is this repo's documented default.
+  double start_page_fraction = 0.05;
+  /// Lower bound on the number of start pages regardless of the fraction.
+  std::size_t min_start_pages = 1;
+  /// When true, pages unreachable from every start page receive one
+  /// incoming link from the reachable region, so a simulated agent can in
+  /// principle visit the whole site.
+  bool ensure_reachable_from_start_pages = true;
+  /// Children per page in the hierarchical model's navigation tree.
+  std::size_t hierarchy_branching_factor = 4;
+  /// Probability of a child -> parent "up" link in the hierarchical
+  /// model (breadcrumb navigation).
+  double hierarchy_up_link_probability = 0.8;
+};
+
+/// Validates option ranges (page count > 0, degree fits the page count,
+/// fraction in [0, 1], ...).
+Status ValidateSiteGeneratorOptions(const SiteGeneratorOptions& options);
+
+/// Uniform random topology (the paper's model): edges are distinct
+/// uniformly random ordered pairs without self-loops; start pages are a
+/// uniform sample.
+Result<WebGraph> GenerateUniformSite(const SiteGeneratorOptions& options,
+                                     Rng* rng);
+
+/// Preferential-attachment topology: link targets are drawn with
+/// probability proportional to (in-degree + 1), producing a heavy-tailed
+/// in-degree distribution like the real web.
+Result<WebGraph> GeneratePowerLawSite(const SiteGeneratorOptions& options,
+                                      Rng* rng);
+
+/// Hierarchical topology: pages form a navigation tree rooted at page 0
+/// (the site index) with `hierarchy_branching_factor` children per node,
+/// probabilistic child -> parent breadcrumb links, and the remaining
+/// edge budget spent on uniform cross links. Page 0 is always a start
+/// page; further start pages are sampled as in the other models.
+Result<WebGraph> GenerateHierarchicalSite(const SiteGeneratorOptions& options,
+                                          Rng* rng);
+
+/// The 6-page topology of the paper's Figure 1 (pages P1, P13, P20, P23,
+/// P34, P49 mapped to ids 0..5 in that order), used by the worked-example
+/// golden tests and the table-reproduction bench.
+///
+/// Edges (derived from the Link[] tests in Tables 2 and 4): P1->P13,
+/// P1->P20, P13->P34, P13->P49, P20->P23, P34->P23, P49->P23.
+/// Start pages: P1 and P49 (per the Figure 3 discussion).
+WebGraph MakeFigure1Topology();
+
+/// Page-name helper for the Figure 1 topology: id -> "P1", "P13", ...
+std::string Figure1PageName(PageId id);
+
+}  // namespace wum
+
+#endif  // WUM_TOPOLOGY_SITE_GENERATOR_H_

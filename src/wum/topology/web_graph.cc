@@ -1,0 +1,58 @@
+#include "wum/topology/web_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wum {
+
+WebGraph::WebGraph(std::size_t num_pages)
+    : out_links_(num_pages),
+      in_links_(num_pages),
+      is_start_page_(num_pages, false) {}
+
+bool WebGraph::AddLink(PageId from, PageId to) {
+  assert(IsValidPage(from) && IsValidPage(to));
+  auto [it, inserted] = edge_set_.insert(MakeEdgeKey(from, to));
+  (void)it;
+  if (!inserted) return false;
+  out_links_[from].push_back(to);
+  in_links_[to].push_back(from);
+  ++num_edges_;
+  return true;
+}
+
+bool WebGraph::HasLink(PageId from, PageId to) const {
+  if (!IsValidPage(from) || !IsValidPage(to)) return false;
+  return edge_set_.contains(MakeEdgeKey(from, to));
+}
+
+double WebGraph::MeanOutDegree() const {
+  if (num_pages() == 0) return 0.0;
+  return static_cast<double>(num_edges_) / static_cast<double>(num_pages());
+}
+
+void WebGraph::MarkStartPage(PageId page) {
+  assert(IsValidPage(page));
+  if (is_start_page_[page]) return;
+  is_start_page_[page] = true;
+  start_pages_.insert(
+      std::lower_bound(start_pages_.begin(), start_pages_.end(), page), page);
+}
+
+bool WebGraph::IsStartPage(PageId page) const {
+  return IsValidPage(page) && is_start_page_[page];
+}
+
+bool operator==(const WebGraph& a, const WebGraph& b) {
+  if (a.num_pages() != b.num_pages() || a.num_edges() != b.num_edges() ||
+      a.start_pages_ != b.start_pages_) {
+    return false;
+  }
+  // Edge sets must match irrespective of adjacency-list insertion order.
+  for (const auto& key : a.edge_set_) {
+    if (!b.edge_set_.contains(key)) return false;
+  }
+  return true;
+}
+
+}  // namespace wum

@@ -1,0 +1,105 @@
+// WebGraph: the static site topology the paper's heuristics consult.
+// Directed graph over page ids with O(1) average edge membership tests,
+// adjacency lists in both directions, and a designated set of session
+// start pages ("entry pages" such as index.html).
+
+#ifndef WUM_TOPOLOGY_WEB_GRAPH_H_
+#define WUM_TOPOLOGY_WEB_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "wum/common/result.h"
+
+namespace wum {
+
+/// Identifier of a web page (dense, 0-based).
+using PageId = std::uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
+
+/// Directed hyperlink graph of a static web site.
+///
+/// Pages are dense ids [0, num_pages). Edges are hyperlinks
+/// (source page contains a link to target page). Self-loops are allowed by
+/// the representation but never produced by the generators. A non-empty
+/// subset of pages is marked as *start pages*: plausible session entry
+/// points (directly typed / externally linked), per §4 of the paper.
+class WebGraph {
+ public:
+  /// Creates a graph with `num_pages` pages and no edges.
+  explicit WebGraph(std::size_t num_pages);
+
+  WebGraph(const WebGraph&) = default;
+  WebGraph& operator=(const WebGraph&) = default;
+  WebGraph(WebGraph&&) noexcept = default;
+  WebGraph& operator=(WebGraph&&) noexcept = default;
+
+  std::size_t num_pages() const { return out_links_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  bool IsValidPage(PageId page) const { return page < num_pages(); }
+
+  /// Adds the hyperlink from -> to. Returns false (and changes nothing) if
+  /// the edge already exists. Both endpoints must be valid pages.
+  bool AddLink(PageId from, PageId to);
+
+  /// True iff page `from` contains a hyperlink to page `to`
+  /// (the paper's Link[from, to] = 1).
+  bool HasLink(PageId from, PageId to) const;
+
+  /// Pages linked *from* `page`, in insertion order.
+  const std::vector<PageId>& OutLinks(PageId page) const {
+    return out_links_[page];
+  }
+  /// Pages linking *to* `page`, in insertion order.
+  const std::vector<PageId>& InLinks(PageId page) const {
+    return in_links_[page];
+  }
+
+  std::size_t OutDegree(PageId page) const { return out_links_[page].size(); }
+  std::size_t InDegree(PageId page) const { return in_links_[page].size(); }
+
+  /// Mean out-degree over all pages (0 for an empty graph).
+  double MeanOutDegree() const;
+
+  /// Marks `page` as a session start page (idempotent).
+  void MarkStartPage(PageId page);
+  bool IsStartPage(PageId page) const;
+  /// Start pages in increasing id order.
+  const std::vector<PageId>& start_pages() const { return start_pages_; }
+
+  friend bool operator==(const WebGraph& a, const WebGraph& b);
+
+ private:
+  struct EdgeKey {
+    std::uint64_t packed;
+    friend bool operator==(EdgeKey a, EdgeKey b) { return a.packed == b.packed; }
+  };
+  struct EdgeKeyHash {
+    std::size_t operator()(EdgeKey key) const {
+      // SplitMix64-style mix of the packed (from, to) pair.
+      std::uint64_t z = key.packed + 0x9E3779B97F4A7C15ULL;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+  static EdgeKey MakeEdgeKey(PageId from, PageId to) {
+    return EdgeKey{(static_cast<std::uint64_t>(from) << 32) | to};
+  }
+
+  std::vector<std::vector<PageId>> out_links_;
+  std::vector<std::vector<PageId>> in_links_;
+  std::unordered_set<EdgeKey, EdgeKeyHash> edge_set_;
+  std::vector<PageId> start_pages_;
+  std::vector<bool> is_start_page_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace wum
+
+#endif  // WUM_TOPOLOGY_WEB_GRAPH_H_

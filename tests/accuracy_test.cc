@@ -1,0 +1,265 @@
+#include "wum/eval/accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+TEST(CaptureRelationTest, Names) {
+  EXPECT_EQ(CaptureRelationToString(CaptureRelation::kSubstring),
+            "substring");
+  EXPECT_EQ(CaptureRelationToString(CaptureRelation::kSubsequence),
+            "subsequence");
+}
+
+TEST(IsCapturedTest, SubstringVsSubsequence) {
+  std::vector<std::vector<PageId>> reconstructed = {{1, 9, 3, 5, 8}};
+  EXPECT_FALSE(IsCaptured({1, 3, 5}, reconstructed,
+                          CaptureRelation::kSubstring));
+  EXPECT_TRUE(IsCaptured({1, 3, 5}, reconstructed,
+                         CaptureRelation::kSubsequence));
+}
+
+TEST(IsCapturedTest, AnyReconstructionSuffices) {
+  std::vector<std::vector<PageId>> reconstructed = {{7, 8}, {1, 3, 5}};
+  EXPECT_TRUE(
+      IsCaptured({1, 3, 5}, reconstructed, CaptureRelation::kSubstring));
+  EXPECT_FALSE(IsCaptured({1, 3, 5}, {}, CaptureRelation::kSubstring));
+}
+
+// Hand-built workload: one agent, known ground truth and log.
+Workload HandWorkload() {
+  Workload workload;
+  AgentRun run;
+  run.agent_id = 0;
+  run.client_ip = "10.0.0.1";
+  // Real sessions: [P1, P13, P34] and [P1, P20] (the paper's behaviour-3
+  // example); log misses the cache-served revisit of P1.
+  run.trace.real_sessions.push_back(
+      MakeSession({0, 1, 4}, {0, 120, 240}));
+  run.trace.real_sessions.push_back(MakeSession({0, 2}, {360, 480}));
+  run.trace.server_requests =
+      MakeSession({0, 1, 4, 2}, {0, 120, 240, 480}).requests;
+  workload.agents.push_back(std::move(run));
+  return workload;
+}
+
+TEST(AccuracyEvaluatorTest, SmartSraCapturesBothPaperExampleSessions) {
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload = HandWorkload();
+  SmartSra heuristic(&graph);
+  AccuracyEvaluator evaluator(&graph, TimeThresholds());
+  Result<AccuracyResult> result = evaluator.Evaluate(workload, heuristic);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->real_sessions, 2u);
+  EXPECT_EQ(result->captured_sessions, 2u);
+  EXPECT_DOUBLE_EQ(result->accuracy(), 1.0);
+  // Smart-SRA output is valid by construction.
+  EXPECT_EQ(result->valid_reconstructed_sessions,
+            result->reconstructed_sessions);
+}
+
+TEST(AccuracyEvaluatorTest, PageStayGiantSessionIsIneligible) {
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload = HandWorkload();
+  PageStaySessionizer heuristic;  // one big session: [P1, P13, P34, P20]
+  AccuracyEvaluator evaluator(&graph, TimeThresholds());
+  Result<AccuracyResult> result = evaluator.Evaluate(workload, heuristic);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->real_sessions, 2u);
+  // [P1, P13, P34, P20] breaks the topology rule at P34 -> P20, so it
+  // cannot capture anything under the paper's §5.1 requirement.
+  EXPECT_EQ(result->valid_reconstructed_sessions, 0u);
+  EXPECT_EQ(result->captured_sessions, 0u);
+  EXPECT_DOUBLE_EQ(result->accuracy(), 0.0);
+}
+
+TEST(AccuracyEvaluatorTest, DisablingValidityFilterRestoresSubstringOnly) {
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload = HandWorkload();
+  PageStaySessionizer heuristic;
+  AccuracyOptions options;
+  options.require_valid_sessions = false;
+  AccuracyEvaluator evaluator(&graph, TimeThresholds(), options);
+  Result<AccuracyResult> result = evaluator.Evaluate(workload, heuristic);
+  ASSERT_TRUE(result.ok());
+  // [P1, P13, P34] is a substring of the giant session; [P1, P20] is
+  // interrupted by P34.
+  EXPECT_EQ(result->captured_sessions, 1u);
+  EXPECT_DOUBLE_EQ(result->accuracy(), 0.5);
+}
+
+TEST(AccuracyEvaluatorTest, SubsequenceRelationIsMoreLenient) {
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload = HandWorkload();
+  PageStaySessionizer heuristic;
+  AccuracyOptions options;
+  options.definition = AccuracyDefinition::kRealSessionsCaptured;
+  options.relation = CaptureRelation::kSubsequence;
+  options.require_valid_sessions = false;
+  AccuracyEvaluator lenient(&graph, TimeThresholds(), options);
+  Result<AccuracyResult> result = lenient.Evaluate(workload, heuristic);
+  ASSERT_TRUE(result.ok());
+  // Both real sessions are subsequences of the single giant session.
+  EXPECT_DOUBLE_EQ(result->accuracy(), 1.0);
+  EXPECT_EQ(result->captured_sessions, 2u);
+  // Under the paper's definition the same reconstruction counts once.
+  EXPECT_EQ(result->correct_reconstructions, 1u);
+}
+
+TEST(AccuracyEvaluatorTest, DefinitionsDifferOnMergedReconstructions) {
+  // One giant (but, here, link-valid) session capturing two real
+  // sessions: recall-style accuracy is 2/2, the paper's
+  // correct-reconstruction ratio is 1/2.
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload;
+  AgentRun run;
+  run.agent_id = 0;
+  run.client_ip = "10.0.0.1";
+  run.trace.real_sessions.push_back(MakeSession({0, 1}, {0, 60}));
+  run.trace.real_sessions.push_back(MakeSession({4, 3}, {120, 180}));
+  // Log happens to be one link-consistent path P1->P13->P34->P23.
+  run.trace.server_requests =
+      MakeSession({0, 1, 4, 3}, {0, 60, 120, 180}).requests;
+  workload.agents.push_back(std::move(run));
+
+  PageStaySessionizer heuristic;  // one session: the whole path
+  AccuracyEvaluator paper_metric(&graph, TimeThresholds());
+  Result<AccuracyResult> result = paper_metric.Evaluate(workload, heuristic);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->real_sessions, 2u);
+  EXPECT_EQ(result->captured_sessions, 2u);
+  EXPECT_EQ(result->correct_reconstructions, 1u);
+  EXPECT_DOUBLE_EQ(result->accuracy(), 0.5);       // paper definition
+  EXPECT_DOUBLE_EQ(result->capture_rate(), 1.0);   // recall-style
+}
+
+TEST(AccuracyEvaluatorTest, LengthStatisticsTracked) {
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload = HandWorkload();
+  PageStaySessionizer heuristic;
+  AccuracyEvaluator evaluator(&graph, TimeThresholds());
+  Result<AccuracyResult> result = evaluator.Evaluate(workload, heuristic);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reconstructed_sessions, 1u);
+  EXPECT_DOUBLE_EQ(result->reconstructed_length.mean(), 4.0);
+  EXPECT_EQ(result->real_length.count(), 2u);
+  EXPECT_DOUBLE_EQ(result->real_length.mean(), 2.5);
+}
+
+TEST(AccuracyEvaluatorTest, EmptyWorkload) {
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload;
+  SmartSra heuristic(&graph);
+  AccuracyEvaluator evaluator(&graph, TimeThresholds());
+  Result<AccuracyResult> result = evaluator.Evaluate(workload, heuristic);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->real_sessions, 0u);
+  EXPECT_DOUBLE_EQ(result->accuracy(), 0.0);
+}
+
+TEST(AccuracyDefinitionTest, Names) {
+  EXPECT_EQ(
+      AccuracyDefinitionToString(AccuracyDefinition::kCorrectReconstructions),
+      "correct-reconstructions");
+  EXPECT_EQ(
+      AccuracyDefinitionToString(AccuracyDefinition::kRealSessionsCaptured),
+      "real-sessions-captured");
+}
+
+TEST(BuildIpReferredStreamsTest, AttachesReferrersAndSorts) {
+  Workload workload;
+  AgentRun run;
+  run.agent_id = 0;
+  run.client_ip = "ip";
+  run.trace.server_requests = MakeSession({3, 5}, {100, 200}).requests;
+  run.trace.server_referrers = {kInvalidPage, 3};
+  workload.agents.push_back(std::move(run));
+  auto streams = BuildIpReferredStreams(workload);
+  ASSERT_EQ(streams.size(), 1u);
+  const auto& stream = streams["ip"];
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream[0].page, 3u);
+  EXPECT_EQ(stream[0].referrer, kInvalidPage);
+  EXPECT_EQ(stream[1].page, 5u);
+  EXPECT_EQ(stream[1].referrer, 3u);
+}
+
+TEST(BuildIpStreamsTest, IdentityModeSeparatesUserAgents) {
+  Workload workload;
+  for (int i = 0; i < 2; ++i) {
+    AgentRun run;
+    run.agent_id = static_cast<std::uint64_t>(i);
+    run.client_ip = "proxy";
+    run.user_agent = i == 0 ? "MSIE" : "Firefox";
+    run.trace.server_requests = MakeSession({1}, {i * 10}).requests;
+    workload.agents.push_back(std::move(run));
+  }
+  EXPECT_EQ(BuildIpStreams(workload, UserIdentity::kClientIp).size(), 1u);
+  EXPECT_EQ(
+      BuildIpStreams(workload, UserIdentity::kClientIpAndUserAgent).size(),
+      2u);
+}
+
+TEST(BuildIpStreamsTest, MergesProxySharedAgentsSorted) {
+  Workload workload;
+  AgentRun a;
+  a.agent_id = 0;
+  a.client_ip = "proxy";
+  a.trace.server_requests = MakeSession({1, 2}, {100, 300}).requests;
+  AgentRun b;
+  b.agent_id = 1;
+  b.client_ip = "proxy";
+  b.trace.server_requests = MakeSession({3}, {200}).requests;
+  workload.agents.push_back(std::move(a));
+  workload.agents.push_back(std::move(b));
+  auto streams = BuildIpStreams(workload);
+  ASSERT_EQ(streams.size(), 1u);
+  const auto& merged = streams["proxy"];
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].page, 1u);
+  EXPECT_EQ(merged[1].page, 3u);  // interleaved by timestamp
+  EXPECT_EQ(merged[2].page, 2u);
+}
+
+TEST(AccuracyEvaluatorTest, ProxySharingDegradesAccuracy) {
+  // Two agents interleaved behind one IP: their pages interrupt each
+  // other, so substring capture fails where separate IPs would succeed.
+  WebGraph graph = MakeFigure1Topology();
+  auto make_agent = [](std::uint64_t id, const std::string& ip,
+                       TimeSeconds offset) {
+    AgentRun run;
+    run.agent_id = id;
+    run.client_ip = ip;
+    run.trace.real_sessions.push_back(
+        MakeSession({0, 1, 4}, {offset, offset + 120, offset + 240}));
+    run.trace.server_requests =
+        MakeSession({0, 1, 4}, {offset, offset + 120, offset + 240}).requests;
+    return run;
+  };
+  PageStaySessionizer heuristic;
+  AccuracyEvaluator evaluator(&graph, TimeThresholds());
+
+  Workload separate;
+  separate.agents.push_back(make_agent(0, "ip-a", 0));
+  separate.agents.push_back(make_agent(1, "ip-b", 60));
+  Result<AccuracyResult> separate_result =
+      evaluator.Evaluate(separate, heuristic);
+  ASSERT_TRUE(separate_result.ok());
+  EXPECT_DOUBLE_EQ(separate_result->accuracy(), 1.0);
+
+  Workload shared;
+  shared.agents.push_back(make_agent(0, "proxy", 0));
+  shared.agents.push_back(make_agent(1, "proxy", 60));  // interleaves
+  Result<AccuracyResult> shared_result =
+      evaluator.Evaluate(shared, heuristic);
+  ASSERT_TRUE(shared_result.ok());
+  EXPECT_LT(shared_result->accuracy(), 1.0);
+}
+
+}  // namespace
+}  // namespace wum

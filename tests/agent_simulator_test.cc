@@ -1,0 +1,418 @@
+#include "wum/simulator/agent_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+AgentProfile DefaultProfile() { return AgentProfile(); }
+
+TEST(AgentProfileTest, DefaultsMatchTable5) {
+  AgentProfile profile;
+  EXPECT_DOUBLE_EQ(profile.stp, 0.05);
+  EXPECT_DOUBLE_EQ(profile.lpp, 0.30);
+  EXPECT_DOUBLE_EQ(profile.nip, 0.30);
+  EXPECT_DOUBLE_EQ(profile.page_stay_mean_minutes, 2.2);
+  EXPECT_DOUBLE_EQ(profile.page_stay_stddev_minutes, 0.5);
+  EXPECT_TRUE(ValidateAgentProfile(profile).ok());
+}
+
+TEST(AgentProfileTest, Validation) {
+  AgentProfile profile;
+  profile.stp = 0.0;  // would never terminate
+  EXPECT_TRUE(ValidateAgentProfile(profile).IsInvalidArgument());
+  profile = AgentProfile();
+  profile.lpp = 1.0;
+  EXPECT_TRUE(ValidateAgentProfile(profile).IsInvalidArgument());
+  profile = AgentProfile();
+  profile.nip = -0.1;
+  EXPECT_TRUE(ValidateAgentProfile(profile).IsInvalidArgument());
+  profile = AgentProfile();
+  profile.page_stay_mean_minutes = 0.0;
+  EXPECT_TRUE(ValidateAgentProfile(profile).IsInvalidArgument());
+  profile = AgentProfile();
+  profile.page_stay_stddev_minutes = -1.0;
+  EXPECT_TRUE(ValidateAgentProfile(profile).IsInvalidArgument());
+  profile = AgentProfile();
+  profile.nip_gap_mean_minutes = 0.0;
+  EXPECT_TRUE(ValidateAgentProfile(profile).IsInvalidArgument());
+  profile = AgentProfile();
+  profile.max_events = 0;
+  EXPECT_TRUE(ValidateAgentProfile(profile).IsInvalidArgument());
+}
+
+TEST(AgentSimulatorTest, RequiresStartPages) {
+  WebGraph graph(5);  // no start pages marked
+  AgentSimulator simulator(&graph, DefaultProfile());
+  Rng rng(1);
+  EXPECT_TRUE(
+      simulator.SimulateAgent(0, &rng).status().IsFailedPrecondition());
+}
+
+TEST(AgentSimulatorTest, DeterministicGivenSeed) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentSimulator simulator(&graph, DefaultProfile());
+  Rng rng_a(42);
+  Rng rng_b(42);
+  Result<AgentTrace> a = simulator.SimulateAgent(1000, &rng_a);
+  Result<AgentTrace> b = simulator.SimulateAgent(1000, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->real_sessions, b->real_sessions);
+  EXPECT_EQ(a->server_requests, b->server_requests);
+  EXPECT_EQ(a->events.size(), b->events.size());
+}
+
+TEST(AgentSimulatorTest, FirstEventIsServerServedEntryPage) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentSimulator simulator(&graph, DefaultProfile());
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    Result<AgentTrace> trace = simulator.SimulateAgent(500, &rng);
+    ASSERT_TRUE(trace.ok());
+    ASSERT_FALSE(trace->events.empty());
+    const NavigationEvent& first = trace->events.front();
+    EXPECT_EQ(first.kind, NavigationKind::kInitialEntry);
+    EXPECT_FALSE(first.served_from_cache);
+    EXPECT_TRUE(graph.IsStartPage(first.page));
+    EXPECT_EQ(first.timestamp, 500);
+  }
+}
+
+class SimulatorInvariantTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng site_rng(7);
+    SiteGeneratorOptions options;
+    options.num_pages = 60;
+    options.mean_out_degree = 4.0;
+    graph_ = *GenerateUniformSite(options, &site_rng);
+  }
+  WebGraph graph_{0};
+};
+
+TEST_P(SimulatorInvariantTest, GroundTruthSatisfiesBothRules) {
+  AgentSimulator simulator(&graph_, DefaultProfile());
+  Rng rng(GetParam());
+  for (int agent = 0; agent < 30; ++agent) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    for (const Session& session : trace->real_sessions) {
+      EXPECT_FALSE(session.empty());
+      EXPECT_TRUE(SatisfiesTopologyRule(session, graph_))
+          << SessionToString(session);
+      EXPECT_TRUE(SatisfiesTimestampRule(session, Minutes(10)))
+          << SessionToString(session);
+    }
+  }
+}
+
+TEST_P(SimulatorInvariantTest, ServerLogIsCacheFreeProjectionOfEvents) {
+  AgentSimulator simulator(&graph_, DefaultProfile());
+  Rng rng(GetParam() ^ 0x77);
+  for (int agent = 0; agent < 30; ++agent) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    std::vector<PageRequest> expected;
+    for (const NavigationEvent& event : trace->events) {
+      if (!event.served_from_cache) {
+        expected.push_back(PageRequest{event.page, event.timestamp});
+      }
+    }
+    EXPECT_EQ(trace->server_requests, expected);
+    // Log timestamps non-decreasing.
+    for (std::size_t i = 1; i < trace->server_requests.size(); ++i) {
+      EXPECT_GE(trace->server_requests[i].timestamp,
+                trace->server_requests[i - 1].timestamp);
+    }
+  }
+}
+
+TEST_P(SimulatorInvariantTest, CacheSemantics) {
+  // An event is served from cache iff its page appeared earlier in the
+  // event stream (unbounded cache).
+  AgentSimulator simulator(&graph_, DefaultProfile());
+  Rng rng(GetParam() ^ 0x1234);
+  for (int agent = 0; agent < 30; ++agent) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    std::vector<bool> seen(graph_.num_pages(), false);
+    for (const NavigationEvent& event : trace->events) {
+      EXPECT_EQ(event.served_from_cache, static_cast<bool>(seen[event.page]));
+      seen[event.page] = true;
+    }
+  }
+}
+
+TEST_P(SimulatorInvariantTest, GroundTruthConcatenationEqualsEvents) {
+  // Real sessions partition the client-side navigation exactly.
+  AgentSimulator simulator(&graph_, DefaultProfile());
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int agent = 0; agent < 30; ++agent) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    std::vector<PageRequest> concatenated;
+    for (const Session& session : trace->real_sessions) {
+      concatenated.insert(concatenated.end(), session.requests.begin(),
+                          session.requests.end());
+    }
+    std::vector<PageRequest> events;
+    for (const NavigationEvent& event : trace->events) {
+      events.push_back(PageRequest{event.page, event.timestamp});
+    }
+    EXPECT_EQ(concatenated, events);
+  }
+}
+
+TEST_P(SimulatorInvariantTest, SessionBoundariesMatchBehaviourKinds) {
+  // A new real session starts exactly at kNewStartPage or
+  // kCacheBacktrack events (plus the initial entry).
+  AgentSimulator simulator(&graph_, DefaultProfile());
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int agent = 0; agent < 20; ++agent) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    std::size_t boundary_events = 0;
+    for (const NavigationEvent& event : trace->events) {
+      if (event.kind == NavigationKind::kInitialEntry ||
+          event.kind == NavigationKind::kNewStartPage ||
+          event.kind == NavigationKind::kCacheBacktrack) {
+        ++boundary_events;
+      }
+    }
+    EXPECT_EQ(trace->real_sessions.size(), boundary_events);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorInvariantTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+TEST(AgentSimulatorTest, TerminationFollowsGeometricLaw) {
+  // With STP = 0.5 and NIP = LPP = 0, the number of visited pages is
+  // geometric with mean 2.
+  WebGraph graph = MakeFigure1Topology();
+  AgentProfile profile;
+  profile.stp = 0.5;
+  profile.lpp = 0.0;
+  profile.nip = 0.0;
+  AgentSimulator simulator(&graph, profile);
+  Rng rng(99);
+  double total_pages = 0;
+  constexpr int kAgents = 4000;
+  for (int i = 0; i < kAgents; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    total_pages += static_cast<double>(trace->events.size());
+  }
+  // Dead ends (P23 has no out-links) shorten some walks, so the observed
+  // mean is slightly below 2.
+  EXPECT_GT(total_pages / kAgents, 1.5);
+  EXPECT_LT(total_pages / kAgents, 2.1);
+}
+
+TEST(AgentSimulatorTest, NipZeroNeverJumpsToNewStartPage) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentProfile profile;
+  profile.nip = 0.0;
+  AgentSimulator simulator(&graph, profile);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    for (std::size_t e = 1; e < trace->events.size(); ++e) {
+      EXPECT_NE(trace->events[e].kind, NavigationKind::kNewStartPage);
+    }
+  }
+}
+
+TEST(AgentSimulatorTest, LppZeroNeverBacktracks) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentProfile profile;
+  profile.lpp = 0.0;
+  AgentSimulator simulator(&graph, profile);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    for (const NavigationEvent& event : trace->events) {
+      EXPECT_NE(event.kind, NavigationKind::kCacheBacktrack);
+      EXPECT_NE(event.kind, NavigationKind::kBranchAfterBack);
+    }
+  }
+}
+
+TEST(AgentSimulatorTest, BacktrackTargetIsCacheServedAndLinksOnward) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentProfile profile;
+  profile.lpp = 0.8;
+  profile.nip = 0.0;
+  profile.stp = 0.05;
+  AgentSimulator simulator(&graph, profile);
+  Rng rng(5);
+  std::size_t backtracks = 0;
+  for (int i = 0; i < 200; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    for (std::size_t e = 0; e < trace->events.size(); ++e) {
+      if (trace->events[e].kind == NavigationKind::kCacheBacktrack) {
+        ++backtracks;
+        EXPECT_TRUE(trace->events[e].served_from_cache);
+        ASSERT_LT(e + 1, trace->events.size());
+        const NavigationEvent& branch = trace->events[e + 1];
+        EXPECT_EQ(branch.kind, NavigationKind::kBranchAfterBack);
+        EXPECT_FALSE(branch.served_from_cache);  // fresh page
+        EXPECT_TRUE(graph.HasLink(trace->events[e].page, branch.page));
+      }
+    }
+  }
+  EXPECT_GT(backtracks, 10u);
+}
+
+TEST(AgentSimulatorTest, PageStayGapsWithinTenMinutes) {
+  // Behaviours 2 and 3 keep inter-request gaps under the 10-minute
+  // page-stay bound; only behaviour-1 re-entries (a fresh visit typed
+  // into the address bar) may exceed it.
+  WebGraph graph = MakeFigure1Topology();
+  AgentSimulator simulator(&graph, DefaultProfile());
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    for (std::size_t e = 1; e < trace->events.size(); ++e) {
+      const TimeSeconds gap =
+          trace->events[e].timestamp - trace->events[e - 1].timestamp;
+      EXPECT_GT(gap, 0);
+      if (trace->events[e].kind != NavigationKind::kNewStartPage) {
+        EXPECT_LT(gap, Minutes(10));
+      }
+    }
+  }
+}
+
+TEST(AgentSimulatorTest, EntryGapsAreHeavyTailed) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentProfile profile;
+  profile.stp = 0.01;
+  profile.nip = 0.5;
+  profile.lpp = 0.0;
+  profile.nip_gap_mean_minutes = 30.0;
+  AgentSimulator simulator(&graph, profile);
+  Rng rng(12);
+  double sum = 0;
+  std::size_t count = 0;
+  std::size_t above_rho = 0;
+  for (int i = 0; i < 200; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    for (std::size_t e = 1; e < trace->events.size(); ++e) {
+      if (trace->events[e].kind != NavigationKind::kNewStartPage) continue;
+      const TimeSeconds gap =
+          trace->events[e].timestamp - trace->events[e - 1].timestamp;
+      sum += static_cast<double>(gap);
+      ++count;
+      if (gap > Minutes(10)) ++above_rho;
+    }
+  }
+  ASSERT_GT(count, 500u);
+  // Exponential(mean 30 min): mean ~ 1800 s, P(gap > 10 min) = e^-1/3.
+  EXPECT_NEAR(sum / static_cast<double>(count), 1800.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(above_rho) / static_cast<double>(count),
+              std::exp(-1.0 / 3.0), 0.05);
+}
+
+TEST(AgentSimulatorTest, PageStayDistributionMatchesProfile) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentProfile profile;
+  profile.stp = 0.02;
+  AgentSimulator simulator(&graph, profile);
+  Rng rng(8);
+  double sum = 0;
+  std::size_t count = 0;
+  for (int i = 0; i < 300; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    for (std::size_t e = 1; e < trace->events.size(); ++e) {
+      if (trace->events[e].kind == NavigationKind::kNewStartPage) continue;
+      sum += static_cast<double>(trace->events[e].timestamp -
+                                 trace->events[e - 1].timestamp);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 500u);
+  // Mean stay ~ 2.2 minutes = 132 seconds (within a few seconds).
+  EXPECT_NEAR(sum / static_cast<double>(count), 132.0, 8.0);
+}
+
+TEST(AgentSimulatorTest, MaxEventsCapsRunawayAgents) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentProfile profile;
+  profile.stp = 1e-9;  // effectively immortal
+  profile.max_events = 50;
+  AgentSimulator simulator(&graph, profile);
+  Rng rng(9);
+  Result<AgentTrace> trace = simulator.SimulateAgent(0, &rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_LE(trace->events.size(), 50u);
+}
+
+TEST(AgentSimulatorTest, HighNipExhaustsEntryPagesAndReusesThem) {
+  // Only 2 entry pages in Figure 1: with NIP = 0.9 and a long-lived
+  // agent, entry pages run out and reused ones are cache-served.
+  WebGraph graph = MakeFigure1Topology();
+  AgentProfile profile;
+  profile.stp = 0.01;
+  profile.nip = 0.9;
+  profile.lpp = 0.0;
+  AgentSimulator simulator(&graph, profile);
+  Rng rng(10);
+  std::size_t cached_entries = 0;
+  for (int i = 0; i < 100; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    for (const NavigationEvent& event : trace->events) {
+      if (event.kind == NavigationKind::kNewStartPage &&
+          event.served_from_cache) {
+        ++cached_entries;
+      }
+    }
+  }
+  EXPECT_GT(cached_entries, 0u);
+}
+
+TEST(AgentSimulatorTest, DistributesInitialEntriesAcrossStartPages) {
+  WebGraph graph = MakeFigure1Topology();
+  AgentSimulator simulator(&graph, DefaultProfile());
+  Rng rng(11);
+  std::map<PageId, int> entries;
+  for (int i = 0; i < 1000; ++i) {
+    Rng agent_rng = rng.Fork();
+    Result<AgentTrace> trace = simulator.SimulateAgent(0, &agent_rng);
+    ASSERT_TRUE(trace.ok());
+    ++entries[trace->events.front().page];
+  }
+  // Two start pages, roughly uniform.
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_NEAR(entries[0], 500, 80);
+  EXPECT_NEAR(entries[5], 500, 80);
+}
+
+}  // namespace
+}  // namespace wum

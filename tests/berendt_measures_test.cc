@@ -1,0 +1,123 @@
+#include "wum/eval/berendt_measures.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/simulator/workload.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+TEST(LcsTest, KnownCases) {
+  EXPECT_EQ(LongestCommonSubsequenceLength({}, {}), 0u);
+  EXPECT_EQ(LongestCommonSubsequenceLength({1, 2, 3}, {}), 0u);
+  EXPECT_EQ(LongestCommonSubsequenceLength({1, 2, 3}, {1, 2, 3}), 3u);
+  EXPECT_EQ(LongestCommonSubsequenceLength({1, 2, 3}, {3, 2, 1}), 1u);
+  EXPECT_EQ(LongestCommonSubsequenceLength({1, 9, 2, 8, 3}, {1, 2, 3}), 3u);
+  EXPECT_EQ(LongestCommonSubsequenceLength({1, 3, 5, 7}, {0, 3, 0, 7}), 2u);
+  EXPECT_EQ(LongestCommonSubsequenceLength({2, 2, 2}, {2, 2}), 2u);
+}
+
+TEST(LcsTest, Symmetric) {
+  const std::vector<PageId> a = {4, 1, 7, 7, 2};
+  const std::vector<PageId> b = {1, 7, 2, 4};
+  EXPECT_EQ(LongestCommonSubsequenceLength(a, b),
+            LongestCommonSubsequenceLength(b, a));
+}
+
+TEST(SequenceSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(SequenceSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SequenceSimilarity({1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SequenceSimilarity({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(SequenceSimilarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(SequenceSimilarity({1, 2, 3, 4}, {2, 3}), 0.5);
+}
+
+Workload TwoSessionWorkload() {
+  Workload workload;
+  AgentRun run;
+  run.agent_id = 0;
+  run.client_ip = "ip";
+  // Figure 1 behaviour-3 motif again: [P1,P13,P34] + [P1,P20], log
+  // [P1,P13,P34,P20].
+  run.trace.real_sessions.push_back(MakeSession({0, 1, 4}, {0, 120, 240}));
+  run.trace.real_sessions.push_back(MakeSession({0, 2}, {360, 480}));
+  run.trace.server_requests =
+      MakeSession({0, 1, 4, 2}, {0, 120, 240, 480}).requests;
+  workload.agents.push_back(std::move(run));
+  return workload;
+}
+
+TEST(BerendtMeasuresTest, SmartSraReconstructsBothExactly) {
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload = TwoSessionWorkload();
+  SmartSra heuristic(&graph);
+  Result<BerendtMeasures> measures =
+      EvaluateBerendtMeasures(workload, heuristic);
+  ASSERT_TRUE(measures.ok());
+  EXPECT_EQ(measures->real_sessions, 2u);
+  EXPECT_EQ(measures->exact_reconstructions, 2u);
+  EXPECT_DOUBLE_EQ(measures->exact_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(measures->mean_best_similarity(), 1.0);
+}
+
+TEST(BerendtMeasuresTest, PageStayGetsPartialCredit) {
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload = TwoSessionWorkload();
+  PageStaySessionizer heuristic;  // one session [P1,P13,P34,P20]
+  Result<BerendtMeasures> measures =
+      EvaluateBerendtMeasures(workload, heuristic);
+  ASSERT_TRUE(measures.ok());
+  EXPECT_EQ(measures->exact_reconstructions, 0u);
+  // Real 1: LCS([P1,P13,P34,P20], [P1,P13,P34]) = 3, /4 = 0.75.
+  // Real 2: LCS(.., [P1,P20]) = 2, /4 = 0.5. Mean = 0.625.
+  EXPECT_DOUBLE_EQ(measures->mean_best_similarity(), 0.625);
+}
+
+TEST(BerendtMeasuresTest, EmptyWorkload) {
+  WebGraph graph = MakeFigure1Topology();
+  SmartSra heuristic(&graph);
+  Result<BerendtMeasures> measures =
+      EvaluateBerendtMeasures(Workload{}, heuristic);
+  ASSERT_TRUE(measures.ok());
+  EXPECT_DOUBLE_EQ(measures->exact_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(measures->mean_best_similarity(), 0.0);
+}
+
+TEST(BerendtMeasuresTest, OrderingMatchesCaptureMetricOnSimulation) {
+  Rng site_rng(41);
+  SiteGeneratorOptions site;
+  site.num_pages = 90;
+  site.mean_out_degree = 6.0;
+  WebGraph graph = *GenerateUniformSite(site, &site_rng);
+  WorkloadOptions population;
+  population.num_agents = 250;
+  Rng rng(4242);
+  Workload workload =
+      *SimulateWorkload(graph, AgentProfile(), population, &rng);
+
+  SmartSra smart_sra(&graph);
+  PageStaySessionizer pagestay;
+  SessionDurationSessionizer duration;
+  Result<BerendtMeasures> sra =
+      EvaluateBerendtMeasures(workload, smart_sra);
+  Result<BerendtMeasures> stay =
+      EvaluateBerendtMeasures(workload, pagestay);
+  Result<BerendtMeasures> dur =
+      EvaluateBerendtMeasures(workload, duration);
+  ASSERT_TRUE(sra.ok());
+  ASSERT_TRUE(stay.ok());
+  ASSERT_TRUE(dur.ok());
+  // Smart-SRA leads on both the categorical and the gradual measure.
+  EXPECT_GT(sra->exact_ratio(), stay->exact_ratio());
+  EXPECT_GT(sra->exact_ratio(), dur->exact_ratio());
+  EXPECT_GT(sra->mean_best_similarity(), stay->mean_best_similarity());
+  EXPECT_GT(sra->mean_best_similarity(), dur->mean_best_similarity());
+  // Gradual >= categorical by construction.
+  EXPECT_GE(sra->mean_best_similarity(), sra->exact_ratio());
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,58 @@
+#include "wum/simulator/browser_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace wum {
+namespace {
+
+TEST(BrowserCacheTest, FirstVisitMissesSecondHits) {
+  BrowserCache cache(10);
+  EXPECT_FALSE(cache.Visit(3));
+  EXPECT_TRUE(cache.Visit(3));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_FALSE(cache.Contains(4));
+}
+
+TEST(BrowserCacheTest, UnboundedNeverEvicts) {
+  BrowserCache cache(100, 0);
+  for (PageId p = 0; p < 100; ++p) EXPECT_FALSE(cache.Visit(p));
+  for (PageId p = 0; p < 100; ++p) EXPECT_TRUE(cache.Contains(p));
+  EXPECT_EQ(cache.size(), 100u);
+}
+
+TEST(BrowserCacheTest, LruEvictionAtCapacity) {
+  BrowserCache cache(10, 2);
+  cache.Visit(0);
+  cache.Visit(1);
+  cache.Visit(2);  // evicts 0 (least recently used)
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(BrowserCacheTest, VisitRefreshesRecency) {
+  BrowserCache cache(10, 2);
+  cache.Visit(0);
+  cache.Visit(1);
+  cache.Visit(0);  // 0 becomes most recent
+  cache.Visit(2);  // evicts 1
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(BrowserCacheTest, EvictedPageMissesAgain) {
+  BrowserCache cache(10, 1);
+  cache.Visit(0);
+  cache.Visit(1);  // evicts 0
+  EXPECT_FALSE(cache.Visit(0));  // server hit again
+}
+
+TEST(BrowserCacheTest, ContainsRejectsOutOfRange) {
+  BrowserCache cache(4);
+  EXPECT_FALSE(cache.Contains(99));
+}
+
+}  // namespace
+}  // namespace wum

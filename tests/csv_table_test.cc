@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wum/common/csv.h"
+#include "wum/common/table.h"
+
+namespace wum {
+namespace {
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream oss;
+  CsvWriter csv(&oss);
+  csv.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(oss.str(), "a,b,c\n");
+  EXPECT_EQ(csv.rows_written(), 1);
+}
+
+TEST(CsvWriterTest, EscapesCommas) {
+  EXPECT_EQ(CsvWriter::EscapeField("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriterTest, EscapesQuotes) {
+  EXPECT_EQ(CsvWriter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriterTest, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::EscapeField("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, PlainFieldUntouched) {
+  EXPECT_EQ(CsvWriter::EscapeField("plain"), "plain");
+}
+
+TEST(CsvWriterTest, NumericRowPrecision) {
+  std::ostringstream oss;
+  CsvWriter csv(&oss);
+  csv.WriteRow("x", {1.23456, 2.0}, 2);
+  EXPECT_EQ(oss.str(), "x,1.23,2.00\n");
+}
+
+TEST(TableTest, RendersAlignedMarkdown) {
+  Table table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(rendered.find("| ------ | ----- |"), std::string::npos);
+  EXPECT_NE(rendered.find("| a      | 1     |"), std::string::npos);
+  EXPECT_NE(rendered.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, NumericRow) {
+  Table table({"label", "v1", "v2"});
+  table.AddRow("row", {1.5, 2.25}, 1);
+  EXPECT_NE(table.ToString().find("| row   | 1.5 | 2.2 |"),
+            std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TableTest, EmptyTableStillRendersHeader) {
+  Table table({"only"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("| only |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 0), "-0"); // snprintf rounds toward even digit
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+}  // namespace
+}  // namespace wum

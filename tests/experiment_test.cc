@@ -1,0 +1,193 @@
+#include "wum/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wum/eval/report.h"
+
+namespace wum {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config = PaperDefaults();
+  config.site.num_pages = 60;
+  config.site.mean_out_degree = 6.0;
+  config.workload.num_agents = 150;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ExperimentTest, PaperDefaultsMatchTable5) {
+  ExperimentConfig config = PaperDefaults();
+  EXPECT_EQ(config.site.num_pages, 300u);
+  EXPECT_DOUBLE_EQ(config.site.mean_out_degree, 15.0);
+  EXPECT_DOUBLE_EQ(config.profile.stp, 0.05);
+  EXPECT_DOUBLE_EQ(config.profile.lpp, 0.30);
+  EXPECT_DOUBLE_EQ(config.profile.nip, 0.30);
+  EXPECT_DOUBLE_EQ(config.profile.page_stay_mean_minutes, 2.2);
+  EXPECT_DOUBLE_EQ(config.profile.page_stay_stddev_minutes, 0.5);
+  EXPECT_EQ(config.workload.num_agents, 10000u);
+  EXPECT_EQ(config.thresholds.max_session_duration, Minutes(30));
+  EXPECT_EQ(config.thresholds.max_page_stay, Minutes(10));
+}
+
+TEST(ExperimentTest, HeuristicRosterMatchesPaperOrder) {
+  WebGraph graph(1);
+  auto heuristics = MakePaperHeuristics(&graph, TimeThresholds());
+  ASSERT_EQ(heuristics.size(), 4u);
+  EXPECT_EQ(heuristics[0]->name(), "heur1-duration");
+  EXPECT_EQ(heuristics[1]->name(), "heur2-pagestay");
+  EXPECT_EQ(heuristics[2]->name(), "heur3-navigation");
+  EXPECT_EQ(heuristics[3]->name(), "heur4-smart-sra");
+}
+
+TEST(ExperimentTest, SweepGridsMatchFigures) {
+  EXPECT_EQ(Figure8StpValues().size(), 20u);
+  EXPECT_DOUBLE_EQ(Figure8StpValues().front(), 0.01);
+  EXPECT_DOUBLE_EQ(Figure8StpValues().back(), 0.20);
+  EXPECT_EQ(Figure9LppValues().size(), 10u);
+  EXPECT_DOUBLE_EQ(Figure9LppValues().front(), 0.0);
+  EXPECT_DOUBLE_EQ(Figure9LppValues().back(), 0.90);
+  EXPECT_EQ(Figure10NipValues(), Figure9LppValues());
+}
+
+TEST(ExperimentTest, SinglePointProducesAllScores) {
+  Result<SweepPoint> point =
+      RunExperimentPoint(SmallConfig(), SweepParameter::kStp, 0.05, 0);
+  ASSERT_TRUE(point.ok()) << point.status().ToString();
+  EXPECT_DOUBLE_EQ(point->parameter_value, 0.05);
+  EXPECT_GT(point->real_sessions, 0u);
+  ASSERT_EQ(point->scores.size(), 4u);
+  for (const HeuristicScore& score : point->scores) {
+    EXPECT_GT(score.result.real_sessions, 0u);
+    EXPECT_GE(score.result.accuracy(), 0.0);
+    EXPECT_LE(score.result.accuracy(), 1.0);
+    // Ground truth is identical across heuristics at a point.
+    EXPECT_EQ(score.result.real_sessions, point->real_sessions);
+  }
+}
+
+TEST(ExperimentTest, SmartSraWinsAtPaperDefaults) {
+  Result<SweepPoint> point =
+      RunExperimentPoint(SmallConfig(), SweepParameter::kStp, 0.05, 0);
+  ASSERT_TRUE(point.ok());
+  const double smart_sra = point->scores[3].result.accuracy();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(smart_sra, point->scores[i].result.accuracy())
+        << "beaten by " << point->scores[i].heuristic;
+  }
+}
+
+TEST(ExperimentTest, SweepIsDeterministicAcrossThreadCounts) {
+  ExperimentConfig config = SmallConfig();
+  config.workload.num_agents = 60;
+  std::vector<double> values = {0.05, 0.10, 0.15};
+
+  config.num_threads = 1;
+  Result<std::vector<SweepPoint>> serial =
+      RunSweep(config, SweepParameter::kStp, values);
+  ASSERT_TRUE(serial.ok());
+
+  config.num_threads = 3;
+  Result<std::vector<SweepPoint>> parallel =
+      RunSweep(config, SweepParameter::kStp, values);
+  ASSERT_TRUE(parallel.ok());
+
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*serial)[i].real_sessions, (*parallel)[i].real_sessions);
+    for (std::size_t h = 0; h < 4; ++h) {
+      EXPECT_DOUBLE_EQ((*serial)[i].scores[h].result.accuracy(),
+                       (*parallel)[i].scores[h].result.accuracy());
+    }
+  }
+}
+
+TEST(ExperimentTest, InvalidSweepValueFailsCleanly) {
+  ExperimentConfig config = SmallConfig();
+  Result<std::vector<SweepPoint>> result =
+      RunSweep(config, SweepParameter::kStp, {0.0});  // stp must be > 0
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_TRUE(RunSweep(config, SweepParameter::kLpp, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExperimentTest, GenerateSiteDispatchesAllModels) {
+  SiteGeneratorOptions options;
+  options.num_pages = 40;
+  options.mean_out_degree = 4.0;
+  for (TopologyModel model :
+       {TopologyModel::kUniform, TopologyModel::kPowerLaw,
+        TopologyModel::kHierarchical}) {
+    Rng rng(9);
+    Result<WebGraph> graph = GenerateSite(model, options, &rng);
+    ASSERT_TRUE(graph.ok());
+    EXPECT_EQ(graph->num_pages(), 40u);
+    EXPECT_GT(graph->num_edges(), 0u);
+  }
+}
+
+TEST(ExperimentTest, PaperDefaultsUseFewEntryPages) {
+  // Figure 10's shape requires entry-page exhaustion; the paper config
+  // pins 1% (3 of 300). The library-wide generator default remains 5%.
+  EXPECT_DOUBLE_EQ(PaperDefaults().site.start_page_fraction, 0.01);
+  EXPECT_DOUBLE_EQ(SiteGeneratorOptions().start_page_fraction, 0.05);
+}
+
+TEST(ExperimentTest, SweepParameterNames) {
+  EXPECT_EQ(SweepParameterToString(SweepParameter::kStp), "STP");
+  EXPECT_EQ(SweepParameterToString(SweepParameter::kLpp), "LPP");
+  EXPECT_EQ(SweepParameterToString(SweepParameter::kNip), "NIP");
+}
+
+TEST(ReportTest, TableAndCsvRenderAllSeries) {
+  ExperimentConfig config = SmallConfig();
+  config.workload.num_agents = 50;
+  Result<std::vector<SweepPoint>> points =
+      RunSweep(config, SweepParameter::kLpp, {0.0, 0.3});
+  ASSERT_TRUE(points.ok());
+
+  std::ostringstream table;
+  RenderSweepTable(*points, SweepParameter::kLpp, &table);
+  EXPECT_NE(table.str().find("heur4-smart-sra"), std::string::npos);
+  EXPECT_NE(table.str().find("LPP %"), std::string::npos);
+
+  std::ostringstream csv;
+  RenderSweepCsv(*points, SweepParameter::kLpp, &csv);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("LPP,heur1-duration"), std::string::npos);
+  // Header + 2 data rows.
+  EXPECT_EQ(std::count(csv_text.begin(), csv_text.end(), '\n'), 3);
+}
+
+TEST(ReportTest, RelativeMarginAndShapeSummary) {
+  SweepPoint point;
+  point.parameter_value = 0.05;
+  auto score = [](const std::string& name, std::size_t correct) {
+    HeuristicScore s;
+    s.heuristic = name;
+    s.result.real_sessions = 100;
+    s.result.correct_reconstructions = correct;
+    s.result.captured_sessions = correct;
+    return s;
+  };
+  point.scores = {score("h1", 20), score("h2", 30), score("h3", 25),
+                  score("h4", 45)};
+  EXPECT_NEAR(SmartSraRelativeMargin(point), 0.5, 1e-12);
+  std::string summary = SummarizeSweepShape({point});
+  EXPECT_NE(summary.find("1/1"), std::string::npos);
+}
+
+TEST(ReportTest, MarginZeroWhenBaselinesAllZero) {
+  SweepPoint point;
+  HeuristicScore zero;
+  zero.heuristic = "h";
+  zero.result.real_sessions = 10;
+  point.scores = {zero, zero, zero, zero};
+  EXPECT_DOUBLE_EQ(SmartSraRelativeMargin(point), 0.0);
+}
+
+}  // namespace
+}  // namespace wum

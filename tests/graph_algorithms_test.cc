@@ -1,0 +1,140 @@
+#include "wum/topology/graph_algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+WebGraph MakeChain(std::size_t n) {
+  WebGraph graph(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    graph.AddLink(static_cast<PageId>(i), static_cast<PageId>(i + 1));
+  }
+  return graph;
+}
+
+TEST(ReachablePagesTest, ChainFromHead) {
+  WebGraph graph = MakeChain(5);
+  std::vector<bool> reachable = ReachablePages(graph, {0});
+  for (bool r : reachable) EXPECT_TRUE(r);
+}
+
+TEST(ReachablePagesTest, ChainFromMiddle) {
+  WebGraph graph = MakeChain(5);
+  std::vector<bool> reachable = ReachablePages(graph, {3});
+  EXPECT_FALSE(reachable[0]);
+  EXPECT_FALSE(reachable[2]);
+  EXPECT_TRUE(reachable[3]);
+  EXPECT_TRUE(reachable[4]);
+}
+
+TEST(ReachablePagesTest, MultipleSources) {
+  WebGraph graph(4);
+  graph.AddLink(0, 1);
+  graph.AddLink(2, 3);
+  std::vector<bool> reachable = ReachablePages(graph, {0, 2});
+  EXPECT_TRUE(reachable[0]);
+  EXPECT_TRUE(reachable[1]);
+  EXPECT_TRUE(reachable[2]);
+  EXPECT_TRUE(reachable[3]);
+}
+
+TEST(ReachablePagesTest, InvalidSourcesIgnored) {
+  WebGraph graph = MakeChain(3);
+  std::vector<bool> reachable = ReachablePages(graph, {kInvalidPage});
+  for (bool r : reachable) EXPECT_FALSE(r);
+}
+
+TEST(ReachablePagesTest, HandlesCycles) {
+  WebGraph graph(3);
+  graph.AddLink(0, 1);
+  graph.AddLink(1, 2);
+  graph.AddLink(2, 0);
+  std::vector<bool> reachable = ReachablePages(graph, {1});
+  EXPECT_TRUE(reachable[0]);
+  EXPECT_TRUE(reachable[1]);
+  EXPECT_TRUE(reachable[2]);
+}
+
+TEST(InducedSubgraphTest, KeepsEdgesAmongRetained) {
+  WebGraph graph = MakeFigure1Topology();
+  // Keep P1(0), P13(1), P34(4): edges P1->P13, P13->P34 survive.
+  InducedSubgraphResult result = InducedSubgraph(graph, {0, 1, 4});
+  EXPECT_EQ(result.subgraph.num_pages(), 3u);
+  EXPECT_EQ(result.subgraph.num_edges(), 2u);
+  EXPECT_EQ(result.to_original, (std::vector<PageId>{0, 1, 4}));
+  const PageId p1 = result.to_subgraph[0];
+  const PageId p13 = result.to_subgraph[1];
+  const PageId p34 = result.to_subgraph[4];
+  EXPECT_TRUE(result.subgraph.HasLink(p1, p13));
+  EXPECT_TRUE(result.subgraph.HasLink(p13, p34));
+  EXPECT_FALSE(result.subgraph.HasLink(p1, p34));
+  EXPECT_EQ(result.to_subgraph[3], kInvalidPage);  // P23 dropped
+}
+
+TEST(InducedSubgraphTest, PreservesStartPages) {
+  WebGraph graph = MakeFigure1Topology();
+  InducedSubgraphResult result = InducedSubgraph(graph, {0, 5});
+  EXPECT_TRUE(result.subgraph.IsStartPage(result.to_subgraph[0]));
+  EXPECT_TRUE(result.subgraph.IsStartPage(result.to_subgraph[5]));
+}
+
+TEST(InducedSubgraphTest, DuplicatesAndInvalidIgnored) {
+  WebGraph graph = MakeChain(4);
+  InducedSubgraphResult result =
+      InducedSubgraph(graph, {1, 1, 2, kInvalidPage});
+  EXPECT_EQ(result.subgraph.num_pages(), 2u);
+  EXPECT_EQ(result.subgraph.num_edges(), 1u);
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  WebGraph graph = MakeChain(4);
+  InducedSubgraphResult result = InducedSubgraph(graph, {});
+  EXPECT_EQ(result.subgraph.num_pages(), 0u);
+}
+
+TEST(DeadEndPagesTest, FindsSinks) {
+  WebGraph graph(4);
+  graph.AddLink(0, 1);
+  graph.AddLink(2, 1);
+  EXPECT_EQ(DeadEndPages(graph), (std::vector<PageId>{1, 3}));
+}
+
+TEST(BfsDistancesTest, ChainDistances) {
+  WebGraph graph = MakeChain(4);
+  std::vector<std::int64_t> distance = BfsDistances(graph, 0);
+  EXPECT_EQ(distance, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(BfsDistancesTest, UnreachableIsMinusOne) {
+  WebGraph graph(3);
+  graph.AddLink(0, 1);
+  std::vector<std::int64_t> distance = BfsDistances(graph, 0);
+  EXPECT_EQ(distance[2], -1);
+}
+
+TEST(BfsDistancesTest, ShortestPathChosen) {
+  WebGraph graph(4);
+  graph.AddLink(0, 1);
+  graph.AddLink(1, 3);
+  graph.AddLink(0, 3);  // direct shortcut
+  std::vector<std::int64_t> distance = BfsDistances(graph, 0);
+  EXPECT_EQ(distance[3], 1);
+}
+
+TEST(DegreeStatsTest, CountsDegreesAndSpecials) {
+  WebGraph graph(4);
+  graph.AddLink(0, 1);
+  graph.AddLink(0, 2);
+  graph.AddLink(1, 2);
+  DegreeStats stats = ComputeDegreeStats(graph);
+  EXPECT_DOUBLE_EQ(stats.out_degree.mean(), 0.75);
+  EXPECT_DOUBLE_EQ(stats.in_degree.mean(), 0.75);
+  EXPECT_EQ(stats.dead_ends, 2u);      // pages 2, 3
+  EXPECT_EQ(stats.unreferenced, 2u);   // pages 0, 3
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,114 @@
+#include "wum/topology/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wum/common/random.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+TEST(GraphIoTest, RoundTripFigure1) {
+  WebGraph original = MakeFigure1Topology();
+  std::stringstream stream;
+  WriteGraphText(original, &stream);
+  Result<WebGraph> loaded = ReadGraphText(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(original == *loaded);
+}
+
+TEST(GraphIoTest, RoundTripGeneratedSites) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 31337ULL}) {
+    Rng rng(seed);
+    SiteGeneratorOptions options;
+    options.num_pages = 80;
+    options.mean_out_degree = 5.0;
+    WebGraph original = *GenerateUniformSite(options, &rng);
+    std::stringstream stream;
+    WriteGraphText(original, &stream);
+    Result<WebGraph> loaded = ReadGraphText(&stream);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(original == *loaded);
+  }
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream stream(
+      "# a comment\n"
+      "websra-graph 1\n"
+      "\n"
+      "pages 2\n"
+      "# another\n"
+      "start 0\n"
+      "edge 0 1\n");
+  Result<WebGraph> graph = ReadGraphText(&stream);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_pages(), 2u);
+  EXPECT_TRUE(graph->HasLink(0, 1));
+  EXPECT_TRUE(graph->IsStartPage(0));
+}
+
+TEST(GraphIoTest, RejectsMissingMagic) {
+  std::stringstream stream("pages 2\n");
+  EXPECT_TRUE(ReadGraphText(&stream).status().IsParseError());
+}
+
+TEST(GraphIoTest, RejectsWrongVersion) {
+  std::stringstream stream("websra-graph 2\npages 2\n");
+  EXPECT_TRUE(ReadGraphText(&stream).status().IsParseError());
+}
+
+TEST(GraphIoTest, RejectsContentBeforePages) {
+  std::stringstream stream("websra-graph 1\nedge 0 1\n");
+  EXPECT_TRUE(ReadGraphText(&stream).status().IsParseError());
+}
+
+TEST(GraphIoTest, RejectsOutOfRangeIds) {
+  std::stringstream stream("websra-graph 1\npages 2\nedge 0 2\n");
+  EXPECT_TRUE(ReadGraphText(&stream).status().IsParseError());
+  std::stringstream stream2("websra-graph 1\npages 2\nstart 9\n");
+  EXPECT_TRUE(ReadGraphText(&stream2).status().IsParseError());
+}
+
+TEST(GraphIoTest, RejectsDuplicateEdge) {
+  std::stringstream stream(
+      "websra-graph 1\npages 2\nedge 0 1\nedge 0 1\n");
+  EXPECT_TRUE(ReadGraphText(&stream).status().IsParseError());
+}
+
+TEST(GraphIoTest, RejectsUnknownDirective) {
+  std::stringstream stream("websra-graph 1\npages 2\nfrobnicate 1\n");
+  EXPECT_TRUE(ReadGraphText(&stream).status().IsParseError());
+}
+
+TEST(GraphIoTest, RejectsEmptyStream) {
+  std::stringstream stream("");
+  EXPECT_TRUE(ReadGraphText(&stream).status().IsParseError());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  WebGraph original = MakeFigure1Topology();
+  const std::string path = ::testing::TempDir() + "/websra_graph_test.txt";
+  ASSERT_TRUE(WriteGraphFile(original, path).ok());
+  Result<WebGraph> loaded = ReadGraphFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(original == *loaded);
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadGraphFile("/nonexistent/websra.graph").status().IsIoError());
+}
+
+TEST(GraphIoTest, DotExportContainsEdgesAndStartStyling) {
+  WebGraph graph = MakeFigure1Topology();
+  const std::string dot = GraphToDot(graph, "fig1");
+  EXPECT_NE(dot.find("digraph fig1 {"), std::string::npos);
+  EXPECT_NE(dot.find("p0 -> p1;"), std::string::npos);
+  EXPECT_NE(dot.find("p0 [shape=box, style=filled];"), std::string::npos);
+  EXPECT_NE(dot.find("p5 [shape=box, style=filled];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wum

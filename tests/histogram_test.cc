@@ -1,0 +1,105 @@
+#include "wum/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/common/random.h"
+
+namespace wum {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, WelfordMatchesNaive) {
+  Rng rng(3);
+  RunningStats stats;
+  double sum = 0, sum_sq = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.NextNormal(3.0, 1.5);
+    stats.Add(v);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double naive_var = (sum_sq - kDraws * mean * mean) / (kDraws - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), naive_var, 1e-6);
+}
+
+TEST(HistogramTest, BucketsCountCorrectly) {
+  Histogram histogram(0.0, 10.0, 10);
+  for (double v : {0.5, 1.5, 1.6, 9.9}) histogram.Add(v);
+  EXPECT_EQ(histogram.bucket_count(0), 1u);
+  EXPECT_EQ(histogram.bucket_count(1), 2u);
+  EXPECT_EQ(histogram.bucket_count(9), 1u);
+  EXPECT_EQ(histogram.total_count(), 4u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.Add(-1.0);
+  histogram.Add(10.0);  // hi is exclusive
+  histogram.Add(100.0);
+  EXPECT_EQ(histogram.underflow(), 1u);
+  EXPECT_EQ(histogram.overflow(), 2u);
+}
+
+TEST(HistogramTest, StatsIncludeOutOfRange) {
+  Histogram histogram(0.0, 1.0, 2);
+  histogram.Add(-5.0);
+  histogram.Add(5.0);
+  EXPECT_EQ(histogram.stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(histogram.stats().mean(), 0.0);
+}
+
+TEST(HistogramTest, QuantileUniformData) {
+  Histogram histogram(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) histogram.Add(i + 0.5);
+  EXPECT_NEAR(histogram.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(histogram.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(histogram.Quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileEmpty) {
+  Histogram histogram(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, AsciiRenderingMentionsCounts) {
+  Histogram histogram(0.0, 2.0, 2);
+  histogram.Add(0.5);
+  histogram.Add(1.5);
+  histogram.Add(1.6);
+  const std::string art = histogram.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wum

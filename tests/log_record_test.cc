@@ -1,0 +1,89 @@
+#include "wum/clf/log_record.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wum {
+namespace {
+
+TEST(HttpMethodTest, Names) {
+  EXPECT_EQ(HttpMethodToString(HttpMethod::kGet), "GET");
+  EXPECT_EQ(HttpMethodToString(HttpMethod::kPost), "POST");
+  EXPECT_EQ(HttpMethodToString(HttpMethod::kHead), "HEAD");
+}
+
+TEST(PageUrlTest, CanonicalForm) {
+  EXPECT_EQ(PageUrl(0), "/pages/p0.html");
+  EXPECT_EQ(PageUrl(42), "/pages/p42.html");
+}
+
+TEST(PageFromUrlTest, RoundTrip) {
+  for (std::uint32_t page : {0u, 1u, 42u, 299u, 4294967295u}) {
+    Result<std::uint32_t> back = PageFromUrl(PageUrl(page));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, page);
+  }
+}
+
+TEST(PageFromUrlTest, RejectsNonCanonical) {
+  EXPECT_TRUE(PageFromUrl("/index.html").status().IsNotFound());
+  EXPECT_TRUE(PageFromUrl("/pages/p.html").status().IsNotFound());
+  EXPECT_TRUE(PageFromUrl("/pages/p12").status().IsNotFound());
+  EXPECT_TRUE(PageFromUrl("pages/p12.html").status().IsNotFound());
+  EXPECT_TRUE(PageFromUrl("/pages/pxx.html").status().IsParseError());
+  EXPECT_TRUE(PageFromUrl("").status().IsNotFound());
+}
+
+TEST(PageFromUrlTest, RejectsOverflowingId) {
+  EXPECT_TRUE(PageFromUrl("/pages/p4294967296.html").status().IsOutOfRange());
+}
+
+TEST(AgentIpTest, DistinctForDistinctAgents) {
+  std::set<std::string> ips;
+  for (std::uint64_t agent = 0; agent < 2000; ++agent) {
+    ips.insert(AgentIp(agent));
+  }
+  EXPECT_EQ(ips.size(), 2000u);
+}
+
+TEST(AgentIpTest, DottedQuadShape) {
+  EXPECT_EQ(AgentIp(0), "10.0.0.1");
+  EXPECT_EQ(AgentIp(1), "10.0.0.2");
+  EXPECT_EQ(AgentIp(254), "10.0.1.1");
+}
+
+TEST(ReferrerUrlTest, RoundTripThroughPageFromReferrer) {
+  for (std::uint32_t page : {0u, 42u, 299u}) {
+    Result<std::uint32_t> back = PageFromReferrer(ReferrerUrl(page));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, page);
+  }
+}
+
+TEST(PageFromReferrerTest, AcceptsBarePathAndHttps) {
+  EXPECT_EQ(*PageFromReferrer("/pages/p7.html"), 7u);
+  EXPECT_EQ(*PageFromReferrer("https://other.host/pages/p9.html"), 9u);
+}
+
+TEST(PageFromReferrerTest, RejectsExternalAndEmpty) {
+  EXPECT_TRUE(PageFromReferrer("").status().IsNotFound());
+  EXPECT_TRUE(PageFromReferrer("http://elsewhere.example/index.html")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(PageFromReferrer("http://hostonly.example").status().IsNotFound());
+  EXPECT_TRUE(PageFromReferrer("not a url").status().IsNotFound());
+}
+
+TEST(LogRecordTest, DefaultAndOrdering) {
+  LogRecord a;
+  a.client_ip = "10.0.0.1";
+  a.timestamp = 100;
+  LogRecord b = a;
+  EXPECT_EQ(a, b);
+  b.timestamp = 200;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,130 @@
+#include "wum/mining/markov_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/common/random.h"
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/simulator/workload.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+TEST(MarkovPredictorTest, EmptyModelPredictsNothing) {
+  MarkovPredictor model(10);
+  EXPECT_TRUE(model.PredictNext(3, 5).empty());
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(3, 4), 0.0);
+  EXPECT_EQ(model.transitions_observed(), 0u);
+  EXPECT_EQ(model.states_observed(), 0u);
+}
+
+TEST(MarkovPredictorTest, CountsTransitions) {
+  MarkovPredictor model(10);
+  ASSERT_TRUE(model.Train({1, 2, 3, 2, 3}).ok());
+  EXPECT_EQ(model.transitions_observed(), 4u);
+  EXPECT_EQ(model.states_observed(), 3u);  // 1, 2, 3
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(3, 2), 1.0);
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(2, 1), 0.0);
+}
+
+TEST(MarkovPredictorTest, ProbabilitiesNormalize) {
+  MarkovPredictor model(10);
+  ASSERT_TRUE(model.TrainAll({{1, 2}, {1, 2}, {1, 3}}).ok());
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(1, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(1, 3), 1.0 / 3.0);
+}
+
+TEST(MarkovPredictorTest, TopKOrderedByCountThenId) {
+  MarkovPredictor model(10);
+  ASSERT_TRUE(model.TrainAll({{1, 5}, {1, 5}, {1, 2}, {1, 2}, {1, 9}}).ok());
+  // Counts: 5 -> 2, 2 -> 2, 9 -> 1. Tie between 2 and 5 broken by id.
+  EXPECT_EQ(model.PredictNext(1, 2), (std::vector<PageId>{2, 5}));
+  EXPECT_EQ(model.PredictNext(1, 10), (std::vector<PageId>{2, 5, 9}));
+  EXPECT_TRUE(model.PredictNext(1, 0).empty());
+}
+
+TEST(MarkovPredictorTest, SingletonSessionsCarryNoTransitions) {
+  MarkovPredictor model(10);
+  ASSERT_TRUE(model.Train({4}).ok());
+  ASSERT_TRUE(model.Train({}).ok());
+  EXPECT_EQ(model.transitions_observed(), 0u);
+}
+
+TEST(MarkovPredictorTest, RejectsOutOfRangePages) {
+  MarkovPredictor model(3);
+  EXPECT_TRUE(model.Train({1, 7}).IsInvalidArgument());
+  // Rejected sessions leave the model untouched.
+  EXPECT_EQ(model.transitions_observed(), 0u);
+}
+
+TEST(EvaluatePredictorTest, HitRateComputation) {
+  MarkovPredictor model(10);
+  ASSERT_TRUE(model.TrainAll({{1, 2}, {1, 2}, {1, 3}, {2, 4}}).ok());
+  // Test transitions: 1->2 (hit@1), 1->3 (miss@1), 7->1 (skipped: unseen).
+  PredictionScore score =
+      EvaluatePredictor(model, {{1, 2}, {1, 3}, {7, 1}}, 1);
+  EXPECT_EQ(score.predictions, 2u);
+  EXPECT_EQ(score.hits, 1u);
+  EXPECT_EQ(score.skipped, 1u);
+  EXPECT_DOUBLE_EQ(score.hit_rate(), 0.5);
+  // At k=2 both successors of 1 are predicted.
+  PredictionScore score2 =
+      EvaluatePredictor(model, {{1, 2}, {1, 3}}, 2);
+  EXPECT_EQ(score2.hits, 2u);
+}
+
+TEST(EvaluatePredictorTest, EmptyTestSet) {
+  MarkovPredictor model(4);
+  PredictionScore score = EvaluatePredictor(model, {}, 3);
+  EXPECT_EQ(score.predictions, 0u);
+  EXPECT_DOUBLE_EQ(score.hit_rate(), 0.0);
+}
+
+TEST(MarkovPredictorTest, SmartSraTrainedModelPredictsBetterThanPageStay) {
+  // End-to-end: train a model per heuristic on one workload, test on the
+  // ground truth of a held-out workload from the same site.
+  Rng site_rng(21);
+  SiteGeneratorOptions site;
+  site.num_pages = 120;
+  site.mean_out_degree = 6.0;
+  WebGraph graph = *GenerateUniformSite(site, &site_rng);
+  WorkloadOptions population;
+  population.num_agents = 400;
+  Rng train_rng(1001);
+  Workload train = *SimulateWorkload(graph, AgentProfile(), population,
+                                     &train_rng);
+  Rng test_rng(2002);
+  Workload test = *SimulateWorkload(graph, AgentProfile(), population,
+                                    &test_rng);
+  std::vector<std::vector<PageId>> test_corpus;
+  for (const AgentRun& agent : test.agents) {
+    for (const Session& session : agent.trace.real_sessions) {
+      test_corpus.push_back(session.PageSequence());
+    }
+  }
+
+  auto hit_rate_for = [&](const Sessionizer& heuristic) {
+    MarkovPredictor model(graph.num_pages());
+    for (const AgentRun& agent : train.agents) {
+      auto sessions = heuristic.Reconstruct(agent.trace.server_requests);
+      EXPECT_TRUE(sessions.ok());
+      for (const Session& session : *sessions) {
+        EXPECT_TRUE(model.Train(session.PageSequence()).ok());
+      }
+    }
+    return EvaluatePredictor(model, test_corpus, 3).hit_rate();
+  };
+
+  SmartSra smart_sra(&graph);
+  PageStaySessionizer pagestay;
+  const double sra_rate = hit_rate_for(smart_sra);
+  const double pagestay_rate = hit_rate_for(pagestay);
+  EXPECT_GT(sra_rate, 0.3);           // predicting 3 of ~6 links beats chance
+  EXPECT_GE(sra_rate, pagestay_rate); // cleaner transitions train better
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "wum/common/random.h"
+#include "wum/mining/apriori_all.h"
+#include "wum/mining/pattern.h"
+
+namespace wum {
+namespace {
+
+using Sessions = std::vector<std::vector<PageId>>;
+
+TEST(PatternTest, ToStringFormat) {
+  SequentialPattern pattern{{3, 7, 1}, 42};
+  EXPECT_EQ(PatternToString(pattern), "P3 -> P7 -> P1 (support 42)");
+}
+
+TEST(PatternTest, MatchModeNames) {
+  EXPECT_EQ(MatchModeToString(MatchMode::kContiguous), "contiguous");
+  EXPECT_EQ(MatchModeToString(MatchMode::kSubsequence), "subsequence");
+}
+
+TEST(CountSupportTest, CountsSessionsNotOccurrences) {
+  Sessions sessions = {{1, 2, 1, 2}, {1, 2}, {2, 1}};
+  // {1, 2} occurs twice in the first session but counts once.
+  EXPECT_EQ(CountSupport({1, 2}, sessions, MatchMode::kContiguous), 2u);
+  EXPECT_EQ(CountSupport({2, 1}, sessions, MatchMode::kContiguous), 2u);
+  EXPECT_EQ(CountSupport({1, 2}, sessions, MatchMode::kSubsequence), 2u);
+  EXPECT_EQ(CountSupport({9}, sessions, MatchMode::kContiguous), 0u);
+}
+
+TEST(CountSupportTest, SubsequenceCountsGappedMatches) {
+  Sessions sessions = {{1, 9, 2}};
+  EXPECT_EQ(CountSupport({1, 2}, sessions, MatchMode::kContiguous), 0u);
+  EXPECT_EQ(CountSupport({1, 2}, sessions, MatchMode::kSubsequence), 1u);
+}
+
+TEST(BruteForceTest, SmallContiguousCase) {
+  Sessions sessions = {{1, 2, 3}, {1, 2}, {2, 3}};
+  auto patterns =
+      BruteForceFrequentPatterns(sessions, 2, MatchMode::kContiguous, 3);
+  // Frequent: [1] x2, [2] x3, [3] x2, [1,2] x2, [2,3] x2.
+  ASSERT_EQ(patterns.size(), 5u);
+  EXPECT_EQ(patterns[0].pages, (std::vector<PageId>{1}));
+  EXPECT_EQ(patterns[0].support, 2u);
+  EXPECT_EQ(patterns[1].pages, (std::vector<PageId>{2}));
+  EXPECT_EQ(patterns[1].support, 3u);
+  EXPECT_EQ(patterns[3].pages, (std::vector<PageId>{1, 2}));
+  EXPECT_EQ(patterns[4].pages, (std::vector<PageId>{2, 3}));
+}
+
+TEST(AprioriTest, RejectsZeroSupport) {
+  AprioriOptions options;
+  options.min_support = 0;
+  AprioriAllMiner miner(options);
+  EXPECT_TRUE(miner.Mine({}).status().IsInvalidArgument());
+}
+
+TEST(AprioriTest, EmptyDatabase) {
+  AprioriAllMiner miner;
+  Result<std::vector<SequentialPattern>> patterns = miner.Mine({});
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->empty());
+}
+
+TEST(AprioriTest, MatchesBruteForceOnKnownCase) {
+  Sessions sessions = {{1, 2, 3, 4}, {1, 2, 4}, {2, 3, 4}, {5}};
+  for (MatchMode mode : {MatchMode::kContiguous, MatchMode::kSubsequence}) {
+    AprioriOptions options;
+    options.min_support = 2;
+    options.mode = mode;
+    AprioriAllMiner miner(options);
+    Result<std::vector<SequentialPattern>> mined = miner.Mine(sessions);
+    ASSERT_TRUE(mined.ok());
+    auto expected = BruteForceFrequentPatterns(sessions, 2, mode, 4);
+    EXPECT_EQ(*mined, expected) << MatchModeToString(mode);
+  }
+}
+
+TEST(AprioriTest, MaxLengthTruncatesLevels) {
+  Sessions sessions = {{1, 2, 3}, {1, 2, 3}};
+  AprioriOptions options;
+  options.min_support = 2;
+  options.max_length = 2;
+  AprioriAllMiner miner(options);
+  Result<std::vector<SequentialPattern>> mined = miner.Mine(sessions);
+  ASSERT_TRUE(mined.ok());
+  for (const SequentialPattern& pattern : *mined) {
+    EXPECT_LE(pattern.pages.size(), 2u);
+  }
+  // [1,2] and [2,3] present, [1,2,3] suppressed.
+  EXPECT_EQ(CountSupport({1, 2}, sessions, MatchMode::kContiguous), 2u);
+  EXPECT_EQ(mined->size(), 5u);
+}
+
+TEST(AprioriTest, PatternsWithRepeatedPages) {
+  Sessions sessions = {{1, 1, 2}, {1, 1, 2}};
+  AprioriOptions options;
+  options.min_support = 2;
+  AprioriAllMiner miner(options);
+  Result<std::vector<SequentialPattern>> mined = miner.Mine(sessions);
+  ASSERT_TRUE(mined.ok());
+  bool found_1_1_2 = false;
+  for (const SequentialPattern& pattern : *mined) {
+    if (pattern.pages == std::vector<PageId>{1, 1, 2}) {
+      found_1_1_2 = true;
+      EXPECT_EQ(pattern.support, 2u);
+    }
+  }
+  EXPECT_TRUE(found_1_1_2);
+}
+
+class AprioriRandomEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AprioriRandomEquivalenceTest, ContiguousMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    Sessions sessions;
+    const std::size_t session_count = 2 + rng.NextBounded(8);
+    for (std::size_t s = 0; s < session_count; ++s) {
+      std::vector<PageId> session;
+      const std::size_t len = 1 + rng.NextBounded(7);
+      for (std::size_t i = 0; i < len; ++i) {
+        session.push_back(static_cast<PageId>(rng.NextBounded(5)));
+      }
+      sessions.push_back(std::move(session));
+    }
+    AprioriOptions options;
+    options.min_support = 2;
+    options.mode = MatchMode::kContiguous;
+    AprioriAllMiner miner(options);
+    Result<std::vector<SequentialPattern>> mined = miner.Mine(sessions);
+    ASSERT_TRUE(mined.ok());
+    EXPECT_EQ(*mined, BruteForceFrequentPatterns(sessions, 2,
+                                                 MatchMode::kContiguous, 8));
+  }
+}
+
+TEST_P(AprioriRandomEquivalenceTest, SubsequenceMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xACE);
+  for (int trial = 0; trial < 8; ++trial) {
+    Sessions sessions;
+    const std::size_t session_count = 2 + rng.NextBounded(5);
+    for (std::size_t s = 0; s < session_count; ++s) {
+      std::vector<PageId> session;
+      const std::size_t len = 1 + rng.NextBounded(5);  // keep small: 2^len
+      for (std::size_t i = 0; i < len; ++i) {
+        session.push_back(static_cast<PageId>(rng.NextBounded(4)));
+      }
+      sessions.push_back(std::move(session));
+    }
+    AprioriOptions options;
+    options.min_support = 2;
+    options.mode = MatchMode::kSubsequence;
+    AprioriAllMiner miner(options);
+    Result<std::vector<SequentialPattern>> mined = miner.Mine(sessions);
+    ASSERT_TRUE(mined.ok());
+    EXPECT_EQ(*mined, BruteForceFrequentPatterns(sessions, 2,
+                                                 MatchMode::kSubsequence, 6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AprioriRandomEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FilterMaximalTest, KeepsOnlyUnsubsumedPatterns) {
+  std::vector<SequentialPattern> patterns = {
+      {{1}, 3}, {{2}, 3}, {{1, 2}, 3}, {{3}, 2}};
+  auto maximal = FilterMaximalPatterns(patterns, MatchMode::kContiguous);
+  // [1] and [2] are substrings of [1,2] with equal support: subsumed.
+  ASSERT_EQ(maximal.size(), 2u);
+  EXPECT_EQ(maximal[0].pages, (std::vector<PageId>{1, 2}));
+  EXPECT_EQ(maximal[1].pages, (std::vector<PageId>{3}));
+}
+
+TEST(FilterMaximalTest, HigherSupportSubpatternSurvives) {
+  std::vector<SequentialPattern> patterns = {{{1}, 5}, {{1, 2}, 3}};
+  auto maximal = FilterMaximalPatterns(patterns, MatchMode::kContiguous);
+  // [1] has strictly more support than its superpattern: kept.
+  EXPECT_EQ(maximal.size(), 2u);
+}
+
+TEST(FilterMaximalTest, SubsequenceModeSubsumesGappedPatterns) {
+  std::vector<SequentialPattern> patterns = {{{1, 3}, 2}, {{1, 2, 3}, 2}};
+  auto contiguous = FilterMaximalPatterns(patterns, MatchMode::kContiguous);
+  EXPECT_EQ(contiguous.size(), 2u);  // [1,3] not a substring of [1,2,3]
+  auto subsequence = FilterMaximalPatterns(patterns, MatchMode::kSubsequence);
+  ASSERT_EQ(subsequence.size(), 1u);  // but it is a subsequence
+  EXPECT_EQ(subsequence[0].pages, (std::vector<PageId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace wum

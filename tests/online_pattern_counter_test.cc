@@ -1,0 +1,123 @@
+#include "wum/stream/online_pattern_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "wum/common/random.h"
+#include "wum/session/session.h"
+
+namespace wum {
+namespace {
+
+TEST(TopKPathCounterTest, ExactWhenUnderCapacity) {
+  TopKPathCounter counter(16, 2);
+  counter.AddSession({1, 2, 3});      // paths: [1,2], [2,3]
+  counter.AddSession({1, 2});         // [1,2]
+  counter.AddSession({4});            // too short: nothing
+  EXPECT_EQ(counter.paths_processed(), 3u);
+  auto top = counter.TopK(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, (std::vector<PageId>{1, 2}));
+  EXPECT_EQ(top[0].count, 2u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].path, (std::vector<PageId>{2, 3}));
+  EXPECT_EQ(top[1].count, 1u);
+}
+
+TEST(TopKPathCounterTest, PathLengthOne) {
+  TopKPathCounter counter(8, 1);
+  counter.AddSession({5, 5, 7});
+  auto top = counter.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, (std::vector<PageId>{5}));
+  EXPECT_EQ(top[0].count, 2u);
+}
+
+TEST(TopKPathCounterTest, EvictionInheritsMinimumEstimate) {
+  TopKPathCounter counter(2, 1);
+  counter.AddSession({1, 1, 1});  // [1] x3
+  counter.AddSession({2});        // [2] x1
+  counter.AddSession({3});        // evicts [2] (min=1): [3] count 2, error 1
+  auto top = counter.TopK(3);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, (std::vector<PageId>{1}));
+  EXPECT_EQ(top[0].count, 3u);
+  EXPECT_EQ(top[1].path, (std::vector<PageId>{3}));
+  EXPECT_EQ(top[1].count, 2u);
+  EXPECT_EQ(top[1].error, 1u);
+}
+
+TEST(TopKPathCounterTest, TopKTruncatesAndOrders) {
+  TopKPathCounter counter(16, 1);
+  for (int i = 0; i < 5; ++i) counter.AddSession({1});
+  for (int i = 0; i < 3; ++i) counter.AddSession({2});
+  counter.AddSession({3});
+  auto top = counter.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, (std::vector<PageId>{1}));
+  EXPECT_EQ(top[1].path, (std::vector<PageId>{2}));
+}
+
+TEST(TopKPathCounterTest, SpaceSavingGuaranteesOnRandomStream) {
+  // SpaceSaving invariants against exact counts:
+  //   estimate >= true count, estimate - error <= true count, and every
+  //   path with true count > N/capacity is tracked.
+  Rng rng(77);
+  constexpr std::size_t kCapacity = 24;
+  TopKPathCounter counter(kCapacity, 2);
+  std::map<std::vector<PageId>, std::uint64_t> exact;
+  for (int s = 0; s < 500; ++s) {
+    std::vector<PageId> session;
+    const std::size_t length = 2 + rng.NextBounded(6);
+    for (std::size_t i = 0; i < length; ++i) {
+      // Skewed page distribution so some paths are genuinely frequent.
+      session.push_back(static_cast<PageId>(rng.NextWeighted(
+          {30, 20, 10, 5, 2, 1, 1, 1, 1, 1})));
+    }
+    counter.AddSession(session);
+    for (std::size_t i = 0; i + 2 <= session.size(); ++i) {
+      ++exact[{session[i], session[i + 1]}];
+    }
+  }
+  const std::uint64_t n = counter.paths_processed();
+  ASSERT_GT(n, 0u);
+  auto tracked = counter.TopK(kCapacity);
+  std::map<std::vector<PageId>, TopKPathCounter::Entry> tracked_map;
+  for (const auto& entry : tracked) tracked_map[entry.path] = entry;
+  for (const auto& [path, entry] : tracked_map) {
+    const std::uint64_t true_count =
+        exact.contains(path) ? exact.at(path) : 0;
+    EXPECT_GE(entry.count, true_count);
+    EXPECT_LE(entry.count - entry.error, true_count);
+  }
+  for (const auto& [path, true_count] : exact) {
+    if (true_count > n / kCapacity) {
+      EXPECT_TRUE(tracked_map.contains(path))
+          << "frequent path lost (true count " << true_count << ")";
+    }
+  }
+}
+
+TEST(PatternCountingSinkTest, CountsAndForwards) {
+  CollectingSessionSink downstream;
+  PatternCountingSink sink(&downstream);
+  const std::size_t pairs = sink.AddCounter(8, 2);
+  const std::size_t triples = sink.AddCounter(8, 3);
+  ASSERT_TRUE(sink.Accept("ip", MakeSession({1, 2, 3}, {0, 1, 2})).ok());
+  ASSERT_TRUE(sink.Accept("ip", MakeSession({1, 2}, {5, 6})).ok());
+  EXPECT_EQ(sink.sessions_seen(), 2u);
+  EXPECT_EQ(sink.counter(pairs).paths_processed(), 3u);
+  EXPECT_EQ(sink.counter(triples).paths_processed(), 1u);
+  EXPECT_EQ(downstream.entries().size(), 2u);
+}
+
+TEST(PatternCountingSinkTest, NullDownstreamIsFine) {
+  PatternCountingSink sink;
+  sink.AddCounter(4, 2);
+  EXPECT_TRUE(sink.Accept("ip", MakeSession({1, 2}, {0, 1})).ok());
+  EXPECT_EQ(sink.sessions_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace wum

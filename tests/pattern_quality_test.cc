@@ -1,0 +1,118 @@
+#include "wum/eval/pattern_quality.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+SequentialPattern P(std::vector<PageId> pages, std::size_t support = 1) {
+  return SequentialPattern{std::move(pages), support};
+}
+
+TEST(ComparePatternSetsTest, CountsExactSequenceMatches) {
+  PatternQuality quality = ComparePatternSets(
+      {P({1, 2}), P({2, 3}), P({3, 4})},
+      {P({1, 2}), P({9, 9}), P({3, 4})});
+  EXPECT_EQ(quality.true_patterns, 3u);
+  EXPECT_EQ(quality.mined_patterns, 3u);
+  EXPECT_EQ(quality.matched, 2u);
+  EXPECT_NEAR(quality.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(quality.recall(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(quality.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ComparePatternSetsTest, SupportValuesIgnored) {
+  PatternQuality quality =
+      ComparePatternSets({P({1, 2}, 50)}, {P({1, 2}, 3)});
+  EXPECT_EQ(quality.matched, 1u);
+}
+
+TEST(ComparePatternSetsTest, DuplicatesCollapse) {
+  PatternQuality quality = ComparePatternSets(
+      {P({1, 2}), P({1, 2})}, {P({1, 2}), P({1, 2}), P({3})});
+  EXPECT_EQ(quality.true_patterns, 1u);
+  EXPECT_EQ(quality.mined_patterns, 2u);
+  EXPECT_EQ(quality.matched, 1u);
+}
+
+TEST(ComparePatternSetsTest, EmptySides) {
+  PatternQuality quality = ComparePatternSets({}, {});
+  EXPECT_DOUBLE_EQ(quality.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(quality.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(quality.f1(), 0.0);
+}
+
+TEST(MineCorpusTest, DropsShortPatternsAndAppliesRelativeSupport) {
+  std::vector<std::vector<PageId>> corpus(100, {1, 2, 3});
+  PatternQualityOptions options;
+  options.min_support_fraction = 0.5;  // support threshold 50
+  Result<std::vector<SequentialPattern>> patterns =
+      MineCorpus(corpus, options);
+  ASSERT_TRUE(patterns.ok());
+  // [1,2], [2,3], [1,2,3] (all with support 100); singletons dropped.
+  EXPECT_EQ(patterns->size(), 3u);
+  for (const SequentialPattern& pattern : *patterns) {
+    EXPECT_GE(pattern.pages.size(), 2u);
+    EXPECT_EQ(pattern.support, 100u);
+  }
+}
+
+TEST(PatternQualityTest, PerfectReconstructionScoresPerfectly) {
+  // One user whose log is one clean link path: Smart-SRA reproduces the
+  // session exactly, so mined pattern sets coincide.
+  WebGraph graph = MakeFigure1Topology();
+  Workload workload;
+  for (int i = 0; i < 10; ++i) {
+    AgentRun run;
+    run.agent_id = static_cast<std::uint64_t>(i);
+    run.client_ip = "10.0.0." + std::to_string(i + 1);
+    const TimeSeconds base = i * 10000;
+    run.trace.real_sessions.push_back(
+        MakeSession({0, 1, 4, 3}, {base, base + 60, base + 120, base + 180}));
+    run.trace.server_requests = run.trace.real_sessions[0].requests;
+    workload.agents.push_back(std::move(run));
+  }
+  SmartSra heuristic(&graph);
+  PatternQualityOptions options;
+  options.min_support_fraction = 0.5;
+  Result<PatternQuality> quality =
+      EvaluatePatternQuality(workload, heuristic, options);
+  ASSERT_TRUE(quality.ok());
+  EXPECT_GT(quality->true_patterns, 0u);
+  EXPECT_DOUBLE_EQ(quality->precision(), 1.0);
+  EXPECT_DOUBLE_EQ(quality->recall(), 1.0);
+}
+
+TEST(PatternQualityTest, SmartSraBeatsTimeHeuristicsOnSimulatedWorkload) {
+  Rng site_rng(5);
+  SiteGeneratorOptions site;
+  site.num_pages = 100;
+  site.mean_out_degree = 8.0;
+  WebGraph graph = *GenerateUniformSite(site, &site_rng);
+  WorkloadOptions population;
+  population.num_agents = 400;
+  Rng rng(99);
+  Workload workload =
+      *SimulateWorkload(graph, AgentProfile(), population, &rng);
+
+  PatternQualityOptions options;
+  options.min_support_fraction = 0.002;
+  SmartSra smart_sra(&graph);
+  PageStaySessionizer pagestay;
+  Result<PatternQuality> sra_quality =
+      EvaluatePatternQuality(workload, smart_sra, options);
+  Result<PatternQuality> pagestay_quality =
+      EvaluatePatternQuality(workload, pagestay, options);
+  ASSERT_TRUE(sra_quality.ok());
+  ASSERT_TRUE(pagestay_quality.ok());
+  EXPECT_GT(sra_quality->true_patterns, 0u);
+  EXPECT_GT(sra_quality->f1(), pagestay_quality->f1());
+  EXPECT_GT(sra_quality->f1(), 0.5);
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,207 @@
+#include "wum/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace wum {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceVector) {
+  // Reference values for state starting at 0 (Vigna's splitmix64.c).
+  std::uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(&state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(SplitMix64(&state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(SplitMix64(&state), 0x06C45D188009454FULL);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.engine()() == b.engine()()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextUnitInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextUnitMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextUnit();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysBelowBound) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, NextBoundedOneIsAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(23);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(29);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextInRange(42, 42), 42);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(37);
+  double sum = 0, sum_sq = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.NextNormal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double variance = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(variance, 4.0, 0.1);
+}
+
+TEST(RngTest, TruncatedNormalRespectsBound) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextTruncatedNormal(0.5, 1.0, 0.0), 0.0);
+  }
+}
+
+TEST(RngTest, TruncatedNormalPathologicalParametersFallBack) {
+  Rng rng(43);
+  // Mean far below the bound: resampling fails, fallback applies.
+  double v = rng.NextTruncatedNormal(-1000.0, 0.001, 5.0);
+  EXPECT_GT(v, 5.0);
+  EXPECT_LT(v, 5.1);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(47);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedFrequencies) {
+  Rng rng(53);
+  std::vector<double> weights = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kDraws, 0.75, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(59);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::size_t> sample = rng.SampleWithoutReplacement(20, 7);
+    EXPECT_EQ(sample.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_EQ(std::set<std::size_t>(sample.begin(), sample.end()).size(), 7u);
+    for (std::size_t v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(61);
+  std::vector<std::size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(67);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(71);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent_a(99);
+  Rng parent_b(99);
+  Rng child_a1 = parent_a.Fork();
+  Rng child_a2 = parent_a.Fork();
+  Rng child_b1 = parent_b.Fork();
+  // Same lineage reproduces.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_a1.engine()(), child_b1.engine()());
+  }
+  // Sibling forks differ.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a2.engine()() == child_b1.engine()()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,201 @@
+#include "wum/session/referrer_heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wum/eval/accuracy.h"
+#include "wum/session/smart_sra.h"
+#include "wum/simulator/agent_simulator.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+// Figure 1 ids: 0=P1, 1=P13, 2=P20, 3=P23, 4=P34, 5=P49.
+
+std::vector<std::vector<PageId>> PageSequences(
+    const std::vector<Session>& sessions) {
+  std::vector<std::vector<PageId>> sequences;
+  for (const Session& session : sessions) {
+    sequences.push_back(session.PageSequence());
+  }
+  std::sort(sequences.begin(), sequences.end());
+  return sequences;
+}
+
+TEST(ReferrerHeuristicTest, ChainsAlongReferrers) {
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  std::vector<ReferredRequest> requests = {
+      {0, kInvalidPage, 0},  // typed P1
+      {1, 0, 60},            // P13 from P1
+      {4, 1, 120},           // P34 from P13
+  };
+  Result<std::vector<Session>> sessions = heuristic.Reconstruct(requests);
+  ASSERT_TRUE(sessions.ok());
+  std::vector<std::vector<PageId>> expected = {{0, 1, 4}};
+  EXPECT_EQ(PageSequences(*sessions), expected);
+}
+
+TEST(ReferrerHeuristicTest, ResolvesTheBehaviour3MotifExactly) {
+  // Log [P1, P13, P34, P20] where P20's referrer is P1 (the cached
+  // backtrack target): the oracle recovers [P1,P13,P34] and [P1,P20].
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  std::vector<ReferredRequest> requests = {
+      {0, kInvalidPage, 0},
+      {1, 0, 120},
+      {4, 1, 240},
+      {2, 0, 420},  // P1 is no longer any session's last page
+  };
+  Result<std::vector<Session>> sessions = heuristic.Reconstruct(requests);
+  ASSERT_TRUE(sessions.ok());
+  std::vector<std::vector<PageId>> expected = {{0, 1, 4}, {0, 2}};
+  EXPECT_EQ(PageSequences(*sessions), expected);
+}
+
+TEST(ReferrerHeuristicTest, TypedEntryOpensNewSession) {
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  std::vector<ReferredRequest> requests = {
+      {0, kInvalidPage, 0},
+      {2, 0, 60},
+      {5, kInvalidPage, 120},  // typed P49
+      {3, 5, 180},
+  };
+  Result<std::vector<Session>> sessions = heuristic.Reconstruct(requests);
+  ASSERT_TRUE(sessions.ok());
+  std::vector<std::vector<PageId>> expected = {{0, 2}, {5, 3}};
+  EXPECT_EQ(PageSequences(*sessions), expected);
+}
+
+TEST(ReferrerHeuristicTest, DisambiguatesSharedReferrerByRecency) {
+  // Two sessions both end in pages linking to P23; the request's
+  // referrer picks the right one even though time alone cannot.
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  std::vector<ReferredRequest> requests = {
+      {0, kInvalidPage, 0},    // session A: P1
+      {2, 0, 60},              //            P1 -> P20
+      {5, kInvalidPage, 90},   // session B: typed P49
+      {3, 5, 150},             // P23 from P49 -- joins session B
+  };
+  Result<std::vector<Session>> sessions = heuristic.Reconstruct(requests);
+  ASSERT_TRUE(sessions.ok());
+  std::vector<std::vector<PageId>> expected = {{0, 2}, {5, 3}};
+  EXPECT_EQ(PageSequences(*sessions), expected);
+}
+
+TEST(ReferrerHeuristicTest, UnknownReferrerFallsBackToSingleton) {
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  // P23's referrer P34 was never seen by this user and heads no session.
+  std::vector<ReferredRequest> requests = {{3, 4, 0}};
+  Result<std::vector<Session>> sessions = heuristic.Reconstruct(requests);
+  ASSERT_TRUE(sessions.ok());
+  std::vector<std::vector<PageId>> expected = {{3}};
+  EXPECT_EQ(PageSequences(*sessions), expected);
+}
+
+TEST(ReferrerHeuristicTest, UnlinkedReferrerIgnored) {
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  // Claimed referrer P20 has no link to P13: treated as typed.
+  std::vector<ReferredRequest> requests = {
+      {2, kInvalidPage, 0},
+      {1, 2, 60},
+  };
+  Result<std::vector<Session>> sessions = heuristic.Reconstruct(requests);
+  ASSERT_TRUE(sessions.ok());
+  std::vector<std::vector<PageId>> expected = {{1}, {2}};
+  EXPECT_EQ(PageSequences(*sessions), expected);
+}
+
+TEST(ReferrerHeuristicTest, PageStayBoundStillCuts) {
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  std::vector<ReferredRequest> requests = {
+      {0, kInvalidPage, 0},
+      {1, 0, Minutes(11)},  // referrer matches but the gap exceeds rho
+  };
+  Result<std::vector<Session>> sessions = heuristic.Reconstruct(requests);
+  ASSERT_TRUE(sessions.ok());
+  std::vector<std::vector<PageId>> expected = {{0}, {0, 1}};
+  // The open session [P1] expires; P13's referrer P1 was *seen*, so a
+  // backtrack-style session [P1, P13] opens.
+  EXPECT_EQ(PageSequences(*sessions), expected);
+}
+
+TEST(ReferrerHeuristicTest, RejectsInvalidInput) {
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  EXPECT_TRUE(heuristic.Reconstruct({{99, kInvalidPage, 0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(heuristic.Reconstruct({{0, 99, 0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(heuristic
+                  .Reconstruct({{0, kInvalidPage, 100},
+                                {1, kInvalidPage, 50}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ReferrerHeuristicTest, EmptyInput) {
+  WebGraph graph = MakeFigure1Topology();
+  ReferrerSessionizer heuristic(&graph);
+  EXPECT_TRUE(heuristic.Reconstruct({})->empty());
+}
+
+class ReferrerOracleSeedTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReferrerOracleSeedTest, OutputIsValidAndBeatsSmartSra) {
+  Rng site_rng(31);
+  SiteGeneratorOptions site;
+  site.num_pages = 80;
+  site.mean_out_degree = 6.0;
+  WebGraph graph = *GenerateUniformSite(site, &site_rng);
+
+  WorkloadOptions population;
+  population.num_agents = 150;
+  Rng rng(GetParam());
+  Workload workload =
+      *SimulateWorkload(graph, AgentProfile(), population, &rng);
+
+  ReferrerSessionizer oracle(&graph);
+  std::map<std::string, std::vector<Session>> reconstructions;
+  for (const auto& [ip, stream] : BuildIpReferredStreams(workload)) {
+    Result<std::vector<Session>> sessions = oracle.Reconstruct(stream);
+    ASSERT_TRUE(sessions.ok());
+    for (const Session& session : *sessions) {
+      EXPECT_TRUE(SatisfiesTopologyRule(session, graph))
+          << SessionToString(session);
+      EXPECT_TRUE(SatisfiesTimestampRule(session, Minutes(10)))
+          << SessionToString(session);
+    }
+    reconstructions[ip] = std::move(sessions).ValueOrDie();
+  }
+  AccuracyEvaluator evaluator(&graph, TimeThresholds());
+  AccuracyResult oracle_result =
+      evaluator.ScoreReconstructions(workload, reconstructions);
+
+  SmartSra smart_sra(&graph);
+  Result<AccuracyResult> sra_result = evaluator.Evaluate(workload, smart_sra);
+  ASSERT_TRUE(sra_result.ok());
+
+  // Richer data cannot hurt recall: the oracle recovers at least as many
+  // real sessions. (It is not perfect: sessions interrupted by
+  // cache-served *forward* revisits are unrecoverable from any server
+  // log.)
+  EXPECT_GE(oracle_result.capture_rate(), sra_result->capture_rate());
+  EXPECT_GT(oracle_result.capture_rate(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferrerOracleSeedTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace wum

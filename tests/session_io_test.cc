@@ -1,0 +1,108 @@
+#include "wum/session/session_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wum {
+namespace {
+
+std::vector<UserSession> SampleSessions() {
+  return {
+      UserSession{"10.0.0.1", MakeSession({1, 2, 3}, {10, 20, 30})},
+      UserSession{"10.0.0.2", MakeSession({7}, {100})},
+      UserSession{"10.0.0.1", MakeSession({}, {})},  // empty session
+  };
+}
+
+TEST(SessionIoTest, RoundTrip) {
+  std::stringstream stream;
+  WriteSessionsText(SampleSessions(), &stream);
+  Result<std::vector<UserSession>> loaded = ReadSessionsText(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, SampleSessions());
+}
+
+TEST(SessionIoTest, TextFormatIsAsDocumented) {
+  std::stringstream stream;
+  WriteSessionsText({SampleSessions()[0]}, &stream);
+  EXPECT_EQ(stream.str(), "websra-sessions 1\n10.0.0.1\t1:10\t2:20\t3:30\n");
+}
+
+TEST(SessionIoTest, UserKeysWithSpacesSurvive) {
+  std::vector<UserSession> sessions = {
+      UserSession{std::string("1.2.3.4") + '\x1f' + "Mozilla/4.0 (X11)",
+                  MakeSession({5}, {7})}};
+  std::stringstream stream;
+  WriteSessionsText(sessions, &stream);
+  Result<std::vector<UserSession>> loaded = ReadSessionsText(&stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, sessions);
+}
+
+TEST(SessionIoTest, CommentsAndBlanksIgnored) {
+  std::stringstream stream(
+      "# header comment\n"
+      "websra-sessions 1\n"
+      "\n"
+      "# inline\n"
+      "user\t3:5\n");
+  Result<std::vector<UserSession>> loaded = ReadSessionsText(&stream);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].user_key, "user");
+}
+
+TEST(SessionIoTest, NegativeTimestampsAllowed) {
+  std::stringstream stream("websra-sessions 1\nuser\t3:-5\n");
+  Result<std::vector<UserSession>> loaded = ReadSessionsText(&stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)[0].session.requests[0].timestamp, -5);
+}
+
+TEST(SessionIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream stream("bogus header\n");
+    EXPECT_TRUE(ReadSessionsText(&stream).status().IsParseError());
+  }
+  {
+    std::stringstream stream("websra-sessions 2\n");
+    EXPECT_TRUE(ReadSessionsText(&stream).status().IsParseError());
+  }
+  {
+    std::stringstream stream("websra-sessions 1\n\tmissing-key:1\n");
+    EXPECT_TRUE(ReadSessionsText(&stream).status().IsParseError());
+  }
+  {
+    std::stringstream stream("websra-sessions 1\nuser\tnot-a-request\n");
+    EXPECT_TRUE(ReadSessionsText(&stream).status().IsParseError());
+  }
+  {
+    std::stringstream stream("websra-sessions 1\nuser\t1:2:3\n");
+    EXPECT_TRUE(ReadSessionsText(&stream).status().IsParseError());
+  }
+  {
+    std::stringstream stream("");
+    EXPECT_TRUE(ReadSessionsText(&stream).status().IsParseError());
+  }
+  {
+    std::stringstream stream("websra-sessions 1\nuser\t4294967295:0\n");
+    EXPECT_TRUE(ReadSessionsText(&stream).status().IsParseError());
+  }
+}
+
+TEST(SessionIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/websra_sessions_test.txt";
+  ASSERT_TRUE(WriteSessionsFile(SampleSessions(), path).ok());
+  Result<std::vector<UserSession>> loaded = ReadSessionsFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, SampleSessions());
+}
+
+TEST(SessionIoTest, MissingFileIsIoError) {
+  EXPECT_TRUE(
+      ReadSessionsFile("/nonexistent/x.sessions").status().IsIoError());
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,228 @@
+#include "wum/topology/site_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/topology/graph_algorithms.h"
+
+namespace wum {
+namespace {
+
+TEST(SiteGeneratorOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateSiteGeneratorOptions(SiteGeneratorOptions()).ok());
+}
+
+TEST(SiteGeneratorOptionsTest, RejectsBadValues) {
+  SiteGeneratorOptions options;
+  options.num_pages = 0;
+  EXPECT_TRUE(ValidateSiteGeneratorOptions(options).IsInvalidArgument());
+
+  options = SiteGeneratorOptions();
+  options.mean_out_degree = -1.0;
+  EXPECT_TRUE(ValidateSiteGeneratorOptions(options).IsInvalidArgument());
+
+  options = SiteGeneratorOptions();
+  options.num_pages = 10;
+  options.mean_out_degree = 10.0;  // > num_pages - 1
+  EXPECT_TRUE(ValidateSiteGeneratorOptions(options).IsInvalidArgument());
+
+  options = SiteGeneratorOptions();
+  options.start_page_fraction = 1.5;
+  EXPECT_TRUE(ValidateSiteGeneratorOptions(options).IsInvalidArgument());
+
+  options = SiteGeneratorOptions();
+  options.min_start_pages = 0;
+  EXPECT_TRUE(ValidateSiteGeneratorOptions(options).IsInvalidArgument());
+
+  options = SiteGeneratorOptions();
+  options.num_pages = 3;
+  options.mean_out_degree = 1.0;
+  options.min_start_pages = 4;
+  EXPECT_TRUE(ValidateSiteGeneratorOptions(options).IsInvalidArgument());
+}
+
+TEST(SiteGeneratorTest, Figure1TopologyMatchesPaper) {
+  WebGraph graph = MakeFigure1Topology();
+  EXPECT_EQ(graph.num_pages(), 6u);
+  EXPECT_EQ(graph.num_edges(), 7u);
+  // Links asserted by Table 2 / Table 4 of the paper (ids: 0=P1, 1=P13,
+  // 2=P20, 3=P23, 4=P34, 5=P49).
+  EXPECT_TRUE(graph.HasLink(0, 2));   // Link[P1, P20] = 1
+  EXPECT_FALSE(graph.HasLink(2, 1));  // Link[P20, P13] = 0
+  EXPECT_TRUE(graph.HasLink(0, 1));   // Link[P1, P13] = 1
+  EXPECT_TRUE(graph.HasLink(1, 5));   // Link[P13, P49] = 1
+  EXPECT_FALSE(graph.HasLink(5, 4));  // Link[P49, P34] = 0
+  EXPECT_TRUE(graph.HasLink(1, 4));   // Link[P13, P34] = 1
+  EXPECT_TRUE(graph.HasLink(4, 3));   // Link[P34, P23] = 1
+  EXPECT_TRUE(graph.HasLink(2, 3));   // P23 reachable from P20
+  EXPECT_TRUE(graph.HasLink(5, 3));   // P23 reachable from P49
+  EXPECT_EQ(graph.start_pages(), (std::vector<PageId>{0, 5}));  // P1, P49
+}
+
+TEST(SiteGeneratorTest, Figure1PageNames) {
+  EXPECT_EQ(Figure1PageName(0), "P1");
+  EXPECT_EQ(Figure1PageName(3), "P23");
+  EXPECT_EQ(Figure1PageName(5), "P49");
+  EXPECT_EQ(Figure1PageName(9), "P?9");
+}
+
+class GeneratorSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedTest, UniformSiteInvariants) {
+  SiteGeneratorOptions options;  // paper defaults: 300 pages, degree 15
+  Rng rng(GetParam());
+  Result<WebGraph> graph = GenerateUniformSite(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_pages(), 300u);
+  // Mean out-degree within 10% of the target (reachability patching may
+  // add a few edges).
+  EXPECT_GE(graph->MeanOutDegree(), 15.0 * 0.95);
+  EXPECT_LE(graph->MeanOutDegree(), 15.0 * 1.10);
+  // 5% of 300 = 15 start pages.
+  EXPECT_EQ(graph->start_pages().size(), 15u);
+  // No self loops.
+  for (std::size_t p = 0; p < graph->num_pages(); ++p) {
+    EXPECT_FALSE(graph->HasLink(static_cast<PageId>(p),
+                                static_cast<PageId>(p)));
+  }
+  // Whole site reachable from the start pages.
+  std::vector<bool> reachable = ReachablePages(*graph, graph->start_pages());
+  for (std::size_t p = 0; p < graph->num_pages(); ++p) {
+    EXPECT_TRUE(reachable[p]) << "page " << p << " unreachable";
+  }
+}
+
+TEST_P(GeneratorSeedTest, PowerLawSiteInvariants) {
+  SiteGeneratorOptions options;
+  Rng rng(GetParam());
+  Result<WebGraph> graph = GeneratePowerLawSite(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_pages(), 300u);
+  EXPECT_GE(graph->MeanOutDegree(), 15.0 * 0.90);
+  EXPECT_LE(graph->MeanOutDegree(), 15.0 * 1.10);
+  for (std::size_t p = 0; p < graph->num_pages(); ++p) {
+    EXPECT_FALSE(graph->HasLink(static_cast<PageId>(p),
+                                static_cast<PageId>(p)));
+  }
+  std::vector<bool> reachable = ReachablePages(*graph, graph->start_pages());
+  for (std::size_t p = 0; p < graph->num_pages(); ++p) {
+    EXPECT_TRUE(reachable[p]);
+  }
+}
+
+TEST_P(GeneratorSeedTest, PowerLawIsMoreSkewedThanUniform) {
+  SiteGeneratorOptions options;
+  Rng rng_uniform(GetParam());
+  Rng rng_power(GetParam());
+  DegreeStats uniform =
+      ComputeDegreeStats(*GenerateUniformSite(options, &rng_uniform));
+  DegreeStats power =
+      ComputeDegreeStats(*GeneratePowerLawSite(options, &rng_power));
+  // Preferential attachment concentrates in-links: higher max and higher
+  // variance than the uniform model.
+  EXPECT_GT(power.in_degree.max(), uniform.in_degree.max());
+  EXPECT_GT(power.in_degree.variance(), uniform.in_degree.variance());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1, 2, 3, 42, 20060102, 999983));
+
+TEST_P(GeneratorSeedTest, HierarchicalSiteInvariants) {
+  SiteGeneratorOptions options;
+  Rng rng(GetParam());
+  Result<WebGraph> graph = GenerateHierarchicalSite(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_pages(), 300u);
+  EXPECT_GE(graph->MeanOutDegree(), 15.0 * 0.90);
+  EXPECT_LE(graph->MeanOutDegree(), 15.0 * 1.10);
+  // Page 0 (the site index) is always an entry page.
+  EXPECT_TRUE(graph->IsStartPage(0));
+  // The navigation tree is embedded: every page's parent links to it.
+  const std::size_t branching = options.hierarchy_branching_factor;
+  for (std::size_t child = 1; child < graph->num_pages(); ++child) {
+    const auto parent = static_cast<PageId>((child - 1) / branching);
+    EXPECT_TRUE(graph->HasLink(parent, static_cast<PageId>(child)))
+        << "tree edge " << parent << " -> " << child << " missing";
+  }
+  std::vector<bool> reachable = ReachablePages(*graph, graph->start_pages());
+  for (std::size_t p = 0; p < graph->num_pages(); ++p) {
+    EXPECT_TRUE(reachable[p]);
+  }
+  for (std::size_t p = 0; p < graph->num_pages(); ++p) {
+    EXPECT_FALSE(graph->HasLink(static_cast<PageId>(p),
+                                static_cast<PageId>(p)));
+  }
+}
+
+TEST(SiteGeneratorTest, HierarchicalValidatesExtraOptions) {
+  SiteGeneratorOptions options;
+  options.hierarchy_branching_factor = 0;
+  Rng rng(1);
+  EXPECT_TRUE(
+      GenerateHierarchicalSite(options, &rng).status().IsInvalidArgument());
+  options = SiteGeneratorOptions();
+  options.hierarchy_up_link_probability = 1.5;
+  EXPECT_TRUE(
+      GenerateHierarchicalSite(options, &rng).status().IsInvalidArgument());
+}
+
+TEST(SiteGeneratorTest, DeterministicForSeed) {
+  SiteGeneratorOptions options;
+  Rng rng_a(777);
+  Rng rng_b(777);
+  Result<WebGraph> a = GenerateUniformSite(options, &rng_a);
+  Result<WebGraph> b = GenerateUniformSite(options, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(SiteGeneratorTest, DifferentSeedsProduceDifferentSites) {
+  SiteGeneratorOptions options;
+  Rng rng_a(1);
+  Rng rng_b(2);
+  EXPECT_FALSE(*GenerateUniformSite(options, &rng_a) ==
+               *GenerateUniformSite(options, &rng_b));
+}
+
+TEST(SiteGeneratorTest, MinStartPagesHonored) {
+  SiteGeneratorOptions options;
+  options.num_pages = 10;
+  options.mean_out_degree = 2.0;
+  options.start_page_fraction = 0.0;
+  options.min_start_pages = 3;
+  Rng rng(5);
+  Result<WebGraph> graph = GenerateUniformSite(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->start_pages().size(), 3u);
+}
+
+TEST(SiteGeneratorTest, SinglePageSite) {
+  SiteGeneratorOptions options;
+  options.num_pages = 1;
+  options.mean_out_degree = 0.0;
+  Rng rng(5);
+  Result<WebGraph> graph = GenerateUniformSite(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_pages(), 1u);
+  EXPECT_EQ(graph->num_edges(), 0u);
+  EXPECT_EQ(graph->start_pages().size(), 1u);
+}
+
+TEST(SiteGeneratorTest, ReachabilityPatchingCanBeDisabled) {
+  SiteGeneratorOptions options;
+  options.num_pages = 200;
+  options.mean_out_degree = 1.0;  // sparse: many unreachable pages
+  options.ensure_reachable_from_start_pages = false;
+  Rng rng(9);
+  Result<WebGraph> graph = GenerateUniformSite(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  std::vector<bool> reachable = ReachablePages(*graph, graph->start_pages());
+  std::size_t unreachable = 0;
+  for (bool r : reachable) {
+    if (!r) ++unreachable;
+  }
+  EXPECT_GT(unreachable, 0u);
+}
+
+}  // namespace
+}  // namespace wum

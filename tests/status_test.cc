@@ -1,0 +1,159 @@
+#include "wum/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/common/result.h"
+
+namespace wum {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad thing");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status status = Status::ParseError("x");
+  EXPECT_FALSE(status.IsInvalidArgument());
+  EXPECT_FALSE(status.IsNotFound());
+  EXPECT_FALSE(status.IsIoError());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::NotFound("missing");
+  Status copy = original;                  // copy constructor
+  EXPECT_EQ(copy, original);
+  Status assigned;
+  assigned = original;                     // copy assignment
+  EXPECT_EQ(assigned, original);
+  EXPECT_EQ(original.message(), "missing");  // source untouched
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status original = Status::IoError("disk");
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsIoError());
+  EXPECT_EQ(moved.message(), "disk");
+}
+
+TEST(StatusTest, SelfAssignmentIsSafe) {
+  Status status = Status::Internal("self");
+  Status& alias = status;
+  status = alias;
+  EXPECT_EQ(status.message(), "self");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Status FailsWhenNegative(int value) {
+  if (value < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int value) {
+  WUM_RETURN_NOT_OK(FailsWhenNegative(value));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_TRUE(UsesReturnNotOk(-1).IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good = 7;
+  Result<int> bad = Status::Internal("x");
+  EXPECT_EQ(good.ValueOr(0), 7);
+  EXPECT_EQ(bad.ValueOr(99), 99);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string value = std::move(result).ValueOrDie();
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+Result<int> HalveEven(int value) {
+  if (value % 2 != 0) return Status::InvalidArgument("odd");
+  return value / 2;
+}
+
+Result<int> QuarterViaMacro(int value) {
+  WUM_ASSIGN_OR_RETURN(int half, HalveEven(value));
+  WUM_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> good = QuarterViaMacro(8);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 2);
+  EXPECT_TRUE(QuarterViaMacro(6).status().IsInvalidArgument());
+  EXPECT_TRUE(QuarterViaMacro(7).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, CopyableWhenValueIs) {
+  Result<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  Result<std::vector<int>> copy = result;
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->size(), 3u);
+  EXPECT_EQ(result->size(), 3u);
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,165 @@
+// DESIGN.md §6.6: every incremental sessionizer emits exactly the batch
+// algorithm's sessions on the same per-user stream, across simulator
+// workloads and all four heuristics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wum/session/navigation_heuristic.h"
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/simulator/agent_simulator.h"
+#include "wum/stream/incremental_sessionizer.h"
+#include "wum/stream/incremental_time_sessionizers.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+std::vector<Session> DriveIncremental(IncrementalUserSessionizer* sessionizer,
+                                      const std::vector<PageRequest>& stream) {
+  std::vector<Session> emitted;
+  auto emit = [&emitted](Session session) {
+    emitted.push_back(std::move(session));
+    return Status::OK();
+  };
+  for (const PageRequest& request : stream) {
+    EXPECT_TRUE(sessionizer->OnRequest(request, emit).ok());
+  }
+  EXPECT_TRUE(sessionizer->Flush(emit).ok());
+  return emitted;
+}
+
+void ExpectSameSessions(const std::vector<Session>& batch,
+                        std::vector<Session> streaming) {
+  // Smart-SRA emits per closed candidate; order within a candidate can
+  // differ from the batch dedup ordering, so compare as sorted sets.
+  std::vector<Session> batch_sorted = batch;
+  auto by_requests = [](const Session& a, const Session& b) {
+    return a.requests < b.requests;
+  };
+  std::sort(batch_sorted.begin(), batch_sorted.end(), by_requests);
+  std::sort(streaming.begin(), streaming.end(), by_requests);
+  EXPECT_EQ(batch_sorted, streaming);
+}
+
+class StreamingEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng site_rng(11);
+    SiteGeneratorOptions options;
+    options.num_pages = 70;
+    options.mean_out_degree = 5.0;
+    graph_ = *GenerateUniformSite(options, &site_rng);
+  }
+
+  std::vector<std::vector<PageRequest>> SimulatedStreams() {
+    AgentSimulator simulator(&graph_, AgentProfile());
+    Rng rng(GetParam());
+    std::vector<std::vector<PageRequest>> streams;
+    for (int agent = 0; agent < 20; ++agent) {
+      Rng agent_rng = rng.Fork();
+      streams.push_back(
+          simulator.SimulateAgent(0, &agent_rng)->server_requests);
+    }
+    return streams;
+  }
+
+  WebGraph graph_{0};
+};
+
+TEST_P(StreamingEquivalenceTest, SmartSra) {
+  SmartSra batch(&graph_);
+  for (const auto& stream : SimulatedStreams()) {
+    IncrementalSmartSra incremental(&graph_, SmartSra::Options());
+    ExpectSameSessions(*batch.Reconstruct(stream),
+                       DriveIncremental(&incremental, stream));
+  }
+}
+
+TEST_P(StreamingEquivalenceTest, Duration) {
+  SessionDurationSessionizer batch;
+  for (const auto& stream : SimulatedStreams()) {
+    IncrementalDurationSessionizer incremental;
+    ExpectSameSessions(*batch.Reconstruct(stream),
+                       DriveIncremental(&incremental, stream));
+  }
+}
+
+TEST_P(StreamingEquivalenceTest, PageStay) {
+  PageStaySessionizer batch;
+  for (const auto& stream : SimulatedStreams()) {
+    IncrementalPageStaySessionizer incremental;
+    ExpectSameSessions(*batch.Reconstruct(stream),
+                       DriveIncremental(&incremental, stream));
+  }
+}
+
+TEST_P(StreamingEquivalenceTest, Navigation) {
+  NavigationSessionizer batch(&graph_);
+  for (const auto& stream : SimulatedStreams()) {
+    IncrementalNavigationSessionizer incremental(&graph_);
+    ExpectSameSessions(*batch.Reconstruct(stream),
+                       DriveIncremental(&incremental, stream));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(StreamingEmissionTest, SmartSraEmitsAsCandidatesClose) {
+  // Sessions of a closed candidate appear before later input arrives.
+  WebGraph graph = MakeFigure1Topology();
+  IncrementalSmartSra sessionizer(&graph, SmartSra::Options());
+  std::vector<Session> emitted;
+  auto emit = [&emitted](Session session) {
+    emitted.push_back(std::move(session));
+    return Status::OK();
+  };
+  ASSERT_TRUE(
+      sessionizer.OnRequest(PageRequest{0, 0}, emit).ok());
+  ASSERT_TRUE(
+      sessionizer.OnRequest(PageRequest{1, 60}, emit).ok());
+  EXPECT_TRUE(emitted.empty());  // candidate still open
+  // Gap > 10 minutes closes the candidate; its sessions emit now.
+  ASSERT_TRUE(
+      sessionizer.OnRequest(PageRequest{5, Minutes(20)}, emit).ok());
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].PageSequence(), (std::vector<PageId>{0, 1}));
+  ASSERT_TRUE(sessionizer.Flush(emit).ok());
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(emitted[1].PageSequence(), (std::vector<PageId>{5}));
+}
+
+TEST(StreamingEmissionTest, TimeSessionizersEmitOnCut) {
+  IncrementalPageStaySessionizer sessionizer(Minutes(10));
+  std::vector<Session> emitted;
+  auto emit = [&emitted](Session session) {
+    emitted.push_back(std::move(session));
+    return Status::OK();
+  };
+  ASSERT_TRUE(sessionizer.OnRequest(PageRequest{1, 0}, emit).ok());
+  EXPECT_TRUE(emitted.empty());
+  ASSERT_TRUE(
+      sessionizer.OnRequest(PageRequest{2, Minutes(11)}, emit).ok());
+  ASSERT_EQ(emitted.size(), 1u);  // cut emitted immediately
+  ASSERT_TRUE(sessionizer.Flush(emit).ok());
+  EXPECT_EQ(emitted.size(), 2u);
+}
+
+TEST(StreamingEmissionTest, FlushIsIdempotentOnEmptyState) {
+  IncrementalDurationSessionizer sessionizer;
+  std::vector<Session> emitted;
+  auto emit = [&emitted](Session session) {
+    emitted.push_back(std::move(session));
+    return Status::OK();
+  };
+  ASSERT_TRUE(sessionizer.Flush(emit).ok());
+  ASSERT_TRUE(sessionizer.Flush(emit).ok());
+  EXPECT_TRUE(emitted.empty());
+}
+
+}  // namespace
+}  // namespace wum

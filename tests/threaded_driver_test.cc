@@ -1,0 +1,142 @@
+#include "wum/stream/threaded_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "wum/stream/incremental_sessionizer.h"
+#include "wum/stream/spsc_queue.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+LogRecord PageRecord(const std::string& ip, std::uint32_t page,
+                     TimeSeconds timestamp) {
+  LogRecord record;
+  record.client_ip = ip;
+  record.url = PageUrl(page);
+  record.timestamp = timestamp;
+  return record;
+}
+
+class CountingSink : public RecordSink {
+ public:
+  Status Accept(const LogRecord&) override {
+    ++accepted;
+    return Status::OK();
+  }
+  Status Finish() override {
+    finished = true;
+    return Status::OK();
+  }
+  std::atomic<int> accepted{0};
+  std::atomic<bool> finished{false};
+};
+
+class FailingSink : public RecordSink {
+ public:
+  Status Accept(const LogRecord& record) override {
+    if (record.url == PageUrl(13)) return Status::Internal("boom");
+    ++accepted;
+    return Status::OK();
+  }
+  Status Finish() override { return Status::OK(); }
+  std::atomic<int> accepted{0};
+};
+
+TEST(SpscQueueTest, FifoOrder) {
+  SpscQueue<int> queue(4);
+  queue.Push(1);
+  queue.Push(2);
+  queue.Push(3);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 3);
+}
+
+TEST(SpscQueueTest, CloseDrainsThenSignalsEnd) {
+  SpscQueue<int> queue(4);
+  queue.Push(7);
+  queue.Close();
+  EXPECT_EQ(queue.Pop(), 7);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_FALSE(queue.Push(8));  // closed
+}
+
+TEST(SpscQueueTest, BlockingHandoffAcrossThreads) {
+  SpscQueue<int> queue(2);  // small capacity forces producer blocking
+  constexpr int kItems = 1000;
+  std::thread producer([&queue] {
+    for (int i = 0; i < kItems; ++i) queue.Push(i);
+    queue.Close();
+  });
+  int expected = 0;
+  while (auto item = queue.Pop()) {
+    EXPECT_EQ(*item, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(ThreadedDriverTest, DeliversAllRecordsThenFinishes) {
+  CountingSink sink;
+  ThreadedDriver driver(&sink, 16);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, i)).ok());
+  }
+  ASSERT_TRUE(driver.Finish().ok());
+  EXPECT_EQ(sink.accepted.load(), 500);
+  EXPECT_TRUE(sink.finished.load());
+}
+
+TEST(ThreadedDriverTest, OfferAfterFinishRejected) {
+  CountingSink sink;
+  ThreadedDriver driver(&sink);
+  ASSERT_TRUE(driver.Finish().ok());
+  EXPECT_TRUE(driver.Offer(PageRecord("ip", 1, 0)).IsFailedPrecondition());
+  EXPECT_TRUE(driver.Finish().IsFailedPrecondition());
+}
+
+TEST(ThreadedDriverTest, SinkErrorSurfacesAtFinish) {
+  FailingSink sink;
+  ThreadedDriver driver(&sink, 8);
+  // The failing record is somewhere in the middle.
+  for (int i = 0; i < 100; ++i) {
+    Status status = driver.Offer(PageRecord("ip", i == 50 ? 13 : 1, i));
+    if (!status.ok()) break;  // error may surface early; that's fine
+  }
+  EXPECT_TRUE(driver.Finish().IsInternal());
+}
+
+TEST(ThreadedDriverTest, DestructorJoinsWithoutFinish) {
+  CountingSink sink;
+  {
+    ThreadedDriver driver(&sink, 8);
+    ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, 0)).ok());
+    // No Finish(): destructor must not hang or crash.
+  }
+  EXPECT_EQ(sink.accepted.load(), 1);
+}
+
+TEST(ThreadedDriverTest, EndToEndStreamingSessionization) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  SessionizeSink sink(
+      [&graph]() {
+        return std::make_unique<IncrementalSmartSra>(&graph,
+                                                     SmartSra::Options());
+      },
+      &sessions, graph.num_pages());
+  ThreadedDriver driver(&sink, 4);
+  ASSERT_TRUE(driver.Offer(PageRecord("u", 0, 0)).ok());
+  ASSERT_TRUE(driver.Offer(PageRecord("u", 1, 60)).ok());
+  ASSERT_TRUE(driver.Offer(PageRecord("u", 4, 120)).ok());
+  ASSERT_TRUE(driver.Finish().ok());
+  ASSERT_EQ(sessions.entries().size(), 1u);
+  EXPECT_EQ(sessions.entries()[0].session.PageSequence(),
+            (std::vector<PageId>{0, 1, 4}));
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,140 @@
+#include "wum/common/time.h"
+
+#include <gtest/gtest.h>
+
+#include "wum/common/random.h"
+
+namespace wum {
+namespace {
+
+TEST(TimeTest, MinutesConvert) {
+  EXPECT_EQ(Minutes(0), 0);
+  EXPECT_EQ(Minutes(30), 1800);
+  EXPECT_EQ(Minutes(-1), -60);
+}
+
+TEST(TimeTest, MinutesFRounds) {
+  EXPECT_EQ(MinutesF(2.2), 132);
+  EXPECT_EQ(MinutesF(0.5), 30);
+  EXPECT_EQ(MinutesF(0.0001), 0);
+}
+
+TEST(TimeTest, DefaultThresholdsMatchPaper) {
+  TimeThresholds thresholds;
+  EXPECT_EQ(thresholds.max_session_duration, 1800);
+  EXPECT_EQ(thresholds.max_page_stay, 600);
+}
+
+TEST(CivilTimeTest, EpochIsKnown) {
+  CivilTime ct = CivilTimeFromUnixSeconds(0);
+  EXPECT_EQ(ct, (CivilTime{1970, 1, 1, 0, 0, 0}));
+}
+
+TEST(CivilTimeTest, KnownTimestamp) {
+  // 2006-01-02 15:04:05 UTC == 1136214245.
+  CivilTime ct = CivilTimeFromUnixSeconds(1136214245);
+  EXPECT_EQ(ct, (CivilTime{2006, 1, 2, 15, 4, 5}));
+}
+
+TEST(CivilTimeTest, NegativeTimestamps) {
+  CivilTime ct = CivilTimeFromUnixSeconds(-1);
+  EXPECT_EQ(ct, (CivilTime{1969, 12, 31, 23, 59, 59}));
+}
+
+TEST(CivilTimeTest, LeapDayValid) {
+  EXPECT_TRUE(IsValidCivilTime(CivilTime{2004, 2, 29, 0, 0, 0}));
+  EXPECT_FALSE(IsValidCivilTime(CivilTime{2005, 2, 29, 0, 0, 0}));
+  EXPECT_TRUE(IsValidCivilTime(CivilTime{2000, 2, 29, 0, 0, 0}));  // /400 rule
+  EXPECT_FALSE(IsValidCivilTime(CivilTime{1900, 2, 29, 0, 0, 0})); // /100 rule
+}
+
+TEST(CivilTimeTest, FieldRangeValidation) {
+  EXPECT_FALSE(IsValidCivilTime(CivilTime{2006, 0, 1, 0, 0, 0}));
+  EXPECT_FALSE(IsValidCivilTime(CivilTime{2006, 13, 1, 0, 0, 0}));
+  EXPECT_FALSE(IsValidCivilTime(CivilTime{2006, 4, 31, 0, 0, 0}));
+  EXPECT_FALSE(IsValidCivilTime(CivilTime{2006, 1, 1, 24, 0, 0}));
+  EXPECT_FALSE(IsValidCivilTime(CivilTime{2006, 1, 1, 0, 60, 0}));
+  EXPECT_FALSE(IsValidCivilTime(CivilTime{2006, 1, 1, 0, 0, 60}));
+}
+
+TEST(CivilTimeTest, InvalidCivilTimeRejectedByConversion) {
+  Result<TimeSeconds> result =
+      UnixSecondsFromCivilTime(CivilTime{2006, 2, 30, 0, 0, 0});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(CivilTimeTest, RoundTripRandomTimestamps) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    // Range: ~1970 .. ~2100.
+    TimeSeconds ts = rng.NextInRange(0, 4102444800LL);
+    CivilTime ct = CivilTimeFromUnixSeconds(ts);
+    ASSERT_TRUE(IsValidCivilTime(ct));
+    Result<TimeSeconds> back = UnixSecondsFromCivilTime(ct);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, ts);
+  }
+}
+
+TEST(ClfTimestampTest, FormatKnownInstant) {
+  EXPECT_EQ(FormatClfTimestamp(1136214245), "02/Jan/2006:15:04:05 +0000");
+}
+
+TEST(ClfTimestampTest, FormatPadsFields) {
+  // 1970-01-01 00:00:09.
+  EXPECT_EQ(FormatClfTimestamp(9), "01/Jan/1970:00:00:09 +0000");
+}
+
+TEST(ClfTimestampTest, ParseKnownInstant) {
+  Result<TimeSeconds> ts = ParseClfTimestamp("02/Jan/2006:15:04:05 +0000");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, 1136214245);
+}
+
+TEST(ClfTimestampTest, ParseHonorsPositiveZoneOffset) {
+  // 17:04:05 at +0200 is 15:04:05 UTC.
+  Result<TimeSeconds> ts = ParseClfTimestamp("02/Jan/2006:17:04:05 +0200");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, 1136214245);
+}
+
+TEST(ClfTimestampTest, ParseHonorsNegativeZoneOffset) {
+  // 10:04:05 at -0500 is 15:04:05 UTC.
+  Result<TimeSeconds> ts = ParseClfTimestamp("02/Jan/2006:10:04:05 -0500");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, 1136214245);
+}
+
+TEST(ClfTimestampTest, ParseHalfHourZone) {
+  Result<TimeSeconds> ts = ParseClfTimestamp("02/Jan/2006:20:34:05 +0530");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, 1136214245);
+}
+
+TEST(ClfTimestampTest, RejectsMalformedInputs) {
+  EXPECT_TRUE(ParseClfTimestamp("").status().IsParseError());
+  EXPECT_TRUE(ParseClfTimestamp("garbage").status().IsParseError());
+  EXPECT_TRUE(
+      ParseClfTimestamp("2/Jan/2006:15:04:05 +0000").status().IsParseError());
+  EXPECT_TRUE(
+      ParseClfTimestamp("02/Foo/2006:15:04:05 +0000").status().IsParseError());
+  EXPECT_TRUE(
+      ParseClfTimestamp("02/Jan/2006 15:04:05 +0000").status().IsParseError());
+  EXPECT_TRUE(
+      ParseClfTimestamp("02/Jan/2006:15:04:05 0000").status().IsParseError());
+  EXPECT_TRUE(
+      ParseClfTimestamp("31/Feb/2006:15:04:05 +0000").status().IsParseError());
+}
+
+TEST(ClfTimestampTest, RoundTripRandomInstants) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    TimeSeconds ts = rng.NextInRange(0, 4102444800LL);
+    Result<TimeSeconds> back = ParseClfTimestamp(FormatClfTimestamp(ts));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, ts);
+  }
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,120 @@
+#include "wum/topology/web_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace wum {
+namespace {
+
+TEST(WebGraphTest, EmptyGraph) {
+  WebGraph graph(0);
+  EXPECT_EQ(graph.num_pages(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(graph.MeanOutDegree(), 0.0);
+  EXPECT_FALSE(graph.IsValidPage(0));
+}
+
+TEST(WebGraphTest, AddLinkCreatesEdgeOnce) {
+  WebGraph graph(3);
+  EXPECT_TRUE(graph.AddLink(0, 1));
+  EXPECT_FALSE(graph.AddLink(0, 1));  // duplicate
+  EXPECT_EQ(graph.num_edges(), 1u);
+  EXPECT_TRUE(graph.HasLink(0, 1));
+  EXPECT_FALSE(graph.HasLink(1, 0));  // direction matters
+}
+
+TEST(WebGraphTest, AdjacencyListsMirrorEdges) {
+  WebGraph graph(4);
+  graph.AddLink(0, 1);
+  graph.AddLink(0, 2);
+  graph.AddLink(3, 2);
+  EXPECT_EQ(graph.OutLinks(0), (std::vector<PageId>{1, 2}));
+  EXPECT_EQ(graph.InLinks(2), (std::vector<PageId>{0, 3}));
+  EXPECT_EQ(graph.OutDegree(0), 2u);
+  EXPECT_EQ(graph.InDegree(2), 2u);
+  EXPECT_EQ(graph.OutDegree(2), 0u);
+}
+
+TEST(WebGraphTest, SelfLoopRepresentable) {
+  WebGraph graph(2);
+  EXPECT_TRUE(graph.AddLink(1, 1));
+  EXPECT_TRUE(graph.HasLink(1, 1));
+}
+
+TEST(WebGraphTest, HasLinkRejectsInvalidPages) {
+  WebGraph graph(2);
+  graph.AddLink(0, 1);
+  EXPECT_FALSE(graph.HasLink(0, 5));
+  EXPECT_FALSE(graph.HasLink(5, 0));
+  EXPECT_FALSE(graph.HasLink(kInvalidPage, 0));
+}
+
+TEST(WebGraphTest, MeanOutDegree) {
+  WebGraph graph(4);
+  graph.AddLink(0, 1);
+  graph.AddLink(0, 2);
+  graph.AddLink(1, 2);
+  EXPECT_DOUBLE_EQ(graph.MeanOutDegree(), 0.75);
+}
+
+TEST(WebGraphTest, StartPagesSortedAndIdempotent) {
+  WebGraph graph(10);
+  graph.MarkStartPage(7);
+  graph.MarkStartPage(2);
+  graph.MarkStartPage(7);  // idempotent
+  graph.MarkStartPage(5);
+  EXPECT_EQ(graph.start_pages(), (std::vector<PageId>{2, 5, 7}));
+  EXPECT_TRUE(graph.IsStartPage(2));
+  EXPECT_FALSE(graph.IsStartPage(3));
+  EXPECT_FALSE(graph.IsStartPage(kInvalidPage));
+}
+
+TEST(WebGraphTest, EqualityIgnoresInsertionOrder) {
+  WebGraph a(3);
+  a.AddLink(0, 1);
+  a.AddLink(1, 2);
+  a.MarkStartPage(0);
+  WebGraph b(3);
+  b.AddLink(1, 2);
+  b.AddLink(0, 1);
+  b.MarkStartPage(0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(WebGraphTest, EqualityDetectsDifferences) {
+  WebGraph a(3);
+  a.AddLink(0, 1);
+  WebGraph b(3);
+  b.AddLink(0, 2);
+  EXPECT_FALSE(a == b);
+  WebGraph c(3);
+  c.AddLink(0, 1);
+  c.MarkStartPage(1);
+  EXPECT_FALSE(a == c);
+  WebGraph d(4);
+  d.AddLink(0, 1);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(WebGraphTest, CopySemantics) {
+  WebGraph a(3);
+  a.AddLink(0, 1);
+  a.MarkStartPage(0);
+  WebGraph b = a;
+  b.AddLink(1, 2);
+  EXPECT_EQ(a.num_edges(), 1u);
+  EXPECT_EQ(b.num_edges(), 2u);
+  EXPECT_TRUE(b.HasLink(0, 1));
+}
+
+TEST(WebGraphTest, LargeIdsPackCorrectly) {
+  // Edge keys pack (from, to) into 64 bits; ids near 2^32 must not alias.
+  WebGraph graph(1u << 20);
+  const PageId a = (1u << 20) - 1;
+  const PageId b = (1u << 20) - 2;
+  graph.AddLink(a, b);
+  EXPECT_TRUE(graph.HasLink(a, b));
+  EXPECT_FALSE(graph.HasLink(b, a));
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,0 +1,107 @@
+// Shared plumbing for the websra_* command line tools: a minimal
+// "--flag value" / "--switch" parser with typed accessors.
+
+#ifndef WEBSRA_TOOLS_TOOL_UTIL_H_
+#define WEBSRA_TOOLS_TOOL_UTIL_H_
+
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "wum/common/result.h"
+#include "wum/common/string_util.h"
+
+namespace wum_tools {
+
+/// Parsed command line: long flags with values plus boolean switches.
+class Flags {
+ public:
+  /// `switches` names the flags that take no value.
+  static wum::Result<Flags> Parse(int argc, char** argv,
+                                  const std::set<std::string>& switches) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+        return wum::Status::InvalidArgument("unexpected argument '" + arg +
+                                            "'");
+      }
+      std::string name = arg.substr(2);
+      if (switches.contains(name)) {
+        flags.switches_.insert(name);
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return wum::Status::InvalidArgument("missing value for --" + name);
+      }
+      flags.values_[name] = argv[++i];
+    }
+    return flags;
+  }
+
+  bool Has(const std::string& name) const {
+    return switches_.contains(name) || values_.contains(name);
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  wum::Result<std::string> GetRequired(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      return wum::Status::InvalidArgument("missing required flag --" + name);
+    }
+    return it->second;
+  }
+
+  wum::Result<std::uint64_t> GetUint(const std::string& name,
+                                     std::uint64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return wum::ParseUint64(it->second);
+  }
+
+  wum::Result<double> GetDouble(const std::string& name,
+                                double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return wum::ParseDouble(it->second);
+  }
+
+  /// Flags that were provided but never consumed by the tool (typo
+  /// detection). Call after all Get*/Has calls... kept simple: tools
+  /// list their known flags explicitly.
+  wum::Status CheckKnown(const std::set<std::string>& known) const {
+    for (const auto& [name, value] : values_) {
+      if (!known.contains(name)) {
+        return wum::Status::InvalidArgument("unknown flag --" + name);
+      }
+    }
+    for (const std::string& name : switches_) {
+      if (!known.contains(name)) {
+        return wum::Status::InvalidArgument("unknown flag --" + name);
+      }
+    }
+    return wum::Status::OK();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> switches_;
+};
+
+/// Prints a failed status and converts it to a process exit code.
+inline int FailWith(const wum::Status& status, const char* usage) {
+  std::cerr << "error: " << status.ToString() << "\n\n" << usage;
+  return 2;
+}
+
+}  // namespace wum_tools
+
+#endif  // WEBSRA_TOOLS_TOOL_UTIL_H_

@@ -1,0 +1,163 @@
+// websra_sessionize: the data-processing phase of the paper as a command
+// line tool — parse a CLF/Combined access log, clean it, identify users,
+// and reconstruct sessions with a chosen heuristic.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "tool_util.h"
+#include "wum/clf/clf_parser.h"
+#include "wum/clf/log_filter.h"
+#include "wum/clf/user_partitioner.h"
+#include "wum/session/navigation_heuristic.h"
+#include "wum/session/referrer_heuristic.h"
+#include "wum/session/session_io.h"
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/topology/graph_io.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: websra_sessionize --graph FILE --log FILE --out FILE\n"
+    "  [--heuristic duration|pagestay|navigation|smart-sra|referrer]\n"
+    "  [--identity ip|ip-ua] [--delta MINUTES=30] [--rho MINUTES=10]\n"
+    "  [--keep-robots]\n"
+    "\n"
+    "Reads an access log, applies the standard cleaning chain (GET only,\n"
+    "successful status, no embedded resources, no crawlers unless\n"
+    "--keep-robots), groups requests per user, reconstructs sessions and\n"
+    "writes them as a websra session file. The referrer heuristic needs\n"
+    "a Combined-format log.\n";
+
+wum::Status Run(const wum_tools::Flags& flags) {
+  WUM_RETURN_NOT_OK(flags.CheckKnown({"graph", "log", "out", "heuristic",
+                                      "identity", "delta", "rho",
+                                      "keep-robots"}));
+  WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
+  WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
+  WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
+  WUM_ASSIGN_OR_RETURN(wum::WebGraph graph, wum::ReadGraphFile(graph_path));
+
+  wum::TimeThresholds thresholds;
+  WUM_ASSIGN_OR_RETURN(std::uint64_t delta_minutes, flags.GetUint("delta", 30));
+  WUM_ASSIGN_OR_RETURN(std::uint64_t rho_minutes, flags.GetUint("rho", 10));
+  thresholds.max_session_duration =
+      wum::Minutes(static_cast<std::int64_t>(delta_minutes));
+  thresholds.max_page_stay = wum::Minutes(static_cast<std::int64_t>(rho_minutes));
+
+  const std::string identity_name = flags.GetString("identity", "ip");
+  wum::UserIdentity identity;
+  if (identity_name == "ip") {
+    identity = wum::UserIdentity::kClientIp;
+  } else if (identity_name == "ip-ua") {
+    identity = wum::UserIdentity::kClientIpAndUserAgent;
+  } else {
+    return wum::Status::InvalidArgument("unknown identity '" + identity_name +
+                                        "'");
+  }
+
+  // Parse.
+  std::ifstream log_file(log_path);
+  if (!log_file) return wum::Status::IoError("cannot open " + log_path);
+  wum::ClfParser parser;
+  std::vector<wum::LogRecord> records;
+  WUM_RETURN_NOT_OK(parser.ParseStream(&log_file, &records));
+  std::cout << "parsed " << parser.stats().records_parsed << " records, "
+            << parser.stats().lines_rejected << " malformed lines\n";
+
+  // Clean.
+  wum::FilterChain chain = wum::FilterChain::Standard();
+  if (!flags.Has("keep-robots")) {
+    auto robots = std::make_unique<wum::RobotFilter>();
+    robots->ObserveForRobots(records);
+    chain.Add(std::move(robots));
+  }
+  std::vector<wum::LogRecord> cleaned = chain.Apply(records);
+  std::cout << "cleaning kept " << cleaned.size() << " page views\n";
+
+  // Identify users.
+  WUM_ASSIGN_OR_RETURN(wum::PartitionResult partition,
+                       wum::PartitionByUser(cleaned, graph.num_pages(),
+                                            identity));
+  std::cout << "identified " << partition.streams.size() << " users ("
+            << partition.skipped_non_page_urls << " non-page URLs skipped)\n";
+
+  // Reconstruct.
+  const std::string heuristic_name =
+      flags.GetString("heuristic", "smart-sra");
+  std::vector<wum::UserSession> output;
+  if (heuristic_name == "referrer") {
+    // Rebuild per-user referred streams from the cleaned records.
+    std::map<std::string, std::vector<wum::ReferredRequest>> streams;
+    for (const wum::LogRecord& record : cleaned) {
+      wum::Result<std::uint32_t> page = wum::PageFromUrl(record.url);
+      if (!page.ok()) continue;
+      wum::Result<std::uint32_t> referrer =
+          wum::PageFromReferrer(record.referrer);
+      streams[wum::UserKeyFor(record.client_ip, record.user_agent, identity)]
+          .push_back(wum::ReferredRequest{
+              static_cast<wum::PageId>(*page),
+              referrer.ok() ? static_cast<wum::PageId>(*referrer)
+                            : wum::kInvalidPage,
+              record.timestamp});
+    }
+    wum::ReferrerSessionizer::Options options;
+    options.thresholds = thresholds;
+    wum::ReferrerSessionizer heuristic(&graph, options);
+    for (auto& [key, stream] : streams) {
+      std::stable_sort(stream.begin(), stream.end(),
+                       [](const wum::ReferredRequest& a,
+                          const wum::ReferredRequest& b) {
+                         return a.timestamp < b.timestamp;
+                       });
+      WUM_ASSIGN_OR_RETURN(std::vector<wum::Session> sessions,
+                           heuristic.Reconstruct(stream));
+      for (wum::Session& session : sessions) {
+        output.push_back(wum::UserSession{key, std::move(session)});
+      }
+    }
+  } else {
+    std::unique_ptr<wum::Sessionizer> heuristic;
+    if (heuristic_name == "duration") {
+      heuristic = std::make_unique<wum::SessionDurationSessionizer>(
+          thresholds.max_session_duration);
+    } else if (heuristic_name == "pagestay") {
+      heuristic =
+          std::make_unique<wum::PageStaySessionizer>(thresholds.max_page_stay);
+    } else if (heuristic_name == "navigation") {
+      heuristic = std::make_unique<wum::NavigationSessionizer>(&graph);
+    } else if (heuristic_name == "smart-sra") {
+      wum::SmartSra::Options options;
+      options.thresholds = thresholds;
+      heuristic = std::make_unique<wum::SmartSra>(&graph, options);
+    } else {
+      return wum::Status::InvalidArgument("unknown heuristic '" +
+                                          heuristic_name + "'");
+    }
+    for (const wum::UserStream& user : partition.streams) {
+      WUM_ASSIGN_OR_RETURN(std::vector<wum::Session> sessions,
+                           heuristic->Reconstruct(user.requests));
+      for (wum::Session& session : sessions) {
+        output.push_back(wum::UserSession{user.user_key, std::move(session)});
+      }
+    }
+  }
+  WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path));
+  std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
+            << ") to " << out_path << "\n";
+  return wum::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wum::Result<wum_tools::Flags> flags =
+      wum_tools::Flags::Parse(argc, argv, {"keep-robots"});
+  if (!flags.ok()) return wum_tools::FailWith(flags.status(), kUsage);
+  wum::Status status = Run(*flags);
+  if (!status.ok()) return wum_tools::FailWith(status, kUsage);
+  return 0;
+}
