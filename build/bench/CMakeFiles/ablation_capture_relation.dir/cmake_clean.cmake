@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_capture_relation.dir/ablation_capture_relation.cc.o"
+  "CMakeFiles/ablation_capture_relation.dir/ablation_capture_relation.cc.o.d"
+  "ablation_capture_relation"
+  "ablation_capture_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capture_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pattern_quality.dir/ablation_pattern_quality.cc.o"
+  "CMakeFiles/ablation_pattern_quality.dir/ablation_pattern_quality.cc.o.d"
+  "ablation_pattern_quality"
+  "ablation_pattern_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pattern_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_referrer.dir/ablation_referrer.cc.o"
+  "CMakeFiles/ablation_referrer.dir/ablation_referrer.cc.o.d"
+  "ablation_referrer"
+  "ablation_referrer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_referrer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thresholds.dir/ablation_thresholds.cc.o"
+  "CMakeFiles/ablation_thresholds.dir/ablation_thresholds.cc.o.d"
+  "ablation_thresholds"
+  "ablation_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accuracy_vs_nip.dir/fig10_accuracy_vs_nip.cc.o"
+  "CMakeFiles/fig10_accuracy_vs_nip.dir/fig10_accuracy_vs_nip.cc.o.d"
+  "fig10_accuracy_vs_nip"
+  "fig10_accuracy_vs_nip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy_vs_nip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_accuracy_vs_stp.dir/fig8_accuracy_vs_stp.cc.o"
+  "CMakeFiles/fig8_accuracy_vs_stp.dir/fig8_accuracy_vs_stp.cc.o.d"
+  "fig8_accuracy_vs_stp"
+  "fig8_accuracy_vs_stp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_accuracy_vs_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

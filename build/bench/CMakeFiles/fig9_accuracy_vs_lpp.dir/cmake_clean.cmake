@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_accuracy_vs_lpp.dir/fig9_accuracy_vs_lpp.cc.o"
+  "CMakeFiles/fig9_accuracy_vs_lpp.dir/fig9_accuracy_vs_lpp.cc.o.d"
+  "fig9_accuracy_vs_lpp"
+  "fig9_accuracy_vs_lpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_accuracy_vs_lpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

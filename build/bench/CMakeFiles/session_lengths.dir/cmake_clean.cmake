@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_lengths.dir/session_lengths.cc.o"
+  "CMakeFiles/session_lengths.dir/session_lengths.cc.o.d"
+  "session_lengths"
+  "session_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

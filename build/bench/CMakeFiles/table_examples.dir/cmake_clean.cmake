@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_examples.dir/table_examples.cc.o"
+  "CMakeFiles/table_examples.dir/table_examples.cc.o.d"
+  "table_examples"
+  "table_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_pipeline.dir/reactive_pipeline.cpp.o"
+  "CMakeFiles/reactive_pipeline.dir/reactive_pipeline.cpp.o.d"
+  "reactive_pipeline"
+  "reactive_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wum/clf/clf_parser.cc" "src/CMakeFiles/websra.dir/wum/clf/clf_parser.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/clf/clf_parser.cc.o.d"
+  "/root/repo/src/wum/clf/clf_writer.cc" "src/CMakeFiles/websra.dir/wum/clf/clf_writer.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/clf/clf_writer.cc.o.d"
+  "/root/repo/src/wum/clf/log_filter.cc" "src/CMakeFiles/websra.dir/wum/clf/log_filter.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/clf/log_filter.cc.o.d"
+  "/root/repo/src/wum/clf/log_record.cc" "src/CMakeFiles/websra.dir/wum/clf/log_record.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/clf/log_record.cc.o.d"
+  "/root/repo/src/wum/clf/user_partitioner.cc" "src/CMakeFiles/websra.dir/wum/clf/user_partitioner.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/clf/user_partitioner.cc.o.d"
+  "/root/repo/src/wum/common/csv.cc" "src/CMakeFiles/websra.dir/wum/common/csv.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/common/csv.cc.o.d"
+  "/root/repo/src/wum/common/histogram.cc" "src/CMakeFiles/websra.dir/wum/common/histogram.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/common/histogram.cc.o.d"
+  "/root/repo/src/wum/common/random.cc" "src/CMakeFiles/websra.dir/wum/common/random.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/common/random.cc.o.d"
+  "/root/repo/src/wum/common/status.cc" "src/CMakeFiles/websra.dir/wum/common/status.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/common/status.cc.o.d"
+  "/root/repo/src/wum/common/string_util.cc" "src/CMakeFiles/websra.dir/wum/common/string_util.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/common/string_util.cc.o.d"
+  "/root/repo/src/wum/common/table.cc" "src/CMakeFiles/websra.dir/wum/common/table.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/common/table.cc.o.d"
+  "/root/repo/src/wum/common/time.cc" "src/CMakeFiles/websra.dir/wum/common/time.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/common/time.cc.o.d"
+  "/root/repo/src/wum/eval/accuracy.cc" "src/CMakeFiles/websra.dir/wum/eval/accuracy.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/eval/accuracy.cc.o.d"
+  "/root/repo/src/wum/eval/berendt_measures.cc" "src/CMakeFiles/websra.dir/wum/eval/berendt_measures.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/eval/berendt_measures.cc.o.d"
+  "/root/repo/src/wum/eval/experiment.cc" "src/CMakeFiles/websra.dir/wum/eval/experiment.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/eval/experiment.cc.o.d"
+  "/root/repo/src/wum/eval/pattern_quality.cc" "src/CMakeFiles/websra.dir/wum/eval/pattern_quality.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/eval/pattern_quality.cc.o.d"
+  "/root/repo/src/wum/eval/report.cc" "src/CMakeFiles/websra.dir/wum/eval/report.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/eval/report.cc.o.d"
+  "/root/repo/src/wum/mining/apriori_all.cc" "src/CMakeFiles/websra.dir/wum/mining/apriori_all.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/mining/apriori_all.cc.o.d"
+  "/root/repo/src/wum/mining/markov_predictor.cc" "src/CMakeFiles/websra.dir/wum/mining/markov_predictor.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/mining/markov_predictor.cc.o.d"
+  "/root/repo/src/wum/mining/pattern.cc" "src/CMakeFiles/websra.dir/wum/mining/pattern.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/mining/pattern.cc.o.d"
+  "/root/repo/src/wum/session/navigation_heuristic.cc" "src/CMakeFiles/websra.dir/wum/session/navigation_heuristic.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/session/navigation_heuristic.cc.o.d"
+  "/root/repo/src/wum/session/referrer_heuristic.cc" "src/CMakeFiles/websra.dir/wum/session/referrer_heuristic.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/session/referrer_heuristic.cc.o.d"
+  "/root/repo/src/wum/session/session.cc" "src/CMakeFiles/websra.dir/wum/session/session.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/session/session.cc.o.d"
+  "/root/repo/src/wum/session/session_io.cc" "src/CMakeFiles/websra.dir/wum/session/session_io.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/session/session_io.cc.o.d"
+  "/root/repo/src/wum/session/smart_sra.cc" "src/CMakeFiles/websra.dir/wum/session/smart_sra.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/session/smart_sra.cc.o.d"
+  "/root/repo/src/wum/session/time_heuristics.cc" "src/CMakeFiles/websra.dir/wum/session/time_heuristics.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/session/time_heuristics.cc.o.d"
+  "/root/repo/src/wum/simulator/agent_simulator.cc" "src/CMakeFiles/websra.dir/wum/simulator/agent_simulator.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/simulator/agent_simulator.cc.o.d"
+  "/root/repo/src/wum/simulator/browser_cache.cc" "src/CMakeFiles/websra.dir/wum/simulator/browser_cache.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/simulator/browser_cache.cc.o.d"
+  "/root/repo/src/wum/simulator/server_log_collector.cc" "src/CMakeFiles/websra.dir/wum/simulator/server_log_collector.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/simulator/server_log_collector.cc.o.d"
+  "/root/repo/src/wum/simulator/workload.cc" "src/CMakeFiles/websra.dir/wum/simulator/workload.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/simulator/workload.cc.o.d"
+  "/root/repo/src/wum/stream/incremental_sessionizer.cc" "src/CMakeFiles/websra.dir/wum/stream/incremental_sessionizer.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/stream/incremental_sessionizer.cc.o.d"
+  "/root/repo/src/wum/stream/incremental_time_sessionizers.cc" "src/CMakeFiles/websra.dir/wum/stream/incremental_time_sessionizers.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/stream/incremental_time_sessionizers.cc.o.d"
+  "/root/repo/src/wum/stream/online_pattern_counter.cc" "src/CMakeFiles/websra.dir/wum/stream/online_pattern_counter.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/stream/online_pattern_counter.cc.o.d"
+  "/root/repo/src/wum/stream/operators.cc" "src/CMakeFiles/websra.dir/wum/stream/operators.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/stream/operators.cc.o.d"
+  "/root/repo/src/wum/stream/pipeline.cc" "src/CMakeFiles/websra.dir/wum/stream/pipeline.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/stream/pipeline.cc.o.d"
+  "/root/repo/src/wum/stream/threaded_driver.cc" "src/CMakeFiles/websra.dir/wum/stream/threaded_driver.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/stream/threaded_driver.cc.o.d"
+  "/root/repo/src/wum/topology/graph_algorithms.cc" "src/CMakeFiles/websra.dir/wum/topology/graph_algorithms.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/topology/graph_algorithms.cc.o.d"
+  "/root/repo/src/wum/topology/graph_io.cc" "src/CMakeFiles/websra.dir/wum/topology/graph_io.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/topology/graph_io.cc.o.d"
+  "/root/repo/src/wum/topology/site_generator.cc" "src/CMakeFiles/websra.dir/wum/topology/site_generator.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/topology/site_generator.cc.o.d"
+  "/root/repo/src/wum/topology/web_graph.cc" "src/CMakeFiles/websra.dir/wum/topology/web_graph.cc.o" "gcc" "src/CMakeFiles/websra.dir/wum/topology/web_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/berendt_measures_test.dir/berendt_measures_test.cc.o"
+  "CMakeFiles/berendt_measures_test.dir/berendt_measures_test.cc.o.d"
+  "berendt_measures_test"
+  "berendt_measures_test.pdb"
+  "berendt_measures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/berendt_measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

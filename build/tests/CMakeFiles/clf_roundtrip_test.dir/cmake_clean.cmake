@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clf_roundtrip_test.dir/clf_roundtrip_test.cc.o"
+  "CMakeFiles/clf_roundtrip_test.dir/clf_roundtrip_test.cc.o.d"
+  "clf_roundtrip_test"
+  "clf_roundtrip_test.pdb"
+  "clf_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clf_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_table_test.dir/csv_table_test.cc.o"
+  "CMakeFiles/csv_table_test.dir/csv_table_test.cc.o.d"
+  "csv_table_test"
+  "csv_table_test.pdb"
+  "csv_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

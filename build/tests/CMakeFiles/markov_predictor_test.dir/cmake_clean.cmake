@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_predictor_test.dir/markov_predictor_test.cc.o"
+  "CMakeFiles/markov_predictor_test.dir/markov_predictor_test.cc.o.d"
+  "markov_predictor_test"
+  "markov_predictor_test.pdb"
+  "markov_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation_heuristic_test.dir/navigation_heuristic_test.cc.o"
+  "CMakeFiles/navigation_heuristic_test.dir/navigation_heuristic_test.cc.o.d"
+  "navigation_heuristic_test"
+  "navigation_heuristic_test.pdb"
+  "navigation_heuristic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation_heuristic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_pattern_counter_test.dir/online_pattern_counter_test.cc.o"
+  "CMakeFiles/online_pattern_counter_test.dir/online_pattern_counter_test.cc.o.d"
+  "online_pattern_counter_test"
+  "online_pattern_counter_test.pdb"
+  "online_pattern_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_pattern_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

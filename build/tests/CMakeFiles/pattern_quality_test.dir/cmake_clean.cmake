@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_quality_test.dir/pattern_quality_test.cc.o"
+  "CMakeFiles/pattern_quality_test.dir/pattern_quality_test.cc.o.d"
+  "pattern_quality_test"
+  "pattern_quality_test.pdb"
+  "pattern_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/referrer_heuristic_test.dir/referrer_heuristic_test.cc.o"
+  "CMakeFiles/referrer_heuristic_test.dir/referrer_heuristic_test.cc.o.d"
+  "referrer_heuristic_test"
+  "referrer_heuristic_test.pdb"
+  "referrer_heuristic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/referrer_heuristic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_generator_test.dir/site_generator_test.cc.o"
+  "CMakeFiles/site_generator_test.dir/site_generator_test.cc.o.d"
+  "site_generator_test"
+  "site_generator_test.pdb"
+  "site_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_sra_reference_test.dir/smart_sra_reference_test.cc.o"
+  "CMakeFiles/smart_sra_reference_test.dir/smart_sra_reference_test.cc.o.d"
+  "smart_sra_reference_test"
+  "smart_sra_reference_test.pdb"
+  "smart_sra_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_sra_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_equivalence_test.dir/streaming_equivalence_test.cc.o"
+  "CMakeFiles/streaming_equivalence_test.dir/streaming_equivalence_test.cc.o.d"
+  "streaming_equivalence_test"
+  "streaming_equivalence_test.pdb"
+  "streaming_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_driver_test.dir/threaded_driver_test.cc.o"
+  "CMakeFiles/threaded_driver_test.dir/threaded_driver_test.cc.o.d"
+  "threaded_driver_test"
+  "threaded_driver_test.pdb"
+  "threaded_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_heuristics_test.dir/time_heuristics_test.cc.o"
+  "CMakeFiles/time_heuristics_test.dir/time_heuristics_test.cc.o.d"
+  "time_heuristics_test"
+  "time_heuristics_test.pdb"
+  "time_heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_partitioner_test.dir/user_partitioner_test.cc.o"
+  "CMakeFiles/user_partitioner_test.dir/user_partitioner_test.cc.o.d"
+  "user_partitioner_test"
+  "user_partitioner_test.pdb"
+  "user_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

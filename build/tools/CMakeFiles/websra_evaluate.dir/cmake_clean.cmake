@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websra_evaluate.dir/websra_evaluate.cc.o"
+  "CMakeFiles/websra_evaluate.dir/websra_evaluate.cc.o.d"
+  "websra_evaluate"
+  "websra_evaluate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websra_evaluate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websra_experiment.dir/websra_experiment.cc.o"
+  "CMakeFiles/websra_experiment.dir/websra_experiment.cc.o.d"
+  "websra_experiment"
+  "websra_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websra_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websra_mine.dir/websra_mine.cc.o"
+  "CMakeFiles/websra_mine.dir/websra_mine.cc.o.d"
+  "websra_mine"
+  "websra_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websra_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

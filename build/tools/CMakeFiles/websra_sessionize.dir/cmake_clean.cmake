@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websra_sessionize.dir/websra_sessionize.cc.o"
+  "CMakeFiles/websra_sessionize.dir/websra_sessionize.cc.o.d"
+  "websra_sessionize"
+  "websra_sessionize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websra_sessionize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for websra_sessionize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websra_simulate.dir/websra_simulate.cc.o"
+  "CMakeFiles/websra_simulate.dir/websra_simulate.cc.o.d"
+  "websra_simulate"
+  "websra_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websra_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
