@@ -9,6 +9,7 @@
 #include "wum/clf/clf_parser.h"
 #include "wum/clf/clf_writer.h"
 #include "wum/mining/apriori_all.h"
+#include "wum/stream/engine.h"
 #include "wum/session/navigation_heuristic.h"
 #include "wum/session/smart_sra.h"
 #include "wum/session/time_heuristics.h"
@@ -138,6 +139,48 @@ void BM_StreamingPipelineEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(records));
 }
 BENCHMARK(BM_StreamingPipelineEndToEnd)->Unit(benchmark::kMillisecond);
+
+// Engine scaling trajectory: the 2000-agent fixture replayed through the
+// sharded StreamEngine at 1/2/4/8 shards (incremental Smart-SRA per
+// user). items/s is the streaming sessionization throughput; on a
+// multi-core host the 4-shard run should beat the single shard by >= 2x.
+// UseRealTime: wall clock is the scaling metric, not the ingest thread's
+// CPU time.
+void BM_StreamEngineSharded(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    CallbackSessionSink sink(
+        [](const std::string&, Session) { return Status::OK(); });
+    EngineOptions options;
+    options.set_num_shards(shards)
+        .set_queue_capacity(4096)
+        .use_smart_sra(&fixture.graph);
+    Result<std::unique_ptr<StreamEngine>> engine =
+        StreamEngine::Create(std::move(options), &sink);
+    if (!engine.ok()) {
+      state.SkipWithError("create failed");
+      break;
+    }
+    for (const LogRecord& record : fixture.log) {
+      if (!(*engine)->Offer(record).ok()) {
+        state.SkipWithError("offer failed");
+        break;
+      }
+    }
+    if (!(*engine)->Finish().ok()) state.SkipWithError("finish failed");
+    records += fixture.log.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_StreamEngineSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_TopologyGeneration(benchmark::State& state) {
   SiteGeneratorOptions options;

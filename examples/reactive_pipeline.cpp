@@ -1,17 +1,18 @@
 // Reactive (streaming) processing: the web server's log records flow
-// through a bounded queue into a filter + sessionizer pipeline on a
-// worker thread, and completed sessions are reported the moment they
-// close — no offline batch pass. This is the deployment shape the
-// paper's title refers to: the server never waits on mining.
+// into a sharded StreamEngine — records are hash-partitioned by user
+// across worker shards, each running its own filter chain and per-user
+// incremental Smart-SRA — and completed sessions are reported the moment
+// they close, no offline batch pass. This is the deployment shape the
+// paper's title refers to: the server never waits on mining, and the
+// engine scales sessionization across cores.
 
 #include <iostream>
 
 #include "wum/clf/log_filter.h"
 #include "wum/simulator/workload.h"
-#include "wum/stream/incremental_sessionizer.h"
+#include "wum/stream/engine.h"
 #include "wum/stream/online_pattern_counter.h"
 #include "wum/stream/operators.h"
-#include "wum/stream/threaded_driver.h"
 #include "wum/topology/site_generator.h"
 
 int main() {
@@ -38,14 +39,16 @@ int main() {
   std::vector<wum::LogRecord> live_feed =
       wum::CollectServerLog(workload->ToAgentRequests());
   std::cout << "replaying " << live_feed.size()
-            << " log records through the reactive pipeline...\n\n";
+            << " log records through the sharded stream engine...\n\n";
 
-  // Session consumer: prints each session as it closes.
+  // Session consumer: prints each session as it closes. The engine
+  // serializes emission, so no locking is needed here even with four
+  // shards running.
   std::size_t emitted = 0;
   wum::CallbackSessionSink report(
-      [&emitted](const std::string& client_ip, wum::Session session) {
+      [&emitted](const std::string& user_key, wum::Session session) {
         if (++emitted <= 12) {
-          std::cout << "  [closed] " << client_ip << "  "
+          std::cout << "  [closed] " << user_key << "  "
                     << wum::SessionToString(session) << "\n";
         }
         return wum::Status::OK();
@@ -56,49 +59,53 @@ int main() {
   wum::PatternCountingSink analytics(&report);
   const std::size_t pair_counter = analytics.AddCounter(64, 2);
 
-  // Terminal stage: per-user incremental Smart-SRA.
-  wum::SessionizeSink sessionize(
-      [&graph]() {
-        return std::make_unique<wum::IncrementalSmartSra>(
-            &graph.ValueOrDie(), wum::SmartSra::Options());
-      },
-      &analytics, graph->num_pages());
+  // The engine owns the whole chain: per-shard cleaning filters, order
+  // guard, and per-user incremental Smart-SRA.
+  wum::Result<std::unique_ptr<wum::StreamEngine>> engine =
+      wum::StreamEngine::Create(
+          wum::EngineOptions()
+              .set_num_shards(4)
+              .set_queue_capacity(256)
+              .use_smart_sra(&graph.ValueOrDie())
+              .add_filter([] { return std::make_unique<wum::MethodFilter>(); })
+              .add_filter([] { return std::make_unique<wum::StatusFilter>(); })
+              .add_operator([] {
+                return std::make_unique<wum::OrderGuardOperator>(
+                    wum::Minutes(5));
+              }),
+          &analytics);
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
 
-  // Record operators: drop non-GET / failed requests, guard ordering.
-  wum::Pipeline pipeline(&sessionize);
-  pipeline.Append(std::make_unique<wum::FilterOperator>(
-      std::make_unique<wum::MethodFilter>()));
-  pipeline.Append(std::make_unique<wum::FilterOperator>(
-      std::make_unique<wum::StatusFilter>()));
-  pipeline.Append(
-      std::make_unique<wum::OrderGuardOperator>(wum::Minutes(5)));
-  auto* watermark_stage = new wum::WatermarkOperator();
-  pipeline.Append(std::unique_ptr<wum::WatermarkOperator>(watermark_stage));
-
-  // The ingest thread (this one) only enqueues; the pipeline runs on the
-  // driver's worker thread.
-  wum::ThreadedDriver driver(&pipeline, /*queue_capacity=*/256);
+  // The ingest thread (this one) only hashes and enqueues; all
+  // sessionization happens on the shard workers.
   for (const wum::LogRecord& record : live_feed) {
-    wum::Status offered = driver.Offer(record);
+    wum::Status offered = (*engine)->Offer(record);
     if (!offered.ok()) {
       std::cerr << "ingest failed: " << offered.ToString() << "\n";
       return 1;
     }
   }
-  wum::Status finished = driver.Finish();
+  wum::Status finished = (*engine)->Finish();
   if (!finished.ok()) {
-    std::cerr << "pipeline failed: " << finished.ToString() << "\n";
+    std::cerr << "engine failed: " << finished.ToString() << "\n";
     return 1;
   }
 
   if (emitted > 12) {
     std::cout << "  ... and " << (emitted - 12) << " more\n";
   }
-  std::cout << "\nprocessed " << pipeline.records_in() << " records ("
-            << watermark_stage->count() << " past the filters), emitted "
-            << sessionize.sessions_emitted() << " sessions for "
-            << sessionize.active_users() << " users\n"
-            << "ground truth had " << workload->TotalRealSessions()
+
+  const wum::EngineStats totals = (*engine)->TotalStats();
+  std::cout << "\nengine totals: " << wum::EngineStatsToString(totals) << "\n";
+  const std::vector<wum::EngineStats> shards = (*engine)->ShardStats();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    std::cout << "  shard " << i << ": " << wum::EngineStatsToString(shards[i])
+              << "\n";
+  }
+  std::cout << "ground truth had " << workload->TotalRealSessions()
             << " real sessions\n";
 
   std::cout << "\nlive top navigation pairs (SpaceSaving estimate, +-error):"

@@ -13,6 +13,31 @@ std::string UserKeyFor(const std::string& client_ip,
   return client_ip + '\x1f' + user_agent;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t Fnv1aMix(std::uint64_t hash, std::string_view bytes) {
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t UserHashFor(std::string_view client_ip,
+                          std::string_view user_agent, UserIdentity identity) {
+  std::uint64_t hash = Fnv1aMix(kFnvOffsetBasis, client_ip);
+  if (identity == UserIdentity::kClientIpAndUserAgent) {
+    hash = Fnv1aMix(hash, std::string_view("\x1f", 1));
+    hash = Fnv1aMix(hash, user_agent);
+  }
+  return hash;
+}
+
 Result<PartitionResult> PartitionByUser(const std::vector<LogRecord>& records,
                                         std::size_t num_pages,
                                         UserIdentity identity) {

@@ -6,7 +6,9 @@
 #ifndef WUM_CLF_USER_PARTITIONER_H_
 #define WUM_CLF_USER_PARTITIONER_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "wum/clf/log_record.h"
@@ -26,6 +28,13 @@ enum class UserIdentity {
 /// Composite identity key ("ip" or "ip\x1fuser-agent").
 std::string UserKeyFor(const std::string& client_ip,
                        const std::string& user_agent, UserIdentity identity);
+
+/// Stable 64-bit FNV-1a hash of the identity `UserKeyFor` would build,
+/// computed without materializing the key string (hot path of the sharded
+/// StreamEngine: shard = UserHashFor(...) % num_shards). Deterministic
+/// across runs and platforms, so shard assignment is reproducible.
+std::uint64_t UserHashFor(std::string_view client_ip,
+                          std::string_view user_agent, UserIdentity identity);
 
 /// One user's request stream in timestamp order.
 struct UserStream {

@@ -1,0 +1,267 @@
+#include "wum/stream/engine.h"
+
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "wum/stream/incremental_time_sessionizers.h"
+#include "wum/stream/operators.h"
+#include "wum/stream/threaded_driver.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+// Named (not anonymous) so StreamEngine::Shard, which has external
+// linkage, can hold members of this type without -Wsubobject-linkage.
+namespace engine_internal {
+
+/// Pass-through stage bumping an atomic counter, so shard progress is
+/// observable from other threads while the worker runs.
+class CountingSink : public RecordSink {
+ public:
+  CountingSink(std::atomic<std::uint64_t>* counter, RecordSink* next)
+      : counter_(counter), next_(next) {}
+
+  Status Accept(const LogRecord& record) override {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+    return next_->Accept(record);
+  }
+
+  Status Finish() override { return next_->Finish(); }
+
+ private:
+  std::atomic<std::uint64_t>* counter_;
+  RecordSink* next_;
+};
+
+}  // namespace engine_internal
+
+EngineOptions& EngineOptions::add_filter(FilterFactory factory) {
+  return add_operator([factory = std::move(factory)]() {
+    return std::make_unique<FilterOperator>(factory());
+  });
+}
+
+std::string EngineStatsToString(const EngineStats& stats) {
+  return "records_in=" + std::to_string(stats.records_in) +
+         " dropped=" + std::to_string(stats.records_dropped) +
+         " sessions=" + std::to_string(stats.sessions_emitted) +
+         " blocked_enqueues=" + std::to_string(stats.blocked_enqueues) +
+         " queue_high_watermark=" +
+         std::to_string(stats.queue_high_watermark);
+}
+
+/// Funnels every shard's emissions into the caller's sink one at a time,
+/// with a sticky first error shared by all shards: after any sink
+/// failure every later emit (and the engine's Offer) returns that error,
+/// so one failure stops the whole engine.
+class StreamEngine::SerializedEmit : public SessionSink {
+ public:
+  explicit SerializedEmit(SessionSink* sink) : sink_(sink) {}
+
+  Status Accept(const std::string& user_key, Session session) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_.ok()) return first_error_;
+    Status status = sink_->Accept(user_key, std::move(session));
+    if (!status.ok()) first_error_ = status;
+    return status;
+  }
+
+  Status first_error() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_error_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  SessionSink* sink_;
+  Status first_error_;
+};
+
+/// One worker shard. Members are declared upstream-last so destruction
+/// joins the driver before tearing down the chain it feeds.
+struct StreamEngine::Shard {
+  std::atomic<std::uint64_t> offered{0};    // accepted by Offer
+  std::atomic<std::uint64_t> processed{0};  // entered the operator chain
+  std::atomic<std::uint64_t> delivered{0};  // reached the sessionizer
+
+  std::unique_ptr<SessionizeSink> sessionize;
+  std::unique_ptr<engine_internal::CountingSink> tail;  // -> sessionize
+  std::unique_ptr<Pipeline> pipeline;  // operators -> tail
+  std::unique_ptr<engine_internal::CountingSink> head;  // -> pipeline
+  std::unique_ptr<ThreadedDriver> driver;
+};
+
+Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
+    EngineOptions options, SessionSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("StreamEngine requires a SessionSink");
+  }
+  if (options.num_shards_ == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.queue_capacity_ == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  switch (options.heuristic_) {
+    case EngineOptions::Heuristic::kUnset:
+      return Status::InvalidArgument(
+          "choose a heuristic: use_duration / use_page_stay / "
+          "use_navigation / use_smart_sra / use_custom");
+    case EngineOptions::Heuristic::kNavigation:
+    case EngineOptions::Heuristic::kSmartSra:
+      if (options.graph_ == nullptr) {
+        return Status::InvalidArgument(
+            "graph heuristics require a non-null WebGraph");
+      }
+      break;
+    case EngineOptions::Heuristic::kCustom:
+      if (options.custom_factory_ == nullptr) {
+        return Status::InvalidArgument(
+            "use_custom requires a sessionizer factory");
+      }
+      break;
+    default:
+      break;
+  }
+  if (options.num_pages_ == 0 && options.graph_ != nullptr) {
+    options.num_pages_ = options.graph_->num_pages();
+  }
+  if (options.num_pages_ == 0) {
+    return Status::InvalidArgument(
+        "set_num_pages is required (no graph to derive it from)");
+  }
+  return std::unique_ptr<StreamEngine>(
+      new StreamEngine(std::move(options), sink));
+}
+
+StreamEngine::StreamEngine(EngineOptions options, SessionSink* sink)
+    : identity_(options.identity_),
+      emit_(std::make_unique<SerializedEmit>(sink)) {
+  // The factory is invoked concurrently from shard workers; the built-in
+  // factories only read the (const) graph and copied thresholds.
+  UserSessionizerFactory factory;
+  const TimeThresholds thresholds = options.thresholds_;
+  const WebGraph* graph = options.graph_;
+  switch (options.heuristic_) {
+    case EngineOptions::Heuristic::kDuration:
+      factory = [limit = thresholds.max_session_duration]() {
+        return std::make_unique<IncrementalDurationSessionizer>(limit);
+      };
+      break;
+    case EngineOptions::Heuristic::kPageStay:
+      factory = [limit = thresholds.max_page_stay]() {
+        return std::make_unique<IncrementalPageStaySessionizer>(limit);
+      };
+      break;
+    case EngineOptions::Heuristic::kNavigation:
+      factory = [graph]() {
+        return std::make_unique<IncrementalNavigationSessionizer>(graph);
+      };
+      break;
+    case EngineOptions::Heuristic::kSmartSra: {
+      SmartSra::Options sra;
+      sra.thresholds = thresholds;
+      factory = [graph, sra]() {
+        return std::make_unique<IncrementalSmartSra>(graph, sra);
+      };
+      break;
+    }
+    case EngineOptions::Heuristic::kCustom:
+    case EngineOptions::Heuristic::kUnset:
+      factory = options.custom_factory_;
+      break;
+  }
+  shards_.reserve(options.num_shards_);
+  for (std::size_t i = 0; i < options.num_shards_; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->sessionize = std::make_unique<SessionizeSink>(
+        factory, emit_.get(), options.num_pages_, options.identity_);
+    shard->tail = std::make_unique<engine_internal::CountingSink>(
+        &shard->delivered, shard->sessionize.get());
+    shard->pipeline = std::make_unique<Pipeline>(shard->tail.get());
+    for (const EngineOptions::OperatorFactory& make_operator :
+         options.operator_factories_) {
+      shard->pipeline->Append(make_operator());
+    }
+    shard->head = std::make_unique<engine_internal::CountingSink>(
+        &shard->processed, shard->pipeline.get());
+    shard->driver = std::make_unique<ThreadedDriver>(
+        shard->head.get(), options.queue_capacity_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+StreamEngine::~StreamEngine() {
+  if (!finished_) (void)Finish();
+}
+
+std::size_t StreamEngine::ShardIndexFor(const LogRecord& record) const {
+  if (shards_.size() == 1) return 0;
+  return static_cast<std::size_t>(
+      UserHashFor(record.client_ip, record.user_agent, identity_) %
+      shards_.size());
+}
+
+Status StreamEngine::Offer(const LogRecord& record) {
+  if (finished_) {
+    return Status::FailedPrecondition("engine already finished");
+  }
+  // A sink failure in any shard stops ingest for all of them.
+  WUM_RETURN_NOT_OK(emit_->first_error());
+  Shard& shard = *shards_[ShardIndexFor(record)];
+  WUM_RETURN_NOT_OK(shard.driver->Offer(record));
+  shard.offered.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status StreamEngine::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("engine already finished");
+  }
+  finished_ = true;
+  Status first_shard_error;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    Status status = shard->driver->Finish();
+    if (first_shard_error.ok() && !status.ok()) {
+      first_shard_error = std::move(status);
+    }
+  }
+  // Prefer the sink's error: it is the root cause when shards failed
+  // because emission was already poisoned.
+  WUM_RETURN_NOT_OK(emit_->first_error());
+  return first_shard_error;
+}
+
+EngineStats StreamEngine::SnapshotShard(const Shard& shard) const {
+  EngineStats stats;
+  stats.records_in = shard.offered.load(std::memory_order_relaxed);
+  const std::uint64_t processed =
+      shard.processed.load(std::memory_order_relaxed);
+  const std::uint64_t delivered =
+      shard.delivered.load(std::memory_order_relaxed);
+  stats.records_dropped =
+      processed - delivered + shard.sessionize->skipped_non_page_urls();
+  stats.sessions_emitted = shard.sessionize->sessions_emitted();
+  stats.blocked_enqueues = shard.driver->blocked_enqueues();
+  stats.queue_high_watermark = shard.driver->queue_high_watermark();
+  return stats;
+}
+
+std::vector<EngineStats> StreamEngine::ShardStats() const {
+  std::vector<EngineStats> stats;
+  stats.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    stats.push_back(SnapshotShard(*shard));
+  }
+  return stats;
+}
+
+EngineStats StreamEngine::TotalStats() const {
+  EngineStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += SnapshotShard(*shard);
+  }
+  return total;
+}
+
+}  // namespace wum

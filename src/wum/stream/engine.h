@@ -1,0 +1,231 @@
+// StreamEngine: the sharded, multi-worker streaming facade. It owns the
+// whole reactive chain — per-shard bounded queue, operator chain and
+// per-user incremental sessionizer map — and replaces the assemble-by-
+// hand Pipeline + ThreadedDriver + SessionizeSink wiring (which remain
+// the internal building blocks).
+//
+//   Offer(record) --hash(user identity)--> shard queue -> operators
+//       -> per-user sessionizer -> serialized emit -> SessionSink
+//
+// Records are hash-partitioned by user identity (client IP, or IP+UA per
+// UserIdentity), so one user's records always land on the same shard and
+// per-user timestamp ordering is preserved while distinct users run in
+// parallel — the per-user independence that "Link Based Session
+// Reconstruction" (Bayir & Toroslu) identifies as the natural
+// parallelism axis. Completed sessions funnel into the caller's single
+// SessionSink through a mutex-serialized emit path; a sink failure is
+// shared by every shard, stopping the whole engine.
+//
+// See docs/streaming.md for the API guide and migration notes.
+
+#ifndef WUM_STREAM_ENGINE_H_
+#define WUM_STREAM_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "wum/clf/log_filter.h"
+#include "wum/clf/user_partitioner.h"
+#include "wum/common/result.h"
+#include "wum/common/time.h"
+#include "wum/stream/incremental_sessionizer.h"
+#include "wum/stream/pipeline.h"
+
+namespace wum {
+
+class WebGraph;
+
+/// Builder-style configuration for StreamEngine. Setters return *this so
+/// an engine is declared in one expression:
+///
+///   auto engine = StreamEngine::Create(EngineOptions()
+///                                          .set_num_shards(4)
+///                                          .set_thresholds(thresholds)
+///                                          .use_smart_sra(&graph),
+///                                      &sink);
+class EngineOptions {
+ public:
+  /// Creates one RecordOperator instance per shard (each shard owns an
+  /// independent chain, so operators need not be thread-safe).
+  using OperatorFactory = std::function<std::unique_ptr<RecordOperator>()>;
+  using FilterFactory = std::function<std::unique_ptr<LogFilter>()>;
+
+  /// Worker shard count (>= 1). Each shard is one thread.
+  EngineOptions& set_num_shards(std::size_t num_shards) {
+    num_shards_ = num_shards;
+    return *this;
+  }
+
+  /// Bounded per-shard queue capacity, in records.
+  EngineOptions& set_queue_capacity(std::size_t capacity) {
+    queue_capacity_ = capacity;
+    return *this;
+  }
+
+  /// How records are attributed (and hashed) to users.
+  EngineOptions& set_identity(UserIdentity identity) {
+    identity_ = identity;
+    return *this;
+  }
+
+  /// delta / rho used by the time-based heuristics and Smart-SRA.
+  EngineOptions& set_thresholds(TimeThresholds thresholds) {
+    thresholds_ = thresholds;
+    return *this;
+  }
+
+  /// Page-id bound for topology validation. Defaults to the graph's
+  /// num_pages() when a graph-based heuristic is chosen.
+  EngineOptions& set_num_pages(std::size_t num_pages) {
+    num_pages_ = num_pages;
+    return *this;
+  }
+
+  /// Heuristic selection (exactly one; the factory runs once per user).
+  EngineOptions& use_duration() { return SetHeuristic(Heuristic::kDuration); }
+  EngineOptions& use_page_stay() { return SetHeuristic(Heuristic::kPageStay); }
+  /// `graph` must outlive the engine.
+  EngineOptions& use_navigation(const WebGraph* graph) {
+    graph_ = graph;
+    return SetHeuristic(Heuristic::kNavigation);
+  }
+  /// `graph` must outlive the engine.
+  EngineOptions& use_smart_sra(const WebGraph* graph) {
+    graph_ = graph;
+    return SetHeuristic(Heuristic::kSmartSra);
+  }
+  /// Escape hatch: caller-provided per-user sessionizer factory.
+  EngineOptions& use_custom(UserSessionizerFactory factory) {
+    custom_factory_ = std::move(factory);
+    return SetHeuristic(Heuristic::kCustom);
+  }
+
+  /// Appends a stage to every shard's operator chain (applied in call
+  /// order, before the sessionizer).
+  EngineOptions& add_operator(OperatorFactory factory) {
+    operator_factories_.push_back(std::move(factory));
+    return *this;
+  }
+
+  /// Sugar for add_operator: wraps the filter in a FilterOperator.
+  EngineOptions& add_filter(FilterFactory factory);
+
+ private:
+  friend class StreamEngine;
+
+  enum class Heuristic {
+    kUnset,
+    kDuration,
+    kPageStay,
+    kNavigation,
+    kSmartSra,
+    kCustom,
+  };
+
+  EngineOptions& SetHeuristic(Heuristic heuristic) {
+    heuristic_ = heuristic;
+    return *this;
+  }
+
+  std::size_t num_shards_ = 1;
+  std::size_t queue_capacity_ = 1024;
+  UserIdentity identity_ = UserIdentity::kClientIp;
+  TimeThresholds thresholds_;
+  std::size_t num_pages_ = 0;
+  Heuristic heuristic_ = Heuristic::kUnset;
+  const WebGraph* graph_ = nullptr;
+  UserSessionizerFactory custom_factory_;
+  std::vector<OperatorFactory> operator_factories_;
+};
+
+/// Throughput counters of one shard (or, aggregated, the whole engine).
+/// Snapshots are safe to take from any thread while the engine runs.
+struct EngineStats {
+  /// Records accepted into the shard queue by Offer.
+  std::uint64_t records_in = 0;
+  /// Records discarded before sessionization: operator-chain drops
+  /// (filters, order guards) plus non-page URLs skipped by the
+  /// sessionizer stage.
+  std::uint64_t records_dropped = 0;
+  /// Completed sessions handed to the caller's SessionSink.
+  std::uint64_t sessions_emitted = 0;
+  /// Offer calls that found the shard queue full and had to block — the
+  /// engine's backpressure signal.
+  std::uint64_t blocked_enqueues = 0;
+  /// Largest queue depth observed right after an enqueue.
+  std::uint64_t queue_high_watermark = 0;
+
+  /// Aggregation: counters add, the watermark takes the max.
+  EngineStats& operator+=(const EngineStats& other) {
+    records_in += other.records_in;
+    records_dropped += other.records_dropped;
+    sessions_emitted += other.sessions_emitted;
+    blocked_enqueues += other.blocked_enqueues;
+    if (other.queue_high_watermark > queue_high_watermark) {
+      queue_high_watermark = other.queue_high_watermark;
+    }
+    return *this;
+  }
+};
+
+/// Renders "records_in=... dropped=... sessions=..." for CLI summaries.
+std::string EngineStatsToString(const EngineStats& stats);
+
+/// Owning, sharded streaming engine. Offer/Finish must be called from a
+/// single producer thread (the ingest path); stats snapshots are safe
+/// from any thread. The caller's SessionSink only ever sees one call at
+/// a time (serialized emit), so it needs no locking of its own.
+class StreamEngine {
+ public:
+  /// Validates options and starts the shard workers. `sink` must outlive
+  /// the engine. Fails with InvalidArgument when no heuristic is chosen,
+  /// a graph heuristic is missing its graph, the shard count or queue
+  /// capacity is zero, or the page-id bound cannot be derived.
+  static Result<std::unique_ptr<StreamEngine>> Create(EngineOptions options,
+                                                      SessionSink* sink);
+
+  /// Joins all workers (calling Finish first if the caller forgot).
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Routes one record to its user's shard; blocks when that shard's
+  /// queue is full. Returns FailedPrecondition after Finish, or the
+  /// first error any shard (or the sink) reported.
+  Status Offer(const LogRecord& record);
+
+  /// Signals end of stream, drains and joins every shard, flushes all
+  /// open sessions, and returns the first error (sink failures
+  /// included). Calling Finish twice returns FailedPrecondition.
+  Status Finish();
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Per-shard snapshots, index == shard id.
+  std::vector<EngineStats> ShardStats() const;
+
+  /// Aggregate snapshot across all shards.
+  EngineStats TotalStats() const;
+
+ private:
+  struct Shard;
+
+  StreamEngine(EngineOptions options, SessionSink* sink);
+
+  std::size_t ShardIndexFor(const LogRecord& record) const;
+  EngineStats SnapshotShard(const Shard& shard) const;
+
+  UserIdentity identity_;
+  class SerializedEmit;
+  std::unique_ptr<SerializedEmit> emit_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool finished_ = false;
+};
+
+}  // namespace wum
+
+#endif  // WUM_STREAM_ENGINE_H_

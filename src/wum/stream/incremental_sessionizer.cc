@@ -41,23 +41,24 @@ Status IncrementalSmartSra::Flush(const EmitFn& emit) {
 
 SessionizeSink::SessionizeSink(UserSessionizerFactory factory,
                                SessionSink* session_sink,
-                               std::size_t num_pages)
+                               std::size_t num_pages, UserIdentity identity)
     : factory_(std::move(factory)),
       session_sink_(session_sink),
-      num_pages_(num_pages) {}
+      num_pages_(num_pages),
+      identity_(identity) {}
 
 IncrementalUserSessionizer::EmitFn SessionizeSink::MakeEmit(
-    const std::string& client_ip) {
-  return [this, client_ip](Session session) {
-    ++sessions_emitted_;
-    return session_sink_->Accept(client_ip, std::move(session));
+    const std::string& user_key) {
+  return [this, user_key](Session session) {
+    sessions_emitted_.fetch_add(1, std::memory_order_relaxed);
+    return session_sink_->Accept(user_key, std::move(session));
   };
 }
 
 Status SessionizeSink::Accept(const LogRecord& record) {
   Result<std::uint32_t> page = PageFromUrl(record.url);
   if (!page.ok()) {
-    ++skipped_non_page_urls_;
+    skipped_non_page_urls_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   if (*page >= num_pages_) {
@@ -65,7 +66,9 @@ Status SessionizeSink::Accept(const LogRecord& record) {
                                    std::to_string(*page) +
                                    " outside the topology");
   }
-  UserState& user = users_[record.client_ip];
+  const std::string key =
+      UserKeyFor(record.client_ip, record.user_agent, identity_);
+  UserState& user = users_[key];
   if (user.sessionizer == nullptr) user.sessionizer = factory_();
   if (user.has_seen_request && record.timestamp < user.last_timestamp) {
     return Status::InvalidArgument(
@@ -76,12 +79,12 @@ Status SessionizeSink::Accept(const LogRecord& record) {
   user.has_seen_request = true;
   return user.sessionizer->OnRequest(
       PageRequest{static_cast<PageId>(*page), record.timestamp},
-      MakeEmit(record.client_ip));
+      MakeEmit(key));
 }
 
 Status SessionizeSink::Finish() {
-  for (auto& [ip, user] : users_) {
-    WUM_RETURN_NOT_OK(user.sessionizer->Flush(MakeEmit(ip)));
+  for (auto& [key, user] : users_) {
+    WUM_RETURN_NOT_OK(user.sessionizer->Flush(MakeEmit(key)));
   }
   return Status::OK();
 }

@@ -6,11 +6,13 @@
 #ifndef WUM_STREAM_INCREMENTAL_SESSIONIZER_H_
 #define WUM_STREAM_INCREMENTAL_SESSIONIZER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "wum/clf/user_partitioner.h"
 #include "wum/session/smart_sra.h"
 #include "wum/stream/pipeline.h"
 
@@ -56,22 +58,29 @@ class IncrementalSmartSra : public IncrementalUserSessionizer {
   Session candidate_;
 };
 
-/// Terminal pipeline stage: partitions records by client IP, converts
-/// canonical page URLs to PageRequests (other URLs are counted and
-/// skipped), drives one per-user sessionizer per IP, and forwards closed
-/// sessions to a SessionSink.
+/// Terminal pipeline stage: partitions records by user identity (client
+/// IP, or IP+User-Agent per UserIdentity), converts canonical page URLs
+/// to PageRequests (other URLs are counted and skipped), drives one
+/// per-user sessionizer per identity key, and forwards closed sessions —
+/// attributed to their user key — to a SessionSink.
 class SessionizeSink : public RecordSink {
  public:
   /// `session_sink` must outlive this object.
   SessionizeSink(UserSessionizerFactory factory, SessionSink* session_sink,
-                 std::size_t num_pages);
+                 std::size_t num_pages,
+                 UserIdentity identity = UserIdentity::kClientIp);
 
   Status Accept(const LogRecord& record) override;
   Status Finish() override;
 
-  std::uint64_t sessions_emitted() const { return sessions_emitted_; }
+  /// Counter accessors are safe to call from any thread (the sharded
+  /// engine snapshots them while workers run); everything else is
+  /// single-threaded.
+  std::uint64_t sessions_emitted() const {
+    return sessions_emitted_.load(std::memory_order_relaxed);
+  }
   std::uint64_t skipped_non_page_urls() const {
-    return skipped_non_page_urls_;
+    return skipped_non_page_urls_.load(std::memory_order_relaxed);
   }
   std::size_t active_users() const { return users_.size(); }
 
@@ -82,14 +91,15 @@ class SessionizeSink : public RecordSink {
     bool has_seen_request = false;
   };
 
-  IncrementalUserSessionizer::EmitFn MakeEmit(const std::string& client_ip);
+  IncrementalUserSessionizer::EmitFn MakeEmit(const std::string& user_key);
 
   UserSessionizerFactory factory_;
   SessionSink* session_sink_;
   std::size_t num_pages_;
+  UserIdentity identity_;
   std::map<std::string, UserState> users_;
-  std::uint64_t sessions_emitted_ = 0;
-  std::uint64_t skipped_non_page_urls_ = 0;
+  std::atomic<std::uint64_t> sessions_emitted_{0};
+  std::atomic<std::uint64_t> skipped_non_page_urls_{0};
 };
 
 }  // namespace wum

@@ -59,7 +59,9 @@ class RecordOperator : public RecordSink {
   RecordSink* downstream_ = nullptr;
 };
 
-/// Consumer of completed sessions, keyed by the owning client IP.
+/// Consumer of completed sessions, keyed by the owning user key (the
+/// client IP, or the IP+User-Agent composite when the producing stage
+/// identifies users that way — see UserKeyFor in clf/user_partitioner.h).
 class SessionSink {
  public:
   virtual ~SessionSink() = default;

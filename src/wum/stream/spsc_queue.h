@@ -22,16 +22,34 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
+  /// Outcome of a non-blocking TryPush.
+  enum class PushOutcome { kOk, kFull, kClosed };
+
   /// Blocks until space is available. Returns false (dropping the item)
-  /// if the queue was already closed.
-  bool Push(T item) {
+  /// if the queue was already closed. When `depth_after` is non-null it
+  /// receives the queue depth right after insertion (watermark probes
+  /// without a second lock acquisition).
+  bool Push(T item, std::size_t* depth_after = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [this] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (depth_after != nullptr) *depth_after = items_.size();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking push: kFull leaves the item with the caller (retry with
+  /// Push to block), kClosed drops it.
+  PushOutcome TryPush(const T& item, std::size_t* depth_after = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) return PushOutcome::kClosed;
+    if (items_.size() >= capacity_) return PushOutcome::kFull;
+    items_.push_back(item);
+    if (depth_after != nullptr) *depth_after = items_.size();
+    not_empty_.notify_one();
+    return PushOutcome::kOk;
   }
 
   /// Blocks until an item is available or the queue is closed and

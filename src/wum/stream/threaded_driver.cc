@@ -25,17 +25,54 @@ void ThreadedDriver::Run() {
   }
 }
 
-Status ThreadedDriver::Offer(const LogRecord& record) {
+Status ThreadedDriver::CheckOfferable() {
   if (finished_) {
     return Status::FailedPrecondition("driver already finished");
   }
-  {
-    std::lock_guard<std::mutex> lock(status_mutex_);
-    if (!first_error_.ok()) return first_error_;
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return first_error_;
+}
+
+void ThreadedDriver::NoteDepth(std::size_t depth) {
+  // Single producer: a racy read-modify-write max is exact here.
+  if (depth > queue_high_watermark_.load(std::memory_order_relaxed)) {
+    queue_high_watermark_.store(depth, std::memory_order_relaxed);
   }
-  if (!queue_.Push(record)) {
-    return Status::FailedPrecondition("queue closed");
+}
+
+Status ThreadedDriver::Offer(const LogRecord& record) {
+  WUM_RETURN_NOT_OK(CheckOfferable());
+  std::size_t depth = 0;
+  switch (queue_.TryPush(record, &depth)) {
+    case SpscQueue<LogRecord>::PushOutcome::kOk:
+      break;
+    case SpscQueue<LogRecord>::PushOutcome::kClosed:
+      return Status::FailedPrecondition("queue closed");
+    case SpscQueue<LogRecord>::PushOutcome::kFull:
+      blocked_enqueues_.fetch_add(1, std::memory_order_relaxed);
+      if (!queue_.Push(record, &depth)) {
+        return Status::FailedPrecondition("queue closed");
+      }
+      break;
   }
+  NoteDepth(depth);
+  return Status::OK();
+}
+
+Status ThreadedDriver::TryOffer(const LogRecord& record, bool* accepted) {
+  *accepted = false;
+  WUM_RETURN_NOT_OK(CheckOfferable());
+  std::size_t depth = 0;
+  switch (queue_.TryPush(record, &depth)) {
+    case SpscQueue<LogRecord>::PushOutcome::kOk:
+      break;
+    case SpscQueue<LogRecord>::PushOutcome::kClosed:
+      return Status::FailedPrecondition("queue closed");
+    case SpscQueue<LogRecord>::PushOutcome::kFull:
+      return Status::OK();
+  }
+  *accepted = true;
+  NoteDepth(depth);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #ifndef WUM_STREAM_THREADED_DRIVER_H_
 #define WUM_STREAM_THREADED_DRIVER_H_
 
+#include <atomic>
 #include <thread>
 
 #include "wum/stream/pipeline.h"
@@ -27,16 +28,35 @@ class ThreadedDriver {
   ThreadedDriver(const ThreadedDriver&) = delete;
   ThreadedDriver& operator=(const ThreadedDriver&) = delete;
 
-  /// Enqueues one record; blocks when the queue is full. Returns
-  /// FailedPrecondition after Finish, or the sink's first error.
+  /// Enqueues one record; blocks when the queue is full (counted in
+  /// blocked_enqueues). Returns FailedPrecondition after Finish, or the
+  /// sink's first error.
   Status Offer(const LogRecord& record);
+
+  /// Non-blocking variant: when the queue is full, sets `*accepted` to
+  /// false and returns OK without enqueueing (callers may fall back to
+  /// Offer). Otherwise behaves like Offer with `*accepted = true`.
+  Status TryOffer(const LogRecord& record, bool* accepted);
 
   /// Signals end of stream, waits for the worker to drain, and returns
   /// the pipeline's final status (including the sink's Finish).
   Status Finish();
 
+  /// Number of Offer calls that found the queue full and had to block —
+  /// the backpressure signal of this driver.
+  std::uint64_t blocked_enqueues() const {
+    return blocked_enqueues_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest queue depth observed right after an enqueue.
+  std::size_t queue_high_watermark() const {
+    return queue_high_watermark_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Run();
+  Status CheckOfferable();
+  void NoteDepth(std::size_t depth);
 
   SpscQueue<LogRecord> queue_;
   RecordSink* sink_;
@@ -44,6 +64,8 @@ class ThreadedDriver {
   std::mutex status_mutex_;
   Status first_error_;   // sticky first failure from the worker
   bool finished_ = false;
+  std::atomic<std::uint64_t> blocked_enqueues_{0};
+  std::atomic<std::size_t> queue_high_watermark_{0};
 };
 
 }  // namespace wum

@@ -1,0 +1,248 @@
+// StreamEngine lifecycle and failure semantics: option validation,
+// sharded stats accounting, identity-keyed sessionization, error
+// propagation (a sink failure stops every shard), and the
+// double-Finish / use-after-Finish guards.
+
+#include "wum/stream/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "wum/clf/log_filter.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+LogRecord PageRecord(const std::string& ip, std::uint32_t page,
+                     TimeSeconds timestamp) {
+  LogRecord record;
+  record.client_ip = ip;
+  record.url = PageUrl(page);
+  record.timestamp = timestamp;
+  return record;
+}
+
+/// Emits every request as its own single-page session immediately, so
+/// sink errors surface mid-stream instead of only at Flush.
+class EmitEverySessionizer : public IncrementalUserSessionizer {
+ public:
+  Status OnRequest(const PageRequest& request, const EmitFn& emit) override {
+    Session session;
+    session.requests.push_back(request);
+    return emit(std::move(session));
+  }
+  Status Flush(const EmitFn&) override { return Status::OK(); }
+};
+
+/// Accepts `limit` sessions, then fails every call.
+class FailAfterSink : public SessionSink {
+ public:
+  explicit FailAfterSink(std::uint64_t limit) : limit_(limit) {}
+
+  Status Accept(const std::string&, Session) override {
+    if (accepted_.load() >= limit_) return Status::Internal("sink full");
+    accepted_.fetch_add(1);
+    return Status::OK();
+  }
+
+  std::uint64_t accepted() const { return accepted_.load(); }
+
+ private:
+  std::uint64_t limit_;
+  std::atomic<std::uint64_t> accepted_{0};
+};
+
+TEST(StreamEngineCreateTest, RejectsInvalidOptions) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sink;
+
+  EXPECT_TRUE(StreamEngine::Create(EngineOptions().use_smart_sra(&graph),
+                                   nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamEngine::Create(EngineOptions(), &sink)
+                  .status()
+                  .IsInvalidArgument());  // no heuristic
+  EXPECT_TRUE(StreamEngine::Create(
+                  EngineOptions().use_smart_sra(&graph).set_num_shards(0),
+                  &sink)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamEngine::Create(
+                  EngineOptions().use_smart_sra(&graph).set_queue_capacity(0),
+                  &sink)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamEngine::Create(EngineOptions().use_smart_sra(nullptr),
+                                   &sink)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamEngine::Create(EngineOptions().use_custom(nullptr), &sink)
+                  .status()
+                  .IsInvalidArgument());
+  // Time heuristics have no graph to derive the page bound from.
+  EXPECT_TRUE(StreamEngine::Create(EngineOptions().use_duration(), &sink)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamEngine::Create(
+                  EngineOptions().use_duration().set_num_pages(10), &sink)
+                  .ok());
+}
+
+TEST(StreamEngineTest, SessionizesOneUserEndToEnd) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions().set_num_shards(2).use_smart_sra(&graph), &sessions);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Offer(PageRecord("u", 0, 0)).ok());
+  ASSERT_TRUE((*engine)->Offer(PageRecord("u", 1, 60)).ok());
+  ASSERT_TRUE((*engine)->Offer(PageRecord("u", 4, 120)).ok());
+  ASSERT_TRUE((*engine)->Finish().ok());
+  ASSERT_EQ(sessions.entries().size(), 1u);
+  EXPECT_EQ(sessions.entries()[0].client_ip, "u");
+  EXPECT_EQ(sessions.entries()[0].session.PageSequence(),
+            (std::vector<PageId>{0, 1, 4}));
+}
+
+TEST(StreamEngineTest, StatsAccountForEveryRecordAcrossShards) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions().set_num_shards(4).use_smart_sra(&graph), &sessions);
+  ASSERT_TRUE(engine.ok());
+  constexpr int kUsers = 23;
+  constexpr int kRequests = 7;
+  for (int r = 0; r < kRequests; ++r) {
+    for (int u = 0; u < kUsers; ++u) {
+      ASSERT_TRUE(
+          (*engine)
+              ->Offer(PageRecord("10.0.0." + std::to_string(u), 0, r * 30))
+              .ok());
+    }
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  const EngineStats total = (*engine)->TotalStats();
+  EXPECT_EQ(total.records_in, static_cast<std::uint64_t>(kUsers * kRequests));
+  EXPECT_EQ(total.records_dropped, 0u);
+  EXPECT_EQ(total.sessions_emitted, sessions.entries().size());
+  EXPECT_GT(total.queue_high_watermark, 0u);
+
+  // Per-shard counters sum to the totals, and every user's records
+  // landed on exactly one shard (records_in per shard is a multiple of
+  // kRequests).
+  std::uint64_t sum_in = 0;
+  for (const EngineStats& shard : (*engine)->ShardStats()) {
+    EXPECT_EQ(shard.records_in % kRequests, 0u);
+    sum_in += shard.records_in;
+  }
+  EXPECT_EQ(sum_in, total.records_in);
+}
+
+TEST(StreamEngineTest, IdentitySeparatesAgentsBehindOneProxy) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions()
+          .set_num_shards(4)
+          .set_identity(UserIdentity::kClientIpAndUserAgent)
+          .use_smart_sra(&graph),
+      &sessions);
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 3; ++i) {
+    LogRecord a = PageRecord("proxy", 0, i * 60);
+    a.user_agent = "firefox";
+    LogRecord b = PageRecord("proxy", 0, i * 60);
+    b.user_agent = "safari";
+    ASSERT_TRUE((*engine)->Offer(a).ok());
+    ASSERT_TRUE((*engine)->Offer(b).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+  std::set<std::string> keys;
+  for (const auto& entry : sessions.entries()) keys.insert(entry.client_ip);
+  EXPECT_EQ(keys, (std::set<std::string>{std::string("proxy\x1f") + "firefox",
+                                         std::string("proxy\x1f") +
+                                             "safari"}));
+}
+
+TEST(StreamEngineTest, FilterChainDropsAreCounted) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions()
+          .set_num_shards(2)
+          .use_smart_sra(&graph)
+          .add_filter([] { return std::make_unique<MethodFilter>(); }),
+      &sessions);
+  ASSERT_TRUE(engine.ok());
+  LogRecord post = PageRecord("u", 0, 0);
+  post.method = HttpMethod::kPost;
+  ASSERT_TRUE((*engine)->Offer(post).ok());
+  LogRecord non_page = PageRecord("u", 0, 10);
+  non_page.url = "/favicon.ico";
+  ASSERT_TRUE((*engine)->Offer(non_page).ok());
+  ASSERT_TRUE((*engine)->Offer(PageRecord("u", 0, 20)).ok());
+  ASSERT_TRUE((*engine)->Finish().ok());
+  const EngineStats total = (*engine)->TotalStats();
+  EXPECT_EQ(total.records_in, 3u);
+  EXPECT_EQ(total.records_dropped, 2u);  // POST + non-page URL
+  EXPECT_EQ(sessions.entries().size(), 1u);
+}
+
+TEST(StreamEngineTest, SinkFailureStopsAllShards) {
+  WebGraph graph = MakeFigure1Topology();
+  FailAfterSink sink(/*limit=*/1);
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions()
+          .set_num_shards(4)
+          .set_queue_capacity(4)
+          .set_num_pages(graph.num_pages())
+          .use_custom([] { return std::make_unique<EmitEverySessionizer>(); }),
+      &sink);
+  ASSERT_TRUE(engine.ok());
+
+  // Every record emits a session; after the first one the sink fails and
+  // the shared emit path poisons every shard, so Offer must start
+  // rejecting (the ingest path observes the failure).
+  Status offer_status;
+  for (int i = 0; i < 10000 && offer_status.ok(); ++i) {
+    offer_status =
+        (*engine)->Offer(PageRecord("10.0.0." + std::to_string(i % 64), 0, i));
+  }
+  EXPECT_TRUE(offer_status.IsInternal());
+  EXPECT_TRUE((*engine)->Finish().IsInternal());
+  // Nothing got through after the failure, on any shard.
+  EXPECT_EQ(sink.accepted(), 1u);
+}
+
+TEST(StreamEngineTest, FinishGuards) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions().set_num_shards(2).use_smart_sra(&graph), &sessions);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Offer(PageRecord("u", 0, 0)).ok());
+  ASSERT_TRUE((*engine)->Finish().ok());
+  EXPECT_TRUE((*engine)->Finish().IsFailedPrecondition());
+  EXPECT_TRUE((*engine)->Offer(PageRecord("u", 1, 60)).IsFailedPrecondition());
+}
+
+TEST(StreamEngineTest, DestructorFinishesWithoutExplicitFinish) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  {
+    Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+        EngineOptions().set_num_shards(2).use_smart_sra(&graph), &sessions);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Offer(PageRecord("u", 0, 0)).ok());
+    // No Finish(): the destructor must drain, flush and join cleanly.
+  }
+  EXPECT_EQ(sessions.entries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace wum

@@ -1,15 +1,19 @@
 // DESIGN.md §6.6: every incremental sessionizer emits exactly the batch
 // algorithm's sessions on the same per-user stream, across simulator
-// workloads and all four heuristics.
+// workloads and all four heuristics — and the sharded StreamEngine
+// preserves that equivalence per user at 1, 2 and 8 shards.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
+#include <map>
 
 #include "wum/session/navigation_heuristic.h"
 #include "wum/session/smart_sra.h"
 #include "wum/session/time_heuristics.h"
 #include "wum/simulator/agent_simulator.h"
+#include "wum/stream/engine.h"
 #include "wum/stream/incremental_sessionizer.h"
 #include "wum/stream/incremental_time_sessionizers.h"
 #include "wum/topology/site_generator.h"
@@ -67,6 +71,69 @@ class StreamingEquivalenceTest
     return streams;
   }
 
+  /// One server-style log: each agent becomes a distinct client IP and
+  /// all streams are interleaved globally by timestamp (stable, so each
+  /// user's order is preserved — the same shape a live ingest sees).
+  static std::vector<LogRecord> InterleavedLog(
+      const std::vector<std::vector<PageRequest>>& streams) {
+    std::vector<LogRecord> log;
+    for (std::size_t agent = 0; agent < streams.size(); ++agent) {
+      for (const PageRequest& request : streams[agent]) {
+        LogRecord record;
+        record.client_ip = AgentIp(agent);
+        record.url = PageUrl(request.page);
+        record.timestamp = request.timestamp;
+        log.push_back(std::move(record));
+      }
+    }
+    std::stable_sort(log.begin(), log.end(),
+                     [](const LogRecord& a, const LogRecord& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    return log;
+  }
+
+  static std::string AgentIp(std::size_t agent) {
+    return "10.0.0." + std::to_string(agent);
+  }
+
+  /// Runs the interleaved log through the engine at 1, 2 and 8 shards;
+  /// each shard count must reproduce the batch heuristic's per-user
+  /// session multiset exactly.
+  void CheckShardedEngineMatchesBatch(
+      const Sessionizer& batch,
+      const std::function<void(EngineOptions&)>& choose_heuristic) {
+    const std::vector<std::vector<PageRequest>> streams = SimulatedStreams();
+    const std::vector<LogRecord> log = InterleavedLog(streams);
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+      std::map<std::string, std::vector<Session>> by_user;
+      CallbackSessionSink sink(
+          [&by_user](const std::string& user_key, Session session) {
+            by_user[user_key].push_back(std::move(session));
+            return Status::OK();
+          });
+      EngineOptions options;
+      options.set_num_shards(shards)
+          .set_queue_capacity(128)
+          .set_num_pages(graph_.num_pages());
+      choose_heuristic(options);
+      Result<std::unique_ptr<StreamEngine>> engine =
+          StreamEngine::Create(std::move(options), &sink);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      for (const LogRecord& record : log) {
+        ASSERT_TRUE((*engine)->Offer(record).ok());
+      }
+      ASSERT_TRUE((*engine)->Finish().ok());
+      EXPECT_EQ((*engine)->TotalStats().records_in, log.size());
+      for (std::size_t agent = 0; agent < streams.size(); ++agent) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " agent=" + std::to_string(agent));
+        ExpectSameSessions(*batch.Reconstruct(streams[agent]),
+                           by_user[AgentIp(agent)]);
+      }
+    }
+  }
+
   WebGraph graph_{0};
 };
 
@@ -104,6 +171,34 @@ TEST_P(StreamingEquivalenceTest, Navigation) {
     ExpectSameSessions(*batch.Reconstruct(stream),
                        DriveIncremental(&incremental, stream));
   }
+}
+
+// Sharded engine equivalence (acceptance: every heuristic at 1/2/8
+// shards reproduces the batch per-user session multiset).
+
+TEST_P(StreamingEquivalenceTest, ShardedEngineSmartSra) {
+  SmartSra batch(&graph_);
+  CheckShardedEngineMatchesBatch(
+      batch, [this](EngineOptions& options) { options.use_smart_sra(&graph_); });
+}
+
+TEST_P(StreamingEquivalenceTest, ShardedEngineDuration) {
+  SessionDurationSessionizer batch;
+  CheckShardedEngineMatchesBatch(
+      batch, [](EngineOptions& options) { options.use_duration(); });
+}
+
+TEST_P(StreamingEquivalenceTest, ShardedEnginePageStay) {
+  PageStaySessionizer batch;
+  CheckShardedEngineMatchesBatch(
+      batch, [](EngineOptions& options) { options.use_page_stay(); });
+}
+
+TEST_P(StreamingEquivalenceTest, ShardedEngineNavigation) {
+  NavigationSessionizer batch(&graph_);
+  CheckShardedEngineMatchesBatch(batch, [this](EngineOptions& options) {
+    options.use_navigation(&graph_);
+  });
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingEquivalenceTest,

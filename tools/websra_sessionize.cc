@@ -16,6 +16,7 @@
 #include "wum/session/session_io.h"
 #include "wum/session/smart_sra.h"
 #include "wum/session/time_heuristics.h"
+#include "wum/stream/engine.h"
 #include "wum/topology/graph_io.h"
 
 namespace {
@@ -24,18 +25,81 @@ constexpr char kUsage[] =
     "usage: websra_sessionize --graph FILE --log FILE --out FILE\n"
     "  [--heuristic duration|pagestay|navigation|smart-sra|referrer]\n"
     "  [--identity ip|ip-ua] [--delta MINUTES=30] [--rho MINUTES=10]\n"
-    "  [--keep-robots]\n"
+    "  [--keep-robots] [--streaming] [--threads N=4]\n"
     "\n"
     "Reads an access log, applies the standard cleaning chain (GET only,\n"
     "successful status, no embedded resources, no crawlers unless\n"
     "--keep-robots), groups requests per user, reconstructs sessions and\n"
     "writes them as a websra session file. The referrer heuristic needs\n"
-    "a Combined-format log.\n";
+    "a Combined-format log.\n"
+    "\n"
+    "--streaming replays the cleaned log through the sharded StreamEngine\n"
+    "(--threads worker shards, hash-partitioned by user identity) instead\n"
+    "of the batch reconstruction path, and prints the engine's throughput\n"
+    "stats to stderr. Output sessions are identical up to per-user\n"
+    "emission order; the referrer heuristic is batch-only.\n";
+
+/// Streaming path: the cleaned records flow through the sharded engine;
+/// sessions are collected (serialized by the engine) and sorted by user
+/// key so the output file is deterministic regardless of shard timing.
+wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
+                         const wum::WebGraph& graph,
+                         const std::string& heuristic_name,
+                         wum::UserIdentity identity,
+                         wum::TimeThresholds thresholds, std::size_t threads,
+                         std::vector<wum::UserSession>* output) {
+  wum::EngineOptions options;
+  options.set_num_shards(threads)
+      .set_identity(identity)
+      .set_thresholds(thresholds)
+      .set_num_pages(graph.num_pages());
+  if (heuristic_name == "duration") {
+    options.use_duration();
+  } else if (heuristic_name == "pagestay") {
+    options.use_page_stay();
+  } else if (heuristic_name == "navigation") {
+    options.use_navigation(&graph);
+  } else if (heuristic_name == "smart-sra") {
+    options.use_smart_sra(&graph);
+  } else if (heuristic_name == "referrer") {
+    return wum::Status::InvalidArgument(
+        "--streaming does not support the referrer heuristic; use the "
+        "batch path");
+  } else {
+    return wum::Status::InvalidArgument("unknown heuristic '" +
+                                        heuristic_name + "'");
+  }
+  wum::CallbackSessionSink sink(
+      [output](const std::string& user_key, wum::Session session) {
+        output->push_back(wum::UserSession{user_key, std::move(session)});
+        return wum::Status::OK();
+      });
+  WUM_ASSIGN_OR_RETURN(std::unique_ptr<wum::StreamEngine> engine,
+                       wum::StreamEngine::Create(options, &sink));
+  for (const wum::LogRecord& record : cleaned) {
+    WUM_RETURN_NOT_OK(engine->Offer(record));
+  }
+  WUM_RETURN_NOT_OK(engine->Finish());
+  std::cerr << "engine[" << engine->num_shards()
+            << " shards]: " << wum::EngineStatsToString(engine->TotalStats())
+            << "\n";
+  const std::vector<wum::EngineStats> per_shard = engine->ShardStats();
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    std::cerr << "  shard " << i << ": "
+              << wum::EngineStatsToString(per_shard[i]) << "\n";
+  }
+  std::stable_sort(output->begin(), output->end(),
+                   [](const wum::UserSession& a, const wum::UserSession& b) {
+                     return a.user_key < b.user_key;
+                   });
+  return wum::Status::OK();
+}
 
 wum::Status Run(const wum_tools::Flags& flags) {
   WUM_RETURN_NOT_OK(flags.CheckKnown({"graph", "log", "out", "heuristic",
                                       "identity", "delta", "rho",
-                                      "keep-robots"}));
+                                      "keep-robots", "streaming",
+                                      "threads"}));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
   WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
@@ -78,6 +142,29 @@ wum::Status Run(const wum_tools::Flags& flags) {
   std::vector<wum::LogRecord> cleaned = chain.Apply(records);
   std::cout << "cleaning kept " << cleaned.size() << " page views\n";
 
+  const std::string heuristic_name =
+      flags.GetString("heuristic", "smart-sra");
+  std::vector<wum::UserSession> output;
+
+  // Streaming path: sharded StreamEngine instead of batch reconstruction.
+  if (flags.Has("streaming")) {
+    WUM_ASSIGN_OR_RETURN(std::uint64_t threads, flags.GetUint("threads", 4));
+    if (threads == 0) {
+      return wum::Status::InvalidArgument("--threads must be >= 1");
+    }
+    WUM_RETURN_NOT_OK(RunStreaming(cleaned, graph, heuristic_name, identity,
+                                   thresholds,
+                                   static_cast<std::size_t>(threads),
+                                   &output));
+    WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path));
+    std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
+              << ", streaming) to " << out_path << "\n";
+    return wum::Status::OK();
+  }
+  if (flags.Has("threads")) {
+    return wum::Status::InvalidArgument("--threads requires --streaming");
+  }
+
   // Identify users.
   WUM_ASSIGN_OR_RETURN(wum::PartitionResult partition,
                        wum::PartitionByUser(cleaned, graph.num_pages(),
@@ -86,9 +173,6 @@ wum::Status Run(const wum_tools::Flags& flags) {
             << partition.skipped_non_page_urls << " non-page URLs skipped)\n";
 
   // Reconstruct.
-  const std::string heuristic_name =
-      flags.GetString("heuristic", "smart-sra");
-  std::vector<wum::UserSession> output;
   if (heuristic_name == "referrer") {
     // Rebuild per-user referred streams from the cleaned records.
     std::map<std::string, std::vector<wum::ReferredRequest>> streams;
@@ -155,7 +239,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
 
 int main(int argc, char** argv) {
   wum::Result<wum_tools::Flags> flags =
-      wum_tools::Flags::Parse(argc, argv, {"keep-robots"});
+      wum_tools::Flags::Parse(argc, argv, {"keep-robots", "streaming"});
   if (!flags.ok()) return wum_tools::FailWith(flags.status(), kUsage);
   wum::Status status = Run(*flags);
   if (!status.ok()) return wum_tools::FailWith(status, kUsage);
