@@ -1,14 +1,21 @@
 // google-benchmark microbenches: throughput of every pipeline stage —
 // CLF formatting/parsing, each sessionizer, the streaming pipeline,
 // topology generation, capture matching and mining.
+//
+// Set WUM_METRICS_OUT=<path> to dump the wum::obs registry populated by
+// the metrics-enabled benches as a JSON/CSV snapshot after the run (CI
+// uploads it as a workflow artifact).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 
 #include "wum/clf/clf_parser.h"
 #include "wum/clf/clf_writer.h"
 #include "wum/mining/apriori_all.h"
+#include "wum/obs/metrics.h"
 #include "wum/stream/engine.h"
 #include "wum/session/navigation_heuristic.h"
 #include "wum/session/smart_sra.h"
@@ -18,6 +25,15 @@
 #include "wum/topology/site_generator.h"
 
 namespace wum {
+
+/// Registry shared by the metrics-enabled benches; dumped by main when
+/// WUM_METRICS_OUT is set. Counters accumulate across iterations, so the
+/// snapshot reflects the whole benchmark run.
+obs::MetricRegistry& BenchMetricsRegistry() {
+  static obs::MetricRegistry* const registry = new obs::MetricRegistry();
+  return *registry;
+}
+
 namespace {
 
 // Shared fixture state, built once.
@@ -146,7 +162,8 @@ BENCHMARK(BM_StreamingPipelineEndToEnd)->Unit(benchmark::kMillisecond);
 // multi-core host the 4-shard run should beat the single shard by >= 2x.
 // UseRealTime: wall clock is the scaling metric, not the ingest thread's
 // CPU time.
-void BM_StreamEngineSharded(benchmark::State& state) {
+void StreamEngineShardedLoop(benchmark::State& state,
+                             obs::MetricRegistry* metrics) {
   const Fixture& fixture = Fixture::Get();
   const std::size_t shards = static_cast<std::size_t>(state.range(0));
   std::size_t records = 0;
@@ -156,6 +173,7 @@ void BM_StreamEngineSharded(benchmark::State& state) {
     EngineOptions options;
     options.set_num_shards(shards)
         .set_queue_capacity(4096)
+        .set_metrics(metrics)
         .use_smart_sra(&fixture.graph);
     Result<std::unique_ptr<StreamEngine>> engine =
         StreamEngine::Create(std::move(options), &sink);
@@ -174,11 +192,28 @@ void BM_StreamEngineSharded(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(records));
 }
+
+void BM_StreamEngineSharded(benchmark::State& state) {
+  StreamEngineShardedLoop(state, nullptr);
+}
 BENCHMARK(BM_StreamEngineSharded)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Same workload with the wum::obs registry attached: the spread against
+// BM_StreamEngineSharded is the live cost of metrics (counter mirrors
+// plus drain/sessionize latency timers); the null-registry runs above
+// measure the disabled mode, which must stay within ~2% of the seed.
+void BM_StreamEngineShardedMetrics(benchmark::State& state) {
+  StreamEngineShardedLoop(state, &BenchMetricsRegistry());
+}
+BENCHMARK(BM_StreamEngineShardedMetrics)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -255,4 +290,22 @@ BENCHMARK(BM_SimulateAgent);
 }  // namespace
 }  // namespace wum
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run can end with a
+// registry snapshot dump for CI artifacts.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* metrics_out = std::getenv("WUM_METRICS_OUT");
+  if (metrics_out != nullptr && *metrics_out != '\0') {
+    wum::Status status = wum::obs::WriteMetricsFile(
+        wum::BenchMetricsRegistry().Snapshot(), metrics_out);
+    if (!status.ok()) {
+      std::cerr << "metrics dump failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "wrote metrics snapshot to " << metrics_out << "\n";
+  }
+  return 0;
+}

@@ -5,11 +5,19 @@
 namespace wum {
 namespace {
 
+/// Every reject names the CLF field it tripped on, so a sample error
+/// like "line 7: field 'status': ..." pins down both where and what.
+Status FieldError(std::string_view field, std::string_view detail) {
+  return Status::ParseError("field '" + std::string(field) + "': " +
+                            std::string(detail));
+}
+
 Result<HttpMethod> ParseMethod(std::string_view token) {
   if (token == "GET") return HttpMethod::kGet;
   if (token == "POST") return HttpMethod::kPost;
   if (token == "HEAD") return HttpMethod::kHead;
-  return Status::ParseError("unsupported method '" + std::string(token) + "'");
+  return FieldError("request",
+                    "unsupported method '" + std::string(token) + "'");
 }
 
 }  // namespace
@@ -22,30 +30,35 @@ Result<LogRecord> ParseClfLine(std::string_view line) {
 
   // %h: client host.
   std::size_t pos = line.find(' ');
-  if (pos == std::string_view::npos) return Status::ParseError("missing host");
+  if (pos == std::string_view::npos) {
+    return FieldError("host", "missing (no space-delimited fields)");
+  }
   record.client_ip = std::string(line.substr(0, pos));
 
   // %l %u: identity fields, up to the '['.
   std::size_t bracket = line.find('[', pos);
   if (bracket == std::string_view::npos) {
-    return Status::ParseError("missing '[' before timestamp");
+    return FieldError("timestamp", "missing '[' before timestamp");
   }
   std::size_t bracket_end = line.find(']', bracket);
   if (bracket_end == std::string_view::npos) {
-    return Status::ParseError("missing ']' after timestamp");
+    return FieldError("timestamp", "missing ']' after timestamp");
   }
-  WUM_ASSIGN_OR_RETURN(
-      record.timestamp,
-      ParseClfTimestamp(line.substr(bracket + 1, bracket_end - bracket - 1)));
+  Result<TimeSeconds> timestamp =
+      ParseClfTimestamp(line.substr(bracket + 1, bracket_end - bracket - 1));
+  if (!timestamp.ok()) {
+    return FieldError("timestamp", timestamp.status().message());
+  }
+  record.timestamp = *timestamp;
 
   // "%r": the quoted request.
   std::size_t quote = line.find('"', bracket_end);
   if (quote == std::string_view::npos) {
-    return Status::ParseError("missing opening quote of request");
+    return FieldError("request", "missing opening quote");
   }
   std::size_t quote_end = line.find('"', quote + 1);
   if (quote_end == std::string_view::npos) {
-    return Status::ParseError("missing closing quote of request");
+    return FieldError("request", "missing closing quote");
   }
   std::string_view request = line.substr(quote + 1, quote_end - quote - 1);
   std::vector<std::string_view> request_parts;
@@ -53,14 +66,14 @@ Result<LogRecord> ParseClfLine(std::string_view line) {
     if (!part.empty()) request_parts.push_back(part);
   }
   if (request_parts.size() != 3) {
-    return Status::ParseError("request line must be 'METHOD URL PROTOCOL'");
+    return FieldError("request", "must be 'METHOD URL PROTOCOL'");
   }
   WUM_ASSIGN_OR_RETURN(record.method, ParseMethod(request_parts[0]));
   record.url = std::string(request_parts[1]);
   record.protocol = std::string(request_parts[2]);
   if (record.protocol != "HTTP/1.0" && record.protocol != "HTTP/1.1") {
-    return Status::ParseError("unsupported protocol '" + record.protocol +
-                              "'");
+    return FieldError("request",
+                      "unsupported protocol '" + record.protocol + "'");
   }
 
   // %>s %b: status and bytes, then optionally the combined-format
@@ -68,7 +81,7 @@ Result<LogRecord> ParseClfLine(std::string_view line) {
   std::string_view tail = StripWhitespace(line.substr(quote_end + 1));
   const std::size_t first_space = tail.find(' ');
   if (first_space == std::string_view::npos) {
-    return Status::ParseError("expected '<status> <bytes>' after request");
+    return FieldError("status", "expected '<status> <bytes>' after request");
   }
   std::string_view status_token = tail.substr(0, first_space);
   std::string_view rest = StripWhitespace(tail.substr(first_space + 1));
@@ -81,37 +94,40 @@ Result<LogRecord> ParseClfLine(std::string_view line) {
           ? std::string_view()
           : StripWhitespace(rest.substr(second_space + 1));
 
-  WUM_ASSIGN_OR_RETURN(std::int64_t status, ParseInt64(status_token));
-  if (status < 100 || status > 599) {
-    return Status::ParseError("status code out of range");
+  Result<std::int64_t> status = ParseInt64(status_token);
+  if (!status.ok()) return FieldError("status", status.status().message());
+  if (*status < 100 || *status > 599) {
+    return FieldError("status", "status code out of range");
   }
-  record.status_code = static_cast<int>(status);
+  record.status_code = static_cast<int>(*status);
   if (bytes_token == "-") {
     record.bytes = -1;
   } else {
-    WUM_ASSIGN_OR_RETURN(record.bytes, ParseInt64(bytes_token));
-    if (record.bytes < 0) return Status::ParseError("negative byte count");
+    Result<std::int64_t> bytes = ParseInt64(bytes_token);
+    if (!bytes.ok()) return FieldError("bytes", bytes.status().message());
+    if (*bytes < 0) return FieldError("bytes", "negative byte count");
+    record.bytes = *bytes;
   }
 
   if (!extras.empty()) {
     // Combined Log Format: "referer" "user-agent".
-    auto take_quoted = [&extras]() -> Result<std::string> {
+    auto take_quoted = [&extras](std::string_view field) -> Result<std::string> {
       if (extras.empty() || extras.front() != '"') {
-        return Status::ParseError("expected quoted combined-format field");
+        return FieldError(field, "expected quoted combined-format field");
       }
       const std::size_t closing = extras.find('"', 1);
       if (closing == std::string_view::npos) {
-        return Status::ParseError("unterminated combined-format field");
+        return FieldError(field, "unterminated combined-format field");
       }
       std::string value(extras.substr(1, closing - 1));
       extras = StripWhitespace(extras.substr(closing + 1));
       if (value == "-") value.clear();
       return value;
     };
-    WUM_ASSIGN_OR_RETURN(record.referrer, take_quoted());
-    WUM_ASSIGN_OR_RETURN(record.user_agent, take_quoted());
+    WUM_ASSIGN_OR_RETURN(record.referrer, take_quoted("referer"));
+    WUM_ASSIGN_OR_RETURN(record.user_agent, take_quoted("user-agent"));
     if (!extras.empty()) {
-      return Status::ParseError("trailing content after combined fields");
+      return FieldError("user-agent", "trailing content after combined fields");
     }
   }
   return record;
@@ -122,14 +138,18 @@ Status ClfParser::ParseStream(std::istream* in,
   std::string line;
   while (std::getline(*in, line)) {
     ++stats_.lines_seen;
+    lines_seen_.Increment();
     if (StripWhitespace(line).empty()) continue;
     Result<LogRecord> parsed = ParseClfLine(line);
     if (parsed.ok()) {
       records->push_back(std::move(parsed).ValueOrDie());
       ++stats_.records_parsed;
+      records_parsed_.Increment();
     } else {
       ++stats_.lines_rejected;
+      lines_rejected_.Increment();
       if (stats_.sample_errors.size() < kMaxSampleErrors) {
+        // stats_.lines_seen is the 1-based number of the line just read.
         stats_.sample_errors.push_back(
             "line " + std::to_string(stats_.lines_seen) + ": " +
             parsed.status().message());

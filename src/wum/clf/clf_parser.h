@@ -10,12 +10,14 @@
 
 #include "wum/clf/log_record.h"
 #include "wum/common/result.h"
+#include "wum/obs/metrics.h"
 
 namespace wum {
 
 /// Parses one CLF line into a LogRecord. Accepts the "%h %l %u [%t]
 /// \"%r\" %>s %b" layout produced by ClfWriter and by Apache/NCSA httpd;
-/// the two identity fields are tolerated but discarded.
+/// the two identity fields are tolerated but discarded. Parse errors
+/// name the offending CLF field, e.g. "field 'status': ...".
 Result<LogRecord> ParseClfLine(std::string_view line);
 
 /// Stream parser with malformed-line accounting.
@@ -25,11 +27,21 @@ class ClfParser {
     std::uint64_t lines_seen = 0;
     std::uint64_t records_parsed = 0;
     std::uint64_t lines_rejected = 0;
-    /// First few reject reasons, for diagnostics.
+    /// First few reject reasons, each prefixed with the 1-based line
+    /// number and naming the offending field, for diagnostics.
     std::vector<std::string> sample_errors;
   };
 
   ClfParser() = default;
+
+  /// With a registry, mirrors Stats into the counters "clf.lines_seen",
+  /// "clf.records_parsed" and "clf.lines_rejected" as the stream is
+  /// parsed. `metrics` may be null (all handles stay disabled) and must
+  /// otherwise outlive the parser.
+  explicit ClfParser(obs::MetricRegistry* metrics)
+      : lines_seen_(obs::CounterIn(metrics, "clf.lines_seen")),
+        records_parsed_(obs::CounterIn(metrics, "clf.records_parsed")),
+        lines_rejected_(obs::CounterIn(metrics, "clf.lines_rejected")) {}
 
   /// Parses every line of `in`; appends good records to `*records`.
   /// IO failure is the only error condition — malformed lines are
@@ -41,6 +53,9 @@ class ClfParser {
  private:
   static constexpr std::size_t kMaxSampleErrors = 8;
   Stats stats_;
+  obs::Counter lines_seen_;
+  obs::Counter records_parsed_;
+  obs::Counter lines_rejected_;
 };
 
 }  // namespace wum

@@ -3,9 +3,7 @@
 #include <atomic>
 #include <thread>
 
-#include "wum/session/navigation_heuristic.h"
-#include "wum/session/smart_sra.h"
-#include "wum/session/time_heuristics.h"
+#include "wum/stream/heuristic_registry.h"
 
 namespace wum {
 
@@ -30,15 +28,22 @@ ExperimentConfig PaperDefaults() {
 
 std::vector<std::unique_ptr<Sessionizer>> MakePaperHeuristics(
     const WebGraph* graph, const TimeThresholds& thresholds) {
+  // Resolved through the one heuristic-name -> factory table; the
+  // registry's registration order is the paper's heur1..heur4 order,
+  // which report.cc relies on (the last score is Smart-SRA).
+  HeuristicContext context;
+  context.graph = graph;
+  context.thresholds = thresholds;
+  const HeuristicRegistry& registry = HeuristicRegistry::Default();
   std::vector<std::unique_ptr<Sessionizer>> heuristics;
-  heuristics.push_back(std::make_unique<SessionDurationSessionizer>(
-      thresholds.max_session_duration));
-  heuristics.push_back(
-      std::make_unique<PageStaySessionizer>(thresholds.max_page_stay));
-  heuristics.push_back(std::make_unique<NavigationSessionizer>(graph));
-  SmartSra::Options sra_options;
-  sra_options.thresholds = thresholds;
-  heuristics.push_back(std::make_unique<SmartSra>(graph, sra_options));
+  for (const std::string& name : registry.Names()) {
+    Result<std::unique_ptr<Sessionizer>> heuristic =
+        registry.CreateBatch(name, context);
+    // Only fails on a null graph, which MakePaperHeuristics requires.
+    if (heuristic.ok()) {
+      heuristics.push_back(std::move(heuristic).ValueOrDie());
+    }
+  }
   return heuristics;
 }
 

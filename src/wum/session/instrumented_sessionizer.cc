@@ -1,0 +1,35 @@
+#include "wum/session/instrumented_sessionizer.h"
+
+namespace wum {
+
+InstrumentedSessionizer::InstrumentedSessionizer(
+    std::unique_ptr<Sessionizer> inner, obs::MetricRegistry* metrics)
+    : InstrumentedSessionizer(std::move(inner), metrics, std::string()) {}
+
+InstrumentedSessionizer::InstrumentedSessionizer(
+    std::unique_ptr<Sessionizer> inner, obs::MetricRegistry* metrics,
+    const std::string& metric_name)
+    : inner_(std::move(inner)) {
+  const std::string prefix =
+      "sessionizer." + (metric_name.empty() ? inner_->name() : metric_name) +
+      ".";
+  reconstruct_calls_ = obs::CounterIn(metrics, prefix + "reconstruct_calls");
+  requests_in_ = obs::CounterIn(metrics, prefix + "requests_in");
+  sessions_emitted_ = obs::CounterIn(metrics, prefix + "sessions_emitted");
+  reconstruct_latency_us_ =
+      obs::HistogramIn(metrics, prefix + "reconstruct_latency_us");
+}
+
+Result<std::vector<Session>> InstrumentedSessionizer::Reconstruct(
+    std::span<const PageRequest> requests) const {
+  reconstruct_calls_.Increment();
+  requests_in_.Increment(requests.size());
+  Result<std::vector<Session>> sessions = [&] {
+    obs::ScopedTimer timer(reconstruct_latency_us_);
+    return inner_->Reconstruct(requests);
+  }();
+  if (sessions.ok()) sessions_emitted_.Increment(sessions->size());
+  return sessions;
+}
+
+}  // namespace wum

@@ -1,0 +1,54 @@
+// InstrumentedSessionizer: a decorator wrapping any batch Sessionizer
+// with wum::obs metrics — per-call reconstruction latency and running
+// session/request totals — without the heuristics themselves knowing
+// about observability. Tools wrap whatever the HeuristicRegistry built:
+//
+//   auto inner = registry.CreateBatch("smart-sra", context);
+//   InstrumentedSessionizer sessionizer(std::move(*inner), &metrics);
+//   auto sessions = sessionizer.Reconstruct(requests);  // timed
+
+#ifndef WUM_SESSION_INSTRUMENTED_SESSIONIZER_H_
+#define WUM_SESSION_INSTRUMENTED_SESSIONIZER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "wum/obs/metrics.h"
+#include "wum/session/sessionizer.h"
+
+namespace wum {
+
+/// Decorates `inner` with metrics registered under
+/// "sessionizer.<metric_name>.*" (metric_name defaults to inner->name()):
+///   .reconstruct_calls        one per Reconstruct invocation
+///   .requests_in              total requests across invocations
+///   .sessions_emitted         total sessions returned
+///   .reconstruct_latency_us   wall time of one Reconstruct call
+/// A null registry disables every handle; the wrapper then only costs
+/// the virtual dispatch it already shares with the inner sessionizer.
+class InstrumentedSessionizer : public Sessionizer {
+ public:
+  InstrumentedSessionizer(std::unique_ptr<Sessionizer> inner,
+                          obs::MetricRegistry* metrics);
+  InstrumentedSessionizer(std::unique_ptr<Sessionizer> inner,
+                          obs::MetricRegistry* metrics,
+                          const std::string& metric_name);
+
+  std::string name() const override { return inner_->name(); }
+
+  Result<std::vector<Session>> Reconstruct(
+      std::span<const PageRequest> requests) const override;
+
+ private:
+  std::unique_ptr<Sessionizer> inner_;
+  // Mutated from const Reconstruct: handles are thread-safe by design.
+  mutable obs::Counter reconstruct_calls_;
+  mutable obs::Counter requests_in_;
+  mutable obs::Counter sessions_emitted_;
+  mutable obs::Histogram reconstruct_latency_us_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_SESSION_INSTRUMENTED_SESSIONIZER_H_

@@ -10,7 +10,7 @@ NavigationSessionizer::NavigationSessionizer(const WebGraph* graph,
     : graph_(graph), options_(options) {}
 
 Result<std::vector<Session>> NavigationSessionizer::Reconstruct(
-    const std::vector<PageRequest>& requests) const {
+    std::span<const PageRequest> requests) const {
   WUM_RETURN_NOT_OK(ValidateRequestStream(requests, graph_->num_pages()));
   std::vector<Session> sessions;
   Session current;

@@ -11,6 +11,7 @@
 #ifndef WUM_SESSION_NAVIGATION_HEURISTIC_H_
 #define WUM_SESSION_NAVIGATION_HEURISTIC_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,7 @@ class NavigationSessionizer : public Sessionizer {
   /// triggered the path completion (the log has no stamp for cache hits),
   /// keeping output timestamps non-decreasing.
   Result<std::vector<Session>> Reconstruct(
-      const std::vector<PageRequest>& requests) const override;
+      std::span<const PageRequest> requests) const override;
 
  private:
   const WebGraph* graph_;

@@ -41,7 +41,7 @@ Session MakeSession(const std::vector<PageId>& pages,
   return session;
 }
 
-Status ValidateRequestStream(const std::vector<PageRequest>& requests,
+Status ValidateRequestStream(std::span<const PageRequest> requests,
                              std::size_t num_pages) {
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].page >= num_pages) {

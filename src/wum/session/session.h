@@ -6,6 +6,7 @@
 #define WUM_SESSION_SESSION_H_
 
 #include <compare>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,7 @@ Session MakeSession(const std::vector<PageId>& pages,
 
 /// Checks that `requests` is sorted by non-decreasing timestamp and all
 /// pages are valid ids for `num_pages` (heuristics require both).
-Status ValidateRequestStream(const std::vector<PageRequest>& requests,
+Status ValidateRequestStream(std::span<const PageRequest> requests,
                              std::size_t num_pages);
 
 /// Timestamp-ordering rule (paper §3): strictly increasing timestamps are

@@ -4,6 +4,7 @@
 #ifndef WUM_SESSION_SESSIONIZER_H_
 #define WUM_SESSION_SESSIONIZER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,12 +23,14 @@ class Sessionizer {
   /// Short identifier for reports, e.g. "heur4-smart-sra".
   virtual std::string name() const = 0;
 
-  /// Rebuilds sessions from one user's page request stream.
+  /// Rebuilds sessions from one user's page request stream. Taking a
+  /// span lets callers hand over any slice of a larger per-user buffer
+  /// (windowed replays, shard-local views) without copying.
   ///
   /// `requests` must be sorted by non-decreasing timestamp (as a server
   /// access log is); passing an unsorted stream returns InvalidArgument.
   virtual Result<std::vector<Session>> Reconstruct(
-      const std::vector<PageRequest>& requests) const = 0;
+      std::span<const PageRequest> requests) const = 0;
 };
 
 }  // namespace wum

@@ -12,7 +12,7 @@ SmartSra::SmartSra(const WebGraph* graph, Options options)
     : graph_(graph), options_(std::move(options)) {}
 
 std::vector<Session> SmartSra::Phase1(
-    const std::vector<PageRequest>& requests) const {
+    std::span<const PageRequest> requests) const {
   return SplitByBothTimeRules(requests, options_.thresholds);
 }
 
@@ -109,7 +109,7 @@ Result<std::vector<Session>> SmartSra::Phase2(const Session& candidate) const {
 }
 
 Result<std::vector<Session>> SmartSra::Reconstruct(
-    const std::vector<PageRequest>& requests) const {
+    std::span<const PageRequest> requests) const {
   WUM_RETURN_NOT_OK(ValidateRequestStream(requests, graph_->num_pages()));
   std::vector<Session> output;
   for (const Session& candidate : Phase1(requests)) {

@@ -24,6 +24,7 @@
 #ifndef WUM_SESSION_SMART_SRA_H_
 #define WUM_SESSION_SMART_SRA_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,10 +56,10 @@ class SmartSra : public Sessionizer {
   std::string name() const override { return "heur4-smart-sra"; }
 
   Result<std::vector<Session>> Reconstruct(
-      const std::vector<PageRequest>& requests) const override;
+      std::span<const PageRequest> requests) const override;
 
   /// Phase 1 only: candidate sessions obeying both time rules.
-  std::vector<Session> Phase1(const std::vector<PageRequest>& requests) const;
+  std::vector<Session> Phase1(std::span<const PageRequest> requests) const;
 
   /// Phase 2 only: maximal topology-consistent sessions of one candidate.
   /// The candidate must be timestamp-sorted.

@@ -9,7 +9,7 @@ namespace {
 // predicate: given the pending session and the next request, decide
 // whether the request starts a new session.
 template <typename ShouldCut>
-std::vector<Session> SplitStream(const std::vector<PageRequest>& requests,
+std::vector<Session> SplitStream(std::span<const PageRequest> requests,
                                  ShouldCut should_cut) {
   std::vector<Session> sessions;
   Session current;
@@ -31,7 +31,7 @@ SessionDurationSessionizer::SessionDurationSessionizer(
     : max_session_duration_(max_session_duration) {}
 
 Result<std::vector<Session>> SessionDurationSessionizer::Reconstruct(
-    const std::vector<PageRequest>& requests) const {
+    std::span<const PageRequest> requests) const {
   WUM_RETURN_NOT_OK(ValidateRequestStream(
       requests, static_cast<std::size_t>(kInvalidPage)));
   return SplitStream(requests,
@@ -46,7 +46,7 @@ PageStaySessionizer::PageStaySessionizer(TimeSeconds max_page_stay)
     : max_page_stay_(max_page_stay) {}
 
 Result<std::vector<Session>> PageStaySessionizer::Reconstruct(
-    const std::vector<PageRequest>& requests) const {
+    std::span<const PageRequest> requests) const {
   WUM_RETURN_NOT_OK(ValidateRequestStream(
       requests, static_cast<std::size_t>(kInvalidPage)));
   return SplitStream(requests,
@@ -58,7 +58,7 @@ Result<std::vector<Session>> PageStaySessionizer::Reconstruct(
 }
 
 std::vector<Session> SplitByBothTimeRules(
-    const std::vector<PageRequest>& requests,
+    std::span<const PageRequest> requests,
     const TimeThresholds& thresholds) {
   return SplitStream(
       requests, [&thresholds](const Session& session, const PageRequest& next) {

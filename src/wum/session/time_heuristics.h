@@ -12,6 +12,7 @@
 #ifndef WUM_SESSION_TIME_HEURISTICS_H_
 #define WUM_SESSION_TIME_HEURISTICS_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,7 +31,7 @@ class SessionDurationSessionizer : public Sessionizer {
   std::string name() const override { return "heur1-duration"; }
 
   Result<std::vector<Session>> Reconstruct(
-      const std::vector<PageRequest>& requests) const override;
+      std::span<const PageRequest> requests) const override;
 
   TimeSeconds max_session_duration() const { return max_session_duration_; }
 
@@ -47,7 +48,7 @@ class PageStaySessionizer : public Sessionizer {
   std::string name() const override { return "heur2-pagestay"; }
 
   Result<std::vector<Session>> Reconstruct(
-      const std::vector<PageRequest>& requests) const override;
+      std::span<const PageRequest> requests) const override;
 
   TimeSeconds max_page_stay() const { return max_page_stay_; }
 
@@ -59,7 +60,7 @@ class PageStaySessionizer : public Sessionizer {
 /// bounds, cutting whenever the page-stay bound or the total-duration
 /// bound would be violated.
 std::vector<Session> SplitByBothTimeRules(
-    const std::vector<PageRequest>& requests, const TimeThresholds& thresholds);
+    std::span<const PageRequest> requests, const TimeThresholds& thresholds);
 
 }  // namespace wum
 

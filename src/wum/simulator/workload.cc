@@ -47,8 +47,17 @@ std::vector<AgentRequests> Workload::ToAgentRequests() const {
 
 Result<Workload> SimulateWorkload(const WebGraph& graph,
                                   const AgentProfile& profile,
-                                  const WorkloadOptions& options, Rng* rng) {
+                                  const WorkloadOptions& options, Rng* rng,
+                                  obs::MetricRegistry* metrics) {
   WUM_RETURN_NOT_OK(ValidateWorkloadOptions(options));
+  obs::Counter agents_simulated =
+      obs::CounterIn(metrics, "simulator.agents_simulated");
+  obs::Counter requests_generated =
+      obs::CounterIn(metrics, "simulator.requests_generated");
+  obs::Counter sessions_generated =
+      obs::CounterIn(metrics, "simulator.sessions_generated");
+  obs::Histogram agent_latency =
+      obs::HistogramIn(metrics, "simulator.agent_latency_us");
   AgentSimulator simulator(&graph, profile);
   Workload workload;
   workload.agents.reserve(options.num_agents);
@@ -58,8 +67,14 @@ Result<Workload> SimulateWorkload(const WebGraph& graph,
         options.epoch +
         static_cast<TimeSeconds>(agent_rng.NextBounded(
             static_cast<std::uint64_t>(options.start_window)));
-    WUM_ASSIGN_OR_RETURN(AgentTrace trace,
-                         simulator.SimulateAgent(start, &agent_rng));
+    AgentTrace trace;
+    {
+      obs::ScopedTimer timer(agent_latency);
+      WUM_ASSIGN_OR_RETURN(trace, simulator.SimulateAgent(start, &agent_rng));
+    }
+    agents_simulated.Increment();
+    requests_generated.Increment(trace.server_requests.size());
+    sessions_generated.Increment(trace.real_sessions.size());
     AgentRun run;
     run.agent_id = i;
     run.client_ip = AgentIp(i / options.agents_per_proxy);

@@ -10,6 +10,7 @@
 
 #include "wum/common/random.h"
 #include "wum/common/result.h"
+#include "wum/obs/metrics.h"
 #include "wum/simulator/agent_simulator.h"
 #include "wum/simulator/server_log_collector.h"
 #include "wum/topology/web_graph.h"
@@ -56,9 +57,15 @@ struct Workload {
 /// Simulates the whole population. Each agent consumes an independent
 /// child of `rng`, so results are reproducible and agent-order
 /// independent of evaluation order.
+///
+/// With a non-null `metrics` registry the driver reports generation
+/// throughput as it runs: the counters "simulator.agents_simulated",
+/// "simulator.requests_generated" and "simulator.sessions_generated",
+/// and the per-agent wall-time histogram "simulator.agent_latency_us".
 Result<Workload> SimulateWorkload(const WebGraph& graph,
                                   const AgentProfile& profile,
-                                  const WorkloadOptions& options, Rng* rng);
+                                  const WorkloadOptions& options, Rng* rng,
+                                  obs::MetricRegistry* metrics = nullptr);
 
 }  // namespace wum
 

@@ -4,7 +4,7 @@
 #include <string>
 #include <utility>
 
-#include "wum/stream/incremental_time_sessionizers.h"
+#include "wum/stream/heuristic_registry.h"
 #include "wum/stream/operators.h"
 #include "wum/stream/threaded_driver.h"
 #include "wum/topology/web_graph.h"
@@ -14,15 +14,18 @@ namespace wum {
 // linkage, can hold members of this type without -Wsubobject-linkage.
 namespace engine_internal {
 
-/// Pass-through stage bumping an atomic counter, so shard progress is
-/// observable from other threads while the worker runs.
+/// Pass-through stage bumping an atomic counter (and, when enabled, a
+/// registry counter mirroring it), so shard progress is observable from
+/// other threads while the worker runs.
 class CountingSink : public RecordSink {
  public:
-  CountingSink(std::atomic<std::uint64_t>* counter, RecordSink* next)
-      : counter_(counter), next_(next) {}
+  CountingSink(std::atomic<std::uint64_t>* counter, RecordSink* next,
+               obs::Counter mirror = {})
+      : counter_(counter), next_(next), mirror_(mirror) {}
 
   Status Accept(const LogRecord& record) override {
     counter_->fetch_add(1, std::memory_order_relaxed);
+    mirror_.Increment();
     return next_->Accept(record);
   }
 
@@ -31,6 +34,7 @@ class CountingSink : public RecordSink {
  private:
   std::atomic<std::uint64_t>* counter_;
   RecordSink* next_;
+  obs::Counter mirror_;
 };
 
 }  // namespace engine_internal
@@ -84,6 +88,8 @@ struct StreamEngine::Shard {
   std::atomic<std::uint64_t> processed{0};  // entered the operator chain
   std::atomic<std::uint64_t> delivered{0};  // reached the sessionizer
 
+  obs::Counter records_in;  // mirrors `offered` when metrics are enabled
+
   std::unique_ptr<SessionizeSink> sessionize;
   std::unique_ptr<engine_internal::CountingSink> tail;  // -> sessionize
   std::unique_ptr<Pipeline> pipeline;  // operators -> tail
@@ -102,25 +108,30 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
   if (options.queue_capacity_ == 0) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
   }
-  switch (options.heuristic_) {
-    case EngineOptions::Heuristic::kUnset:
+  // Resolve the heuristic up front (the constructor cannot fail). The
+  // factory is invoked concurrently from shard workers; the registry's
+  // factories only read the (const) graph and copied thresholds.
+  UserSessionizerFactory factory;
+  switch (options.selection_) {
+    case EngineOptions::Selection::kUnset:
       return Status::InvalidArgument(
-          "choose a heuristic: use_duration / use_page_stay / "
-          "use_navigation / use_smart_sra / use_custom");
-    case EngineOptions::Heuristic::kNavigation:
-    case EngineOptions::Heuristic::kSmartSra:
-      if (options.graph_ == nullptr) {
-        return Status::InvalidArgument(
-            "graph heuristics require a non-null WebGraph");
-      }
+          "choose a heuristic: use_heuristic(name) / use_duration / "
+          "use_page_stay / use_navigation / use_smart_sra / use_custom");
+    case EngineOptions::Selection::kNamed: {
+      HeuristicContext context;
+      context.graph = options.graph_;
+      context.thresholds = options.thresholds_;
+      WUM_ASSIGN_OR_RETURN(factory,
+                           HeuristicRegistry::Default().CreateIncremental(
+                               options.heuristic_name_, context));
       break;
-    case EngineOptions::Heuristic::kCustom:
+    }
+    case EngineOptions::Selection::kCustom:
       if (options.custom_factory_ == nullptr) {
         return Status::InvalidArgument(
             "use_custom requires a sessionizer factory");
       }
-      break;
-    default:
+      factory = options.custom_factory_;
       break;
   }
   if (options.num_pages_ == 0 && options.graph_ != nullptr) {
@@ -131,62 +142,54 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
         "set_num_pages is required (no graph to derive it from)");
   }
   return std::unique_ptr<StreamEngine>(
-      new StreamEngine(std::move(options), sink));
+      new StreamEngine(std::move(options), std::move(factory), sink));
 }
 
-StreamEngine::StreamEngine(EngineOptions options, SessionSink* sink)
+StreamEngine::StreamEngine(EngineOptions options,
+                           UserSessionizerFactory factory, SessionSink* sink)
     : identity_(options.identity_),
       emit_(std::make_unique<SerializedEmit>(sink)) {
-  // The factory is invoked concurrently from shard workers; the built-in
-  // factories only read the (const) graph and copied thresholds.
-  UserSessionizerFactory factory;
-  const TimeThresholds thresholds = options.thresholds_;
-  const WebGraph* graph = options.graph_;
-  switch (options.heuristic_) {
-    case EngineOptions::Heuristic::kDuration:
-      factory = [limit = thresholds.max_session_duration]() {
-        return std::make_unique<IncrementalDurationSessionizer>(limit);
-      };
-      break;
-    case EngineOptions::Heuristic::kPageStay:
-      factory = [limit = thresholds.max_page_stay]() {
-        return std::make_unique<IncrementalPageStaySessionizer>(limit);
-      };
-      break;
-    case EngineOptions::Heuristic::kNavigation:
-      factory = [graph]() {
-        return std::make_unique<IncrementalNavigationSessionizer>(graph);
-      };
-      break;
-    case EngineOptions::Heuristic::kSmartSra: {
-      SmartSra::Options sra;
-      sra.thresholds = thresholds;
-      factory = [graph, sra]() {
-        return std::make_unique<IncrementalSmartSra>(graph, sra);
-      };
-      break;
-    }
-    case EngineOptions::Heuristic::kCustom:
-    case EngineOptions::Heuristic::kUnset:
-      factory = options.custom_factory_;
-      break;
-  }
+  // With a null registry every handle below is disabled: updates are a
+  // predictable branch and the latency timers never read the clock, so
+  // an uninstrumented engine does the same atomic work as before the
+  // observability layer existed.
+  obs::MetricRegistry* registry = options.metrics_;
   shards_.reserve(options.num_shards_);
   for (std::size_t i = 0; i < options.num_shards_; ++i) {
+    const std::string prefix = "engine.shard" + std::to_string(i) + ".";
     auto shard = std::make_unique<Shard>();
+    shard->records_in = obs::CounterIn(registry, prefix + "records_in");
+    SessionizeMetrics sessionize_metrics;
+    sessionize_metrics.sessions_emitted =
+        obs::CounterIn(registry, prefix + "sessions_emitted");
+    sessionize_metrics.skipped_non_page_urls =
+        obs::CounterIn(registry, prefix + "skipped_non_page_urls");
+    sessionize_metrics.sessionize_latency_us =
+        obs::HistogramIn(registry, prefix + "sessionize_latency_us");
     shard->sessionize = std::make_unique<SessionizeSink>(
-        factory, emit_.get(), options.num_pages_, options.identity_);
+        factory, emit_.get(), options.num_pages_, options.identity_,
+        std::move(sessionize_metrics));
     shard->tail = std::make_unique<engine_internal::CountingSink>(
-        &shard->delivered, shard->sessionize.get());
+        &shard->delivered, shard->sessionize.get(),
+        obs::CounterIn(registry, prefix + "records_delivered"));
     shard->pipeline = std::make_unique<Pipeline>(shard->tail.get());
     for (const EngineOptions::OperatorFactory& make_operator :
          options.operator_factories_) {
       shard->pipeline->Append(make_operator());
     }
     shard->head = std::make_unique<engine_internal::CountingSink>(
-        &shard->processed, shard->pipeline.get());
+        &shard->processed, shard->pipeline.get(),
+        obs::CounterIn(registry, prefix + "records_processed"));
+    DriverMetrics driver_metrics;
+    driver_metrics.blocked_enqueues =
+        obs::CounterIn(registry, prefix + "blocked_enqueues");
+    driver_metrics.queue_high_watermark =
+        obs::GaugeIn(registry, prefix + "queue_high_watermark");
+    driver_metrics.drain_latency_us =
+        obs::HistogramIn(registry, prefix + "drain_latency_us");
     shard->driver = std::make_unique<ThreadedDriver>(
-        shard->head.get(), options.queue_capacity_);
+        shard->head.get(), options.queue_capacity_,
+        std::move(driver_metrics));
     shards_.push_back(std::move(shard));
   }
 }
@@ -211,6 +214,7 @@ Status StreamEngine::Offer(const LogRecord& record) {
   Shard& shard = *shards_[ShardIndexFor(record)];
   WUM_RETURN_NOT_OK(shard.driver->Offer(record));
   shard.offered.fetch_add(1, std::memory_order_relaxed);
+  shard.records_in.Increment();
   return Status::OK();
 }
 

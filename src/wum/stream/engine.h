@@ -25,12 +25,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "wum/clf/log_filter.h"
 #include "wum/clf/user_partitioner.h"
 #include "wum/common/result.h"
 #include "wum/common/time.h"
+#include "wum/obs/metrics.h"
 #include "wum/stream/incremental_sessionizer.h"
 #include "wum/stream/pipeline.h"
 
@@ -85,22 +87,45 @@ class EngineOptions {
   }
 
   /// Heuristic selection (exactly one; the factory runs once per user).
-  EngineOptions& use_duration() { return SetHeuristic(Heuristic::kDuration); }
-  EngineOptions& use_page_stay() { return SetHeuristic(Heuristic::kPageStay); }
+  /// Names resolve through HeuristicRegistry::Default() at Create time —
+  /// the same table the CLI tools use — so `name` accepts exactly the
+  /// strings the tools accept ("duration", "pagestay", "navigation",
+  /// "smart-sra"). Graph heuristics read the graph from use_graph.
+  EngineOptions& use_heuristic(std::string name) {
+    heuristic_name_ = std::move(name);
+    return SetSelection(Selection::kNamed);
+  }
+  /// `graph` must outlive the engine. Required by graph heuristics; also
+  /// the default source of the page-id bound (num_pages).
+  EngineOptions& use_graph(const WebGraph* graph) {
+    graph_ = graph;
+    return *this;
+  }
+  /// Name-based sugar, kept for call-site readability.
+  EngineOptions& use_duration() { return use_heuristic("duration"); }
+  EngineOptions& use_page_stay() { return use_heuristic("pagestay"); }
   /// `graph` must outlive the engine.
   EngineOptions& use_navigation(const WebGraph* graph) {
-    graph_ = graph;
-    return SetHeuristic(Heuristic::kNavigation);
+    return use_graph(graph).use_heuristic("navigation");
   }
   /// `graph` must outlive the engine.
   EngineOptions& use_smart_sra(const WebGraph* graph) {
-    graph_ = graph;
-    return SetHeuristic(Heuristic::kSmartSra);
+    return use_graph(graph).use_heuristic("smart-sra");
   }
   /// Escape hatch: caller-provided per-user sessionizer factory.
   EngineOptions& use_custom(UserSessionizerFactory factory) {
     custom_factory_ = std::move(factory);
-    return SetHeuristic(Heuristic::kCustom);
+    return SetSelection(Selection::kCustom);
+  }
+
+  /// Optional observability registry (see docs/observability.md). When
+  /// set, the engine registers per-shard counters, gauges and latency
+  /// histograms named "engine.shard<k>.*" and updates them as it runs;
+  /// `registry` must outlive the engine. When left null the handles stay
+  /// disabled and the timing paths never read the clock.
+  EngineOptions& set_metrics(obs::MetricRegistry* registry) {
+    metrics_ = registry;
+    return *this;
   }
 
   /// Appends a stage to every shard's operator chain (applied in call
@@ -116,17 +141,10 @@ class EngineOptions {
  private:
   friend class StreamEngine;
 
-  enum class Heuristic {
-    kUnset,
-    kDuration,
-    kPageStay,
-    kNavigation,
-    kSmartSra,
-    kCustom,
-  };
+  enum class Selection { kUnset, kNamed, kCustom };
 
-  EngineOptions& SetHeuristic(Heuristic heuristic) {
-    heuristic_ = heuristic;
+  EngineOptions& SetSelection(Selection selection) {
+    selection_ = selection;
     return *this;
   }
 
@@ -135,10 +153,12 @@ class EngineOptions {
   UserIdentity identity_ = UserIdentity::kClientIp;
   TimeThresholds thresholds_;
   std::size_t num_pages_ = 0;
-  Heuristic heuristic_ = Heuristic::kUnset;
+  Selection selection_ = Selection::kUnset;
+  std::string heuristic_name_;
   const WebGraph* graph_ = nullptr;
   UserSessionizerFactory custom_factory_;
   std::vector<OperatorFactory> operator_factories_;
+  obs::MetricRegistry* metrics_ = nullptr;
 };
 
 /// Throughput counters of one shard (or, aggregated, the whole engine).
@@ -214,7 +234,8 @@ class StreamEngine {
  private:
   struct Shard;
 
-  StreamEngine(EngineOptions options, SessionSink* sink);
+  StreamEngine(EngineOptions options, UserSessionizerFactory factory,
+               SessionSink* sink);
 
   std::size_t ShardIndexFor(const LogRecord& record) const;
   EngineStats SnapshotShard(const Shard& shard) const;

@@ -1,0 +1,154 @@
+#include "wum/stream/heuristic_registry.h"
+
+#include <utility>
+
+#include "wum/session/navigation_heuristic.h"
+#include "wum/session/smart_sra.h"
+#include "wum/session/time_heuristics.h"
+#include "wum/stream/incremental_time_sessionizers.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum {
+
+HeuristicRegistry::HeuristicRegistry(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {}
+
+const HeuristicRegistry& HeuristicRegistry::Default() {
+  static const HeuristicRegistry* const kRegistry =
+      new HeuristicRegistry(std::vector<Entry>{
+          Entry{
+              "duration",
+              "heur1: total session duration bounded by delta",
+              /*needs_graph=*/false,
+              [](const HeuristicContext& context)
+                  -> Result<std::unique_ptr<Sessionizer>> {
+                return std::unique_ptr<Sessionizer>(
+                    std::make_unique<SessionDurationSessionizer>(
+                        context.thresholds.max_session_duration));
+              },
+              [](const HeuristicContext& context)
+                  -> Result<UserSessionizerFactory> {
+                return UserSessionizerFactory(
+                    [limit = context.thresholds.max_session_duration]() {
+                      return std::make_unique<IncrementalDurationSessionizer>(
+                          limit);
+                    });
+              },
+          },
+          Entry{
+              "pagestay",
+              "heur2: consecutive-request gap bounded by rho",
+              /*needs_graph=*/false,
+              [](const HeuristicContext& context)
+                  -> Result<std::unique_ptr<Sessionizer>> {
+                return std::unique_ptr<Sessionizer>(
+                    std::make_unique<PageStaySessionizer>(
+                        context.thresholds.max_page_stay));
+              },
+              [](const HeuristicContext& context)
+                  -> Result<UserSessionizerFactory> {
+                return UserSessionizerFactory(
+                    [limit = context.thresholds.max_page_stay]() {
+                      return std::make_unique<IncrementalPageStaySessionizer>(
+                          limit);
+                    });
+              },
+          },
+          Entry{
+              "navigation",
+              "heur3: topology-linked navigation with path completion",
+              /*needs_graph=*/true,
+              [](const HeuristicContext& context)
+                  -> Result<std::unique_ptr<Sessionizer>> {
+                return std::unique_ptr<Sessionizer>(
+                    std::make_unique<NavigationSessionizer>(context.graph));
+              },
+              [](const HeuristicContext& context)
+                  -> Result<UserSessionizerFactory> {
+                return UserSessionizerFactory([graph = context.graph]() {
+                  return std::make_unique<IncrementalNavigationSessionizer>(
+                      graph);
+                });
+              },
+          },
+          Entry{
+              "smart-sra",
+              "heur4: Smart-SRA maximal topology+time consistent sessions",
+              /*needs_graph=*/true,
+              [](const HeuristicContext& context)
+                  -> Result<std::unique_ptr<Sessionizer>> {
+                SmartSra::Options options;
+                options.thresholds = context.thresholds;
+                return std::unique_ptr<Sessionizer>(
+                    std::make_unique<SmartSra>(context.graph, options));
+              },
+              [](const HeuristicContext& context)
+                  -> Result<UserSessionizerFactory> {
+                SmartSra::Options options;
+                options.thresholds = context.thresholds;
+                return UserSessionizerFactory(
+                    [graph = context.graph, options]() {
+                      return std::make_unique<IncrementalSmartSra>(graph,
+                                                                   options);
+                    });
+              },
+          },
+      });
+  return *kRegistry;
+}
+
+std::vector<std::string> HeuristicRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+std::string HeuristicRegistry::NamesForUsage() const {
+  std::string usage;
+  for (const Entry& entry : entries_) {
+    if (!usage.empty()) usage += '|';
+    usage += entry.name;
+  }
+  return usage;
+}
+
+const HeuristicRegistry::Entry* HeuristicRegistry::Find(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+bool HeuristicRegistry::Contains(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+Result<const HeuristicRegistry::Entry*> HeuristicRegistry::FindChecked(
+    const std::string& name, const HeuristicContext& context) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown heuristic '" + name + "' (expected " +
+                            NamesForUsage() + ")");
+  }
+  if (entry->needs_graph && context.graph == nullptr) {
+    return Status::InvalidArgument("heuristic '" + name +
+                                   "' requires a non-null WebGraph");
+  }
+  return entry;
+}
+
+Result<std::unique_ptr<Sessionizer>> HeuristicRegistry::CreateBatch(
+    const std::string& name, const HeuristicContext& context) const {
+  WUM_ASSIGN_OR_RETURN(const Entry* entry, FindChecked(name, context));
+  return entry->make_batch(context);
+}
+
+Result<UserSessionizerFactory> HeuristicRegistry::CreateIncremental(
+    const std::string& name, const HeuristicContext& context) const {
+  WUM_ASSIGN_OR_RETURN(const Entry* entry, FindChecked(name, context));
+  return entry->make_incremental(context);
+}
+
+}  // namespace wum

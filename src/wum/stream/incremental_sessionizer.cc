@@ -41,16 +41,19 @@ Status IncrementalSmartSra::Flush(const EmitFn& emit) {
 
 SessionizeSink::SessionizeSink(UserSessionizerFactory factory,
                                SessionSink* session_sink,
-                               std::size_t num_pages, UserIdentity identity)
+                               std::size_t num_pages, UserIdentity identity,
+                               SessionizeMetrics metrics)
     : factory_(std::move(factory)),
       session_sink_(session_sink),
       num_pages_(num_pages),
-      identity_(identity) {}
+      identity_(identity),
+      metrics_(std::move(metrics)) {}
 
 IncrementalUserSessionizer::EmitFn SessionizeSink::MakeEmit(
     const std::string& user_key) {
   return [this, user_key](Session session) {
     sessions_emitted_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sessions_emitted.Increment();
     return session_sink_->Accept(user_key, std::move(session));
   };
 }
@@ -59,6 +62,7 @@ Status SessionizeSink::Accept(const LogRecord& record) {
   Result<std::uint32_t> page = PageFromUrl(record.url);
   if (!page.ok()) {
     skipped_non_page_urls_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.skipped_non_page_urls.Increment();
     return Status::OK();
   }
   if (*page >= num_pages_) {
@@ -77,6 +81,7 @@ Status SessionizeSink::Accept(const LogRecord& record) {
   }
   user.last_timestamp = record.timestamp;
   user.has_seen_request = true;
+  obs::ScopedTimer timer(metrics_.sessionize_latency_us);
   return user.sessionizer->OnRequest(
       PageRequest{static_cast<PageId>(*page), record.timestamp},
       MakeEmit(key));

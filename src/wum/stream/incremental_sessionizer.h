@@ -13,10 +13,23 @@
 #include <string>
 
 #include "wum/clf/user_partitioner.h"
+#include "wum/obs/metrics.h"
 #include "wum/session/smart_sra.h"
 #include "wum/stream/pipeline.h"
 
 namespace wum {
+
+/// Optional observability handles for one SessionizeSink (one engine
+/// shard). Default-constructed handles are disabled no-ops.
+struct SessionizeMetrics {
+  /// Mirrors sessions_emitted() into a registry counter.
+  obs::Counter sessions_emitted;
+  /// Mirrors skipped_non_page_urls() into a registry counter.
+  obs::Counter skipped_non_page_urls;
+  /// Wall time one record spends inside the per-user incremental
+  /// sessionizer (OnRequest plus any emissions), in microseconds.
+  obs::Histogram sessionize_latency_us;
+};
 
 /// Per-user streaming sessionizer state machine. Implementations receive
 /// one user's requests in timestamp order and emit sessions through the
@@ -65,10 +78,12 @@ class IncrementalSmartSra : public IncrementalUserSessionizer {
 /// attributed to their user key — to a SessionSink.
 class SessionizeSink : public RecordSink {
  public:
-  /// `session_sink` must outlive this object.
+  /// `session_sink` must outlive this object. `metrics` handles are
+  /// copied; their registry must outlive this sink.
   SessionizeSink(UserSessionizerFactory factory, SessionSink* session_sink,
                  std::size_t num_pages,
-                 UserIdentity identity = UserIdentity::kClientIp);
+                 UserIdentity identity = UserIdentity::kClientIp,
+                 SessionizeMetrics metrics = {});
 
   Status Accept(const LogRecord& record) override;
   Status Finish() override;
@@ -97,6 +112,7 @@ class SessionizeSink : public RecordSink {
   SessionSink* session_sink_;
   std::size_t num_pages_;
   UserIdentity identity_;
+  SessionizeMetrics metrics_;
   std::map<std::string, UserState> users_;
   std::atomic<std::uint64_t> sessions_emitted_{0};
   std::atomic<std::uint64_t> skipped_non_page_urls_{0};

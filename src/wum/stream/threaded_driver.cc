@@ -2,8 +2,12 @@
 
 namespace wum {
 
-ThreadedDriver::ThreadedDriver(RecordSink* sink, std::size_t queue_capacity)
-    : queue_(queue_capacity), sink_(sink), worker_([this] { Run(); }) {}
+ThreadedDriver::ThreadedDriver(RecordSink* sink, std::size_t queue_capacity,
+                               DriverMetrics metrics)
+    : queue_(queue_capacity),
+      sink_(sink),
+      metrics_(std::move(metrics)),
+      worker_([this] { Run(); }) {}
 
 ThreadedDriver::~ThreadedDriver() {
   if (!finished_) (void)Finish();
@@ -17,7 +21,11 @@ void ThreadedDriver::Run() {
       std::lock_guard<std::mutex> lock(status_mutex_);
       if (!first_error_.ok()) continue;  // drain after failure
     }
-    Status status = sink_->Accept(*record);
+    Status status;
+    {
+      obs::ScopedTimer timer(metrics_.drain_latency_us);
+      status = sink_->Accept(*record);
+    }
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(status_mutex_);
       if (first_error_.ok()) first_error_ = std::move(status);
@@ -37,6 +45,7 @@ void ThreadedDriver::NoteDepth(std::size_t depth) {
   // Single producer: a racy read-modify-write max is exact here.
   if (depth > queue_high_watermark_.load(std::memory_order_relaxed)) {
     queue_high_watermark_.store(depth, std::memory_order_relaxed);
+    metrics_.queue_high_watermark.MaxOf(depth);
   }
 }
 
@@ -50,6 +59,7 @@ Status ThreadedDriver::Offer(const LogRecord& record) {
       return Status::FailedPrecondition("queue closed");
     case SpscQueue<LogRecord>::PushOutcome::kFull:
       blocked_enqueues_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.blocked_enqueues.Increment();
       if (!queue_.Push(record, &depth)) {
         return Status::FailedPrecondition("queue closed");
       }

@@ -10,17 +10,34 @@
 #include <atomic>
 #include <thread>
 
+#include "wum/obs/metrics.h"
 #include "wum/stream/pipeline.h"
 #include "wum/stream/spsc_queue.h"
 
 namespace wum {
 
+/// Optional observability handles for one driver (see wum/obs/metrics.h).
+/// Default-constructed (disabled) handles make every update a no-op and
+/// keep the clock untouched, so an uninstrumented driver pays only a
+/// couple of predictable branches per record.
+struct DriverMetrics {
+  /// Mirrors blocked_enqueues() into a registry counter.
+  obs::Counter blocked_enqueues;
+  /// Mirrors queue_high_watermark() into a registry gauge.
+  obs::Gauge queue_high_watermark;
+  /// Wall time the worker spends draining one record through the sink
+  /// (operators + sessionizer + emission), in microseconds.
+  obs::Histogram drain_latency_us;
+};
+
 /// Owns the worker thread and the queue feeding a RecordSink.
 class ThreadedDriver {
  public:
   /// `sink` must outlive the driver. `queue_capacity` bounds the number
-  /// of in-flight records.
-  explicit ThreadedDriver(RecordSink* sink, std::size_t queue_capacity = 1024);
+  /// of in-flight records. `metrics` handles are copied before the
+  /// worker starts; their registry must outlive the driver.
+  explicit ThreadedDriver(RecordSink* sink, std::size_t queue_capacity = 1024,
+                          DriverMetrics metrics = {});
 
   /// Joins the worker (calling Finish first if the caller forgot).
   ~ThreadedDriver();
@@ -60,6 +77,7 @@ class ThreadedDriver {
 
   SpscQueue<LogRecord> queue_;
   RecordSink* sink_;
+  DriverMetrics metrics_;
   std::thread worker_;
   std::mutex status_mutex_;
   Status first_error_;   // sticky first failure from the worker

@@ -5,6 +5,7 @@
 #include "wum/clf/clf_parser.h"
 #include "wum/clf/clf_writer.h"
 #include "wum/common/random.h"
+#include "wum/obs/metrics.h"
 
 namespace wum {
 namespace {
@@ -123,6 +124,67 @@ TEST(ClfParserTest, RejectsMalformedLines) {
                            "HTTP/1.1\" 200 1 extra")
                   .status()
                   .IsParseError());
+}
+
+TEST(ClfParserTest, ErrorsNameTheOffendingField) {
+  // Each malformed line must blame the specific CLF field, not just say
+  // "parse error" — operators triage bad logs from these messages.
+  const struct {
+    const char* line;
+    const char* field;
+  } kCases[] = {
+      {"onlyhost", "host"},
+      {"h - - no-brackets \"GET /x HTTP/1.1\" 200 1", "timestamp"},
+      {"h - - [02/Jan/2006:15:04:05 +0000] GET-no-quotes 200 1", "request"},
+      {"h - - [02/Jan/2006:15:04:05 +0000] \"FROB /x HTTP/1.1\" 200 1",
+       "request"},
+      {"h - - [02/Jan/2006:15:04:05 +0000] \"GET /x HTTP/1.1\" abc 1",
+       "status"},
+      {"h - - [02/Jan/2006:15:04:05 +0000] \"GET /x HTTP/1.1\" 200 oops",
+       "bytes"},
+  };
+  for (const auto& test_case : kCases) {
+    const Status status = ParseClfLine(test_case.line).status();
+    ASSERT_TRUE(status.IsParseError()) << test_case.line;
+    EXPECT_NE(status.message().find(std::string("field '") + test_case.field +
+                                    "'"),
+              std::string::npos)
+        << test_case.line << " -> " << status.ToString();
+  }
+}
+
+TEST(ClfStreamParserTest, SampleErrorsCarryLineNumberAndField) {
+  std::stringstream stream;
+  stream << FormatClfLine(SampleRecord()) << '\n'
+         << "h - - [02/Jan/2006:15:04:05 +0000] \"GET /x HTTP/1.1\" abc 1\n";
+  ClfParser parser;
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(parser.ParseStream(&stream, &records).ok());
+  ASSERT_EQ(parser.stats().sample_errors.size(), 1u);
+  EXPECT_NE(parser.stats().sample_errors[0].find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parser.stats().sample_errors[0].find("field 'status'"),
+            std::string::npos);
+}
+
+TEST(ClfStreamParserTest, MetricsMirrorStats) {
+  std::stringstream stream;
+  stream << FormatClfLine(SampleRecord()) << '\n'
+         << "garbage line\n"
+         << FormatClfLine(SampleRecord()) << '\n';
+  obs::MetricRegistry registry;
+  ClfParser parser(&registry);
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(parser.ParseStream(&stream, &records).ok());
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOrZero("clf.lines_seen"),
+            parser.stats().lines_seen);
+  EXPECT_EQ(snapshot.CounterOrZero("clf.records_parsed"),
+            parser.stats().records_parsed);
+  EXPECT_EQ(snapshot.CounterOrZero("clf.lines_rejected"),
+            parser.stats().lines_rejected);
+  EXPECT_EQ(snapshot.CounterOrZero("clf.records_parsed"), 2u);
+  EXPECT_EQ(snapshot.CounterOrZero("clf.lines_rejected"), 1u);
 }
 
 TEST(ClfParserTest, WhitespaceTolerated) {

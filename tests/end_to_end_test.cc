@@ -7,14 +7,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 
+#include "wum/clf/clf_parser.h"
+#include "wum/clf/clf_writer.h"
 #include "wum/clf/log_filter.h"
 #include "wum/clf/user_partitioner.h"
 #include "wum/eval/accuracy.h"
 #include "wum/eval/experiment.h"
+#include "wum/obs/metrics.h"
 #include "wum/session/smart_sra.h"
 #include "wum/simulator/workload.h"
+#include "wum/stream/engine.h"
 #include "wum/stream/incremental_sessionizer.h"
 #include "wum/stream/operators.h"
 #include "wum/stream/threaded_driver.h"
@@ -99,6 +106,66 @@ TEST(EndToEndTest, ThreadedStreamingEqualsBatchReconstruction) {
 
   EXPECT_EQ(SortSessions(std::move(batch_sessions)),
             SortSessions(std::move(streamed_sessions)));
+}
+
+// The --metrics-out deployment loop at the library level: CLF text ->
+// instrumented parser -> sharded engine with a registry -> snapshot file.
+// The written JSON must carry the parser and per-shard engine series, and
+// the engine series must agree with the legacy EngineStats totals.
+TEST(EndToEndTest, MetricsSnapshotRoundTripsThroughFile) {
+  WorldState world = MakeWorld(96024, 80);
+  std::stringstream clf_text;
+  for (const LogRecord& record : world.log) {
+    clf_text << FormatClfLine(record) << '\n';
+  }
+
+  obs::MetricRegistry registry;
+  ClfParser parser(&registry);
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(parser.ParseStream(&clf_text, &records).ok());
+
+  std::size_t sessions_seen = 0;
+  CallbackSessionSink sink(
+      [&sessions_seen](const std::string&, Session) {
+        ++sessions_seen;
+        return Status::OK();
+      });
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions()
+          .set_num_shards(4)
+          .set_metrics(&registry)
+          .use_smart_sra(&world.graph),
+      &sink);
+  ASSERT_TRUE(engine.ok());
+  for (const LogRecord& record : records) {
+    ASSERT_TRUE((*engine)->Offer(record).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const EngineStats total = (*engine)->TotalStats();
+  EXPECT_EQ(snapshot.CounterOrZero("clf.records_parsed"), records.size());
+  std::uint64_t records_in = 0;
+  std::uint64_t sessions_emitted = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string prefix = "engine.shard" + std::to_string(i) + ".";
+    records_in += snapshot.CounterOrZero(prefix + "records_in");
+    sessions_emitted += snapshot.CounterOrZero(prefix + "sessions_emitted");
+  }
+  EXPECT_EQ(records_in, total.records_in);
+  EXPECT_EQ(sessions_emitted, total.sessions_emitted);
+  EXPECT_EQ(sessions_emitted, sessions_seen);
+
+  const std::string path = testing::TempDir() + "end_to_end_metrics.json";
+  ASSERT_TRUE(obs::WriteMetricsFile(snapshot, path).ok());
+  std::stringstream written;
+  written << std::ifstream(path).rdbuf();
+  EXPECT_EQ(written.str(), snapshot.ToJson());
+  EXPECT_NE(written.str().find("engine.shard0.records_in"),
+            std::string::npos);
+  EXPECT_NE(written.str().find("clf.lines_seen"), std::string::npos);
+  EXPECT_NE(written.str().find("drain_latency_us"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(EndToEndTest, EvaluationIsBitReproducible) {

@@ -1,0 +1,213 @@
+// wum::obs metrics: registry semantics, concurrent counting, snapshot
+// determinism and the JSON/CSV export formats.
+
+#include "wum/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace wum {
+namespace obs {
+namespace {
+
+TEST(ObsHandlesTest, DefaultConstructedHandlesAreDisabledNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  EXPECT_FALSE(counter.enabled());
+  EXPECT_FALSE(gauge.enabled());
+  EXPECT_FALSE(histogram.enabled());
+  // None of these may crash or record anything.
+  counter.Increment();
+  counter.Increment(42);
+  gauge.Set(7);
+  gauge.MaxOf(9);
+  histogram.Observe(1.5);
+  { ScopedTimer timer(histogram); }
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0u);
+}
+
+TEST(ObsHandlesTest, NullRegistryHelpersReturnDisabledHandles) {
+  EXPECT_FALSE(CounterIn(nullptr, "a").enabled());
+  EXPECT_FALSE(GaugeIn(nullptr, "b").enabled());
+  EXPECT_FALSE(HistogramIn(nullptr, "c").enabled());
+}
+
+TEST(MetricRegistryTest, CounterBasics) {
+  MetricRegistry registry;
+  Counter counter = registry.GetCounter("x");
+  EXPECT_TRUE(counter.enabled());
+  counter.Increment();
+  counter.Increment(9);
+  EXPECT_EQ(counter.value(), 10u);
+  // Same name -> same cell.
+  Counter again = registry.GetCounter("x");
+  again.Increment();
+  EXPECT_EQ(counter.value(), 11u);
+}
+
+TEST(MetricRegistryTest, GaugeSetAndMaxOf) {
+  MetricRegistry registry;
+  Gauge gauge = registry.GetGauge("depth");
+  gauge.Set(5);
+  EXPECT_EQ(gauge.value(), 5u);
+  gauge.MaxOf(3);  // smaller: no change
+  EXPECT_EQ(gauge.value(), 5u);
+  gauge.MaxOf(8);
+  EXPECT_EQ(gauge.value(), 8u);
+}
+
+TEST(MetricRegistryTest, HistogramBucketsAndStats) {
+  MetricRegistry registry;
+  Histogram histogram = registry.GetHistogram("lat", {1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (<= 1)
+  histogram.Observe(5.0);    // bucket 1 (<= 10)
+  histogram.Observe(50.0);   // bucket 2 (<= 100)
+  histogram.Observe(500.0);  // overflow bucket
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricsSnapshot::HistogramValue* value =
+      snapshot.FindHistogram("lat");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->count, 4u);
+  ASSERT_EQ(value->counts.size(), 4u);
+  EXPECT_EQ(value->counts[0], 1u);
+  EXPECT_EQ(value->counts[1], 1u);
+  EXPECT_EQ(value->counts[2], 1u);
+  EXPECT_EQ(value->counts[3], 1u);
+  EXPECT_DOUBLE_EQ(value->sum, 555.5);
+  EXPECT_DOUBLE_EQ(value->min, 0.5);
+  EXPECT_DOUBLE_EQ(value->max, 500.0);
+  EXPECT_DOUBLE_EQ(value->mean(), 555.5 / 4.0);
+}
+
+TEST(MetricRegistryTest, EmptyHistogramNormalizesMinMaxToZero) {
+  MetricRegistry registry;
+  (void)registry.GetHistogram("empty");
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricsSnapshot::HistogramValue* value =
+      snapshot.FindHistogram("empty");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->count, 0u);
+  EXPECT_DOUBLE_EQ(value->min, 0.0);
+  EXPECT_DOUBLE_EQ(value->max, 0.0);
+  EXPECT_DOUBLE_EQ(value->mean(), 0.0);
+}
+
+// N threads hammering one shared counter must lose no increment — the
+// lock-free hot path is the whole point of the registry design.
+TEST(MetricRegistryTest, ConcurrentCountingIsExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  MetricRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Each thread registers by name: same cell, no coordination.
+      Counter counter = registry.GetCounter("shared");
+      Histogram histogram = registry.GetHistogram("shared_lat");
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter.Increment();
+        histogram.Observe(static_cast<double>(i % 7));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOrZero("shared"),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+  const MetricsSnapshot::HistogramValue* lat =
+      snapshot.FindHistogram("shared_lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count,
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(MetricsSnapshotTest, DeterministicOrderAndRendering) {
+  MetricRegistry registry;
+  registry.GetCounter("zeta").Increment(3);
+  registry.GetCounter("alpha").Increment(1);
+  registry.GetGauge("mid").Set(2);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");  // sorted by name
+  EXPECT_EQ(snapshot.counters[1].name, "zeta");
+  // Same registry state -> byte-identical renderings.
+  EXPECT_EQ(snapshot.ToJson(), registry.Snapshot().ToJson());
+  EXPECT_EQ(snapshot.ToCsv(), registry.Snapshot().ToCsv());
+}
+
+TEST(MetricsSnapshotTest, CounterSumByPrefix) {
+  MetricRegistry registry;
+  registry.GetCounter("engine.shard0.records_in").Increment(10);
+  registry.GetCounter("engine.shard1.records_in").Increment(20);
+  registry.GetCounter("clf.lines_seen").Increment(99);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterSumByPrefix("engine.shard"), 30u);
+  EXPECT_EQ(snapshot.CounterSumByPrefix("clf."), 99u);
+  EXPECT_EQ(snapshot.CounterSumByPrefix("nope"), 0u);
+}
+
+TEST(MetricsSnapshotTest, JsonContainsAllKinds) {
+  MetricRegistry registry;
+  registry.GetCounter("c").Increment(1);
+  registry.GetGauge("g").Set(2);
+  registry.GetHistogram("h", {1.0}).Observe(0.5);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"g\": 2"), std::string::npos);
+  EXPECT_NE(json.find("+Inf"), std::string::npos);  // overflow bucket
+}
+
+TEST(MetricsSnapshotTest, CsvHasKindNameFieldValueRows) {
+  MetricRegistry registry;
+  registry.GetCounter("c").Increment(7);
+  const std::string csv = registry.Snapshot().ToCsv();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c,value,7"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, WriteMetricsFilePicksFormatByExtension) {
+  MetricRegistry registry;
+  registry.GetCounter("c").Increment(5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string json_path = testing::TempDir() + "obs_metrics_test.json";
+  const std::string csv_path = testing::TempDir() + "obs_metrics_test.csv";
+  ASSERT_TRUE(WriteMetricsFile(snapshot, json_path).ok());
+  ASSERT_TRUE(WriteMetricsFile(snapshot, csv_path).ok());
+
+  std::stringstream json_content, csv_content;
+  json_content << std::ifstream(json_path).rdbuf();
+  csv_content << std::ifstream(csv_path).rdbuf();
+  EXPECT_EQ(json_content.str(), snapshot.ToJson());
+  EXPECT_EQ(csv_content.str(), snapshot.ToCsv());
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(ScopedTimerTest, RecordsElapsedMicroseconds) {
+  MetricRegistry registry;
+  Histogram histogram = registry.GetHistogram("t");
+  {
+    ScopedTimer timer(histogram);
+  }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricsSnapshot::HistogramValue* value = snapshot.FindHistogram("t");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->count, 1u);
+  EXPECT_GE(value->sum, 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wum

@@ -11,6 +11,7 @@
 #include <set>
 
 #include "wum/clf/log_filter.h"
+#include "wum/obs/metrics.h"
 #include "wum/topology/site_generator.h"
 
 namespace wum {
@@ -229,6 +230,106 @@ TEST(StreamEngineTest, FinishGuards) {
   ASSERT_TRUE((*engine)->Finish().ok());
   EXPECT_TRUE((*engine)->Finish().IsFailedPrecondition());
   EXPECT_TRUE((*engine)->Offer(PageRecord("u", 1, 60)).IsFailedPrecondition());
+}
+
+TEST(StreamEngineCreateTest, UseHeuristicResolvesThroughRegistry) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sink;
+  // Every registry name works through the generic setter.
+  for (const std::string name :
+       {"duration", "pagestay", "navigation", "smart-sra"}) {
+    EXPECT_TRUE(StreamEngine::Create(
+                    EngineOptions().use_graph(&graph).use_heuristic(name),
+                    &sink)
+                    .ok())
+        << name;
+  }
+  // Unknown names surface the registry's NotFound (listing valid names).
+  Status unknown = StreamEngine::Create(
+                       EngineOptions().use_graph(&graph).use_heuristic("h9"),
+                       &sink)
+                       .status();
+  EXPECT_TRUE(unknown.IsNotFound());
+  EXPECT_NE(unknown.message().find("smart-sra"), std::string::npos);
+}
+
+// With a registry attached, the per-shard obs metrics must agree exactly
+// with the legacy EngineStats snapshots — they count the same events.
+TEST(StreamEngineTest, MetricsMatchEngineStats) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  obs::MetricRegistry registry;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions()
+          .set_num_shards(4)
+          .set_metrics(&registry)
+          .use_smart_sra(&graph)
+          .add_filter([] { return std::make_unique<MethodFilter>(); }),
+      &sessions);
+  ASSERT_TRUE(engine.ok());
+  for (int u = 0; u < 17; ++u) {
+    const std::string ip = "10.0.0." + std::to_string(u);
+    for (int r = 0; r < 5; ++r) {
+      ASSERT_TRUE((*engine)->Offer(PageRecord(ip, 0, r * 30)).ok());
+    }
+    LogRecord post = PageRecord(ip, 0, 300);
+    post.method = HttpMethod::kPost;  // dropped by the filter
+    ASSERT_TRUE((*engine)->Offer(post).ok());
+    LogRecord non_page = PageRecord(ip, 0, 310);
+    non_page.url = "/favicon.ico";  // skipped by the sessionize stage
+    ASSERT_TRUE((*engine)->Offer(non_page).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const std::vector<EngineStats> shards = (*engine)->ShardStats();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::string prefix = "engine.shard" + std::to_string(i) + ".";
+    EXPECT_EQ(snapshot.CounterOrZero(prefix + "records_in"),
+              shards[i].records_in);
+    EXPECT_EQ(snapshot.CounterOrZero(prefix + "sessions_emitted"),
+              shards[i].sessions_emitted);
+    EXPECT_EQ(snapshot.CounterOrZero(prefix + "blocked_enqueues"),
+              shards[i].blocked_enqueues);
+    const obs::MetricsSnapshot::GaugeValue* watermark =
+        snapshot.FindGauge(prefix + "queue_high_watermark");
+    ASSERT_NE(watermark, nullptr);
+    EXPECT_EQ(watermark->value, shards[i].queue_high_watermark);
+    // records_dropped is derived the same way EngineStats derives it.
+    EXPECT_EQ(snapshot.CounterOrZero(prefix + "records_processed") -
+                  snapshot.CounterOrZero(prefix + "records_delivered") +
+                  snapshot.CounterOrZero(prefix + "skipped_non_page_urls"),
+              shards[i].records_dropped);
+    // The drain timer saw every processed record; the sessionize timer
+    // every record that reached the sessionizer as a page request.
+    const obs::MetricsSnapshot::HistogramValue* drain =
+        snapshot.FindHistogram(prefix + "drain_latency_us");
+    ASSERT_NE(drain, nullptr);
+    EXPECT_EQ(drain->count,
+              snapshot.CounterOrZero(prefix + "records_processed"));
+  }
+  const EngineStats total = (*engine)->TotalStats();
+  std::uint64_t records_in_total = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    records_in_total += snapshot.CounterOrZero(
+        "engine.shard" + std::to_string(i) + ".records_in");
+  }
+  EXPECT_EQ(records_in_total, total.records_in);
+  EXPECT_EQ(total.records_in, 17u * 7u);
+  EXPECT_EQ(total.records_dropped, 17u * 2u);
+}
+
+// Without set_metrics the engine registers nothing anywhere and the
+// legacy stats still work — the disabled mode of the tentpole.
+TEST(StreamEngineTest, NoRegistryMeansNoMetricsButStatsStillWork) {
+  WebGraph graph = MakeFigure1Topology();
+  CollectingSessionSink sessions;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions().set_num_shards(2).use_smart_sra(&graph), &sessions);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Offer(PageRecord("u", 0, 0)).ok());
+  ASSERT_TRUE((*engine)->Finish().ok());
+  EXPECT_EQ((*engine)->TotalStats().records_in, 1u);
 }
 
 TEST(StreamEngineTest, DestructorFinishesWithoutExplicitFinish) {

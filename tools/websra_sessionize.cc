@@ -11,33 +11,65 @@
 #include "wum/clf/clf_parser.h"
 #include "wum/clf/log_filter.h"
 #include "wum/clf/user_partitioner.h"
-#include "wum/session/navigation_heuristic.h"
+#include "wum/common/table.h"
+#include "wum/obs/metrics.h"
+#include "wum/session/instrumented_sessionizer.h"
 #include "wum/session/referrer_heuristic.h"
 #include "wum/session/session_io.h"
-#include "wum/session/smart_sra.h"
-#include "wum/session/time_heuristics.h"
 #include "wum/stream/engine.h"
+#include "wum/stream/heuristic_registry.h"
 #include "wum/topology/graph_io.h"
 
 namespace {
 
-constexpr char kUsage[] =
-    "usage: websra_sessionize --graph FILE --log FILE --out FILE\n"
-    "  [--heuristic duration|pagestay|navigation|smart-sra|referrer]\n"
-    "  [--identity ip|ip-ua] [--delta MINUTES=30] [--rho MINUTES=10]\n"
-    "  [--keep-robots] [--streaming] [--threads N=4]\n"
-    "\n"
-    "Reads an access log, applies the standard cleaning chain (GET only,\n"
-    "successful status, no embedded resources, no crawlers unless\n"
-    "--keep-robots), groups requests per user, reconstructs sessions and\n"
-    "writes them as a websra session file. The referrer heuristic needs\n"
-    "a Combined-format log.\n"
-    "\n"
-    "--streaming replays the cleaned log through the sharded StreamEngine\n"
-    "(--threads worker shards, hash-partitioned by user identity) instead\n"
-    "of the batch reconstruction path, and prints the engine's throughput\n"
-    "stats to stderr. Output sessions are identical up to per-user\n"
-    "emission order; the referrer heuristic is batch-only.\n";
+/// Heuristic names come from the registry, so the usage string cannot
+/// drift from what actually dispatches ("referrer" is the documented
+/// batch-only special case outside the registry).
+std::string Usage() {
+  return "usage: websra_sessionize --graph FILE --log FILE --out FILE\n"
+         "  [--heuristic " +
+         wum::HeuristicRegistry::Default().NamesForUsage() +
+         "|referrer]\n"
+         "  [--identity ip|ip-ua] [--delta MINUTES=30] [--rho MINUTES=10]\n"
+         "  [--keep-robots] [--streaming] [--threads N=4]\n"
+         "  [--metrics-out FILE]\n"
+         "\n"
+         "Reads an access log, applies the standard cleaning chain (GET\n"
+         "only, successful status, no embedded resources, no crawlers\n"
+         "unless --keep-robots), groups requests per user, reconstructs\n"
+         "sessions and writes them as a websra session file. The referrer\n"
+         "heuristic needs a Combined-format log.\n"
+         "\n"
+         "--streaming replays the cleaned log through the sharded\n"
+         "StreamEngine (--threads worker shards, hash-partitioned by user\n"
+         "identity) instead of the batch reconstruction path, and prints\n"
+         "the engine's throughput stats to stderr. Output sessions are\n"
+         "identical up to per-user emission order; the referrer heuristic\n"
+         "is batch-only.\n"
+         "\n"
+         "--metrics-out enables the wum::obs observability layer: parser,\n"
+         "engine and sessionizer metrics are written to FILE (CSV when it\n"
+         "ends in .csv, JSON otherwise) and summarized on stdout.\n";
+}
+
+/// Human-readable rollup of a metrics snapshot, rendered with wum::Table.
+void PrintMetricsSummary(const wum::obs::MetricsSnapshot& snapshot) {
+  wum::Table table({"metric", "kind", "value"});
+  for (const auto& counter : snapshot.counters) {
+    table.AddRow({counter.name, "counter", std::to_string(counter.value)});
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    table.AddRow({gauge.name, "gauge", std::to_string(gauge.value)});
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    table.AddRow({histogram.name, "histogram",
+                  "count=" + std::to_string(histogram.count) +
+                      " mean=" + wum::FormatDouble(histogram.mean(), 1) +
+                      "us max=" + wum::FormatDouble(histogram.max, 1) +
+                      "us"});
+  }
+  table.Render(&std::cout);
+}
 
 /// Streaming path: the cleaned records flow through the sharded engine;
 /// sessions are collected (serialized by the engine) and sorted by user
@@ -47,28 +79,21 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
                          const std::string& heuristic_name,
                          wum::UserIdentity identity,
                          wum::TimeThresholds thresholds, std::size_t threads,
+                         wum::obs::MetricRegistry* metrics,
                          std::vector<wum::UserSession>* output) {
+  if (heuristic_name == "referrer") {
+    return wum::Status::InvalidArgument(
+        "--streaming does not support the referrer heuristic; use the "
+        "batch path");
+  }
   wum::EngineOptions options;
   options.set_num_shards(threads)
       .set_identity(identity)
       .set_thresholds(thresholds)
-      .set_num_pages(graph.num_pages());
-  if (heuristic_name == "duration") {
-    options.use_duration();
-  } else if (heuristic_name == "pagestay") {
-    options.use_page_stay();
-  } else if (heuristic_name == "navigation") {
-    options.use_navigation(&graph);
-  } else if (heuristic_name == "smart-sra") {
-    options.use_smart_sra(&graph);
-  } else if (heuristic_name == "referrer") {
-    return wum::Status::InvalidArgument(
-        "--streaming does not support the referrer heuristic; use the "
-        "batch path");
-  } else {
-    return wum::Status::InvalidArgument("unknown heuristic '" +
-                                        heuristic_name + "'");
-  }
+      .set_num_pages(graph.num_pages())
+      .set_metrics(metrics)
+      .use_graph(&graph)
+      .use_heuristic(heuristic_name);
   wum::CallbackSessionSink sink(
       [output](const std::string& user_key, wum::Session session) {
         output->push_back(wum::UserSession{user_key, std::move(session)});
@@ -95,11 +120,24 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
   return wum::Status::OK();
 }
 
+/// Writes the snapshot to --metrics-out and prints the summary table.
+/// No-op when metrics are disabled.
+wum::Status DumpMetrics(const wum_tools::Flags& flags,
+                        wum::obs::MetricRegistry* metrics) {
+  if (metrics == nullptr) return wum::Status::OK();
+  WUM_ASSIGN_OR_RETURN(std::string path, flags.GetRequired("metrics-out"));
+  const wum::obs::MetricsSnapshot snapshot = metrics->Snapshot();
+  WUM_RETURN_NOT_OK(wum::obs::WriteMetricsFile(snapshot, path));
+  PrintMetricsSummary(snapshot);
+  std::cout << "wrote metrics to " << path << "\n";
+  return wum::Status::OK();
+}
+
 wum::Status Run(const wum_tools::Flags& flags) {
   WUM_RETURN_NOT_OK(flags.CheckKnown({"graph", "log", "out", "heuristic",
                                       "identity", "delta", "rho",
-                                      "keep-robots", "streaming",
-                                      "threads"}));
+                                      "keep-robots", "streaming", "threads",
+                                      "metrics-out"}));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
   WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
@@ -123,10 +161,16 @@ wum::Status Run(const wum_tools::Flags& flags) {
                                         "'");
   }
 
+  // Optional observability: one registry shared by the parser, the
+  // engine and the sessionizer, dumped to --metrics-out at the end.
+  wum::obs::MetricRegistry registry;
+  wum::obs::MetricRegistry* metrics =
+      flags.Has("metrics-out") ? &registry : nullptr;
+
   // Parse.
   std::ifstream log_file(log_path);
   if (!log_file) return wum::Status::IoError("cannot open " + log_path);
-  wum::ClfParser parser;
+  wum::ClfParser parser(metrics);
   std::vector<wum::LogRecord> records;
   WUM_RETURN_NOT_OK(parser.ParseStream(&log_file, &records));
   std::cout << "parsed " << parser.stats().records_parsed << " records, "
@@ -154,12 +198,12 @@ wum::Status Run(const wum_tools::Flags& flags) {
     }
     WUM_RETURN_NOT_OK(RunStreaming(cleaned, graph, heuristic_name, identity,
                                    thresholds,
-                                   static_cast<std::size_t>(threads),
+                                   static_cast<std::size_t>(threads), metrics,
                                    &output));
     WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path));
     std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
               << ", streaming) to " << out_path << "\n";
-    return wum::Status::OK();
+    return DumpMetrics(flags, metrics);
   }
   if (flags.Has("threads")) {
     return wum::Status::InvalidArgument("--threads requires --streaming");
@@ -204,26 +248,16 @@ wum::Status Run(const wum_tools::Flags& flags) {
       }
     }
   } else {
-    std::unique_ptr<wum::Sessionizer> heuristic;
-    if (heuristic_name == "duration") {
-      heuristic = std::make_unique<wum::SessionDurationSessionizer>(
-          thresholds.max_session_duration);
-    } else if (heuristic_name == "pagestay") {
-      heuristic =
-          std::make_unique<wum::PageStaySessionizer>(thresholds.max_page_stay);
-    } else if (heuristic_name == "navigation") {
-      heuristic = std::make_unique<wum::NavigationSessionizer>(&graph);
-    } else if (heuristic_name == "smart-sra") {
-      wum::SmartSra::Options options;
-      options.thresholds = thresholds;
-      heuristic = std::make_unique<wum::SmartSra>(&graph, options);
-    } else {
-      return wum::Status::InvalidArgument("unknown heuristic '" +
-                                          heuristic_name + "'");
-    }
+    wum::HeuristicContext context;
+    context.graph = &graph;
+    context.thresholds = thresholds;
+    WUM_ASSIGN_OR_RETURN(std::unique_ptr<wum::Sessionizer> inner,
+                         wum::HeuristicRegistry::Default().CreateBatch(
+                             heuristic_name, context));
+    wum::InstrumentedSessionizer heuristic(std::move(inner), metrics);
     for (const wum::UserStream& user : partition.streams) {
       WUM_ASSIGN_OR_RETURN(std::vector<wum::Session> sessions,
-                           heuristic->Reconstruct(user.requests));
+                           heuristic.Reconstruct(user.requests));
       for (wum::Session& session : sessions) {
         output.push_back(wum::UserSession{user.user_key, std::move(session)});
       }
@@ -232,16 +266,17 @@ wum::Status Run(const wum_tools::Flags& flags) {
   WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path));
   std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
             << ") to " << out_path << "\n";
-  return wum::Status::OK();
+  return DumpMetrics(flags, metrics);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string usage = Usage();
   wum::Result<wum_tools::Flags> flags =
       wum_tools::Flags::Parse(argc, argv, {"keep-robots", "streaming"});
-  if (!flags.ok()) return wum_tools::FailWith(flags.status(), kUsage);
+  if (!flags.ok()) return wum_tools::FailWith(flags.status(), usage.c_str());
   wum::Status status = Run(*flags);
-  if (!status.ok()) return wum_tools::FailWith(status, kUsage);
+  if (!status.ok()) return wum_tools::FailWith(status, usage.c_str());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "tool_util.h"
 #include "wum/clf/clf_writer.h"
 #include "wum/eval/experiment.h"
+#include "wum/obs/metrics.h"
 #include "wum/session/session_io.h"
 #include "wum/simulator/workload.h"
 #include "wum/topology/graph_io.h"
@@ -23,10 +24,13 @@ constexpr char kUsage[] =
     "  [--agents N=10000] [--seed S] [--stp P=0.05] [--lpp P=0.30] "
     "[--nip P=0.30]\n"
     "  [--proxy-group K=1] [--start-window SECONDS=604800] [--combined]\n"
+    "  [--metrics-out FILE]\n"
     "\n"
     "Writes a websra topology file, a Common Log Format access log\n"
     "(Combined format with --combined) and, optionally, the simulator's\n"
-    "ground-truth sessions for websra_evaluate.\n";
+    "ground-truth sessions for websra_evaluate. --metrics-out dumps the\n"
+    "simulator's generation-throughput metrics (wum::obs snapshot, CSV\n"
+    "when FILE ends in .csv, JSON otherwise).\n";
 
 wum::Result<wum::TopologyModel> ParseTopology(const std::string& name) {
   if (name == "uniform") return wum::TopologyModel::kUniform;
@@ -39,7 +43,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   WUM_RETURN_NOT_OK(flags.CheckKnown(
       {"graph-out", "log-out", "truth-out", "pages", "out-degree",
        "entry-fraction", "topology", "agents", "seed", "stp", "lpp", "nip",
-       "proxy-group", "start-window", "combined"}));
+       "proxy-group", "start-window", "combined", "metrics-out"}));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph-out"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log-out"));
 
@@ -76,8 +80,12 @@ wum::Status Run(const wum_tools::Flags& flags) {
   std::cout << "wrote topology (" << graph.num_pages() << " pages, "
             << graph.num_edges() << " links) to " << graph_path << "\n";
 
+  wum::obs::MetricRegistry registry;
+  wum::obs::MetricRegistry* metrics =
+      flags.Has("metrics-out") ? &registry : nullptr;
   WUM_ASSIGN_OR_RETURN(wum::Workload workload,
-                       wum::SimulateWorkload(graph, profile, population, &rng));
+                       wum::SimulateWorkload(graph, profile, population, &rng,
+                                             metrics));
   std::vector<wum::LogRecord> log =
       wum::CollectServerLog(workload.ToAgentRequests());
   {
@@ -103,6 +111,13 @@ wum::Status Run(const wum_tools::Flags& flags) {
     WUM_RETURN_NOT_OK(wum::WriteSessionsFile(truth, truth_path));
     std::cout << "wrote " << truth.size() << " ground-truth sessions to "
               << truth_path << "\n";
+  }
+  if (metrics != nullptr) {
+    WUM_ASSIGN_OR_RETURN(std::string metrics_path,
+                         flags.GetRequired("metrics-out"));
+    WUM_RETURN_NOT_OK(
+        wum::obs::WriteMetricsFile(registry.Snapshot(), metrics_path));
+    std::cout << "wrote metrics to " << metrics_path << "\n";
   }
   return wum::Status::OK();
 }
