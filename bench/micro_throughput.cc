@@ -163,7 +163,8 @@ BENCHMARK(BM_StreamingPipelineEndToEnd)->Unit(benchmark::kMillisecond);
 // UseRealTime: wall clock is the scaling metric, not the ingest thread's
 // CPU time.
 void StreamEngineShardedLoop(benchmark::State& state,
-                             obs::MetricRegistry* metrics) {
+                             obs::MetricRegistry* metrics,
+                             bool with_retry = false) {
   const Fixture& fixture = Fixture::Get();
   const std::size_t shards = static_cast<std::size_t>(state.range(0));
   std::size_t records = 0;
@@ -175,6 +176,7 @@ void StreamEngineShardedLoop(benchmark::State& state,
         .set_queue_capacity(4096)
         .set_metrics(metrics)
         .use_smart_sra(&fixture.graph);
+    if (with_retry) options.set_retry(RetryOptions{});
     Result<std::unique_ptr<StreamEngine>> engine =
         StreamEngine::Create(std::move(options), &sink);
     if (!engine.ok()) {
@@ -212,6 +214,19 @@ void BM_StreamEngineShardedMetrics(benchmark::State& state) {
   StreamEngineShardedLoop(state, &BenchMetricsRegistry());
 }
 BENCHMARK(BM_StreamEngineShardedMetrics)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Same workload with the per-shard RetryingSink decorator on the emit
+// path (set_retry, default policy) and a sink that never fails: the
+// spread against BM_StreamEngineSharded is the happy-path cost of the
+// fault-tolerance layer, which should be one branch per emission.
+void BM_StreamEngineShardedRetrying(benchmark::State& state) {
+  StreamEngineShardedLoop(state, nullptr, /*with_retry=*/true);
+}
+BENCHMARK(BM_StreamEngineShardedRetrying)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)

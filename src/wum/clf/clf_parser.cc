@@ -148,6 +148,9 @@ Status ClfParser::ParseStream(std::istream* in,
     } else {
       ++stats_.lines_rejected;
       lines_rejected_.Increment();
+      if (reject_handler_ != nullptr) {
+        reject_handler_(stats_.lines_seen, line, parsed.status());
+      }
       if (stats_.sample_errors.size() < kMaxSampleErrors) {
         // stats_.lines_seen is the 1-based number of the line just read.
         stats_.sample_errors.push_back(

@@ -4,6 +4,7 @@
 #ifndef WUM_CLF_CLF_PARSER_H_
 #define WUM_CLF_CLF_PARSER_H_
 
+#include <functional>
 #include <istream>
 #include <string>
 #include <vector>
@@ -43,6 +44,20 @@ class ClfParser {
         records_parsed_(obs::CounterIn(metrics, "clf.records_parsed")),
         lines_rejected_(obs::CounterIn(metrics, "clf.lines_rejected")) {}
 
+  /// Called once per rejected line with its 1-based number, raw text and
+  /// parse error. Generic on purpose: callers route rejects wherever they
+  /// like (e.g. a stream-layer DeadLetterQueue) without this package
+  /// depending on theirs.
+  using RejectHandler = std::function<void(
+      std::uint64_t line_number, std::string_view raw_line,
+      const Status& reason)>;
+
+  /// Installs `handler` (may be null to remove one). Sampling into
+  /// stats().sample_errors continues either way.
+  void set_reject_handler(RejectHandler handler) {
+    reject_handler_ = std::move(handler);
+  }
+
   /// Parses every line of `in`; appends good records to `*records`.
   /// IO failure is the only error condition — malformed lines are
   /// tallied in stats().
@@ -52,6 +67,7 @@ class ClfParser {
 
  private:
   static constexpr std::size_t kMaxSampleErrors = 8;
+  RejectHandler reject_handler_;
   Stats stats_;
   obs::Counter lines_seen_;
   obs::Counter records_parsed_;

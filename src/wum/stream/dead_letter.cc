@@ -1,0 +1,64 @@
+#include "wum/stream/dead_letter.h"
+
+#include <utility>
+
+namespace wum {
+
+std::string_view DeadLetterStageName(DeadLetter::Stage stage) {
+  switch (stage) {
+    case DeadLetter::Stage::kParse:
+      return "kParse";
+    case DeadLetter::Stage::kRecord:
+      return "kRecord";
+    case DeadLetter::Stage::kEmit:
+      return "kEmit";
+    case DeadLetter::Stage::kShardDead:
+      return "kShardDead";
+  }
+  return "unknown";
+}
+
+DeadLetterQueue::DeadLetterQueue(std::size_t capacity)
+    : capacity_(capacity) {}
+
+bool DeadLetterQueue::Offer(DeadLetter letter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_offered_;
+  records_covered_ += letter.records_covered;
+  if (letters_.size() >= capacity_) {
+    ++overflow_dropped_;
+    return false;
+  }
+  letters_.push_back(std::move(letter));
+  return true;
+}
+
+std::vector<DeadLetter> DeadLetterQueue::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DeadLetter> drained(std::make_move_iterator(letters_.begin()),
+                                  std::make_move_iterator(letters_.end()));
+  letters_.clear();
+  return drained;
+}
+
+std::size_t DeadLetterQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return letters_.size();
+}
+
+std::uint64_t DeadLetterQueue::total_offered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_offered_;
+}
+
+std::uint64_t DeadLetterQueue::records_covered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_covered_;
+}
+
+std::uint64_t DeadLetterQueue::overflow_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overflow_dropped_;
+}
+
+}  // namespace wum

@@ -51,22 +51,37 @@ std::string EngineStatsToString(const EngineStats& stats) {
          " sessions=" + std::to_string(stats.sessions_emitted) +
          " blocked_enqueues=" + std::to_string(stats.blocked_enqueues) +
          " queue_high_watermark=" +
-         std::to_string(stats.queue_high_watermark);
+         std::to_string(stats.queue_high_watermark) +
+         " dead_letters=" + std::to_string(stats.dead_letters) +
+         " retries=" + std::to_string(stats.retries) +
+         " shed=" + std::to_string(stats.records_shed);
 }
 
-/// Funnels every shard's emissions into the caller's sink one at a time,
-/// with a sticky first error shared by all shards: after any sink
-/// failure every later emit (and the engine's Offer) returns that error,
-/// so one failure stops the whole engine.
-class StreamEngine::SerializedEmit : public SessionSink {
+/// Funnels every shard's emissions into the caller's sink one at a time.
+/// Under kFailFast the first failure is sticky and shared by every shard
+/// (every later emit — and the engine's Offer — returns it); under
+/// kDegrade nothing sticks here: each emission stands alone and the
+/// per-shard ShardEmit decides what a final failure means. When a shard
+/// has a RetryingSink the attempts (and their backoff waits) run inside
+/// the hub lock — when the shared sink is down, every shard is stalled
+/// on it anyway.
+class StreamEngine::EmitHub {
  public:
-  explicit SerializedEmit(SessionSink* sink) : sink_(sink) {}
+  EmitHub(SessionSink* sink, ErrorPolicy policy)
+      : sink_(sink), policy_(policy) {}
 
-  Status Accept(const std::string& user_key, Session session) override {
+  Status Emit(const std::string& user_key, Session session,
+              RetryingSink* retrying) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!first_error_.ok()) return first_error_;
-    Status status = sink_->Accept(user_key, std::move(session));
-    if (!status.ok()) first_error_ = status;
+    if (policy_ == ErrorPolicy::kFailFast && !first_error_.ok()) {
+      return first_error_;
+    }
+    SessionSink* target =
+        retrying != nullptr ? static_cast<SessionSink*>(retrying) : sink_;
+    Status status = target->Accept(user_key, std::move(session));
+    if (policy_ == ErrorPolicy::kFailFast && !status.ok()) {
+      first_error_ = status;
+    }
     return status;
   }
 
@@ -78,24 +93,98 @@ class StreamEngine::SerializedEmit : public SessionSink {
  private:
   mutable std::mutex mutex_;
   SessionSink* sink_;
+  ErrorPolicy policy_;
   Status first_error_;
+};
+
+/// Per-shard emission front: forwards to the hub (through the shard's
+/// RetryingSink when configured), keeps the delivery counters that back
+/// EngineStats::sessions_emitted, and — under kDegrade — turns a session
+/// the sink refused after every retry into a dead letter instead of an
+/// error, so the record path above never sees emission failures.
+class StreamEngine::ShardEmit : public SessionSink {
+ public:
+  ShardEmit(StreamEngine* engine, Shard* shard, obs::Counter delivered_mirror)
+      : engine_(engine), shard_(shard), delivered_mirror_(delivered_mirror) {}
+
+  Status Accept(const std::string& user_key, Session session) override;
+
+  /// Sessions successfully delivered to the caller's sink.
+  std::uint64_t delivered_sessions() const {
+    return delivered_sessions_.load(std::memory_order_relaxed);
+  }
+  /// Records inside those delivered sessions.
+  std::uint64_t delivered_records() const {
+    return delivered_records_.load(std::memory_order_relaxed);
+  }
+  /// Records inside sessions dead-lettered at this stage (kEmit).
+  std::uint64_t quarantined_records() const {
+    return quarantined_records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  StreamEngine* engine_;
+  Shard* shard_;
+  obs::Counter delivered_mirror_;
+  std::atomic<std::uint64_t> delivered_sessions_{0};
+  std::atomic<std::uint64_t> delivered_records_{0};
+  std::atomic<std::uint64_t> quarantined_records_{0};
 };
 
 /// One worker shard. Members are declared upstream-last so destruction
 /// joins the driver before tearing down the chain it feeds.
 struct StreamEngine::Shard {
+  std::size_t index = 0;
+
   std::atomic<std::uint64_t> offered{0};    // accepted by Offer
   std::atomic<std::uint64_t> processed{0};  // entered the operator chain
   std::atomic<std::uint64_t> delivered{0};  // reached the sessionizer
+  std::atomic<std::uint64_t> dead_letters{0};  // records quarantined
+  std::atomic<std::uint64_t> shed{0};          // records shed by Offer
 
   obs::Counter records_in;  // mirrors `offered` when metrics are enabled
+  obs::Counter dead_letter_mirror;
+  obs::Counter shed_mirror;
 
-  std::unique_ptr<SessionizeSink> sessionize;
+  // Flush/finish failure of this shard, for ShardHealth.
+  std::mutex health_mutex;
+  Status finish_error;
+
+  std::unique_ptr<RetryingSink> retrying;  // wraps the caller sink; may
+                                           // be null (no set_retry)
+  std::unique_ptr<ShardEmit> emit;         // -> hub -> retrying/sink
+  std::unique_ptr<SessionizeSink> sessionize;  // -> emit
   std::unique_ptr<engine_internal::CountingSink> tail;  // -> sessionize
   std::unique_ptr<Pipeline> pipeline;  // operators -> tail
   std::unique_ptr<engine_internal::CountingSink> head;  // -> pipeline
   std::unique_ptr<ThreadedDriver> driver;
 };
+
+Status StreamEngine::ShardEmit::Accept(const std::string& user_key,
+                                       Session session) {
+  const std::uint64_t covered =
+      static_cast<std::uint64_t>(session.requests.size());
+  Status status =
+      engine_->emit_->Emit(user_key, std::move(session), shard_->retrying.get());
+  if (status.ok()) {
+    delivered_sessions_.fetch_add(1, std::memory_order_relaxed);
+    delivered_records_.fetch_add(covered, std::memory_order_relaxed);
+    delivered_mirror_.Increment();
+    return status;
+  }
+  if (engine_->error_policy_ == ErrorPolicy::kFailFast) return status;
+  // kDegrade: the session is lost to the sink but not to accounting —
+  // quarantine a letter covering its records and keep the shard alive.
+  quarantined_records_.fetch_add(covered, std::memory_order_relaxed);
+  DeadLetter letter;
+  letter.stage = DeadLetter::Stage::kEmit;
+  letter.shard = shard_->index;
+  letter.reason = std::move(status);
+  letter.detail = user_key;
+  letter.records_covered = covered;
+  engine_->Quarantine(*shard_, std::move(letter));
+  return Status::OK();
+}
 
 Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
     EngineOptions options, SessionSink* sink) {
@@ -107,6 +196,9 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
   }
   if (options.queue_capacity_ == 0) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (options.retry_.has_value() && options.retry_->max_attempts < 1) {
+    return Status::InvalidArgument("retry max_attempts must be >= 1");
   }
   // Resolve the heuristic up front (the constructor cannot fail). The
   // factory is invoked concurrently from shard workers; the registry's
@@ -148,7 +240,10 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
 StreamEngine::StreamEngine(EngineOptions options,
                            UserSessionizerFactory factory, SessionSink* sink)
     : identity_(options.identity_),
-      emit_(std::make_unique<SerializedEmit>(sink)) {
+      error_policy_(options.error_policy_),
+      offer_policy_(options.offer_policy_),
+      dead_letters_(options.dead_letters_),
+      emit_(std::make_unique<EmitHub>(sink, options.error_policy_)) {
   // With a null registry every handle below is disabled: updates are a
   // predictable branch and the latency timers never read the clock, so
   // an uninstrumented engine does the same atomic work as before the
@@ -158,16 +253,25 @@ StreamEngine::StreamEngine(EngineOptions options,
   for (std::size_t i = 0; i < options.num_shards_; ++i) {
     const std::string prefix = "engine.shard" + std::to_string(i) + ".";
     auto shard = std::make_unique<Shard>();
+    shard->index = i;
     shard->records_in = obs::CounterIn(registry, prefix + "records_in");
+    shard->dead_letter_mirror =
+        obs::CounterIn(registry, prefix + "dead_letter");
+    shard->shed_mirror = obs::CounterIn(registry, prefix + "shed");
+    if (options.retry_.has_value()) {
+      shard->retrying = std::make_unique<RetryingSink>(
+          sink, *options.retry_, obs::CounterIn(registry, prefix + "retries"));
+    }
+    shard->emit = std::make_unique<ShardEmit>(
+        this, shard.get(),
+        obs::CounterIn(registry, prefix + "sessions_emitted"));
     SessionizeMetrics sessionize_metrics;
-    sessionize_metrics.sessions_emitted =
-        obs::CounterIn(registry, prefix + "sessions_emitted");
     sessionize_metrics.skipped_non_page_urls =
         obs::CounterIn(registry, prefix + "skipped_non_page_urls");
     sessionize_metrics.sessionize_latency_us =
         obs::HistogramIn(registry, prefix + "sessionize_latency_us");
     shard->sessionize = std::make_unique<SessionizeSink>(
-        factory, emit_.get(), options.num_pages_, options.identity_,
+        factory, shard->emit.get(), options.num_pages_, options.identity_,
         std::move(sessionize_metrics));
     shard->tail = std::make_unique<engine_internal::CountingSink>(
         &shard->delivered, shard->sessionize.get(),
@@ -187,9 +291,40 @@ StreamEngine::StreamEngine(EngineOptions options,
         obs::GaugeIn(registry, prefix + "queue_high_watermark");
     driver_metrics.drain_latency_us =
         obs::HistogramIn(registry, prefix + "drain_latency_us");
+    DriverHooks hooks;
+    if (error_policy_ == ErrorPolicy::kDegrade) {
+      // Failure-domain hooks: record-level errors quarantine only the
+      // record; shard-fatal errors quarantine it too (the dying shard
+      // cannot process it) and then let the sticky error kill the shard.
+      Shard* shard_ptr = shard.get();
+      hooks.on_record_error = [this, shard_ptr](const LogRecord& record,
+                                                const Status& status) {
+        DeadLetter letter;
+        letter.shard = shard_ptr->index;
+        letter.reason = status;
+        letter.record = record;
+        if (IsShardFatal(status)) {
+          letter.stage = DeadLetter::Stage::kShardDead;
+          Quarantine(*shard_ptr, std::move(letter));
+          return false;  // the shard dies
+        }
+        letter.stage = DeadLetter::Stage::kRecord;
+        Quarantine(*shard_ptr, std::move(letter));
+        return true;  // quarantined; the shard lives on
+      };
+      hooks.on_discard = [this, shard_ptr](const LogRecord& record,
+                                           const Status& status) {
+        DeadLetter letter;
+        letter.stage = DeadLetter::Stage::kShardDead;
+        letter.shard = shard_ptr->index;
+        letter.reason = status;
+        letter.record = record;
+        Quarantine(*shard_ptr, std::move(letter));
+      };
+    }
     shard->driver = std::make_unique<ThreadedDriver>(
         shard->head.get(), options.queue_capacity_,
-        std::move(driver_metrics));
+        std::move(driver_metrics), std::move(hooks));
     shards_.push_back(std::move(shard));
   }
 }
@@ -205,14 +340,46 @@ std::size_t StreamEngine::ShardIndexFor(const LogRecord& record) const {
       shards_.size());
 }
 
+void StreamEngine::Quarantine(Shard& shard, DeadLetter letter) {
+  shard.dead_letters.fetch_add(letter.records_covered,
+                               std::memory_order_relaxed);
+  shard.dead_letter_mirror.Increment(letter.records_covered);
+  if (dead_letters_ != nullptr) dead_letters_->Offer(std::move(letter));
+}
+
 Status StreamEngine::Offer(const LogRecord& record) {
   if (finished_) {
     return Status::FailedPrecondition("engine already finished");
   }
-  // A sink failure in any shard stops ingest for all of them.
-  WUM_RETURN_NOT_OK(emit_->first_error());
+  if (error_policy_ == ErrorPolicy::kFailFast) {
+    // A sink failure in any shard stops ingest for all of them.
+    WUM_RETURN_NOT_OK(emit_->first_error());
+  }
   Shard& shard = *shards_[ShardIndexFor(record)];
-  WUM_RETURN_NOT_OK(shard.driver->Offer(record));
+  Status status;
+  if (offer_policy_ == OfferPolicy::kShed) {
+    bool accepted = false;
+    status = shard.driver->TryOffer(record, &accepted);
+    if (status.ok() && !accepted) {
+      shard.shed.fetch_add(1, std::memory_order_relaxed);
+      shard.shed_mirror.Increment();
+      return Status::OK();
+    }
+  } else {
+    status = shard.driver->Offer(record);
+  }
+  if (!status.ok()) {
+    if (error_policy_ == ErrorPolicy::kFailFast) return status;
+    // kDegrade: the record was routed to a dead shard — quarantine it
+    // and keep the producer (and the other shards) going.
+    DeadLetter letter;
+    letter.stage = DeadLetter::Stage::kShardDead;
+    letter.shard = shard.index;
+    letter.reason = std::move(status);
+    letter.record = record;
+    Quarantine(shard, std::move(letter));
+    return Status::OK();
+  }
   shard.offered.fetch_add(1, std::memory_order_relaxed);
   shard.records_in.Increment();
   return Status::OK();
@@ -226,9 +393,38 @@ Status StreamEngine::Finish() {
   Status first_shard_error;
   for (std::unique_ptr<Shard>& shard : shards_) {
     Status status = shard->driver->Finish();
-    if (first_shard_error.ok() && !status.ok()) {
-      first_shard_error = std::move(status);
+    if (!status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(shard->health_mutex);
+        shard->finish_error = status;
+      }
+      if (first_shard_error.ok()) first_shard_error = std::move(status);
     }
+  }
+  if (error_policy_ == ErrorPolicy::kDegrade) {
+    // A dead shard never flushed: records absorbed into its open
+    // per-user session state were neither delivered nor quarantined yet.
+    // Cover them with one letter per shard so the accounting invariant
+    // (delivered + dead-lettered == absorbed) holds even after a kill.
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      const std::uint64_t absorbed = shard->sessionize->records_absorbed();
+      const std::uint64_t settled = shard->emit->delivered_records() +
+                                    shard->emit->quarantined_records();
+      if (absorbed > settled) {
+        DeadLetter letter;
+        letter.stage = DeadLetter::Stage::kShardDead;
+        letter.shard = shard->index;
+        letter.reason = shard->driver->failed()
+                            ? shard->driver->first_error()
+                            : Status::Internal("open session state lost");
+        letter.detail = "open session state lost";
+        letter.records_covered = absorbed - settled;
+        Quarantine(*shard, std::move(letter));
+      }
+    }
+    // Degradation is reported through the dead-letter channel,
+    // ShardHealth() and the stats — not as an engine-wide error.
+    return Status::OK();
   }
   // Prefer the sink's error: it is the root cause when shards failed
   // because emission was already poisoned.
@@ -245,9 +441,12 @@ EngineStats StreamEngine::SnapshotShard(const Shard& shard) const {
       shard.delivered.load(std::memory_order_relaxed);
   stats.records_dropped =
       processed - delivered + shard.sessionize->skipped_non_page_urls();
-  stats.sessions_emitted = shard.sessionize->sessions_emitted();
+  stats.sessions_emitted = shard.emit->delivered_sessions();
   stats.blocked_enqueues = shard.driver->blocked_enqueues();
   stats.queue_high_watermark = shard.driver->queue_high_watermark();
+  stats.dead_letters = shard.dead_letters.load(std::memory_order_relaxed);
+  stats.retries = shard.retrying != nullptr ? shard.retrying->retries() : 0;
+  stats.records_shed = shard.shed.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -266,6 +465,20 @@ EngineStats StreamEngine::TotalStats() const {
     total += SnapshotShard(*shard);
   }
   return total;
+}
+
+std::vector<Status> StreamEngine::ShardHealth() const {
+  std::vector<Status> health;
+  health.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    Status status = shard->driver->first_error();
+    if (status.ok()) {
+      std::lock_guard<std::mutex> lock(shard->health_mutex);
+      status = shard->finish_error;
+    }
+    health.push_back(std::move(status));
+  }
+  return health;
 }
 
 }  // namespace wum

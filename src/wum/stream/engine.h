@@ -13,10 +13,19 @@
 // parallel — the per-user independence that "Link Based Session
 // Reconstruction" (Bayir & Toroslu) identifies as the natural
 // parallelism axis. Completed sessions funnel into the caller's single
-// SessionSink through a mutex-serialized emit path; a sink failure is
-// shared by every shard, stopping the whole engine.
+// SessionSink through a mutex-serialized emit path.
 //
-// See docs/streaming.md for the API guide and migration notes.
+// Failure handling is policy-driven: under ErrorPolicy::kFailFast (the
+// default) the first error anywhere is sticky and stops the whole
+// engine, while ErrorPolicy::kDegrade isolates failures to their domain
+// — a rejected record or refused session is quarantined to the
+// DeadLetterQueue and a failing shard dies alone while the others keep
+// sessionizing. Transient sink failures can be absorbed with
+// set_retry (a RetryingSink around the emit path), and backpressure can
+// shed instead of blocking via OfferPolicy::kShed.
+//
+// See docs/streaming.md for the API guide and docs/robustness.md for
+// the fault-tolerance layer.
 
 #ifndef WUM_STREAM_ENGINE_H_
 #define WUM_STREAM_ENGINE_H_
@@ -25,7 +34,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "wum/clf/log_filter.h"
@@ -33,12 +44,38 @@
 #include "wum/common/result.h"
 #include "wum/common/time.h"
 #include "wum/obs/metrics.h"
+#include "wum/stream/dead_letter.h"
+#include "wum/stream/fault.h"
 #include "wum/stream/incremental_sessionizer.h"
 #include "wum/stream/pipeline.h"
 
 namespace wum {
 
 class WebGraph;
+
+/// What a failure does to the engine.
+enum class ErrorPolicy {
+  /// First error wins and is sticky: a sink or shard failure stops the
+  /// whole engine (the historical behavior, and the default).
+  kFailFast,
+  /// Failures stay inside their domain. Rejected records and sessions
+  /// refused after every retry are quarantined to the DeadLetterQueue
+  /// (when one is attached) and counted per shard; a shard-fatal error
+  /// (see IsShardFatal) kills only that shard — its pending records are
+  /// dead-lettered while every other shard keeps sessionizing, and
+  /// Finish returns OK. Inspect ShardHealth()/the dead-letter channel
+  /// for what degraded.
+  kDegrade,
+};
+
+/// What Offer does when the target shard's queue is full.
+enum class OfferPolicy {
+  /// Block the producer until the shard catches up (the default).
+  kBlock,
+  /// Drop the record on the floor and count it in records_shed — load
+  /// shedding for producers that must never stall.
+  kShed,
+};
 
 /// Builder-style configuration for StreamEngine. Setters return *this so
 /// an engine is declared in one expression:
@@ -118,6 +155,37 @@ class EngineOptions {
     return SetSelection(Selection::kCustom);
   }
 
+  /// Failure semantics; see ErrorPolicy. Defaults to kFailFast.
+  EngineOptions& set_error_policy(ErrorPolicy policy) {
+    error_policy_ = policy;
+    return *this;
+  }
+
+  /// Backpressure semantics; see OfferPolicy. Defaults to kBlock.
+  EngineOptions& set_offer_policy(OfferPolicy policy) {
+    offer_policy_ = policy;
+    return *this;
+  }
+
+  /// Attaches a caller-owned dead-letter channel: quarantined inputs are
+  /// offered to `queue` (which must outlive the engine) and can be
+  /// drained at any time. Without one, quarantines are still counted in
+  /// EngineStats::dead_letters but the inputs are discarded. Only read
+  /// in kDegrade mode.
+  EngineOptions& set_dead_letters(DeadLetterQueue* queue) {
+    dead_letters_ = queue;
+    return *this;
+  }
+
+  /// Wraps the emit path in a per-shard RetryingSink: transient sink
+  /// failures are re-attempted with deterministic exponential backoff
+  /// (see RetryOptions) before the error policy decides what a final
+  /// failure means. Works under both error policies.
+  EngineOptions& set_retry(RetryOptions options) {
+    retry_ = std::move(options);
+    return *this;
+  }
+
   /// Optional observability registry (see docs/observability.md). When
   /// set, the engine registers per-shard counters, gauges and latency
   /// histograms named "engine.shard<k>.*" and updates them as it runs;
@@ -159,6 +227,10 @@ class EngineOptions {
   UserSessionizerFactory custom_factory_;
   std::vector<OperatorFactory> operator_factories_;
   obs::MetricRegistry* metrics_ = nullptr;
+  ErrorPolicy error_policy_ = ErrorPolicy::kFailFast;
+  OfferPolicy offer_policy_ = OfferPolicy::kBlock;
+  DeadLetterQueue* dead_letters_ = nullptr;
+  std::optional<RetryOptions> retry_;
 };
 
 /// Throughput counters of one shard (or, aggregated, the whole engine).
@@ -177,6 +249,16 @@ struct EngineStats {
   std::uint64_t blocked_enqueues = 0;
   /// Largest queue depth observed right after an enqueue.
   std::uint64_t queue_high_watermark = 0;
+  /// Records quarantined to the dead-letter channel (kDegrade mode):
+  /// operator/sessionizer rejections, records drained from or routed to
+  /// a dead shard, and the records of sessions the sink refused after
+  /// every retry. Counted even when no DeadLetterQueue is attached.
+  std::uint64_t dead_letters = 0;
+  /// Emit re-attempts performed by the RetryingSink (set_retry).
+  std::uint64_t retries = 0;
+  /// Records dropped by Offer under OfferPolicy::kShed because the shard
+  /// queue was full.
+  std::uint64_t records_shed = 0;
 
   /// Aggregation: counters add, the watermark takes the max.
   EngineStats& operator+=(const EngineStats& other) {
@@ -187,6 +269,9 @@ struct EngineStats {
     if (other.queue_high_watermark > queue_high_watermark) {
       queue_high_watermark = other.queue_high_watermark;
     }
+    dead_letters += other.dead_letters;
+    retries += other.retries;
+    records_shed += other.records_shed;
     return *this;
   }
 };
@@ -231,18 +316,31 @@ class StreamEngine {
   /// Aggregate snapshot across all shards.
   EngineStats TotalStats() const;
 
+  /// Per-shard failure domains, index == shard id: OK while the shard is
+  /// healthy, its fatal error once it died. In kDegrade mode this (plus
+  /// the dead-letter channel) is how isolated failures surface, since
+  /// Finish keeps returning OK. Safe from any thread.
+  std::vector<Status> ShardHealth() const;
+
  private:
   struct Shard;
+  class EmitHub;
+  class ShardEmit;
 
   StreamEngine(EngineOptions options, UserSessionizerFactory factory,
                SessionSink* sink);
 
   std::size_t ShardIndexFor(const LogRecord& record) const;
   EngineStats SnapshotShard(const Shard& shard) const;
+  /// Counts one quarantined input against `shard` and offers it to the
+  /// dead-letter channel when one is attached.
+  void Quarantine(Shard& shard, DeadLetter letter);
 
   UserIdentity identity_;
-  class SerializedEmit;
-  std::unique_ptr<SerializedEmit> emit_;
+  ErrorPolicy error_policy_;
+  OfferPolicy offer_policy_;
+  DeadLetterQueue* dead_letters_;
+  std::unique_ptr<EmitHub> emit_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool finished_ = false;
 };

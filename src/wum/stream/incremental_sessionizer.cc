@@ -82,9 +82,11 @@ Status SessionizeSink::Accept(const LogRecord& record) {
   user.last_timestamp = record.timestamp;
   user.has_seen_request = true;
   obs::ScopedTimer timer(metrics_.sessionize_latency_us);
-  return user.sessionizer->OnRequest(
+  WUM_RETURN_NOT_OK(user.sessionizer->OnRequest(
       PageRequest{static_cast<PageId>(*page), record.timestamp},
-      MakeEmit(key));
+      MakeEmit(key)));
+  records_absorbed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 Status SessionizeSink::Finish() {

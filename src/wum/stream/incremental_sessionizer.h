@@ -97,6 +97,13 @@ class SessionizeSink : public RecordSink {
   std::uint64_t skipped_non_page_urls() const {
     return skipped_non_page_urls_.load(std::memory_order_relaxed);
   }
+  /// Page records absorbed into per-user sessionizer state (OnRequest
+  /// returned OK). Every absorbed record eventually reappears in an
+  /// emitted session or is still in open state — the conservation the
+  /// engine's dead-letter accounting builds on.
+  std::uint64_t records_absorbed() const {
+    return records_absorbed_.load(std::memory_order_relaxed);
+  }
   std::size_t active_users() const { return users_.size(); }
 
  private:
@@ -116,6 +123,7 @@ class SessionizeSink : public RecordSink {
   std::map<std::string, UserState> users_;
   std::atomic<std::uint64_t> sessions_emitted_{0};
   std::atomic<std::uint64_t> skipped_non_page_urls_{0};
+  std::atomic<std::uint64_t> records_absorbed_{0};
 };
 
 }  // namespace wum

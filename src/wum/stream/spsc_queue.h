@@ -25,6 +25,9 @@ class SpscQueue {
   /// Outcome of a non-blocking TryPush.
   enum class PushOutcome { kOk, kFull, kClosed };
 
+  /// Outcome of a blocking PushUnless.
+  enum class BlockingPushOutcome { kOk, kClosed, kAborted };
+
   /// Blocks until space is available. Returns false (dropping the item)
   /// if the queue was already closed. When `depth_after` is non-null it
   /// receives the queue depth right after insertion (watermark probes
@@ -38,6 +41,37 @@ class SpscQueue {
     if (depth_after != nullptr) *depth_after = items_.size();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Blocking push that a third party can interrupt: waits until space
+  /// is available, the queue closes, or `aborted()` turns true (whoever
+  /// flips that condition must call WakeAll to rouse the waiter). The
+  /// threaded driver uses this so a producer blocked on a full queue
+  /// observes the worker's sticky error instead of waiting forever.
+  /// `aborted` is invoked with the queue mutex held, so it must not
+  /// touch the queue; a relaxed/acquire atomic read is the intended
+  /// shape.
+  template <typename AbortFn>
+  BlockingPushOutcome PushUnless(T item, const AbortFn& aborted,
+                                 std::size_t* depth_after = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this, &aborted] {
+      return items_.size() < capacity_ || closed_ || aborted();
+    });
+    if (closed_) return BlockingPushOutcome::kClosed;
+    if (aborted()) return BlockingPushOutcome::kAborted;
+    items_.push_back(std::move(item));
+    if (depth_after != nullptr) *depth_after = items_.size();
+    not_empty_.notify_one();
+    return BlockingPushOutcome::kOk;
+  }
+
+  /// Wakes every blocked producer and consumer so they re-evaluate their
+  /// predicates (pair with the `aborted` condition of PushUnless).
+  void WakeAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
   /// Non-blocking push: kFull leaves the item with the caller (retry with

@@ -1,35 +1,56 @@
 #include "wum/stream/threaded_driver.h"
 
+#include <utility>
+
 namespace wum {
 
 ThreadedDriver::ThreadedDriver(RecordSink* sink, std::size_t queue_capacity,
-                               DriverMetrics metrics)
+                               DriverMetrics metrics, DriverHooks hooks)
     : queue_(queue_capacity),
       sink_(sink),
       metrics_(std::move(metrics)),
+      hooks_(std::move(hooks)),
       worker_([this] { Run(); }) {}
 
 ThreadedDriver::~ThreadedDriver() {
   if (!finished_) (void)Finish();
 }
 
+Status ThreadedDriver::first_error() const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return first_error_;
+}
+
 void ThreadedDriver::Run() {
   while (true) {
     std::optional<LogRecord> record = queue_.Pop();
     if (!record.has_value()) return;  // closed and drained
-    {
-      std::lock_guard<std::mutex> lock(status_mutex_);
-      if (!first_error_.ok()) continue;  // drain after failure
+    if (failed_.load(std::memory_order_relaxed)) {
+      // Drain after failure: keep consuming so the producer never wedges
+      // on a full queue, reporting each discarded record when asked.
+      if (hooks_.on_discard != nullptr) {
+        hooks_.on_discard(*record, first_error());
+      }
+      continue;
     }
     Status status;
     {
       obs::ScopedTimer timer(metrics_.drain_latency_us);
       status = sink_->Accept(*record);
     }
-    if (!status.ok()) {
+    if (status.ok()) continue;
+    if (hooks_.on_record_error != nullptr &&
+        hooks_.on_record_error(*record, status)) {
+      continue;  // quarantined; the shard lives on
+    }
+    {
       std::lock_guard<std::mutex> lock(status_mutex_);
       if (first_error_.ok()) first_error_ = std::move(status);
     }
+    failed_.store(true, std::memory_order_release);
+    // Rouse a producer blocked on the full queue so it observes the
+    // sticky error instead of waiting for space that may never come.
+    queue_.WakeAll();
   }
 }
 
@@ -37,8 +58,8 @@ Status ThreadedDriver::CheckOfferable() {
   if (finished_) {
     return Status::FailedPrecondition("driver already finished");
   }
-  std::lock_guard<std::mutex> lock(status_mutex_);
-  return first_error_;
+  if (!failed_.load(std::memory_order_acquire)) return Status::OK();
+  return first_error();
 }
 
 void ThreadedDriver::NoteDepth(std::size_t depth) {
@@ -57,13 +78,22 @@ Status ThreadedDriver::Offer(const LogRecord& record) {
       break;
     case SpscQueue<LogRecord>::PushOutcome::kClosed:
       return Status::FailedPrecondition("queue closed");
-    case SpscQueue<LogRecord>::PushOutcome::kFull:
+    case SpscQueue<LogRecord>::PushOutcome::kFull: {
       blocked_enqueues_.fetch_add(1, std::memory_order_relaxed);
       metrics_.blocked_enqueues.Increment();
-      if (!queue_.Push(record, &depth)) {
-        return Status::FailedPrecondition("queue closed");
+      switch (queue_.PushUnless(
+          record,
+          [this] { return failed_.load(std::memory_order_acquire); },
+          &depth)) {
+        case SpscQueue<LogRecord>::BlockingPushOutcome::kOk:
+          break;
+        case SpscQueue<LogRecord>::BlockingPushOutcome::kClosed:
+          return Status::FailedPrecondition("queue closed");
+        case SpscQueue<LogRecord>::BlockingPushOutcome::kAborted:
+          return first_error();
       }
       break;
+    }
   }
   NoteDepth(depth);
   return Status::OK();

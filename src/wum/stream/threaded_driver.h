@@ -8,6 +8,7 @@
 #define WUM_STREAM_THREADED_DRIVER_H_
 
 #include <atomic>
+#include <functional>
 #include <thread>
 
 #include "wum/obs/metrics.h"
@@ -30,14 +31,29 @@ struct DriverMetrics {
   obs::Histogram drain_latency_us;
 };
 
+/// Failure-domain hooks, called on the worker thread. Both optional;
+/// without them every pipeline error is sticky and fatal to the driver
+/// (the historical fail-fast behavior). The sharded engine installs
+/// them in ErrorPolicy::kDegrade mode to quarantine records instead.
+struct DriverHooks {
+  /// The pipeline rejected `record` with `status`. Return true when the
+  /// failure is handled (record quarantined, worker keeps going); false
+  /// makes `status` the driver's sticky error.
+  std::function<bool(const LogRecord&, const Status&)> on_record_error;
+  /// `record` was drained and discarded after the sticky error
+  /// `first_error` was already set (the shard is dead; the record never
+  /// entered the pipeline).
+  std::function<void(const LogRecord&, const Status&)> on_discard;
+};
+
 /// Owns the worker thread and the queue feeding a RecordSink.
 class ThreadedDriver {
  public:
   /// `sink` must outlive the driver. `queue_capacity` bounds the number
-  /// of in-flight records. `metrics` handles are copied before the
-  /// worker starts; their registry must outlive the driver.
+  /// of in-flight records. `metrics` handles and `hooks` are copied
+  /// before the worker starts; their referents must outlive the driver.
   explicit ThreadedDriver(RecordSink* sink, std::size_t queue_capacity = 1024,
-                          DriverMetrics metrics = {});
+                          DriverMetrics metrics = {}, DriverHooks hooks = {});
 
   /// Joins the worker (calling Finish first if the caller forgot).
   ~ThreadedDriver();
@@ -47,7 +63,9 @@ class ThreadedDriver {
 
   /// Enqueues one record; blocks when the queue is full (counted in
   /// blocked_enqueues). Returns FailedPrecondition after Finish, or the
-  /// sink's first error.
+  /// sink's first error — including while blocked: a producer waiting on
+  /// a full queue whose worker just died is woken and handed the sticky
+  /// error instead of waiting forever.
   Status Offer(const LogRecord& record);
 
   /// Non-blocking variant: when the queue is full, sets `*accepted` to
@@ -70,6 +88,14 @@ class ThreadedDriver {
     return queue_high_watermark_.load(std::memory_order_relaxed);
   }
 
+  /// True once the worker recorded a sticky error (the shard is dead).
+  /// Safe from any thread.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the sticky error (OK while healthy). Safe from any
+  /// thread.
+  Status first_error() const;
+
  private:
   void Run();
   Status CheckOfferable();
@@ -78,9 +104,13 @@ class ThreadedDriver {
   SpscQueue<LogRecord> queue_;
   RecordSink* sink_;
   DriverMetrics metrics_;
+  DriverHooks hooks_;
   std::thread worker_;
-  std::mutex status_mutex_;
+  mutable std::mutex status_mutex_;
   Status first_error_;   // sticky first failure from the worker
+  // Mirrors !first_error_.ok(); readable without the mutex so blocked
+  // producers (PushUnless) and the drain path can poll it cheaply.
+  std::atomic<bool> failed_{false};
   bool finished_ = false;
   std::atomic<std::uint64_t> blocked_enqueues_{0};
   std::atomic<std::size_t> queue_high_watermark_{0};

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "wum/stream/incremental_sessionizer.h"
 #include "wum/stream/spsc_queue.h"
@@ -117,6 +121,122 @@ TEST(ThreadedDriverTest, DestructorJoinsWithoutFinish) {
     // No Finish(): destructor must not hang or crash.
   }
   EXPECT_EQ(sink.accepted.load(), 1);
+}
+
+/// First Accept parks the worker until released, then fails with
+/// Internal; later Accepts fail immediately. Lets a test hold the queue
+/// full with the worker mid-record, then kill the worker on cue.
+class GateThenFailSink : public RecordSink {
+ public:
+  Status Accept(const LogRecord&) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (first_) {
+      first_ = false;
+      entered_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_; });
+    }
+    return Status::Internal("worker died");
+  }
+  Status Finish() override { return Status::OK(); }
+
+  void WaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool first_ = true;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+// Regression: a producer blocked in Offer on a full queue whose worker
+// just died must be woken with the sticky error — not left waiting for
+// space forever, and not handed an OK for a record that will only ever
+// be discarded.
+TEST(ThreadedDriverTest, BlockedOfferObservesWorkerDeath) {
+  GateThenFailSink sink;
+  ThreadedDriver driver(&sink, /*queue_capacity=*/1);
+
+  // Worker pops record 0 and parks inside the sink; record 1 then fills
+  // the capacity-1 queue.
+  ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, 0)).ok());
+  sink.WaitEntered();
+  ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, 1)).ok());
+
+  // A second producer thread blocks on the full queue.
+  Status blocked_status;
+  std::thread producer([&driver, &blocked_status] {
+    blocked_status = driver.Offer(PageRecord("ip", 1, 2));
+  });
+  while (driver.blocked_enqueues() == 0) std::this_thread::yield();
+
+  // Kill the worker: record 0's Accept returns Internal. The blocked
+  // producer must resolve with that error even though draining record 1
+  // frees queue space.
+  sink.Release();
+  producer.join();
+  EXPECT_TRUE(blocked_status.IsInternal()) << blocked_status.ToString();
+  EXPECT_TRUE(driver.failed());
+  EXPECT_TRUE(driver.first_error().IsInternal());
+  EXPECT_TRUE(driver.Finish().IsInternal());
+}
+
+// DriverHooks::on_record_error returning true quarantines the record and
+// keeps the worker alive; on_discard reports records drained after a
+// real (unhandled) death.
+TEST(ThreadedDriverTest, HooksQuarantineAndReportDiscards) {
+  FailingSink sink;  // fails on page 13 only
+  std::vector<TimeSeconds> quarantined;
+  DriverHooks hooks;
+  hooks.on_record_error = [&quarantined](const LogRecord& record,
+                                         const Status& status) {
+    EXPECT_TRUE(status.IsInternal());
+    quarantined.push_back(record.timestamp);
+    return true;  // handled: the driver must keep going
+  };
+  ThreadedDriver driver(&sink, 8, DriverMetrics{}, hooks);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(driver.Offer(PageRecord("ip", i == 7 ? 13 : 1, i)).ok());
+  }
+  ASSERT_TRUE(driver.Finish().ok());
+  EXPECT_EQ(quarantined, (std::vector<TimeSeconds>{7}));
+  EXPECT_EQ(sink.accepted.load(), 19);
+  EXPECT_FALSE(driver.failed());
+}
+
+TEST(ThreadedDriverTest, UnhandledErrorDiscardsRemainderThroughHook) {
+  GateThenFailSink sink;
+  std::atomic<int> discarded{0};
+  DriverHooks hooks;
+  hooks.on_record_error = [](const LogRecord&, const Status&) {
+    return false;  // unhandled: the sticky error stands
+  };
+  hooks.on_discard = [&discarded](const LogRecord&, const Status& status) {
+    EXPECT_TRUE(status.IsInternal());
+    discarded.fetch_add(1);
+  };
+  {
+    ThreadedDriver driver(&sink, 8, DriverMetrics{}, hooks);
+    ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, 0)).ok());
+    sink.WaitEntered();
+    // Queue up records the worker will only ever drain.
+    ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, 1)).ok());
+    ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, 2)).ok());
+    sink.Release();
+    EXPECT_TRUE(driver.Finish().IsInternal());
+  }
+  EXPECT_EQ(discarded.load(), 2);
 }
 
 TEST(ThreadedDriverTest, EndToEndStreamingSessionization) {

@@ -9,6 +9,7 @@
 
 #include "tool_util.h"
 #include "wum/clf/clf_parser.h"
+#include "wum/stream/dead_letter.h"
 #include "wum/clf/log_filter.h"
 #include "wum/clf/user_partitioner.h"
 #include "wum/common/table.h"
@@ -32,7 +33,7 @@ std::string Usage() {
          "|referrer]\n"
          "  [--identity ip|ip-ua] [--delta MINUTES=30] [--rho MINUTES=10]\n"
          "  [--keep-robots] [--streaming] [--threads N=4]\n"
-         "  [--metrics-out FILE]\n"
+         "  [--max-parse-errors N=0] [--metrics-out FILE]\n"
          "\n"
          "Reads an access log, applies the standard cleaning chain (GET\n"
          "only, successful status, no embedded resources, no crawlers\n"
@@ -46,6 +47,11 @@ std::string Usage() {
          "the engine's throughput stats to stderr. Output sessions are\n"
          "identical up to per-user emission order; the referrer heuristic\n"
          "is batch-only.\n"
+         "\n"
+         "--max-parse-errors tolerates up to N malformed log lines: each\n"
+         "one is quarantined to a dead-letter channel (counted in the\n"
+         "end-of-run table) instead of aborting the run. The default 0\n"
+         "fails fast on the first malformed line.\n"
          "\n"
          "--metrics-out enables the wum::obs observability layer: parser,\n"
          "engine and sessionizer metrics are written to FILE (CSV when it\n"
@@ -120,6 +126,22 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
   return wum::Status::OK();
 }
 
+/// End-of-run accounting table: every log line is either parsed or
+/// dead-lettered, and every parsed record either survives cleaning into
+/// the session file or was filtered.
+void PrintRunSummary(const wum::ClfParser::Stats& parse_stats,
+                     const wum::DeadLetterQueue& dead_letters,
+                     std::size_t cleaned_records, std::size_t sessions) {
+  wum::Table table({"stage", "count"});
+  table.AddRow({"log lines seen", std::to_string(parse_stats.lines_seen)});
+  table.AddRow({"records parsed", std::to_string(parse_stats.records_parsed)});
+  table.AddRow({"malformed lines dead-lettered",
+                std::to_string(dead_letters.total_offered())});
+  table.AddRow({"records after cleaning", std::to_string(cleaned_records)});
+  table.AddRow({"sessions written", std::to_string(sessions)});
+  table.Render(&std::cout);
+}
+
 /// Writes the snapshot to --metrics-out and prints the summary table.
 /// No-op when metrics are disabled.
 wum::Status DumpMetrics(const wum_tools::Flags& flags,
@@ -137,7 +159,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   WUM_RETURN_NOT_OK(flags.CheckKnown({"graph", "log", "out", "heuristic",
                                       "identity", "delta", "rho",
                                       "keep-robots", "streaming", "threads",
-                                      "metrics-out"}));
+                                      "max-parse-errors", "metrics-out"}));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
   WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
@@ -167,12 +189,37 @@ wum::Status Run(const wum_tools::Flags& flags) {
   wum::obs::MetricRegistry* metrics =
       flags.Has("metrics-out") ? &registry : nullptr;
 
-  // Parse.
+  // Parse. Malformed lines are quarantined to the dead-letter channel;
+  // more than --max-parse-errors of them aborts the run (default 0:
+  // fail fast on the first one).
+  WUM_ASSIGN_OR_RETURN(std::uint64_t max_parse_errors,
+                       flags.GetUint("max-parse-errors", 0));
   std::ifstream log_file(log_path);
   if (!log_file) return wum::Status::IoError("cannot open " + log_path);
   wum::ClfParser parser(metrics);
+  wum::DeadLetterQueue dead_letters;
+  parser.set_reject_handler([&dead_letters](std::uint64_t line_number,
+                                            std::string_view raw_line,
+                                            const wum::Status& reason) {
+    wum::DeadLetter letter;
+    letter.stage = wum::DeadLetter::Stage::kParse;
+    letter.reason = reason;
+    letter.detail =
+        "line " + std::to_string(line_number) + ": " + std::string(raw_line);
+    dead_letters.Offer(std::move(letter));
+  });
   std::vector<wum::LogRecord> records;
   WUM_RETURN_NOT_OK(parser.ParseStream(&log_file, &records));
+  if (parser.stats().lines_rejected > max_parse_errors) {
+    std::string message =
+        std::to_string(parser.stats().lines_rejected) +
+        " malformed lines exceed --max-parse-errors=" +
+        std::to_string(max_parse_errors);
+    for (const std::string& sample : parser.stats().sample_errors) {
+      message += "\n  " + sample;
+    }
+    return wum::Status::ParseError(message);
+  }
   std::cout << "parsed " << parser.stats().records_parsed << " records, "
             << parser.stats().lines_rejected << " malformed lines\n";
 
@@ -203,6 +250,8 @@ wum::Status Run(const wum_tools::Flags& flags) {
     WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path));
     std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
               << ", streaming) to " << out_path << "\n";
+    PrintRunSummary(parser.stats(), dead_letters, cleaned.size(),
+                    output.size());
     return DumpMetrics(flags, metrics);
   }
   if (flags.Has("threads")) {
@@ -266,6 +315,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path));
   std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
             << ") to " << out_path << "\n";
+  PrintRunSummary(parser.stats(), dead_letters, cleaned.size(), output.size());
   return DumpMetrics(flags, metrics);
 }
 
