@@ -1,0 +1,257 @@
+#include "wum/ckpt/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+namespace wum::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+Status DecodeLogRecord(Decoder* decoder, LogRecord* record) {
+  WUM_ASSIGN_OR_RETURN(record->client_ip, decoder->GetString());
+  WUM_ASSIGN_OR_RETURN(record->timestamp, decoder->GetVarint());
+  WUM_ASSIGN_OR_RETURN(std::uint8_t method, decoder->GetU8());
+  if (method > static_cast<std::uint8_t>(HttpMethod::kHead)) {
+    return Status::ParseError("dead letter has invalid http method " +
+                              std::to_string(method));
+  }
+  record->method = static_cast<HttpMethod>(method);
+  WUM_ASSIGN_OR_RETURN(record->url, decoder->GetString());
+  WUM_ASSIGN_OR_RETURN(record->protocol, decoder->GetString());
+  WUM_ASSIGN_OR_RETURN(std::int64_t status_code, decoder->GetVarint());
+  record->status_code = static_cast<int>(status_code);
+  WUM_ASSIGN_OR_RETURN(record->bytes, decoder->GetVarint());
+  WUM_ASSIGN_OR_RETURN(record->referrer, decoder->GetString());
+  WUM_ASSIGN_OR_RETURN(record->user_agent, decoder->GetString());
+  return Status::OK();
+}
+
+void EncodeLogRecord(const LogRecord& record, Encoder* encoder) {
+  encoder->PutString(record.client_ip);
+  encoder->PutVarint(record.timestamp);
+  encoder->PutU8(static_cast<std::uint8_t>(record.method));
+  encoder->PutString(record.url);
+  encoder->PutString(record.protocol);
+  encoder->PutVarint(record.status_code);
+  encoder->PutVarint(record.bytes);
+  encoder->PutString(record.referrer);
+  encoder->PutString(record.user_agent);
+}
+
+void EncodeStatus(const Status& status, Encoder* encoder) {
+  encoder->PutU8(static_cast<std::uint8_t>(status.code()));
+  encoder->PutString(status.ok() ? std::string_view() : status.message());
+}
+
+Status DecodeStatus(Decoder* decoder, Status* status) {
+  WUM_ASSIGN_OR_RETURN(std::uint8_t code, decoder->GetU8());
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return Status::ParseError("invalid status code " + std::to_string(code));
+  }
+  WUM_ASSIGN_OR_RETURN(std::string message, decoder->GetString());
+  *status = code == 0 ? Status::OK()
+                      : Status(static_cast<StatusCode>(code),
+                               std::move(message));
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeManifest(const CheckpointManifest& manifest, Encoder* encoder) {
+  encoder->PutUvarint(manifest.epoch);
+  encoder->PutU32(manifest.num_shards);
+  encoder->PutUvarint(manifest.records_seen);
+  encoder->PutString(manifest.heuristic);
+  encoder->PutString(manifest.identity);
+  encoder->PutVarint(manifest.max_session_duration);
+  encoder->PutVarint(manifest.max_page_stay);
+  encoder->PutString(manifest.sink_state);
+}
+
+Status DecodeManifest(Decoder* decoder, CheckpointManifest* manifest) {
+  WUM_ASSIGN_OR_RETURN(manifest->epoch, decoder->GetUvarint());
+  WUM_ASSIGN_OR_RETURN(manifest->num_shards, decoder->GetU32());
+  WUM_ASSIGN_OR_RETURN(manifest->records_seen, decoder->GetUvarint());
+  WUM_ASSIGN_OR_RETURN(manifest->heuristic, decoder->GetString());
+  WUM_ASSIGN_OR_RETURN(manifest->identity, decoder->GetString());
+  WUM_ASSIGN_OR_RETURN(manifest->max_session_duration, decoder->GetVarint());
+  WUM_ASSIGN_OR_RETURN(manifest->max_page_stay, decoder->GetVarint());
+  WUM_ASSIGN_OR_RETURN(manifest->sink_state, decoder->GetString());
+  return Status::OK();
+}
+
+void EncodeSession(const Session& session, Encoder* encoder) {
+  encoder->PutUvarint(session.requests.size());
+  for (const PageRequest& request : session.requests) {
+    encoder->PutUvarint(request.page);
+    encoder->PutVarint(request.timestamp);
+  }
+}
+
+Status DecodeSession(Decoder* decoder, Session* session) {
+  WUM_ASSIGN_OR_RETURN(std::uint64_t count, decoder->GetUvarint());
+  // Each encoded request is at least two bytes, so a count beyond the
+  // remaining byte count is corruption — rejected before any reserve.
+  if (count > decoder->remaining()) {
+    return Status::ParseError("session request count " +
+                              std::to_string(count) +
+                              " exceeds payload size");
+  }
+  session->requests.clear();
+  session->requests.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WUM_ASSIGN_OR_RETURN(std::uint64_t page, decoder->GetUvarint());
+    if (page >= kInvalidPage) {
+      return Status::ParseError("session page id out of range");
+    }
+    WUM_ASSIGN_OR_RETURN(std::int64_t timestamp, decoder->GetVarint());
+    session->requests.push_back(
+        PageRequest{static_cast<PageId>(page), timestamp});
+  }
+  return Status::OK();
+}
+
+void EncodeDeadLetter(const DeadLetter& letter, Encoder* encoder) {
+  encoder->PutU8(static_cast<std::uint8_t>(letter.stage));
+  encoder->PutUvarint(letter.shard);
+  EncodeStatus(letter.reason, encoder);
+  encoder->PutU8(letter.record.has_value() ? 1 : 0);
+  if (letter.record.has_value()) EncodeLogRecord(*letter.record, encoder);
+  encoder->PutString(letter.detail);
+  encoder->PutUvarint(letter.records_covered);
+}
+
+Status DecodeDeadLetter(Decoder* decoder, DeadLetter* letter) {
+  WUM_ASSIGN_OR_RETURN(std::uint8_t stage, decoder->GetU8());
+  if (stage > static_cast<std::uint8_t>(DeadLetter::Stage::kShardDead)) {
+    return Status::ParseError("invalid dead-letter stage " +
+                              std::to_string(stage));
+  }
+  letter->stage = static_cast<DeadLetter::Stage>(stage);
+  WUM_ASSIGN_OR_RETURN(std::uint64_t shard, decoder->GetUvarint());
+  letter->shard = static_cast<std::size_t>(shard);
+  WUM_RETURN_NOT_OK(DecodeStatus(decoder, &letter->reason));
+  WUM_ASSIGN_OR_RETURN(std::uint8_t has_record, decoder->GetU8());
+  if (has_record > 1) {
+    return Status::ParseError("invalid dead-letter record flag");
+  }
+  if (has_record == 1) {
+    LogRecord record;
+    WUM_RETURN_NOT_OK(DecodeLogRecord(decoder, &record));
+    letter->record = std::move(record);
+  } else {
+    letter->record.reset();
+  }
+  WUM_ASSIGN_OR_RETURN(letter->detail, decoder->GetString());
+  WUM_ASSIGN_OR_RETURN(letter->records_covered, decoder->GetUvarint());
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + temp);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + temp);
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return Status::IoError("rename " + temp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Status WriteFramedFile(const std::string& path, std::string_view magic,
+                       const std::vector<std::string>& payloads) {
+  std::ostringstream buffer(std::ios::binary);
+  FrameWriter writer(&buffer);
+  WUM_RETURN_NOT_OK(writer.WriteHeader(magic, kCheckpointVersion));
+  for (const std::string& payload : payloads) {
+    WUM_RETURN_NOT_OK(writer.WriteFrame(payload));
+  }
+  return WriteFileAtomic(path, buffer.str());
+}
+
+Result<std::vector<std::string>> ReadFramedFile(const std::string& path,
+                                                std::string_view magic) {
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec) return Status::IoError("cannot stat " + path);
+  if (size > kMaxCheckpointFileBytes) {
+    return Status::ParseError(path + " is " + std::to_string(size) +
+                              " bytes, beyond the checkpoint file bound");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  FrameReader reader(&in);
+  Status header = reader.ReadHeader(magic, kCheckpointVersion);
+  if (!header.ok()) {
+    return Status(header.code(), path + ": " + header.message());
+  }
+  std::vector<std::string> payloads;
+  while (true) {
+    Result<std::optional<std::string>> frame = reader.ReadFrame();
+    if (!frame.ok()) {
+      return Status(frame.status().code(),
+                    path + ": " + frame.status().message());
+    }
+    if (!frame->has_value()) break;
+    payloads.push_back(std::move(**frame));
+  }
+  return payloads;
+}
+
+std::string EpochDirName(std::uint64_t epoch) {
+  return "epoch-" + std::to_string(epoch);
+}
+
+Status CommitCurrent(const std::string& dir, std::uint64_t epoch) {
+  Encoder encoder;
+  encoder.PutUvarint(epoch);
+  std::ostringstream buffer(std::ios::binary);
+  FrameWriter writer(&buffer);
+  WUM_RETURN_NOT_OK(writer.WriteHeader(kCurrentMagic, kCheckpointVersion));
+  WUM_RETURN_NOT_OK(writer.WriteFrame(encoder.buffer()));
+  return WriteFileAtomic(dir + "/CURRENT", buffer.str());
+}
+
+Result<std::uint64_t> ReadCurrent(const std::string& dir) {
+  const std::string path = dir + "/CURRENT";
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    return Status::NotFound("no checkpoint in " + dir + " (missing CURRENT)");
+  }
+  WUM_ASSIGN_OR_RETURN(std::vector<std::string> payloads,
+                       ReadFramedFile(path, kCurrentMagic));
+  if (payloads.size() != 1) {
+    return Status::ParseError(path + ": expected exactly one frame, found " +
+                              std::to_string(payloads.size()));
+  }
+  Decoder decoder(payloads[0]);
+  WUM_ASSIGN_OR_RETURN(std::uint64_t epoch, decoder.GetUvarint());
+  WUM_RETURN_NOT_OK(decoder.ExpectEnd());
+  return epoch;
+}
+
+void RemoveStaleEpochs(const std::string& dir, std::uint64_t keep_epoch) {
+  const std::string keep = EpochDirName(keep_epoch);
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const fs::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("epoch-", 0) == 0 && name != keep) {
+      fs::remove_all(entry.path(), ec);  // best effort
+    }
+  }
+}
+
+}  // namespace wum::ckpt

@@ -1,0 +1,117 @@
+// The checkpoint persistence protocol: atomic file writes, the
+// epoch-directory + CURRENT-pointer commit scheme, and the persisted
+// schemas (manifest, session state, dead letters) built on the ckpt
+// codec.
+//
+// A checkpoint directory looks like
+//
+//   <dir>/CURRENT              -> committed epoch number (written last,
+//                                 via temp file + rename)
+//   <dir>/epoch-<N>/shard-<k>.state
+//   <dir>/epoch-<N>/dead_letters.state
+//   <dir>/epoch-<N>/metrics.json        (optional wum::obs snapshot)
+//   <dir>/epoch-<N>/MANIFEST            (written last within the epoch)
+//
+// Within an epoch the MANIFEST is written last; across epochs CURRENT is
+// renamed into place only after the new epoch directory is complete. A
+// crash at any point therefore leaves either the previous consistent
+// checkpoint (CURRENT untouched) or the new one — never a half-written
+// state a resume could read. See docs/checkpointing.md.
+
+#ifndef WUM_CKPT_CHECKPOINT_H_
+#define WUM_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wum/ckpt/codec.h"
+#include "wum/common/result.h"
+#include "wum/session/session.h"
+#include "wum/stream/dead_letter.h"
+
+namespace wum::ckpt {
+
+/// Format version shared by every checkpoint file; bump on any schema
+/// change. Readers reject other versions with a precise ParseError.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Per-file magics, so a file restored into the wrong slot fails loudly.
+inline constexpr std::string_view kManifestMagic = "wumckpt.manifest";
+inline constexpr std::string_view kCurrentMagic = "wumckpt.current";
+inline constexpr std::string_view kShardMagic = "wumckpt.shard";
+inline constexpr std::string_view kDeadLetterMagic = "wumckpt.dlq";
+
+/// Whole-file read bound (checkpoint files are per-shard state, not
+/// datasets; anything larger than this is corruption, not data).
+inline constexpr std::size_t kMaxCheckpointFileBytes = 256u << 20;
+
+/// Engine-level snapshot metadata. The configuration fields double as a
+/// compatibility fingerprint: resume refuses a checkpoint taken under a
+/// different heuristic, identity, shard count or thresholds.
+struct CheckpointManifest {
+  std::uint64_t epoch = 0;
+  std::uint32_t num_shards = 0;
+  /// Input records consumed by Offer (accepted, shed or quarantined) at
+  /// the barrier — the replay skip offset for resume.
+  std::uint64_t records_seen = 0;
+  /// Registry heuristic name, or "custom".
+  std::string heuristic;
+  /// "ip" or "ip-ua" (UserIdentity).
+  std::string identity;
+  TimeSeconds max_session_duration = 0;
+  TimeSeconds max_page_stay = 0;
+  /// Caller-opaque sink state captured at the barrier (e.g. the durable
+  /// session journal length websra_sessionize stores here).
+  std::string sink_state;
+};
+
+void EncodeManifest(const CheckpointManifest& manifest, Encoder* encoder);
+Status DecodeManifest(Decoder* decoder, CheckpointManifest* manifest);
+
+/// Session open-state schema, shared by sessionizer checkpoint hooks and
+/// the binary session format: uvarint request count, then per request a
+/// uvarint page id and varint timestamp.
+void EncodeSession(const Session& session, Encoder* encoder);
+Status DecodeSession(Decoder* decoder, Session* session);
+
+/// Dead-letter schema (everything a DeadLetter carries, including the
+/// optional LogRecord, so a drained-and-restored queue replays exactly).
+void EncodeDeadLetter(const DeadLetter& letter, Encoder* encoder);
+Status DecodeDeadLetter(Decoder* decoder, DeadLetter* letter);
+
+/// Writes `contents` to `path` atomically: a sibling temp file is
+/// written, flushed and renamed over `path`, so readers never observe a
+/// partial file.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Writes a framed file atomically: magic + version header, then one
+/// CRC-framed payload per entry.
+Status WriteFramedFile(const std::string& path, std::string_view magic,
+                       const std::vector<std::string>& payloads);
+
+/// Reads a framed file back, validating size bound, magic, version and
+/// every frame checksum. All failures are precise Status errors.
+Result<std::vector<std::string>> ReadFramedFile(const std::string& path,
+                                                std::string_view magic);
+
+/// "epoch-<epoch>".
+std::string EpochDirName(std::uint64_t epoch);
+
+/// Commits `epoch` as the checkpoint directory's current epoch by
+/// atomically replacing <dir>/CURRENT.
+Status CommitCurrent(const std::string& dir, std::uint64_t epoch);
+
+/// Reads the committed epoch; NotFound when the directory holds no
+/// checkpoint yet.
+Result<std::uint64_t> ReadCurrent(const std::string& dir);
+
+/// Best-effort removal of every epoch-<N> directory except
+/// `keep_epoch` (called after a successful commit; failures are
+/// ignored — stale epochs are garbage, not state).
+void RemoveStaleEpochs(const std::string& dir, std::uint64_t keep_epoch);
+
+}  // namespace wum::ckpt
+
+#endif  // WUM_CKPT_CHECKPOINT_H_

@@ -1,0 +1,202 @@
+#include "wum/ckpt/codec.h"
+
+#include <istream>
+#include <ostream>
+
+#include "wum/ckpt/crc32.h"
+
+namespace wum::ckpt {
+namespace {
+
+constexpr int kMaxVarintBytes = 10;  // ceil(64 / 7)
+
+/// Zigzag maps signed to unsigned so small magnitudes encode short:
+/// 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+std::uint64_t ZigzagEncode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t ZigzagDecode(std::uint64_t value) {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+}  // namespace
+
+void Encoder::PutU8(std::uint8_t value) {
+  buffer_.push_back(static_cast<char>(value));
+}
+
+void Encoder::PutU32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void Encoder::PutU64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void Encoder::PutUvarint(std::uint64_t value) {
+  while (value >= 0x80u) {
+    buffer_.push_back(static_cast<char>((value & 0x7Fu) | 0x80u));
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<char>(value));
+}
+
+void Encoder::PutVarint(std::int64_t value) {
+  PutUvarint(ZigzagEncode(value));
+}
+
+void Encoder::PutString(std::string_view value) {
+  PutUvarint(value.size());
+  buffer_.append(value);
+}
+
+Result<std::uint8_t> Decoder::GetU8() {
+  if (remaining() < 1) return Status::ParseError("truncated u8");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+Result<std::uint32_t> Decoder::GetU32() {
+  if (remaining() < 4) return Status::ParseError("truncated u32");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+Result<std::uint64_t> Decoder::GetU64() {
+  if (remaining() < 8) return Status::ParseError("truncated u64");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+Result<std::uint64_t> Decoder::GetUvarint() {
+  std::uint64_t value = 0;
+  for (int i = 0; i < kMaxVarintBytes; ++i) {
+    if (pos_ >= data_.size()) return Status::ParseError("truncated varint");
+    const auto byte = static_cast<unsigned char>(data_[pos_++]);
+    if (i == kMaxVarintBytes - 1 && byte > 0x01u) {
+      return Status::ParseError("varint overflows 64 bits");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << (7 * i);
+    if ((byte & 0x80u) == 0) return value;
+  }
+  return Status::ParseError("varint longer than 10 bytes");
+}
+
+Result<std::int64_t> Decoder::GetVarint() {
+  WUM_ASSIGN_OR_RETURN(std::uint64_t raw, GetUvarint());
+  return ZigzagDecode(raw);
+}
+
+Result<std::string> Decoder::GetString() {
+  WUM_ASSIGN_OR_RETURN(std::uint64_t length, GetUvarint());
+  if (length > remaining()) {
+    return Status::ParseError("string length " + std::to_string(length) +
+                              " exceeds remaining " +
+                              std::to_string(remaining()) + " bytes");
+  }
+  std::string value(data_.substr(pos_, static_cast<std::size_t>(length)));
+  pos_ += static_cast<std::size_t>(length);
+  return value;
+}
+
+Status Decoder::ExpectEnd() const {
+  if (remaining() == 0) return Status::OK();
+  return Status::ParseError(std::to_string(remaining()) +
+                            " trailing bytes after payload");
+}
+
+Status FrameWriter::WriteHeader(std::string_view magic,
+                                std::uint32_t version) {
+  Encoder encoder;
+  encoder.PutU32(version);
+  out_->write(magic.data(), static_cast<std::streamsize>(magic.size()));
+  out_->write(encoder.buffer().data(),
+              static_cast<std::streamsize>(encoder.buffer().size()));
+  if (!*out_) return Status::IoError("frame header write failed");
+  bytes_written_ += magic.size() + encoder.buffer().size();
+  return Status::OK();
+}
+
+Status FrameWriter::WriteFrame(std::string_view payload) {
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument("frame payload exceeds 4 GiB");
+  }
+  Encoder encoder;
+  encoder.PutU32(static_cast<std::uint32_t>(payload.size()));
+  encoder.PutU32(Crc32(payload));
+  out_->write(encoder.buffer().data(),
+              static_cast<std::streamsize>(encoder.buffer().size()));
+  out_->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!*out_) return Status::IoError("frame write failed");
+  bytes_written_ += encoder.buffer().size() + payload.size();
+  return Status::OK();
+}
+
+Status FrameReader::ReadHeader(std::string_view magic, std::uint32_t version) {
+  std::string header(magic.size() + 4, '\0');
+  in_->read(header.data(), static_cast<std::streamsize>(header.size()));
+  if (static_cast<std::size_t>(in_->gcount()) != header.size()) {
+    return Status::ParseError("truncated file header");
+  }
+  if (std::string_view(header).substr(0, magic.size()) != magic) {
+    return Status::ParseError("bad magic (not a '" + std::string(magic) +
+                              "' file)");
+  }
+  Decoder decoder(std::string_view(header).substr(magic.size()));
+  WUM_ASSIGN_OR_RETURN(std::uint32_t file_version, decoder.GetU32());
+  if (file_version != version) {
+    return Status::ParseError("unsupported version " +
+                              std::to_string(file_version) + " (expected " +
+                              std::to_string(version) + ")");
+  }
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> FrameReader::ReadFrame() {
+  std::string prefix(8, '\0');
+  in_->read(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  const auto got = static_cast<std::size_t>(in_->gcount());
+  if (got == 0) return std::optional<std::string>(std::nullopt);
+  if (got != prefix.size()) {
+    return Status::ParseError("truncated frame header (" +
+                              std::to_string(got) + " of 8 bytes)");
+  }
+  Decoder decoder(prefix);
+  WUM_ASSIGN_OR_RETURN(std::uint32_t length, decoder.GetU32());
+  WUM_ASSIGN_OR_RETURN(std::uint32_t expected_crc, decoder.GetU32());
+  if (length > max_payload_) {
+    return Status::ParseError("frame payload of " + std::to_string(length) +
+                              " bytes exceeds the " +
+                              std::to_string(max_payload_) + " byte limit");
+  }
+  std::string payload(length, '\0');
+  in_->read(payload.data(), static_cast<std::streamsize>(length));
+  if (static_cast<std::size_t>(in_->gcount()) != length) {
+    return Status::ParseError("truncated frame payload (" +
+                              std::to_string(in_->gcount()) + " of " +
+                              std::to_string(length) + " bytes)");
+  }
+  if (Crc32(payload) != expected_crc) {
+    return Status::ParseError("frame checksum mismatch");
+  }
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace wum::ckpt

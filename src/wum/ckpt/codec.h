@@ -1,0 +1,128 @@
+// Versioned, CRC32-framed binary record codec for durable state
+// (checkpoints, binary session files). Two layers:
+//
+//  - Encoder/Decoder: primitive (de)serialization into a byte buffer —
+//    fixed-width little-endian integers, LEB128 varints (zigzag for
+//    signed), and length-prefixed strings. Every Decoder getter is
+//    bounds-checked and returns a precise Status instead of reading past
+//    the end: corrupt input can never cause UB.
+//
+//  - FrameWriter/FrameReader: a stream of self-delimiting frames
+//        [u32 payload_len][u32 crc32(payload)][payload bytes]
+//    optionally preceded by a file header (magic bytes + u32 version).
+//    Reads are bounded: a frame whose declared length exceeds the
+//    reader's limit is rejected before any allocation, so a garbage
+//    header cannot trigger a multi-gigabyte read. Truncated frames,
+//    checksum mismatches and wrong versions all surface as ParseError.
+//
+// See docs/checkpointing.md for the format specification.
+
+#ifndef WUM_CKPT_CODEC_H_
+#define WUM_CKPT_CODEC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "wum/common/result.h"
+
+namespace wum::ckpt {
+
+/// Append-only byte-buffer builder for one frame payload.
+class Encoder {
+ public:
+  /// One byte, verbatim.
+  void PutU8(std::uint8_t value);
+  /// Fixed-width little-endian (used where the width is part of the
+  /// framing, e.g. lengths and checksums).
+  void PutU32(std::uint32_t value);
+  void PutU64(std::uint64_t value);
+  /// LEB128 varint: 1 byte for values < 128, up to 10 bytes for the full
+  /// 64-bit range. The default integer encoding for counters and sizes.
+  void PutUvarint(std::uint64_t value);
+  /// Zigzag + LEB128, so small negative values stay small.
+  void PutVarint(std::int64_t value);
+  /// Uvarint byte length followed by the raw bytes.
+  void PutString(std::string_view value);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over one frame payload. Never reads past the
+/// view; every getter returns ParseError on truncated or malformed
+/// input.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Result<std::uint8_t> GetU8();
+  Result<std::uint32_t> GetU32();
+  Result<std::uint64_t> GetU64();
+  Result<std::uint64_t> GetUvarint();
+  Result<std::int64_t> GetVarint();
+  Result<std::string> GetString();
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// ParseError when any bytes remain — catches schema drift where a
+  /// payload carries more fields than the reader understands.
+  Status ExpectEnd() const;
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes the optional file header and a sequence of CRC-framed
+/// payloads to a stream opened in binary mode.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::ostream* out) : out_(out) {}
+
+  /// Magic bytes (verbatim) followed by a little-endian u32 version.
+  Status WriteHeader(std::string_view magic, std::uint32_t version);
+  /// [u32 len][u32 crc32(payload)][payload].
+  Status WriteFrame(std::string_view payload);
+
+  /// Bytes written through this writer (header + frames).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::ostream* out_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Reads what FrameWriter writes, rejecting corruption with precise
+/// errors and bounding every allocation by `max_payload`.
+class FrameReader {
+ public:
+  /// Default per-frame payload bound; far above any legitimate frame,
+  /// far below an OOM.
+  static constexpr std::size_t kDefaultMaxPayload = 64u << 20;  // 64 MiB
+
+  explicit FrameReader(std::istream* in,
+                       std::size_t max_payload = kDefaultMaxPayload)
+      : in_(in), max_payload_(max_payload) {}
+
+  /// Validates the magic bytes and that the file's version equals
+  /// `version` (ParseError otherwise, naming both versions).
+  Status ReadHeader(std::string_view magic, std::uint32_t version);
+  /// Next payload, or nullopt at a clean end of stream (EOF exactly on a
+  /// frame boundary). Truncation inside a frame, a length beyond
+  /// max_payload and a checksum mismatch are ParseErrors.
+  Result<std::optional<std::string>> ReadFrame();
+
+ private:
+  std::istream* in_;
+  std::size_t max_payload_;
+};
+
+}  // namespace wum::ckpt
+
+#endif  // WUM_CKPT_CODEC_H_

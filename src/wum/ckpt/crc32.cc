@@ -1,0 +1,36 @@
+#include "wum/ckpt/crc32.h"
+
+#include <array>
+
+namespace wum::ckpt {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view data) {
+  crc = ~crc;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+}  // namespace wum::ckpt

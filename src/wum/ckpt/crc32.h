@@ -1,0 +1,25 @@
+// IEEE CRC-32 (the polynomial used by zip/gzip/Ethernet), table-driven.
+// Every frame the checkpoint codec writes is covered by one of these
+// checksums, so truncation and bit-rot are detected on read instead of
+// silently corrupting restored engine state.
+
+#ifndef WUM_CKPT_CRC32_H_
+#define WUM_CKPT_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace wum::ckpt {
+
+/// CRC-32 of `data` (polynomial 0xEDB88320, init/final XOR 0xFFFFFFFF).
+/// Crc32("123456789") == 0xCBF43926, the standard check value.
+std::uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed chunks in order, starting from Crc32("").
+///   crc = Crc32Update(Crc32Update(0, a), b) == Crc32(a + b)
+/// (the seed for an empty prefix is 0, i.e. Crc32("")).
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view data);
+
+}  // namespace wum::ckpt
+
+#endif  // WUM_CKPT_CRC32_H_

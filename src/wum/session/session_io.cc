@@ -1,15 +1,26 @@
 #include "wum/session/session_io.h"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
 
+#include "wum/ckpt/checkpoint.h"
 #include "wum/common/string_util.h"
 
 namespace wum {
 namespace {
 
 constexpr std::string_view kMagic = "websra-sessions";
+constexpr std::string_view kBinaryMagic = "websra-sessions-bin";
 constexpr int kVersion = 1;
+
+/// "websra-sessions-bin 1" — the binary format's first line. A text
+/// header line keeps the two formats distinguishable with one getline
+/// (and a binary file recognizable in a pager); everything after it is
+/// CRC-framed binary.
+std::string BinaryHeader() {
+  return std::string(kBinaryMagic) + " " + std::to_string(kVersion);
+}
 
 }  // namespace
 
@@ -68,19 +79,88 @@ Result<std::vector<UserSession>> ReadSessionsText(std::istream* in) {
   return sessions;
 }
 
+std::string SessionsBinaryHeaderLine() { return BinaryHeader(); }
+
+Status AppendSessionBinary(const UserSession& entry, std::ostream* out) {
+  if (entry.user_key.empty()) {
+    return Status::InvalidArgument("empty user key");
+  }
+  ckpt::Encoder encoder;
+  encoder.PutString(entry.user_key);
+  ckpt::EncodeSession(entry.session, &encoder);
+  ckpt::FrameWriter writer(out);
+  return writer.WriteFrame(encoder.buffer());
+}
+
+Status WriteSessionsBinary(const std::vector<UserSession>& sessions,
+                           std::ostream* out) {
+  *out << BinaryHeader() << '\n';
+  for (const UserSession& entry : sessions) {
+    WUM_RETURN_NOT_OK(AppendSessionBinary(entry, out));
+  }
+  out->flush();
+  if (!*out) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Result<std::vector<UserSession>> ReadSessionsBinary(std::istream* in) {
+  std::string header;
+  if (!std::getline(*in, header)) {
+    return Status::ParseError("empty sessions stream");
+  }
+  if (StripWhitespace(header) != BinaryHeader()) {
+    return Status::ParseError("expected header '" + BinaryHeader() + "'");
+  }
+  ckpt::FrameReader reader(in);
+  std::vector<UserSession> sessions;
+  auto error = [&sessions](const std::string& what) {
+    return Status::ParseError("session " + std::to_string(sessions.size()) +
+                              ": " + what);
+  };
+  while (true) {
+    WUM_ASSIGN_OR_RETURN(std::optional<std::string> frame,
+                         reader.ReadFrame());
+    if (!frame.has_value()) break;
+    ckpt::Decoder decoder(*frame);
+    UserSession entry;
+    WUM_ASSIGN_OR_RETURN(entry.user_key, decoder.GetString());
+    if (entry.user_key.empty()) return error("empty user key");
+    Status status = ckpt::DecodeSession(&decoder, &entry.session);
+    if (status.ok()) status = decoder.ExpectEnd();
+    if (!status.ok()) return error(status.message());
+    sessions.push_back(std::move(entry));
+  }
+  return sessions;
+}
+
 Status WriteSessionsFile(const std::vector<UserSession>& sessions,
-                         const std::string& path) {
-  std::ofstream out(path);
+                         const std::string& path, SessionFormat format) {
+  std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for writing: " + path);
-  WriteSessionsText(sessions, &out);
+  if (format == SessionFormat::kBinary) {
+    WUM_RETURN_NOT_OK(WriteSessionsBinary(sessions, &out));
+  } else {
+    WriteSessionsText(sessions, &out);
+  }
   out.flush();
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
 Result<std::vector<UserSession>> ReadSessionsFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
+  // Auto-detect: a binary file's first line is its magic; anything else
+  // (including future binary versions, which the binary reader rejects
+  // with the precise version error) goes down its own parser.
+  std::string first_line;
+  std::getline(in, first_line);
+  in.clear();
+  in.seekg(0);
+  if (StripWhitespace(first_line).substr(0, kBinaryMagic.size()) ==
+      kBinaryMagic) {
+    return ReadSessionsBinary(&in);
+  }
   return ReadSessionsText(&in);
 }
 

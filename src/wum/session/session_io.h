@@ -1,6 +1,7 @@
-// Session (de)serialization: a line-oriented text format used by the CLI
-// tools to pass reconstructed or ground-truth sessions between pipeline
-// stages.
+// Session (de)serialization: a line-oriented text format and a compact
+// CRC-framed binary format used by the CLI tools to pass reconstructed
+// or ground-truth sessions between pipeline stages. Readers auto-detect
+// the format from the header line.
 
 #ifndef WUM_SESSION_SESSION_IO_H_
 #define WUM_SESSION_SESSION_IO_H_
@@ -13,6 +14,14 @@
 #include "wum/session/session.h"
 
 namespace wum {
+
+/// On-disk session serialization. Both carry the same data; binary is
+/// smaller, checksummed (ckpt codec frames) and appendable, which is
+/// what the checkpointing session journal needs.
+enum class SessionFormat {
+  kText,
+  kBinary,
+};
 
 /// A session attributed to a user key (client IP or IP+agent composite).
 struct UserSession {
@@ -32,9 +41,32 @@ void WriteSessionsText(const std::vector<UserSession>& sessions,
 
 Result<std::vector<UserSession>> ReadSessionsText(std::istream* in);
 
-/// Convenience file wrappers.
+/// Binary format: the header line "websra-sessions-bin 1\n", then one
+/// CRC32-framed record per session (see wum/ckpt/codec.h for the frame
+/// layout) holding the user key and the session's requests. Truncated,
+/// corrupt or wrong-version input fails with a precise ParseError; the
+/// stream must be opened in binary mode.
+Status WriteSessionsBinary(const std::vector<UserSession>& sessions,
+                           std::ostream* out);
+
+Result<std::vector<UserSession>> ReadSessionsBinary(std::istream* in);
+
+/// First line of a binary session file, without the newline
+/// ("websra-sessions-bin 1") — for incremental (journal-style) writers
+/// that cannot use WriteSessionsBinary in one shot.
+std::string SessionsBinaryHeaderLine();
+
+/// Appends one session as a binary frame. The stream must already hold
+/// the header line (SessionsBinaryHeaderLine + '\n'); appending to an
+/// existing binary session file is valid, which is what makes the
+/// format usable as a checkpointed session journal.
+Status AppendSessionBinary(const UserSession& entry, std::ostream* out);
+
+/// Convenience file wrappers. Reading auto-detects text vs binary from
+/// the header line, so callers never have to know what wrote a file.
 Status WriteSessionsFile(const std::vector<UserSession>& sessions,
-                         const std::string& path);
+                         const std::string& path,
+                         SessionFormat format = SessionFormat::kText);
 Result<std::vector<UserSession>> ReadSessionsFile(const std::string& path);
 
 }  // namespace wum

@@ -61,4 +61,23 @@ std::uint64_t DeadLetterQueue::overflow_dropped() const {
   return overflow_dropped_;
 }
 
+DeadLetterQueueSnapshot DeadLetterQueue::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeadLetterQueueSnapshot snapshot;
+  snapshot.letters.assign(letters_.begin(), letters_.end());
+  snapshot.total_offered = total_offered_;
+  snapshot.records_covered = records_covered_;
+  snapshot.overflow_dropped = overflow_dropped_;
+  return snapshot;
+}
+
+void DeadLetterQueue::Restore(DeadLetterQueueSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  letters_.assign(std::make_move_iterator(snapshot.letters.begin()),
+                  std::make_move_iterator(snapshot.letters.end()));
+  total_offered_ = snapshot.total_offered;
+  records_covered_ = snapshot.records_covered;
+  overflow_dropped_ = snapshot.overflow_dropped;
+}
+
 }  // namespace wum

@@ -55,6 +55,16 @@ struct DeadLetter {
 /// "kParse" / "kRecord" / "kEmit" / "kShardDead", for reports and logs.
 std::string_view DeadLetterStageName(DeadLetter::Stage stage);
 
+/// Point-in-time copy of a DeadLetterQueue, as captured by Snapshot and
+/// persisted by the checkpoint layer (wum/ckpt). Restore() reinstates
+/// it wholesale so resumed accounting matches the checkpointed run.
+struct DeadLetterQueueSnapshot {
+  std::vector<DeadLetter> letters;
+  std::uint64_t total_offered = 0;
+  std::uint64_t records_covered = 0;
+  std::uint64_t overflow_dropped = 0;
+};
+
 /// Bounded, thread-safe FIFO of DeadLetters. Producers (shard workers,
 /// the parser, the emit path) call Offer concurrently; the caller drains
 /// from any thread, during or after the run. When full, the newest
@@ -86,6 +96,14 @@ class DeadLetterQueue {
 
   /// Offers refused because the queue was full.
   std::uint64_t overflow_dropped() const;
+
+  /// Copies the retained letters and every counter, without draining.
+  /// Taken by StreamEngine::Checkpoint while the engine is quiescent.
+  DeadLetterQueueSnapshot Snapshot() const;
+
+  /// Replaces the queue's contents and counters with `snapshot`. The
+  /// letters were accepted once already, so capacity is not re-applied.
+  void Restore(DeadLetterQueueSnapshot snapshot);
 
  private:
   const std::size_t capacity_;

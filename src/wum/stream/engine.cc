@@ -1,9 +1,12 @@
 #include "wum/stream/engine.h"
 
+#include <filesystem>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 
+#include "wum/ckpt/checkpoint.h"
 #include "wum/stream/heuristic_registry.h"
 #include "wum/stream/operators.h"
 #include "wum/stream/threaded_driver.h"
@@ -122,6 +125,15 @@ class StreamEngine::ShardEmit : public SessionSink {
     return quarantined_records_.load(std::memory_order_relaxed);
   }
 
+  /// Reinstates checkpointed delivery counters (resume path; runs before
+  /// the shard's worker exists).
+  void RestoreCounters(std::uint64_t sessions, std::uint64_t records,
+                       std::uint64_t quarantined) {
+    delivered_sessions_.store(sessions, std::memory_order_relaxed);
+    delivered_records_.store(records, std::memory_order_relaxed);
+    quarantined_records_.store(quarantined, std::memory_order_relaxed);
+  }
+
  private:
   StreamEngine* engine_;
   Shard* shard_;
@@ -233,8 +245,15 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
     return Status::InvalidArgument(
         "set_num_pages is required (no graph to derive it from)");
   }
-  return std::unique_ptr<StreamEngine>(
+  // Two-phase construction: build the shard chains without workers so a
+  // checkpoint restore never races a live thread, then start them.
+  std::unique_ptr<StreamEngine> engine(
       new StreamEngine(std::move(options), std::move(factory), sink));
+  if (!engine->resume_dir_.empty()) {
+    WUM_RETURN_NOT_OK(engine->RestoreFrom(engine->resume_dir_));
+  }
+  engine->StartWorkers();
+  return engine;
 }
 
 StreamEngine::StreamEngine(EngineOptions options,
@@ -243,7 +262,22 @@ StreamEngine::StreamEngine(EngineOptions options,
       error_policy_(options.error_policy_),
       offer_policy_(options.offer_policy_),
       dead_letters_(options.dead_letters_),
-      emit_(std::make_unique<EmitHub>(sink, options.error_policy_)) {
+      emit_(std::make_unique<EmitHub>(sink, options.error_policy_)),
+      queue_capacity_(options.queue_capacity_),
+      registry_(options.metrics_),
+      heuristic_name_(options.selection_ ==
+                              EngineOptions::Selection::kNamed
+                          ? options.heuristic_name_
+                          : "custom"),
+      thresholds_(options.thresholds_),
+      resume_dir_(options.resume_dir_),
+      ckpt_written_(obs::CounterIn(options.metrics_,
+                                   "ckpt.checkpoints_written")),
+      ckpt_bytes_(obs::CounterIn(options.metrics_, "ckpt.bytes_written")),
+      ckpt_resume_skipped_(
+          obs::CounterIn(options.metrics_, "ckpt.records_resume_skipped")),
+      ckpt_latency_us_(
+          obs::HistogramIn(options.metrics_, "ckpt.write_latency_us")) {
   // With a null registry every handle below is disabled: updates are a
   // predictable branch and the latency timers never read the clock, so
   // an uninstrumented engine does the same atomic work as before the
@@ -284,13 +318,21 @@ StreamEngine::StreamEngine(EngineOptions options,
     shard->head = std::make_unique<engine_internal::CountingSink>(
         &shard->processed, shard->pipeline.get(),
         obs::CounterIn(registry, prefix + "records_processed"));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void StreamEngine::StartWorkers() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    const std::string prefix =
+        "engine.shard" + std::to_string(shard->index) + ".";
     DriverMetrics driver_metrics;
     driver_metrics.blocked_enqueues =
-        obs::CounterIn(registry, prefix + "blocked_enqueues");
+        obs::CounterIn(registry_, prefix + "blocked_enqueues");
     driver_metrics.queue_high_watermark =
-        obs::GaugeIn(registry, prefix + "queue_high_watermark");
+        obs::GaugeIn(registry_, prefix + "queue_high_watermark");
     driver_metrics.drain_latency_us =
-        obs::HistogramIn(registry, prefix + "drain_latency_us");
+        obs::HistogramIn(registry_, prefix + "drain_latency_us");
     DriverHooks hooks;
     if (error_policy_ == ErrorPolicy::kDegrade) {
       // Failure-domain hooks: record-level errors quarantine only the
@@ -323,9 +365,8 @@ StreamEngine::StreamEngine(EngineOptions options,
       };
     }
     shard->driver = std::make_unique<ThreadedDriver>(
-        shard->head.get(), options.queue_capacity_,
-        std::move(driver_metrics), std::move(hooks));
-    shards_.push_back(std::move(shard));
+        shard->head.get(), queue_capacity_, std::move(driver_metrics),
+        std::move(hooks));
   }
 }
 
@@ -351,6 +392,13 @@ Status StreamEngine::Offer(const LogRecord& record) {
   if (finished_) {
     return Status::FailedPrecondition("engine already finished");
   }
+  if (records_seen_ < resume_skip_) {
+    // Resume replay: the checkpoint this engine restored from already
+    // covers this record — count it consumed and move on.
+    ++records_seen_;
+    ckpt_resume_skipped_.Increment();
+    return Status::OK();
+  }
   if (error_policy_ == ErrorPolicy::kFailFast) {
     // A sink failure in any shard stops ingest for all of them.
     WUM_RETURN_NOT_OK(emit_->first_error());
@@ -363,6 +411,7 @@ Status StreamEngine::Offer(const LogRecord& record) {
     if (status.ok() && !accepted) {
       shard.shed.fetch_add(1, std::memory_order_relaxed);
       shard.shed_mirror.Increment();
+      ++records_seen_;
       return Status::OK();
     }
   } else {
@@ -378,10 +427,12 @@ Status StreamEngine::Offer(const LogRecord& record) {
     letter.reason = std::move(status);
     letter.record = record;
     Quarantine(shard, std::move(letter));
+    ++records_seen_;
     return Status::OK();
   }
   shard.offered.fetch_add(1, std::memory_order_relaxed);
   shard.records_in.Increment();
+  ++records_seen_;
   return Status::OK();
 }
 
@@ -392,6 +443,9 @@ Status StreamEngine::Finish() {
   finished_ = true;
   Status first_shard_error;
   for (std::unique_ptr<Shard>& shard : shards_) {
+    // Null drivers only exist when Create bailed out mid-restore and is
+    // tearing the half-built engine down again.
+    if (shard->driver == nullptr) continue;
     Status status = shard->driver->Finish();
     if (!status.ok()) {
       {
@@ -414,7 +468,7 @@ Status StreamEngine::Finish() {
         DeadLetter letter;
         letter.stage = DeadLetter::Stage::kShardDead;
         letter.shard = shard->index;
-        letter.reason = shard->driver->failed()
+        letter.reason = shard->driver != nullptr && shard->driver->failed()
                             ? shard->driver->first_error()
                             : Status::Internal("open session state lost");
         letter.detail = "open session state lost";
@@ -442,8 +496,10 @@ EngineStats StreamEngine::SnapshotShard(const Shard& shard) const {
   stats.records_dropped =
       processed - delivered + shard.sessionize->skipped_non_page_urls();
   stats.sessions_emitted = shard.emit->delivered_sessions();
-  stats.blocked_enqueues = shard.driver->blocked_enqueues();
-  stats.queue_high_watermark = shard.driver->queue_high_watermark();
+  if (shard.driver != nullptr) {
+    stats.blocked_enqueues = shard.driver->blocked_enqueues();
+    stats.queue_high_watermark = shard.driver->queue_high_watermark();
+  }
   stats.dead_letters = shard.dead_letters.load(std::memory_order_relaxed);
   stats.retries = shard.retrying != nullptr ? shard.retrying->retries() : 0;
   stats.records_shed = shard.shed.load(std::memory_order_relaxed);
@@ -467,11 +523,247 @@ EngineStats StreamEngine::TotalStats() const {
   return total;
 }
 
+namespace {
+
+/// Manifest rendering of UserIdentity (part of the resume fingerprint).
+std::string IdentityName(UserIdentity identity) {
+  return identity == UserIdentity::kClientIpAndUserAgent ? "ip-ua" : "ip";
+}
+
+}  // namespace
+
+Status StreamEngine::Checkpoint(const std::string& dir,
+                                const SinkStateFn& sink_state_fn) {
+  namespace fs = std::filesystem;
+  if (finished_) {
+    return Status::FailedPrecondition("engine already finished");
+  }
+  if (error_policy_ == ErrorPolicy::kFailFast) {
+    // A poisoned engine has nothing consistent left to snapshot; the
+    // previous committed checkpoint stays the resume point.
+    WUM_RETURN_NOT_OK(emit_->first_error());
+  }
+  obs::ScopedTimer timer(ckpt_latency_us_);
+  // Quiescence barrier: every record ever offered must be fully settled
+  // (processed, quarantined or discarded) before any state is read.
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    Status status = shard->driver->WaitIdle();
+    if (!status.ok() && error_policy_ == ErrorPolicy::kFailFast) {
+      return status;
+    }
+    // kDegrade: a dead shard is snapshotted as-is — its sessionizer is
+    // frozen and its losses are already in the dead-letter accounting.
+  }
+  std::string sink_state;
+  if (sink_state_fn != nullptr) {
+    WUM_ASSIGN_OR_RETURN(sink_state, sink_state_fn());
+  }
+  const std::uint64_t epoch = next_epoch_;
+  const fs::path epoch_dir = fs::path(dir) / ckpt::EpochDirName(epoch);
+  std::error_code ec;
+  fs::remove_all(epoch_dir, ec);  // leftovers from an aborted attempt
+  ec.clear();
+  fs::create_directories(epoch_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + epoch_dir.string() + ": " +
+                           ec.message());
+  }
+  std::uint64_t bytes = 0;
+  const auto add_file_size = [&bytes](const std::string& path) {
+    std::error_code size_ec;
+    const std::uintmax_t size = fs::file_size(path, size_ec);
+    if (!size_ec) bytes += static_cast<std::uint64_t>(size);
+  };
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::vector<std::string> frames;
+    ckpt::Encoder header;
+    header.PutUvarint(shard->index);
+    header.PutUvarint(shard->offered.load(std::memory_order_relaxed));
+    header.PutUvarint(shard->processed.load(std::memory_order_relaxed));
+    header.PutUvarint(shard->delivered.load(std::memory_order_relaxed));
+    header.PutUvarint(shard->dead_letters.load(std::memory_order_relaxed));
+    header.PutUvarint(shard->shed.load(std::memory_order_relaxed));
+    header.PutUvarint(shard->emit->delivered_sessions());
+    header.PutUvarint(shard->emit->delivered_records());
+    header.PutUvarint(shard->emit->quarantined_records());
+    frames.push_back(header.Release());
+    WUM_RETURN_NOT_OK(shard->sessionize->SerializeState(&frames));
+    const std::string path =
+        (epoch_dir / ("shard-" + std::to_string(shard->index) + ".state"))
+            .string();
+    WUM_RETURN_NOT_OK(ckpt::WriteFramedFile(path, ckpt::kShardMagic, frames));
+    add_file_size(path);
+  }
+  DeadLetterQueueSnapshot dlq;
+  if (dead_letters_ != nullptr) dlq = dead_letters_->Snapshot();
+  std::vector<std::string> dlq_frames;
+  ckpt::Encoder dlq_header;
+  dlq_header.PutUvarint(dlq.total_offered);
+  dlq_header.PutUvarint(dlq.records_covered);
+  dlq_header.PutUvarint(dlq.overflow_dropped);
+  dlq_header.PutUvarint(dlq.letters.size());
+  dlq_frames.push_back(dlq_header.Release());
+  for (const DeadLetter& letter : dlq.letters) {
+    ckpt::Encoder encoder;
+    ckpt::EncodeDeadLetter(letter, &encoder);
+    dlq_frames.push_back(encoder.Release());
+  }
+  const std::string dlq_path = (epoch_dir / "dead_letters.state").string();
+  WUM_RETURN_NOT_OK(
+      ckpt::WriteFramedFile(dlq_path, ckpt::kDeadLetterMagic, dlq_frames));
+  add_file_size(dlq_path);
+  if (registry_ != nullptr) {
+    const std::string metrics_path = (epoch_dir / "metrics.json").string();
+    WUM_RETURN_NOT_OK(
+        obs::WriteMetricsFile(registry_->Snapshot(), metrics_path));
+    add_file_size(metrics_path);
+  }
+  ckpt::CheckpointManifest manifest;
+  manifest.epoch = epoch;
+  manifest.num_shards = static_cast<std::uint32_t>(shards_.size());
+  manifest.records_seen = records_seen_;
+  manifest.heuristic = heuristic_name_;
+  manifest.identity = IdentityName(identity_);
+  manifest.max_session_duration = thresholds_.max_session_duration;
+  manifest.max_page_stay = thresholds_.max_page_stay;
+  manifest.sink_state = std::move(sink_state);
+  ckpt::Encoder manifest_encoder;
+  ckpt::EncodeManifest(manifest, &manifest_encoder);
+  const std::string manifest_path = (epoch_dir / "MANIFEST").string();
+  WUM_RETURN_NOT_OK(ckpt::WriteFramedFile(manifest_path, ckpt::kManifestMagic,
+                                          {manifest_encoder.Release()}));
+  add_file_size(manifest_path);
+  WUM_RETURN_NOT_OK(ckpt::CommitCurrent(dir, epoch));
+  next_epoch_ = epoch + 1;
+  ckpt::RemoveStaleEpochs(dir, epoch);
+  ckpt_written_.Increment();
+  ckpt_bytes_.Increment(bytes);
+  return Status::OK();
+}
+
+Status StreamEngine::RestoreFrom(const std::string& dir) {
+  namespace fs = std::filesystem;
+  WUM_ASSIGN_OR_RETURN(const std::uint64_t epoch, ckpt::ReadCurrent(dir));
+  const fs::path epoch_dir = fs::path(dir) / ckpt::EpochDirName(epoch);
+  WUM_ASSIGN_OR_RETURN(
+      const std::vector<std::string> manifest_frames,
+      ckpt::ReadFramedFile((epoch_dir / "MANIFEST").string(),
+                           ckpt::kManifestMagic));
+  if (manifest_frames.size() != 1) {
+    return Status::ParseError("MANIFEST holds " +
+                              std::to_string(manifest_frames.size()) +
+                              " frames (expected 1)");
+  }
+  ckpt::Decoder manifest_decoder(manifest_frames[0]);
+  ckpt::CheckpointManifest manifest;
+  WUM_RETURN_NOT_OK(ckpt::DecodeManifest(&manifest_decoder, &manifest));
+  WUM_RETURN_NOT_OK(manifest_decoder.ExpectEnd());
+  // Compatibility fingerprint: resuming under a different configuration
+  // would silently produce different sessions, so refuse loudly.
+  if (manifest.num_shards != shards_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint was taken with " + std::to_string(manifest.num_shards) +
+        " shards but the engine is configured with " +
+        std::to_string(shards_.size()));
+  }
+  if (manifest.heuristic != heuristic_name_) {
+    return Status::InvalidArgument("checkpoint heuristic '" +
+                                   manifest.heuristic +
+                                   "' does not match the engine's '" +
+                                   heuristic_name_ + "'");
+  }
+  if (manifest.identity != IdentityName(identity_)) {
+    return Status::InvalidArgument("checkpoint identity '" +
+                                   manifest.identity +
+                                   "' does not match the engine's '" +
+                                   IdentityName(identity_) + "'");
+  }
+  if (manifest.max_session_duration != thresholds_.max_session_duration ||
+      manifest.max_page_stay != thresholds_.max_page_stay) {
+    return Status::InvalidArgument(
+        "checkpoint thresholds (duration=" +
+        std::to_string(manifest.max_session_duration) +
+        ", stay=" + std::to_string(manifest.max_page_stay) +
+        ") do not match the engine's (duration=" +
+        std::to_string(thresholds_.max_session_duration) +
+        ", stay=" + std::to_string(thresholds_.max_page_stay) + ")");
+  }
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    const std::string path =
+        (epoch_dir / ("shard-" + std::to_string(shard->index) + ".state"))
+            .string();
+    WUM_ASSIGN_OR_RETURN(const std::vector<std::string> frames,
+                         ckpt::ReadFramedFile(path, ckpt::kShardMagic));
+    if (frames.empty()) {
+      return Status::ParseError(path + ": missing shard header frame");
+    }
+    ckpt::Decoder header(frames[0]);
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t index, header.GetUvarint());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t offered, header.GetUvarint());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t processed, header.GetUvarint());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t delivered, header.GetUvarint());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t dead, header.GetUvarint());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t shed, header.GetUvarint());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t sessions, header.GetUvarint());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t session_records,
+                         header.GetUvarint());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t quarantined,
+                         header.GetUvarint());
+    WUM_RETURN_NOT_OK(header.ExpectEnd());
+    if (index != shard->index) {
+      return Status::ParseError(path + ": holds state for shard " +
+                                std::to_string(index));
+    }
+    shard->offered.store(offered, std::memory_order_relaxed);
+    shard->processed.store(processed, std::memory_order_relaxed);
+    shard->delivered.store(delivered, std::memory_order_relaxed);
+    shard->dead_letters.store(dead, std::memory_order_relaxed);
+    shard->shed.store(shed, std::memory_order_relaxed);
+    shard->emit->RestoreCounters(sessions, session_records, quarantined);
+    WUM_RETURN_NOT_OK(shard->sessionize->RestoreState(
+        std::span<const std::string>(frames).subspan(1)));
+  }
+  const std::string dlq_path = (epoch_dir / "dead_letters.state").string();
+  WUM_ASSIGN_OR_RETURN(const std::vector<std::string> dlq_frames,
+                       ckpt::ReadFramedFile(dlq_path, ckpt::kDeadLetterMagic));
+  if (dlq_frames.empty()) {
+    return Status::ParseError(dlq_path + ": missing counters frame");
+  }
+  ckpt::Decoder dlq_header(dlq_frames[0]);
+  DeadLetterQueueSnapshot dlq;
+  WUM_ASSIGN_OR_RETURN(dlq.total_offered, dlq_header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(dlq.records_covered, dlq_header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(dlq.overflow_dropped, dlq_header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(const std::uint64_t retained, dlq_header.GetUvarint());
+  WUM_RETURN_NOT_OK(dlq_header.ExpectEnd());
+  if (retained != dlq_frames.size() - 1) {
+    return Status::ParseError(
+        dlq_path + ": declares " + std::to_string(retained) +
+        " letters but carries " + std::to_string(dlq_frames.size() - 1));
+  }
+  dlq.letters.reserve(retained);
+  for (std::size_t i = 1; i < dlq_frames.size(); ++i) {
+    ckpt::Decoder decoder(dlq_frames[i]);
+    DeadLetter letter;
+    WUM_RETURN_NOT_OK(ckpt::DecodeDeadLetter(&decoder, &letter));
+    WUM_RETURN_NOT_OK(decoder.ExpectEnd());
+    dlq.letters.push_back(std::move(letter));
+  }
+  if (dead_letters_ != nullptr) dead_letters_->Restore(std::move(dlq));
+  resume_skip_ = manifest.records_seen;
+  records_seen_ = 0;
+  next_epoch_ = epoch + 1;
+  resumed_sink_state_ = std::move(manifest.sink_state);
+  resumed_ = true;
+  return Status::OK();
+}
+
 std::vector<Status> StreamEngine::ShardHealth() const {
   std::vector<Status> health;
   health.reserve(shards_.size());
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    Status status = shard->driver->first_error();
+    Status status = shard->driver != nullptr ? shard->driver->first_error()
+                                             : Status::OK();
     if (status.ok()) {
       std::lock_guard<std::mutex> lock(shard->health_mutex);
       status = shard->finish_error;

@@ -206,6 +206,19 @@ class EngineOptions {
   /// Sugar for add_operator: wraps the filter in a FilterOperator.
   EngineOptions& add_filter(FilterFactory factory);
 
+  /// Resumes from the latest committed checkpoint in `dir` (written by
+  /// StreamEngine::Checkpoint). Create fails when the directory holds no
+  /// checkpoint, the files are corrupt, or the checkpoint was taken
+  /// under an incompatible configuration (different heuristic, identity,
+  /// shard count or thresholds). After a successful Create the caller
+  /// replays the original input from record zero: Offer silently skips
+  /// the first records_seen records (the checkpoint already covers
+  /// them), then processing continues exactly where it left off.
+  EngineOptions& resume_from(std::string dir) {
+    resume_dir_ = std::move(dir);
+    return *this;
+  }
+
  private:
   friend class StreamEngine;
 
@@ -231,6 +244,7 @@ class EngineOptions {
   OfferPolicy offer_policy_ = OfferPolicy::kBlock;
   DeadLetterQueue* dead_letters_ = nullptr;
   std::optional<RetryOptions> retry_;
+  std::string resume_dir_;
 };
 
 /// Throughput counters of one shard (or, aggregated, the whole engine).
@@ -308,6 +322,41 @@ class StreamEngine {
   /// included). Calling Finish twice returns FailedPrecondition.
   Status Finish();
 
+  /// Captures caller-owned sink state at the checkpoint barrier (e.g.
+  /// the committed length of a durable session journal). The returned
+  /// string is stored opaquely in the manifest and handed back through
+  /// resumed_sink_state() on resume; an error aborts the checkpoint.
+  using SinkStateFn = std::function<Result<std::string>()>;
+
+  /// Durable barrier-style snapshot into `dir` (see docs/
+  /// checkpointing.md). Waits for every shard to drain its queue, then
+  /// writes each shard's sessionizer state and counters, the dead-letter
+  /// queue, a metrics snapshot and a manifest into a fresh epoch
+  /// directory, committing it atomically (MANIFEST last within the
+  /// epoch, then the CURRENT pointer via temp file + rename). On any
+  /// failure the previous committed checkpoint is left intact. Producer
+  /// thread only, like Offer; FailedPrecondition after Finish. Under
+  /// kFailFast a poisoned engine refuses to checkpoint; under kDegrade a
+  /// dead shard is snapshotted as-is (its quarantines are in the
+  /// letters). `sink_state_fn`, when given, runs after the barrier while
+  /// every shard is at rest.
+  Status Checkpoint(const std::string& dir,
+                    const SinkStateFn& sink_state_fn = nullptr);
+
+  /// Input records consumed by Offer so far — accepted, shed or
+  /// quarantined, including resume-skipped replays. Producer thread
+  /// only.
+  std::uint64_t records_seen() const { return records_seen_; }
+
+  /// True when this engine was restored from a checkpoint.
+  bool resumed() const { return resumed_; }
+
+  /// The sink_state captured by the checkpoint this engine resumed from
+  /// (empty when !resumed() or none was captured).
+  const std::string& resumed_sink_state() const {
+    return resumed_sink_state_;
+  }
+
   std::size_t num_shards() const { return shards_.size(); }
 
   /// Per-shard snapshots, index == shard id.
@@ -335,6 +384,13 @@ class StreamEngine {
   /// Counts one quarantined input against `shard` and offers it to the
   /// dead-letter channel when one is attached.
   void Quarantine(Shard& shard, DeadLetter letter);
+  /// Second construction phase: creates the per-shard drivers (worker
+  /// threads). Runs after RestoreFrom so state restore never races a
+  /// live worker.
+  void StartWorkers();
+  /// Loads the committed checkpoint from `dir` into the (not yet
+  /// started) shards; validates the manifest fingerprint first.
+  Status RestoreFrom(const std::string& dir);
 
   UserIdentity identity_;
   ErrorPolicy error_policy_;
@@ -343,6 +399,22 @@ class StreamEngine {
   std::unique_ptr<EmitHub> emit_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool finished_ = false;
+
+  // Checkpoint/resume state. records_seen_ is producer-thread only.
+  std::size_t queue_capacity_;
+  obs::MetricRegistry* registry_;
+  std::string heuristic_name_;  // registry name or "custom"
+  TimeThresholds thresholds_;
+  std::string resume_dir_;
+  std::uint64_t records_seen_ = 0;
+  std::uint64_t resume_skip_ = 0;
+  std::uint64_t next_epoch_ = 1;
+  std::string resumed_sink_state_;
+  bool resumed_ = false;
+  obs::Counter ckpt_written_;
+  obs::Counter ckpt_bytes_;
+  obs::Counter ckpt_resume_skipped_;
+  obs::Histogram ckpt_latency_us_;
 };
 
 }  // namespace wum

@@ -1,10 +1,47 @@
 #include "wum/stream/incremental_sessionizer.h"
 
+#include "wum/ckpt/checkpoint.h"
+
 namespace wum {
+namespace {
+
+// State type tag persisted ahead of each sessionizer's open session, so
+// a state blob restored into the wrong implementation fails loudly
+// (tags 1-3 belong to the incremental time sessionizers).
+constexpr std::uint8_t kSmartSraStateTag = 4;
+
+}  // namespace
+
+Status IncrementalUserSessionizer::SerializeState(ckpt::Encoder*) const {
+  return Status::Unimplemented(
+      "this sessionizer does not support checkpointing (no SerializeState "
+      "override)");
+}
+
+Status IncrementalUserSessionizer::RestoreState(ckpt::Decoder*) {
+  return Status::Unimplemented(
+      "this sessionizer does not support checkpointing (no RestoreState "
+      "override)");
+}
 
 IncrementalSmartSra::IncrementalSmartSra(const WebGraph* graph,
                                          SmartSra::Options options)
     : algorithm_(graph, options) {}
+
+Status IncrementalSmartSra::SerializeState(ckpt::Encoder* encoder) const {
+  encoder->PutU8(kSmartSraStateTag);
+  ckpt::EncodeSession(candidate_, encoder);
+  return Status::OK();
+}
+
+Status IncrementalSmartSra::RestoreState(ckpt::Decoder* decoder) {
+  WUM_ASSIGN_OR_RETURN(std::uint8_t tag, decoder->GetU8());
+  if (tag != kSmartSraStateTag) {
+    return Status::ParseError("state tag " + std::to_string(tag) +
+                              " is not smart-sra state");
+  }
+  return ckpt::DecodeSession(decoder, &candidate_);
+}
 
 Status IncrementalSmartSra::CloseCandidate(const EmitFn& emit) {
   if (candidate_.empty()) return Status::OK();
@@ -93,6 +130,65 @@ Status SessionizeSink::Finish() {
   for (auto& [key, user] : users_) {
     WUM_RETURN_NOT_OK(user.sessionizer->Flush(MakeEmit(key)));
   }
+  return Status::OK();
+}
+
+Status SessionizeSink::SerializeState(std::vector<std::string>* frames) const {
+  ckpt::Encoder header;
+  header.PutUvarint(sessions_emitted_.load(std::memory_order_relaxed));
+  header.PutUvarint(skipped_non_page_urls_.load(std::memory_order_relaxed));
+  header.PutUvarint(records_absorbed_.load(std::memory_order_relaxed));
+  header.PutUvarint(users_.size());
+  frames->push_back(header.Release());
+  for (const auto& [key, user] : users_) {
+    ckpt::Encoder encoder;
+    encoder.PutString(key);
+    encoder.PutVarint(user.last_timestamp);
+    encoder.PutU8(user.has_seen_request ? 1 : 0);
+    WUM_RETURN_NOT_OK(user.sessionizer->SerializeState(&encoder));
+    frames->push_back(encoder.Release());
+  }
+  return Status::OK();
+}
+
+Status SessionizeSink::RestoreState(std::span<const std::string> frames) {
+  if (frames.empty()) {
+    return Status::ParseError("sessionize state missing counters frame");
+  }
+  ckpt::Decoder header(frames[0]);
+  WUM_ASSIGN_OR_RETURN(std::uint64_t emitted, header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(std::uint64_t skipped, header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(std::uint64_t absorbed, header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(std::uint64_t num_users, header.GetUvarint());
+  WUM_RETURN_NOT_OK(header.ExpectEnd());
+  if (num_users != frames.size() - 1) {
+    return Status::ParseError(
+        "sessionize state declares " + std::to_string(num_users) +
+        " users but carries " + std::to_string(frames.size() - 1) +
+        " user frames");
+  }
+  users_.clear();
+  for (const std::string& frame : frames.subspan(1)) {
+    ckpt::Decoder decoder(frame);
+    WUM_ASSIGN_OR_RETURN(std::string key, decoder.GetString());
+    if (key.empty()) return Status::ParseError("empty user key in state");
+    UserState user;
+    WUM_ASSIGN_OR_RETURN(user.last_timestamp, decoder.GetVarint());
+    WUM_ASSIGN_OR_RETURN(std::uint8_t seen, decoder.GetU8());
+    if (seen > 1) return Status::ParseError("invalid has_seen_request flag");
+    user.has_seen_request = seen == 1;
+    user.sessionizer = factory_();
+    WUM_RETURN_NOT_OK(user.sessionizer->RestoreState(&decoder));
+    WUM_RETURN_NOT_OK(decoder.ExpectEnd());
+    auto [it, inserted] = users_.emplace(std::move(key), std::move(user));
+    if (!inserted) {
+      return Status::ParseError("duplicate user key '" + it->first +
+                                "' in state");
+    }
+  }
+  sessions_emitted_.store(emitted, std::memory_order_relaxed);
+  skipped_non_page_urls_.store(skipped, std::memory_order_relaxed);
+  records_absorbed_.store(absorbed, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -10,7 +10,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "wum/clf/user_partitioner.h"
 #include "wum/obs/metrics.h"
@@ -18,6 +20,11 @@
 #include "wum/stream/pipeline.h"
 
 namespace wum {
+
+namespace ckpt {
+class Encoder;
+class Decoder;
+}  // namespace ckpt
 
 /// Optional observability handles for one SessionizeSink (one engine
 /// shard). Default-constructed handles are disabled no-ops.
@@ -46,6 +53,18 @@ class IncrementalUserSessionizer {
 
   /// End of stream: emits whatever is still open.
   virtual Status Flush(const EmitFn& emit) = 0;
+
+  /// Checkpoint hook: appends this state machine's open-session state to
+  /// `encoder` so it round-trips exactly through RestoreState. The
+  /// default refuses with Unimplemented — an engine running a custom
+  /// sessionizer without these overrides cannot be checkpointed (the
+  /// failure is precise, not silent state loss).
+  virtual Status SerializeState(ckpt::Encoder* encoder) const;
+
+  /// Inverse of SerializeState, called on a freshly constructed instance
+  /// before it sees any request. Corrupt input yields ParseError, never
+  /// UB.
+  virtual Status RestoreState(ckpt::Decoder* decoder);
 };
 
 /// Creates per-user state machines; one per client IP.
@@ -63,6 +82,8 @@ class IncrementalSmartSra : public IncrementalUserSessionizer {
 
   Status OnRequest(const PageRequest& request, const EmitFn& emit) override;
   Status Flush(const EmitFn& emit) override;
+  Status SerializeState(ckpt::Encoder* encoder) const override;
+  Status RestoreState(ckpt::Decoder* decoder) override;
 
  private:
   Status CloseCandidate(const EmitFn& emit);
@@ -87,6 +108,20 @@ class SessionizeSink : public RecordSink {
 
   Status Accept(const LogRecord& record) override;
   Status Finish() override;
+
+  /// Checkpoint hook: appends this sink's state as codec frames — one
+  /// counters frame, then one frame per user (key, ordering watermark,
+  /// and the user's sessionizer state via SerializeState). Users are
+  /// emitted in map order, so identical state serializes to identical
+  /// bytes. Must only run while no record is in flight (the engine's
+  /// checkpoint barrier guarantees this).
+  Status SerializeState(std::vector<std::string>* frames) const;
+
+  /// Inverse of SerializeState on a fresh sink: consumes exactly the
+  /// frames its counterpart wrote (ParseError on any mismatch), creating
+  /// each user's sessionizer through the factory and restoring its
+  /// state. Must run before the shard worker starts.
+  Status RestoreState(std::span<const std::string> frames);
 
   /// Counter accessors are safe to call from any thread (the sharded
   /// engine snapshots them while workers run); everything else is

@@ -1,6 +1,27 @@
 #include "wum/stream/incremental_time_sessionizers.h"
 
+#include "wum/ckpt/checkpoint.h"
+
 namespace wum {
+namespace {
+
+// State type tags, distinct across every IncrementalUserSessionizer
+// implementation (smart-sra claims 4 in incremental_sessionizer.cc).
+constexpr std::uint8_t kDurationStateTag = 1;
+constexpr std::uint8_t kPageStayStateTag = 2;
+constexpr std::uint8_t kNavigationStateTag = 3;
+
+Status CheckStateTag(ckpt::Decoder* decoder, std::uint8_t expected,
+                     const char* name) {
+  WUM_ASSIGN_OR_RETURN(std::uint8_t tag, decoder->GetU8());
+  if (tag != expected) {
+    return Status::ParseError("state tag " + std::to_string(tag) +
+                              " is not " + name + " state");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 IncrementalDurationSessionizer::IncrementalDurationSessionizer(
     TimeSeconds max_session_duration)
@@ -25,6 +46,18 @@ Status IncrementalDurationSessionizer::Flush(const EmitFn& emit) {
   return status;
 }
 
+Status IncrementalDurationSessionizer::SerializeState(
+    ckpt::Encoder* encoder) const {
+  encoder->PutU8(kDurationStateTag);
+  ckpt::EncodeSession(current_, encoder);
+  return Status::OK();
+}
+
+Status IncrementalDurationSessionizer::RestoreState(ckpt::Decoder* decoder) {
+  WUM_RETURN_NOT_OK(CheckStateTag(decoder, kDurationStateTag, "duration"));
+  return ckpt::DecodeSession(decoder, &current_);
+}
+
 IncrementalPageStaySessionizer::IncrementalPageStaySessionizer(
     TimeSeconds max_page_stay)
     : max_page_stay_(max_page_stay) {}
@@ -46,6 +79,18 @@ Status IncrementalPageStaySessionizer::Flush(const EmitFn& emit) {
   Status status = emit(std::move(current_));
   current_ = Session{};
   return status;
+}
+
+Status IncrementalPageStaySessionizer::SerializeState(
+    ckpt::Encoder* encoder) const {
+  encoder->PutU8(kPageStayStateTag);
+  ckpt::EncodeSession(current_, encoder);
+  return Status::OK();
+}
+
+Status IncrementalPageStaySessionizer::RestoreState(ckpt::Decoder* decoder) {
+  WUM_RETURN_NOT_OK(CheckStateTag(decoder, kPageStayStateTag, "pagestay"));
+  return ckpt::DecodeSession(decoder, &current_);
 }
 
 IncrementalNavigationSessionizer::IncrementalNavigationSessionizer(
@@ -88,6 +133,18 @@ Status IncrementalNavigationSessionizer::Flush(const EmitFn& emit) {
   Status status = emit(std::move(current_));
   current_ = Session{};
   return status;
+}
+
+Status IncrementalNavigationSessionizer::SerializeState(
+    ckpt::Encoder* encoder) const {
+  encoder->PutU8(kNavigationStateTag);
+  ckpt::EncodeSession(current_, encoder);
+  return Status::OK();
+}
+
+Status IncrementalNavigationSessionizer::RestoreState(ckpt::Decoder* decoder) {
+  WUM_RETURN_NOT_OK(CheckStateTag(decoder, kNavigationStateTag, "navigation"));
+  return ckpt::DecodeSession(decoder, &current_);
 }
 
 }  // namespace wum

@@ -20,6 +20,8 @@ class IncrementalDurationSessionizer : public IncrementalUserSessionizer {
 
   Status OnRequest(const PageRequest& request, const EmitFn& emit) override;
   Status Flush(const EmitFn& emit) override;
+  Status SerializeState(ckpt::Encoder* encoder) const override;
+  Status RestoreState(ckpt::Decoder* decoder) override;
 
  private:
   TimeSeconds max_session_duration_;
@@ -35,6 +37,8 @@ class IncrementalPageStaySessionizer : public IncrementalUserSessionizer {
 
   Status OnRequest(const PageRequest& request, const EmitFn& emit) override;
   Status Flush(const EmitFn& emit) override;
+  Status SerializeState(ckpt::Encoder* encoder) const override;
+  Status RestoreState(ckpt::Decoder* decoder) override;
 
  private:
   TimeSeconds max_page_stay_;
@@ -51,6 +55,8 @@ class IncrementalNavigationSessionizer : public IncrementalUserSessionizer {
 
   Status OnRequest(const PageRequest& request, const EmitFn& emit) override;
   Status Flush(const EmitFn& emit) override;
+  Status SerializeState(ckpt::Encoder* encoder) const override;
+  Status RestoreState(ckpt::Decoder* decoder) override;
 
  private:
   const WebGraph* graph_;

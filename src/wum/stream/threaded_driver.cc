@@ -21,6 +21,16 @@ Status ThreadedDriver::first_error() const {
   return first_error_;
 }
 
+void ThreadedDriver::NoteDrained() {
+  drained_.fetch_add(1, std::memory_order_seq_cst);
+  if (idle_waiting_.load(std::memory_order_seq_cst)) {
+    // Take the lock so the notify cannot slip between a waiter's
+    // predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
 void ThreadedDriver::Run() {
   while (true) {
     std::optional<LogRecord> record = queue_.Pop();
@@ -31,6 +41,7 @@ void ThreadedDriver::Run() {
       if (hooks_.on_discard != nullptr) {
         hooks_.on_discard(*record, first_error());
       }
+      NoteDrained();
       continue;
     }
     Status status;
@@ -38,9 +49,13 @@ void ThreadedDriver::Run() {
       obs::ScopedTimer timer(metrics_.drain_latency_us);
       status = sink_->Accept(*record);
     }
-    if (status.ok()) continue;
+    if (status.ok()) {
+      NoteDrained();
+      continue;
+    }
     if (hooks_.on_record_error != nullptr &&
         hooks_.on_record_error(*record, status)) {
+      NoteDrained();
       continue;  // quarantined; the shard lives on
     }
     {
@@ -51,6 +66,7 @@ void ThreadedDriver::Run() {
     // Rouse a producer blocked on the full queue so it observes the
     // sticky error instead of waiting for space that may never come.
     queue_.WakeAll();
+    NoteDrained();
   }
 }
 
@@ -95,6 +111,7 @@ Status ThreadedDriver::Offer(const LogRecord& record) {
       break;
     }
   }
+  ++pushed_;
   NoteDepth(depth);
   return Status::OK();
 }
@@ -112,7 +129,23 @@ Status ThreadedDriver::TryOffer(const LogRecord& record, bool* accepted) {
       return Status::OK();
   }
   *accepted = true;
+  ++pushed_;
   NoteDepth(depth);
+  return Status::OK();
+}
+
+Status ThreadedDriver::WaitIdle() {
+  if (finished_) {
+    return Status::FailedPrecondition("driver already finished");
+  }
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_waiting_.store(true, std::memory_order_seq_cst);
+  idle_cv_.wait(lock, [this] {
+    return failed_.load(std::memory_order_acquire) ||
+           drained_.load(std::memory_order_seq_cst) >= pushed_;
+  });
+  idle_waiting_.store(false, std::memory_order_seq_cst);
+  if (failed_.load(std::memory_order_acquire)) return first_error();
   return Status::OK();
 }
 

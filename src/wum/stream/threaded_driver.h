@@ -8,7 +8,10 @@
 #define WUM_STREAM_THREADED_DRIVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 
 #include "wum/obs/metrics.h"
@@ -77,6 +80,15 @@ class ThreadedDriver {
   /// the pipeline's final status (including the sink's Finish).
   Status Finish();
 
+  /// Quiescence barrier: blocks the producer until every record it ever
+  /// enqueued has been fully handled by the worker (processed,
+  /// quarantined or discarded) and the queue is empty, or the worker
+  /// recorded its sticky error — in which case that error is returned.
+  /// On OK the chain below the driver is at rest and will stay at rest
+  /// until the producer offers again, which makes its state safe to
+  /// snapshot. Producer thread only, like Offer.
+  Status WaitIdle();
+
   /// Number of Offer calls that found the queue full and had to block —
   /// the backpressure signal of this driver.
   std::uint64_t blocked_enqueues() const {
@@ -100,6 +112,9 @@ class ThreadedDriver {
   void Run();
   Status CheckOfferable();
   void NoteDepth(std::size_t depth);
+  /// Worker side of WaitIdle: counts one fully handled record and wakes
+  /// a waiting producer when one is registered.
+  void NoteDrained();
 
   SpscQueue<LogRecord> queue_;
   RecordSink* sink_;
@@ -114,6 +129,17 @@ class ThreadedDriver {
   bool finished_ = false;
   std::atomic<std::uint64_t> blocked_enqueues_{0};
   std::atomic<std::size_t> queue_high_watermark_{0};
+  // WaitIdle state. pushed_ is touched only by the producer thread;
+  // drained_ only by the worker; both are read cross-thread under
+  // idle_mutex_'s condvar protocol. The seq_cst store of idle_waiting_
+  // (producer) against the seq_cst drained_ increment + idle_waiting_
+  // load (worker) guarantees the worker either sees the waiter and
+  // notifies, or the waiter's predicate already sees the final count.
+  std::uint64_t pushed_ = 0;
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<bool> idle_waiting_{false};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
 };
 
 }  // namespace wum

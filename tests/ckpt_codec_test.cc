@@ -1,0 +1,523 @@
+// Unit tests for the wum::ckpt codec layer: CRC32 check values, varint
+// boundary encodings, frame framing/validation, and the persisted
+// checkpoint schemas (manifest, session, dead letter) plus the atomic
+// file + epoch-directory protocol.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wum/ckpt/checkpoint.h"
+#include "wum/ckpt/codec.h"
+#include "wum/ckpt/crc32.h"
+#include "wum/stream/dead_letter.h"
+
+namespace wum::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// CRC32
+
+TEST(Crc32Test, StandardCheckValue) {
+  // The canonical IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32(""), 0u); }
+
+TEST(Crc32Test, UpdateChainsAcrossChunks) {
+  const std::string text = "reactive web usage data processing";
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    const std::string_view head(text.data(), split);
+    const std::string_view tail(text.data() + split, text.size() - split);
+    EXPECT_EQ(Crc32Update(Crc32Update(0, head), tail), Crc32(text))
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DistinguishesSingleBitFlip) {
+  std::string data = "deterministic";
+  const std::uint32_t original = Crc32(data);
+  data[4] ^= 0x01;
+  EXPECT_NE(Crc32(data), original);
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / Decoder primitives
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Encoder encoder;
+  encoder.PutU8(0x00);
+  encoder.PutU8(0xFF);
+  encoder.PutU32(0);
+  encoder.PutU32(0xDEADBEEFu);
+  encoder.PutU64(0);
+  encoder.PutU64(std::numeric_limits<std::uint64_t>::max());
+
+  Decoder decoder(encoder.buffer());
+  EXPECT_EQ(*decoder.GetU8(), 0x00u);
+  EXPECT_EQ(*decoder.GetU8(), 0xFFu);
+  EXPECT_EQ(*decoder.GetU32(), 0u);
+  EXPECT_EQ(*decoder.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*decoder.GetU64(), 0u);
+  EXPECT_EQ(*decoder.GetU64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(decoder.ExpectEnd().ok());
+}
+
+TEST(CodecTest, UvarintBoundaries) {
+  const std::uint64_t values[] = {
+      0,   1,   127, 128,  129,
+      300, 16383, 16384, (1ull << 32) - 1, 1ull << 32,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t value : values) {
+    Encoder encoder;
+    encoder.PutUvarint(value);
+    Decoder decoder(encoder.buffer());
+    Result<std::uint64_t> decoded = decoder.GetUvarint();
+    ASSERT_TRUE(decoded.ok()) << value;
+    EXPECT_EQ(*decoded, value);
+    EXPECT_TRUE(decoder.ExpectEnd().ok());
+  }
+  // One byte per 7 bits: 127 fits in one byte, 128 needs two.
+  Encoder one, two;
+  one.PutUvarint(127);
+  two.PutUvarint(128);
+  EXPECT_EQ(one.buffer().size(), 1u);
+  EXPECT_EQ(two.buffer().size(), 2u);
+}
+
+TEST(CodecTest, VarintZigzagBoundaries) {
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -64,
+                                 63,
+                                 -65,
+                                 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (std::int64_t value : values) {
+    Encoder encoder;
+    encoder.PutVarint(value);
+    Decoder decoder(encoder.buffer());
+    Result<std::int64_t> decoded = decoder.GetVarint();
+    ASSERT_TRUE(decoded.ok()) << value;
+    EXPECT_EQ(*decoded, value);
+  }
+  // Zigzag keeps small magnitudes short: -1 encodes in one byte.
+  Encoder encoder;
+  encoder.PutVarint(-1);
+  EXPECT_EQ(encoder.buffer().size(), 1u);
+}
+
+TEST(CodecTest, StringRoundTripIncludingEmbeddedNul) {
+  Encoder encoder;
+  encoder.PutString("");
+  encoder.PutString(std::string_view("a\0b", 3));
+  encoder.PutString("10.0.0.1-Mozilla/5.0");
+
+  Decoder decoder(encoder.buffer());
+  EXPECT_EQ(*decoder.GetString(), "");
+  EXPECT_EQ(*decoder.GetString(), std::string("a\0b", 3));
+  EXPECT_EQ(*decoder.GetString(), "10.0.0.1-Mozilla/5.0");
+  EXPECT_TRUE(decoder.ExpectEnd().ok());
+}
+
+TEST(CodecTest, TruncatedReadsFailCleanly) {
+  EXPECT_FALSE(Decoder("").GetU8().ok());
+  EXPECT_FALSE(Decoder("abc").GetU32().ok());
+  EXPECT_FALSE(Decoder("abcdefg").GetU64().ok());
+  // A continuation bit with nothing after it.
+  EXPECT_FALSE(Decoder("\x80").GetUvarint().ok());
+  // String length larger than the remaining payload.
+  Encoder encoder;
+  encoder.PutUvarint(1000);
+  encoder.PutString("short");
+  Decoder decoder(encoder.buffer());
+  Result<std::string> value = decoder.GetString();
+  EXPECT_FALSE(value.ok());
+  EXPECT_TRUE(value.status().IsParseError());
+}
+
+TEST(CodecTest, OverlongVarintRejected) {
+  // Eleven continuation bytes can never be a valid 64-bit varint.
+  std::string overlong(11, '\x80');
+  EXPECT_FALSE(Decoder(overlong).GetUvarint().ok());
+  // Ten bytes whose top byte overflows 64 bits is also rejected.
+  std::string overflow(9, '\xFF');
+  overflow.push_back('\x7F');
+  EXPECT_FALSE(Decoder(overflow).GetUvarint().ok());
+}
+
+TEST(CodecTest, ExpectEndReportsTrailingBytes) {
+  Decoder decoder("xy");
+  Status status = decoder.ExpectEnd();
+  EXPECT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("trailing"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FrameWriter / FrameReader
+
+constexpr std::string_view kTestMagic = "wumckpt.test";
+
+std::string FramedStream(const std::vector<std::string>& payloads,
+                         std::uint32_t version = 1) {
+  std::ostringstream out;
+  FrameWriter writer(&out);
+  EXPECT_TRUE(writer.WriteHeader(kTestMagic, version).ok());
+  for (const std::string& payload : payloads) {
+    EXPECT_TRUE(writer.WriteFrame(payload).ok());
+  }
+  return out.str();
+}
+
+std::vector<std::string> MustReadAll(FrameReader* reader) {
+  std::vector<std::string> frames;
+  while (true) {
+    Result<std::optional<std::string>> frame = reader->ReadFrame();
+    EXPECT_TRUE(frame.ok()) << frame.status().message();
+    if (!frame.ok() || !frame->has_value()) break;
+    frames.push_back(**frame);
+  }
+  return frames;
+}
+
+TEST(FrameTest, RoundTripsMultipleFrames) {
+  const std::vector<std::string> payloads = {"", "one", std::string(4096, 'x'),
+                                             std::string("\0\1\2", 3)};
+  std::istringstream in(FramedStream(payloads));
+  FrameReader reader(&in);
+  ASSERT_TRUE(reader.ReadHeader(kTestMagic, 1).ok());
+  EXPECT_EQ(MustReadAll(&reader), payloads);
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  std::istringstream in(FramedStream({"payload"}));
+  FrameReader reader(&in);
+  Status status = reader.ReadHeader("wumckpt.other", 1);
+  EXPECT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+}
+
+TEST(FrameTest, RejectsWrongVersion) {
+  std::istringstream in(FramedStream({"payload"}, /*version=*/7));
+  FrameReader reader(&in);
+  Status status = reader.ReadHeader(kTestMagic, 1);
+  EXPECT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST(FrameTest, RejectsTruncatedHeader) {
+  std::string stream = FramedStream({});
+  stream.resize(stream.size() - 1);
+  std::istringstream in(stream);
+  FrameReader reader(&in);
+  EXPECT_TRUE(reader.ReadHeader(kTestMagic, 1).IsParseError());
+}
+
+TEST(FrameTest, RejectsTruncatedFrame) {
+  // Truncate at every strict prefix past the header: each must fail with
+  // ParseError, never succeed or crash. (A cut exactly at the header
+  // boundary is a valid zero-frame file — clean EOF — so start past it.)
+  const std::string full = FramedStream({"hello, frames"});
+  std::istringstream probe(full);
+  FrameReader header_reader(&probe);
+  ASSERT_TRUE(header_reader.ReadHeader(kTestMagic, 1).ok());
+  const auto header_size = static_cast<std::size_t>(probe.tellg());
+  for (std::size_t cut = header_size + 1; cut < full.size(); ++cut) {
+    std::istringstream in(full.substr(0, cut));
+    FrameReader reader(&in);
+    ASSERT_TRUE(reader.ReadHeader(kTestMagic, 1).ok());
+    Result<std::optional<std::string>> frame = reader.ReadFrame();
+    EXPECT_FALSE(frame.ok()) << "cut at " << cut;
+    EXPECT_TRUE(frame.status().IsParseError()) << "cut at " << cut;
+  }
+}
+
+TEST(FrameTest, DetectsPayloadCorruption) {
+  std::string stream = FramedStream({"checksummed payload"});
+  stream.back() ^= 0x40;  // flip a bit inside the payload
+  std::istringstream in(stream);
+  FrameReader reader(&in);
+  ASSERT_TRUE(reader.ReadHeader(kTestMagic, 1).ok());
+  Result<std::optional<std::string>> frame = reader.ReadFrame();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(FrameTest, BoundsPayloadSize) {
+  std::string stream = FramedStream({std::string(128, 'p')});
+  std::istringstream in(stream);
+  FrameReader reader(&in, /*max_payload=*/64);
+  ASSERT_TRUE(reader.ReadHeader(kTestMagic, 1).ok());
+  Result<std::optional<std::string>> frame = reader.ReadFrame();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("limit"), std::string::npos);
+}
+
+TEST(FrameTest, CleanEofReturnsNullopt) {
+  std::istringstream in(FramedStream({"only"}));
+  FrameReader reader(&in);
+  ASSERT_TRUE(reader.ReadHeader(kTestMagic, 1).ok());
+  ASSERT_TRUE(reader.ReadFrame().ok());
+  Result<std::optional<std::string>> eof = reader.ReadFrame();
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Persisted schemas
+
+Session MakeSession(std::initializer_list<PageId> pages,
+                    std::initializer_list<TimeSeconds> timestamps) {
+  Session session;
+  auto page = pages.begin();
+  auto timestamp = timestamps.begin();
+  for (; page != pages.end(); ++page, ++timestamp) {
+    session.requests.push_back(PageRequest{*page, *timestamp});
+  }
+  return session;
+}
+
+TEST(SchemaTest, ManifestRoundTrip) {
+  CheckpointManifest manifest;
+  manifest.epoch = 42;
+  manifest.num_shards = 8;
+  manifest.records_seen = 123456789;
+  manifest.heuristic = "smart-sra";
+  manifest.identity = "ip-ua";
+  manifest.max_session_duration = 1800;
+  manifest.max_page_stay = 600;
+  manifest.sink_state = "9876543210";
+
+  Encoder encoder;
+  EncodeManifest(manifest, &encoder);
+  Decoder decoder(encoder.buffer());
+  CheckpointManifest restored;
+  ASSERT_TRUE(DecodeManifest(&decoder, &restored).ok());
+  EXPECT_TRUE(decoder.ExpectEnd().ok());
+  EXPECT_EQ(restored.epoch, manifest.epoch);
+  EXPECT_EQ(restored.num_shards, manifest.num_shards);
+  EXPECT_EQ(restored.records_seen, manifest.records_seen);
+  EXPECT_EQ(restored.heuristic, manifest.heuristic);
+  EXPECT_EQ(restored.identity, manifest.identity);
+  EXPECT_EQ(restored.max_session_duration, manifest.max_session_duration);
+  EXPECT_EQ(restored.max_page_stay, manifest.max_page_stay);
+  EXPECT_EQ(restored.sink_state, manifest.sink_state);
+}
+
+TEST(SchemaTest, SessionRoundTrip) {
+  const Session sessions[] = {
+      MakeSession({}, {}),
+      MakeSession({0}, {0}),
+      MakeSession({1, 5, 3, 7}, {100, 160, 220, 280}),
+  };
+  for (const Session& session : sessions) {
+    Encoder encoder;
+    EncodeSession(session, &encoder);
+    Decoder decoder(encoder.buffer());
+    Session restored;
+    ASSERT_TRUE(DecodeSession(&decoder, &restored).ok());
+    EXPECT_TRUE(decoder.ExpectEnd().ok());
+    EXPECT_EQ(restored, session);
+  }
+}
+
+TEST(SchemaTest, TruncatedSessionFailsCleanly) {
+  Encoder encoder;
+  EncodeSession(MakeSession({1, 2, 3}, {10, 20, 30}), &encoder);
+  for (std::size_t cut = 0; cut < encoder.buffer().size(); ++cut) {
+    Decoder decoder(std::string_view(encoder.buffer()).substr(0, cut));
+    Session session;
+    Status status = DecodeSession(&decoder, &session);
+    if (status.ok()) status = decoder.ExpectEnd();
+    EXPECT_FALSE(status.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SchemaTest, DeadLetterRoundTripWithRecord) {
+  DeadLetter letter;
+  letter.stage = DeadLetter::Stage::kRecord;
+  letter.shard = 3;
+  letter.reason = Status::ParseError("bad record");
+  LogRecord record;
+  record.client_ip = "10.0.0.7";
+  record.timestamp = 1136160000;
+  record.url = "/pages/p42.html";
+  record.status_code = 404;
+  record.bytes = -1;
+  record.referrer = "/pages/p1.html";
+  record.user_agent = "Mozilla/5.0";
+  letter.record = record;
+  letter.detail = "line 9";
+  letter.records_covered = 1;
+
+  Encoder encoder;
+  EncodeDeadLetter(letter, &encoder);
+  Decoder decoder(encoder.buffer());
+  DeadLetter restored;
+  ASSERT_TRUE(DecodeDeadLetter(&decoder, &restored).ok());
+  EXPECT_TRUE(decoder.ExpectEnd().ok());
+  EXPECT_EQ(restored.stage, letter.stage);
+  EXPECT_EQ(restored.shard, letter.shard);
+  EXPECT_EQ(restored.reason.code(), letter.reason.code());
+  EXPECT_EQ(restored.reason.message(), letter.reason.message());
+  ASSERT_TRUE(restored.record.has_value());
+  EXPECT_EQ(*restored.record, record);
+  EXPECT_EQ(restored.detail, letter.detail);
+  EXPECT_EQ(restored.records_covered, letter.records_covered);
+}
+
+TEST(SchemaTest, DeadLetterRoundTripWithoutRecord) {
+  DeadLetter letter;
+  letter.stage = DeadLetter::Stage::kEmit;
+  letter.shard = 0;
+  letter.reason = Status::IoError("sink refused");
+  letter.detail = "10.0.0.9";
+  letter.records_covered = 12;
+
+  Encoder encoder;
+  EncodeDeadLetter(letter, &encoder);
+  Decoder decoder(encoder.buffer());
+  DeadLetter restored;
+  ASSERT_TRUE(DecodeDeadLetter(&decoder, &restored).ok());
+  EXPECT_EQ(restored.stage, DeadLetter::Stage::kEmit);
+  EXPECT_FALSE(restored.record.has_value());
+  EXPECT_EQ(restored.records_covered, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// File-level protocol
+
+class CheckpointFilesTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) /
+           ("ckpt_codec_test_" +
+            std::to_string(
+                testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointFilesTest, WriteFileAtomicReplacesContents) {
+  const std::string path = (dir_ / "value").string();
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second").ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "second");
+  // No temp-file litter left behind.
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(CheckpointFilesTest, FramedFileRoundTrip) {
+  const std::string path = (dir_ / "shard-0.state").string();
+  const std::vector<std::string> payloads = {"header", "", "state blob"};
+  ASSERT_TRUE(WriteFramedFile(path, kShardMagic, payloads).ok());
+  Result<std::vector<std::string>> frames = ReadFramedFile(path, kShardMagic);
+  ASSERT_TRUE(frames.ok()) << frames.status().message();
+  EXPECT_EQ(*frames, payloads);
+}
+
+TEST_F(CheckpointFilesTest, FramedFileRejectsWrongMagic) {
+  const std::string path = (dir_ / "file.state").string();
+  ASSERT_TRUE(WriteFramedFile(path, kShardMagic, {"x"}).ok());
+  Result<std::vector<std::string>> frames =
+      ReadFramedFile(path, kDeadLetterMagic);
+  EXPECT_FALSE(frames.ok());
+  EXPECT_TRUE(frames.status().IsParseError());
+}
+
+TEST_F(CheckpointFilesTest, FramedFileRejectsCorruption) {
+  const std::string path = (dir_ / "file.state").string();
+  ASSERT_TRUE(WriteFramedFile(path, kShardMagic, {"payload bytes"}).ok());
+  // Flip one bit near the end of the file.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamoff>(file.tellg());
+  file.seekp(size - 2);
+  char byte = 0;
+  file.seekg(size - 2);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.seekp(size - 2);
+  file.write(&byte, 1);
+  file.close();
+
+  Result<std::vector<std::string>> frames = ReadFramedFile(path, kShardMagic);
+  EXPECT_FALSE(frames.ok());
+  EXPECT_TRUE(frames.status().IsParseError());
+}
+
+TEST_F(CheckpointFilesTest, FramedFileMissingIsIoError) {
+  Result<std::vector<std::string>> frames =
+      ReadFramedFile((dir_ / "missing").string(), kShardMagic);
+  EXPECT_FALSE(frames.ok());
+  EXPECT_TRUE(frames.status().IsIoError());
+}
+
+TEST_F(CheckpointFilesTest, CurrentPointerLifecycle) {
+  // No checkpoint yet.
+  Result<std::uint64_t> none = ReadCurrent(dir_.string());
+  EXPECT_FALSE(none.ok());
+  EXPECT_TRUE(none.status().IsNotFound());
+
+  ASSERT_TRUE(CommitCurrent(dir_.string(), 1).ok());
+  Result<std::uint64_t> first = ReadCurrent(dir_.string());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+
+  ASSERT_TRUE(CommitCurrent(dir_.string(), 2).ok());
+  Result<std::uint64_t> second = ReadCurrent(dir_.string());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 2u);
+}
+
+TEST_F(CheckpointFilesTest, CorruptCurrentFailsCleanly) {
+  ASSERT_TRUE(WriteFileAtomic((dir_ / "CURRENT").string(), "garbage").ok());
+  Result<std::uint64_t> current = ReadCurrent(dir_.string());
+  EXPECT_FALSE(current.ok());
+  EXPECT_FALSE(current.status().IsNotFound());
+}
+
+TEST_F(CheckpointFilesTest, RemoveStaleEpochsKeepsCommitted) {
+  EXPECT_EQ(EpochDirName(7), "epoch-7");
+  fs::create_directories(dir_ / EpochDirName(1));
+  fs::create_directories(dir_ / EpochDirName(2));
+  fs::create_directories(dir_ / EpochDirName(3));
+  // A non-epoch entry must survive untouched.
+  ASSERT_TRUE(WriteFileAtomic((dir_ / "journal").string(), "data").ok());
+
+  RemoveStaleEpochs(dir_.string(), 3);
+  EXPECT_FALSE(fs::exists(dir_ / EpochDirName(1)));
+  EXPECT_FALSE(fs::exists(dir_ / EpochDirName(2)));
+  EXPECT_TRUE(fs::exists(dir_ / EpochDirName(3)));
+  EXPECT_TRUE(fs::exists(dir_ / "journal"));
+}
+
+}  // namespace
+}  // namespace wum::ckpt

@@ -1,0 +1,578 @@
+// Kill-and-resume equivalence tests for StreamEngine::Checkpoint /
+// EngineOptions::resume_from: a run killed at any record index and
+// resumed from its last checkpoint must emit exactly the same session
+// multiset as an uninterrupted run — for every registry heuristic,
+// across shard counts, with the dead-letter channel and counters
+// restored too. The "kill" is modeled by discarding everything the dying
+// engine emitted after the checkpoint barrier (a crashed process's
+// un-checkpointed output never reached durable storage).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wum/ckpt/checkpoint.h"
+#include "wum/clf/user_partitioner.h"
+#include "wum/obs/metrics.h"
+#include "wum/stream/engine.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+namespace fs = std::filesystem;
+
+LogRecord PageRecord(const std::string& ip, std::uint32_t page,
+                     TimeSeconds timestamp) {
+  LogRecord record;
+  record.client_ip = ip;
+  record.url = PageUrl(page);
+  record.timestamp = timestamp;
+  return record;
+}
+
+using Entries = std::vector<CollectingSessionSink::Entry>;
+
+/// (user, page-sequence) pairs sorted for order-insensitive comparison.
+std::vector<std::pair<std::string, std::vector<PageId>>> Canonicalize(
+    const Entries& entries) {
+  std::vector<std::pair<std::string, std::vector<PageId>>> out;
+  for (const auto& entry : entries) {
+    out.emplace_back(entry.client_ip, entry.session.PageSequence());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t EmittedRecords(const Entries& entries) {
+  std::uint64_t total = 0;
+  for (const auto& entry : entries) total += entry.session.requests.size();
+  return total;
+}
+
+/// A workload whose time gaps cross both thresholds repeatedly, so every
+/// heuristic closes several sessions per user and still has sessions
+/// open at any kill index. Page walks follow Figure-1 links so the
+/// graph heuristics see real navigation.
+std::vector<LogRecord> MakeWorkload(int num_users, int rounds) {
+  // A path that exists in MakeFigure1Topology: P1 -> P13 -> P34 -> P23.
+  constexpr PageId kWalk[] = {0, 1, 4, 3};
+  std::vector<LogRecord> records;
+  std::vector<TimeSeconds> clock(static_cast<std::size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) clock[u] = u * 7;
+  for (int r = 0; r < rounds; ++r) {
+    for (int u = 0; u < num_users; ++u) {
+      TimeSeconds gap = 60;
+      if (r % 4 == 3) gap = 700;    // > max_page_stay (600)
+      if (r % 8 == 7) gap = 2000;   // > max_session_duration residue too
+      clock[u] += gap;
+      records.push_back(PageRecord("10.0.0." + std::to_string(u),
+                                   kWalk[(r + u) % 4], clock[u]));
+    }
+  }
+  return records;
+}
+
+/// Engine options for one registry heuristic (graph-based or not).
+EngineOptions HeuristicOptions(const std::string& heuristic,
+                               const WebGraph* graph, std::size_t shards) {
+  EngineOptions options;
+  options.set_num_shards(shards).use_heuristic(heuristic).use_graph(graph);
+  return options;
+}
+
+Entries RunUninterrupted(const std::string& heuristic, const WebGraph* graph,
+                         std::size_t shards,
+                         const std::vector<LogRecord>& records,
+                         EngineStats* stats = nullptr) {
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions(heuristic, graph, shards), &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status().message();
+  if (!engine.ok()) return {};
+  for (const LogRecord& record : records) {
+    EXPECT_TRUE((*engine)->Offer(record).ok());
+  }
+  EXPECT_TRUE((*engine)->Finish().ok());
+  if (stats != nullptr) *stats = (*engine)->TotalStats();
+  return sink.entries();
+}
+
+/// Offers records[0, kill_at), checkpoints into `dir`, keeps offering
+/// until the kill index, then abandons the engine. Returns only the
+/// sessions committed at the barrier — the post-checkpoint entries are
+/// the crash's lost output.
+Entries RunUntilKilled(const std::string& heuristic, const WebGraph* graph,
+                       std::size_t shards,
+                       const std::vector<LogRecord>& records,
+                       std::size_t checkpoint_at, std::size_t kill_at,
+                       const std::string& dir) {
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions(heuristic, graph, shards), &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status().message();
+  if (!engine.ok()) return {};
+  for (std::size_t i = 0; i < checkpoint_at; ++i) {
+    EXPECT_TRUE((*engine)->Offer(records[i]).ok());
+  }
+  EXPECT_TRUE((*engine)->Checkpoint(dir).ok());
+  EXPECT_EQ((*engine)->records_seen(), checkpoint_at);
+  // The barrier guarantees the sink is at rest here: everything in it
+  // now is covered by the checkpoint.
+  const std::size_t committed = sink.entries().size();
+  for (std::size_t i = checkpoint_at; i < kill_at && i < records.size();
+       ++i) {
+    EXPECT_TRUE((*engine)->Offer(records[i]).ok());
+  }
+  // The engine dies here: its destructor drains, but the entries past
+  // `committed` are discarded, exactly like output a crashed process
+  // never persisted.
+  engine->reset();
+  Entries result = sink.entries();
+  result.resize(committed);
+  return result;
+}
+
+/// Resumes from `dir`, replays the full input, and returns the emitted
+/// sessions (plus the engine's final aggregate stats).
+Entries RunResumed(const std::string& heuristic, const WebGraph* graph,
+                   std::size_t shards, const std::vector<LogRecord>& records,
+                   const std::string& dir, EngineStats* stats = nullptr) {
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions(heuristic, graph, shards).resume_from(dir), &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status().message();
+  if (!engine.ok()) return {};
+  EXPECT_TRUE((*engine)->resumed());
+  for (const LogRecord& record : records) {
+    EXPECT_TRUE((*engine)->Offer(record).ok());
+  }
+  EXPECT_TRUE((*engine)->Finish().ok());
+  EXPECT_EQ((*engine)->records_seen(), records.size());
+  if (stats != nullptr) *stats = (*engine)->TotalStats();
+  return sink.entries();
+}
+
+class EngineCheckpointTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) /
+           ("engine_ckpt_" + std::string(testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    graph_ = MakeFigure1Topology();
+    records_ = MakeWorkload(/*num_users=*/24, /*rounds=*/12);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  WebGraph graph_ = WebGraph(0);
+  std::vector<LogRecord> records_;
+};
+
+// The acceptance matrix: every registry heuristic, one and three shards,
+// several checkpoint/kill indices. committed-prefix + resumed output
+// must equal the uninterrupted run's session multiset exactly, and the
+// restored counters must add up to the baseline's.
+TEST_F(EngineCheckpointTest, KillAndResumeMatchesUninterruptedRun) {
+  const std::string heuristics[] = {"duration", "pagestay", "navigation",
+                                    "smart-sra"};
+  const std::size_t shard_counts[] = {1, 3};
+  // (checkpoint index, kill index): early, unaligned mid-stream, and a
+  // checkpoint with no further input before the crash.
+  const std::pair<std::size_t, std::size_t> kills[] = {
+      {24, 60}, {121, 150}, {200, 200}};
+  for (const std::string& heuristic : heuristics) {
+    for (std::size_t shards : shard_counts) {
+      EngineStats baseline_stats;
+      const Entries baseline = RunUninterrupted(heuristic, &graph_, shards,
+                                                records_, &baseline_stats);
+      ASSERT_FALSE(baseline.empty());
+      for (const auto& [checkpoint_at, kill_at] : kills) {
+        const std::string label = heuristic + "/" +
+                                  std::to_string(shards) + " shards/ckpt@" +
+                                  std::to_string(checkpoint_at);
+        const fs::path dir =
+            dir_ / (heuristic + "-" + std::to_string(shards) + "-" +
+                    std::to_string(checkpoint_at));
+        Entries committed =
+            RunUntilKilled(heuristic, &graph_, shards, records_,
+                           checkpoint_at, kill_at, dir.string());
+        EngineStats resumed_stats;
+        Entries resumed = RunResumed(heuristic, &graph_, shards, records_,
+                                     dir.string(), &resumed_stats);
+        Entries combined = std::move(committed);
+        combined.insert(combined.end(), resumed.begin(), resumed.end());
+        EXPECT_EQ(Canonicalize(combined), Canonicalize(baseline)) << label;
+        // The restored engine's lifetime counters match the baseline's:
+        // nothing was double-counted across the crash.
+        EXPECT_EQ(resumed_stats.records_in, baseline_stats.records_in)
+            << label;
+        EXPECT_EQ(resumed_stats.sessions_emitted,
+                  baseline_stats.sessions_emitted)
+            << label;
+        EXPECT_EQ(resumed_stats.records_dropped,
+                  baseline_stats.records_dropped)
+            << label;
+      }
+    }
+  }
+}
+
+// Checkpoints are cumulative: a second checkpoint supersedes the first
+// (epoch advances, stale epoch directories are removed) and resume picks
+// up the latest one.
+TEST_F(EngineCheckpointTest, SecondCheckpointSupersedesFirst) {
+  const Entries baseline =
+      RunUninterrupted("smart-sra", &graph_, 2, records_);
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions("smart-sra", &graph_, 2), &sink);
+  ASSERT_TRUE(engine.ok());
+  for (std::size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+  }
+  ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+  EXPECT_TRUE(fs::exists(dir_ / ckpt::EpochDirName(1)));
+  for (std::size_t i = 50; i < 140; ++i) {
+    ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+  }
+  ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+  const std::size_t committed = sink.entries().size();
+  engine->reset();  // crash after the second barrier
+
+  // Epoch bookkeeping: epoch 2 is committed, epoch 1 is gone.
+  Result<std::uint64_t> current = ckpt::ReadCurrent(dir_.string());
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 2u);
+  EXPECT_FALSE(fs::exists(dir_ / ckpt::EpochDirName(1)));
+  EXPECT_TRUE(fs::exists(dir_ / ckpt::EpochDirName(2)));
+
+  Entries combined = sink.entries();
+  combined.resize(committed);
+  const Entries resumed =
+      RunResumed("smart-sra", &graph_, 2, records_, dir_.string());
+  combined.insert(combined.end(), resumed.begin(), resumed.end());
+  EXPECT_EQ(Canonicalize(combined), Canonicalize(baseline));
+}
+
+// A resumed engine can checkpoint again; the epoch counter continues
+// past the restored one instead of overwriting it.
+TEST_F(EngineCheckpointTest, ResumedEngineCheckpointsIntoLaterEpochs) {
+  {
+    CollectingSessionSink sink;
+    Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+        HeuristicOptions("duration", &graph_, 2), &sink);
+    ASSERT_TRUE(engine.ok());
+    for (std::size_t i = 0; i < 30; ++i) {
+      ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+    }
+    ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+  }
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions("duration", &graph_, 2).resume_from(dir_.string()),
+      &sink);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  for (std::size_t i = 0; i < 80; ++i) {
+    ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+  }
+  ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+  Result<std::uint64_t> current = ckpt::ReadCurrent(dir_.string());
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 2u);
+  ASSERT_TRUE((*engine)->Finish().ok());
+}
+
+// The opaque sink state travels through the manifest: what the
+// sink_state_fn returned at the barrier is exactly what
+// resumed_sink_state() hands back.
+TEST_F(EngineCheckpointTest, SinkStateRoundTripsThroughManifest) {
+  {
+    CollectingSessionSink sink;
+    Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+        HeuristicOptions("duration", &graph_, 1), &sink);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Offer(records_[0]).ok());
+    ASSERT_TRUE((*engine)
+                    ->Checkpoint(dir_.string(),
+                                 []() -> Result<std::string> {
+                                   return std::string("journal:12345");
+                                 })
+                    .ok());
+  }
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions("duration", &graph_, 1).resume_from(dir_.string()),
+      &sink);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  EXPECT_TRUE((*engine)->resumed());
+  EXPECT_EQ((*engine)->resumed_sink_state(), "journal:12345");
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  // A fresh (non-resumed) engine reports neither.
+  CollectingSessionSink fresh_sink;
+  Result<std::unique_ptr<StreamEngine>> fresh = StreamEngine::Create(
+      HeuristicOptions("duration", &graph_, 1), &fresh_sink);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE((*fresh)->resumed());
+  EXPECT_TRUE((*fresh)->resumed_sink_state().empty());
+  ASSERT_TRUE((*fresh)->Finish().ok());
+}
+
+// A checkpoint taken before a shard-fatal fault under kFailFast is the
+// recovery point: the poisoned run dies, the resumed (fault-free) run
+// replays from the checkpoint and the combined output matches an
+// undisturbed baseline.
+TEST_F(EngineCheckpointTest, RecoversFromFailFastCrash) {
+  const Entries baseline =
+      RunUninterrupted("smart-sra", &graph_, 2, records_);
+  CollectingSessionSink sink;
+  // Every shard is scheduled to die on its 101st record. The checkpoint
+  // at offer index 60 always precedes the first fault (no shard can have
+  // seen more than 60 records by then), and with 288 records over 2
+  // shards at least one shard is guaranteed to reach the fault index —
+  // whatever the user-hash skew.
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions("smart-sra", &graph_, 2)
+          .add_operator([]() -> std::unique_ptr<RecordOperator> {
+            return std::make_unique<FaultInjectingOperator>(
+                FaultSchedule::AtIndices({100}),
+                FaultInjectingOperator::Mode::kShardFatal);
+          }),
+      &sink);
+  ASSERT_TRUE(engine.ok());
+  for (std::size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+  }
+  ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+  const std::size_t committed = sink.entries().size();
+  // Keep offering until the injected fault surfaces (Offer or Finish).
+  Status status;
+  for (std::size_t i = 60; i < records_.size() && status.ok(); ++i) {
+    status = (*engine)->Offer(records_[i]);
+  }
+  if (status.ok()) status = (*engine)->Finish();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  // A poisoned engine refuses to checkpoint over the good state.
+  EXPECT_FALSE((*engine)->Checkpoint(dir_.string()).ok());
+  engine->reset();
+
+  Entries combined = sink.entries();
+  combined.resize(committed);
+  const Entries resumed =
+      RunResumed("smart-sra", &graph_, 2, records_, dir_.string());
+  combined.insert(combined.end(), resumed.begin(), resumed.end());
+  EXPECT_EQ(Canonicalize(combined), Canonicalize(baseline));
+}
+
+// The dead-letter channel is part of the snapshot: letters quarantined
+// before the crash survive the resume, and the conservation invariant
+// (emitted + dead-lettered == accepted) holds across the restart.
+TEST_F(EngineCheckpointTest, DeadLettersSurviveResume) {
+  DeadLetterQueue first_queue;
+  Entries committed_entries;
+  {
+    CollectingSessionSink sink;
+    // One shard, so the reject schedule is deterministic: the shard's
+    // 2nd and 4th records are quarantined, well before the barrier.
+    Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+        HeuristicOptions("duration", &graph_, 1)
+            .set_error_policy(ErrorPolicy::kDegrade)
+            .set_dead_letters(&first_queue)
+            .add_operator([]() -> std::unique_ptr<RecordOperator> {
+              return std::make_unique<FaultInjectingOperator>(
+                  FaultSchedule::AtIndices({1, 3}),
+                  FaultInjectingOperator::Mode::kReject);
+            }),
+        &sink);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    for (std::size_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+    }
+    ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+    ASSERT_EQ(first_queue.total_offered(), 2u);
+    committed_entries = sink.entries();
+  }
+
+  // Resume with a fresh, empty queue and no faults: the two letters are
+  // restored from the checkpoint, not re-quarantined.
+  DeadLetterQueue restored_queue;
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions("duration", &graph_, 1)
+          .set_error_policy(ErrorPolicy::kDegrade)
+          .set_dead_letters(&restored_queue)
+          .resume_from(dir_.string()),
+      &sink);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  EXPECT_EQ(restored_queue.total_offered(), 2u);
+  EXPECT_EQ(restored_queue.records_covered(), 2u);
+  EXPECT_EQ(restored_queue.size(), 2u);
+  for (const LogRecord& record : records_) {
+    ASSERT_TRUE((*engine)->Offer(record).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  // Conservation across the restart: every record ever offered is in a
+  // committed session, a resumed session, or a restored dead letter.
+  EXPECT_EQ(EmittedRecords(committed_entries) + EmittedRecords(sink.entries()) +
+                restored_queue.records_covered(),
+            records_.size());
+  std::vector<DeadLetter> letters = restored_queue.Drain();
+  ASSERT_EQ(letters.size(), 2u);
+  for (const DeadLetter& letter : letters) {
+    EXPECT_EQ(letter.stage, DeadLetter::Stage::kRecord);
+    EXPECT_EQ(letter.shard, 0u);
+    ASSERT_TRUE(letter.record.has_value());
+  }
+}
+
+// ckpt.* observability: checkpoints and resume skips are counted in the
+// attached registry.
+TEST_F(EngineCheckpointTest, CheckpointMetricsAreRecorded) {
+  obs::MetricRegistry registry;
+  {
+    CollectingSessionSink sink;
+    Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+        HeuristicOptions("duration", &graph_, 1).set_metrics(&registry),
+        &sink);
+    ASSERT_TRUE(engine.ok());
+    for (std::size_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+    }
+    ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+    ASSERT_TRUE((*engine)->Finish().ok());
+  }
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const auto* written = snapshot.FindCounter("ckpt.checkpoints_written");
+  ASSERT_NE(written, nullptr);
+  EXPECT_EQ(written->value, 1u);
+  const auto* bytes = snapshot.FindCounter("ckpt.bytes_written");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_GT(bytes->value, 0u);
+  const auto* latency = snapshot.FindHistogram("ckpt.write_latency_us");
+  ASSERT_NE(latency, nullptr);
+  // The epoch directory carries the metrics snapshot alongside the
+  // state files.
+  EXPECT_TRUE(fs::exists(dir_ / ckpt::EpochDirName(1) / "metrics.json"));
+
+  obs::MetricRegistry resumed_registry;
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions("duration", &graph_, 1)
+          .set_metrics(&resumed_registry)
+          .resume_from(dir_.string()),
+      &sink);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  for (const LogRecord& record : records_) {
+    ASSERT_TRUE((*engine)->Offer(record).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+  const obs::MetricsSnapshot resumed_snapshot = resumed_registry.Snapshot();
+  const auto* skipped =
+      resumed_snapshot.FindCounter("ckpt.records_resume_skipped");
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_EQ(skipped->value, 40u);
+}
+
+// Resume validation: incompatible configurations and broken directories
+// fail loudly with precise errors instead of silently diverging.
+TEST_F(EngineCheckpointTest, ResumeRejectsIncompatibleConfigurations) {
+  {
+    CollectingSessionSink sink;
+    Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+        HeuristicOptions("duration", &graph_, 2), &sink);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Offer(records_[0]).ok());
+    ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+    ASSERT_TRUE((*engine)->Finish().ok());
+  }
+  CollectingSessionSink sink;
+  auto create = [&](EngineOptions options) {
+    return StreamEngine::Create(std::move(options), &sink).status();
+  };
+
+  // Shard-count mismatch.
+  Status status =
+      create(HeuristicOptions("duration", &graph_, 3).resume_from(
+          dir_.string()));
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("shards"), std::string::npos);
+
+  // Heuristic mismatch.
+  status = create(
+      HeuristicOptions("pagestay", &graph_, 2).resume_from(dir_.string()));
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("heuristic"), std::string::npos);
+
+  // Identity mismatch.
+  status = create(HeuristicOptions("duration", &graph_, 2)
+                      .set_identity(UserIdentity::kClientIpAndUserAgent)
+                      .resume_from(dir_.string()));
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("identity"), std::string::npos);
+
+  // Threshold mismatch.
+  TimeThresholds other;
+  other.max_page_stay = 123;
+  status = create(HeuristicOptions("duration", &graph_, 2)
+                      .set_thresholds(other)
+                      .resume_from(dir_.string()));
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("thresholds"), std::string::npos);
+
+  // Empty directory: NotFound, the signal websra_sessionize --resume
+  // uses to start fresh.
+  const fs::path empty = dir_ / "empty";
+  fs::create_directories(empty);
+  status = create(
+      HeuristicOptions("duration", &graph_, 2).resume_from(empty.string()));
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+}
+
+// A custom sessionizer without checkpoint hooks cannot be checkpointed —
+// the failure is a precise Unimplemented, not silent state loss.
+TEST_F(EngineCheckpointTest, CustomSessionizerWithoutHooksRefuses) {
+  class PlainSessionizer : public IncrementalUserSessionizer {
+   public:
+    Status OnRequest(const PageRequest& request, const EmitFn& emit) override {
+      Session session;
+      session.requests.push_back(request);
+      return emit(std::move(session));
+    }
+    Status Flush(const EmitFn&) override { return Status::OK(); }
+  };
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      EngineOptions()
+          .set_num_shards(1)
+          .set_num_pages(graph_.num_pages())
+          .use_custom([] { return std::make_unique<PlainSessionizer>(); }),
+      &sink);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Offer(records_[0]).ok());
+  Status status = (*engine)->Checkpoint(dir_.string());
+  EXPECT_TRUE(status.IsUnimplemented()) << status.ToString();
+  ASSERT_TRUE((*engine)->Finish().ok());
+}
+
+// Checkpoint after Finish is a contract violation, reported as such.
+TEST_F(EngineCheckpointTest, CheckpointAfterFinishFails) {
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      HeuristicOptions("duration", &graph_, 1), &sink);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Finish().ok());
+  EXPECT_TRUE((*engine)->Checkpoint(dir_.string()).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace wum

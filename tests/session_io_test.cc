@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 namespace wum {
@@ -102,6 +103,97 @@ TEST(SessionIoTest, FileRoundTrip) {
 TEST(SessionIoTest, MissingFileIsIoError) {
   EXPECT_TRUE(
       ReadSessionsFile("/nonexistent/x.sessions").status().IsIoError());
+}
+
+TEST(SessionIoTest, BinaryRoundTrip) {
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSessionsBinary(SampleSessions(), &stream).ok());
+  Result<std::vector<UserSession>> loaded = ReadSessionsBinary(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, SampleSessions());
+}
+
+TEST(SessionIoTest, BinaryStartsWithReadableHeaderLine) {
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSessionsBinary({}, &stream).ok());
+  std::string first_line;
+  ASSERT_TRUE(std::getline(stream, first_line).good() || stream.eof());
+  EXPECT_EQ(first_line, SessionsBinaryHeaderLine());
+  EXPECT_EQ(first_line, "websra-sessions-bin 1");
+}
+
+TEST(SessionIoTest, BinaryFileRoundTripAutoDetects) {
+  const std::string path = ::testing::TempDir() + "/websra_sessions_test.bin";
+  ASSERT_TRUE(
+      WriteSessionsFile(SampleSessions(), path, SessionFormat::kBinary).ok());
+  // ReadSessionsFile sniffs the header line; no format hint needed.
+  Result<std::vector<UserSession>> loaded = ReadSessionsFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, SampleSessions());
+}
+
+TEST(SessionIoTest, BinaryAppendBuildsAJournal) {
+  // The journal pattern used by websra_sessionize checkpointing: header
+  // once, then AppendSessionBinary per session, possibly across stream
+  // reopens.
+  std::stringstream stream;
+  stream << SessionsBinaryHeaderLine() << '\n';
+  for (const UserSession& entry : SampleSessions()) {
+    ASSERT_TRUE(AppendSessionBinary(entry, &stream).ok());
+  }
+  Result<std::vector<UserSession>> loaded = ReadSessionsBinary(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, SampleSessions());
+}
+
+TEST(SessionIoTest, BinaryAppendRejectsEmptyUserKey) {
+  std::stringstream stream;
+  EXPECT_TRUE(AppendSessionBinary(UserSession{"", MakeSession({1}, {2})},
+                                  &stream)
+                  .IsInvalidArgument());
+}
+
+TEST(SessionIoTest, BinaryRejectsCorruption) {
+  std::stringstream clean;
+  ASSERT_TRUE(WriteSessionsBinary(SampleSessions(), &clean).ok());
+  const std::string bytes = clean.str();
+  {
+    // Truncation mid-frame.
+    std::stringstream stream(bytes.substr(0, bytes.size() - 3));
+    EXPECT_TRUE(ReadSessionsBinary(&stream).status().IsParseError());
+  }
+  {
+    // A flipped payload bit fails the frame checksum.
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() - 2] =
+        static_cast<char>(corrupt[corrupt.size() - 2] ^ 0x04);
+    std::stringstream stream(corrupt);
+    EXPECT_TRUE(ReadSessionsBinary(&stream).status().IsParseError());
+  }
+  {
+    // Unsupported future version.
+    std::stringstream stream("websra-sessions-bin 2\n");
+    EXPECT_TRUE(ReadSessionsBinary(&stream).status().IsParseError());
+  }
+  {
+    std::stringstream stream("");
+    EXPECT_TRUE(ReadSessionsBinary(&stream).status().IsParseError());
+  }
+}
+
+TEST(SessionIoTest, WrongBinaryVersionFailsPreciselyThroughAutoDetect) {
+  // The auto-detecting file reader routes "websra-sessions-bin"-prefixed
+  // files to the binary parser, so a future version yields its precise
+  // version error rather than a text-parse error.
+  const std::string path =
+      ::testing::TempDir() + "/websra_sessions_future.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "websra-sessions-bin 2\n";
+  }
+  Status status = ReadSessionsFile(path).status();
+  EXPECT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("websra-sessions-bin"), std::string::npos);
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 // and reconstruct sessions with a chosen heuristic.
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 
 #include "tool_util.h"
 #include "wum/clf/clf_parser.h"
@@ -34,6 +36,8 @@ std::string Usage() {
          "  [--identity ip|ip-ua] [--delta MINUTES=30] [--rho MINUTES=10]\n"
          "  [--keep-robots] [--streaming] [--threads N=4]\n"
          "  [--max-parse-errors N=0] [--metrics-out FILE]\n"
+         "  [--format text|binary] [--checkpoint-dir DIR]\n"
+         "  [--checkpoint-every-records N=100000] [--resume]\n"
          "\n"
          "Reads an access log, applies the standard cleaning chain (GET\n"
          "only, successful status, no embedded resources, no crawlers\n"
@@ -55,7 +59,18 @@ std::string Usage() {
          "\n"
          "--metrics-out enables the wum::obs observability layer: parser,\n"
          "engine and sessionizer metrics are written to FILE (CSV when it\n"
-         "ends in .csv, JSON otherwise) and summarized on stdout.\n";
+         "ends in .csv, JSON otherwise) and summarized on stdout.\n"
+         "\n"
+         "--format selects the session file serialization (text is the\n"
+         "line-oriented default; binary is the compact CRC-framed format).\n"
+         "Readers auto-detect, so downstream tools accept either.\n"
+         "\n"
+         "--checkpoint-dir enables durable checkpointing (streaming only):\n"
+         "sessions append to a journal in DIR and the engine snapshots its\n"
+         "state there every --checkpoint-every-records input records. After\n"
+         "a crash, rerun the identical command with --resume to continue\n"
+         "from the last committed checkpoint; the finished output is\n"
+         "identical to an uninterrupted run. See docs/checkpointing.md.\n";
 }
 
 /// Human-readable rollup of a metrics snapshot, rendered with wum::Table.
@@ -77,15 +92,31 @@ void PrintMetricsSummary(const wum::obs::MetricsSnapshot& snapshot) {
   table.Render(&std::cout);
 }
 
+/// Checkpointing configuration for the streaming path (--checkpoint-dir
+/// and friends).
+struct CheckpointConfig {
+  std::string dir;
+  std::uint64_t every_records = 100000;
+  bool resume = false;
+};
+
 /// Streaming path: the cleaned records flow through the sharded engine;
 /// sessions are collected (serialized by the engine) and sorted by user
 /// key so the output file is deterministic regardless of shard timing.
+///
+/// With checkpointing, sessions append to a durable binary journal in
+/// the checkpoint directory instead of memory; each engine checkpoint
+/// records the journal's flushed length as its sink state, and a resume
+/// truncates the journal back to that committed length before
+/// continuing — sessions emitted after the last checkpoint of a killed
+/// run are re-emitted by the replay, never duplicated.
 wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
                          const wum::WebGraph& graph,
                          const std::string& heuristic_name,
                          wum::UserIdentity identity,
                          wum::TimeThresholds thresholds, std::size_t threads,
                          wum::obs::MetricRegistry* metrics,
+                         const std::optional<CheckpointConfig>& checkpoint,
                          std::vector<wum::UserSession>* output) {
   if (heuristic_name == "referrer") {
     return wum::Status::InvalidArgument(
@@ -100,17 +131,105 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
       .set_metrics(metrics)
       .use_graph(&graph)
       .use_heuristic(heuristic_name);
+
+  std::string journal_path;
+  std::ofstream journal;
+  if (checkpoint.has_value()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint->dir, ec);
+    if (ec) {
+      return wum::Status::IoError("cannot create " + checkpoint->dir + ": " +
+                                  ec.message());
+    }
+    journal_path = checkpoint->dir + "/journal.sessions-bin";
+  }
   wum::CallbackSessionSink sink(
-      [output](const std::string& user_key, wum::Session session) {
+      [output, &journal, &journal_path, &checkpoint](
+          const std::string& user_key, wum::Session session) {
+        if (checkpoint.has_value()) {
+          wum::Status status = wum::AppendSessionBinary(
+              wum::UserSession{user_key, std::move(session)}, &journal);
+          if (!status.ok()) {
+            return wum::Status::IoError("journal " + journal_path + ": " +
+                                        status.message());
+          }
+          return wum::Status::OK();
+        }
         output->push_back(wum::UserSession{user_key, std::move(session)});
         return wum::Status::OK();
       });
-  WUM_ASSIGN_OR_RETURN(std::unique_ptr<wum::StreamEngine> engine,
-                       wum::StreamEngine::Create(options, &sink));
+
+  // The engine restores before the journal opens, because the committed
+  // journal length lives in the checkpoint's sink state.
+  wum::Result<std::unique_ptr<wum::StreamEngine>> created =
+      wum::Status::Internal("unreachable");
+  if (checkpoint.has_value() && checkpoint->resume) {
+    wum::EngineOptions resume_options = options;
+    resume_options.resume_from(checkpoint->dir);
+    created = wum::StreamEngine::Create(resume_options, &sink);
+    if (!created.ok() && created.status().IsNotFound()) {
+      std::cerr << "--resume: " << created.status().message()
+                << "; starting fresh\n";
+      created = wum::StreamEngine::Create(options, &sink);
+    }
+  } else {
+    created = wum::StreamEngine::Create(options, &sink);
+  }
+  WUM_RETURN_NOT_OK(created.status());
+  std::unique_ptr<wum::StreamEngine> engine = std::move(*created);
+
+  if (checkpoint.has_value()) {
+    if (engine->resumed()) {
+      WUM_ASSIGN_OR_RETURN(std::uint64_t committed,
+                           wum::ParseUint64(engine->resumed_sink_state()));
+      std::error_code ec;
+      std::filesystem::resize_file(journal_path, committed, ec);
+      if (ec) {
+        return wum::Status::IoError("cannot truncate " + journal_path +
+                                    " to its committed length: " +
+                                    ec.message());
+      }
+      journal.open(journal_path, std::ios::binary | std::ios::app);
+      if (!journal) {
+        return wum::Status::IoError("cannot reopen " + journal_path);
+      }
+      std::cerr << "resumed from checkpoint: skipping "
+                << engine->resumed_sink_state()
+                << " committed journal bytes\n";
+    } else {
+      journal.open(journal_path, std::ios::binary | std::ios::trunc);
+      if (!journal) {
+        return wum::Status::IoError("cannot open " + journal_path);
+      }
+      journal << wum::SessionsBinaryHeaderLine() << '\n';
+    }
+  }
+  const auto journal_state = [&]() -> wum::Result<std::string> {
+    journal.flush();
+    if (!journal) {
+      return wum::Status::IoError("journal write failed: " + journal_path);
+    }
+    return std::to_string(static_cast<std::uint64_t>(journal.tellp()));
+  };
+
+  std::uint64_t offered = 0;
   for (const wum::LogRecord& record : cleaned) {
     WUM_RETURN_NOT_OK(engine->Offer(record));
+    ++offered;
+    if (checkpoint.has_value() && checkpoint->every_records > 0 &&
+        offered % checkpoint->every_records == 0) {
+      WUM_RETURN_NOT_OK(engine->Checkpoint(checkpoint->dir, journal_state));
+    }
   }
   WUM_RETURN_NOT_OK(engine->Finish());
+  if (checkpoint.has_value()) {
+    journal.flush();
+    journal.close();
+    if (!journal) {
+      return wum::Status::IoError("journal write failed: " + journal_path);
+    }
+    WUM_ASSIGN_OR_RETURN(*output, wum::ReadSessionsFile(journal_path));
+  }
   std::cerr << "engine[" << engine->num_shards()
             << " shards]: " << wum::EngineStatsToString(engine->TotalStats())
             << "\n";
@@ -156,10 +275,11 @@ wum::Status DumpMetrics(const wum_tools::Flags& flags,
 }
 
 wum::Status Run(const wum_tools::Flags& flags) {
-  WUM_RETURN_NOT_OK(flags.CheckKnown({"graph", "log", "out", "heuristic",
-                                      "identity", "delta", "rho",
-                                      "keep-robots", "streaming", "threads",
-                                      "max-parse-errors", "metrics-out"}));
+  WUM_RETURN_NOT_OK(flags.CheckKnown(
+      {"graph", "log", "out", "heuristic", "identity", "delta", "rho",
+       "keep-robots", "streaming", "threads", "max-parse-errors",
+       "metrics-out", "format", "checkpoint-dir", "checkpoint-every-records",
+       "resume"}));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
   WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
@@ -181,6 +301,38 @@ wum::Status Run(const wum_tools::Flags& flags) {
   } else {
     return wum::Status::InvalidArgument("unknown identity '" + identity_name +
                                         "'");
+  }
+
+  const std::string format_name = flags.GetString("format", "text");
+  wum::SessionFormat format;
+  if (format_name == "text") {
+    format = wum::SessionFormat::kText;
+  } else if (format_name == "binary") {
+    format = wum::SessionFormat::kBinary;
+  } else {
+    return wum::Status::InvalidArgument("unknown format '" + format_name +
+                                        "'");
+  }
+
+  std::optional<CheckpointConfig> checkpoint;
+  if (flags.Has("checkpoint-dir")) {
+    if (!flags.Has("streaming")) {
+      return wum::Status::InvalidArgument(
+          "--checkpoint-dir requires --streaming");
+    }
+    CheckpointConfig config;
+    WUM_ASSIGN_OR_RETURN(config.dir, flags.GetRequired("checkpoint-dir"));
+    WUM_ASSIGN_OR_RETURN(config.every_records,
+                         flags.GetUint("checkpoint-every-records", 100000));
+    if (config.every_records == 0) {
+      return wum::Status::InvalidArgument(
+          "--checkpoint-every-records must be >= 1");
+    }
+    config.resume = flags.Has("resume");
+    checkpoint = std::move(config);
+  } else if (flags.Has("checkpoint-every-records") || flags.Has("resume")) {
+    return wum::Status::InvalidArgument(
+        "--checkpoint-every-records/--resume require --checkpoint-dir");
   }
 
   // Optional observability: one registry shared by the parser, the
@@ -246,8 +398,8 @@ wum::Status Run(const wum_tools::Flags& flags) {
     WUM_RETURN_NOT_OK(RunStreaming(cleaned, graph, heuristic_name, identity,
                                    thresholds,
                                    static_cast<std::size_t>(threads), metrics,
-                                   &output));
-    WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path));
+                                   checkpoint, &output));
+    WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path, format));
     std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
               << ", streaming) to " << out_path << "\n";
     PrintRunSummary(parser.stats(), dead_letters, cleaned.size(),
@@ -312,7 +464,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
       }
     }
   }
-  WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path));
+  WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path, format));
   std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
             << ") to " << out_path << "\n";
   PrintRunSummary(parser.stats(), dead_letters, cleaned.size(), output.size());
@@ -324,7 +476,8 @@ wum::Status Run(const wum_tools::Flags& flags) {
 int main(int argc, char** argv) {
   const std::string usage = Usage();
   wum::Result<wum_tools::Flags> flags =
-      wum_tools::Flags::Parse(argc, argv, {"keep-robots", "streaming"});
+      wum_tools::Flags::Parse(argc, argv,
+                              {"keep-robots", "streaming", "resume"});
   if (!flags.ok()) return wum_tools::FailWith(flags.status(), usage.c_str());
   wum::Status status = Run(*flags);
   if (!status.ok()) return wum_tools::FailWith(status, usage.c_str());

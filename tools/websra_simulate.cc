@@ -24,13 +24,14 @@ constexpr char kUsage[] =
     "  [--agents N=10000] [--seed S] [--stp P=0.05] [--lpp P=0.30] "
     "[--nip P=0.30]\n"
     "  [--proxy-group K=1] [--start-window SECONDS=604800] [--combined]\n"
-    "  [--metrics-out FILE]\n"
+    "  [--metrics-out FILE] [--format text|binary]\n"
     "\n"
     "Writes a websra topology file, a Common Log Format access log\n"
     "(Combined format with --combined) and, optionally, the simulator's\n"
     "ground-truth sessions for websra_evaluate. --metrics-out dumps the\n"
     "simulator's generation-throughput metrics (wum::obs snapshot, CSV\n"
-    "when FILE ends in .csv, JSON otherwise).\n";
+    "when FILE ends in .csv, JSON otherwise). --format selects the\n"
+    "--truth-out serialization (downstream readers auto-detect either).\n";
 
 wum::Result<wum::TopologyModel> ParseTopology(const std::string& name) {
   if (name == "uniform") return wum::TopologyModel::kUniform;
@@ -43,7 +44,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   WUM_RETURN_NOT_OK(flags.CheckKnown(
       {"graph-out", "log-out", "truth-out", "pages", "out-degree",
        "entry-fraction", "topology", "agents", "seed", "stp", "lpp", "nip",
-       "proxy-group", "start-window", "combined", "metrics-out"}));
+       "proxy-group", "start-window", "combined", "metrics-out", "format"}));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph-out"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log-out"));
 
@@ -107,8 +108,18 @@ wum::Status Run(const wum_tools::Flags& flags) {
         truth.push_back(wum::UserSession{agent.client_ip, session});
       }
     }
+    const std::string format_name = flags.GetString("format", "text");
+    wum::SessionFormat format;
+    if (format_name == "text") {
+      format = wum::SessionFormat::kText;
+    } else if (format_name == "binary") {
+      format = wum::SessionFormat::kBinary;
+    } else {
+      return wum::Status::InvalidArgument("unknown format '" + format_name +
+                                          "'");
+    }
     const std::string truth_path = flags.GetString("truth-out", "");
-    WUM_RETURN_NOT_OK(wum::WriteSessionsFile(truth, truth_path));
+    WUM_RETURN_NOT_OK(wum::WriteSessionsFile(truth, truth_path, format));
     std::cout << "wrote " << truth.size() << " ground-truth sessions to "
               << truth_path << "\n";
   }
