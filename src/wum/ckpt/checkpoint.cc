@@ -6,10 +6,30 @@
 #include <system_error>
 #include <utility>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace wum::ckpt {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Flushes `path` — a file's data blocks, or a directory's entries — to
+/// stable storage, so the commit protocol survives power loss, not just
+/// process death. On platforms without the POSIX API this is a no-op
+/// and durability degrades to process-crash only.
+Status SyncPath(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+#endif
+  return Status::OK();
+}
 
 Status DecodeLogRecord(Decoder* decoder, LogRecord* record) {
   WUM_ASSIGN_OR_RETURN(record->client_ip, decoder->GetString());
@@ -160,13 +180,24 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
     out.flush();
     if (!out) return Status::IoError("write failed: " + temp);
   }
+  // The data must be durable before the rename can expose it: without
+  // this ordering the rename could reach disk first and a power loss
+  // would leave `path` pointing at lost blocks.
+  Status synced = SyncPath(temp);
+  if (!synced.ok()) {
+    std::error_code ec;
+    fs::remove(temp, ec);
+    return synced;
+  }
   std::error_code ec;
   fs::rename(temp, path, ec);
   if (ec) {
     fs::remove(temp, ec);
     return Status::IoError("rename " + temp + " -> " + path + " failed");
   }
-  return Status::OK();
+  // Persist the rename itself (the directory entry for `path`).
+  const std::string parent = fs::path(path).parent_path().string();
+  return SyncPath(parent.empty() ? "." : parent);
 }
 
 Status WriteFramedFile(const std::string& path, std::string_view magic,

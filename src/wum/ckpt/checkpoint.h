@@ -13,10 +13,13 @@
 //   <dir>/epoch-<N>/MANIFEST            (written last within the epoch)
 //
 // Within an epoch the MANIFEST is written last; across epochs CURRENT is
-// renamed into place only after the new epoch directory is complete. A
-// crash at any point therefore leaves either the previous consistent
-// checkpoint (CURRENT untouched) or the new one — never a half-written
-// state a resume could read. See docs/checkpointing.md.
+// renamed into place only after the new epoch directory is complete, and
+// every write is fsynced (file before its rename, directory after) so
+// the ordering holds on disk, not just in the page cache. A crash at any
+// point — process or power — therefore leaves either the previous
+// consistent checkpoint (CURRENT untouched, its epoch not yet removed)
+// or the new one — never a half-written state a resume could read. See
+// docs/checkpointing.md.
 
 #ifndef WUM_CKPT_CHECKPOINT_H_
 #define WUM_CKPT_CHECKPOINT_H_
@@ -81,9 +84,11 @@ Status DecodeSession(Decoder* decoder, Session* session);
 void EncodeDeadLetter(const DeadLetter& letter, Encoder* encoder);
 Status DecodeDeadLetter(Decoder* decoder, DeadLetter* letter);
 
-/// Writes `contents` to `path` atomically: a sibling temp file is
-/// written, flushed and renamed over `path`, so readers never observe a
-/// partial file.
+/// Writes `contents` to `path` atomically and durably: a sibling temp
+/// file is written, flushed, fsynced and renamed over `path`, then the
+/// parent directory is fsynced — readers never observe a partial file,
+/// and the committed file survives power loss, not just process death
+/// (on platforms without fsync, process death only).
 Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 /// Writes a framed file atomically: magic + version header, then one

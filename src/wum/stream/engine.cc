@@ -1,5 +1,6 @@
 #include "wum/stream/engine.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <mutex>
 #include <span>
@@ -548,11 +549,14 @@ Status StreamEngine::Checkpoint(const std::string& dir,
   // (processed, quarantined or discarded) before any state is read.
   for (std::unique_ptr<Shard>& shard : shards_) {
     Status status = shard->driver->WaitIdle();
-    if (!status.ok() && error_policy_ == ErrorPolicy::kFailFast) {
-      return status;
-    }
-    // kDegrade: a dead shard is snapshotted as-is — its sessionizer is
-    // frozen and its losses are already in the dead-letter accounting.
+    if (status.ok()) continue;
+    if (error_policy_ == ErrorPolicy::kFailFast) return status;
+    // kDegrade: the shard is dead but WaitIdle returned on the sticky
+    // error — its worker may still be discarding queued records through
+    // the quarantine hook. Wait for the queue to drain completely so
+    // every loss is in the dead-letter accounting before the snapshot
+    // below reads it; the frozen sessionizer is then captured as-is.
+    shard->driver->WaitDrained();
   }
   std::string sink_state;
   if (sink_state_fn != nullptr) {
@@ -621,7 +625,12 @@ Status StreamEngine::Checkpoint(const std::string& dir,
   ckpt::CheckpointManifest manifest;
   manifest.epoch = epoch;
   manifest.num_shards = static_cast<std::uint32_t>(shards_.size());
-  manifest.records_seen = records_seen_;
+  // On a resumed engine records_seen_ restarts at zero while the
+  // restored state already covers resume_skip_ records; a checkpoint
+  // taken mid-replay must keep the larger offset or the next resume
+  // would replay already-absorbed records into the restored
+  // sessionizers and emit duplicate sessions.
+  manifest.records_seen = std::max(records_seen_, resume_skip_);
   manifest.heuristic = heuristic_name_;
   manifest.identity = IdentityName(identity_);
   manifest.max_session_duration = thresholds_.max_session_duration;

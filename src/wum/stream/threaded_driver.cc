@@ -149,6 +149,15 @@ Status ThreadedDriver::WaitIdle() {
   return Status::OK();
 }
 
+void ThreadedDriver::WaitDrained() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_waiting_.store(true, std::memory_order_seq_cst);
+  idle_cv_.wait(lock, [this] {
+    return drained_.load(std::memory_order_seq_cst) >= pushed_;
+  });
+  idle_waiting_.store(false, std::memory_order_seq_cst);
+}
+
 Status ThreadedDriver::Finish() {
   if (finished_) {
     return Status::FailedPrecondition("driver already finished");

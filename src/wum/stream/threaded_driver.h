@@ -89,6 +89,15 @@ class ThreadedDriver {
   /// snapshot. Producer thread only, like Offer.
   Status WaitIdle();
 
+  /// Drain barrier that ignores the sticky error: blocks until every
+  /// record ever enqueued has been handled (processed, quarantined or
+  /// discarded), even on a dead driver whose worker is still discarding
+  /// its queue. After it returns the discard hook is quiet, so
+  /// quarantine accounting for everything offered so far is complete —
+  /// the barrier a checkpoint needs over a failed shard, where WaitIdle
+  /// returns early. Producer thread only, like Offer.
+  void WaitDrained();
+
   /// Number of Offer calls that found the queue full and had to block —
   /// the backpressure signal of this driver.
   std::uint64_t blocked_enqueues() const {

@@ -263,6 +263,45 @@ TEST_F(EngineCheckpointTest, SecondCheckpointSupersedesFirst) {
   EXPECT_EQ(Canonicalize(combined), Canonicalize(baseline));
 }
 
+// Regression: a checkpoint taken while a resumed engine is still inside
+// its replay-skip phase must not shrink the skip offset. records_seen_
+// restarts at zero on resume while the restored state already covers
+// resume_skip_ records; committing the smaller count would make the
+// next resume replay already-absorbed records into the restored
+// sessionizers and emit duplicate sessions.
+TEST_F(EngineCheckpointTest, CheckpointDuringReplayKeepsSkipOffset) {
+  const Entries baseline =
+      RunUninterrupted("smart-sra", &graph_, 2, records_);
+  // First run: checkpoint at record 100, then crash at the barrier.
+  Entries committed = RunUntilKilled("smart-sra", &graph_, 2, records_,
+                                     /*checkpoint_at=*/100, /*kill_at=*/100,
+                                     dir_.string());
+  // Second run: resume, offer only 40 records — all inside the replay
+  // skip — take the cadence-driven checkpoint a tool would take, and
+  // crash again mid-replay.
+  {
+    CollectingSessionSink sink;
+    Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+        HeuristicOptions("smart-sra", &graph_, 2).resume_from(dir_.string()),
+        &sink);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    for (std::size_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+    }
+    ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+    EXPECT_TRUE(sink.entries().empty());  // replay emitted nothing new
+    engine->reset();  // the crash
+  }
+  // Third run: resume from the mid-replay checkpoint. It must skip the
+  // 100 records the state covers, not the 40 the dying engine had
+  // re-counted — combined output still matches the baseline exactly.
+  Entries resumed =
+      RunResumed("smart-sra", &graph_, 2, records_, dir_.string());
+  Entries combined = std::move(committed);
+  combined.insert(combined.end(), resumed.begin(), resumed.end());
+  EXPECT_EQ(Canonicalize(combined), Canonicalize(baseline));
+}
+
 // A resumed engine can checkpoint again; the epoch counter continues
 // past the restored one instead of overwriting it.
 TEST_F(EngineCheckpointTest, ResumedEngineCheckpointsIntoLaterEpochs) {

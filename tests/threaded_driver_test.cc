@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -237,6 +238,39 @@ TEST(ThreadedDriverTest, UnhandledErrorDiscardsRemainderThroughHook) {
     EXPECT_TRUE(driver.Finish().IsInternal());
   }
   EXPECT_EQ(discarded.load(), 2);
+}
+
+// Regression: after a worker death WaitIdle returns on the sticky error
+// while the worker may still be discarding queued records through
+// on_discard. WaitDrained must block until every enqueued record has
+// been handled, so a barrier over a dead shard (e.g. a checkpoint
+// snapshotting the dead-letter queue) sees all of its quarantines.
+TEST(ThreadedDriverTest, WaitDrainedOutlastsDiscardsAfterDeath) {
+  GateThenFailSink sink;
+  std::atomic<int> discarded{0};
+  DriverHooks hooks;
+  hooks.on_record_error = [](const LogRecord&, const Status&) {
+    return false;  // unhandled: the worker dies on record 0
+  };
+  hooks.on_discard = [&discarded](const LogRecord&, const Status& status) {
+    EXPECT_TRUE(status.IsInternal());
+    // Slow discards widen the window between WaitIdle's early return
+    // and the queue actually being empty.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    discarded.fetch_add(1);
+  };
+  ThreadedDriver driver(&sink, 16, DriverMetrics{}, hooks);
+  ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, 0)).ok());
+  sink.WaitEntered();
+  constexpr int kQueued = 10;
+  for (int i = 1; i <= kQueued; ++i) {
+    ASSERT_TRUE(driver.Offer(PageRecord("ip", 1, i)).ok());
+  }
+  sink.Release();  // record 0 fails; the rest only ever drain
+  EXPECT_TRUE(driver.WaitIdle().IsInternal());
+  driver.WaitDrained();
+  EXPECT_EQ(discarded.load(), kQueued);
+  EXPECT_TRUE(driver.Finish().IsInternal());
 }
 
 TEST(ThreadedDriverTest, EndToEndStreamingSessionization) {
