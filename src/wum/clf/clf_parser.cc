@@ -1,6 +1,7 @@
 #include "wum/clf/clf_parser.h"
 
 #include "wum/common/string_util.h"
+#include "wum/obs/log.h"
 
 namespace wum {
 namespace {
@@ -140,7 +141,12 @@ Status ClfParser::ParseStream(std::istream* in,
     ++stats_.lines_seen;
     lines_seen_.Increment();
     if (StripWhitespace(line).empty()) continue;
-    Result<LogRecord> parsed = ParseClfLine(line);
+    Result<LogRecord> parsed = [&] {
+      // Span per line, seq = the 1-based line number (shard is always 0:
+      // parsing runs upstream of partitioning).
+      obs::ScopedSpan span(tracer_, "parse", 0, stats_.lines_seen);
+      return ParseClfLine(line);
+    }();
     if (parsed.ok()) {
       records->push_back(std::move(parsed).ValueOrDie());
       ++stats_.records_parsed;
@@ -148,6 +154,8 @@ Status ClfParser::ParseStream(std::istream* in,
     } else {
       ++stats_.lines_rejected;
       lines_rejected_.Increment();
+      obs::LogWarn("clf.reject")("line", stats_.lines_seen)(
+          "error", parsed.status().message());
       if (reject_handler_ != nullptr) {
         reject_handler_(stats_.lines_seen, line, parsed.status());
       }

@@ -12,6 +12,7 @@
 #include "wum/clf/log_record.h"
 #include "wum/common/result.h"
 #include "wum/obs/metrics.h"
+#include "wum/obs/trace.h"
 
 namespace wum {
 
@@ -58,6 +59,11 @@ class ClfParser {
     reject_handler_ = std::move(handler);
   }
 
+  /// With an enabled tracer, every line becomes a "parse" span whose
+  /// seq is the 1-based line number (disabled by default; the clock is
+  /// then never read).
+  void set_tracer(obs::Tracer tracer) { tracer_ = tracer; }
+
   /// Parses every line of `in`; appends good records to `*records`.
   /// IO failure is the only error condition — malformed lines are
   /// tallied in stats().
@@ -68,6 +74,7 @@ class ClfParser {
  private:
   static constexpr std::size_t kMaxSampleErrors = 8;
   RejectHandler reject_handler_;
+  obs::Tracer tracer_;
   Stats stats_;
   obs::Counter lines_seen_;
   obs::Counter records_parsed_;

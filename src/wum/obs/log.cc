@@ -1,0 +1,183 @@
+#include "wum/obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "wum/obs/metrics.h"  // internal::NowMicros / RenderDouble
+
+namespace wum {
+namespace obs {
+namespace {
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendQuoted(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Result<LogLevel> ParseLogLevel(const std::string& text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return Status::InvalidArgument(
+      "unknown log level '" + text +
+      "' (expected debug|info|warn|error|off)");
+}
+
+Logger& Logger::Default() {
+  static Logger* const kLogger = new Logger();  // leaked: outlives all users
+  return *kLogger;
+}
+
+void Logger::set_stream(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ = out;
+}
+
+void Logger::Write(LogLevel level, const char* site,
+                   const std::string& fields) {
+  const std::uint64_t limit = rate_limit_per_sec_.load(std::memory_order_relaxed);
+  std::uint64_t carried_suppressed = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (limit > 0) {
+    // Window on the obs clock so tests can drive suppression
+    // deterministically through SetClockForTesting.
+    const std::uint64_t now_sec =
+        static_cast<std::uint64_t>(internal::NowMicros() / 1e6);
+    SiteState& state = sites_[site];
+    if (state.window_sec != now_sec) {
+      carried_suppressed = state.suppressed;
+      state.window_sec = now_sec;
+      state.in_window = 0;
+      state.suppressed = 0;
+    }
+    if (state.in_window >= limit) {
+      ++state.suppressed;
+      lines_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++state.in_window;
+  }
+  std::ostream& out = out_ == nullptr ? std::cerr : *out_;
+  if (include_timestamp_.load(std::memory_order_relaxed)) {
+    const auto wall = std::chrono::system_clock::now().time_since_epoch();
+    const long long micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(wall).count();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "ts=%lld.%06lld ", micros / 1000000,
+                  micros % 1000000);
+    out << buf;
+  }
+  out << "level=" << LogLevelName(level) << " site=" << site;
+  if (carried_suppressed > 0) out << " suppressed=" << carried_suppressed;
+  out << fields << "\n";
+  out.flush();
+  lines_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+LogLine& LogLine::operator()(std::string_view key, std::string_view value) {
+  if (logger_ == nullptr) return *this;
+  fields_.push_back(' ');
+  fields_.append(key);
+  fields_.push_back('=');
+  if (NeedsQuoting(value)) {
+    AppendQuoted(&fields_, value);
+  } else {
+    fields_.append(value);
+  }
+  return *this;
+}
+
+LogLine& LogLine::operator()(std::string_view key, std::uint64_t value) {
+  if (logger_ == nullptr) return *this;
+  fields_.push_back(' ');
+  fields_.append(key);
+  fields_.push_back('=');
+  fields_.append(std::to_string(value));
+  return *this;
+}
+
+LogLine& LogLine::operator()(std::string_view key, std::int64_t value) {
+  if (logger_ == nullptr) return *this;
+  fields_.push_back(' ');
+  fields_.append(key);
+  fields_.push_back('=');
+  fields_.append(std::to_string(value));
+  return *this;
+}
+
+LogLine& LogLine::operator()(std::string_view key, double value) {
+  if (logger_ == nullptr) return *this;
+  fields_.push_back(' ');
+  fields_.append(key);
+  fields_.push_back('=');
+  fields_.append(internal::RenderDouble(value));
+  return *this;
+}
+
+LogLine& LogLine::operator()(std::string_view key, bool value) {
+  if (logger_ == nullptr) return *this;
+  fields_.push_back(' ');
+  fields_.append(key);
+  fields_.push_back('=');
+  fields_.append(value ? "true" : "false");
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace wum

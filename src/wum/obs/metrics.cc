@@ -34,7 +34,62 @@ void AtomicMax(std::atomic<double>* cell, double value) {
   }
 }
 
+std::atomic<ClockMicrosFn> g_clock_override{nullptr};
+
+double SteadyClockMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+double NowMicros() {
+  const ClockMicrosFn fn = g_clock_override.load(std::memory_order_acquire);
+  return fn == nullptr ? SteadyClockMicros() : fn();
+}
+
+void SetClockForTesting(ClockMicrosFn fn) {
+  g_clock_override.store(fn, std::memory_order_release);
+}
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderDouble(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc() ? std::string(buffer, end) : std::string("0");
+}
 
 HistogramCell::HistogramCell(std::vector<double> upper_bounds)
     : bounds(std::move(upper_bounds)), buckets(bounds.size() + 1) {
@@ -140,49 +195,8 @@ Histogram HistogramIn(MetricRegistry* registry, const std::string& name,
                              : registry->GetHistogram(name, upper_bounds);
 }
 
-namespace {
-
-/// Shortest round-trip rendering; JSON has no Infinity literal, so the
-/// (unused-in-practice) non-finite cases degrade to 0.
-std::string RenderDouble(double value) {
-  if (!std::isfinite(value)) return "0";
-  char buffer[32];
-  const auto [end, ec] =
-      std::to_chars(buffer, buffer + sizeof(buffer), value);
-  return ec == std::errc() ? std::string(buffer, end) : std::string("0");
-}
-
-std::string EscapeJson(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using internal::EscapeJson;
+using internal::RenderDouble;
 
 const MetricsSnapshot::CounterValue* MetricsSnapshot::FindCounter(
     const std::string& name) const {
@@ -224,26 +238,63 @@ std::uint64_t MetricsSnapshot::CounterSumByPrefix(
   return total;
 }
 
-std::string MetricsSnapshot::ToJson() const {
+double MetricsSnapshot::HistogramValue::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    double lower = b == 0 ? min : bounds[b - 1];
+    double upper = b < bounds.size() ? bounds[b] : max;
+    if (lower < min) lower = min;
+    if (upper > max) upper = max;
+    if (upper < lower) upper = lower;
+    const double fraction = (rank - before) / static_cast<double>(in_bucket);
+    const double value = lower + (upper - lower) * fraction;
+    return value < min ? min : (value > max ? max : value);
+  }
+  return max;  // unreachable with consistent counts; harmless otherwise
+}
+
+namespace {
+
+/// Shared body of ToJson (pretty) and ToJsonLine (compact): identical
+/// content, indentation-only differences.
+std::string RenderSnapshotJson(const MetricsSnapshot& snapshot, bool pretty) {
+  const char* outer = pretty ? "\n  " : "";
+  const char* inner = pretty ? "\n    " : "";
+  const char* close = pretty ? "\n  }" : "}";
   std::ostringstream out;
-  out << "{\n  \"counters\": {";
-  for (std::size_t i = 0; i < counters.size(); ++i) {
-    out << (i == 0 ? "\n" : ",\n") << "    \""
-        << EscapeJson(counters[i].name) << "\": " << counters[i].value;
+  out << "{" << outer << "\"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "" : ",") << inner << "\""
+        << EscapeJson(snapshot.counters[i].name)
+        << "\": " << snapshot.counters[i].value;
   }
-  out << (counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
-  for (std::size_t i = 0; i < gauges.size(); ++i) {
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << EscapeJson(gauges[i].name)
-        << "\": " << gauges[i].value;
+  out << (snapshot.counters.empty() ? "}" : close) << "," << outer
+      << "\"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "" : ",") << inner << "\""
+        << EscapeJson(snapshot.gauges[i].name)
+        << "\": " << snapshot.gauges[i].value;
   }
-  out << (gauges.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
-  for (std::size_t i = 0; i < histograms.size(); ++i) {
-    const HistogramValue& h = histograms[i];
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << EscapeJson(h.name)
+  out << (snapshot.gauges.empty() ? "}" : close) << "," << outer
+      << "\"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const MetricsSnapshot::HistogramValue& h = snapshot.histograms[i];
+    out << (i == 0 ? "" : ",") << inner << "\"" << EscapeJson(h.name)
         << "\": {\"count\": " << h.count << ", \"sum\": "
         << RenderDouble(h.sum) << ", \"min\": " << RenderDouble(h.min)
         << ", \"max\": " << RenderDouble(h.max) << ", \"mean\": "
-        << RenderDouble(h.mean()) << ", \"buckets\": [";
+        << RenderDouble(h.mean()) << ", \"p50\": " << RenderDouble(h.p50())
+        << ", \"p90\": " << RenderDouble(h.p90()) << ", \"p99\": "
+        << RenderDouble(h.p99()) << ", \"buckets\": [";
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       if (b > 0) out << ", ";
       out << "{\"le\": "
@@ -254,8 +305,19 @@ std::string MetricsSnapshot::ToJson() const {
     }
     out << "]}";
   }
-  out << (histograms.empty() ? "}" : "\n  }") << "\n}\n";
+  out << (snapshot.histograms.empty() ? "}" : close)
+      << (pretty ? "\n}\n" : "}");
   return out.str();
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  return RenderSnapshotJson(*this, /*pretty=*/true);
+}
+
+std::string MetricsSnapshot::ToJsonLine() const {
+  return RenderSnapshotJson(*this, /*pretty=*/false);
 }
 
 std::string MetricsSnapshot::ToCsv() const {
@@ -272,6 +334,9 @@ std::string MetricsSnapshot::ToCsv() const {
     out << "histogram," << h.name << ",sum," << RenderDouble(h.sum) << "\n";
     out << "histogram," << h.name << ",min," << RenderDouble(h.min) << "\n";
     out << "histogram," << h.name << ",max," << RenderDouble(h.max) << "\n";
+    out << "histogram," << h.name << ",p50," << RenderDouble(h.p50()) << "\n";
+    out << "histogram," << h.name << ",p90," << RenderDouble(h.p90()) << "\n";
+    out << "histogram," << h.name << ",p99," << RenderDouble(h.p99()) << "\n";
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       out << "histogram," << h.name << ",le_"
           << (b < h.bounds.size() ? RenderDouble(h.bounds[b]) : "inf") << ","

@@ -33,6 +33,31 @@ namespace obs {
 
 class MetricRegistry;
 
+namespace internal {
+
+/// Clock source used by every obs timing primitive (ScopedTimer,
+/// ScopedSpan, Tracer::Instant). Returns monotonic microseconds.
+using ClockMicrosFn = double (*)();
+
+/// Monotonic "now" in microseconds. Reads the test override when one is
+/// installed, std::chrono::steady_clock otherwise. Timing primitives
+/// call this *only* while enabled, which is what makes "disabled
+/// handles never read the clock" a testable property.
+double NowMicros();
+
+/// Installs `fn` as the clock (nullptr restores steady_clock). Tests
+/// only; not meant for concurrent installation while timers run.
+void SetClockForTesting(ClockMicrosFn fn);
+
+/// JSON string escaping shared by the metrics and trace exporters.
+std::string EscapeJson(const std::string& text);
+
+/// Shortest round-trip rendering of a finite double ("0" when not
+/// finite — JSON has no Infinity literal).
+std::string RenderDouble(double value);
+
+}  // namespace internal
+
 /// Monotonically increasing event count. Disabled when default-made.
 class Counter {
  public:
@@ -158,6 +183,18 @@ struct MetricsSnapshot {
     double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
+
+    /// Estimated quantile (0 < q < 1), linearly interpolated inside the
+    /// fixed bucket containing rank q·count. The first occupied
+    /// bucket's lower edge is tightened to `min` and the overflow
+    /// bucket's upper edge to `max` (both are tracked exactly), and the
+    /// result is clamped to [min, max]. Resolution is bounded by the
+    /// bucket width around the quantile; 0 when the histogram is empty.
+    double Quantile(double q) const;
+
+    double p50() const { return Quantile(0.50); }
+    double p90() const { return Quantile(0.90); }
+    double p99() const { return Quantile(0.99); }
   };
 
   std::vector<CounterValue> counters;
@@ -176,10 +213,14 @@ struct MetricsSnapshot {
   /// rollups: CounterSumByPrefix("engine.shard") etc.).
   std::uint64_t CounterSumByPrefix(const std::string& prefix) const;
 
-  /// Machine-readable renderings; both are deterministic for a given
+  /// Machine-readable renderings; all are deterministic for a given
   /// snapshot (schema in docs/observability.md).
   std::string ToJson() const;
   std::string ToCsv() const;
+
+  /// ToJson's content on a single line (no trailing newline) — the
+  /// JSONL record shape appended by MetricsReporter.
+  std::string ToJsonLine() const;
 };
 
 /// Writes a snapshot to `path`: CSV when the path ends in ".csv", JSON
@@ -229,14 +270,12 @@ Histogram HistogramIn(
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram histogram) : histogram_(histogram) {
-    if (histogram_.enabled()) start_ = std::chrono::steady_clock::now();
+    if (histogram_.enabled()) start_us_ = internal::NowMicros();
   }
 
   ~ScopedTimer() {
     if (!histogram_.enabled()) return;
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    histogram_.Observe(
-        std::chrono::duration<double, std::micro>(elapsed).count());
+    histogram_.Observe(internal::NowMicros() - start_us_);
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -244,7 +283,7 @@ class ScopedTimer {
 
  private:
   Histogram histogram_;
-  std::chrono::steady_clock::time_point start_;
+  double start_us_ = 0.0;
 };
 
 }  // namespace obs

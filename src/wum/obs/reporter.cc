@@ -1,0 +1,92 @@
+#include "wum/obs/reporter.h"
+
+#include <utility>
+
+namespace wum {
+namespace obs {
+
+Result<std::unique_ptr<MetricsReporter>> MetricsReporter::Start(
+    MetricRegistry* registry, Options options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("MetricsReporter needs a registry");
+  }
+  if (options.interval.count() <= 0) {
+    return Status::InvalidArgument("reporter interval must be positive");
+  }
+  if (options.path.empty()) {
+    return Status::InvalidArgument("reporter path must be non-empty");
+  }
+  std::unique_ptr<MetricsReporter> reporter(
+      new MetricsReporter(registry, std::move(options)));
+  if (!reporter->out_) {
+    return Status::IoError("cannot open " + reporter->options_.path);
+  }
+  reporter->thread_ = std::thread([raw = reporter.get()] { raw->Run(); });
+  return reporter;
+}
+
+MetricsReporter::MetricsReporter(MetricRegistry* registry, Options options)
+    : registry_(registry),
+      options_(std::move(options)),
+      started_(std::chrono::steady_clock::now()),
+      snapshots_mirror_(registry->GetCounter("obs.reporter.snapshots")),
+      out_(options_.path, std::ios::trunc) {}
+
+MetricsReporter::~MetricsReporter() { (void)Stop(); }
+
+void MetricsReporter::Run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    // Write outside the lock: Stop() never runs concurrently with this
+    // (it joins before its own final WriteSnapshotLine).
+    lock.unlock();
+    WriteSnapshotLine();
+    lock.lock();
+  }
+}
+
+void MetricsReporter::WriteSnapshotLine() {
+  // Count first so the line's own snapshot reflects this write.
+  snapshots_mirror_.Increment();
+  const MetricsSnapshot snapshot = registry_->Snapshot();
+  const auto uptime = std::chrono::steady_clock::now() - started_;
+  const auto uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(uptime).count();
+  out_ << "{\"seq\": " << seq_++ << ", \"uptime_ms\": " << uptime_ms
+       << ", \"metrics\": " << snapshot.ToJsonLine() << "}\n";
+  out_.flush();
+  if (!out_) {
+    if (error_.ok()) error_ = Status::IoError("write failed: " + options_.path);
+    return;
+  }
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status MetricsReporter::Stop() {
+  bool do_join = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+    if (!joined_) {
+      joined_ = true;
+      do_join = true;
+    }
+  }
+  cv_.notify_all();
+  if (do_join) {
+    // Not joinable when Start bailed before spawning (open failure):
+    // the destructor of the half-built reporter still lands here.
+    if (thread_.joinable()) {
+      thread_.join();
+      WriteSnapshotLine();  // final state, even for sub-interval runs
+    }
+  }
+  return error_;
+}
+
+}  // namespace obs
+}  // namespace wum

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "wum/obs/log.h"
+
 namespace wum {
 
 std::string_view DeadLetterStageName(DeadLetter::Stage stage) {
@@ -27,6 +29,9 @@ bool DeadLetterQueue::Offer(DeadLetter letter) {
   records_covered_ += letter.records_covered;
   if (letters_.size() >= capacity_) {
     ++overflow_dropped_;
+    obs::LogWarn("dead_letter.overflow")("capacity", capacity_)(
+        "dropped", overflow_dropped_)("stage",
+                                      DeadLetterStageName(letter.stage));
     return false;
   }
   letters_.push_back(std::move(letter));

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "wum/ckpt/checkpoint.h"
+#include "wum/obs/log.h"
 #include "wum/stream/heuristic_registry.h"
 #include "wum/stream/operators.h"
 #include "wum/stream/threaded_driver.h"
@@ -177,8 +178,14 @@ Status StreamEngine::ShardEmit::Accept(const std::string& user_key,
                                        Session session) {
   const std::uint64_t covered =
       static_cast<std::uint64_t>(session.requests.size());
-  Status status =
-      engine_->emit_->Emit(user_key, std::move(session), shard_->retrying.get());
+  Status status;
+  {
+    // seq = sessions delivered by this shard before this one.
+    obs::ScopedSpan span(engine_->tracer_, "emit", shard_->index,
+                         delivered_sessions_.load(std::memory_order_relaxed));
+    status = engine_->emit_->Emit(user_key, std::move(session),
+                                  shard_->retrying.get());
+  }
   if (status.ok()) {
     delivered_sessions_.fetch_add(1, std::memory_order_relaxed);
     delivered_records_.fetch_add(covered, std::memory_order_relaxed);
@@ -266,6 +273,7 @@ StreamEngine::StreamEngine(EngineOptions options,
       emit_(std::make_unique<EmitHub>(sink, options.error_policy_)),
       queue_capacity_(options.queue_capacity_),
       registry_(options.metrics_),
+      tracer_(obs::TracerIn(options.trace_)),
       heuristic_name_(options.selection_ ==
                               EngineOptions::Selection::kNamed
                           ? options.heuristic_name_
@@ -295,7 +303,8 @@ StreamEngine::StreamEngine(EngineOptions options,
     shard->shed_mirror = obs::CounterIn(registry, prefix + "shed");
     if (options.retry_.has_value()) {
       shard->retrying = std::make_unique<RetryingSink>(
-          sink, *options.retry_, obs::CounterIn(registry, prefix + "retries"));
+          sink, *options.retry_, obs::CounterIn(registry, prefix + "retries"),
+          tracer_, i);
     }
     shard->emit = std::make_unique<ShardEmit>(
         this, shard.get(),
@@ -305,6 +314,8 @@ StreamEngine::StreamEngine(EngineOptions options,
         obs::CounterIn(registry, prefix + "skipped_non_page_urls");
     sessionize_metrics.sessionize_latency_us =
         obs::HistogramIn(registry, prefix + "sessionize_latency_us");
+    sessionize_metrics.tracer = tracer_;
+    sessionize_metrics.trace_shard = i;
     shard->sessionize = std::make_unique<SessionizeSink>(
         factory, shard->emit.get(), options.num_pages_, options.identity_,
         std::move(sessionize_metrics));
@@ -334,6 +345,8 @@ void StreamEngine::StartWorkers() {
         obs::GaugeIn(registry_, prefix + "queue_high_watermark");
     driver_metrics.drain_latency_us =
         obs::HistogramIn(registry_, prefix + "drain_latency_us");
+    driver_metrics.tracer = tracer_;
+    driver_metrics.trace_shard = shard->index;
     DriverHooks hooks;
     if (error_policy_ == ErrorPolicy::kDegrade) {
       // Failure-domain hooks: record-level errors quarantine only the
@@ -386,6 +399,14 @@ void StreamEngine::Quarantine(Shard& shard, DeadLetter letter) {
   shard.dead_letters.fetch_add(letter.records_covered,
                                std::memory_order_relaxed);
   shard.dead_letter_mirror.Increment(letter.records_covered);
+  // seq = records quarantined by this shard so far (the letter's own
+  // records included). Rate limiting keeps a shard-death drain from
+  // flooding the log with one warning per discarded record.
+  tracer_.Instant("dead_letter", shard.index,
+                  shard.dead_letters.load(std::memory_order_relaxed));
+  obs::LogWarn("engine.quarantine")("shard", shard.index)(
+      "stage", DeadLetterStageName(letter.stage))(
+      "records", letter.records_covered)("error", letter.reason.ToString());
   if (dead_letters_ != nullptr) dead_letters_->Offer(std::move(letter));
 }
 
@@ -405,18 +426,25 @@ Status StreamEngine::Offer(const LogRecord& record) {
     WUM_RETURN_NOT_OK(emit_->first_error());
   }
   Shard& shard = *shards_[ShardIndexFor(record)];
+  // seq = 0-based input offset of this record for both stages: the
+  // routing decision (instant) and the enqueue (span covering any
+  // backpressure blocking).
+  tracer_.Instant("partition", shard.index, records_seen_);
   Status status;
-  if (offer_policy_ == OfferPolicy::kShed) {
-    bool accepted = false;
-    status = shard.driver->TryOffer(record, &accepted);
-    if (status.ok() && !accepted) {
-      shard.shed.fetch_add(1, std::memory_order_relaxed);
-      shard.shed_mirror.Increment();
-      ++records_seen_;
-      return Status::OK();
+  {
+    obs::ScopedSpan span(tracer_, "enqueue", shard.index, records_seen_);
+    if (offer_policy_ == OfferPolicy::kShed) {
+      bool accepted = false;
+      status = shard.driver->TryOffer(record, &accepted);
+      if (status.ok() && !accepted) {
+        shard.shed.fetch_add(1, std::memory_order_relaxed);
+        shard.shed_mirror.Increment();
+        ++records_seen_;
+        return Status::OK();
+      }
+    } else {
+      status = shard.driver->Offer(record);
     }
-  } else {
-    status = shard.driver->Offer(record);
   }
   if (!status.ok()) {
     if (error_policy_ == ErrorPolicy::kFailFast) return status;
@@ -545,6 +573,9 @@ Status StreamEngine::Checkpoint(const std::string& dir,
     WUM_RETURN_NOT_OK(emit_->first_error());
   }
   obs::ScopedTimer timer(ckpt_latency_us_);
+  // seq = the epoch being committed; shard 0 stands in for "whole
+  // engine" (the checkpoint spans every shard).
+  obs::ScopedSpan span(tracer_, "checkpoint", 0, next_epoch_);
   // Quiescence barrier: every record ever offered must be fully settled
   // (processed, quarantined or discarded) before any state is read.
   for (std::unique_ptr<Shard>& shard : shards_) {
@@ -647,6 +678,8 @@ Status StreamEngine::Checkpoint(const std::string& dir,
   ckpt::RemoveStaleEpochs(dir, epoch);
   ckpt_written_.Increment();
   ckpt_bytes_.Increment(bytes);
+  obs::LogInfo("ckpt.commit")("epoch", epoch)(
+      "records_seen", manifest.records_seen)("bytes", bytes);
   return Status::OK();
 }
 
@@ -764,6 +797,8 @@ Status StreamEngine::RestoreFrom(const std::string& dir) {
   next_epoch_ = epoch + 1;
   resumed_sink_state_ = std::move(manifest.sink_state);
   resumed_ = true;
+  obs::LogInfo("ckpt.resume")("epoch", epoch)(
+      "records_seen", manifest.records_seen);
   return Status::OK();
 }
 

@@ -119,6 +119,8 @@ Status SessionizeSink::Accept(const LogRecord& record) {
   user.last_timestamp = record.timestamp;
   user.has_seen_request = true;
   obs::ScopedTimer timer(metrics_.sessionize_latency_us);
+  obs::ScopedSpan span(metrics_.tracer, "sessionize", metrics_.trace_shard,
+                       records_absorbed_.load(std::memory_order_relaxed));
   WUM_RETURN_NOT_OK(user.sessionizer->OnRequest(
       PageRequest{static_cast<PageId>(*page), record.timestamp},
       MakeEmit(key)));

@@ -16,6 +16,7 @@
 
 #include "wum/clf/user_partitioner.h"
 #include "wum/obs/metrics.h"
+#include "wum/obs/trace.h"
 #include "wum/session/smart_sra.h"
 #include "wum/stream/pipeline.h"
 
@@ -36,6 +37,10 @@ struct SessionizeMetrics {
   /// Wall time one record spends inside the per-user incremental
   /// sessionizer (OnRequest plus any emissions), in microseconds.
   obs::Histogram sessionize_latency_us;
+  /// Optional span tracer: each absorbed record becomes a "sessionize"
+  /// span tagged shard=trace_shard, seq=<records absorbed before it>.
+  obs::Tracer tracer;
+  std::uint64_t trace_shard = 0;
 };
 
 /// Per-user streaming sessionizer state machine. Implementations receive

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "wum/obs/log.h"
+
 namespace wum {
 
 ThreadedDriver::ThreadedDriver(RecordSink* sink, std::size_t queue_capacity,
@@ -47,6 +49,8 @@ void ThreadedDriver::Run() {
     Status status;
     {
       obs::ScopedTimer timer(metrics_.drain_latency_us);
+      obs::ScopedSpan span(metrics_.tracer, "drain", metrics_.trace_shard,
+                           drained_.load(std::memory_order_relaxed));
       status = sink_->Accept(*record);
     }
     if (status.ok()) {
@@ -58,6 +62,8 @@ void ThreadedDriver::Run() {
       NoteDrained();
       continue;  // quarantined; the shard lives on
     }
+    obs::LogError("driver.failed")("shard", metrics_.trace_shard)(
+        "error", status.ToString());
     {
       std::lock_guard<std::mutex> lock(status_mutex_);
       if (first_error_.ok()) first_error_ = std::move(status);

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "wum/obs/metrics.h"
+#include "wum/obs/trace.h"
 #include "wum/stream/pipeline.h"
 #include "wum/stream/spsc_queue.h"
 
@@ -32,6 +33,10 @@ struct DriverMetrics {
   /// Wall time the worker spends draining one record through the sink
   /// (operators + sessionizer + emission), in microseconds.
   obs::Histogram drain_latency_us;
+  /// Optional span tracer: each drained record becomes a "drain" span
+  /// tagged shard=trace_shard, seq=<records drained before it>.
+  obs::Tracer tracer;
+  std::uint64_t trace_shard = 0;
 };
 
 /// Failure-domain hooks, called on the worker thread. Both optional;

@@ -1,0 +1,182 @@
+// wum::obs logging: line format and value quoting, level filtering,
+// per-site rate limiting with suppressed-count disclosure, and
+// concurrent whole-line writes.
+
+#include "wum/obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wum/obs/metrics.h"
+
+namespace wum {
+namespace obs {
+namespace {
+
+std::atomic<std::uint64_t> g_clock_us{0};
+
+double FakeClock() {
+  return static_cast<double>(g_clock_us.load(std::memory_order_relaxed));
+}
+
+/// Rate-limit windows are keyed on the obs clock, so tests drive time.
+struct ClockGuard {
+  ClockGuard() {
+    g_clock_us.store(0);
+    internal::SetClockForTesting(&FakeClock);
+  }
+  ~ClockGuard() { internal::SetClockForTesting(nullptr); }
+};
+
+/// An isolated logger writing into a string, timestamps off for
+/// byte-stable expectations.
+struct CapturedLogger {
+  CapturedLogger() {
+    logger.set_stream(&out);
+    logger.set_include_timestamp(false);
+    logger.set_min_level(LogLevel::kDebug);
+  }
+  std::ostringstream out;
+  Logger logger;
+};
+
+TEST(LogLevelTest, NamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    Result<LogLevel> parsed = ParseLogLevel(std::string(LogLevelName(level)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+  Result<LogLevel> bad = ParseLogLevel("verbose");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("expected debug|info|warn|error|off"),
+            std::string::npos);
+}
+
+TEST(LoggerTest, WritesStructuredKeyValueLine) {
+  CapturedLogger captured;
+  LogLine(&captured.logger, LogLevel::kWarn, "clf.reject")("line",
+                                                           std::uint64_t{7})(
+      "error", "bad field");
+  EXPECT_EQ(captured.out.str(),
+            "level=warn site=clf.reject line=7 error=\"bad field\"\n");
+  EXPECT_EQ(captured.logger.lines_written(), 1u);
+}
+
+TEST(LoggerTest, ValueTypesRender) {
+  CapturedLogger captured;
+  LogLine(&captured.logger, LogLevel::kInfo, "t")("u", std::uint64_t{18446744073709551615u})(
+      "i", std::int64_t{-5})("d", 1.5)("b", true)("s", std::string("x"));
+  EXPECT_EQ(captured.out.str(),
+            "level=info site=t u=18446744073709551615 i=-5 d=1.5 b=true "
+            "s=x\n");
+}
+
+TEST(LoggerTest, QuotingAndEscaping) {
+  CapturedLogger captured;
+  LogLine(&captured.logger, LogLevel::kInfo, "q")("space", "a b")(
+      "quote", "say \"hi\"")("equals", "k=v")("backslash", "a\\b")(
+      "newline", "a\nb")("empty", "")("bare", "plain-1.2_ok");
+  EXPECT_EQ(captured.out.str(),
+            "level=info site=q space=\"a b\" quote=\"say \\\"hi\\\"\" "
+            "equals=\"k=v\" backslash=\"a\\\\b\" newline=\"a\\nb\" "
+            "empty=\"\" bare=plain-1.2_ok\n");
+}
+
+TEST(LoggerTest, LevelFiltering) {
+  CapturedLogger captured;
+  captured.logger.set_min_level(LogLevel::kWarn);
+  EXPECT_FALSE(captured.logger.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(captured.logger.Enabled(LogLevel::kError));
+  LogLine(&captured.logger, LogLevel::kInfo, "quiet")("k", "v");
+  LogLine(&captured.logger, LogLevel::kError, "loud")("k", "v");
+  EXPECT_EQ(captured.out.str(), "level=error site=loud k=v\n");
+
+  captured.logger.set_min_level(LogLevel::kOff);
+  LogLine(&captured.logger, LogLevel::kError, "silenced")("k", "v");
+  EXPECT_EQ(captured.logger.lines_written(), 1u);
+}
+
+TEST(LoggerTest, RateLimitsPerSiteAndDisclosesSuppression) {
+  ClockGuard clock;
+  CapturedLogger captured;
+  captured.logger.set_rate_limit_per_sec(2);
+  for (int i = 0; i < 5; ++i) {
+    LogLine(&captured.logger, LogLevel::kWarn, "noisy")("i", i);
+  }
+  // Same second: only the first two lines land.
+  EXPECT_EQ(captured.out.str(),
+            "level=warn site=noisy i=0\nlevel=warn site=noisy i=1\n");
+  EXPECT_EQ(captured.logger.lines_suppressed(), 3u);
+
+  // Next second: the first line discloses what was dropped.
+  g_clock_us.store(1'000'000);
+  LogLine(&captured.logger, LogLevel::kWarn, "noisy")("i", 5);
+  const std::string all = captured.out.str();
+  EXPECT_NE(all.find("site=noisy suppressed=3 i=5"), std::string::npos);
+  EXPECT_EQ(captured.logger.lines_written(), 3u);
+}
+
+TEST(LoggerTest, RateLimitIsPerSite) {
+  ClockGuard clock;
+  CapturedLogger captured;
+  captured.logger.set_rate_limit_per_sec(1);
+  LogLine(&captured.logger, LogLevel::kWarn, "a")("i", 0);
+  LogLine(&captured.logger, LogLevel::kWarn, "a")("i", 1);  // dropped
+  LogLine(&captured.logger, LogLevel::kWarn, "b")("i", 2);  // own budget
+  EXPECT_EQ(captured.out.str(),
+            "level=warn site=a i=0\nlevel=warn site=b i=2\n");
+}
+
+TEST(LoggerTest, ZeroRateLimitMeansUnlimited) {
+  ClockGuard clock;
+  CapturedLogger captured;
+  captured.logger.set_rate_limit_per_sec(0);
+  for (int i = 0; i < 100; ++i) {
+    LogLine(&captured.logger, LogLevel::kWarn, "s")("i", i);
+  }
+  EXPECT_EQ(captured.logger.lines_written(), 100u);
+  EXPECT_EQ(captured.logger.lines_suppressed(), 0u);
+}
+
+TEST(LoggerTest, DefaultLoggerStartsAtWarn) {
+  EXPECT_EQ(Logger::Default().min_level(), LogLevel::kWarn);
+}
+
+// Concurrent writers: every line arrives whole (the mutex serializes
+// the write), and the count is exact. TSan-checked via the tsan label.
+TEST(LoggerTest, ConcurrentWritesProduceWholeLines) {
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  CapturedLogger captured;
+  captured.logger.set_rate_limit_per_sec(0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&captured, t] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        LogLine(&captured.logger, LogLevel::kWarn, "race")("t", t)("i", i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(captured.logger.lines_written(),
+            static_cast<std::uint64_t>(kThreads) * kLinesPerThread);
+  std::istringstream in(captured.out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.rfind("level=warn site=race t=", 0), 0u) << line;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kThreads) * kLinesPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wum

@@ -1,0 +1,138 @@
+// wum::obs reporting: option validation, the final-snapshot-on-Stop
+// guarantee, periodic JSONL series content and idempotent shutdown.
+
+#include "wum/obs/reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wum {
+namespace obs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(MetricsReporterTest, RejectsInvalidOptions) {
+  MetricRegistry registry;
+  MetricsReporter::Options options;
+  options.path = TempPath("reporter_invalid.jsonl");
+
+  EXPECT_TRUE(MetricsReporter::Start(nullptr, options)
+                  .status()
+                  .IsInvalidArgument());
+
+  MetricsReporter::Options no_interval = options;
+  no_interval.interval = std::chrono::milliseconds(0);
+  EXPECT_TRUE(MetricsReporter::Start(&registry, no_interval)
+                  .status()
+                  .IsInvalidArgument());
+
+  MetricsReporter::Options no_path = options;
+  no_path.path.clear();
+  EXPECT_TRUE(MetricsReporter::Start(&registry, no_path)
+                  .status()
+                  .IsInvalidArgument());
+
+  MetricsReporter::Options bad_path = options;
+  bad_path.path = TempPath("no-such-dir/deep/reporter.jsonl");
+  EXPECT_TRUE(
+      MetricsReporter::Start(&registry, bad_path).status().IsIoError());
+}
+
+TEST(MetricsReporterTest, StopWritesFinalSnapshotEvenWithinFirstInterval) {
+  const std::string path = TempPath("reporter_final.jsonl");
+  MetricRegistry registry;
+  registry.GetCounter("work.items").Increment(42);
+  MetricsReporter::Options options;
+  options.interval = std::chrono::hours(1);  // never fires on its own
+  options.path = path;
+  Result<std::unique_ptr<MetricsReporter>> reporter =
+      MetricsReporter::Start(&registry, options);
+  ASSERT_TRUE(reporter.ok()) << reporter.status().ToString();
+  ASSERT_TRUE((*reporter)->Stop().ok());
+  EXPECT_EQ((*reporter)->snapshots_written(), 1u);
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"uptime_ms\": "), std::string::npos);
+  // The embedded snapshot carries the registry state at Stop time.
+  EXPECT_NE(lines[0].find("\"work.items\": 42"), std::string::npos);
+  // Registered in the observed registry itself: the series documents
+  // its own cadence.
+  EXPECT_NE(lines[0].find("\"obs.reporter.snapshots\": 1"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsReporterTest, WritesPeriodicSeries) {
+  const std::string path = TempPath("reporter_series.jsonl");
+  MetricRegistry registry;
+  Counter counter = registry.GetCounter("ticks");
+  MetricsReporter::Options options;
+  options.interval = std::chrono::milliseconds(10);
+  options.path = path;
+  Result<std::unique_ptr<MetricsReporter>> reporter =
+      MetricsReporter::Start(&registry, options);
+  ASSERT_TRUE(reporter.ok()) << reporter.status().ToString();
+  // Wait until at least two periodic snapshots have landed (generous
+  // deadline so a loaded CI machine cannot flake this).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((*reporter)->snapshots_written() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    counter.Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE((*reporter)->Stop().ok());
+  const std::uint64_t written = (*reporter)->snapshots_written();
+  EXPECT_GE(written, 3u);  // >= 2 periodic + the final one
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), written);
+  // Sequence numbers are dense from 0; every line is one JSON object.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].find("{\"seq\": " + std::to_string(i)), 0u)
+        << lines[i];
+    EXPECT_EQ(lines[i].back(), '}');
+    EXPECT_NE(lines[i].find("\"metrics\": {"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetricsReporterTest, StopIsIdempotentAndDestructionIsSafe) {
+  const std::string path = TempPath("reporter_idem.jsonl");
+  MetricRegistry registry;
+  MetricsReporter::Options options;
+  options.interval = std::chrono::hours(1);
+  options.path = path;
+  Result<std::unique_ptr<MetricsReporter>> reporter =
+      MetricsReporter::Start(&registry, options);
+  ASSERT_TRUE(reporter.ok());
+  EXPECT_TRUE((*reporter)->Stop().ok());
+  EXPECT_TRUE((*reporter)->Stop().ok());  // second Stop: no-op, same result
+  EXPECT_EQ((*reporter)->snapshots_written(), 1u);
+  reporter->reset();  // destructor after Stop must not double-join
+  EXPECT_EQ(ReadLines(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wum

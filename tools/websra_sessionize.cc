@@ -36,6 +36,8 @@ std::string Usage() {
          "  [--identity ip|ip-ua] [--delta MINUTES=30] [--rho MINUTES=10]\n"
          "  [--keep-robots] [--streaming] [--threads N=4]\n"
          "  [--max-parse-errors N=0] [--metrics-out FILE]\n"
+         "  [--metrics-every SEC [--metrics-series FILE]] [--trace-out FILE]\n"
+         "  [--log-level debug|info|warn|error|off]\n"
          "  [--format text|binary] [--checkpoint-dir DIR]\n"
          "  [--checkpoint-every-records N=100000] [--resume]\n"
          "\n"
@@ -61,6 +63,16 @@ std::string Usage() {
          "engine and sessionizer metrics are written to FILE (CSV when it\n"
          "ends in .csv, JSON otherwise) and summarized on stdout.\n"
          "\n"
+         "--metrics-every also enables metrics and additionally appends a\n"
+         "registry snapshot every SEC seconds to --metrics-series (default\n"
+         "metrics.series.jsonl, one JSON object per line) so long or\n"
+         "crashed runs leave a time series. --trace-out records every\n"
+         "pipeline stage (parse, partition, enqueue, drain, sessionize,\n"
+         "emit, retry, dead_letter, checkpoint) as spans and writes a\n"
+         "Chrome trace-event JSON file: load it at https://ui.perfetto.dev\n"
+         "or chrome://tracing. --log-level (default warn) controls the\n"
+         "structured key=value diagnostics on stderr.\n"
+         "\n"
          "--format selects the session file serialization (text is the\n"
          "line-oriented default; binary is the compact CRC-framed format).\n"
          "Readers auto-detect, so downstream tools accept either.\n"
@@ -71,25 +83,6 @@ std::string Usage() {
          "a crash, rerun the identical command with --resume to continue\n"
          "from the last committed checkpoint; the finished output is\n"
          "identical to an uninterrupted run. See docs/checkpointing.md.\n";
-}
-
-/// Human-readable rollup of a metrics snapshot, rendered with wum::Table.
-void PrintMetricsSummary(const wum::obs::MetricsSnapshot& snapshot) {
-  wum::Table table({"metric", "kind", "value"});
-  for (const auto& counter : snapshot.counters) {
-    table.AddRow({counter.name, "counter", std::to_string(counter.value)});
-  }
-  for (const auto& gauge : snapshot.gauges) {
-    table.AddRow({gauge.name, "gauge", std::to_string(gauge.value)});
-  }
-  for (const auto& histogram : snapshot.histograms) {
-    table.AddRow({histogram.name, "histogram",
-                  "count=" + std::to_string(histogram.count) +
-                      " mean=" + wum::FormatDouble(histogram.mean(), 1) +
-                      "us max=" + wum::FormatDouble(histogram.max, 1) +
-                      "us"});
-  }
-  table.Render(&std::cout);
 }
 
 /// Checkpointing configuration for the streaming path (--checkpoint-dir
@@ -116,6 +109,7 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
                          wum::UserIdentity identity,
                          wum::TimeThresholds thresholds, std::size_t threads,
                          wum::obs::MetricRegistry* metrics,
+                         wum::obs::TraceRecorder* trace,
                          const std::optional<CheckpointConfig>& checkpoint,
                          std::vector<wum::UserSession>* output) {
   if (heuristic_name == "referrer") {
@@ -129,6 +123,7 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
       .set_thresholds(thresholds)
       .set_num_pages(graph.num_pages())
       .set_metrics(metrics)
+      .set_trace(trace)
       .use_graph(&graph)
       .use_heuristic(heuristic_name);
 
@@ -261,25 +256,11 @@ void PrintRunSummary(const wum::ClfParser::Stats& parse_stats,
   table.Render(&std::cout);
 }
 
-/// Writes the snapshot to --metrics-out and prints the summary table.
-/// No-op when metrics are disabled.
-wum::Status DumpMetrics(const wum_tools::Flags& flags,
-                        wum::obs::MetricRegistry* metrics) {
-  if (metrics == nullptr) return wum::Status::OK();
-  WUM_ASSIGN_OR_RETURN(std::string path, flags.GetRequired("metrics-out"));
-  const wum::obs::MetricsSnapshot snapshot = metrics->Snapshot();
-  WUM_RETURN_NOT_OK(wum::obs::WriteMetricsFile(snapshot, path));
-  PrintMetricsSummary(snapshot);
-  std::cout << "wrote metrics to " << path << "\n";
-  return wum::Status::OK();
-}
-
 wum::Status Run(const wum_tools::Flags& flags) {
-  WUM_RETURN_NOT_OK(flags.CheckKnown(
+  WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::WithObsFlags(
       {"graph", "log", "out", "heuristic", "identity", "delta", "rho",
-       "keep-robots", "streaming", "threads", "max-parse-errors",
-       "metrics-out", "format", "checkpoint-dir", "checkpoint-every-records",
-       "resume"}));
+       "keep-robots", "streaming", "threads", "max-parse-errors", "format",
+       "checkpoint-dir", "checkpoint-every-records", "resume"})));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
   WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
@@ -336,10 +317,13 @@ wum::Status Run(const wum_tools::Flags& flags) {
   }
 
   // Optional observability: one registry shared by the parser, the
-  // engine and the sessionizer, dumped to --metrics-out at the end.
+  // engine and the sessionizer (dumped to --metrics-out at the end and
+  // sampled by the --metrics-every reporter), one trace recorder behind
+  // every pipeline stage, and the structured-log level.
   wum::obs::MetricRegistry registry;
-  wum::obs::MetricRegistry* metrics =
-      flags.Has("metrics-out") ? &registry : nullptr;
+  WUM_ASSIGN_OR_RETURN(wum_tools::ObsSession obs,
+                       wum_tools::StartObs(flags, &registry));
+  wum::obs::MetricRegistry* metrics = obs.metrics;
 
   // Parse. Malformed lines are quarantined to the dead-letter channel;
   // more than --max-parse-errors of them aborts the run (default 0:
@@ -349,6 +333,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   std::ifstream log_file(log_path);
   if (!log_file) return wum::Status::IoError("cannot open " + log_path);
   wum::ClfParser parser(metrics);
+  parser.set_tracer(obs.tracer());
   wum::DeadLetterQueue dead_letters;
   parser.set_reject_handler([&dead_letters](std::uint64_t line_number,
                                             std::string_view raw_line,
@@ -398,13 +383,13 @@ wum::Status Run(const wum_tools::Flags& flags) {
     WUM_RETURN_NOT_OK(RunStreaming(cleaned, graph, heuristic_name, identity,
                                    thresholds,
                                    static_cast<std::size_t>(threads), metrics,
-                                   checkpoint, &output));
+                                   obs.trace.get(), checkpoint, &output));
     WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path, format));
     std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
               << ", streaming) to " << out_path << "\n";
     PrintRunSummary(parser.stats(), dead_letters, cleaned.size(),
                     output.size());
-    return DumpMetrics(flags, metrics);
+    return wum_tools::FinishObs(flags, &obs);
   }
   if (flags.Has("threads")) {
     return wum::Status::InvalidArgument("--threads requires --streaming");
@@ -468,7 +453,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
             << ") to " << out_path << "\n";
   PrintRunSummary(parser.stats(), dead_letters, cleaned.size(), output.size());
-  return DumpMetrics(flags, metrics);
+  return wum_tools::FinishObs(flags, &obs);
 }
 
 }  // namespace

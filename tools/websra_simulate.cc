@@ -24,13 +24,20 @@ constexpr char kUsage[] =
     "  [--agents N=10000] [--seed S] [--stp P=0.05] [--lpp P=0.30] "
     "[--nip P=0.30]\n"
     "  [--proxy-group K=1] [--start-window SECONDS=604800] [--combined]\n"
-    "  [--metrics-out FILE] [--format text|binary]\n"
+    "  [--metrics-out FILE] [--metrics-every SEC [--metrics-series FILE]]\n"
+    "  [--trace-out FILE] [--log-level debug|info|warn|error|off]\n"
+    "  [--format text|binary]\n"
     "\n"
     "Writes a websra topology file, a Common Log Format access log\n"
     "(Combined format with --combined) and, optionally, the simulator's\n"
     "ground-truth sessions for websra_evaluate. --metrics-out dumps the\n"
     "simulator's generation-throughput metrics (wum::obs snapshot, CSV\n"
-    "when FILE ends in .csv, JSON otherwise). --format selects the\n"
+    "when FILE ends in .csv, JSON otherwise) and summarizes them on\n"
+    "stdout. --metrics-every appends a snapshot every SEC seconds to\n"
+    "--metrics-series (default metrics.series.jsonl). --trace-out writes\n"
+    "a Chrome trace-event JSON of the generation phases (site, workload,\n"
+    "log, truth) for Perfetto. --log-level (default warn) controls the\n"
+    "structured key=value diagnostics on stderr. --format selects the\n"
     "--truth-out serialization (downstream readers auto-detect either).\n";
 
 wum::Result<wum::TopologyModel> ParseTopology(const std::string& name) {
@@ -41,10 +48,10 @@ wum::Result<wum::TopologyModel> ParseTopology(const std::string& name) {
 }
 
 wum::Status Run(const wum_tools::Flags& flags) {
-  WUM_RETURN_NOT_OK(flags.CheckKnown(
+  WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::WithObsFlags(
       {"graph-out", "log-out", "truth-out", "pages", "out-degree",
        "entry-fraction", "topology", "agents", "seed", "stp", "lpp", "nip",
-       "proxy-group", "start-window", "combined", "metrics-out", "format"}));
+       "proxy-group", "start-window", "combined", "format"})));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph-out"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log-out"));
 
@@ -76,20 +83,37 @@ wum::Status Run(const wum_tools::Flags& flags) {
 
   WUM_ASSIGN_OR_RETURN(std::uint64_t seed, flags.GetUint("seed", 20060102));
   wum::Rng rng(seed);
-  WUM_ASSIGN_OR_RETURN(wum::WebGraph graph, wum::GenerateSite(model, site, &rng));
+
+  // Observability (shared websra_* flags): --metrics-out/--metrics-every
+  // activate the registry, --trace-out records the generation phases as
+  // coarse spans, --log-level tunes the structured diagnostics.
+  wum::obs::MetricRegistry registry;
+  WUM_ASSIGN_OR_RETURN(wum_tools::ObsSession obs,
+                       wum_tools::StartObs(flags, &registry));
+  wum::obs::MetricRegistry* metrics = obs.metrics;
+
+  wum::Result<wum::WebGraph> generated = wum::Status::Internal("unreachable");
+  {
+    wum::obs::ScopedSpan span(obs.tracer(), "generate-site", 0, site.num_pages);
+    generated = wum::GenerateSite(model, site, &rng);
+  }
+  WUM_ASSIGN_OR_RETURN(wum::WebGraph graph, std::move(generated));
   WUM_RETURN_NOT_OK(wum::WriteGraphFile(graph, graph_path));
   std::cout << "wrote topology (" << graph.num_pages() << " pages, "
             << graph.num_edges() << " links) to " << graph_path << "\n";
 
-  wum::obs::MetricRegistry registry;
-  wum::obs::MetricRegistry* metrics =
-      flags.Has("metrics-out") ? &registry : nullptr;
-  WUM_ASSIGN_OR_RETURN(wum::Workload workload,
-                       wum::SimulateWorkload(graph, profile, population, &rng,
-                                             metrics));
+  wum::Result<wum::Workload> simulated = wum::Status::Internal("unreachable");
+  {
+    wum::obs::ScopedSpan span(obs.tracer(), "simulate-workload", 0,
+                         population.num_agents);
+    simulated = wum::SimulateWorkload(graph, profile, population, &rng,
+                                      metrics);
+  }
+  WUM_ASSIGN_OR_RETURN(wum::Workload workload, std::move(simulated));
   std::vector<wum::LogRecord> log =
       wum::CollectServerLog(workload.ToAgentRequests());
   {
+    wum::obs::ScopedSpan span(obs.tracer(), "write-log", 0, log.size());
     std::ofstream out(log_path);
     if (!out) return wum::Status::IoError("cannot open " + log_path);
     wum::ClfWriter writer(&out, flags.Has("combined"));
@@ -119,18 +143,15 @@ wum::Status Run(const wum_tools::Flags& flags) {
                                           "'");
     }
     const std::string truth_path = flags.GetString("truth-out", "");
+    wum::obs::ScopedSpan span(obs.tracer(), "write-truth", 0, truth.size());
     WUM_RETURN_NOT_OK(wum::WriteSessionsFile(truth, truth_path, format));
     std::cout << "wrote " << truth.size() << " ground-truth sessions to "
               << truth_path << "\n";
   }
-  if (metrics != nullptr) {
-    WUM_ASSIGN_OR_RETURN(std::string metrics_path,
-                         flags.GetRequired("metrics-out"));
-    WUM_RETURN_NOT_OK(
-        wum::obs::WriteMetricsFile(registry.Snapshot(), metrics_path));
-    std::cout << "wrote metrics to " << metrics_path << "\n";
-  }
-  return wum::Status::OK();
+  // Same end-of-run surface as websra_sessionize: summary table on
+  // stdout whenever metrics are on, plus the --metrics-out file, the
+  // --trace-out export and the reporter's final snapshot.
+  return wum_tools::FinishObs(flags, &obs);
 }
 
 }  // namespace
