@@ -8,9 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <span>
 #include <sstream>
 
 #include "wum/clf/clf_parser.h"
@@ -43,7 +47,9 @@ struct Fixture {
   WebGraph graph{0};
   Workload workload;
   std::vector<LogRecord> log;
+  std::vector<LogRecordRef> log_refs;  // views into `log`, same order
   std::vector<std::string> log_lines;
+  std::string log_text;  // log_lines joined with '\n' (chunk-parse input)
   std::vector<std::vector<PageRequest>> streams;  // per IP
 
   static const Fixture& Get() {
@@ -58,9 +64,15 @@ struct Fixture {
       f->workload =
           *SimulateWorkload(f->graph, AgentProfile(), options, &rng);
       f->log = CollectServerLog(f->workload.ToAgentRequests());
+      f->log_refs.reserve(f->log.size());
       f->log_lines.reserve(f->log.size());
       for (const LogRecord& record : f->log) {
+        f->log_refs.push_back(ViewOf(record));
         f->log_lines.push_back(FormatClfLine(record));
+      }
+      for (const std::string& line : f->log_lines) {
+        f->log_text += line;
+        f->log_text += '\n';
       }
       for (const AgentRun& agent : f->workload.agents) {
         f->streams.push_back(agent.trace.server_requests);
@@ -92,6 +104,28 @@ void BM_ClfParse(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ClfParse);
+
+// Zero-copy chunk parsing: the whole fixture log in one ParseChunk call
+// per iteration, records landing as LogRecordRef views (no per-field
+// allocation). The spread over BM_ClfParse is what the owned-record
+// Materialize step costs on the line-at-a-time path.
+void BM_ClfParseChunk(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  std::size_t records = 0;
+  std::vector<LogRecordRef> parsed;
+  for (auto _ : state) {
+    parsed.clear();
+    ClfParser parser;
+    if (!parser.ParseChunk(fixture.log_text, &parsed).ok()) {
+      state.SkipWithError("parse failed");
+      break;
+    }
+    benchmark::DoNotOptimize(parsed.data());
+    records += parsed.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_ClfParseChunk)->Unit(benchmark::kMillisecond);
 
 template <typename MakeSessionizer>
 void SessionizerLoop(benchmark::State& state, MakeSessionizer make) {
@@ -158,12 +192,26 @@ void BM_StreamingPipelineEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamingPipelineEndToEnd)->Unit(benchmark::kMillisecond);
 
+// Batch granularity for the engine replays below: one partition pass and
+// one queue hand-off per shard per 2048 records, the intended production
+// shape of the zero-copy ingest path.
+constexpr std::size_t kOfferBatchSize = 2048;
+
+bool OfferAllBatched(StreamEngine* engine,
+                     std::span<const LogRecordRef> refs) {
+  for (std::size_t i = 0; i < refs.size(); i += kOfferBatchSize) {
+    const std::size_t n = std::min(kOfferBatchSize, refs.size() - i);
+    if (!engine->OfferBatch(refs.subspan(i, n)).ok()) return false;
+  }
+  return true;
+}
+
 // Engine scaling trajectory: the 2000-agent fixture replayed through the
 // sharded StreamEngine at 1/2/4/8 shards (incremental Smart-SRA per
-// user). items/s is the streaming sessionization throughput; on a
-// multi-core host the 4-shard run should beat the single shard by >= 2x.
-// UseRealTime: wall clock is the scaling metric, not the ingest thread's
-// CPU time.
+// user) via OfferBatch. items/s is the streaming sessionization
+// throughput; on a multi-core host the 4-shard run should beat the
+// single shard by >= 2x. UseRealTime: wall clock is the scaling metric,
+// not the ingest thread's CPU time.
 void StreamEngineShardedLoop(benchmark::State& state,
                              obs::MetricRegistry* metrics,
                              bool with_retry = false) {
@@ -185,11 +233,9 @@ void StreamEngineShardedLoop(benchmark::State& state,
       state.SkipWithError("create failed");
       break;
     }
-    for (const LogRecord& record : fixture.log) {
-      if (!(*engine)->Offer(record).ok()) {
-        state.SkipWithError("offer failed");
-        break;
-      }
+    if (!OfferAllBatched(engine->get(), fixture.log_refs)) {
+      state.SkipWithError("offer failed");
+      break;
     }
     if (!(*engine)->Finish().ok()) state.SkipWithError("finish failed");
     records += fixture.log.size();
@@ -254,11 +300,9 @@ void BM_StreamEngineShardedTracing(benchmark::State& state) {
       state.SkipWithError("create failed");
       break;
     }
-    for (const LogRecord& record : fixture.log) {
-      if (!(*engine)->Offer(record).ok()) {
-        state.SkipWithError("offer failed");
-        break;
-      }
+    if (!OfferAllBatched(engine->get(), fixture.log_refs)) {
+      state.SkipWithError("offer failed");
+      break;
     }
     if (!(*engine)->Finish().ok()) state.SkipWithError("finish failed");
     if (recorder != nullptr) {
@@ -322,13 +366,20 @@ void BM_StreamEngineShardedCheckpointing(benchmark::State& state) {
       state.SkipWithError("create failed");
       break;
     }
-    std::size_t offered = 0;
-    for (const LogRecord& record : fixture.log) {
-      if (!(*engine)->Offer(record).ok()) {
+    // Batched offer with batches chopped at the checkpoint cadence, so
+    // each checkpoint lands at exactly the same record offset as the
+    // old per-record loop.
+    const std::span<const LogRecordRef> refs(fixture.log_refs);
+    for (std::size_t i = 0; i < refs.size();) {
+      const std::size_t to_cadence = every - (i % every);
+      const std::size_t n =
+          std::min({kOfferBatchSize, to_cadence, refs.size() - i});
+      if (!(*engine)->OfferBatch(refs.subspan(i, n)).ok()) {
         state.SkipWithError("offer failed");
         break;
       }
-      if (++offered % every == 0) {
+      i += n;
+      if (i % every == 0) {
         if (!(*engine)->Checkpoint(dir).ok()) {
           state.SkipWithError("checkpoint failed");
           break;
@@ -420,16 +471,69 @@ void BM_SimulateAgent(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateAgent);
 
+// Console reporter that additionally captures records/sec per benchmark
+// so main can dump a machine-readable snapshot (WUM_BENCH_JSON_OUT) for
+// the CI bench-regression gate. Only per-iteration runs carry the
+// items_per_second counter we want; aggregates and errors are skipped.
+class ThroughputCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        records_per_second_[run.benchmark_name()] = it->second.value;
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// name -> records/sec for every completed benchmark that reported
+  /// SetItemsProcessed.
+  const std::map<std::string, double>& records_per_second() const {
+    return records_per_second_;
+  }
+
+ private:
+  std::map<std::string, double> records_per_second_;
+};
+
+/// Writes `{"records_per_second": {"BM_...": 123.0, ...}}` to `path`.
+bool WriteThroughputJson(const std::map<std::string, double>& rates,
+                         const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"records_per_second\": {";
+  bool first = true;
+  for (const auto& [name, rate] : rates) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << std::fixed
+        << static_cast<std::int64_t>(rate);
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return out.good();
+}
+
 }  // namespace
 }  // namespace wum
 
 // Custom main (instead of BENCHMARK_MAIN) so the run can end with a
-// registry snapshot dump for CI artifacts.
+// registry snapshot dump (WUM_METRICS_OUT) and a machine-readable
+// throughput snapshot (WUM_BENCH_JSON_OUT) for CI artifacts.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  wum::ThroughputCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  const char* bench_json_out = std::getenv("WUM_BENCH_JSON_OUT");
+  if (bench_json_out != nullptr && *bench_json_out != '\0') {
+    if (!wum::WriteThroughputJson(reporter.records_per_second(),
+                                  bench_json_out)) {
+      std::cerr << "bench json dump failed: " << bench_json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote throughput snapshot to " << bench_json_out << "\n";
+  }
   const char* metrics_out = std::getenv("WUM_METRICS_OUT");
   if (metrics_out != nullptr && *metrics_out != '\0') {
     wum::Status status = wum::obs::WriteMetricsFile(

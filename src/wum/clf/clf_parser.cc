@@ -23,18 +23,18 @@ Result<HttpMethod> ParseMethod(std::string_view token) {
 
 }  // namespace
 
-Result<LogRecord> ParseClfLine(std::string_view line) {
+Result<LogRecordRef> ParseClfLineRef(std::string_view line) {
   line = StripWhitespace(line);
   if (line.empty()) return Status::ParseError("empty line");
 
-  LogRecord record;
+  LogRecordRef record;
 
   // %h: client host.
   std::size_t pos = line.find(' ');
   if (pos == std::string_view::npos) {
     return FieldError("host", "missing (no space-delimited fields)");
   }
-  record.client_ip = std::string(line.substr(0, pos));
+  record.client_ip = line.substr(0, pos);
 
   // %l %u: identity fields, up to the '['.
   std::size_t bracket = line.find('[', pos);
@@ -62,19 +62,32 @@ Result<LogRecord> ParseClfLine(std::string_view line) {
     return FieldError("request", "missing closing quote");
   }
   std::string_view request = line.substr(quote + 1, quote_end - quote - 1);
-  std::vector<std::string_view> request_parts;
-  for (std::string_view part : SplitString(request, ' ')) {
-    if (!part.empty()) request_parts.push_back(part);
+  std::string_view request_parts[3];
+  std::size_t num_parts = 0;
+  for (std::size_t start = 0; start < request.size();) {
+    const std::size_t space = request.find(' ', start);
+    const std::string_view part =
+        space == std::string_view::npos
+            ? request.substr(start)
+            : request.substr(start, space - start);
+    if (!part.empty()) {
+      if (num_parts == 3) {
+        return FieldError("request", "must be 'METHOD URL PROTOCOL'");
+      }
+      request_parts[num_parts++] = part;
+    }
+    if (space == std::string_view::npos) break;
+    start = space + 1;
   }
-  if (request_parts.size() != 3) {
+  if (num_parts != 3) {
     return FieldError("request", "must be 'METHOD URL PROTOCOL'");
   }
   WUM_ASSIGN_OR_RETURN(record.method, ParseMethod(request_parts[0]));
-  record.url = std::string(request_parts[1]);
-  record.protocol = std::string(request_parts[2]);
+  record.url = request_parts[1];
+  record.protocol = request_parts[2];
   if (record.protocol != "HTTP/1.0" && record.protocol != "HTTP/1.1") {
-    return FieldError("request",
-                      "unsupported protocol '" + record.protocol + "'");
+    return FieldError("request", "unsupported protocol '" +
+                                     std::string(record.protocol) + "'");
   }
 
   // %>s %b: status and bytes, then optionally the combined-format
@@ -112,7 +125,8 @@ Result<LogRecord> ParseClfLine(std::string_view line) {
 
   if (!extras.empty()) {
     // Combined Log Format: "referer" "user-agent".
-    auto take_quoted = [&extras](std::string_view field) -> Result<std::string> {
+    auto take_quoted =
+        [&extras](std::string_view field) -> Result<std::string_view> {
       if (extras.empty() || extras.front() != '"') {
         return FieldError(field, "expected quoted combined-format field");
       }
@@ -120,9 +134,9 @@ Result<LogRecord> ParseClfLine(std::string_view line) {
       if (closing == std::string_view::npos) {
         return FieldError(field, "unterminated combined-format field");
       }
-      std::string value(extras.substr(1, closing - 1));
+      std::string_view value = extras.substr(1, closing - 1);
       extras = StripWhitespace(extras.substr(closing + 1));
-      if (value == "-") value.clear();
+      if (value == "-") value = std::string_view();
       return value;
     };
     WUM_ASSIGN_OR_RETURN(record.referrer, take_quoted("referer"));
@@ -134,38 +148,74 @@ Result<LogRecord> ParseClfLine(std::string_view line) {
   return record;
 }
 
+Result<LogRecord> ParseClfLine(std::string_view line) {
+  WUM_ASSIGN_OR_RETURN(LogRecordRef record, ParseClfLineRef(line));
+  return record.Materialize();
+}
+
+Result<LogRecordRef> ClfParser::AccountLine(std::string_view line) {
+  ++stats_.lines_seen;
+  lines_seen_.Increment();
+  Result<LogRecordRef> parsed = [&] {
+    // Span per line, seq = the 1-based line number (shard is always 0:
+    // parsing runs upstream of partitioning).
+    obs::ScopedSpan span(tracer_, "parse", 0, stats_.lines_seen);
+    return ParseClfLineRef(line);
+  }();
+  if (parsed.ok()) {
+    ++stats_.records_parsed;
+    records_parsed_.Increment();
+  } else {
+    ++stats_.lines_rejected;
+    lines_rejected_.Increment();
+    obs::LogWarn("clf.reject")("line", stats_.lines_seen)(
+        "error", parsed.status().message());
+    if (reject_handler_ != nullptr) {
+      reject_handler_(stats_.lines_seen, line, parsed.status());
+    }
+    if (stats_.sample_errors.size() < kMaxSampleErrors) {
+      // stats_.lines_seen is the 1-based number of the line just read.
+      stats_.sample_errors.push_back("line " +
+                                     std::to_string(stats_.lines_seen) + ": " +
+                                     parsed.status().message());
+    }
+  }
+  return parsed;
+}
+
+Status ClfParser::ParseChunk(std::string_view chunk,
+                             std::vector<LogRecordRef>* records) {
+  while (!chunk.empty()) {
+    const std::size_t newline = chunk.find('\n');
+    // A chunk need not end in '\n': the final line of a file (or of a
+    // line-aligned ChunkReader chunk) parses like any other.
+    const std::string_view line = newline == std::string_view::npos
+                                      ? chunk
+                                      : chunk.substr(0, newline);
+    chunk = newline == std::string_view::npos ? std::string_view()
+                                              : chunk.substr(newline + 1);
+    if (StripWhitespace(line).empty()) {
+      ++stats_.lines_seen;
+      lines_seen_.Increment();
+      continue;
+    }
+    Result<LogRecordRef> parsed = AccountLine(line);
+    if (parsed.ok()) records->push_back(*parsed);
+  }
+  return Status::OK();
+}
+
 Status ClfParser::ParseStream(std::istream* in,
                               std::vector<LogRecord>* records) {
   std::string line;
   while (std::getline(*in, line)) {
-    ++stats_.lines_seen;
-    lines_seen_.Increment();
-    if (StripWhitespace(line).empty()) continue;
-    Result<LogRecord> parsed = [&] {
-      // Span per line, seq = the 1-based line number (shard is always 0:
-      // parsing runs upstream of partitioning).
-      obs::ScopedSpan span(tracer_, "parse", 0, stats_.lines_seen);
-      return ParseClfLine(line);
-    }();
-    if (parsed.ok()) {
-      records->push_back(std::move(parsed).ValueOrDie());
-      ++stats_.records_parsed;
-      records_parsed_.Increment();
-    } else {
-      ++stats_.lines_rejected;
-      lines_rejected_.Increment();
-      obs::LogWarn("clf.reject")("line", stats_.lines_seen)(
-          "error", parsed.status().message());
-      if (reject_handler_ != nullptr) {
-        reject_handler_(stats_.lines_seen, line, parsed.status());
-      }
-      if (stats_.sample_errors.size() < kMaxSampleErrors) {
-        // stats_.lines_seen is the 1-based number of the line just read.
-        stats_.sample_errors.push_back(
-            "line " + std::to_string(stats_.lines_seen) + ": " +
-            parsed.status().message());
-      }
+    if (StripWhitespace(line).empty()) {
+      ++stats_.lines_seen;
+      lines_seen_.Increment();
+      continue;
     }
+    Result<LogRecordRef> parsed = AccountLine(line);
+    if (parsed.ok()) records->push_back(parsed->Materialize());
   }
   if (in->bad()) return Status::IoError("stream read failure");
   return Status::OK();

@@ -16,10 +16,18 @@
 
 namespace wum {
 
-/// Parses one CLF line into a LogRecord. Accepts the "%h %l %u [%t]
-/// \"%r\" %>s %b" layout produced by ClfWriter and by Apache/NCSA httpd;
-/// the two identity fields are tolerated but discarded. Parse errors
-/// name the offending CLF field, e.g. "field 'status': ...".
+/// Parses one CLF line into a zero-copy LogRecordRef whose string fields
+/// view into `line` — the caller's buffer must outlive the ref. Accepts
+/// the "%h %l %u [%t] \"%r\" %>s %b" layout produced by ClfWriter and by
+/// Apache/NCSA httpd; the two identity fields are tolerated but
+/// discarded. Parse errors name the offending CLF field, e.g.
+/// "field 'status': ...". This is the hot-path entry point; no per-field
+/// allocation happens on the success path.
+Result<LogRecordRef> ParseClfLineRef(std::string_view line);
+
+/// Owned-record convenience over ParseClfLineRef: parses then
+/// Materialize()s. Use for slow paths and tests; batch ingestion should
+/// prefer ParseClfLineRef / ClfParser::ParseChunk.
 Result<LogRecord> ParseClfLine(std::string_view line);
 
 /// Stream parser with malformed-line accounting.
@@ -69,10 +77,25 @@ class ClfParser {
   /// tallied in stats().
   Status ParseStream(std::istream* in, std::vector<LogRecord>* records);
 
+  /// Zero-copy batch parse: splits `chunk` on '\n' (a final unterminated
+  /// line parses too, so line-aligned ChunkReader chunks compose into
+  /// exactly the stream's lines) and appends a LogRecordRef viewing into
+  /// `chunk` for every well-formed line. Accounting — stats(), metric
+  /// counters, reject handler, line numbering — is identical to feeding
+  /// the same lines through ParseStream, and numbering continues across
+  /// successive chunks. The refs are only valid while `chunk`'s buffer
+  /// is; Materialize() anything that must outlive it.
+  Status ParseChunk(std::string_view chunk, std::vector<LogRecordRef>* records);
+
   const Stats& stats() const { return stats_; }
 
  private:
   static constexpr std::size_t kMaxSampleErrors = 8;
+
+  /// Shared per-line bookkeeping for ParseStream/ParseChunk: counts the
+  /// line, parses it, and routes rejects to the handler and samples.
+  Result<LogRecordRef> AccountLine(std::string_view line);
+
   RejectHandler reject_handler_;
   obs::Tracer tracer_;
   Stats stats_;

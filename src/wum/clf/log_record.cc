@@ -18,6 +18,46 @@ std::string_view HttpMethodToString(HttpMethod method) {
   return "GET";
 }
 
+LogRecord LogRecordRef::Materialize() const {
+  LogRecord record;
+  record.client_ip = client_ip;
+  record.timestamp = timestamp;
+  record.method = method;
+  record.url = url;
+  record.protocol = protocol;
+  record.status_code = status_code;
+  record.bytes = bytes;
+  record.referrer = referrer;
+  record.user_agent = user_agent;
+  return record;
+}
+
+void LogRecordRef::MaterializeInto(LogRecord* out) const {
+  out->client_ip.assign(client_ip);
+  out->timestamp = timestamp;
+  out->method = method;
+  out->url.assign(url);
+  out->protocol.assign(protocol);
+  out->status_code = status_code;
+  out->bytes = bytes;
+  out->referrer.assign(referrer);
+  out->user_agent.assign(user_agent);
+}
+
+LogRecordRef ViewOf(const LogRecord& record) {
+  LogRecordRef ref;
+  ref.client_ip = record.client_ip;
+  ref.timestamp = record.timestamp;
+  ref.method = record.method;
+  ref.url = record.url;
+  ref.protocol = record.protocol;
+  ref.status_code = record.status_code;
+  ref.bytes = record.bytes;
+  ref.referrer = record.referrer;
+  ref.user_agent = record.user_agent;
+  return ref;
+}
+
 std::string PageUrl(std::uint32_t page) {
   return "/pages/p" + std::to_string(page) + ".html";
 }

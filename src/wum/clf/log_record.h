@@ -10,6 +10,7 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "wum/common/time.h"
 
@@ -24,6 +25,11 @@ enum class HttpMethod {
 
 std::string_view HttpMethodToString(HttpMethod method);
 
+/// Protocol assumed when a record does not carry one. Short enough for
+/// every mainstream std::string small-buffer, so default-constructing a
+/// LogRecord never touches the heap.
+inline constexpr std::string_view kDefaultProtocol = "HTTP/1.1";
+
 /// One access-log line in structured form.
 struct LogRecord {
   /// Dotted-quad client address (proxy users share one, per §1).
@@ -34,7 +40,7 @@ struct LogRecord {
   /// Request path, e.g. "/pages/p42.html".
   std::string url;
   /// "HTTP/1.0" or "HTTP/1.1".
-  std::string protocol = "HTTP/1.1";
+  std::string protocol{kDefaultProtocol};
   /// HTTP status (200, 304, 404, ...).
   int status_code = 200;
   /// Response size in bytes; -1 renders as "-" (no body).
@@ -48,6 +54,39 @@ struct LogRecord {
 
   friend auto operator<=>(const LogRecord&, const LogRecord&) = default;
 };
+
+/// Zero-copy view of one access-log line: the string fields are
+/// std::string_views into the buffer the line was parsed from (see
+/// ClfParser::ParseChunk). A ref is valid only while that buffer is —
+/// for a ChunkReader chunk, until the next Next() call. Anything that
+/// outlives the buffer (dead-letter payloads, checkpoint journals,
+/// collected test fixtures) must call Materialize() first.
+struct LogRecordRef {
+  std::string_view client_ip;
+  TimeSeconds timestamp = 0;
+  HttpMethod method = HttpMethod::kGet;
+  std::string_view url;
+  std::string_view protocol = kDefaultProtocol;
+  int status_code = 200;
+  std::int64_t bytes = 0;
+  std::string_view referrer;
+  std::string_view user_agent;
+
+  /// Copies the viewed fields into an owned LogRecord (the slow path —
+  /// the hot path hands refs to StreamEngine::OfferBatch instead).
+  LogRecord Materialize() const;
+
+  /// Copies the viewed fields into an existing record, reusing its
+  /// string capacities — the allocation-free variant of Materialize for
+  /// recycled record buffers.
+  void MaterializeInto(LogRecord* out) const;
+
+  friend auto operator<=>(const LogRecordRef&, const LogRecordRef&) = default;
+};
+
+/// Borrows `record` as a LogRecordRef; valid while `record` is alive and
+/// unmodified. This is how single-record call sites reuse the batch path.
+LogRecordRef ViewOf(const LogRecord& record);
 
 /// Maps a dense PageId to the canonical URL used by the simulator
 /// ("/pages/p<id>.html") and back.

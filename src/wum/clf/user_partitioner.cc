@@ -13,29 +13,16 @@ std::string UserKeyFor(const std::string& client_ip,
   return client_ip + '\x1f' + user_agent;
 }
 
-namespace {
-
-constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-std::uint64_t Fnv1aMix(std::uint64_t hash, std::string_view bytes) {
-  for (unsigned char byte : bytes) {
-    hash ^= byte;
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
-
-}  // namespace
-
-std::uint64_t UserHashFor(std::string_view client_ip,
-                          std::string_view user_agent, UserIdentity identity) {
-  std::uint64_t hash = Fnv1aMix(kFnvOffsetBasis, client_ip);
-  if (identity == UserIdentity::kClientIpAndUserAgent) {
-    hash = Fnv1aMix(hash, std::string_view("\x1f", 1));
-    hash = Fnv1aMix(hash, user_agent);
-  }
-  return hash;
+std::string_view UserKeyView(std::string_view client_ip,
+                             std::string_view user_agent,
+                             UserIdentity identity, std::string* buffer) {
+  if (identity == UserIdentity::kClientIp) return client_ip;
+  buffer->clear();
+  buffer->reserve(client_ip.size() + 1 + user_agent.size());
+  buffer->append(client_ip);
+  buffer->push_back('\x1f');
+  buffer->append(user_agent);
+  return *buffer;
 }
 
 Result<PartitionResult> PartitionByUser(const std::vector<LogRecord>& records,

@@ -29,12 +29,48 @@ enum class UserIdentity {
 std::string UserKeyFor(const std::string& client_ip,
                        const std::string& user_agent, UserIdentity identity);
 
+/// Allocation-free variant for the hot path: returns a view of the key
+/// `UserKeyFor` would build. Under kClientIp the view aliases
+/// `client_ip`; otherwise the composite is assembled into `*buffer`
+/// (reused across calls, so it only allocates while growing) and the
+/// view aliases the buffer. The view is invalidated by the next call
+/// with the same buffer or by mutation of the aliased string.
+std::string_view UserKeyView(std::string_view client_ip,
+                             std::string_view user_agent,
+                             UserIdentity identity, std::string* buffer);
+
+namespace partitioner_internal {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t Fnv1aMix(std::uint64_t hash, std::string_view bytes) {
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace partitioner_internal
+
 /// Stable 64-bit FNV-1a hash of the identity `UserKeyFor` would build,
 /// computed without materializing the key string (hot path of the sharded
-/// StreamEngine: shard = UserHashFor(...) % num_shards). Deterministic
-/// across runs and platforms, so shard assignment is reproducible.
-std::uint64_t UserHashFor(std::string_view client_ip,
-                          std::string_view user_agent, UserIdentity identity);
+/// StreamEngine: shard = UserHashFor(...) % num_shards — inline because
+/// it runs once per record in the partition pass). Deterministic across
+/// runs and platforms, so shard assignment is reproducible.
+inline std::uint64_t UserHashFor(std::string_view client_ip,
+                                 std::string_view user_agent,
+                                 UserIdentity identity) {
+  using partitioner_internal::Fnv1aMix;
+  std::uint64_t hash =
+      Fnv1aMix(partitioner_internal::kFnvOffsetBasis, client_ip);
+  if (identity == UserIdentity::kClientIpAndUserAgent) {
+    hash = Fnv1aMix(hash, std::string_view("\x1f", 1));
+    hash = Fnv1aMix(hash, user_agent);
+  }
+  return hash;
+}
 
 /// One user's request stream in timestamp order.
 struct UserStream {

@@ -37,16 +37,6 @@ std::string_view StripWhitespace(std::string_view input) {
   return input.substr(begin, end - begin);
 }
 
-bool StartsWith(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() &&
-         text.substr(0, prefix.size()) == prefix;
-}
-
-bool EndsWith(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.substr(text.size() - suffix.size()) == suffix;
-}
-
 std::string AsciiToLower(std::string_view text) {
   std::string result(text);
   for (char& c : result) {

@@ -19,9 +19,16 @@ std::vector<std::string_view> SplitString(std::string_view input,
 /// Strips ASCII whitespace from both ends.
 std::string_view StripWhitespace(std::string_view input);
 
-/// True iff `text` begins with `prefix` / ends with `suffix`.
-bool StartsWith(std::string_view text, std::string_view prefix);
-bool EndsWith(std::string_view text, std::string_view suffix);
+/// True iff `text` begins with `prefix` / ends with `suffix`. Inline:
+/// both sit on the per-record hot path (URL-to-page mapping).
+inline bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+inline bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
 
 /// ASCII lower-casing (locale independent).
 std::string AsciiToLower(std::string_view text);

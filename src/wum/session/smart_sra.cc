@@ -1,6 +1,7 @@
 #include "wum/session/smart_sra.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "wum/session/time_heuristics.h"
 
@@ -19,13 +20,12 @@ std::vector<Session> SmartSra::Phase1(
 Result<std::vector<Session>> SmartSra::Phase2(const Session& candidate) const {
   const std::vector<PageRequest>& reqs = candidate.requests;
   const std::size_t n = reqs.size();
+  if (n <= 1) {
+    std::vector<Session> result;
+    if (n == 1) result.push_back(candidate);
+    return result;
+  }
   const TimeSeconds rho = options_.thresholds.max_page_stay;
-
-  // Sessions are index lists into `reqs` so duplicate page ids keep their
-  // distinct occurrences and timestamps.
-  std::vector<std::vector<std::size_t>> sessions;
-  std::vector<bool> alive(n, true);
-  std::size_t remaining = n;
 
   auto links_within_rho = [&](std::size_t from, std::size_t to) {
     const TimeSeconds gap = reqs[to].timestamp - reqs[from].timestamp;
@@ -33,29 +33,101 @@ Result<std::vector<Session>> SmartSra::Phase2(const Session& candidate) const {
            graph_->HasLink(reqs[from].page, reqs[to].page);
   };
 
+  // Chain fast path. When every occurrence has at most one in-candidate
+  // referrer and at most one continuation, the link relation is a disjoint
+  // union of forward chains and those chains are exactly the maximal
+  // sessions, so the round machinery (and its per-round allocations) can
+  // be skipped. Real navigation is overwhelmingly linear, so this covers
+  // nearly every candidate; anything with a fork or join falls through to
+  // the general algorithm. Guards: the deduplicate sort canonicalizes
+  // session order (the general path's output order depends on removal
+  // rounds), and max_sessions_per_candidate >= n makes the general path's
+  // mid-extension overflow check unreachable for chains.
+  constexpr std::size_t kChainFastPathMaxRequests = 64;
+  if (n <= kChainFastPathMaxRequests && options_.deduplicate &&
+      options_.max_sessions_per_candidate >= n) {
+    std::uint8_t in_deg[kChainFastPathMaxRequests] = {};
+    std::uint8_t out_deg[kChainFastPathMaxRequests] = {};
+    std::uint8_t next[kChainFastPathMaxRequests] = {};
+    bool chains = true;
+    for (std::size_t i = 1; chains && i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (!links_within_rho(j, i)) continue;
+        if (++in_deg[i] > 1 || ++out_deg[j] > 1) {
+          chains = false;
+          break;
+        }
+        next[j] = static_cast<std::uint8_t>(i);
+      }
+    }
+    if (chains) {
+      std::vector<Session> result;
+      for (std::size_t head = 0; head < n; ++head) {
+        if (in_deg[head] != 0) continue;
+        Session session;
+        std::size_t i = head;
+        while (true) {
+          session.requests.push_back(reqs[i]);
+          if (out_deg[i] != 1) break;
+          i = next[i];
+        }
+        result.push_back(std::move(session));
+      }
+      std::sort(result.begin(), result.end(),
+                [](const Session& a, const Session& b) {
+                  return a.requests < b.requests;
+                });
+      result.erase(std::unique(result.begin(), result.end()), result.end());
+      return result;
+    }
+  }
+
+  // Sessions are index lists into `reqs` so duplicate page ids keep their
+  // distinct occurrences and timestamps.
+  std::vector<std::vector<std::size_t>> sessions;
+  std::vector<bool> alive(n, true);
+  std::size_t remaining = n;
+
+  // How many live earlier occurrences link to each occurrence. Step I reads
+  // these counts instead of rescanning every pair each round (which made
+  // chain-shaped candidates — the common case for real navigation — cubic);
+  // counts are decremented as referrers are removed, so "count == 0" is
+  // exactly the original "no remaining earlier referrer" predicate.
+  std::vector<std::uint32_t> referrer_count(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (links_within_rho(j, i)) ++referrer_count[i];
+    }
+  }
+
+  std::vector<std::size_t> starts;
   while (remaining > 0) {
     // Step I: occurrences with no remaining earlier referrer. The earliest
     // remaining occurrence always qualifies, so progress is guaranteed.
-    std::vector<std::size_t> starts;
+    starts.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      if (!alive[i]) continue;
-      bool has_referrer = false;
-      for (std::size_t j = 0; j < i; ++j) {
-        if (alive[j] && links_within_rho(j, i)) {
-          has_referrer = true;
-          break;
-        }
-      }
-      if (!has_referrer) starts.push_back(i);
+      if (alive[i] && referrer_count[i] == 0) starts.push_back(i);
     }
 
     // Step II: remove them from the candidate.
     for (std::size_t i : starts) alive[i] = false;
     remaining -= starts.size();
+    for (std::size_t s : starts) {
+      for (std::size_t i = s + 1; i < n; ++i) {
+        if (alive[i] && links_within_rho(s, i)) --referrer_count[i];
+      }
+    }
 
     // Step III: extend the session set.
     if (sessions.empty()) {
       for (std::size_t i : starts) sessions.push_back({i});
+      continue;
+    }
+    if (starts.size() == 1 && sessions.size() == 1 &&
+        links_within_rho(sessions[0].back(), starts[0])) {
+      // Lone session extended by a lone start: append in place instead of
+      // rebuilding the session set. This is every round of a pure chain.
+      sessions[0].push_back(starts[0]);
       continue;
     }
     std::vector<std::vector<std::size_t>> next_sessions;

@@ -164,6 +164,15 @@ struct StreamEngine::Shard {
   std::mutex health_mutex;
   Status finish_error;
 
+  // Drained batches returned by the worker for reuse: their records'
+  // string capacities let the producer stage the next batch without
+  // per-field reallocation (see OfferBatch). Bounded; excess batches
+  // are simply destroyed. Declared before `driver` so the recycling
+  // hook can never outlive the pool.
+  std::mutex recycle_mutex;
+  std::vector<RecordBatch> recycle;
+  static constexpr std::size_t kRecycleDepth = 8;
+
   std::unique_ptr<RetryingSink> retrying;  // wraps the caller sink; may
                                            // be null (no set_retry)
   std::unique_ptr<ShardEmit> emit;         // -> hub -> retrying/sink
@@ -348,6 +357,13 @@ void StreamEngine::StartWorkers() {
     driver_metrics.tracer = tracer_;
     driver_metrics.trace_shard = shard->index;
     DriverHooks hooks;
+    Shard* recycle_shard = shard.get();
+    hooks.on_batch_drained = [recycle_shard](RecordBatch&& batch) {
+      std::lock_guard<std::mutex> lock(recycle_shard->recycle_mutex);
+      if (recycle_shard->recycle.size() < Shard::kRecycleDepth) {
+        recycle_shard->recycle.push_back(std::move(batch));
+      }
+    };
     if (error_policy_ == ErrorPolicy::kDegrade) {
       // Failure-domain hooks: record-level errors quarantine only the
       // record; shard-fatal errors quarantine it too (the dying shard
@@ -388,7 +404,7 @@ StreamEngine::~StreamEngine() {
   if (!finished_) (void)Finish();
 }
 
-std::size_t StreamEngine::ShardIndexFor(const LogRecord& record) const {
+std::size_t StreamEngine::ShardIndexFor(const LogRecordRef& record) const {
   if (shards_.size() == 1) return 0;
   return static_cast<std::size_t>(
       UserHashFor(record.client_ip, record.user_agent, identity_) %
@@ -410,59 +426,127 @@ void StreamEngine::Quarantine(Shard& shard, DeadLetter letter) {
   if (dead_letters_ != nullptr) dead_letters_->Offer(std::move(letter));
 }
 
-Status StreamEngine::Offer(const LogRecord& record) {
+Status StreamEngine::OfferBatch(std::span<const LogRecordRef> batch) {
   if (finished_) {
     return Status::FailedPrecondition("engine already finished");
   }
-  if (records_seen_ < resume_skip_) {
+  while (!batch.empty() && records_seen_ < resume_skip_) {
     // Resume replay: the checkpoint this engine restored from already
-    // covers this record — count it consumed and move on.
+    // covers this record — count it consumed and move on. The skip is
+    // per record, so a batch straddling the resume offset replays only
+    // its uncovered suffix.
     ++records_seen_;
     ckpt_resume_skipped_.Increment();
-    return Status::OK();
+    batch = batch.subspan(1);
   }
+  if (batch.empty()) return Status::OK();
   if (error_policy_ == ErrorPolicy::kFailFast) {
     // A sink failure in any shard stops ingest for all of them.
     WUM_RETURN_NOT_OK(emit_->first_error());
   }
-  Shard& shard = *shards_[ShardIndexFor(record)];
-  // seq = 0-based input offset of this record for both stages: the
-  // routing decision (instant) and the enqueue (span covering any
-  // backpressure blocking).
-  tracer_.Instant("partition", shard.index, records_seen_);
-  Status status;
-  {
-    obs::ScopedSpan span(tracer_, "enqueue", shard.index, records_seen_);
-    if (offer_policy_ == OfferPolicy::kShed) {
-      bool accepted = false;
-      status = shard.driver->TryOffer(record, &accepted);
-      if (status.ok() && !accepted) {
-        shard.shed.fetch_add(1, std::memory_order_relaxed);
-        shard.shed_mirror.Increment();
-        ++records_seen_;
-        return Status::OK();
-      }
-    } else {
-      status = shard.driver->Offer(record);
+  if (staging_.size() < shards_.size()) {
+    staging_.resize(shards_.size());
+    staging_used_.resize(shards_.size(), 0);
+  }
+  // Refill empty staging slots from the worker's recycle pool: a
+  // drained batch's records keep their string capacities, so the
+  // partition pass below overwrites them in place instead of
+  // allocating fresh strings for every field.
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    RecordBatch& staged = staging_[shard_ptr->index];
+    if (!staged.empty()) continue;  // still holds a pool
+    std::lock_guard<std::mutex> lock(shard_ptr->recycle_mutex);
+    if (!shard_ptr->recycle.empty()) {
+      staged = std::move(shard_ptr->recycle.back());
+      shard_ptr->recycle.pop_back();
     }
   }
-  if (!status.ok()) {
-    if (error_policy_ == ErrorPolicy::kFailFast) return status;
-    // kDegrade: the record was routed to a dead shard — quarantine it
-    // and keep the producer (and the other shards) going.
-    DeadLetter letter;
-    letter.stage = DeadLetter::Stage::kShardDead;
-    letter.shard = shard.index;
-    letter.reason = std::move(status);
-    letter.record = record;
-    Quarantine(shard, std::move(letter));
-    ++records_seen_;
-    return Status::OK();
+  // Partition pass: route every ref and materialize it into its shard's
+  // staging batch — the one point where the viewed bytes are copied.
+  // staging_used_ counts the records staged this batch; entries beyond
+  // it are stale recycled records serving as capacity pool.
+  // seq = 0-based input offset of each record for the routing instant;
+  // the per-shard enqueue span carries the offset of the first record
+  // not yet counted (== records_seen_ at hand-off, matching the
+  // single-record path at batch size 1).
+  std::uint64_t seq = records_seen_;
+  for (const LogRecordRef& ref : batch) {
+    const std::size_t index = ShardIndexFor(ref);
+    tracer_.Instant("partition", shards_[index]->index, seq++);
+    RecordBatch& staged = staging_[index];
+    std::size_t& used = staging_used_[index];
+    if (used < staged.size()) {
+      ref.MaterializeInto(&staged[used]);
+    } else {
+      staged.push_back(ref.Materialize());
+    }
+    ++used;
   }
-  shard.offered.fetch_add(1, std::memory_order_relaxed);
-  shard.records_in.Increment();
-  ++records_seen_;
+  // One queue hand-off per shard that received records this batch.
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    RecordBatch& staged = staging_[shard.index];
+    std::size_t& used = staging_used_[shard.index];
+    if (used == 0) continue;
+    const std::uint64_t count = used;
+    staged.resize(used);  // drop any stale pool tail before hand-off
+    Status status;
+    {
+      obs::ScopedSpan span(tracer_, "enqueue", shard.index, records_seen_);
+      if (offer_policy_ == OfferPolicy::kShed) {
+        bool accepted = false;
+        status = shard.driver->TryOfferBatch(&staged, &accepted);
+        if (status.ok() && !accepted) {
+          // Shedding is per hand-off: the whole sub-batch is dropped
+          // when the shard queue is full (at batch size 1 this is
+          // exactly the historical per-record shed). The shed records
+          // stay in the staging slot as capacity pool.
+          shard.shed.fetch_add(count, std::memory_order_relaxed);
+          shard.shed_mirror.Increment(count);
+          records_seen_ += count;
+          used = 0;
+          continue;
+        }
+      } else {
+        status = shard.driver->OfferBatch(&staged);
+      }
+    }
+    if (!status.ok()) {
+      if (error_policy_ == ErrorPolicy::kFailFast) {
+        // The failing sub-batch's records are not counted consumed —
+        // same as the historical Offer returning before ++records_seen_.
+        // Staged records of untried shards are dropped with the error.
+        for (RecordBatch& pending : staging_) pending.clear();
+        for (std::size_t& pending_used : staging_used_) pending_used = 0;
+        return status;
+      }
+      // kDegrade: the records were routed to a dead shard — quarantine
+      // them and keep the producer (and the other shards) going.
+      for (LogRecord& record : staged) {
+        DeadLetter letter;
+        letter.stage = DeadLetter::Stage::kShardDead;
+        letter.shard = shard.index;
+        letter.reason = status;
+        letter.record = std::move(record);
+        Quarantine(shard, std::move(letter));
+      }
+      records_seen_ += count;
+      staged.clear();
+      used = 0;
+      continue;
+    }
+    shard.offered.fetch_add(count, std::memory_order_relaxed);
+    shard.records_in.Increment(count);
+    records_seen_ += count;
+    staged.clear();  // moved-from by the hand-off; normalize to empty
+    used = 0;
+  }
   return Status::OK();
+}
+
+Status StreamEngine::Offer(const LogRecord& record) {
+  const LogRecordRef ref = ViewOf(record);
+  return OfferBatch(std::span<const LogRecordRef>(&ref, 1));
 }
 
 Status StreamEngine::Finish() {

@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -327,9 +328,23 @@ class StreamEngine {
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
 
-  /// Routes one record to its user's shard; blocks when that shard's
-  /// queue is full. Returns FailedPrecondition after Finish, or the
-  /// first error any shard (or the sink) reported.
+  /// Zero-copy batch ingest, the hot path: one partition pass over the
+  /// refs, then one materialized vector-of-records queue hand-off per
+  /// shard per batch (the only point the viewed bytes are copied). The
+  /// refs need only stay valid for the duration of the call. Blocks when
+  /// a shard's queue is full (OfferPolicy::kBlock); under kShed an
+  /// entire per-shard sub-batch is shed when its queue is full — a batch
+  /// of one record therefore sheds per record, exactly like the
+  /// historical Offer. Returns FailedPrecondition after Finish, or the
+  /// first error any shard (or the sink) reported. Resume replay skips
+  /// the leading records a restored checkpoint already covers, per
+  /// record, exactly as repeated Offer calls would.
+  Status OfferBatch(std::span<const LogRecordRef> batch);
+
+  /// Documented convenience wrapper: routes one record as a batch of
+  /// one through OfferBatch, preserving the historical per-record
+  /// semantics (blocking, shedding, replay-skip and dead-letter
+  /// accounting are all defined record-by-record at batch size 1).
   Status Offer(const LogRecord& record);
 
   /// Signals end of stream, drains and joins every shard, flushes all
@@ -394,7 +409,7 @@ class StreamEngine {
   StreamEngine(EngineOptions options, UserSessionizerFactory factory,
                SessionSink* sink);
 
-  std::size_t ShardIndexFor(const LogRecord& record) const;
+  std::size_t ShardIndexFor(const LogRecordRef& record) const;
   EngineStats SnapshotShard(const Shard& shard) const;
   /// Counts one quarantined input against `shard` and offers it to the
   /// dead-letter channel when one is attached.
@@ -413,6 +428,12 @@ class StreamEngine {
   DeadLetterQueue* dead_letters_;
   std::unique_ptr<EmitHub> emit_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-shard staging buffers for OfferBatch's partition pass (indexed
+  /// by shard). Producer thread only. Entries beyond staging_used_[i]
+  /// are stale recycled records whose string capacities the partition
+  /// pass reuses (see Shard::recycle).
+  std::vector<RecordBatch> staging_;
+  std::vector<std::size_t> staging_used_;
   bool finished_ = false;
 
   // Checkpoint/resume state. records_seen_ is producer-thread only.

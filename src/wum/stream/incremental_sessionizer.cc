@@ -84,14 +84,15 @@ SessionizeSink::SessionizeSink(UserSessionizerFactory factory,
       session_sink_(session_sink),
       num_pages_(num_pages),
       identity_(identity),
-      metrics_(std::move(metrics)) {}
-
-IncrementalUserSessionizer::EmitFn SessionizeSink::MakeEmit(
-    const std::string& user_key) {
-  return [this, user_key](Session session) {
+      metrics_(std::move(metrics)) {
+  // One closure for the sink's whole lifetime: sessions always belong to
+  // the user whose id is current at call time, so no per-record closure
+  // (and no per-record heap allocation) is needed.
+  emit_fn_ = [this](Session session) {
     sessions_emitted_.fetch_add(1, std::memory_order_relaxed);
     metrics_.sessions_emitted.Increment();
-    return session_sink_->Accept(user_key, std::move(session));
+    return session_sink_->Accept(interner_.StringOf(current_user_id_),
+                                 std::move(session));
   };
 }
 
@@ -107,9 +108,11 @@ Status SessionizeSink::Accept(const LogRecord& record) {
                                    std::to_string(*page) +
                                    " outside the topology");
   }
-  const std::string key =
-      UserKeyFor(record.client_ip, record.user_agent, identity_);
-  UserState& user = users_[key];
+  const std::string_view key =
+      UserKeyView(record.client_ip, record.user_agent, identity_, &key_buffer_);
+  const std::uint32_t user_id = interner_.Intern(key);
+  if (user_id == users_.size()) users_.emplace_back();
+  UserState& user = users_[user_id];
   if (user.sessionizer == nullptr) user.sessionizer = factory_();
   if (user.has_seen_request && record.timestamp < user.last_timestamp) {
     return Status::InvalidArgument(
@@ -121,16 +124,17 @@ Status SessionizeSink::Accept(const LogRecord& record) {
   obs::ScopedTimer timer(metrics_.sessionize_latency_us);
   obs::ScopedSpan span(metrics_.tracer, "sessionize", metrics_.trace_shard,
                        records_absorbed_.load(std::memory_order_relaxed));
+  current_user_id_ = user_id;
   WUM_RETURN_NOT_OK(user.sessionizer->OnRequest(
-      PageRequest{static_cast<PageId>(*page), record.timestamp},
-      MakeEmit(key)));
+      PageRequest{static_cast<PageId>(*page), record.timestamp}, emit_fn_));
   records_absorbed_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status SessionizeSink::Finish() {
-  for (auto& [key, user] : users_) {
-    WUM_RETURN_NOT_OK(user.sessionizer->Flush(MakeEmit(key)));
+  for (std::uint32_t id = 0; id < users_.size(); ++id) {
+    current_user_id_ = id;
+    WUM_RETURN_NOT_OK(users_[id].sessionizer->Flush(emit_fn_));
   }
   return Status::OK();
 }
@@ -142,9 +146,12 @@ Status SessionizeSink::SerializeState(std::vector<std::string>* frames) const {
   header.PutUvarint(records_absorbed_.load(std::memory_order_relaxed));
   header.PutUvarint(users_.size());
   frames->push_back(header.Release());
-  for (const auto& [key, user] : users_) {
+  // Id order, not key order: frame position is the interner snapshot
+  // (restore re-interns in this order and reproduces identical ids).
+  for (std::uint32_t id = 0; id < users_.size(); ++id) {
+    const UserState& user = users_[id];
     ckpt::Encoder encoder;
-    encoder.PutString(key);
+    encoder.PutString(interner_.StringOf(id));
     encoder.PutVarint(user.last_timestamp);
     encoder.PutU8(user.has_seen_request ? 1 : 0);
     WUM_RETURN_NOT_OK(user.sessionizer->SerializeState(&encoder));
@@ -170,10 +177,14 @@ Status SessionizeSink::RestoreState(std::span<const std::string> frames) {
         " user frames");
   }
   users_.clear();
+  interner_.Clear();
   for (const std::string& frame : frames.subspan(1)) {
     ckpt::Decoder decoder(frame);
     WUM_ASSIGN_OR_RETURN(std::string key, decoder.GetString());
     if (key.empty()) return Status::ParseError("empty user key in state");
+    if (interner_.Contains(key)) {
+      return Status::ParseError("duplicate user key '" + key + "' in state");
+    }
     UserState user;
     WUM_ASSIGN_OR_RETURN(user.last_timestamp, decoder.GetVarint());
     WUM_ASSIGN_OR_RETURN(std::uint8_t seen, decoder.GetU8());
@@ -182,11 +193,11 @@ Status SessionizeSink::RestoreState(std::span<const std::string> frames) {
     user.sessionizer = factory_();
     WUM_RETURN_NOT_OK(user.sessionizer->RestoreState(&decoder));
     WUM_RETURN_NOT_OK(decoder.ExpectEnd());
-    auto [it, inserted] = users_.emplace(std::move(key), std::move(user));
-    if (!inserted) {
-      return Status::ParseError("duplicate user key '" + it->first +
-                                "' in state");
-    }
+    // Frame order is id order: the id handed out here equals the one the
+    // serializing sink used, so ids stay stable across a resume.
+    const std::uint32_t id = interner_.Intern(key);
+    (void)id;
+    users_.push_back(std::move(user));
   }
   sessions_emitted_.store(emitted, std::memory_order_relaxed);
   skipped_non_page_urls_.store(skipped, std::memory_order_relaxed);

@@ -7,8 +7,8 @@
 #define WUM_STREAM_INCREMENTAL_SESSIONIZER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -19,6 +19,7 @@
 #include "wum/obs/trace.h"
 #include "wum/session/smart_sra.h"
 #include "wum/stream/pipeline.h"
+#include "wum/stream/string_interner.h"
 
 namespace wum {
 
@@ -116,16 +117,20 @@ class SessionizeSink : public RecordSink {
 
   /// Checkpoint hook: appends this sink's state as codec frames — one
   /// counters frame, then one frame per user (key, ordering watermark,
-  /// and the user's sessionizer state via SerializeState). Users are
-  /// emitted in map order, so identical state serializes to identical
-  /// bytes. Must only run while no record is in flight (the engine's
-  /// checkpoint barrier guarantees this).
+  /// and the user's sessionizer state via SerializeState). User frames
+  /// are written in interner-id order (first-seen order, deterministic
+  /// for a given input), which doubles as the interner snapshot: restore
+  /// re-interns the keys in frame order and reproduces identical ids, so
+  /// a resumed shard keeps every id stable. Must only run while no
+  /// record is in flight (the engine's checkpoint barrier guarantees
+  /// this).
   Status SerializeState(std::vector<std::string>* frames) const;
 
   /// Inverse of SerializeState on a fresh sink: consumes exactly the
   /// frames its counterpart wrote (ParseError on any mismatch), creating
-  /// each user's sessionizer through the factory and restoring its
-  /// state. Must run before the shard worker starts.
+  /// each user's sessionizer through the factory, restoring its state,
+  /// and rebuilding the interner table in id order. Must run before the
+  /// shard worker starts.
   Status RestoreState(std::span<const std::string> frames);
 
   /// Counter accessors are safe to call from any thread (the sharded
@@ -153,14 +158,24 @@ class SessionizeSink : public RecordSink {
     bool has_seen_request = false;
   };
 
-  IncrementalUserSessionizer::EmitFn MakeEmit(const std::string& user_key);
-
   UserSessionizerFactory factory_;
   SessionSink* session_sink_;
   std::size_t num_pages_;
   UserIdentity identity_;
   SessionizeMetrics metrics_;
-  std::map<std::string, UserState> users_;
+  /// User identity keys → dense ids; open-session state lives in the
+  /// id-indexed flat vector below instead of a string-keyed map, so the
+  /// per-record lookup is one string_view hash with no allocation.
+  StringInterner interner_;
+  std::vector<UserState> users_;
+  /// Scratch for composite ip+agent keys (see UserKeyView); reused so
+  /// steady-state Accept never allocates for the key.
+  std::string key_buffer_;
+  /// One emit closure for the whole sink: it reads current_user_id_ at
+  /// call time, so no per-record std::function is materialized. Set
+  /// before every OnRequest/Flush; emission is synchronous within them.
+  IncrementalUserSessionizer::EmitFn emit_fn_;
+  std::uint32_t current_user_id_ = 0;
   std::atomic<std::uint64_t> sessions_emitted_{0};
   std::atomic<std::uint64_t> skipped_non_page_urls_{0};
   std::atomic<std::uint64_t> records_absorbed_{0};

@@ -25,6 +25,12 @@
 
 namespace wum {
 
+/// Unit of queue hand-off between a producer and a shard worker. The
+/// shard queue's capacity is counted in records (batch weight), so
+/// batching changes how often the queue mutex is taken — once per batch
+/// instead of once per record — without changing backpressure semantics.
+using RecordBatch = std::vector<LogRecord>;
+
 /// Consumer of a record stream.
 class RecordSink {
  public:

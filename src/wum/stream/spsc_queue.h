@@ -1,6 +1,7 @@
 // Bounded single-producer / single-consumer queue used by the threaded
 // pipeline driver. Mutex + condvar implementation: simple, correct, and
-// fast enough for log-record granularity.
+// fast enough at batch granularity (the driver hands off vectors of
+// records, so the mutex is taken once per batch, not once per record).
 
 #ifndef WUM_STREAM_SPSC_QUEUE_H_
 #define WUM_STREAM_SPSC_QUEUE_H_
@@ -9,11 +10,20 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 namespace wum {
 
-/// Blocking bounded queue. Push blocks when full; Pop blocks when empty
-/// until an element arrives or the producer closes the queue.
+/// Blocking bounded queue with weighted items. Capacity is counted in
+/// weight units (for the driver: records, so a batch of 64 records
+/// consumes 64 units and a single record consumes 1 — watermark and
+/// backpressure semantics are independent of how records are batched).
+///
+/// Admission rule: an item is accepted as soon as the queued weight is
+/// below capacity, even if the item's own weight overshoots it. A
+/// weight-1 item therefore sees exactly the classic "size < capacity"
+/// bound, and an oversized batch can never deadlock against a smaller
+/// capacity — the queue just transiently overfills by at most one item.
 template <typename T>
 class SpscQueue {
  public:
@@ -30,15 +40,15 @@ class SpscQueue {
 
   /// Blocks until space is available. Returns false (dropping the item)
   /// if the queue was already closed. When `depth_after` is non-null it
-  /// receives the queue depth right after insertion (watermark probes
+  /// receives the queued weight right after insertion (watermark probes
   /// without a second lock acquisition).
-  bool Push(T item, std::size_t* depth_after = nullptr) {
+  bool Push(T item, std::size_t weight = 1, std::size_t* depth_after = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || closed_; });
+    not_full_.wait(lock, [this] { return weight_ < capacity_ || closed_; });
     if (closed_) return false;
-    items_.push_back(std::move(item));
-    if (depth_after != nullptr) *depth_after = items_.size();
+    weight_ += weight;
+    items_.push_back(Entry{std::move(item), weight});
+    if (depth_after != nullptr) *depth_after = weight_;
     not_empty_.notify_one();
     return true;
   }
@@ -50,18 +60,21 @@ class SpscQueue {
   /// observes the worker's sticky error instead of waiting forever.
   /// `aborted` is invoked with the queue mutex held, so it must not
   /// touch the queue; a relaxed/acquire atomic read is the intended
-  /// shape.
+  /// shape. The item is only moved from on kOk, so a caller keeps it
+  /// across kClosed/kAborted.
   template <typename AbortFn>
-  BlockingPushOutcome PushUnless(T item, const AbortFn& aborted,
+  BlockingPushOutcome PushUnless(T&& item, const AbortFn& aborted,
+                                 std::size_t weight = 1,
                                  std::size_t* depth_after = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [this, &aborted] {
-      return items_.size() < capacity_ || closed_ || aborted();
+      return weight_ < capacity_ || closed_ || aborted();
     });
     if (closed_) return BlockingPushOutcome::kClosed;
     if (aborted()) return BlockingPushOutcome::kAborted;
-    items_.push_back(std::move(item));
-    if (depth_after != nullptr) *depth_after = items_.size();
+    weight_ += weight;
+    items_.push_back(Entry{std::move(item), weight});
+    if (depth_after != nullptr) *depth_after = weight_;
     not_empty_.notify_one();
     return BlockingPushOutcome::kOk;
   }
@@ -74,28 +87,33 @@ class SpscQueue {
     not_full_.notify_all();
   }
 
-  /// Non-blocking push: kFull leaves the item with the caller (retry with
-  /// Push to block), kClosed drops it.
-  PushOutcome TryPush(const T& item, std::size_t* depth_after = nullptr) {
+  /// Non-blocking push: kFull leaves the item with the caller — it is
+  /// only moved from on kOk — so callers can retry with Push to block.
+  /// kClosed drops it.
+  PushOutcome TryPush(T&& item, std::size_t weight = 1,
+                      std::size_t* depth_after = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (closed_) return PushOutcome::kClosed;
-    if (items_.size() >= capacity_) return PushOutcome::kFull;
-    items_.push_back(item);
-    if (depth_after != nullptr) *depth_after = items_.size();
+    if (weight_ >= capacity_) return PushOutcome::kFull;
+    weight_ += weight;
+    items_.push_back(Entry{std::move(item), weight});
+    if (depth_after != nullptr) *depth_after = weight_;
     not_empty_.notify_one();
     return PushOutcome::kOk;
   }
 
   /// Blocks until an item is available or the queue is closed and
-  /// drained; nullopt signals end of stream.
+  /// drained; nullopt signals end of stream. The popped item's weight is
+  /// released immediately (the consumer processes it outside the lock).
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
+    Entry entry = std::move(items_.front());
     items_.pop_front();
+    weight_ -= entry.weight;
     not_full_.notify_one();
-    return item;
+    return std::move(entry.item);
   }
 
   /// Producer signals end of stream (idempotent). Consumers drain the
@@ -107,17 +125,30 @@ class SpscQueue {
     not_full_.notify_all();
   }
 
+  /// Number of queued items (batches, for the driver).
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return items_.size();
   }
 
+  /// Total queued weight (records, for the driver).
+  std::size_t weight() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return weight_;
+  }
+
  private:
+  struct Entry {
+    T item;
+    std::size_t weight;
+  };
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::deque<Entry> items_;
+  std::size_t weight_ = 0;
   bool closed_ = false;
 };
 

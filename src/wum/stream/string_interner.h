@@ -1,0 +1,69 @@
+// Dense string interning for per-shard hot-path state.
+//
+// A StringInterner maps each distinct user key (client IP, or
+// IP + user-agent) to a dense uint32 id on first sight. Shard-local
+// state is then held in flat id-indexed vectors instead of string-keyed
+// maps, and the emit path hands sinks a stable reference to the interned
+// key instead of copying it per session. Storage is a deque-backed arena:
+// entries never move, so both the ids and the returned string references
+// stay valid for the interner's lifetime.
+//
+// Checkpoint contract: ids are assigned in first-Intern order, so
+// serializing per-user state in id order and re-Intern()ing the keys in
+// that same order on restore reproduces identical ids across a
+// kill-and-resume (see SessionizeSink::SerializeState).
+
+#ifndef WUM_STREAM_STRING_INTERNER_H_
+#define WUM_STREAM_STRING_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace wum {
+
+class StringInterner {
+ public:
+  /// Returns the dense id for `key`, assigning the next free id on first
+  /// sight. Allocation-free for already-interned keys (the lookup hashes
+  /// the view directly; no temporary std::string is built).
+  std::uint32_t Intern(std::string_view key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(arena_.size());
+    arena_.emplace_back(key);
+    index_.emplace(arena_.back(), id);
+    return id;
+  }
+
+  /// The interned key for `id`; the reference is stable for the
+  /// interner's lifetime. `id` must have been returned by Intern().
+  const std::string& StringOf(std::uint32_t id) const {
+    return arena_[id];
+  }
+
+  /// True if `key` is already interned (no id is assigned either way).
+  bool Contains(std::string_view key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  std::size_t size() const { return arena_.size(); }
+
+  /// Drops every entry and id (checkpoint restore starts from scratch).
+  void Clear() {
+    index_.clear();
+    arena_.clear();
+  }
+
+ private:
+  /// Deque so entries never relocate; the index's string_view keys point
+  /// into these entries.
+  std::deque<std::string> arena_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace wum
+
+#endif  // WUM_STREAM_STRING_INTERNER_H_

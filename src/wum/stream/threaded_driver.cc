@@ -23,8 +23,8 @@ Status ThreadedDriver::first_error() const {
   return first_error_;
 }
 
-void ThreadedDriver::NoteDrained() {
-  drained_.fetch_add(1, std::memory_order_seq_cst);
+void ThreadedDriver::NoteDrained(std::uint64_t count) {
+  drained_.fetch_add(count, std::memory_order_seq_cst);
   if (idle_waiting_.load(std::memory_order_seq_cst)) {
     // Take the lock so the notify cannot slip between a waiter's
     // predicate check and its sleep.
@@ -35,44 +35,56 @@ void ThreadedDriver::NoteDrained() {
 
 void ThreadedDriver::Run() {
   while (true) {
-    std::optional<LogRecord> record = queue_.Pop();
-    if (!record.has_value()) return;  // closed and drained
-    if (failed_.load(std::memory_order_relaxed)) {
-      // Drain after failure: keep consuming so the producer never wedges
-      // on a full queue, reporting each discarded record when asked.
-      if (hooks_.on_discard != nullptr) {
-        hooks_.on_discard(*record, first_error());
+    std::optional<RecordBatch> batch = queue_.Pop();
+    if (!batch.has_value()) return;  // closed and drained
+    // Per-record semantics inside the batch are identical to the old
+    // record-at-a-time loop: a sticky error set mid-batch routes every
+    // later record of that batch (and of later batches) to the discard
+    // hook, never into the pipeline. Drained records are counted once
+    // per batch — WaitIdle/WaitDrained only observe the total, and the
+    // worker never blocks mid-batch, so the coarser publication is
+    // indistinguishable to a waiter.
+    const std::uint64_t drained_before =
+        drained_.load(std::memory_order_relaxed);
+    std::uint64_t handled = 0;
+    for (const LogRecord& record : *batch) {
+      ++handled;
+      if (failed_.load(std::memory_order_relaxed)) {
+        // Drain after failure: keep consuming so the producer never
+        // wedges on a full queue, reporting each discarded record when
+        // asked.
+        if (hooks_.on_discard != nullptr) {
+          hooks_.on_discard(record, first_error());
+        }
+        continue;
       }
-      NoteDrained();
-      continue;
+      Status status;
+      {
+        obs::ScopedTimer timer(metrics_.drain_latency_us);
+        obs::ScopedSpan span(metrics_.tracer, "drain", metrics_.trace_shard,
+                             drained_before + handled - 1);
+        status = sink_->Accept(record);
+      }
+      if (status.ok()) continue;
+      if (hooks_.on_record_error != nullptr &&
+          hooks_.on_record_error(record, status)) {
+        continue;  // quarantined; the shard lives on
+      }
+      obs::LogError("driver.failed")("shard", metrics_.trace_shard)(
+          "error", status.ToString());
+      {
+        std::lock_guard<std::mutex> lock(status_mutex_);
+        if (first_error_.ok()) first_error_ = std::move(status);
+      }
+      failed_.store(true, std::memory_order_release);
+      // Rouse a producer blocked on the full queue so it observes the
+      // sticky error instead of waiting for space that may never come.
+      queue_.WakeAll();
     }
-    Status status;
-    {
-      obs::ScopedTimer timer(metrics_.drain_latency_us);
-      obs::ScopedSpan span(metrics_.tracer, "drain", metrics_.trace_shard,
-                           drained_.load(std::memory_order_relaxed));
-      status = sink_->Accept(*record);
+    if (hooks_.on_batch_drained != nullptr) {
+      hooks_.on_batch_drained(std::move(*batch));
     }
-    if (status.ok()) {
-      NoteDrained();
-      continue;
-    }
-    if (hooks_.on_record_error != nullptr &&
-        hooks_.on_record_error(*record, status)) {
-      NoteDrained();
-      continue;  // quarantined; the shard lives on
-    }
-    obs::LogError("driver.failed")("shard", metrics_.trace_shard)(
-        "error", status.ToString());
-    {
-      std::lock_guard<std::mutex> lock(status_mutex_);
-      if (first_error_.ok()) first_error_ = std::move(status);
-    }
-    failed_.store(true, std::memory_order_release);
-    // Rouse a producer blocked on the full queue so it observes the
-    // sticky error instead of waiting for space that may never come.
-    queue_.WakeAll();
-    NoteDrained();
+    NoteDrained(handled);
   }
 }
 
@@ -92,52 +104,69 @@ void ThreadedDriver::NoteDepth(std::size_t depth) {
   }
 }
 
-Status ThreadedDriver::Offer(const LogRecord& record) {
+Status ThreadedDriver::OfferBatch(RecordBatch* batch) {
   WUM_RETURN_NOT_OK(CheckOfferable());
+  if (batch->empty()) return Status::OK();
+  const std::size_t weight = batch->size();
   std::size_t depth = 0;
-  switch (queue_.TryPush(record, &depth)) {
-    case SpscQueue<LogRecord>::PushOutcome::kOk:
+  switch (queue_.TryPush(std::move(*batch), weight, &depth)) {
+    case SpscQueue<RecordBatch>::PushOutcome::kOk:
       break;
-    case SpscQueue<LogRecord>::PushOutcome::kClosed:
+    case SpscQueue<RecordBatch>::PushOutcome::kClosed:
       return Status::FailedPrecondition("queue closed");
-    case SpscQueue<LogRecord>::PushOutcome::kFull: {
+    case SpscQueue<RecordBatch>::PushOutcome::kFull: {
       blocked_enqueues_.fetch_add(1, std::memory_order_relaxed);
       metrics_.blocked_enqueues.Increment();
       switch (queue_.PushUnless(
-          record,
-          [this] { return failed_.load(std::memory_order_acquire); },
+          std::move(*batch),
+          [this] { return failed_.load(std::memory_order_acquire); }, weight,
           &depth)) {
-        case SpscQueue<LogRecord>::BlockingPushOutcome::kOk:
+        case SpscQueue<RecordBatch>::BlockingPushOutcome::kOk:
           break;
-        case SpscQueue<LogRecord>::BlockingPushOutcome::kClosed:
+        case SpscQueue<RecordBatch>::BlockingPushOutcome::kClosed:
           return Status::FailedPrecondition("queue closed");
-        case SpscQueue<LogRecord>::BlockingPushOutcome::kAborted:
+        case SpscQueue<RecordBatch>::BlockingPushOutcome::kAborted:
           return first_error();
       }
       break;
     }
   }
-  ++pushed_;
+  pushed_ += weight;
+  NoteDepth(depth);
+  return Status::OK();
+}
+
+Status ThreadedDriver::Offer(const LogRecord& record) {
+  RecordBatch batch(1, record);
+  return OfferBatch(&batch);
+}
+
+Status ThreadedDriver::TryOfferBatch(RecordBatch* batch, bool* accepted) {
+  *accepted = false;
+  WUM_RETURN_NOT_OK(CheckOfferable());
+  if (batch->empty()) {
+    *accepted = true;
+    return Status::OK();
+  }
+  const std::size_t weight = batch->size();
+  std::size_t depth = 0;
+  switch (queue_.TryPush(std::move(*batch), weight, &depth)) {
+    case SpscQueue<RecordBatch>::PushOutcome::kOk:
+      break;
+    case SpscQueue<RecordBatch>::PushOutcome::kClosed:
+      return Status::FailedPrecondition("queue closed");
+    case SpscQueue<RecordBatch>::PushOutcome::kFull:
+      return Status::OK();
+  }
+  *accepted = true;
+  pushed_ += weight;
   NoteDepth(depth);
   return Status::OK();
 }
 
 Status ThreadedDriver::TryOffer(const LogRecord& record, bool* accepted) {
-  *accepted = false;
-  WUM_RETURN_NOT_OK(CheckOfferable());
-  std::size_t depth = 0;
-  switch (queue_.TryPush(record, &depth)) {
-    case SpscQueue<LogRecord>::PushOutcome::kOk:
-      break;
-    case SpscQueue<LogRecord>::PushOutcome::kClosed:
-      return Status::FailedPrecondition("queue closed");
-    case SpscQueue<LogRecord>::PushOutcome::kFull:
-      return Status::OK();
-  }
-  *accepted = true;
-  ++pushed_;
-  NoteDepth(depth);
-  return Status::OK();
+  RecordBatch batch(1, record);
+  return TryOfferBatch(&batch, accepted);
 }
 
 Status ThreadedDriver::WaitIdle() {

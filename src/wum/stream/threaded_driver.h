@@ -13,6 +13,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "wum/obs/metrics.h"
 #include "wum/obs/trace.h"
@@ -52,6 +53,12 @@ struct DriverHooks {
   /// `first_error` was already set (the shard is dead; the record never
   /// entered the pipeline).
   std::function<void(const LogRecord&, const Status&)> on_discard;
+  /// Every record of `batch` has been handled (processed, quarantined
+  /// or discarded); the batch is handed over for buffer recycling — its
+  /// records' string capacities can be reused by the producer to stage
+  /// later batches without reallocating. Runs on the worker thread,
+  /// before the drained count is published.
+  std::function<void(RecordBatch&&)> on_batch_drained;
 };
 
 /// Owns the worker thread and the queue feeding a RecordSink.
@@ -69,16 +76,27 @@ class ThreadedDriver {
   ThreadedDriver(const ThreadedDriver&) = delete;
   ThreadedDriver& operator=(const ThreadedDriver&) = delete;
 
-  /// Enqueues one record; blocks when the queue is full (counted in
-  /// blocked_enqueues). Returns FailedPrecondition after Finish, or the
-  /// sink's first error — including while blocked: a producer waiting on
-  /// a full queue whose worker just died is woken and handed the sticky
-  /// error instead of waiting forever.
+  /// Enqueues a batch of records with one queue hand-off; blocks when
+  /// the queue is full (counted once in blocked_enqueues). On OK the
+  /// batch has been moved into the queue; on any error it is left
+  /// untouched in `*batch` so the caller can quarantine or retry the
+  /// records. Returns FailedPrecondition after Finish, or the sink's
+  /// first error — including while blocked: a producer waiting on a
+  /// full queue whose worker just died is woken and handed the sticky
+  /// error instead of waiting forever. An empty batch is a no-op.
+  Status OfferBatch(RecordBatch* batch);
+
+  /// Convenience wrapper: enqueues one record as a batch of one, with
+  /// semantics identical to the historical per-record Offer.
   Status Offer(const LogRecord& record);
 
   /// Non-blocking variant: when the queue is full, sets `*accepted` to
-  /// false and returns OK without enqueueing (callers may fall back to
-  /// Offer). Otherwise behaves like Offer with `*accepted = true`.
+  /// false and returns OK without enqueueing (the batch stays in
+  /// `*batch`; shed accounting is the caller's). Otherwise behaves like
+  /// OfferBatch with `*accepted = true`.
+  Status TryOfferBatch(RecordBatch* batch, bool* accepted);
+
+  /// Single-record convenience over TryOfferBatch.
   Status TryOffer(const LogRecord& record, bool* accepted);
 
   /// Signals end of stream, waits for the worker to drain, and returns
@@ -126,11 +144,11 @@ class ThreadedDriver {
   void Run();
   Status CheckOfferable();
   void NoteDepth(std::size_t depth);
-  /// Worker side of WaitIdle: counts one fully handled record and wakes
-  /// a waiting producer when one is registered.
-  void NoteDrained();
+  /// Worker side of WaitIdle: counts `count` fully handled records and
+  /// wakes a waiting producer when one is registered.
+  void NoteDrained(std::uint64_t count);
 
-  SpscQueue<LogRecord> queue_;
+  SpscQueue<RecordBatch> queue_;
   RecordSink* sink_;
   DriverMetrics metrics_;
   DriverHooks hooks_;

@@ -8,20 +8,29 @@ namespace wum {
 WebGraph::WebGraph(std::size_t num_pages)
     : out_links_(num_pages),
       in_links_(num_pages),
-      is_start_page_(num_pages, false) {}
+      is_start_page_(num_pages, false) {
+  if (num_pages > 0 && num_pages <= kAdjacencyMatrixMaxPages) {
+    adjacency_bits_.assign((num_pages * num_pages + 63) / 64, 0);
+  }
+}
 
 bool WebGraph::AddLink(PageId from, PageId to) {
   assert(IsValidPage(from) && IsValidPage(to));
   auto [it, inserted] = edge_set_.insert(MakeEdgeKey(from, to));
   (void)it;
   if (!inserted) return false;
+  if (!adjacency_bits_.empty()) {
+    const std::size_t bit =
+        static_cast<std::size_t>(from) * num_pages() + to;
+    adjacency_bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
   out_links_[from].push_back(to);
   in_links_[to].push_back(from);
   ++num_edges_;
   return true;
 }
 
-bool WebGraph::HasLink(PageId from, PageId to) const {
+bool WebGraph::HasLinkSlow(PageId from, PageId to) const {
   if (!IsValidPage(from) || !IsValidPage(to)) return false;
   return edge_set_.contains(MakeEdgeKey(from, to));
 }

@@ -48,8 +48,23 @@ class WebGraph {
   bool AddLink(PageId from, PageId to);
 
   /// True iff page `from` contains a hyperlink to page `to`
-  /// (the paper's Link[from, to] = 1).
-  bool HasLink(PageId from, PageId to) const;
+  /// (the paper's Link[from, to] = 1). This is the inner-loop query of
+  /// every topology-aware heuristic, so graphs up to
+  /// `kAdjacencyMatrixMaxPages` answer it from a bit-matrix (one load
+  /// plus a mask) instead of the edge hash set.
+  bool HasLink(PageId from, PageId to) const {
+    if (!adjacency_bits_.empty()) {
+      if (from >= num_pages() || to >= num_pages()) return false;
+      const std::size_t bit =
+          static_cast<std::size_t>(from) * num_pages() + to;
+      return (adjacency_bits_[bit >> 6] >> (bit & 63)) & 1;
+    }
+    return HasLinkSlow(from, to);
+  }
+
+  /// Largest page count for which the O(1) adjacency bit-matrix is kept
+  /// (4096 pages -> 2 MiB; beyond that only the edge hash set is used).
+  static constexpr std::size_t kAdjacencyMatrixMaxPages = 4096;
 
   /// Pages linked *from* `page`, in insertion order.
   const std::vector<PageId>& OutLinks(PageId page) const {
@@ -92,9 +107,13 @@ class WebGraph {
     return EdgeKey{(static_cast<std::uint64_t>(from) << 32) | to};
   }
 
+  bool HasLinkSlow(PageId from, PageId to) const;
+
   std::vector<std::vector<PageId>> out_links_;
   std::vector<std::vector<PageId>> in_links_;
   std::unordered_set<EdgeKey, EdgeKeyHash> edge_set_;
+  // num_pages^2 bits, row-major by source page; empty for large graphs.
+  std::vector<std::uint64_t> adjacency_bits_;
   std::vector<PageId> start_pages_;
   std::vector<bool> is_start_page_;
   std::size_t num_edges_ = 0;

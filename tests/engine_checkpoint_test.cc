@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -601,6 +602,99 @@ TEST_F(EngineCheckpointTest, CustomSessionizerWithoutHooksRefuses) {
   Status status = (*engine)->Checkpoint(dir_.string());
   EXPECT_TRUE(status.IsUnimplemented()) << status.ToString();
   ASSERT_TRUE((*engine)->Finish().ok());
+}
+
+// The per-shard string interner is part of the snapshot: under the
+// ip+user-agent identity a batched run killed mid-stream and resumed
+// must emit exactly the uninterrupted run's session multiset. The
+// baseline is driven record-at-a-time, so the same comparison also
+// cross-checks OfferBatch-vs-Offer equivalence across the crash.
+TEST_F(EngineCheckpointTest, InternerSurvivesKillAndResumeUnderBatchedIngest) {
+  // MakeWorkload leaves user_agent empty; give each user a stable
+  // browser so the identity keys exercise the interner's save/restore.
+  std::vector<LogRecord> records = records_;
+  for (LogRecord& record : records) {
+    record.user_agent =
+        record.client_ip.back() % 2 == 0 ? "Mozilla/4.0" : "Opera/8.0";
+  }
+  const auto options = [this](const std::string& heuristic,
+                              std::size_t shards) {
+    EngineOptions o = HeuristicOptions(heuristic, &graph_, shards);
+    o.set_identity(UserIdentity::kClientIpAndUserAgent);
+    return o;
+  };
+  const auto offer_batched = [](StreamEngine& engine,
+                                std::span<const LogRecord> slice) {
+    std::vector<LogRecordRef> refs;
+    refs.reserve(slice.size());
+    for (const LogRecord& record : slice) refs.push_back(ViewOf(record));
+    const std::span<const LogRecordRef> all(refs);
+    for (std::size_t i = 0; i < all.size(); i += 37) {
+      ASSERT_TRUE(
+          engine
+              .OfferBatch(
+                  all.subspan(i, std::min<std::size_t>(37, all.size() - i)))
+              .ok());
+    }
+  };
+  for (const std::string heuristic : {"duration", "smart-sra"}) {
+    for (const std::size_t shards : {1u, 3u}) {
+      SCOPED_TRACE(heuristic + "/" + std::to_string(shards) + " shards");
+      const fs::path dir = dir_ / (heuristic + std::to_string(shards));
+      fs::create_directories(dir);
+
+      Entries baseline;
+      {
+        CollectingSessionSink sink;
+        Result<std::unique_ptr<StreamEngine>> engine =
+            StreamEngine::Create(options(heuristic, shards), &sink);
+        ASSERT_TRUE(engine.ok()) << engine.status().message();
+        for (const LogRecord& record : records) {
+          ASSERT_TRUE((*engine)->Offer(record).ok());
+        }
+        ASSERT_TRUE((*engine)->Finish().ok());
+        baseline = sink.entries();
+      }
+
+      // Batched run: checkpoint at a batch-unaligned index, keep going,
+      // then crash.
+      Entries committed;
+      {
+        CollectingSessionSink sink;
+        Result<std::unique_ptr<StreamEngine>> engine =
+            StreamEngine::Create(options(heuristic, shards), &sink);
+        ASSERT_TRUE(engine.ok()) << engine.status().message();
+        offer_batched(**engine,
+                      std::span<const LogRecord>(records).first(117));
+        ASSERT_TRUE((*engine)->Checkpoint(dir.string()).ok());
+        EXPECT_EQ((*engine)->records_seen(), 117u);
+        const std::size_t barrier = sink.entries().size();
+        offer_batched(**engine,
+                      std::span<const LogRecord>(records).subspan(117, 43));
+        engine->reset();  // the crash
+        committed = sink.entries();
+        committed.resize(barrier);
+      }
+
+      // Resume replays the whole input through OfferBatch; the restored
+      // interner must map every identity back to its open sessions.
+      Entries resumed;
+      {
+        CollectingSessionSink sink;
+        Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+            options(heuristic, shards).resume_from(dir.string()), &sink);
+        ASSERT_TRUE(engine.ok()) << engine.status().message();
+        EXPECT_TRUE((*engine)->resumed());
+        offer_batched(**engine, std::span<const LogRecord>(records));
+        ASSERT_TRUE((*engine)->Finish().ok());
+        resumed = sink.entries();
+      }
+
+      Entries combined = std::move(committed);
+      combined.insert(combined.end(), resumed.begin(), resumed.end());
+      EXPECT_EQ(Canonicalize(combined), Canonicalize(baseline));
+    }
+  }
 }
 
 // Checkpoint after Finish is a contract violation, reported as such.

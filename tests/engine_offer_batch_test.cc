@@ -1,0 +1,167 @@
+// OfferBatch-vs-Offer equivalence: the zero-copy batched ingest path
+// must produce exactly the per-user session multiset (and stats) of the
+// record-at-a-time Offer path — for every registry heuristic, at 1, 2
+// and 8 shards, under both user identities, whatever the batch
+// granularity. Offer is documented as a batch of one, so any divergence
+// here is an API-contract break.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wum/common/random.h"
+#include "wum/simulator/agent_simulator.h"
+#include "wum/stream/engine.h"
+#include "wum/stream/heuristic_registry.h"
+#include "wum/topology/site_generator.h"
+
+namespace wum {
+namespace {
+
+/// (user, page-sequence) multiset for order-insensitive comparison.
+using Canonical = std::vector<std::pair<std::string, std::vector<PageId>>>;
+
+class OfferBatchEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng site_rng(17);
+    SiteGeneratorOptions options;
+    options.num_pages = 70;
+    options.mean_out_degree = 5.0;
+    graph_ = *GenerateUniformSite(options, &site_rng);
+
+    // One interleaved server log; two browsers per IP so the ip-ua
+    // identity sees twice the users the ip identity does.
+    AgentSimulator simulator(&graph_, AgentProfile());
+    Rng rng(29);
+    for (int agent = 0; agent < 16; ++agent) {
+      Rng agent_rng = rng.Fork();
+      const auto trace = simulator.SimulateAgent(0, &agent_rng);
+      for (const PageRequest& request : trace->server_requests) {
+        LogRecord record;
+        record.client_ip = "10.0.0." + std::to_string(agent / 2);
+        record.user_agent =
+            agent % 2 == 0 ? "Mozilla/4.0" : "Opera/8.0";
+        record.url = PageUrl(request.page);
+        record.timestamp = request.timestamp;
+        log_.push_back(std::move(record));
+      }
+    }
+    std::stable_sort(log_.begin(), log_.end(),
+                     [](const LogRecord& a, const LogRecord& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+
+  EngineOptions Options(const std::string& heuristic, std::size_t shards,
+                        UserIdentity identity) const {
+    EngineOptions options;
+    options.set_num_shards(shards)
+        .set_queue_capacity(64)  // small: batches must split and block
+        .set_identity(identity)
+        .set_num_pages(graph_.num_pages())
+        .use_graph(&graph_)
+        .use_heuristic(heuristic);
+    return options;
+  }
+
+  /// Runs the log through one engine; `drive` performs the ingest.
+  template <typename Drive>
+  Canonical Run(const std::string& heuristic, std::size_t shards,
+                UserIdentity identity, EngineStats* stats,
+                const Drive& drive) const {
+    Canonical out;
+    CallbackSessionSink sink(
+        [&out](const std::string& user_key, Session session) {
+          out.emplace_back(user_key, session.PageSequence());
+          return Status::OK();
+        });
+    Result<std::unique_ptr<StreamEngine>> engine =
+        StreamEngine::Create(Options(heuristic, shards, identity), &sink);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    if (!engine.ok()) return out;
+    drive(engine->get());
+    EXPECT_TRUE((*engine)->Finish().ok());
+    *stats = (*engine)->TotalStats();
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  WebGraph graph_{0};
+  std::vector<LogRecord> log_;
+};
+
+TEST_F(OfferBatchEquivalenceTest, MatchesOfferForEveryHeuristicAndShardCount) {
+  Rng rng(31);
+  for (const std::string& heuristic : HeuristicRegistry::Default().Names()) {
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+      for (const UserIdentity identity :
+           {UserIdentity::kClientIp, UserIdentity::kClientIpAndUserAgent}) {
+        SCOPED_TRACE(heuristic + "/" + std::to_string(shards) + " shards");
+        EngineStats single_stats;
+        const Canonical single =
+            Run(heuristic, shards, identity, &single_stats,
+                [this](StreamEngine* engine) {
+                  for (const LogRecord& record : log_) {
+                    ASSERT_TRUE(engine->Offer(record).ok());
+                  }
+                });
+        EngineStats batched_stats;
+        const Canonical batched =
+            Run(heuristic, shards, identity, &batched_stats,
+                [this, &rng](StreamEngine* engine) {
+                  std::vector<LogRecordRef> refs;
+                  refs.reserve(log_.size());
+                  for (const LogRecord& record : log_) {
+                    refs.push_back(ViewOf(record));
+                  }
+                  const std::span<const LogRecordRef> all(refs);
+                  // Random batch granularity, including batches far
+                  // larger than the queue capacity.
+                  for (std::size_t i = 0; i < all.size();) {
+                    const std::size_t n = std::min<std::size_t>(
+                        1 + rng.NextBounded(200), all.size() - i);
+                    ASSERT_TRUE(engine->OfferBatch(all.subspan(i, n)).ok());
+                    i += n;
+                  }
+                });
+        EXPECT_EQ(batched, single);
+        EXPECT_EQ(batched_stats.records_in, single_stats.records_in);
+        EXPECT_EQ(batched_stats.records_dropped, single_stats.records_dropped);
+        EXPECT_EQ(batched_stats.sessions_emitted,
+                  single_stats.sessions_emitted);
+      }
+    }
+  }
+}
+
+TEST_F(OfferBatchEquivalenceTest, EmptyBatchIsANoOp) {
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      Options("duration", 2, UserIdentity::kClientIp), &sink);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->OfferBatch({}).ok());
+  EXPECT_EQ((*engine)->records_seen(), 0u);
+  ASSERT_TRUE((*engine)->Finish().ok());
+  EXPECT_EQ((*engine)->TotalStats().records_in, 0u);
+}
+
+TEST_F(OfferBatchEquivalenceTest, OfferBatchAfterFinishFails) {
+  CollectingSessionSink sink;
+  Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      Options("duration", 1, UserIdentity::kClientIp), &sink);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Finish().ok());
+  const LogRecordRef ref = ViewOf(log_.front());
+  EXPECT_TRUE(
+      (*engine)->OfferBatch(std::span<const LogRecordRef>(&ref, 1))
+          .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace wum

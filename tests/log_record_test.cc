@@ -2,7 +2,33 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <set>
+
+namespace {
+/// Heap-allocation counter backing the allocation-free contract tests:
+/// this binary's global operator new counts every call.
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* ptr = std::malloc(size == 0 ? 1 : size)) return ptr;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* ptr = std::malloc(size == 0 ? 1 : size)) return ptr;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
 
 namespace wum {
 namespace {
@@ -73,6 +99,59 @@ TEST(PageFromReferrerTest, RejectsExternalAndEmpty) {
                   .IsNotFound());
   EXPECT_TRUE(PageFromReferrer("http://hostonly.example").status().IsNotFound());
   EXPECT_TRUE(PageFromReferrer("not a url").status().IsNotFound());
+}
+
+TEST(LogRecordTest, DefaultConstructionIsAllocationFree) {
+  // The protocol default ("HTTP/1.1") must fit every mainstream
+  // std::string small-buffer: a default LogRecord never touches the heap
+  // (the recycled-buffer hot path depends on this).
+  const std::uint64_t before = g_allocations.load();
+  {
+    LogRecord record;
+    EXPECT_EQ(record.protocol, kDefaultProtocol);
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+TEST(LogRecordRefTest, ViewOfMaterializeRoundTrip) {
+  LogRecord record;
+  record.client_ip = "10.1.2.3";
+  record.timestamp = 1136214245;
+  record.method = HttpMethod::kPost;
+  record.url = "/pages/p42.html";
+  record.protocol = "HTTP/1.0";
+  record.status_code = 304;
+  record.bytes = -1;
+  record.referrer = "http://www.site.example/pages/p7.html";
+  record.user_agent = "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)";
+  const LogRecordRef ref = ViewOf(record);
+  EXPECT_EQ(ref.client_ip, record.client_ip);
+  EXPECT_EQ(ref.url, record.url);
+  EXPECT_EQ(ref.Materialize(), record);
+}
+
+TEST(LogRecordRefTest, MaterializeIntoReusesCapacityWithoutAllocating) {
+  LogRecord source;
+  source.client_ip = "10.1.2.3";
+  source.timestamp = 77;
+  source.url = "/pages/p7.html";
+  source.referrer = "http://www.site.example/pages/p1.html";
+  source.user_agent = "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)";
+  const LogRecordRef ref = ViewOf(source);
+
+  // Prime a recycled buffer whose string capacities already cover the
+  // incoming fields (the shape the engine's batch recycling pool sees).
+  LogRecord recycled;
+  recycled.client_ip = std::string(64, 'x');
+  recycled.url = std::string(64, 'x');
+  recycled.protocol = std::string(64, 'x');
+  recycled.referrer = std::string(64, 'x');
+  recycled.user_agent = std::string(64, 'x');
+
+  const std::uint64_t before = g_allocations.load();
+  ref.MaterializeInto(&recycled);
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(recycled, source);
 }
 
 TEST(LogRecordTest, DefaultAndOrdering) {

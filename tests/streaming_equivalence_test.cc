@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <span>
 
 #include "wum/session/navigation_heuristic.h"
 #include "wum/session/smart_sra.h"
@@ -22,7 +23,7 @@ namespace wum {
 namespace {
 
 std::vector<Session> DriveIncremental(IncrementalUserSessionizer* sessionizer,
-                                      const std::vector<PageRequest>& stream) {
+                                      std::span<const PageRequest> stream) {
   std::vector<Session> emitted;
   auto emit = [&emitted](Session session) {
     emitted.push_back(std::move(session));
