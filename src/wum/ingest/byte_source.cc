@@ -1,0 +1,62 @@
+#include "wum/ingest/byte_source.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace wum::ingest {
+
+Result<FileSource> FileSource::Open(const std::string& path,
+                                    std::size_t chunk_bytes) {
+  WUM_ASSIGN_OR_RETURN(ChunkReader reader, ChunkReader::Open(path, chunk_bytes));
+  return FileSource(std::move(reader));
+}
+
+Result<std::optional<std::string_view>> FileSource::Next() {
+  std::optional<std::string_view> chunk = reader_.Next();
+  if (!chunk.has_value()) exhausted_ = true;
+  return chunk;
+}
+
+Status LineBuffer::Append(std::string_view bytes) {
+  if (closed_) {
+    return Status::FailedPrecondition("LineBuffer: Append after Close");
+  }
+  const std::size_t old_size = pending_.size();
+  const std::size_t old_complete = complete_;
+  pending_.append(bytes.data(), bytes.size());
+  const std::size_t last_newline = pending_.find_last_of('\n');
+  if (last_newline != std::string::npos && last_newline + 1 > complete_) {
+    complete_ = last_newline + 1;
+  }
+  const std::size_t partial = pending_.size() - complete_;
+  if (partial > max_line_bytes_) {
+    // Roll back the append so consumed_bytes() stays an honest offset of
+    // what was actually accepted from the stream.
+    pending_.resize(old_size);
+    complete_ = old_complete;
+    return Status::InvalidArgument(
+        "LineBuffer: line exceeds max_line_bytes (" +
+        std::to_string(max_line_bytes_) + ") without a newline");
+  }
+  return Status::OK();
+}
+
+Result<std::optional<std::string_view>> LineBuffer::Next() {
+  if (complete_ > 0) {
+    serving_.assign(pending_, 0, complete_);
+    pending_.erase(0, complete_);
+    complete_ = 0;
+  } else if (closed_ && !pending_.empty()) {
+    // End of stream: the unterminated tail goes out whole, exactly like
+    // the final line of a file with no trailing newline.
+    serving_ = std::move(pending_);
+    pending_.clear();
+  } else {
+    return std::optional<std::string_view>();
+  }
+  consumed_bytes_ += serving_.size();
+  return std::optional<std::string_view>(serving_);
+}
+
+}  // namespace wum::ingest

@@ -1,0 +1,128 @@
+// The unified ingest surface: every way bytes enter the system — a
+// memory-mapped file handed to the CLI, a TCP socket feeding the
+// websra_serve daemon — is a ByteSource producing line-aligned chunks
+// for ClfParser::ParseChunk. File and socket ingest are first-class
+// peers of the same IngestDriver (see wum/ingest/driver.h) instead of
+// two hand-rolled loops.
+//
+// Chunk contract (shared with ChunkReader): every chunk ends on a '\n'
+// boundary except possibly the final chunk of the stream, whose trailing
+// unterminated line arrives whole. Feeding every chunk of a source to
+// ParseChunk therefore reproduces the stream's lines exactly — a
+// partial line buffered mid-stream is *carried*, never served early and
+// never rejected as malformed.
+
+#ifndef WUM_INGEST_BYTE_SOURCE_H_
+#define WUM_INGEST_BYTE_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "wum/clf/chunk_reader.h"
+#include "wum/common/result.h"
+
+namespace wum::ingest {
+
+/// Pull interface for line-aligned byte chunks.
+///
+/// Next() returns the next chunk, or nullopt when no chunk is available
+/// *right now*. A file source always has a chunk until end of file, so
+/// nullopt means the stream is over; a socket-fed source returns nullopt
+/// whenever the buffered bytes hold no complete line yet — the stream is
+/// only over when exhausted() is also true. The returned view stays
+/// valid until the next call to Next() on the same source.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Next line-aligned chunk, or nullopt when none is available.
+  virtual Result<std::optional<std::string_view>> Next() = 0;
+
+  /// True once the stream has ended AND every buffered byte has been
+  /// served: Next() will never produce another chunk.
+  virtual bool exhausted() const = 0;
+};
+
+/// File-backed ByteSource: a thin adapter over ChunkReader (mmap when
+/// the platform allows it, buffered reads otherwise). Next() == nullopt
+/// means end of file.
+class FileSource final : public ByteSource {
+ public:
+  static Result<FileSource> Open(
+      const std::string& path,
+      std::size_t chunk_bytes = ChunkReader::kDefaultChunkBytes);
+
+  FileSource(FileSource&&) noexcept = default;
+  FileSource& operator=(FileSource&&) noexcept = default;
+
+  Result<std::optional<std::string_view>> Next() override;
+  bool exhausted() const override { return exhausted_; }
+
+  /// True when the underlying file is served from a memory mapping.
+  bool memory_mapped() const { return reader_.memory_mapped(); }
+
+ private:
+  explicit FileSource(ChunkReader reader) : reader_(std::move(reader)) {}
+
+  ChunkReader reader_;
+  bool exhausted_ = false;
+};
+
+/// Push-fed ByteSource for byte streams that arrive in arbitrary pieces
+/// (TCP reads, pipes): Append() raw bytes as they arrive, Close() at end
+/// of stream, pull line-aligned chunks with Next().
+///
+/// The partial-line carry round-trips across Next() calls: bytes after
+/// the last '\n' stay buffered — Next() returns nullopt rather than
+/// serving (and having the parser reject) half a line — until a later
+/// Append completes the line or Close() marks the stream over, at which
+/// point the tail is served whole as the final (unterminated) chunk,
+/// exactly like the last line of a file without a trailing newline.
+class LineBuffer final : public ByteSource {
+ public:
+  /// Bound on one line's length — a producer that streams forever
+  /// without a newline is buffering abuse, not data. Generous: real CLF
+  /// lines are a few hundred bytes.
+  static constexpr std::size_t kDefaultMaxLineBytes = 1u << 20;
+
+  explicit LineBuffer(std::size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Feeds raw stream bytes. Fails (leaving the buffer intact for
+  /// diagnostics) when the partial line under construction exceeds
+  /// max_line_bytes; the caller should drop the producer.
+  Status Append(std::string_view bytes);
+
+  /// Marks end of stream: no more Append calls; the buffered tail (if
+  /// any) becomes the final chunk of the next Next() call.
+  void Close() { closed_ = true; }
+
+  bool closed() const { return closed_; }
+
+  Result<std::optional<std::string_view>> Next() override;
+  bool exhausted() const override { return closed_ && pending_.empty(); }
+
+  /// Bytes served through Next() so far — after a pump this is the
+  /// byte offset up to which the stream has been consumed (the
+  /// per-connection replay offset websra_serve checkpoints).
+  std::uint64_t consumed_bytes() const { return consumed_bytes_; }
+
+  /// Bytes appended but not yet served (complete lines awaiting Next()
+  /// plus the partial-line carry).
+  std::size_t buffered_bytes() const { return pending_.size(); }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string pending_;  // unserved bytes; [0, complete_) ends on '\n'
+  std::string serving_;  // backing store of the view Next() returned
+  std::size_t complete_ = 0;
+  std::uint64_t consumed_bytes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace wum::ingest
+
+#endif  // WUM_INGEST_BYTE_SOURCE_H_

@@ -1,0 +1,590 @@
+#include "wum/net/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "wum/ckpt/codec.h"
+#include "wum/obs/log.h"
+
+namespace wum::net {
+
+namespace {
+// sink_state layout: magic uvarint, journal state string, offset count,
+// then (client-id, offset) pairs. The magic guards against feeding a
+// websra_sessionize sink_state (a bare decimal length) to the server.
+constexpr std::uint64_t kServeSinkStateMagic = 0x53525645;  // "SRVE"
+}  // namespace
+
+std::string EncodeServeSinkState(std::string_view journal_state,
+                                 const ClientOffsets& offsets) {
+  ckpt::Encoder encoder;
+  encoder.PutUvarint(kServeSinkStateMagic);
+  encoder.PutString(journal_state);
+  encoder.PutUvarint(offsets.size());
+  for (const auto& [client_id, offset] : offsets) {
+    encoder.PutString(client_id);
+    encoder.PutUvarint(offset);
+  }
+  return encoder.Release();
+}
+
+Status DecodeServeSinkState(std::string_view encoded,
+                            std::string* journal_state,
+                            ClientOffsets* offsets) {
+  ckpt::Decoder decoder(encoded);
+  WUM_ASSIGN_OR_RETURN(const std::uint64_t magic, decoder.GetUvarint());
+  if (magic != kServeSinkStateMagic) {
+    return Status::ParseError(
+        "sink_state was not written by websra_serve (bad magic)");
+  }
+  WUM_ASSIGN_OR_RETURN(*journal_state, decoder.GetString());
+  WUM_ASSIGN_OR_RETURN(const std::uint64_t count, decoder.GetUvarint());
+  offsets->clear();
+  offsets->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WUM_ASSIGN_OR_RETURN(std::string client_id, decoder.GetString());
+    WUM_ASSIGN_OR_RETURN(const std::uint64_t offset, decoder.GetUvarint());
+    offsets->emplace_back(std::move(client_id), offset);
+  }
+  return decoder.ExpectEnd();
+}
+
+}  // namespace wum::net
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "wum/clf/clf_parser.h"
+
+namespace wum::net {
+
+namespace {
+
+constexpr std::size_t kMaxAdminLineBytes = 4096;
+constexpr std::string_view kHelloPrefix = "HELLO ";
+
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+/// One accepted socket: either a data producer (LineBuffer + parser +
+/// replay offset state) or an admin session (command buffer).
+struct LogServer::Connection {
+  Connection(std::size_t max_line_bytes, obs::MetricRegistry* metrics)
+      : lines(max_line_bytes), parser(metrics) {}
+
+  Fd fd;
+  bool admin = false;
+  bool closing = false;
+  std::uint64_t serial = 0;
+
+  // Data state.
+  ingest::LineBuffer lines;
+  ClfParser parser;
+  bool awaiting_handshake = true;
+  std::string handshake_buffer;
+  std::string client_id;       // empty = anonymous (no replay tracking)
+  std::uint64_t base_offset = 0;    // bytes durable before this connection
+  std::uint64_t skip_remaining = 0; // replayed bytes left to discard
+
+  // Admin state.
+  std::string admin_buffer;
+};
+
+Result<std::unique_ptr<LogServer>> LogServer::Start(
+    ServerOptions options, StreamEngine* engine, DeadLetterQueue* dead_letters,
+    ClientOffsets resumed_offsets) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("LogServer requires a StreamEngine");
+  }
+  // The server drives checkpoint cadence itself at connection-pump
+  // boundaries (when every consumed byte has been offered), so the
+  // per-client offsets in the manifest are exact; a driver-internal
+  // mid-batch checkpoint would snapshot offsets for bytes not yet
+  // offered. The cadence value moves from the driver options to the
+  // server.
+  ingest::IngestOptions driver_options = options.ingest;
+  driver_options.checkpoint_every_records = 0;
+  std::unique_ptr<LogServer> server(new LogServer(
+      std::move(options), engine, dead_letters, std::move(resumed_offsets)));
+  driver_options.sink_state = [raw = server.get()]() {
+    return raw->ComposeSinkState();
+  };
+  WUM_ASSIGN_OR_RETURN(ingest::IngestDriver driver,
+                       ingest::IngestDriver::Create(engine,
+                                                    std::move(driver_options)));
+  server->driver_.emplace(std::move(driver));
+  WUM_RETURN_NOT_OK(server->BindListeners());
+  return server;
+}
+
+LogServer::LogServer(ServerOptions options, StreamEngine* engine,
+                     DeadLetterQueue* dead_letters,
+                     ClientOffsets resumed_offsets)
+    : options_(std::move(options)),
+      engine_(engine),
+      dead_letters_(dead_letters),
+      client_offsets_(std::move(resumed_offsets)),
+      read_buffer_(std::max<std::size_t>(options_.read_buffer_bytes, 1)),
+      tracer_(obs::TracerIn(options_.trace)),
+      m_accepted_(obs::CounterIn(options_.metrics,
+                                 "net.connections_accepted")),
+      m_closed_(obs::CounterIn(options_.metrics, "net.connections_closed")),
+      m_handshakes_(obs::CounterIn(options_.metrics, "net.handshakes")),
+      m_bytes_read_(obs::CounterIn(options_.metrics, "net.bytes_read")),
+      m_shed_(obs::CounterIn(options_.metrics, "net.records_shed")),
+      m_admin_(obs::CounterIn(options_.metrics, "net.admin_commands")) {}
+
+Status LogServer::BindListeners() {
+  WUM_ASSIGN_OR_RETURN(data_listener_,
+                       ListenTcp(options_.host, options_.port));
+  WUM_RETURN_NOT_OK(SetNonBlocking(data_listener_, true));
+  WUM_ASSIGN_OR_RETURN(port_, BoundPort(data_listener_));
+  WUM_ASSIGN_OR_RETURN(admin_listener_,
+                       ListenTcp(options_.host, options_.admin_port));
+  WUM_RETURN_NOT_OK(SetNonBlocking(admin_listener_, true));
+  WUM_ASSIGN_OR_RETURN(admin_port_, BoundPort(admin_listener_));
+  WUM_ASSIGN_OR_RETURN(auto pipe, MakePipe());
+  stop_read_ = std::move(pipe.first);
+  stop_write_ = std::move(pipe.second);
+  return Status::OK();
+}
+
+Result<std::string> LogServer::ComposeSinkState() {
+  std::string journal_state;
+  if (options_.journal_state != nullptr) {
+    WUM_ASSIGN_OR_RETURN(journal_state, options_.journal_state());
+  }
+  return EncodeServeSinkState(journal_state, client_offsets_);
+}
+
+std::uint64_t LogServer::OffsetFor(const std::string& client_id) const {
+  for (const auto& [id, offset] : client_offsets_) {
+    if (id == client_id) return offset;
+  }
+  return 0;
+}
+
+void LogServer::RecordOffset(const Connection& conn) {
+  if (conn.client_id.empty()) return;
+  const std::uint64_t offset = conn.base_offset + conn.lines.consumed_bytes();
+  for (auto& [id, stored] : client_offsets_) {
+    if (id == conn.client_id) {
+      stored = offset;
+      return;
+    }
+  }
+  client_offsets_.emplace_back(conn.client_id, offset);
+}
+
+Status LogServer::AcceptPending(Fd* listener, bool admin) {
+  while (true) {
+    WUM_ASSIGN_OR_RETURN(Fd accepted, Accept(*listener));
+    if (!accepted.valid()) return Status::OK();  // drained
+    const std::size_t data_connections = static_cast<std::size_t>(
+        std::count_if(connections_.begin(), connections_.end(),
+                      [](const auto& c) { return !c->admin; }));
+    if (!admin && data_connections >= options_.max_connections) {
+      // Over capacity: refuse loudly rather than queueing invisible
+      // producers (closing the socket is the backpressure signal).
+      obs::LogWarn("net.accept")("refused", "max_connections")(
+          "limit", options_.max_connections);
+      continue;
+    }
+    WUM_RETURN_NOT_OK(SetNonBlocking(accepted, true));
+    auto conn = std::make_unique<Connection>(options_.max_line_bytes,
+                                             options_.metrics);
+    conn->fd = std::move(accepted);
+    conn->admin = admin;
+    conn->serial = ++stats_.connections_accepted;
+    m_accepted_.Increment();
+    tracer_.Instant("accept", 0, conn->serial);
+    if (!admin && dead_letters_ != nullptr) {
+      // Malformed lines quarantine to the shared dead-letter channel,
+      // tagged with the producer they came from.
+      Connection* raw = conn.get();
+      DeadLetterQueue* letters = dead_letters_;
+      conn->parser.set_reject_handler(
+          [raw, letters](std::uint64_t line_number, std::string_view raw_line,
+                         const Status& reason) {
+            DeadLetter letter;
+            letter.stage = DeadLetter::Stage::kParse;
+            letter.reason = reason;
+            letter.detail =
+                (raw->client_id.empty() ? std::string("anonymous")
+                                        : raw->client_id) +
+                " line " + std::to_string(line_number) + ": " +
+                std::string(raw_line.substr(0, 200));
+            letters->Offer(std::move(letter));
+          });
+    }
+    obs::LogDebug("net.accept")("serial", conn->serial)(
+        "kind", admin ? "admin" : "data");
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void LogServer::CloseConnection(Connection* conn, const char* why) {
+  if (conn->closing) return;
+  conn->closing = true;
+  conn->fd.reset();
+  ++stats_.connections_closed;
+  m_closed_.Increment();
+  obs::LogDebug("net.close")("serial", conn->serial)("why", why);
+}
+
+Status LogServer::PumpConnection(Connection* conn) {
+  const std::uint64_t shed_before = engine_->TotalStats().records_shed;
+  const Status status = driver_->Pump(&conn->lines, &conn->parser);
+  const std::uint64_t shed_delta =
+      engine_->TotalStats().records_shed - shed_before;
+  if (shed_delta > 0) {
+    // The engine counted the drop; keep the conservation invariant
+    // (emitted + dead-lettered == accepted) auditable by attributing
+    // the shed records to their producer in the dead-letter channel.
+    stats_.records_shed += shed_delta;
+    m_shed_.Increment(shed_delta);
+    obs::LogWarn("net.shed")("serial", conn->serial)("records", shed_delta);
+    if (dead_letters_ != nullptr) {
+      DeadLetter letter;
+      letter.stage = DeadLetter::Stage::kRecord;
+      letter.shard = 0;
+      letter.reason = Status::FailedPrecondition(
+          "shard queue full: records shed under OfferPolicy::kShed");
+      letter.detail = conn->client_id.empty() ? std::string("anonymous")
+                                              : conn->client_id;
+      letter.records_covered = shed_delta;
+      dead_letters_->Offer(std::move(letter));
+    }
+  }
+  RecordOffset(*conn);
+  WUM_RETURN_NOT_OK(status);
+  // Server-driven checkpoint cadence: only at pump boundaries, where
+  // consumed bytes == offered records, so the offsets just recorded are
+  // exactly what the engine has seen.
+  const std::uint64_t cadence = options_.ingest.checkpoint_every_records;
+  if (cadence > 0 && driver_->checkpointing() &&
+      driver_->records_offered() - records_at_last_checkpoint_ >= cadence) {
+    WUM_RETURN_NOT_OK(driver_->CheckpointNow());
+    records_at_last_checkpoint_ = driver_->records_offered();
+  }
+  return Status::OK();
+}
+
+Status LogServer::HandleData(Connection* conn, std::string_view bytes) {
+  stats_.bytes_read += bytes.size();
+  m_bytes_read_.Increment(bytes.size());
+  if (conn->skip_remaining > 0) {
+    // Replay of bytes a checkpoint already covers: discard server-side,
+    // so resume is exactly-once even when the client re-sends from
+    // byte zero.
+    const std::size_t skip =
+        std::min<std::size_t>(conn->skip_remaining, bytes.size());
+    conn->skip_remaining -= skip;
+    bytes.remove_prefix(skip);
+  }
+  if (bytes.empty()) return Status::OK();
+  const Status append = conn->lines.Append(bytes);
+  if (!append.ok()) {
+    if (dead_letters_ != nullptr) {
+      DeadLetter letter;
+      letter.stage = DeadLetter::Stage::kParse;
+      letter.reason = append;
+      letter.detail = conn->client_id.empty() ? std::string("anonymous")
+                                              : conn->client_id;
+      dead_letters_->Offer(std::move(letter));
+    }
+    obs::LogWarn("net.overlong")("serial", conn->serial)(
+        "error", append.message());
+    WUM_RETURN_NOT_OK(PumpConnection(conn));  // salvage complete lines
+    CloseConnection(conn, "overlong line");
+    return Status::OK();
+  }
+  return PumpConnection(conn);
+}
+
+Status LogServer::HandleHandshakeBuffer(Connection* conn) {
+  const std::size_t newline = conn->handshake_buffer.find('\n');
+  if (newline == std::string::npos) {
+    if (conn->handshake_buffer.size() > kMaxAdminLineBytes &&
+        conn->handshake_buffer.compare(0, kHelloPrefix.size(),
+                                       kHelloPrefix) == 0) {
+      CloseConnection(conn, "oversized handshake");
+    } else if (conn->handshake_buffer.size() > options_.max_line_bytes) {
+      CloseConnection(conn, "oversized first line");
+    }
+    return Status::OK();
+  }
+  const std::string buffered = std::move(conn->handshake_buffer);
+  conn->handshake_buffer.clear();
+  conn->awaiting_handshake = false;
+  const std::string_view first_line =
+      StripCr(std::string_view(buffered).substr(0, newline));
+  if (first_line.size() >= kHelloPrefix.size() &&
+      first_line.substr(0, kHelloPrefix.size()) == kHelloPrefix) {
+    const std::string client_id(first_line.substr(kHelloPrefix.size()));
+    if (client_id.empty()) {
+      (void)WriteAll(conn->fd, "ERR empty client-id\n");
+      CloseConnection(conn, "empty client-id");
+      return Status::OK();
+    }
+    for (const auto& other : connections_) {
+      if (other.get() != conn && !other->closing &&
+          other->client_id == client_id) {
+        (void)WriteAll(conn->fd, "ERR duplicate client-id\n");
+        CloseConnection(conn, "duplicate client-id");
+        return Status::OK();
+      }
+    }
+    conn->client_id = client_id;
+    conn->base_offset = OffsetFor(client_id);
+    conn->skip_remaining = conn->base_offset;
+    ++stats_.handshakes;
+    m_handshakes_.Increment();
+    obs::LogInfo("net.handshake")("client", client_id)(
+        "skip", conn->base_offset);
+    WUM_RETURN_NOT_OK(WriteAll(
+        conn->fd, "OK " + std::to_string(conn->base_offset) + "\n"));
+    // Anything the client pipelined after HELLO is data.
+    return HandleData(conn,
+                      std::string_view(buffered).substr(newline + 1));
+  }
+  // No handshake: the first line is already data. Anonymous producers
+  // get no replay tracking (documented at-most-once on restart).
+  return HandleData(conn, buffered);
+}
+
+Status LogServer::HandleAdminLine(Connection* conn, std::string_view line) {
+  line = StripCr(line);
+  if (line.empty()) return Status::OK();
+  ++stats_.admin_commands;
+  m_admin_.Increment();
+  obs::LogInfo("net.admin")("command", std::string(line));
+  if (line == "PING") {
+    return WriteAll(conn->fd, "OK\n");
+  }
+  if (line == "STATS") {
+    if (options_.metrics == nullptr) {
+      return WriteAll(conn->fd, "ERR metrics disabled\n");
+    }
+    return WriteAll(conn->fd,
+                    options_.metrics->Snapshot().ToJsonLine() + "\n");
+  }
+  if (line == "CHECKPOINT") {
+    const Status status = driver_->CheckpointNow();
+    if (!status.ok()) {
+      return WriteAll(conn->fd, "ERR " + status.message() + "\n");
+    }
+    records_at_last_checkpoint_ = driver_->records_offered();
+    return WriteAll(conn->fd,
+                    "OK records_seen=" +
+                        std::to_string(engine_->records_seen()) + "\n");
+  }
+  if (line == "QUIESCE") {
+    std::string detail;
+    const Status status = DoQuiesce(&detail);
+    if (!status.ok()) {
+      (void)WriteAll(conn->fd, "ERR " + status.message() + "\n");
+      return status;
+    }
+    WUM_RETURN_NOT_OK(WriteAll(
+        conn->fd, detail.empty() ? std::string("OK\n") : "OK " + detail + "\n"));
+    return Status::OK();
+  }
+  return WriteAll(conn->fd, "ERR unknown command: " + std::string(line) + "\n");
+}
+
+Status LogServer::DoQuiesce(std::string* detail) {
+  if (quiesced_) {
+    if (detail != nullptr) *detail = "already quiesced";
+    return Status::OK();
+  }
+  obs::LogInfo("net.quiesce")("connections", connections_.size());
+  stopping_ = true;
+  data_listener_.reset();
+  // Drain every data producer: first whatever the kernel already holds
+  // for the socket (a producer that finished and closed just before the
+  // QUIESCE arrived must not lose its tail to ordering), then the
+  // buffered remainder (the final unterminated line included), and
+  // close. Bytes a still-live producer sends after its socket stops
+  // being read are dropped by the close — identified clients recover
+  // them through replay.
+  for (auto& conn : connections_) {
+    if (conn->admin || conn->closing) continue;
+    bool progress = true;
+    while (progress && !conn->closing) {
+      WUM_RETURN_NOT_OK(HandleReadable(conn.get(), &progress));
+    }
+    if (conn->closing) continue;  // EOF path already pumped the tail
+    if (conn->awaiting_handshake && !conn->handshake_buffer.empty()) {
+      // The producer never completed a line; treat the buffer as data.
+      const std::string buffered = std::move(conn->handshake_buffer);
+      conn->handshake_buffer.clear();
+      conn->awaiting_handshake = false;
+      WUM_RETURN_NOT_OK(HandleData(conn.get(), buffered));
+    }
+    conn->lines.Close();
+    WUM_RETURN_NOT_OK(PumpConnection(conn.get()));
+    CloseConnection(conn.get(), "quiesce");
+  }
+  WUM_RETURN_NOT_OK(engine_->Finish());
+  if (options_.on_quiesce != nullptr) {
+    WUM_ASSIGN_OR_RETURN(const std::string hook_detail, options_.on_quiesce());
+    if (detail != nullptr) *detail = hook_detail;
+  }
+  quiesced_ = true;
+  return Status::OK();
+}
+
+Status LogServer::HandleReadable(Connection* conn, bool* made_progress) {
+  obs::ScopedSpan span(tracer_, "read", 0, conn->serial);
+  WUM_ASSIGN_OR_RETURN(
+      const ReadResult read,
+      ReadSome(conn->fd, read_buffer_.data(), read_buffer_.size()));
+  if (made_progress != nullptr) *made_progress = !read.would_block;
+  if (read.would_block) return Status::OK();
+  if (read.bytes > 0) {
+    const std::string_view bytes(read_buffer_.data(), read.bytes);
+    if (conn->admin) {
+      conn->admin_buffer.append(bytes);
+      if (conn->admin_buffer.size() > kMaxAdminLineBytes) {
+        CloseConnection(conn, "oversized admin command");
+        return Status::OK();
+      }
+      std::size_t newline;
+      while (!conn->closing && !quiesced_ &&
+             (newline = conn->admin_buffer.find('\n')) != std::string::npos) {
+        const std::string line = conn->admin_buffer.substr(0, newline);
+        conn->admin_buffer.erase(0, newline + 1);
+        WUM_RETURN_NOT_OK(HandleAdminLine(conn, line));
+      }
+      return Status::OK();
+    }
+    if (conn->awaiting_handshake) {
+      conn->handshake_buffer.append(bytes);
+      return HandleHandshakeBuffer(conn);
+    }
+    return HandleData(conn, bytes);
+  }
+  if (read.eof) {
+    if (!conn->admin) {
+      if (conn->awaiting_handshake && !conn->handshake_buffer.empty()) {
+        // A stream that never contained a newline: the whole buffer is
+        // the final unterminated line.
+        const std::string buffered = std::move(conn->handshake_buffer);
+        conn->handshake_buffer.clear();
+        conn->awaiting_handshake = false;
+        WUM_RETURN_NOT_OK(HandleData(conn, buffered));
+      }
+      conn->lines.Close();
+      WUM_RETURN_NOT_OK(PumpConnection(conn));
+    }
+    CloseConnection(conn, "eof");
+  }
+  return Status::OK();
+}
+
+Status LogServer::Serve() {
+  obs::LogInfo("net.serve")("port", port_)("admin_port", admin_port_)(
+      "resumed_clients", client_offsets_.size());
+  Status result = Status::OK();
+  std::vector<pollfd> pollfds;
+  std::vector<Connection*> pollconns;
+  while (!quiesced_) {
+    pollfds.clear();
+    pollconns.clear();
+    pollfds.push_back(pollfd{stop_read_.get(), POLLIN, 0});
+    pollconns.push_back(nullptr);
+    if (data_listener_.valid() && !stopping_) {
+      pollfds.push_back(pollfd{data_listener_.get(), POLLIN, 0});
+      pollconns.push_back(nullptr);
+    }
+    pollfds.push_back(pollfd{admin_listener_.get(), POLLIN, 0});
+    pollconns.push_back(nullptr);
+    for (auto& conn : connections_) {
+      if (conn->closing) continue;
+      pollfds.push_back(pollfd{conn->fd.get(), POLLIN, 0});
+      pollconns.push_back(conn.get());
+    }
+    const int rc = ::poll(pollfds.data(),
+                          static_cast<nfds_t>(pollfds.size()),
+                          /*timeout_ms=*/-1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      result = Status::IoError("poll: " + std::string(std::strerror(errno)));
+      break;
+    }
+    Status step = Status::OK();
+    for (std::size_t i = 0; i < pollfds.size() && step.ok(); ++i) {
+      if ((pollfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int fd = pollfds[i].fd;
+      if (fd == stop_read_.get()) {
+        char drain[64];
+        (void)ReadSome(stop_read_, drain, sizeof(drain));
+        step = DoQuiesce(nullptr);
+      } else if (data_listener_.valid() && fd == data_listener_.get()) {
+        step = AcceptPending(&data_listener_, /*admin=*/false);
+      } else if (fd == admin_listener_.get()) {
+        step = AcceptPending(&admin_listener_, /*admin=*/true);
+      } else if (pollconns[i] != nullptr && !pollconns[i]->closing) {
+        step = HandleReadable(pollconns[i]);
+      }
+    }
+    if (!step.ok()) {
+      result = step;
+      break;
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const auto& c) { return c->closing; }),
+        connections_.end());
+  }
+  connections_.clear();
+  obs::LogInfo("net.serve_done")("ok", result.ok() ? 1 : 0)(
+      "accepted", stats_.connections_accepted)("bytes", stats_.bytes_read);
+  return result;
+}
+
+LogServer::~LogServer() = default;
+
+void LogServer::RequestStop() {
+  if (stop_write_.valid()) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(stop_write_.get(), &byte, 1);
+  }
+}
+
+}  // namespace wum::net
+
+#else  // non-POSIX: the network front end is unavailable.
+
+namespace wum::net {
+
+struct LogServer::Connection {};
+
+LogServer::~LogServer() = default;
+
+Result<std::unique_ptr<LogServer>> LogServer::Start(ServerOptions, StreamEngine*,
+                                                    DeadLetterQueue*,
+                                                    ClientOffsets) {
+  return Status::Unimplemented("websra_serve requires a POSIX platform");
+}
+
+Status LogServer::Serve() {
+  return Status::Unimplemented("websra_serve requires a POSIX platform");
+}
+
+void LogServer::RequestStop() {}
+
+}  // namespace wum::net
+
+#endif

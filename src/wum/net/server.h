@@ -1,0 +1,202 @@
+// LogServer: the TCP front end of the reactive pipeline (websra_serve).
+//
+// A single-threaded poll loop accepts line-framed CLF streams from many
+// concurrent producers and feeds them all into one sharded StreamEngine
+// through the same IngestDriver the file CLI uses — each connection owns
+// a LineBuffer (partial-line carry) and a ClfParser, so per-producer
+// line numbering and framing are independent while the user population
+// is shared. Per-user FIFO holds because one user's records arrive on
+// one connection in order and hash to one shard.
+//
+// Protocol (data port): optionally one handshake line
+//   HELLO <client-id>\n        ->  OK <skip-bytes>\n
+// then raw CLF lines until the client closes. The skip-bytes reply is
+// the byte offset up to which the server has durably absorbed this
+// client's stream (0 for new clients); a resuming client re-sends its
+// log and the server discards the first skip-bytes defensively, so
+// replay after a crash is exactly-once per client. Connections that
+// skip the handshake are anonymous: fully served, never resumed.
+//
+// Admin port, one command per line:
+//   STATS       -> one-line JSON metrics snapshot
+//   CHECKPOINT  -> triggers StreamEngine::Checkpoint through the driver
+//   QUIESCE     -> drains all connections, Finish()es the engine, runs
+//                  the on_quiesce hook, replies, and stops the server
+//   PING        -> OK
+//
+// Backpressure maps per-connection onto the engine's OfferPolicy:
+// under kBlock a full shard queue blocks the loop inside OfferBatch —
+// sockets stop being read and TCP pushes back on every producer; under
+// kShed the engine drops sub-batches, and the server accounts the shed
+// delta to the connection that offered it with a synthetic dead letter
+// (conservation: emitted + dead-lettered == accepted).
+//
+// See docs/serving.md for the full protocol and restart runbook.
+
+#ifndef WUM_NET_SERVER_H_
+#define WUM_NET_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "wum/common/result.h"
+#include "wum/ingest/byte_source.h"
+#include "wum/ingest/driver.h"
+#include "wum/net/socket.h"
+#include "wum/obs/metrics.h"
+#include "wum/obs/trace.h"
+#include "wum/stream/dead_letter.h"
+#include "wum/stream/engine.h"
+
+namespace wum::net {
+
+/// Durable per-client replay offsets: (client-id, bytes absorbed).
+/// Stored in the checkpoint manifest's sink_state and handed back to
+/// resuming clients as the HELLO skip-bytes reply.
+using ClientOffsets = std::vector<std::pair<std::string, std::uint64_t>>;
+
+/// sink_state codec for websra_serve checkpoints: the caller's journal
+/// state (committed journal length) plus the per-client offsets, in the
+/// ckpt wire format.
+std::string EncodeServeSinkState(std::string_view journal_state,
+                                 const ClientOffsets& offsets);
+Status DecodeServeSinkState(std::string_view encoded,
+                            std::string* journal_state,
+                            ClientOffsets* offsets);
+
+/// Counters of one Serve() run; also mirrored as net.* metrics when a
+/// registry is attached.
+struct ServeStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t handshakes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t records_shed = 0;
+  std::uint64_t admin_commands = 0;
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        // 0 = kernel-assigned; read back via port()
+  std::uint16_t admin_port = 0;  // ditto via admin_port()
+  std::size_t max_connections = 256;
+  std::size_t read_buffer_bytes = 64u << 10;
+  std::size_t max_line_bytes = ingest::LineBuffer::kDefaultMaxLineBytes;
+
+  /// Driver configuration (batching + checkpoint cadence). Its
+  /// sink_state field is overwritten by the server, which composes
+  /// journal_state below with the live per-client offsets.
+  ingest::IngestOptions ingest;
+
+  /// Captures the caller's durable sink state (e.g. the flushed session
+  /// journal length) at each checkpoint barrier; may be null when not
+  /// checkpointing.
+  StreamEngine::SinkStateFn journal_state;
+
+  /// Runs during QUIESCE after the engine Finish()es (all sessions
+  /// emitted); returns a short detail string appended to the OK reply,
+  /// e.g. "sessions=412". May be null.
+  std::function<Result<std::string>()> on_quiesce;
+
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+};
+
+/// One engine, many producers. Start() binds both listeners (so the
+/// kernel-assigned ports are known before the loop runs); Serve() runs
+/// the poll loop on the calling thread until QUIESCE, RequestStop, or a
+/// fatal engine error. Not restartable: one Serve() per LogServer.
+class LogServer {
+ public:
+  /// `engine` and `dead_letters` (nullable) must outlive the server.
+  /// `resumed_offsets` seeds the per-client replay offsets from a
+  /// decoded checkpoint sink_state.
+  static Result<std::unique_ptr<LogServer>> Start(
+      ServerOptions options, StreamEngine* engine,
+      DeadLetterQueue* dead_letters, ClientOffsets resumed_offsets = {});
+
+  ~LogServer();  // out of line: Connection is an implementation type
+  LogServer(const LogServer&) = delete;
+  LogServer& operator=(const LogServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint16_t admin_port() const { return admin_port_; }
+
+  /// The poll loop. Returns OK after a clean QUIESCE/stop, or the first
+  /// fatal error (engine poisoned, listener failure). Call once.
+  Status Serve();
+
+  /// Initiates a graceful quiesce from another thread. Safe to call
+  /// repeatedly.
+  void RequestStop();
+
+  /// Write end of the self-pipe: writing one byte is equivalent to
+  /// RequestStop and is async-signal-safe (for SIGTERM handlers).
+  int stop_fd() const { return stop_write_.get(); }
+
+  /// True once QUIESCE completed (engine finished, hook ran).
+  bool quiesced() const { return quiesced_; }
+
+  /// Post-Serve accessors (serve-thread only, after Serve returned).
+  const ServeStats& stats() const { return stats_; }
+  const ClientOffsets& client_offsets() const { return client_offsets_; }
+
+ private:
+  struct Connection;
+
+  LogServer(ServerOptions options, StreamEngine* engine,
+            DeadLetterQueue* dead_letters, ClientOffsets resumed_offsets);
+
+  Status BindListeners();
+  Result<std::string> ComposeSinkState();
+  Status AcceptPending(Fd* listener, bool admin);
+  Status HandleReadable(Connection* conn, bool* made_progress = nullptr);
+  Status HandleData(Connection* conn, std::string_view bytes);
+  Status HandleHandshakeBuffer(Connection* conn);
+  Status PumpConnection(Connection* conn);
+  void RecordOffset(const Connection& conn);
+  std::uint64_t OffsetFor(const std::string& client_id) const;
+  Status HandleAdminLine(Connection* conn, std::string_view line);
+  Status DoQuiesce(std::string* detail);
+  void CloseConnection(Connection* conn, const char* why);
+
+  ServerOptions options_;
+  StreamEngine* engine_;
+  DeadLetterQueue* dead_letters_;
+  // Created by Start after the server exists (its sink_state lambda
+  // captures `this`), hence optional rather than a direct member.
+  std::optional<ingest::IngestDriver> driver_;
+
+  Fd data_listener_;
+  Fd admin_listener_;
+  Fd stop_read_;
+  Fd stop_write_;
+  std::uint16_t port_ = 0;
+  std::uint16_t admin_port_ = 0;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  ClientOffsets client_offsets_;
+  std::vector<char> read_buffer_;
+  std::uint64_t records_at_last_checkpoint_ = 0;
+  bool stopping_ = false;
+  bool quiesced_ = false;
+  ServeStats stats_;
+
+  obs::Tracer tracer_;
+  obs::Counter m_accepted_;
+  obs::Counter m_closed_;
+  obs::Counter m_handshakes_;
+  obs::Counter m_bytes_read_;
+  obs::Counter m_shed_;
+  obs::Counter m_admin_;
+};
+
+}  // namespace wum::net
+
+#endif  // WUM_NET_SERVER_H_

@@ -1,0 +1,212 @@
+#include "wum/net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WUM_NET_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define WUM_NET_HAS_SOCKETS 0
+#endif
+
+namespace wum::net {
+
+#if WUM_NET_HAS_SOCKETS
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, int err) {
+  return Status::IoError(op + ": " + std::strerror(err));
+}
+
+/// getaddrinfo for a numeric-or-named IPv4/IPv6 host.
+Result<Fd> OpenResolved(const std::string& host, std::uint16_t port,
+                        bool listening, int backlog) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = listening ? AI_PASSIVE : 0;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::IoError("getaddrinfo(" + host + "): " + gai_strerror(rc));
+  }
+  Status last = Status::IoError("getaddrinfo(" + host + "): no addresses");
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last = ErrnoStatus("socket", errno);
+      continue;
+    }
+    if (listening) {
+      int one = 1;
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+        last = ErrnoStatus("bind(" + host + ":" + service + ")", errno);
+        continue;
+      }
+      if (::listen(fd.get(), backlog) != 0) {
+        last = ErrnoStatus("listen", errno);
+        continue;
+      }
+    } else {
+      if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+        last = ErrnoStatus("connect(" + host + ":" + service + ")", errno);
+        continue;
+      }
+    }
+    ::freeaddrinfo(result);
+    return fd;
+  }
+  ::freeaddrinfo(result);
+  return last;
+}
+
+}  // namespace
+
+bool NetworkingAvailable() { return true; }
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> ListenTcp(const std::string& host, std::uint16_t port,
+                     int backlog) {
+  return OpenResolved(host, port, /*listening=*/true, backlog);
+}
+
+Result<Fd> ConnectTcp(const std::string& host, std::uint16_t port) {
+  return OpenResolved(host, port, /*listening=*/false, /*backlog=*/0);
+}
+
+Result<std::uint16_t> BoundPort(const Fd& socket) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  if (addr.ss_family == AF_INET) {
+    return static_cast<std::uint16_t>(
+        ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port));
+  }
+  if (addr.ss_family == AF_INET6) {
+    return static_cast<std::uint16_t>(
+        ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port));
+  }
+  return Status::Internal("getsockname: unexpected address family");
+}
+
+Status SetNonBlocking(const Fd& socket, bool enabled) {
+  const int flags = ::fcntl(socket.get(), F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  const int updated = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(socket.get(), F_SETFL, updated) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+Result<Fd> Accept(const Fd& listener) {
+  while (true) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+Result<ReadResult> ReadSome(const Fd& socket, char* buffer,
+                            std::size_t capacity) {
+  while (true) {
+    const ssize_t n = ::read(socket.get(), buffer, capacity);
+    if (n > 0) {
+      ReadResult result;
+      result.bytes = static_cast<std::size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      ReadResult result;
+      result.eof = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      ReadResult result;
+      result.would_block = true;
+      return result;
+    }
+    return ErrnoStatus("read", errno);
+  }
+}
+
+Status WriteAll(const Fd& socket, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(socket.get(), data.data() + written, data.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{socket.get(), POLLOUT, 0};
+      if (::poll(&pfd, 1, /*timeout_ms=*/10000) <= 0) {
+        return Status::IoError("write: peer not accepting data");
+      }
+      continue;
+    }
+    return ErrnoStatus("write", errno);
+  }
+  return Status::OK();
+}
+
+Result<std::pair<Fd, Fd>> MakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return ErrnoStatus("pipe", errno);
+  return std::make_pair(Fd(fds[0]), Fd(fds[1]));
+}
+
+#else  // !WUM_NET_HAS_SOCKETS
+
+namespace {
+Status NoSockets() {
+  return Status::Unimplemented("wum::net requires a POSIX platform");
+}
+}  // namespace
+
+bool NetworkingAvailable() { return false; }
+
+void Fd::reset() { fd_ = -1; }
+
+Result<Fd> ListenTcp(const std::string&, std::uint16_t, int) {
+  return NoSockets();
+}
+Result<Fd> ConnectTcp(const std::string&, std::uint16_t) { return NoSockets(); }
+Result<std::uint16_t> BoundPort(const Fd&) { return NoSockets(); }
+Status SetNonBlocking(const Fd&, bool) { return NoSockets(); }
+Result<Fd> Accept(const Fd&) { return NoSockets(); }
+Result<ReadResult> ReadSome(const Fd&, char*, std::size_t) {
+  return NoSockets();
+}
+Status WriteAll(const Fd&, std::string_view) { return NoSockets(); }
+Result<std::pair<Fd, Fd>> MakePipe() { return NoSockets(); }
+
+#endif  // WUM_NET_HAS_SOCKETS
+
+}  // namespace wum::net

@@ -1,0 +1,98 @@
+// Thin POSIX TCP layer for the websra_serve daemon and its clients: an
+// RAII file descriptor plus the handful of socket operations the log
+// server needs, all returning Status/Result instead of errno. On
+// non-POSIX builds every operation returns Unimplemented and
+// NetworkingAvailable() is false — the rest of the library builds and
+// runs; only the network front end is gated.
+
+#ifndef WUM_NET_SOCKET_H_
+#define WUM_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "wum/common/result.h"
+
+namespace wum::net {
+
+/// True when this build carries the POSIX socket implementation.
+bool NetworkingAvailable();
+
+/// RAII owner of a POSIX file descriptor (socket or pipe end).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the descriptor (no-op when invalid).
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket on host:port (port 0 = kernel-assigned; read it
+/// back with BoundPort). SO_REUSEADDR is set so restarts do not trip
+/// over TIME_WAIT.
+Result<Fd> ListenTcp(const std::string& host, std::uint16_t port,
+                     int backlog = 64);
+
+/// Blocking connect to host:port.
+Result<Fd> ConnectTcp(const std::string& host, std::uint16_t port);
+
+/// The local port a socket is bound to.
+Result<std::uint16_t> BoundPort(const Fd& socket);
+
+Status SetNonBlocking(const Fd& socket, bool enabled);
+
+/// Accepts one pending connection. Returns an invalid Fd (not an error)
+/// when the listener is non-blocking and no connection is pending.
+Result<Fd> Accept(const Fd& listener);
+
+struct ReadResult {
+  std::size_t bytes = 0;     // bytes placed into the buffer
+  bool eof = false;          // peer closed its write side
+  bool would_block = false;  // non-blocking socket had nothing to read
+};
+
+/// One read(2) into `buffer`, with EINTR retried and EAGAIN reported as
+/// would_block instead of an error.
+Result<ReadResult> ReadSome(const Fd& socket, char* buffer,
+                            std::size_t capacity);
+
+/// Writes all of `data`, polling for writability when a non-blocking
+/// socket fills its send buffer. EPIPE surfaces as an IoError.
+Status WriteAll(const Fd& socket, std::string_view data);
+
+/// A pipe: {read end, write end}. Used as the server's self-pipe stop
+/// signal (the write end is async-signal-safe to write to).
+Result<std::pair<Fd, Fd>> MakePipe();
+
+}  // namespace wum::net
+
+#endif  // WUM_NET_SOCKET_H_

@@ -215,29 +215,75 @@ Status StreamEngine::ShardEmit::Accept(const std::string& user_key,
   return Status::OK();
 }
 
+Status EngineOptions::Validate() const {
+  if (num_shards_ == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (queue_capacity_ == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (retry_.has_value() && retry_->max_attempts < 1) {
+    return Status::InvalidArgument("retry max_attempts must be >= 1");
+  }
+  switch (selection_) {
+    case Selection::kUnset:
+      return Status::InvalidArgument(
+          "choose a heuristic: use_heuristic(name) / use_duration / "
+          "use_page_stay / use_navigation / use_smart_sra / use_custom");
+    case Selection::kNamed: {
+      const HeuristicRegistry::Entry* entry =
+          HeuristicRegistry::Default().Find(heuristic_name_);
+      if (entry == nullptr) {
+        return Status::NotFound(
+            "unknown heuristic '" + heuristic_name_ + "' (expected " +
+            HeuristicRegistry::Default().NamesForUsage() + ")");
+      }
+      if (entry->needs_graph && graph_ == nullptr) {
+        return Status::InvalidArgument("heuristic '" + heuristic_name_ +
+                                       "' needs a web graph: call use_graph");
+      }
+      break;
+    }
+    case Selection::kCustom:
+      if (custom_factory_ == nullptr) {
+        return Status::InvalidArgument(
+            "use_custom requires a sessionizer factory");
+      }
+      break;
+  }
+  if (num_pages_ == 0 && graph_ == nullptr) {
+    return Status::InvalidArgument(
+        "set_num_pages is required (no graph to derive it from)");
+  }
+  // Shedding without a dead-letter channel silently destroys records —
+  // the conservation invariant (emitted + dead-lettered == accepted)
+  // cannot hold, so refuse the configuration outright.
+  if (offer_policy_ == OfferPolicy::kShed && dead_letters_ == nullptr) {
+    return Status::InvalidArgument(
+        "OfferPolicy::kShed requires a dead-letter budget: attach a "
+        "DeadLetterQueue via set_dead_letters so shed records stay "
+        "accounted for");
+  }
+  if (resume_external_replay_ && resume_dir_.empty()) {
+    return Status::InvalidArgument(
+        "resume_with_external_replay requires resume_from");
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
     EngineOptions options, SessionSink* sink) {
   if (sink == nullptr) {
     return Status::InvalidArgument("StreamEngine requires a SessionSink");
   }
-  if (options.num_shards_ == 0) {
-    return Status::InvalidArgument("num_shards must be >= 1");
-  }
-  if (options.queue_capacity_ == 0) {
-    return Status::InvalidArgument("queue_capacity must be >= 1");
-  }
-  if (options.retry_.has_value() && options.retry_->max_attempts < 1) {
-    return Status::InvalidArgument("retry max_attempts must be >= 1");
-  }
+  WUM_RETURN_NOT_OK(options.Validate());
   // Resolve the heuristic up front (the constructor cannot fail). The
   // factory is invoked concurrently from shard workers; the registry's
   // factories only read the (const) graph and copied thresholds.
   UserSessionizerFactory factory;
   switch (options.selection_) {
     case EngineOptions::Selection::kUnset:
-      return Status::InvalidArgument(
-          "choose a heuristic: use_heuristic(name) / use_duration / "
-          "use_page_stay / use_navigation / use_smart_sra / use_custom");
+      return Status::Internal("unreachable: Validate rejects kUnset");
     case EngineOptions::Selection::kNamed: {
       HeuristicContext context;
       context.graph = options.graph_;
@@ -248,19 +294,11 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
       break;
     }
     case EngineOptions::Selection::kCustom:
-      if (options.custom_factory_ == nullptr) {
-        return Status::InvalidArgument(
-            "use_custom requires a sessionizer factory");
-      }
       factory = options.custom_factory_;
       break;
   }
   if (options.num_pages_ == 0 && options.graph_ != nullptr) {
     options.num_pages_ = options.graph_->num_pages();
-  }
-  if (options.num_pages_ == 0) {
-    return Status::InvalidArgument(
-        "set_num_pages is required (no graph to derive it from)");
   }
   // Two-phase construction: build the shard chains without workers so a
   // checkpoint restore never races a live thread, then start them.
@@ -289,6 +327,7 @@ StreamEngine::StreamEngine(EngineOptions options,
                           : "custom"),
       thresholds_(options.thresholds_),
       resume_dir_(options.resume_dir_),
+      resume_external_replay_(options.resume_external_replay_),
       ckpt_written_(obs::CounterIn(options.metrics_,
                                    "ckpt.checkpoints_written")),
       ckpt_bytes_(obs::CounterIn(options.metrics_, "ckpt.bytes_written")),
@@ -744,8 +783,10 @@ Status StreamEngine::Checkpoint(const std::string& dir,
   // restored state already covers resume_skip_ records; a checkpoint
   // taken mid-replay must keep the larger offset or the next resume
   // would replay already-absorbed records into the restored
-  // sessionizers and emit duplicate sessions.
-  manifest.records_seen = std::max(records_seen_, resume_skip_);
+  // sessionizers and emit duplicate sessions. Under external replay the
+  // skip is zero and the restored coverage is carried in resume_base_
+  // instead, so offsets stay monotonic across restarts either way.
+  manifest.records_seen = resume_base_ + std::max(records_seen_, resume_skip_);
   manifest.heuristic = heuristic_name_;
   manifest.identity = IdentityName(identity_);
   manifest.max_session_duration = thresholds_.max_session_duration;
@@ -876,7 +917,16 @@ Status StreamEngine::RestoreFrom(const std::string& dir) {
     dlq.letters.push_back(std::move(letter));
   }
   if (dead_letters_ != nullptr) dead_letters_->Restore(std::move(dlq));
-  resume_skip_ = manifest.records_seen;
+  if (resume_external_replay_) {
+    // The front end replays each producer from its own durable offset
+    // (decoded out of sink_state), so every record offered from here on
+    // is genuinely new: no replay skip, but the restored coverage still
+    // counts toward future manifests.
+    resume_base_ = manifest.records_seen;
+    resume_skip_ = 0;
+  } else {
+    resume_skip_ = manifest.records_seen;
+  }
   records_seen_ = 0;
   next_epoch_ = epoch + 1;
   resumed_sink_state_ = std::move(manifest.sink_state);

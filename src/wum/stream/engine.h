@@ -234,6 +234,31 @@ class EngineOptions {
     return *this;
   }
 
+  /// With resume_from: disables the engine's replay-by-offset skip.
+  /// The default resume contract assumes one reproducible input stream
+  /// replayed from record zero, with Offer skipping the first
+  /// records_seen records. A front end with several independent
+  /// producers (websra_serve's TCP connections) cannot reproduce the
+  /// historical interleaving, so it replays *precisely* instead — each
+  /// producer is resumed from its own durable byte offset (stored in the
+  /// manifest's sink_state) and every record the engine now sees is new.
+  /// The restored records_seen is carried forward as a base so manifest
+  /// offsets stay monotonic across restarts.
+  EngineOptions& resume_with_external_replay() {
+    resume_external_replay_ = true;
+    return *this;
+  }
+
+  /// Full options validation: every configuration Create would reject,
+  /// as one precise Status instead of a scattering of asserts and
+  /// clamps. Create calls this first; tools call it up front to report
+  /// flag errors before any construction work. Checks shard count and
+  /// queue capacity, heuristic selection (unknown names, graph
+  /// heuristics without a graph), the page-id bound, retry bounds,
+  /// OfferPolicy::kShed without a dead-letter budget, and
+  /// resume_with_external_replay without resume_from.
+  Status Validate() const;
+
  private:
   friend class StreamEngine;
 
@@ -261,6 +286,7 @@ class EngineOptions {
   DeadLetterQueue* dead_letters_ = nullptr;
   std::optional<RetryOptions> retry_;
   std::string resume_dir_;
+  bool resume_external_replay_ = false;
 };
 
 /// Throughput counters of one shard (or, aggregated, the whole engine).
@@ -381,6 +407,15 @@ class StreamEngine {
   /// True when this engine was restored from a checkpoint.
   bool resumed() const { return resumed_; }
 
+  /// Input records the checkpoint this engine resumed from had already
+  /// covered (0 when !resumed()). Under the default resume contract
+  /// this many leading replayed records are skipped; under
+  /// resume_with_external_replay it is the base offset carried into
+  /// subsequent manifests.
+  std::uint64_t resumed_records_seen() const {
+    return resume_base_ + resume_skip_;
+  }
+
   /// The sink_state captured by the checkpoint this engine resumed from
   /// (empty when !resumed() or none was captured).
   const std::string& resumed_sink_state() const {
@@ -443,8 +478,13 @@ class StreamEngine {
   std::string heuristic_name_;  // registry name or "custom"
   TimeThresholds thresholds_;
   std::string resume_dir_;
+  bool resume_external_replay_ = false;
   std::uint64_t records_seen_ = 0;
   std::uint64_t resume_skip_ = 0;
+  /// Records covered by the resumed-from checkpoint when the replay is
+  /// external (resume_with_external_replay): added into every manifest's
+  /// records_seen so offsets stay monotonic across restarts.
+  std::uint64_t resume_base_ = 0;
   std::uint64_t next_epoch_ = 1;
   std::string resumed_sink_state_;
   bool resumed_ = false;

@@ -435,10 +435,14 @@ TEST(EngineFaultTest, ShedPolicyDropsAndCountsWhenQueueIsFull) {
 TEST(EngineFaultTest, ShedEqualsBlockWithoutBackpressure) {
   WebGraph graph = MakeFigure1Topology();
   auto run = [&graph](OfferPolicy policy, CollectingSessionSink* sink) {
+    // kShed requires a dead-letter budget since EngineOptions::Validate;
+    // attach one to both runs so the only difference is the policy.
+    DeadLetterQueue dead_letters;
     Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
         EngineOptions()
             .set_num_shards(2)
             .set_offer_policy(policy)
+            .set_dead_letters(&dead_letters)
             .use_smart_sra(&graph),
         sink);
     ASSERT_TRUE(engine.ok());

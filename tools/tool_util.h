@@ -1,25 +1,18 @@
 // Shared plumbing for the websra_* command line tools: a minimal
-// "--flag value" / "--switch" parser with typed accessors.
+// "--flag value" / "--switch" parser with typed accessors. The shared
+// observability/durability flag surface lives in tool_runtime.h
+// (ToolRuntime).
 
 #ifndef WEBSRA_TOOLS_TOOL_UTIL_H_
 #define WEBSRA_TOOLS_TOOL_UTIL_H_
 
-#include <chrono>
 #include <iostream>
 #include <map>
-#include <memory>
-#include <optional>
 #include <set>
 #include <string>
-#include <vector>
 
 #include "wum/common/result.h"
 #include "wum/common/string_util.h"
-#include "wum/common/table.h"
-#include "wum/obs/log.h"
-#include "wum/obs/metrics.h"
-#include "wum/obs/reporter.h"
-#include "wum/obs/trace.h"
 
 namespace wum_tools {
 
@@ -107,132 +100,6 @@ class Flags {
 inline int FailWith(const wum::Status& status, const char* usage) {
   std::cerr << "error: " << status.ToString() << "\n\n" << usage;
   return 2;
-}
-
-/// Where --metrics-every snapshots land unless --metrics-series says
-/// otherwise.
-inline constexpr char kDefaultMetricsSeriesPath[] = "metrics.series.jsonl";
-
-/// The flags every websra_* tool takes for the wum::obs layer; splice
-/// into the tool's CheckKnown set.
-inline const std::set<std::string>& ObsFlagNames() {
-  static const std::set<std::string> kNames = {
-      "metrics-out", "metrics-every", "metrics-series", "log-level",
-      "trace-out"};
-  return kNames;
-}
-
-/// `known` plus the shared observability flags, for CheckKnown.
-inline std::set<std::string> WithObsFlags(std::set<std::string> known) {
-  known.insert(ObsFlagNames().begin(), ObsFlagNames().end());
-  return known;
-}
-
-/// Human-readable rollup of a metrics snapshot, rendered with
-/// wum::Table. Shared so websra_simulate and websra_sessionize print
-/// identical tables.
-inline void PrintMetricsSummary(const wum::obs::MetricsSnapshot& snapshot) {
-  wum::Table table({"metric", "kind", "value"});
-  for (const auto& counter : snapshot.counters) {
-    table.AddRow({counter.name, "counter", std::to_string(counter.value)});
-  }
-  for (const auto& gauge : snapshot.gauges) {
-    table.AddRow({gauge.name, "gauge", std::to_string(gauge.value)});
-  }
-  for (const auto& histogram : snapshot.histograms) {
-    table.AddRow({histogram.name, "histogram",
-                  "count=" + std::to_string(histogram.count) +
-                      " mean=" + wum::FormatDouble(histogram.mean(), 1) +
-                      "us p50=" + wum::FormatDouble(histogram.p50(), 1) +
-                      "us p90=" + wum::FormatDouble(histogram.p90(), 1) +
-                      "us p99=" + wum::FormatDouble(histogram.p99(), 1) +
-                      "us max=" + wum::FormatDouble(histogram.max, 1) +
-                      "us"});
-  }
-  table.Render(&std::cout);
-}
-
-/// The live observability state behind the shared flags: a registry
-/// pointer (null when metrics are off), the --trace-out recorder and
-/// the --metrics-every reporter, each absent unless its flag was given.
-struct ObsSession {
-  wum::obs::MetricRegistry* metrics = nullptr;
-  std::unique_ptr<wum::obs::TraceRecorder> trace;
-  std::unique_ptr<wum::obs::MetricsReporter> reporter;
-
-  /// Handle for instrumented components; disabled without --trace-out.
-  wum::obs::Tracer tracer() const { return wum::obs::TracerIn(trace.get()); }
-};
-
-/// Applies --log-level and starts the --trace-out recorder and the
-/// --metrics-every reporter. `registry` must outlive the session; it is
-/// activated (metrics != nullptr) when --metrics-out or --metrics-every
-/// is present — tracing alone does not pay for metric mirrors.
-inline wum::Result<ObsSession> StartObs(const Flags& flags,
-                                        wum::obs::MetricRegistry* registry) {
-  ObsSession session;
-  if (flags.Has("log-level")) {
-    WUM_ASSIGN_OR_RETURN(std::string name, flags.GetRequired("log-level"));
-    WUM_ASSIGN_OR_RETURN(wum::obs::LogLevel level,
-                         wum::obs::ParseLogLevel(name));
-    wum::obs::Logger::Default().set_min_level(level);
-  }
-  if (flags.Has("metrics-out") || flags.Has("metrics-every")) {
-    session.metrics = registry;
-  }
-  if (flags.Has("trace-out")) {
-    wum::obs::TraceRecorder::Options options;
-    options.metrics = session.metrics;
-    session.trace = std::make_unique<wum::obs::TraceRecorder>(options);
-  }
-  if (flags.Has("metrics-every")) {
-    WUM_ASSIGN_OR_RETURN(std::uint64_t seconds,
-                         flags.GetUint("metrics-every", 1));
-    if (seconds == 0) {
-      return wum::Status::InvalidArgument(
-          "--metrics-every must be >= 1 second");
-    }
-    wum::obs::MetricsReporter::Options options;
-    options.interval = std::chrono::seconds(seconds);
-    options.path = flags.GetString("metrics-series", kDefaultMetricsSeriesPath);
-    WUM_ASSIGN_OR_RETURN(
-        session.reporter,
-        wum::obs::MetricsReporter::Start(registry, std::move(options)));
-  } else if (flags.Has("metrics-series")) {
-    return wum::Status::InvalidArgument(
-        "--metrics-series requires --metrics-every");
-  }
-  return session;
-}
-
-/// End-of-run counterpart: stops the reporter (writing its final
-/// snapshot), exports the trace, writes --metrics-out and prints the
-/// summary table whenever metrics were enabled.
-inline wum::Status FinishObs(const Flags& flags, ObsSession* session) {
-  if (session->reporter != nullptr) {
-    WUM_RETURN_NOT_OK(session->reporter->Stop());
-    std::cout << "wrote " << session->reporter->snapshots_written()
-              << " metric snapshots to "
-              << flags.GetString("metrics-series", kDefaultMetricsSeriesPath)
-              << "\n";
-  }
-  if (session->trace != nullptr) {
-    WUM_ASSIGN_OR_RETURN(std::string path, flags.GetRequired("trace-out"));
-    WUM_RETURN_NOT_OK(session->trace->WriteChromeTrace(path));
-    std::cout << "wrote trace (" << session->trace->events_recorded()
-              << " events, " << session->trace->events_dropped()
-              << " dropped) to " << path << "\n";
-  }
-  if (session->metrics != nullptr) {
-    const wum::obs::MetricsSnapshot snapshot = session->metrics->Snapshot();
-    PrintMetricsSummary(snapshot);
-    if (flags.Has("metrics-out")) {
-      WUM_ASSIGN_OR_RETURN(std::string path, flags.GetRequired("metrics-out"));
-      WUM_RETURN_NOT_OK(wum::obs::WriteMetricsFile(snapshot, path));
-      std::cout << "wrote metrics to " << path << "\n";
-    }
-  }
-  return wum::Status::OK();
 }
 
 }  // namespace wum_tools

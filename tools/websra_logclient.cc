@@ -1,0 +1,173 @@
+// websra_logclient: a minimal producer/admin client for websra_serve,
+// used by the tests and the CI smoke leg. Data mode streams a log file
+// to the server's data port (optionally identified via the HELLO
+// handshake); admin mode sends one command to the admin port and prints
+// the reply.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tool_util.h"
+#include "wum/net/socket.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: websra_logclient --port N [--host ADDR=127.0.0.1]\n"
+    "  data mode:  --log FILE [--client-id ID] [--chunk-bytes N=65536]\n"
+    "              [--throttle-ms N=0]\n"
+    "  admin mode: --admin COMMAND\n"
+    "  common:     [--connect-retries N=50]\n"
+    "\n"
+    "Data mode connects to a websra_serve data port and streams FILE,\n"
+    "always from byte zero. With --client-id it first sends\n"
+    "`HELLO <id>` and prints the server's `OK <skip-bytes>` reply; the\n"
+    "server discards the bytes its last checkpoint already covers, so\n"
+    "the client never skips locally (skipping on both sides would lose\n"
+    "data). --chunk-bytes sizes each write; --throttle-ms sleeps between\n"
+    "writes to simulate a slow producer.\n"
+    "\n"
+    "Admin mode sends COMMAND (PING, STATS, CHECKPOINT, QUIESCE) to the\n"
+    "admin port, prints the one-line reply, and exits 0 iff the reply is\n"
+    "an OK or a JSON snapshot.\n"
+    "\n"
+    "--connect-retries waits for a server still starting up: the connect\n"
+    "is retried every 100ms up to N times.\n";
+
+/// Connects with retries so scripts can race the client against a
+/// server that is still binding its port.
+wum::Result<wum::net::Fd> ConnectWithRetries(const std::string& host,
+                                             std::uint16_t port,
+                                             std::uint64_t retries) {
+  wum::Result<wum::net::Fd> connected =
+      wum::Status::Internal("unreachable");
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    connected = wum::net::ConnectTcp(host, port);
+    if (connected.ok() || attempt >= retries) return connected;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+/// Reads one '\n'-terminated reply line (blocking socket).
+wum::Result<std::string> ReadReplyLine(const wum::net::Fd& socket) {
+  std::string line;
+  char byte = 0;
+  while (true) {
+    WUM_ASSIGN_OR_RETURN(const wum::net::ReadResult read,
+                         wum::net::ReadSome(socket, &byte, 1));
+    if (read.eof) {
+      return wum::Status::IoError("server closed the connection mid-reply" +
+                                  (line.empty() ? "" : ": " + line));
+    }
+    if (read.bytes == 0) continue;
+    if (byte == '\n') return line;
+    line.push_back(byte);
+    if (line.size() > 1u << 20) {
+      return wum::Status::ParseError("reply line exceeds 1MiB");
+    }
+  }
+}
+
+wum::Status RunAdmin(const wum::net::Fd& socket, const std::string& command) {
+  WUM_RETURN_NOT_OK(wum::net::WriteAll(socket, command + "\n"));
+  WUM_ASSIGN_OR_RETURN(const std::string reply, ReadReplyLine(socket));
+  std::cout << reply << "\n";
+  const bool ok = reply.rfind("OK", 0) == 0 || reply.rfind("{", 0) == 0;
+  if (!ok) {
+    return wum::Status::FailedPrecondition("server replied: " + reply);
+  }
+  return wum::Status::OK();
+}
+
+wum::Status RunData(const wum::net::Fd& socket, const wum_tools::Flags& flags,
+                    const std::string& log_path) {
+  if (flags.Has("client-id")) {
+    WUM_ASSIGN_OR_RETURN(std::string client_id,
+                         flags.GetRequired("client-id"));
+    WUM_RETURN_NOT_OK(wum::net::WriteAll(socket, "HELLO " + client_id + "\n"));
+    WUM_ASSIGN_OR_RETURN(const std::string reply, ReadReplyLine(socket));
+    if (reply.rfind("OK", 0) != 0) {
+      return wum::Status::FailedPrecondition("handshake refused: " + reply);
+    }
+    // The reply's skip-bytes count is informational: the server does
+    // the discarding, so we still send the whole file from byte zero.
+    std::cout << "handshake: " << reply << "\n";
+  }
+  WUM_ASSIGN_OR_RETURN(std::uint64_t chunk_bytes,
+                       flags.GetUint("chunk-bytes", 64u << 10));
+  if (chunk_bytes == 0) {
+    return wum::Status::InvalidArgument("--chunk-bytes must be >= 1");
+  }
+  WUM_ASSIGN_OR_RETURN(std::uint64_t throttle_ms,
+                       flags.GetUint("throttle-ms", 0));
+  std::ifstream log(log_path, std::ios::binary);
+  if (!log) {
+    return wum::Status::NotFound("cannot open " + log_path);
+  }
+  std::vector<char> buffer(static_cast<std::size_t>(chunk_bytes));
+  std::uint64_t sent = 0;
+  while (log) {
+    log.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::streamsize got = log.gcount();
+    if (got <= 0) break;
+    WUM_RETURN_NOT_OK(wum::net::WriteAll(
+        socket,
+        std::string_view(buffer.data(), static_cast<std::size_t>(got))));
+    sent += static_cast<std::uint64_t>(got);
+    if (throttle_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
+    }
+  }
+  if (log.bad()) {
+    return wum::Status::IoError("read failed: " + log_path);
+  }
+  std::cout << "sent " << sent << " bytes from " << log_path << "\n";
+  return wum::Status::OK();
+}
+
+wum::Status Run(const wum_tools::Flags& flags) {
+  WUM_RETURN_NOT_OK(flags.CheckKnown({"host", "port", "log", "client-id",
+                                      "chunk-bytes", "throttle-ms", "admin",
+                                      "connect-retries"}));
+  if (!wum::net::NetworkingAvailable()) {
+    return wum::Status::Unimplemented(
+        "websra_logclient requires a POSIX platform");
+  }
+  WUM_ASSIGN_OR_RETURN(std::uint64_t port_value, flags.GetUint("port", 0));
+  if (port_value == 0 || port_value > 65535) {
+    return wum::Status::InvalidArgument("--port must be in [1, 65535]");
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const bool admin = flags.Has("admin");
+  const bool data = flags.Has("log");
+  if (admin == data) {
+    return wum::Status::InvalidArgument(
+        "exactly one of --log (data mode) or --admin (admin mode) required");
+  }
+  WUM_ASSIGN_OR_RETURN(std::uint64_t retries,
+                       flags.GetUint("connect-retries", 50));
+  WUM_ASSIGN_OR_RETURN(
+      wum::net::Fd socket,
+      ConnectWithRetries(host, static_cast<std::uint16_t>(port_value),
+                         retries));
+  if (admin) {
+    WUM_ASSIGN_OR_RETURN(std::string command, flags.GetRequired("admin"));
+    return RunAdmin(socket, command);
+  }
+  WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
+  return RunData(socket, flags, log_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wum::Result<wum_tools::Flags> flags = wum_tools::Flags::Parse(argc, argv, {});
+  if (!flags.ok()) return wum_tools::FailWith(flags.status(), kUsage);
+  wum::Status status = Run(*flags);
+  if (!status.ok()) return wum_tools::FailWith(status, kUsage);
+  return 0;
+}

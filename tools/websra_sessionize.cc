@@ -10,13 +10,15 @@
 #include <optional>
 #include <span>
 
+#include "tool_runtime.h"
 #include "tool_util.h"
-#include "wum/clf/chunk_reader.h"
 #include "wum/clf/clf_parser.h"
 #include "wum/stream/dead_letter.h"
 #include "wum/clf/log_filter.h"
 #include "wum/clf/user_partitioner.h"
 #include "wum/common/table.h"
+#include "wum/ingest/byte_source.h"
+#include "wum/ingest/driver.h"
 #include "wum/obs/metrics.h"
 #include "wum/session/instrumented_sessionizer.h"
 #include "wum/session/referrer_heuristic.h"
@@ -87,13 +89,7 @@ std::string Usage() {
          "identical to an uninterrupted run. See docs/checkpointing.md.\n";
 }
 
-/// Checkpointing configuration for the streaming path (--checkpoint-dir
-/// and friends).
-struct CheckpointConfig {
-  std::string dir;
-  std::uint64_t every_records = 100000;
-  bool resume = false;
-};
+using wum_tools::CheckpointConfig;
 
 /// Streaming path: the cleaned records flow through the sharded engine;
 /// sessions are collected (serialized by the engine) and sorted by user
@@ -209,32 +205,26 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
     return std::to_string(static_cast<std::uint64_t>(journal.tellp()));
   };
 
-  // Batched replay: one partition pass and one queue hand-off per shard
-  // per slice. Slices are chopped at checkpoint-cadence boundaries so
-  // checkpoints land at exactly the same record offsets as the old
-  // record-at-a-time loop (resume offsets must not depend on batching).
-  constexpr std::size_t kOfferBatchRecords = 2048;
+  // Batched replay through the shared IngestDriver — the same batching
+  // and checkpoint-cadence loop websra_serve runs, so checkpoints land
+  // at exactly the same record offsets regardless of front end (resume
+  // offsets must not depend on batching).
+  wum::ingest::IngestOptions ingest_options;
+  if (checkpoint.has_value()) {
+    ingest_options.checkpoint_dir = checkpoint->dir;
+    ingest_options.checkpoint_every_records = checkpoint->every_records;
+    ingest_options.sink_state = journal_state;
+  }
+  WUM_ASSIGN_OR_RETURN(
+      wum::ingest::IngestDriver driver,
+      wum::ingest::IngestDriver::Create(engine.get(),
+                                        std::move(ingest_options)));
   std::vector<wum::LogRecordRef> refs;
   refs.reserve(cleaned.size());
   for (const wum::LogRecord& record : cleaned) {
     refs.push_back(wum::ViewOf(record));
   }
-  std::uint64_t offered = 0;
-  const std::uint64_t cadence =
-      checkpoint.has_value() ? checkpoint->every_records : 0;
-  for (std::size_t i = 0; i < refs.size();) {
-    std::size_t n = std::min(kOfferBatchRecords, refs.size() - i);
-    if (cadence > 0) {
-      n = std::min<std::size_t>(n, cadence - (offered % cadence));
-    }
-    WUM_RETURN_NOT_OK(
-        engine->OfferBatch(std::span<const wum::LogRecordRef>(refs).subspan(i, n)));
-    i += n;
-    offered += n;
-    if (cadence > 0 && offered % cadence == 0) {
-      WUM_RETURN_NOT_OK(engine->Checkpoint(checkpoint->dir, journal_state));
-    }
-  }
+  WUM_RETURN_NOT_OK(driver.OfferRefs(refs));
   WUM_RETURN_NOT_OK(engine->Finish());
   if (checkpoint.has_value()) {
     journal.flush();
@@ -276,10 +266,12 @@ void PrintRunSummary(const wum::ClfParser::Stats& parse_stats,
 }
 
 wum::Status Run(const wum_tools::Flags& flags) {
-  WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::WithObsFlags(
+  const wum_tools::RuntimeFeatures features{.durability = true,
+                                            .always_metrics = false};
+  WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::ToolRuntime::WithFlags(
       {"graph", "log", "out", "heuristic", "identity", "delta", "rho",
-       "keep-robots", "streaming", "threads", "max-parse-errors", "format",
-       "checkpoint-dir", "checkpoint-every-records", "resume"})));
+       "keep-robots", "streaming", "threads", "max-parse-errors", "format"},
+      features)));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
   WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
@@ -314,45 +306,27 @@ wum::Status Run(const wum_tools::Flags& flags) {
                                         "'");
   }
 
-  std::optional<CheckpointConfig> checkpoint;
-  if (flags.Has("checkpoint-dir")) {
-    if (!flags.Has("streaming")) {
-      return wum::Status::InvalidArgument(
-          "--checkpoint-dir requires --streaming");
-    }
-    CheckpointConfig config;
-    WUM_ASSIGN_OR_RETURN(config.dir, flags.GetRequired("checkpoint-dir"));
-    WUM_ASSIGN_OR_RETURN(config.every_records,
-                         flags.GetUint("checkpoint-every-records", 100000));
-    if (config.every_records == 0) {
-      return wum::Status::InvalidArgument(
-          "--checkpoint-every-records must be >= 1");
-    }
-    config.resume = flags.Has("resume");
-    checkpoint = std::move(config);
-  } else if (flags.Has("checkpoint-every-records") || flags.Has("resume")) {
+  // The shared tool runtime: observability (one registry behind the
+  // parser, the engine and the sessionizer; trace recorder; reporter;
+  // log level) plus the parsed durability flags.
+  WUM_ASSIGN_OR_RETURN(wum_tools::ToolRuntime runtime,
+                       wum_tools::ToolRuntime::Start(flags, features));
+  const std::optional<CheckpointConfig>& checkpoint = runtime.checkpoint();
+  if (checkpoint.has_value() && !flags.Has("streaming")) {
     return wum::Status::InvalidArgument(
-        "--checkpoint-every-records/--resume require --checkpoint-dir");
+        "--checkpoint-dir requires --streaming");
   }
-
-  // Optional observability: one registry shared by the parser, the
-  // engine and the sessionizer (dumped to --metrics-out at the end and
-  // sampled by the --metrics-every reporter), one trace recorder behind
-  // every pipeline stage, and the structured-log level.
-  wum::obs::MetricRegistry registry;
-  WUM_ASSIGN_OR_RETURN(wum_tools::ObsSession obs,
-                       wum_tools::StartObs(flags, &registry));
-  wum::obs::MetricRegistry* metrics = obs.metrics;
+  wum::obs::MetricRegistry* metrics = runtime.metrics();
 
   // Parse. Malformed lines are quarantined to the dead-letter channel;
   // more than --max-parse-errors of them aborts the run (default 0:
   // fail fast on the first one).
   WUM_ASSIGN_OR_RETURN(std::uint64_t max_parse_errors,
                        flags.GetUint("max-parse-errors", 0));
-  WUM_ASSIGN_OR_RETURN(wum::ChunkReader log_reader,
-                       wum::ChunkReader::Open(log_path));
+  WUM_ASSIGN_OR_RETURN(wum::ingest::FileSource log_source,
+                       wum::ingest::FileSource::Open(log_path));
   wum::ClfParser parser(metrics);
-  parser.set_tracer(obs.tracer());
+  parser.set_tracer(runtime.tracer());
   wum::DeadLetterQueue dead_letters;
   parser.set_reject_handler([&dead_letters](std::uint64_t line_number,
                                             std::string_view raw_line,
@@ -364,13 +338,18 @@ wum::Status Run(const wum_tools::Flags& flags) {
         "line " + std::to_string(line_number) + ": " + std::string(raw_line);
     dead_letters.Offer(std::move(letter));
   });
-  // Zero-copy ingest: line-aligned chunks straight out of the (usually
-  // memory-mapped) log, batch-parsed into views. The records are owned
+  // Zero-copy ingest through the shared ByteSource surface:
+  // line-aligned chunks straight out of the (usually memory-mapped)
+  // log, batch-parsed into views — the same source contract the TCP
+  // server's per-connection buffers implement. The records are owned
   // because the cleaning chain and robot observer scan them long after
   // the chunk buffer moves on.
   std::vector<wum::LogRecord> records;
   std::vector<wum::LogRecordRef> parsed_refs;
-  while (std::optional<std::string_view> chunk = log_reader.Next()) {
+  while (true) {
+    WUM_ASSIGN_OR_RETURN(std::optional<std::string_view> chunk,
+                         log_source.Next());
+    if (!chunk.has_value()) break;
     parsed_refs.clear();
     WUM_RETURN_NOT_OK(parser.ParseChunk(*chunk, &parsed_refs));
     records.reserve(records.size() + parsed_refs.size());
@@ -414,13 +393,13 @@ wum::Status Run(const wum_tools::Flags& flags) {
     WUM_RETURN_NOT_OK(RunStreaming(cleaned, graph, heuristic_name, identity,
                                    thresholds,
                                    static_cast<std::size_t>(threads), metrics,
-                                   obs.trace.get(), checkpoint, &output));
+                                   runtime.trace(), checkpoint, &output));
     WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path, format));
     std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
               << ", streaming) to " << out_path << "\n";
     PrintRunSummary(parser.stats(), dead_letters, cleaned.size(),
                     output.size());
-    return wum_tools::FinishObs(flags, &obs);
+    return runtime.Finish(flags);
   }
   if (flags.Has("threads")) {
     return wum::Status::InvalidArgument("--threads requires --streaming");
@@ -484,7 +463,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
             << ") to " << out_path << "\n";
   PrintRunSummary(parser.stats(), dead_letters, cleaned.size(), output.size());
-  return wum_tools::FinishObs(flags, &obs);
+  return runtime.Finish(flags);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "tool_runtime.h"
 #include "tool_util.h"
 #include "wum/clf/clf_writer.h"
 #include "wum/eval/experiment.h"
@@ -48,10 +49,12 @@ wum::Result<wum::TopologyModel> ParseTopology(const std::string& name) {
 }
 
 wum::Status Run(const wum_tools::Flags& flags) {
-  WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::WithObsFlags(
+  const wum_tools::RuntimeFeatures features{};
+  WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::ToolRuntime::WithFlags(
       {"graph-out", "log-out", "truth-out", "pages", "out-degree",
        "entry-fraction", "topology", "agents", "seed", "stp", "lpp", "nip",
-       "proxy-group", "start-window", "combined", "format"})));
+       "proxy-group", "start-window", "combined", "format"},
+      features)));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph-out"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log-out"));
 
@@ -87,14 +90,13 @@ wum::Status Run(const wum_tools::Flags& flags) {
   // Observability (shared websra_* flags): --metrics-out/--metrics-every
   // activate the registry, --trace-out records the generation phases as
   // coarse spans, --log-level tunes the structured diagnostics.
-  wum::obs::MetricRegistry registry;
-  WUM_ASSIGN_OR_RETURN(wum_tools::ObsSession obs,
-                       wum_tools::StartObs(flags, &registry));
-  wum::obs::MetricRegistry* metrics = obs.metrics;
+  WUM_ASSIGN_OR_RETURN(wum_tools::ToolRuntime runtime,
+                       wum_tools::ToolRuntime::Start(flags, features));
+  wum::obs::MetricRegistry* metrics = runtime.metrics();
 
   wum::Result<wum::WebGraph> generated = wum::Status::Internal("unreachable");
   {
-    wum::obs::ScopedSpan span(obs.tracer(), "generate-site", 0, site.num_pages);
+    wum::obs::ScopedSpan span(runtime.tracer(), "generate-site", 0, site.num_pages);
     generated = wum::GenerateSite(model, site, &rng);
   }
   WUM_ASSIGN_OR_RETURN(wum::WebGraph graph, std::move(generated));
@@ -104,7 +106,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
 
   wum::Result<wum::Workload> simulated = wum::Status::Internal("unreachable");
   {
-    wum::obs::ScopedSpan span(obs.tracer(), "simulate-workload", 0,
+    wum::obs::ScopedSpan span(runtime.tracer(), "simulate-workload", 0,
                          population.num_agents);
     simulated = wum::SimulateWorkload(graph, profile, population, &rng,
                                       metrics);
@@ -113,7 +115,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   std::vector<wum::LogRecord> log =
       wum::CollectServerLog(workload.ToAgentRequests());
   {
-    wum::obs::ScopedSpan span(obs.tracer(), "write-log", 0, log.size());
+    wum::obs::ScopedSpan span(runtime.tracer(), "write-log", 0, log.size());
     std::ofstream out(log_path);
     if (!out) return wum::Status::IoError("cannot open " + log_path);
     wum::ClfWriter writer(&out, flags.Has("combined"));
@@ -143,7 +145,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
                                           "'");
     }
     const std::string truth_path = flags.GetString("truth-out", "");
-    wum::obs::ScopedSpan span(obs.tracer(), "write-truth", 0, truth.size());
+    wum::obs::ScopedSpan span(runtime.tracer(), "write-truth", 0, truth.size());
     WUM_RETURN_NOT_OK(wum::WriteSessionsFile(truth, truth_path, format));
     std::cout << "wrote " << truth.size() << " ground-truth sessions to "
               << truth_path << "\n";
@@ -151,7 +153,7 @@ wum::Status Run(const wum_tools::Flags& flags) {
   // Same end-of-run surface as websra_sessionize: summary table on
   // stdout whenever metrics are on, plus the --metrics-out file, the
   // --trace-out export and the reporter's final snapshot.
-  return wum_tools::FinishObs(flags, &obs);
+  return runtime.Finish(flags);
 }
 
 }  // namespace
