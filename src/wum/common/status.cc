@@ -32,6 +32,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kConnectionReset:
+      return "ConnectionReset";
   }
   return "Unknown";
 }

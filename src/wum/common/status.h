@@ -24,6 +24,8 @@ enum class StatusCode {
   kFailedPrecondition = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,
+  kConnectionReset = 11,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -74,6 +76,12 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ConnectionReset(std::string message) {
+    return Status(StatusCode::kConnectionReset, std::move(message));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
@@ -91,6 +99,12 @@ class Status {
   }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsConnectionReset() const {
+    return code() == StatusCode::kConnectionReset;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

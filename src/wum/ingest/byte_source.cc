@@ -35,6 +35,7 @@ Status LineBuffer::Append(std::string_view bytes) {
     // what was actually accepted from the stream.
     pending_.resize(old_size);
     complete_ = old_complete;
+    rejected_bytes_ += bytes.size();
     return Status::InvalidArgument(
         "LineBuffer: line exceeds max_line_bytes (" +
         std::to_string(max_line_bytes_) + ") without a newline");
@@ -57,6 +58,12 @@ Result<std::optional<std::string_view>> LineBuffer::Next() {
   }
   consumed_bytes_ += serving_.size();
   return std::optional<std::string_view>(serving_);
+}
+
+std::size_t LineBuffer::ShedTail() {
+  const std::size_t dropped = pending_.size() - complete_;
+  pending_.resize(complete_);
+  return dropped;
 }
 
 }  // namespace wum::ingest

@@ -114,12 +114,27 @@ class LineBuffer final : public ByteSource {
   /// plus the partial-line carry).
   std::size_t buffered_bytes() const { return pending_.size(); }
 
+  /// Cumulative bytes refused by Append (oversize-line rejections).
+  /// They were read off the wire and so still count against a
+  /// producer's ingest quota even though they never became a chunk.
+  std::uint64_t rejected_bytes() const { return rejected_bytes_; }
+
+  /// Discards the partial-line carry (bytes after the last '\n') and
+  /// returns how many were dropped. The dropped bytes do NOT count as
+  /// consumed: a replay offset must always land on a line boundary, so
+  /// the offset stays at the last complete line and a resuming client
+  /// re-sends the shed line whole. Callers must drop the producer after
+  /// shedding — its next bytes would be the unframeable remainder of
+  /// the line whose head was just discarded.
+  std::size_t ShedTail();
+
  private:
   std::size_t max_line_bytes_;
   std::string pending_;  // unserved bytes; [0, complete_) ends on '\n'
   std::string serving_;  // backing store of the view Next() returned
   std::size_t complete_ = 0;
   std::uint64_t consumed_bytes_ = 0;
+  std::uint64_t rejected_bytes_ = 0;
   bool closed_ = false;
 };
 

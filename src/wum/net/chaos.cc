@@ -1,0 +1,164 @@
+#include "wum/net/chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace wum::net {
+
+namespace {
+
+/// Flips one non-newline byte of `chunk` (framing must survive so the
+/// corruption lands inside exactly one line). No-op when every byte is
+/// a newline.
+void FlipOneByte(std::string* chunk, Rng* rng) {
+  if (chunk->empty()) return;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng->NextBounded(chunk->size()));
+    if ((*chunk)[pos] == '\n') continue;
+    (*chunk)[pos] = static_cast<char>((*chunk)[pos] ^ 0x20);
+    return;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ChaosSocket
+
+ChaosSocket::ChaosSocket(Fd fd, const ChaosOptions& options)
+    : fd_(std::move(fd)), options_(options), rng_(options.seed) {}
+
+Status ChaosSocket::Send(std::string_view data) {
+  if (!fd_.valid()) {
+    return Status::ConnectionReset("chaos: socket already reset");
+  }
+  ++stats_.writes;
+  if (options_.stall_probability > 0 &&
+      rng_.Bernoulli(options_.stall_probability)) {
+    ++stats_.stalls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.stall_ms));
+  }
+  scratch_.assign(data);
+  if (options_.corrupt_probability > 0 &&
+      rng_.Bernoulli(options_.corrupt_probability)) {
+    ++stats_.corruptions;
+    FlipOneByte(&scratch_, &rng_);
+  }
+  if (options_.reset_probability > 0 &&
+      rng_.Bernoulli(options_.reset_probability)) {
+    // Send a prefix so the RST lands mid-line, then slam the door.
+    const std::size_t cut = scratch_.empty()
+                                ? 0
+                                : static_cast<std::size_t>(
+                                      rng_.NextBounded(scratch_.size()));
+    if (cut > 0) {
+      (void)SendPiece(std::string_view(scratch_).substr(0, cut));
+    }
+    ++stats_.resets;
+    ResetHard(&fd_);
+    return Status::ConnectionReset("chaos: injected reset");
+  }
+  if (options_.short_write_probability > 0 && scratch_.size() > 1 &&
+      rng_.Bernoulli(options_.short_write_probability)) {
+    ++stats_.short_writes;
+    const std::size_t split = 1 + static_cast<std::size_t>(
+                                      rng_.NextBounded(scratch_.size() - 1));
+    WUM_RETURN_NOT_OK(SendPiece(std::string_view(scratch_).substr(0, split)));
+    if (options_.stall_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.stall_ms));
+    }
+    return SendPiece(std::string_view(scratch_).substr(split));
+  }
+  return SendPiece(scratch_);
+}
+
+Status ChaosSocket::SendPiece(std::string_view piece) {
+  if (options_.trickle) {
+    for (std::size_t i = 0; i < piece.size(); ++i) {
+      WUM_RETURN_NOT_OK(WriteAll(fd_, piece.substr(i, 1)));
+      ++stats_.bytes_sent;
+    }
+    return Status::OK();
+  }
+  WUM_RETURN_NOT_OK(WriteAll(fd_, piece));
+  stats_.bytes_sent += piece.size();
+  return Status::OK();
+}
+
+void ChaosSocket::Reset() {
+  if (!fd_.valid()) return;
+  ++stats_.resets;
+  ResetHard(&fd_);
+}
+
+// ---------------------------------------------------------------------------
+// ChaosByteSource
+
+ChaosByteSource::ChaosByteSource(ingest::ByteSource* inner,
+                                 const ChaosOptions& options)
+    : inner_(inner), options_(options), rng_(options.seed) {}
+
+bool ChaosByteSource::exhausted() const {
+  return reset_injected_ || (queued_.empty() && inner_->exhausted());
+}
+
+Result<std::optional<std::string_view>> ChaosByteSource::Next() {
+  if (reset_injected_) return std::optional<std::string_view>();
+  if (!queued_.empty()) {
+    serving_ = std::move(queued_.front());
+    queued_.pop_front();
+    return std::optional<std::string_view>(serving_);
+  }
+  if (options_.stall_probability > 0 &&
+      rng_.Bernoulli(options_.stall_probability)) {
+    // "No data yet" — indistinguishable from a socket with nothing
+    // buffered; the pump comes back later.
+    ++stats_.stalls;
+    return std::optional<std::string_view>();
+  }
+  WUM_ASSIGN_OR_RETURN(std::optional<std::string_view> chunk, inner_->Next());
+  if (!chunk.has_value()) return std::optional<std::string_view>();
+  ++stats_.writes;
+  serving_.assign(*chunk);
+  if (options_.corrupt_probability > 0 &&
+      rng_.Bernoulli(options_.corrupt_probability)) {
+    ++stats_.corruptions;
+    FlipOneByte(&serving_, &rng_);
+  }
+  if (options_.reset_probability > 0 &&
+      rng_.Bernoulli(options_.reset_probability)) {
+    // Cut mid-line: keep a strict prefix ending inside a line, serve it
+    // as the stream's final (unterminated) chunk.
+    ++stats_.resets;
+    reset_injected_ = true;
+    const std::size_t cut = serving_.empty()
+                                ? 0
+                                : static_cast<std::size_t>(
+                                      rng_.NextBounded(serving_.size()));
+    serving_.resize(cut);
+    if (serving_.empty()) return std::optional<std::string_view>();
+    return std::optional<std::string_view>(serving_);
+  }
+  if (options_.trickle) {
+    // Re-serve the chunk one line at a time; the chunk contract keeps
+    // holding because each piece ends on its '\n'.
+    std::string whole = std::move(serving_);
+    std::size_t start = 0;
+    while (start < whole.size()) {
+      const std::size_t nl = whole.find('\n', start);
+      const std::size_t end = nl == std::string::npos ? whole.size() : nl + 1;
+      queued_.emplace_back(whole.substr(start, end - start));
+      start = end;
+    }
+    if (queued_.empty()) return std::optional<std::string_view>();
+    serving_ = std::move(queued_.front());
+    queued_.pop_front();
+    return std::optional<std::string_view>(serving_);
+  }
+  stats_.bytes_sent += serving_.size();
+  return std::optional<std::string_view>(serving_);
+}
+
+}  // namespace wum::net

@@ -1,0 +1,122 @@
+// Deterministic fault injection for the net layer's chaos harness.
+//
+// Two wrappers, one schedule idiom (seeded Bernoulli draws, mirroring
+// wum::stream::FaultSchedule): ChaosSocket decorates a client-side TCP
+// socket and misbehaves on the wire — stalls, one-byte trickle, short
+// writes, corrupt bytes, mid-stream RST — while ChaosByteSource
+// decorates any ingest::ByteSource and injects the same fault classes
+// without a socket, for single-process deterministic pipeline tests.
+//
+// All decisions flow from the seed; wall-clock time never feeds back
+// into the schedule, so a given (seed, input) pair replays the exact
+// same fault sequence on every run.
+
+#ifndef WUM_NET_CHAOS_H_
+#define WUM_NET_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "wum/common/random.h"
+#include "wum/common/result.h"
+#include "wum/ingest/byte_source.h"
+#include "wum/net/socket.h"
+
+namespace wum::net {
+
+/// Fault mix for one chaos client. Probabilities are per write (socket)
+/// or per chunk (byte source); zero disables that fault class.
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  /// Pause before a write (socket: sleep stall_ms; source: Next()
+  /// reports "no data yet").
+  double stall_probability = 0.0;
+  std::uint64_t stall_ms = 0;
+  /// Send one byte per send(2) call (socket) / one line per Next()
+  /// (source): maximally fragmented arrival, still lossless.
+  bool trickle = false;
+  /// Split a write into two sends with a stall between them.
+  double short_write_probability = 0.0;
+  /// Flip one byte of the payload before sending (never a newline, so
+  /// framing survives and the damage lands in exactly one line).
+  double corrupt_probability = 0.0;
+  /// Abort mid-payload with an RST (socket) / end the stream mid-line
+  /// (source) — models a peer dying without a clean FIN.
+  double reset_probability = 0.0;
+};
+
+/// Counts of faults actually fired — tests assert the schedule engaged.
+struct ChaosStats {
+  std::uint64_t writes = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// A client-side socket that misbehaves per its seeded schedule. Owns
+/// the Fd; after an injected reset every further Send fails with
+/// ConnectionReset.
+class ChaosSocket {
+ public:
+  ChaosSocket(Fd fd, const ChaosOptions& options);
+
+  /// Writes `data` through the fault schedule. Returns ConnectionReset
+  /// when the schedule injects an RST (deliberate — the test expects
+  /// the server to survive it) or the real peer resets first.
+  Status Send(std::string_view data);
+
+  /// Forces an immediate RST regardless of schedule.
+  void Reset();
+
+  /// The descriptor, e.g. to go half-open: keep the object alive and
+  /// simply stop sending — the socket stays open, the server's idle
+  /// deadline is what reaps it.
+  Fd& fd() { return fd_; }
+  bool alive() const { return fd_.valid(); }
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  Status SendPiece(std::string_view piece);
+
+  Fd fd_;
+  ChaosOptions options_;
+  Rng rng_;
+  ChaosStats stats_;
+  std::string scratch_;
+};
+
+/// A ByteSource decorator injecting the same fault classes in-process:
+/// stalls surface as "no chunk available yet" (callers must pump until
+/// exhausted(), exactly like a socket-fed LineBuffer), trickle serves
+/// one line per Next(), corruption flips a non-newline byte, and an
+/// injected reset cuts the stream mid-line — the cut tail arrives as a
+/// final unterminated chunk, honoring the ByteSource chunk contract.
+class ChaosByteSource final : public ingest::ByteSource {
+ public:
+  ChaosByteSource(ingest::ByteSource* inner, const ChaosOptions& options);
+
+  Result<std::optional<std::string_view>> Next() override;
+  bool exhausted() const override;
+
+  const ChaosStats& stats() const { return stats_; }
+  /// True once an injected reset ended the stream early.
+  bool reset_injected() const { return reset_injected_; }
+
+ private:
+  ingest::ByteSource* inner_;  // not owned
+  ChaosOptions options_;
+  Rng rng_;
+  ChaosStats stats_;
+  std::deque<std::string> queued_;  // trickle-split lines awaiting serve
+  std::string serving_;             // backing store of the returned view
+  bool reset_injected_ = false;
+};
+
+}  // namespace wum::net
+
+#endif  // WUM_NET_CHAOS_H_

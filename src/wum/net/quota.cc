@@ -1,0 +1,50 @@
+#include "wum/net/quota.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wum::net {
+
+TokenBucket::TokenBucket(std::uint64_t bytes_per_sec,
+                         std::uint64_t burst_bytes, std::uint64_t now_ms)
+    : rate_(bytes_per_sec),
+      capacity_milli_((burst_bytes != 0 ? burst_bytes : bytes_per_sec) * 1000),
+      tokens_milli_(capacity_milli_),  // starts full: a fresh client may burst
+      last_refill_ms_(now_ms) {}
+
+void TokenBucket::Refill(std::uint64_t now_ms) {
+  if (now_ms <= last_refill_ms_) return;
+  const std::uint64_t elapsed = now_ms - last_refill_ms_;
+  last_refill_ms_ = now_ms;
+  // elapsed_ms * bytes_per_sec == milli-tokens exactly (1000ms * rate
+  // per second), no rounding.
+  tokens_milli_ = std::min(capacity_milli_, tokens_milli_ + elapsed * rate_);
+}
+
+std::uint64_t TokenBucket::Available(std::uint64_t now_ms) {
+  if (unlimited()) return std::numeric_limits<std::uint64_t>::max();
+  Refill(now_ms);
+  return tokens_milli_ / 1000;
+}
+
+void TokenBucket::Consume(std::uint64_t bytes, std::uint64_t now_ms) {
+  if (unlimited()) return;
+  Refill(now_ms);
+  const std::uint64_t cost = bytes * 1000;
+  tokens_milli_ = cost >= tokens_milli_ ? 0 : tokens_milli_ - cost;
+}
+
+std::uint64_t TokenBucket::WhenAvailable(std::uint64_t want,
+                                         std::uint64_t now_ms) {
+  if (unlimited()) return now_ms;
+  Refill(now_ms);
+  const std::uint64_t want_milli =
+      std::min(want * 1000, capacity_milli_ == 0 ? 1000 : capacity_milli_);
+  if (tokens_milli_ >= want_milli) return now_ms;
+  const std::uint64_t deficit = want_milli - tokens_milli_;
+  // Ceiling division: the wait must cover the whole deficit.
+  const std::uint64_t wait_ms = (deficit + rate_ - 1) / rate_;
+  return now_ms + wait_ms;
+}
+
+}  // namespace wum::net

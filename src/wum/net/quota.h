@@ -1,0 +1,91 @@
+// Connection-lifecycle deadlines and per-client resource quotas for the
+// log server. Pure policy objects: no sockets, no clocks of their own —
+// every method takes the caller's monotonic milliseconds, which is what
+// makes them unit-testable with explicit time.
+
+#ifndef WUM_NET_QUOTA_H_
+#define WUM_NET_QUOTA_H_
+
+#include <cstdint>
+
+namespace wum::net {
+
+/// Per-connection lifecycle deadlines, all in milliseconds; zero
+/// disables the corresponding check.
+struct DeadlineConfig {
+  /// A connection with no traffic at all (data or admin) for this long
+  /// is expired.
+  std::uint64_t idle_timeout_ms = 0;
+  /// An accepted data connection must complete its HELLO line (or send
+  /// its first data) within this long.
+  std::uint64_t handshake_timeout_ms = 0;
+  /// A connection holding an incomplete line may dribble for at most
+  /// this long before the partial is dead-lettered and the peer closed.
+  std::uint64_t read_timeout_ms = 0;
+  /// Deadline applied to every reply write (see net::WriteAll).
+  std::uint64_t write_timeout_ms = 10000;
+
+  bool any_enabled() const {
+    return idle_timeout_ms != 0 || handshake_timeout_ms != 0 ||
+           read_timeout_ms != 0;
+  }
+};
+
+/// Per-client resource limits; zero disables a limit.
+struct ClientQuota {
+  /// Sustained ingest rate per connection, bytes per second.
+  std::uint64_t bytes_per_sec = 0;
+  /// Bucket depth for bursts above the sustained rate; when zero but
+  /// bytes_per_sec is set, one second of rate is used.
+  std::uint64_t burst_bytes = 0;
+  /// Ceiling on buffered-but-unparsed bytes one connection may hold.
+  std::uint64_t max_buffered_bytes = 0;
+
+  bool rate_limited() const { return bytes_per_sec != 0; }
+  std::uint64_t effective_burst() const {
+    return burst_bytes != 0 ? burst_bytes : bytes_per_sec;
+  }
+};
+
+/// Token bucket in integer milli-token arithmetic: refill is
+/// elapsed_ms * rate milli-tokens, so rates below one byte per
+/// millisecond accrue without floating point or truncation-to-zero.
+class TokenBucket {
+ public:
+  /// An unlimited bucket (rate zero): Available() is huge, Consume()
+  /// always succeeds, WhenAvailable() is always "now".
+  TokenBucket() = default;
+
+  TokenBucket(std::uint64_t bytes_per_sec, std::uint64_t burst_bytes,
+              std::uint64_t now_ms);
+
+  bool unlimited() const { return rate_ == 0; }
+
+  /// Whole tokens (bytes) available at `now_ms`, after refill.
+  std::uint64_t Available(std::uint64_t now_ms);
+
+  /// Deducts `bytes`; the balance may go negative conceptually — the
+  /// bucket clamps at zero, so callers should Consume at most
+  /// Available(). Consuming more than available simply empties the
+  /// bucket (the overage was already read off the wire; the *next*
+  /// read waits for it).
+  void Consume(std::uint64_t bytes, std::uint64_t now_ms);
+
+  /// Earliest moment at which `want` tokens will be available, assuming
+  /// no intervening consumption. Returns `now_ms` when already
+  /// available. `want` above the burst capacity is clamped to it (it
+  /// can never be satisfied in one shot otherwise).
+  std::uint64_t WhenAvailable(std::uint64_t want, std::uint64_t now_ms);
+
+ private:
+  void Refill(std::uint64_t now_ms);
+
+  std::uint64_t rate_ = 0;            // bytes per second; 0 = unlimited
+  std::uint64_t capacity_milli_ = 0;  // burst ceiling, milli-tokens
+  std::uint64_t tokens_milli_ = 0;
+  std::uint64_t last_refill_ms_ = 0;
+};
+
+}  // namespace wum::net
+
+#endif  // WUM_NET_QUOTA_H_

@@ -97,6 +97,14 @@ struct LogServer::Connection {
 
   // Admin state.
   std::string admin_buffer;
+
+  // Lifecycle / quota state (see DeadlineConfig, ClientQuota).
+  TokenBucket bucket;                   // default: unlimited
+  std::uint64_t accepted_at_ms = 0;
+  std::uint64_t last_activity_ms = 0;
+  std::uint64_t partial_since_ms = 0;   // 0 = no incomplete line outstanding
+  bool paused = false;                  // fd withheld from poll (pushback)
+  std::uint64_t resume_at_ms = 0;       // wheel wake for a rate-limit pause
 };
 
 Result<std::unique_ptr<LogServer>> LogServer::Start(
@@ -141,7 +149,17 @@ LogServer::LogServer(ServerOptions options, StreamEngine* engine,
       m_handshakes_(obs::CounterIn(options_.metrics, "net.handshakes")),
       m_bytes_read_(obs::CounterIn(options_.metrics, "net.bytes_read")),
       m_shed_(obs::CounterIn(options_.metrics, "net.records_shed")),
-      m_admin_(obs::CounterIn(options_.metrics, "net.admin_commands")) {}
+      m_admin_(obs::CounterIn(options_.metrics, "net.admin_commands")),
+      m_expired_(obs::CounterIn(options_.metrics, "net.conn.expired")),
+      m_refused_(obs::CounterIn(options_.metrics, "net.conn.refused")),
+      m_quota_shed_(obs::CounterIn(options_.metrics, "net.conn.quota_shed")),
+      m_oversize_(obs::CounterIn(options_.metrics,
+                                 "net.conn.oversize_rejected")),
+      g_active_(obs::GaugeIn(options_.metrics, "net.conn.active")) {}
+
+std::uint64_t LogServer::NowMs() const {
+  return options_.clock_ms != nullptr ? options_.clock_ms() : MonotonicMillis();
+}
 
 Status LogServer::BindListeners() {
   WUM_ASSIGN_OR_RETURN(data_listener_,
@@ -189,15 +207,23 @@ Status LogServer::AcceptPending(Fd* listener, bool admin) {
   while (true) {
     WUM_ASSIGN_OR_RETURN(Fd accepted, Accept(*listener));
     if (!accepted.valid()) return Status::OK();  // drained
-    const std::size_t data_connections = static_cast<std::size_t>(
-        std::count_if(connections_.begin(), connections_.end(),
-                      [](const auto& c) { return !c->admin; }));
-    if (!admin && data_connections >= options_.max_connections) {
-      // Over capacity: refuse loudly rather than queueing invisible
-      // producers (closing the socket is the backpressure signal).
-      obs::LogWarn("net.accept")("refused", "max_connections")(
-          "limit", options_.max_connections);
-      continue;
+    if (!admin) {
+      // Admission control: refuse with a reason the producer can act on
+      // (back off and retry) rather than queueing invisible producers.
+      // The admin port is exempt — operators must reach an overloaded
+      // server.
+      const std::size_t data_connections = static_cast<std::size_t>(
+          std::count_if(connections_.begin(), connections_.end(),
+                        [](const auto& c) { return !c->admin && !c->closing; }));
+      if (data_connections >= options_.max_connections) {
+        RefuseConnection(std::move(accepted), "max_connections");
+        continue;
+      }
+      if (options_.ingest_budget_bytes != 0 &&
+          BufferedBytesTotal() >= options_.ingest_budget_bytes) {
+        RefuseConnection(std::move(accepted), "ingest_budget");
+        continue;
+      }
     }
     WUM_RETURN_NOT_OK(SetNonBlocking(accepted, true));
     auto conn = std::make_unique<Connection>(options_.max_line_bytes,
@@ -205,6 +231,13 @@ Status LogServer::AcceptPending(Fd* listener, bool admin) {
     conn->fd = std::move(accepted);
     conn->admin = admin;
     conn->serial = ++stats_.connections_accepted;
+    const std::uint64_t now = NowMs();
+    conn->accepted_at_ms = now;
+    conn->last_activity_ms = now;
+    if (!admin && options_.client_quota.rate_limited()) {
+      conn->bucket = TokenBucket(options_.client_quota.bytes_per_sec,
+                                 options_.client_quota.effective_burst(), now);
+    }
     m_accepted_.Increment();
     tracer_.Instant("accept", 0, conn->serial);
     if (!admin && dead_letters_ != nullptr) {
@@ -228,17 +261,231 @@ Status LogServer::AcceptPending(Fd* listener, bool admin) {
     }
     obs::LogDebug("net.accept")("serial", conn->serial)(
         "kind", admin ? "admin" : "data");
+    ArmDeadline(conn.get());
     connections_.push_back(std::move(conn));
+    g_active_.Set(static_cast<std::uint64_t>(
+        std::count_if(connections_.begin(), connections_.end(),
+                      [](const auto& c) { return !c->closing; })));
   }
+}
+
+void LogServer::RefuseConnection(Fd accepted, const char* reason) {
+  ++stats_.connections_refused;
+  m_refused_.Increment();
+  tracer_.Instant("refuse", 0, stats_.connections_refused);
+  obs::LogWarn("net.refuse")("reason", reason);
+  // Tell the peer why before the door shuts — zero write deadline; a
+  // peer whose socket cannot take one BUSY line learns from the close.
+  (void)WriteAll(accepted, std::string("BUSY ") + reason + "\n",
+                 std::chrono::milliseconds(0));
 }
 
 void LogServer::CloseConnection(Connection* conn, const char* why) {
   if (conn->closing) return;
   conn->closing = true;
   conn->fd.reset();
+  wheel_.Cancel(conn->serial);
   ++stats_.connections_closed;
   m_closed_.Increment();
+  if (options_.metrics != nullptr) {
+    // Per-cause close accounting. Causes are a small fixed set of
+    // static strings, and closes are rare — a registry lookup here
+    // keeps the hot path free of per-cause handles.
+    std::string name = "net.close.";
+    for (const char* p = why; *p != '\0'; ++p) {
+      name.push_back(*p == ' ' ? '_' : *p);
+    }
+    options_.metrics->GetCounter(name).Increment();
+  }
+  g_active_.Set(static_cast<std::uint64_t>(
+      std::count_if(connections_.begin(), connections_.end(),
+                    [](const auto& c) { return !c->closing; })));
   obs::LogDebug("net.close")("serial", conn->serial)("why", why);
+}
+
+void LogServer::Reply(Connection* conn, std::string_view reply) {
+  if (conn->closing || !conn->fd.valid()) return;
+  const std::chrono::milliseconds deadline =
+      options_.deadlines.write_timeout_ms == 0
+          ? kDefaultWriteDeadline
+          : std::chrono::milliseconds(
+                static_cast<std::int64_t>(options_.deadlines.write_timeout_ms));
+  const Status written = WriteAll(conn->fd, reply, deadline);
+  if (written.ok()) return;
+  // A peer that resets (or stops reading) mid-reply costs exactly one
+  // connection, never the serve loop.
+  obs::LogWarn("net.reply")("serial", conn->serial)(
+      "error", written.ToString());
+  CloseConnection(conn, written.IsDeadlineExceeded() ? "write timeout"
+                                                     : "reply failed");
+}
+
+void LogServer::DeadLetterPartial(Connection* conn, const Status& reason) {
+  const std::size_t partial = conn->awaiting_handshake
+                                  ? conn->handshake_buffer.size()
+                                  : conn->lines.buffered_bytes();
+  if (partial == 0 || dead_letters_ == nullptr) return;
+  DeadLetter letter;
+  letter.stage = DeadLetter::Stage::kParse;
+  letter.reason = reason;
+  letter.detail =
+      (conn->client_id.empty() ? std::string("anonymous") : conn->client_id) +
+      ": " + std::to_string(partial) + "-byte partial line carried at close";
+  // The partial never became an accepted record; the letter is
+  // attribution, not record accounting.
+  letter.records_covered = 0;
+  dead_letters_->Offer(std::move(letter));
+}
+
+LogServer::Connection* LogServer::FindBySerial(std::uint64_t serial) {
+  for (auto& conn : connections_) {
+    if (conn->serial == serial) return conn.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t LogServer::BufferedBytesTotal() const {
+  std::uint64_t total = 0;
+  for (const auto& conn : connections_) {
+    if (conn->closing) continue;
+    total += conn->lines.buffered_bytes() + conn->handshake_buffer.size();
+  }
+  return total;
+}
+
+void LogServer::ArmDeadline(Connection* conn) {
+  if (conn->closing) return;
+  const DeadlineConfig& d = options_.deadlines;
+  std::uint64_t earliest = UINT64_MAX;
+  if (conn->paused && conn->resume_at_ms != 0) {
+    earliest = std::min(earliest, conn->resume_at_ms);
+  }
+  if (d.idle_timeout_ms != 0) {
+    earliest = std::min(earliest, conn->last_activity_ms + d.idle_timeout_ms);
+  }
+  if (!conn->admin) {
+    if (d.handshake_timeout_ms != 0 && conn->awaiting_handshake) {
+      earliest =
+          std::min(earliest, conn->accepted_at_ms + d.handshake_timeout_ms);
+    }
+    if (d.read_timeout_ms != 0 && conn->partial_since_ms != 0) {
+      earliest = std::min(earliest, conn->partial_since_ms + d.read_timeout_ms);
+    }
+  }
+  if (earliest == UINT64_MAX) {
+    wheel_.Cancel(conn->serial);
+    return;
+  }
+  wheel_.Schedule(conn->serial, earliest);
+}
+
+Status LogServer::HandleDeadline(Connection* conn, std::uint64_t now_ms) {
+  if (conn->closing) return Status::OK();
+  if (conn->paused && conn->resume_at_ms != 0 && now_ms >= conn->resume_at_ms) {
+    // Rate-limit pause over: the fd rejoins the poll set next
+    // iteration. The pause itself was not idleness.
+    conn->paused = false;
+    conn->resume_at_ms = 0;
+    conn->last_activity_ms = now_ms;
+  }
+  const DeadlineConfig& d = options_.deadlines;
+  const char* reason = nullptr;
+  if (d.idle_timeout_ms != 0 &&
+      now_ms >= conn->last_activity_ms + d.idle_timeout_ms) {
+    reason = "idle timeout";
+  }
+  if (!conn->admin && reason == nullptr) {
+    if (d.handshake_timeout_ms != 0 && conn->awaiting_handshake &&
+        now_ms >= conn->accepted_at_ms + d.handshake_timeout_ms) {
+      reason = "handshake timeout";
+    } else if (d.read_timeout_ms != 0 && conn->partial_since_ms != 0 &&
+               now_ms >= conn->partial_since_ms + d.read_timeout_ms) {
+      reason = "read timeout";
+    }
+  }
+  if (reason != nullptr) return ExpireConnection(conn, reason);
+  ArmDeadline(conn);  // early wake or freshly unpaused: re-arm
+  return Status::OK();
+}
+
+Status LogServer::ExpireConnection(Connection* conn, const char* reason) {
+  ++stats_.connections_expired;
+  m_expired_.Increment();
+  tracer_.Instant("expire", 0, conn->serial);
+  obs::LogWarn("net.expire")("serial", conn->serial)("reason", reason)(
+      "client", conn->client_id.empty() ? "anonymous" : conn->client_id);
+  // Best-effort protocol farewell with a zero write deadline: the peer
+  // being reaped is by definition not a well-behaved reader, and the
+  // loop must not stall on its account.
+  (void)WriteAll(conn->fd, std::string("ERR ") + reason + "\n",
+                 std::chrono::milliseconds(0));
+  if (!conn->admin) {
+    // Salvage every complete line, then quarantine the carried partial
+    // with producer attribution. The replay offset stays on the last
+    // line boundary, so an identified client that reconnects re-sends
+    // the interrupted line whole.
+    if (!conn->awaiting_handshake) {
+      WUM_RETURN_NOT_OK(PumpConnection(conn));
+    }
+    DeadLetterPartial(conn, Status::DeadlineExceeded(reason));
+  }
+  CloseConnection(conn, reason);
+  return Status::OK();
+}
+
+Status LogServer::DegradeConnection(Connection* conn, const char* reason,
+                                    std::uint64_t now_ms) {
+  if (engine_->offer_policy() == OfferPolicy::kShed) {
+    // Shed: quarantine the buffered complete lines (pulled through the
+    // LineBuffer so the replay offset advances past them — deliberately
+    // shed data must not resurrect on resume), drop the partial, and
+    // drop the producer.
+    std::uint64_t shed_lines = 0;
+    while (true) {
+      WUM_ASSIGN_OR_RETURN(std::optional<std::string_view> chunk,
+                           conn->lines.Next());
+      if (!chunk.has_value()) break;
+      shed_lines += static_cast<std::uint64_t>(
+          std::count(chunk->begin(), chunk->end(), '\n'));
+    }
+    if (shed_lines > 0) {
+      stats_.lines_quota_shed += shed_lines;
+      m_quota_shed_.Increment(shed_lines);
+      if (dead_letters_ != nullptr) {
+        DeadLetter letter;
+        letter.stage = DeadLetter::Stage::kParse;
+        letter.reason = Status::FailedPrecondition(reason);
+        letter.detail = (conn->client_id.empty() ? std::string("anonymous")
+                                                 : conn->client_id) +
+                        ": " + std::to_string(shed_lines) +
+                        " lines shed over quota";
+        letter.records_covered = shed_lines;
+        dead_letters_->Offer(std::move(letter));
+      }
+    }
+    DeadLetterPartial(conn, Status::FailedPrecondition(reason));
+    (void)conn->lines.ShedTail();
+    RecordOffset(*conn);
+    obs::LogWarn("net.quota")("serial", conn->serial)("action", "shed")(
+        "reason", reason)("lines", shed_lines);
+    (void)WriteAll(conn->fd, std::string("ERR ") + reason + "\n",
+                   std::chrono::milliseconds(0));
+    CloseConnection(conn, reason);
+    return Status::OK();
+  }
+  // kBlock: stop polling this fd — the kernel receive buffer fills and
+  // TCP pushes back on this producer alone; everyone else keeps
+  // flowing. The buffered partial is bounded by max_line_bytes, and the
+  // read/idle deadlines are what eventually reap a producer that never
+  // completes its line.
+  if (!conn->paused) {
+    conn->paused = true;
+    conn->resume_at_ms = now_ms + 50;  // re-check cadence while blocked
+    obs::LogWarn("net.quota")("serial", conn->serial)("action", "pause")(
+        "reason", reason);
+    ArmDeadline(conn);
+  }
+  return Status::OK();
 }
 
 Status LogServer::PumpConnection(Connection* conn) {
@@ -294,16 +541,23 @@ Status LogServer::HandleData(Connection* conn, std::string_view bytes) {
   if (bytes.empty()) return Status::OK();
   const Status append = conn->lines.Append(bytes);
   if (!append.ok()) {
+    // The refused bytes were still read off the wire, so they already
+    // counted against the producer's rate quota at read time; here they
+    // are tallied as an oversize rejection and the producer dropped.
+    ++stats_.oversize_rejections;
+    m_oversize_.Increment();
     if (dead_letters_ != nullptr) {
       DeadLetter letter;
       letter.stage = DeadLetter::Stage::kParse;
       letter.reason = append;
       letter.detail = conn->client_id.empty() ? std::string("anonymous")
                                               : conn->client_id;
+      letter.records_covered = 0;  // never became an accepted record
       dead_letters_->Offer(std::move(letter));
     }
     obs::LogWarn("net.overlong")("serial", conn->serial)(
-        "error", append.message());
+        "error", append.message())("rejected_bytes",
+                                   conn->lines.rejected_bytes());
     WUM_RETURN_NOT_OK(PumpConnection(conn));  // salvage complete lines
     CloseConnection(conn, "overlong line");
     return Status::OK();
@@ -332,14 +586,14 @@ Status LogServer::HandleHandshakeBuffer(Connection* conn) {
       first_line.substr(0, kHelloPrefix.size()) == kHelloPrefix) {
     const std::string client_id(first_line.substr(kHelloPrefix.size()));
     if (client_id.empty()) {
-      (void)WriteAll(conn->fd, "ERR empty client-id\n");
+      Reply(conn, "ERR empty client-id\n");
       CloseConnection(conn, "empty client-id");
       return Status::OK();
     }
     for (const auto& other : connections_) {
       if (other.get() != conn && !other->closing &&
           other->client_id == client_id) {
-        (void)WriteAll(conn->fd, "ERR duplicate client-id\n");
+        Reply(conn, "ERR duplicate client-id\n");
         CloseConnection(conn, "duplicate client-id");
         return Status::OK();
       }
@@ -351,8 +605,8 @@ Status LogServer::HandleHandshakeBuffer(Connection* conn) {
     m_handshakes_.Increment();
     obs::LogInfo("net.handshake")("client", client_id)(
         "skip", conn->base_offset);
-    WUM_RETURN_NOT_OK(WriteAll(
-        conn->fd, "OK " + std::to_string(conn->base_offset) + "\n"));
+    Reply(conn, "OK " + std::to_string(conn->base_offset) + "\n");
+    if (conn->closing) return Status::OK();  // peer died taking the reply
     // Anything the client pipelined after HELLO is data.
     return HandleData(conn,
                       std::string_view(buffered).substr(newline + 1));
@@ -367,39 +621,45 @@ Status LogServer::HandleAdminLine(Connection* conn, std::string_view line) {
   if (line.empty()) return Status::OK();
   ++stats_.admin_commands;
   m_admin_.Increment();
-  obs::LogInfo("net.admin")("command", std::string(line));
+  obs::LogInfo("net.admin")("command", std::string(line.substr(0, 120)));
   if (line == "PING") {
-    return WriteAll(conn->fd, "OK\n");
+    Reply(conn, "OK\n");
+    return Status::OK();
   }
   if (line == "STATS") {
     if (options_.metrics == nullptr) {
-      return WriteAll(conn->fd, "ERR metrics disabled\n");
+      Reply(conn, "ERR metrics disabled\n");
+    } else {
+      Reply(conn, options_.metrics->Snapshot().ToJsonLine() + "\n");
     }
-    return WriteAll(conn->fd,
-                    options_.metrics->Snapshot().ToJsonLine() + "\n");
+    return Status::OK();
   }
   if (line == "CHECKPOINT") {
     const Status status = driver_->CheckpointNow();
     if (!status.ok()) {
-      return WriteAll(conn->fd, "ERR " + status.message() + "\n");
+      Reply(conn, "ERR " + status.message() + "\n");
+      return Status::OK();
     }
     records_at_last_checkpoint_ = driver_->records_offered();
-    return WriteAll(conn->fd,
-                    "OK records_seen=" +
-                        std::to_string(engine_->records_seen()) + "\n");
+    Reply(conn, "OK records_seen=" + std::to_string(engine_->records_seen()) +
+                    "\n");
+    return Status::OK();
   }
   if (line == "QUIESCE") {
     std::string detail;
     const Status status = DoQuiesce(&detail);
     if (!status.ok()) {
-      (void)WriteAll(conn->fd, "ERR " + status.message() + "\n");
+      // An engine that cannot quiesce is a fatal serve error; the reply
+      // is best-effort on the way down.
+      Reply(conn, "ERR " + status.message() + "\n");
       return status;
     }
-    WUM_RETURN_NOT_OK(WriteAll(
-        conn->fd, detail.empty() ? std::string("OK\n") : "OK " + detail + "\n"));
+    Reply(conn,
+          detail.empty() ? std::string("OK\n") : "OK " + detail + "\n");
     return Status::OK();
   }
-  return WriteAll(conn->fd, "ERR unknown command: " + std::string(line) + "\n");
+  Reply(conn, "ERR unknown command: " + std::string(line.substr(0, 200)) + "\n");
+  return Status::OK();
 }
 
 Status LogServer::DoQuiesce(std::string* detail) {
@@ -446,12 +706,45 @@ Status LogServer::DoQuiesce(std::string* detail) {
 
 Status LogServer::HandleReadable(Connection* conn, bool* made_progress) {
   obs::ScopedSpan span(tracer_, "read", 0, conn->serial);
-  WUM_ASSIGN_OR_RETURN(
-      const ReadResult read,
-      ReadSome(conn->fd, read_buffer_.data(), read_buffer_.size()));
+  if (made_progress != nullptr) *made_progress = false;
+  const std::uint64_t now = NowMs();
+  std::size_t capacity = read_buffer_.size();
+  if (!conn->admin && !stopping_ && !conn->bucket.unlimited()) {
+    const std::uint64_t available = conn->bucket.Available(now);
+    if (available == 0) {
+      // Rate quota spent: withhold this fd from poll until the bucket
+      // refills. The kernel buffer fills, TCP pushes back on this
+      // producer alone; nobody else notices.
+      conn->paused = true;
+      conn->resume_at_ms = conn->bucket.WhenAvailable(1, now);
+      ArmDeadline(conn);
+      return Status::OK();
+    }
+    capacity = std::min<std::size_t>(capacity, available);
+  }
+  Result<ReadResult> read_result =
+      ReadSome(conn->fd, read_buffer_.data(), capacity);
+  if (!read_result.ok()) {
+    // A peer that resets (or any per-socket read failure) costs exactly
+    // one connection: salvage complete lines, quarantine the carried
+    // partial, close. Never fatal to the serve loop.
+    obs::LogWarn("net.read")("serial", conn->serial)(
+        "error", read_result.status().ToString());
+    if (!conn->admin && !conn->awaiting_handshake) {
+      WUM_RETURN_NOT_OK(PumpConnection(conn));
+    }
+    DeadLetterPartial(conn, read_result.status());
+    CloseConnection(conn, read_result.status().IsConnectionReset()
+                              ? "peer reset"
+                              : "read error");
+    return Status::OK();
+  }
+  const ReadResult read = *read_result;
   if (made_progress != nullptr) *made_progress = !read.would_block;
   if (read.would_block) return Status::OK();
   if (read.bytes > 0) {
+    conn->last_activity_ms = now;
+    if (!conn->admin) conn->bucket.Consume(read.bytes, now);
     const std::string_view bytes(read_buffer_.data(), read.bytes);
     if (conn->admin) {
       conn->admin_buffer.append(bytes);
@@ -466,13 +759,44 @@ Status LogServer::HandleReadable(Connection* conn, bool* made_progress) {
         conn->admin_buffer.erase(0, newline + 1);
         WUM_RETURN_NOT_OK(HandleAdminLine(conn, line));
       }
+      ArmDeadline(conn);
       return Status::OK();
     }
+    Status handled;
     if (conn->awaiting_handshake) {
       conn->handshake_buffer.append(bytes);
-      return HandleHandshakeBuffer(conn);
+      handled = HandleHandshakeBuffer(conn);
+    } else {
+      handled = HandleData(conn, bytes);
     }
-    return HandleData(conn, bytes);
+    WUM_RETURN_NOT_OK(handled);
+    if (!conn->closing && !stopping_) {
+      // Track how long an incomplete line has been outstanding: the
+      // clock starts when the partial appears and does NOT reset on
+      // further dribble — a one-byte-at-a-time peer cannot extend its
+      // read deadline by dribbling.
+      const bool has_partial =
+          conn->lines.buffered_bytes() > 0 ||
+          (conn->awaiting_handshake && !conn->handshake_buffer.empty());
+      if (!has_partial) {
+        conn->partial_since_ms = 0;
+      } else if (conn->partial_since_ms == 0) {
+        conn->partial_since_ms = now;
+      }
+      const ClientQuota& quota = options_.client_quota;
+      if (quota.max_buffered_bytes != 0 &&
+          conn->lines.buffered_bytes() + conn->handshake_buffer.size() >
+              quota.max_buffered_bytes) {
+        WUM_RETURN_NOT_OK(
+            DegradeConnection(conn, "buffer quota exceeded", now));
+      } else if (options_.ingest_budget_bytes != 0 &&
+                 BufferedBytesTotal() > options_.ingest_budget_bytes) {
+        WUM_RETURN_NOT_OK(
+            DegradeConnection(conn, "ingest budget exceeded", now));
+      }
+    }
+    if (!conn->closing) ArmDeadline(conn);
+    return Status::OK();
   }
   if (read.eof) {
     if (!conn->admin) {
@@ -510,13 +834,25 @@ Status LogServer::Serve() {
     pollfds.push_back(pollfd{admin_listener_.get(), POLLIN, 0});
     pollconns.push_back(nullptr);
     for (auto& conn : connections_) {
-      if (conn->closing) continue;
+      // Paused connections (rate quota spent, kBlock degradation) stay
+      // open but out of the poll set: per-producer TCP pushback.
+      if (conn->closing || conn->paused) continue;
       pollfds.push_back(pollfd{conn->fd.get(), POLLIN, 0});
       pollconns.push_back(conn.get());
     }
+    // Sleep until the next wheel deadline (a lower bound — waking early
+    // and re-arming is fine), or forever when nothing is scheduled.
+    int timeout_ms = -1;
+    if (const std::optional<std::uint64_t> next = wheel_.NextDeadline()) {
+      const std::uint64_t now = NowMs();
+      timeout_ms = *next <= now
+                       ? 0
+                       : static_cast<int>(
+                             std::min<std::uint64_t>(*next - now, 60000));
+    }
     const int rc = ::poll(pollfds.data(),
                           static_cast<nfds_t>(pollfds.size()),
-                          /*timeout_ms=*/-1);
+                          timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       result = Status::IoError("poll: " + std::string(std::strerror(errno)));
@@ -536,6 +872,17 @@ Status LogServer::Serve() {
         step = AcceptPending(&admin_listener_, /*admin=*/true);
       } else if (pollconns[i] != nullptr && !pollconns[i]->closing) {
         step = HandleReadable(pollconns[i]);
+      }
+    }
+    if (step.ok() && !quiesced_) {
+      // Fire lapsed deadlines after fresh reads: data that arrived in
+      // this very poll round counts as activity before expiry judges.
+      const std::uint64_t now = NowMs();
+      for (const std::uint64_t serial : wheel_.Advance(now)) {
+        Connection* conn = FindBySerial(serial);
+        if (conn == nullptr || conn->closing) continue;
+        step = HandleDeadline(conn, now);
+        if (!step.ok()) break;
       }
     }
     if (!step.ok()) {

@@ -31,7 +31,21 @@
 // delta to the connection that offered it with a synthetic dead letter
 // (conservation: emitted + dead-lettered == accepted).
 //
-// See docs/serving.md for the full protocol and restart runbook.
+// Hostile-network hardening (all opt-in via ServerOptions):
+//   * Lifecycle deadlines — idle, handshake and read (partial-line)
+//     timeouts enforced from the poll loop by a timer wheel; expired
+//     peers get a best-effort "ERR <reason>" and their carried partial
+//     is dead-lettered with producer attribution. Reply writes are
+//     bounded by a write deadline.
+//   * Per-client quotas — a token-bucket byte rate (breach pauses only
+//     the offending socket: per-producer TCP pushback, never global)
+//     and a buffered-bytes ceiling (breach degrades per OfferPolicy).
+//   * Admission control — max_connections and a global ingest byte
+//     budget; over-budget connections are answered "BUSY <reason>" at
+//     accept and refused.
+//
+// See docs/serving.md for the full protocol and restart runbook, and
+// docs/robustness.md for the degradation matrix and chaos harness.
 
 #ifndef WUM_NET_SERVER_H_
 #define WUM_NET_SERVER_H_
@@ -48,7 +62,9 @@
 #include "wum/common/result.h"
 #include "wum/ingest/byte_source.h"
 #include "wum/ingest/driver.h"
+#include "wum/net/quota.h"
 #include "wum/net/socket.h"
+#include "wum/net/timer_wheel.h"
 #include "wum/obs/metrics.h"
 #include "wum/obs/trace.h"
 #include "wum/stream/dead_letter.h"
@@ -79,6 +95,17 @@ struct ServeStats {
   std::uint64_t bytes_read = 0;
   std::uint64_t records_shed = 0;
   std::uint64_t admin_commands = 0;
+  /// Connections reaped by a lifecycle deadline (idle / handshake /
+  /// read timeout).
+  std::uint64_t connections_expired = 0;
+  /// Connections answered BUSY and closed at accept (admission control).
+  std::uint64_t connections_refused = 0;
+  /// Complete lines dead-lettered instead of offered because a client
+  /// breached its buffer quota under OfferPolicy::kShed.
+  std::uint64_t lines_quota_shed = 0;
+  /// Append calls refused for an over-long line (the bytes still count
+  /// against the producer's rate quota).
+  std::uint64_t oversize_rejections = 0;
 };
 
 struct ServerOptions {
@@ -88,6 +115,27 @@ struct ServerOptions {
   std::size_t max_connections = 256;
   std::size_t read_buffer_bytes = 64u << 10;
   std::size_t max_line_bytes = ingest::LineBuffer::kDefaultMaxLineBytes;
+
+  /// Connection lifecycle deadlines, enforced from the poll loop via a
+  /// timer wheel (no extra threads). All zero by default: a trusted
+  /// network behaves exactly as before this knob existed.
+  DeadlineConfig deadlines;
+
+  /// Per-data-connection resource quotas (rate, burst, buffered-bytes
+  /// ceiling). Zero fields = unlimited. Breaches degrade per the
+  /// engine's OfferPolicy: kBlock pauses only the offending socket (TCP
+  /// pushes back on that producer alone), kShed dead-letters with
+  /// per-producer attribution.
+  ClientQuota client_quota;
+
+  /// Global ceiling on bytes buffered across every connection's
+  /// LineBuffer + handshake buffer; new connections are refused with
+  /// BUSY while the budget is exhausted. 0 = unlimited.
+  std::uint64_t ingest_budget_bytes = 0;
+
+  /// Monotonic-milliseconds source for deadlines and quotas; tests
+  /// install a manual clock. Defaults to MonotonicMillis.
+  std::function<std::uint64_t()> clock_ms;
 
   /// Driver configuration (batching + checkpoint cadence). Its
   /// sink_state field is overwritten by the server, which composes
@@ -166,6 +214,33 @@ class LogServer {
   Status DoQuiesce(std::string* detail);
   void CloseConnection(Connection* conn, const char* why);
 
+  std::uint64_t NowMs() const;
+  /// Sends a reply; a write failure (peer reset, write deadline) closes
+  /// this connection instead of propagating — one hostile reader must
+  /// never take down the serve loop.
+  void Reply(Connection* conn, std::string_view reply);
+  /// Refuses a connection at accept: best-effort "BUSY <reason>" and
+  /// close.
+  void RefuseConnection(Fd accepted, const char* reason);
+  /// Quarantines a connection's carried partial line (tagged with the
+  /// producer) before the connection dies with data in flight.
+  void DeadLetterPartial(Connection* conn, const Status& reason);
+  /// (Re)arms the connection's earliest applicable deadline on the
+  /// wheel; cancels when none applies.
+  void ArmDeadline(Connection* conn);
+  /// Timer-wheel callback: decides which deadline (if any) actually
+  /// lapsed and expires or re-arms the connection.
+  Status HandleDeadline(Connection* conn, std::uint64_t now_ms);
+  /// Reaps a connection whose deadline lapsed: protocol ERR, partial
+  /// dead-lettered, complete lines salvaged.
+  Status ExpireConnection(Connection* conn, const char* reason);
+  /// Degrades a connection that breached its buffer quota or the global
+  /// ingest budget, honoring the engine's OfferPolicy.
+  Status DegradeConnection(Connection* conn, const char* reason,
+                           std::uint64_t now_ms);
+  Connection* FindBySerial(std::uint64_t serial);
+  std::uint64_t BufferedBytesTotal() const;
+
   ServerOptions options_;
   StreamEngine* engine_;
   DeadLetterQueue* dead_letters_;
@@ -187,6 +262,7 @@ class LogServer {
   bool stopping_ = false;
   bool quiesced_ = false;
   ServeStats stats_;
+  TimerWheel wheel_;
 
   obs::Tracer tracer_;
   obs::Counter m_accepted_;
@@ -195,6 +271,11 @@ class LogServer {
   obs::Counter m_bytes_read_;
   obs::Counter m_shed_;
   obs::Counter m_admin_;
+  obs::Counter m_expired_;
+  obs::Counter m_refused_;
+  obs::Counter m_quota_shed_;
+  obs::Counter m_oversize_;
+  obs::Gauge g_active_;
 };
 
 }  // namespace wum::net

@@ -27,6 +27,21 @@ Status ErrnoStatus(const std::string& op, int err) {
   return Status::IoError(op + ": " + std::strerror(err));
 }
 
+/// SIGPIPE suppression: prefer the per-call flag where the platform has
+/// one; Apple only has the per-socket option, set at open/accept time.
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+void SuppressSigpipe([[maybe_unused]] const Fd& fd) {
+#if defined(SO_NOSIGPIPE)
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+}
+
 /// getaddrinfo for a numeric-or-named IPv4/IPv6 host.
 Result<Fd> OpenResolved(const std::string& host, std::uint16_t port,
                         bool listening, int backlog) {
@@ -66,6 +81,7 @@ Result<Fd> OpenResolved(const std::string& host, std::uint16_t port,
       }
     }
     ::freeaddrinfo(result);
+    SuppressSigpipe(fd);
     return fd;
   }
   ::freeaddrinfo(result);
@@ -123,7 +139,11 @@ Status SetNonBlocking(const Fd& socket, bool enabled) {
 Result<Fd> Accept(const Fd& listener) {
   while (true) {
     const int fd = ::accept(listener.get(), nullptr, nullptr);
-    if (fd >= 0) return Fd(fd);
+    if (fd >= 0) {
+      Fd accepted(fd);
+      SuppressSigpipe(accepted);
+      return accepted;
+    }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
     return ErrnoStatus("accept", errno);
@@ -150,30 +170,57 @@ Result<ReadResult> ReadSome(const Fd& socket, char* buffer,
       result.would_block = true;
       return result;
     }
+    if (errno == ECONNRESET) {
+      return Status::ConnectionReset("read: connection reset by peer");
+    }
     return ErrnoStatus("read", errno);
   }
 }
 
-Status WriteAll(const Fd& socket, std::string_view data) {
+Status WriteAll(const Fd& socket, std::string_view data,
+                std::chrono::milliseconds deadline) {
+  const auto start = std::chrono::steady_clock::now();
   std::size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n =
-        ::write(socket.get(), data.data() + written, data.size() - written);
+    const ssize_t n = ::send(socket.get(), data.data() + written,
+                             data.size() - written, kSendFlags);
     if (n > 0) {
       written += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      pollfd pfd{socket.get(), POLLOUT, 0};
-      if (::poll(&pfd, 1, /*timeout_ms=*/10000) <= 0) {
-        return Status::IoError("write: peer not accepting data");
+      // The deadline bounds the *whole call*, not each poll: a peer
+      // draining one byte per poll round cannot stretch the write
+      // forever.
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+      const auto remaining = deadline - elapsed;
+      if (remaining <= std::chrono::milliseconds::zero()) {
+        return Status::DeadlineExceeded(
+            "write: peer not accepting data within " +
+            std::to_string(deadline.count()) + "ms");
       }
+      pollfd pfd{socket.get(), POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (rc < 0 && errno != EINTR) return ErrnoStatus("poll(POLLOUT)", errno);
       continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::ConnectionReset("write: connection reset by peer");
     }
     return ErrnoStatus("write", errno);
   }
   return Status::OK();
+}
+
+void ResetHard(Fd* socket) {
+  if (socket == nullptr || !socket->valid()) return;
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(socket->get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  socket->reset();
 }
 
 Result<std::pair<Fd, Fd>> MakePipe() {
@@ -204,7 +251,10 @@ Result<Fd> Accept(const Fd&) { return NoSockets(); }
 Result<ReadResult> ReadSome(const Fd&, char*, std::size_t) {
   return NoSockets();
 }
-Status WriteAll(const Fd&, std::string_view) { return NoSockets(); }
+Status WriteAll(const Fd&, std::string_view, std::chrono::milliseconds) {
+  return NoSockets();
+}
+void ResetHard(Fd*) {}
 Result<std::pair<Fd, Fd>> MakePipe() { return NoSockets(); }
 
 #endif  // WUM_NET_HAS_SOCKETS

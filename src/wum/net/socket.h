@@ -8,6 +8,7 @@
 #ifndef WUM_NET_SOCKET_H_
 #define WUM_NET_SOCKET_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -81,13 +82,35 @@ struct ReadResult {
 };
 
 /// One read(2) into `buffer`, with EINTR retried and EAGAIN reported as
-/// would_block instead of an error.
+/// would_block instead of an error. A peer that reset the connection
+/// (ECONNRESET) surfaces as a ConnectionReset status, so callers can
+/// close one connection instead of treating the reset as a fatal I/O
+/// failure.
 Result<ReadResult> ReadSome(const Fd& socket, char* buffer,
                             std::size_t capacity);
 
+/// The write deadline WriteAll applies when the caller does not supply
+/// one — matches the old hard-coded poll.
+inline constexpr std::chrono::milliseconds kDefaultWriteDeadline{10000};
+
 /// Writes all of `data`, polling for writability when a non-blocking
-/// socket fills its send buffer. EPIPE surfaces as an IoError.
-Status WriteAll(const Fd& socket, std::string_view data);
+/// socket fills its send buffer — but never past `deadline` *total*
+/// across the whole call. The failure is precise:
+///   * DeadlineExceeded — the peer stopped accepting data in time
+///     (deadline of zero means one send attempt, no waiting at all:
+///     the right mode for best-effort replies to a peer that is by
+///     definition not reading).
+///   * ConnectionReset — the peer reset the connection (EPIPE /
+///     ECONNRESET). Never raises SIGPIPE (MSG_NOSIGNAL / SO_NOSIGPIPE).
+///   * IoError — anything else.
+Status WriteAll(const Fd& socket, std::string_view data,
+                std::chrono::milliseconds deadline = kDefaultWriteDeadline);
+
+/// Closes with an RST instead of a FIN (SO_LINGER zero, then close):
+/// the peer's next read or write fails with ECONNRESET. This is how the
+/// chaos harness models a crashed or hostile peer; a no-op on an
+/// invalid Fd.
+void ResetHard(Fd* socket);
 
 /// A pipe: {read end, write end}. Used as the server's self-pipe stop
 /// signal (the write end is async-signal-safe to write to).

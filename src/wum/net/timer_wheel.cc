@@ -1,0 +1,86 @@
+#include "wum/net/timer_wheel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace wum::net {
+
+std::uint64_t MonotonicMillis() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TimerWheel::TimerWheel(std::uint64_t tick_ms, std::size_t slots)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+      slots_(slots == 0 ? 1 : slots) {}
+
+void TimerWheel::Schedule(std::uint64_t key, std::uint64_t deadline_ms) {
+  // The old slot entry (if any) goes stale; Advance skips it because
+  // the map is authoritative. A deadline already in the past is bucketed
+  // at the scan cursor so the next Advance still sees it.
+  deadlines_[key] = deadline_ms;
+  const std::uint64_t slot_ms =
+      std::max(deadline_ms, current_tick_ * tick_ms_);
+  slots_[SlotFor(slot_ms)].push_back(key);
+  if (deadlines_.size() == 1 || deadline_ms < earliest_bound_) {
+    earliest_bound_ = deadline_ms;
+  }
+}
+
+void TimerWheel::Cancel(std::uint64_t key) { deadlines_.erase(key); }
+
+std::optional<std::uint64_t> TimerWheel::NextDeadline() const {
+  if (deadlines_.empty()) return std::nullopt;
+  return earliest_bound_;
+}
+
+std::vector<std::uint64_t> TimerWheel::Advance(std::uint64_t now_ms) {
+  std::vector<std::uint64_t> fired;
+  if (deadlines_.empty()) {
+    current_tick_ = now_ms / tick_ms_;
+    return fired;
+  }
+  const std::uint64_t target_tick = now_ms / tick_ms_;
+  // Scan at most one full rotation: past that, every slot has been
+  // visited once and longer-dated entries simply stay put.
+  const std::uint64_t span =
+      std::min<std::uint64_t>(target_tick - current_tick_, slots_.size() - 1);
+  for (std::uint64_t tick = target_tick - span; tick <= target_tick; ++tick) {
+    auto& bucket = slots_[static_cast<std::size_t>(tick % slots_.size())];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const std::uint64_t key = bucket[i];
+      auto it = deadlines_.find(key);
+      if (it == deadlines_.end()) continue;  // cancelled or rescheduled away
+      if (it->second <= now_ms) {
+        // Due entries fire from whichever copy the scan reaches first;
+        // the erase makes any other copy stale.
+        fired.push_back(key);
+        deadlines_.erase(it);
+        continue;
+      }
+      if (SlotFor(it->second) != static_cast<std::size_t>(tick % slots_.size())) {
+        continue;  // stale entry from an overwritten schedule
+      }
+      bucket[keep++] = key;  // future rotation of this slot
+    }
+    bucket.resize(keep);
+  }
+  current_tick_ = target_tick;
+  // Recompute the cached bound; with the wheel sized for a few hundred
+  // connections this linear pass is cheap and only runs after a wheel
+  // advance, not per poll iteration.
+  if (!deadlines_.empty()) {
+    std::uint64_t earliest = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& [key, deadline] : deadlines_) {
+      earliest = std::min(earliest, deadline);
+    }
+    earliest_bound_ = earliest;
+  }
+  return fired;
+}
+
+}  // namespace wum::net

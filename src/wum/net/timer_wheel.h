@@ -1,0 +1,73 @@
+// TimerWheel: the LogServer's connection-deadline scheduler — a
+// single-level hashed timer wheel driven entirely from the poll loop,
+// no extra threads and no per-tick allocation on the happy path.
+//
+// The server schedules one deadline per connection serial (idle,
+// handshake, read — whichever expires first) and asks NextDeadline()
+// how long poll(2) may sleep. Deadlines are coarse by design: the wheel
+// buckets them into tick-sized slots, so expiry fires within one tick
+// of the true deadline — deadlines here are seconds-scale defenses, not
+// microsecond timers.
+//
+// Rescheduling a key overwrites its deadline; the stale slot entry is
+// skipped lazily when its slot is scanned (the authoritative deadline
+// lives in the key map). NextDeadline() returns a cached *lower bound*:
+// the loop may wake early, find nothing due, and re-arm — correctness
+// never depends on the bound being tight.
+
+#ifndef WUM_NET_TIMER_WHEEL_H_
+#define WUM_NET_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace wum::net {
+
+/// Monotonic milliseconds from std::chrono::steady_clock — the clock
+/// every net-layer deadline runs on (tests inject their own values
+/// instead of overriding the clock).
+std::uint64_t MonotonicMillis();
+
+class TimerWheel {
+ public:
+  /// `tick_ms` is the expiry granularity, `slots` the wheel
+  /// circumference: deadlines further than tick_ms * slots out simply
+  /// survive extra rotations (checked against the key map each pass).
+  explicit TimerWheel(std::uint64_t tick_ms = 16, std::size_t slots = 128);
+
+  /// Schedules (or reschedules) `key` to fire at `deadline_ms`. One
+  /// live deadline per key.
+  void Schedule(std::uint64_t key, std::uint64_t deadline_ms);
+
+  /// Forgets `key`; a no-op when not scheduled.
+  void Cancel(std::uint64_t key);
+
+  /// The earliest moment any key could fire — a lower bound, suitable
+  /// as the poll timeout. nullopt when nothing is scheduled.
+  std::optional<std::uint64_t> NextDeadline() const;
+
+  /// Advances the wheel to `now_ms` and returns every key whose
+  /// deadline has passed (each at most once; fired keys are forgotten).
+  std::vector<std::uint64_t> Advance(std::uint64_t now_ms);
+
+  /// Keys currently scheduled.
+  std::size_t size() const { return deadlines_.size(); }
+
+ private:
+  std::size_t SlotFor(std::uint64_t deadline_ms) const {
+    return static_cast<std::size_t>(deadline_ms / tick_ms_) % slots_.size();
+  }
+
+  std::uint64_t tick_ms_;
+  std::vector<std::vector<std::uint64_t>> slots_;  // keys, possibly stale
+  std::unordered_map<std::uint64_t, std::uint64_t> deadlines_;  // key -> ms
+  std::uint64_t current_tick_ = 0;  // last tick Advance fully scanned
+  std::uint64_t earliest_bound_ = 0;  // cached lower bound for NextDeadline
+};
+
+}  // namespace wum::net
+
+#endif  // WUM_NET_TIMER_WHEEL_H_

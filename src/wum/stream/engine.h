@@ -407,6 +407,11 @@ class StreamEngine {
   /// True when this engine was restored from a checkpoint.
   bool resumed() const { return resumed_; }
 
+  /// The backpressure semantics Offer runs under — callers upstream of
+  /// the engine (e.g. the log server's quota degradation) mirror the
+  /// same policy for their own overload handling.
+  OfferPolicy offer_policy() const { return offer_policy_; }
+
   /// Input records the checkpoint this engine resumed from had already
   /// covered (0 when !resumed()). Under the default resume contract
   /// this many leading replayed records are skipped; under

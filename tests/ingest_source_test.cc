@@ -117,6 +117,46 @@ TEST(LineBufferTest, OversizeRejectionDoesNotCorruptCarry) {
   EXPECT_EQ(DrainAvailable(&buffer), "abcdef\n");
 }
 
+TEST(LineBufferTest, RejectedBytesAccumulateAcrossOversizeAppends) {
+  LineBuffer buffer(/*max_line_bytes=*/8);
+  EXPECT_EQ(buffer.rejected_bytes(), 0u);
+  ASSERT_TRUE(buffer.Append("fine\n").ok());
+  EXPECT_EQ(buffer.rejected_bytes(), 0u);
+  // Every byte of a refused Append counts, across repeated abuse — the
+  // producer's rate quota already paid for them at read time.
+  EXPECT_FALSE(buffer.Append(std::string(20, 'x')).ok());
+  EXPECT_EQ(buffer.rejected_bytes(), 20u);
+  EXPECT_FALSE(buffer.Append(std::string(13, 'y')).ok());
+  EXPECT_EQ(buffer.rejected_bytes(), 33u);
+  // Accepted traffic never touches the tally.
+  EXPECT_EQ(DrainAvailable(&buffer), "fine\n");
+  ASSERT_TRUE(buffer.Append("more\n").ok());
+  EXPECT_EQ(buffer.rejected_bytes(), 33u);
+}
+
+TEST(LineBufferTest, ShedTailDropsPartialWithoutAdvancingOffset) {
+  LineBuffer buffer;
+  ASSERT_TRUE(buffer.Append("whole\npart").ok());
+  EXPECT_EQ(DrainAvailable(&buffer), "whole\n");
+  const std::uint64_t offset = buffer.consumed_bytes();
+  // The partial is discarded but the replay offset stays on the line
+  // boundary: a resuming client re-sends the shed line whole.
+  EXPECT_EQ(buffer.ShedTail(), 4u);
+  EXPECT_EQ(buffer.buffered_bytes(), 0u);
+  EXPECT_EQ(buffer.consumed_bytes(), offset);
+  EXPECT_FALSE(buffer.Next()->has_value());
+}
+
+TEST(LineBufferTest, ShedTailKeepsUnservedCompleteLines) {
+  LineBuffer buffer;
+  ASSERT_TRUE(buffer.Append("a\nb\ncarried-partial").ok());
+  // Complete-but-unserved lines survive the shed; only the carry goes.
+  EXPECT_EQ(buffer.ShedTail(), std::string("carried-partial").size());
+  EXPECT_EQ(DrainAvailable(&buffer), "a\nb\n");
+  EXPECT_EQ(buffer.consumed_bytes(), 4u);
+  EXPECT_EQ(buffer.ShedTail(), 0u);  // nothing left to shed
+}
+
 TEST(LineBufferTest, AppendAfterCloseFails) {
   LineBuffer buffer;
   buffer.Close();

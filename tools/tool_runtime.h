@@ -18,6 +18,10 @@
 #include <string>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#endif
+
 #include "tool_util.h"
 #include "wum/common/result.h"
 #include "wum/common/string_util.h"
@@ -104,6 +108,14 @@ class ToolRuntime {
   /// checkpoint flags when the tool is durable.
   static wum::Result<ToolRuntime> Start(const Flags& flags,
                                         RuntimeFeatures features) {
+    // A peer that disappears mid-reply must surface as EPIPE on the
+    // write, never as a process-killing SIGPIPE. The socket layer also
+    // passes MSG_NOSIGNAL per send, but stdout/stderr pipes (a died
+    // `websra_serve | head`) have no such flag — the process-wide
+    // disposition is the backstop.
+#if defined(__unix__) || defined(__APPLE__)
+    std::signal(SIGPIPE, SIG_IGN);
+#endif
     ToolRuntime runtime;
     runtime.features_ = features;
     runtime.registry_ = std::make_unique<wum::obs::MetricRegistry>();

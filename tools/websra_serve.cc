@@ -43,6 +43,10 @@ std::string Usage() {
          "  [--threads N=4] [--queue-capacity N=1024]\n"
          "  [--offer-policy block|shed] [--no-clean]\n"
          "  [--max-connections N=256] [--batch-records N=2048]\n"
+         "  [--idle-timeout-ms N=0] [--handshake-timeout-ms N=0]\n"
+         "  [--read-timeout-ms N=0] [--write-timeout-ms N=10000]\n"
+         "  [--client-quota-bps N=0] [--client-quota-burst N=0]\n"
+         "  [--client-buffer-bytes N=0] [--ingest-budget-bytes N=0]\n"
          "  [--format text|binary] [--metrics-out FILE]\n"
          "  [--metrics-every SEC [--metrics-series FILE]] [--trace-out FILE]\n"
          "  [--log-level debug|info|warn|error|off]\n"
@@ -68,6 +72,18 @@ std::string Usage() {
          "shard queue fills; shed drops sub-batches and accounts every\n"
          "dropped record to its producer in the dead-letter channel\n"
          "(conservation: emitted + dead-lettered == accepted).\n"
+         "\n"
+         "Hostile-network hardening (all off by default; 0 disables):\n"
+         "--idle-timeout-ms / --handshake-timeout-ms / --read-timeout-ms\n"
+         "expire connections that go silent, never finish HELLO, or dribble\n"
+         "an incomplete line too long (the peer gets `ERR <reason>`);\n"
+         "--write-timeout-ms bounds every reply write. --client-quota-bps\n"
+         "(+--client-quota-burst) rate-limits each producer with per-\n"
+         "connection TCP pushback; --client-buffer-bytes caps one\n"
+         "producer's buffered bytes; --ingest-budget-bytes caps buffered\n"
+         "bytes across all producers — over-budget connections are refused\n"
+         "with `BUSY <reason>` at accept. See docs/robustness.md for the\n"
+         "degradation matrix.\n"
          "\n"
          "--checkpoint-dir makes ingestion durable: the engine snapshots\n"
          "every --checkpoint-every-records records (or on admin\n"
@@ -121,7 +137,9 @@ wum::Status Run(const wum_tools::Flags& flags) {
       {"graph", "out", "host", "port", "admin-port", "port-file",
        "admin-port-file", "heuristic", "identity", "delta", "rho", "threads",
        "queue-capacity", "offer-policy", "no-clean", "max-connections",
-       "batch-records", "format"},
+       "batch-records", "format", "idle-timeout-ms", "handshake-timeout-ms",
+       "read-timeout-ms", "write-timeout-ms", "client-quota-bps",
+       "client-quota-burst", "client-buffer-bytes", "ingest-budget-bytes"},
       features)));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
@@ -307,6 +325,22 @@ wum::Status Run(const wum_tools::Flags& flags) {
   }
   server_options.ingest.batch_records =
       static_cast<std::size_t>(batch_records);
+  WUM_ASSIGN_OR_RETURN(server_options.deadlines.idle_timeout_ms,
+                       flags.GetUint("idle-timeout-ms", 0));
+  WUM_ASSIGN_OR_RETURN(server_options.deadlines.handshake_timeout_ms,
+                       flags.GetUint("handshake-timeout-ms", 0));
+  WUM_ASSIGN_OR_RETURN(server_options.deadlines.read_timeout_ms,
+                       flags.GetUint("read-timeout-ms", 0));
+  WUM_ASSIGN_OR_RETURN(server_options.deadlines.write_timeout_ms,
+                       flags.GetUint("write-timeout-ms", 10000));
+  WUM_ASSIGN_OR_RETURN(server_options.client_quota.bytes_per_sec,
+                       flags.GetUint("client-quota-bps", 0));
+  WUM_ASSIGN_OR_RETURN(server_options.client_quota.burst_bytes,
+                       flags.GetUint("client-quota-burst", 0));
+  WUM_ASSIGN_OR_RETURN(server_options.client_quota.max_buffered_bytes,
+                       flags.GetUint("client-buffer-bytes", 0));
+  WUM_ASSIGN_OR_RETURN(server_options.ingest_budget_bytes,
+                       flags.GetUint("ingest-budget-bytes", 0));
   if (checkpoint.has_value()) {
     server_options.ingest.checkpoint_dir = checkpoint->dir;
     server_options.ingest.checkpoint_every_records = checkpoint->every_records;
