@@ -19,6 +19,7 @@
 
 #include "wum/clf/clf_parser.h"
 #include "wum/clf/clf_writer.h"
+#include "wum/mine/options.h"
 #include "wum/mining/apriori_all.h"
 #include "wum/obs/metrics.h"
 #include "wum/obs/trace.h"
@@ -214,7 +215,8 @@ bool OfferAllBatched(StreamEngine* engine,
 // not the ingest thread's CPU time.
 void StreamEngineShardedLoop(benchmark::State& state,
                              obs::MetricRegistry* metrics,
-                             bool with_retry = false) {
+                             bool with_retry = false,
+                             bool with_mining = false) {
   const Fixture& fixture = Fixture::Get();
   const std::size_t shards = static_cast<std::size_t>(state.range(0));
   std::size_t records = 0;
@@ -227,6 +229,7 @@ void StreamEngineShardedLoop(benchmark::State& state,
         .set_metrics(metrics)
         .use_smart_sra(&fixture.graph);
     if (with_retry) options.set_retry(RetryOptions{});
+    if (with_mining) options.set_mining(mine::MinerOptions{});
     Result<std::unique_ptr<StreamEngine>> engine =
         StreamEngine::Create(std::move(options), &sink);
     if (!engine.ok()) {
@@ -262,6 +265,22 @@ void BM_StreamEngineShardedMetrics(benchmark::State& state) {
   StreamEngineShardedLoop(state, &BenchMetricsRegistry());
 }
 BENCHMARK(BM_StreamEngineShardedMetrics)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Same workload with the wum::mine tap at default options (top-10,
+// lengths 2..3, derived capacity): the spread against
+// BM_StreamEngineSharded is the live cost of online path mining —
+// batched hand-off on the serialized emit path plus the SpaceSaving
+// offers. The CI gate holds this arm to >= 0.92x of the plain sharded
+// baseline.
+void BM_StreamEngineShardedMining(benchmark::State& state) {
+  StreamEngineShardedLoop(state, nullptr, /*with_retry=*/false,
+                          /*with_mining=*/true);
+}
+BENCHMARK(BM_StreamEngineShardedMining)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)

@@ -9,9 +9,9 @@
 #include <iostream>
 
 #include "wum/clf/log_filter.h"
+#include "wum/mine/path_miner.h"
 #include "wum/simulator/workload.h"
 #include "wum/stream/engine.h"
-#include "wum/stream/online_pattern_counter.h"
 #include "wum/stream/operators.h"
 #include "wum/topology/site_generator.h"
 
@@ -54,26 +54,28 @@ int main() {
         return wum::Status::OK();
       });
 
-  // Online analytics: bounded-memory top-k frequent navigation pairs,
-  // maintained as sessions close (SpaceSaving).
-  wum::PatternCountingSink analytics(&report);
-  const std::size_t pair_counter = analytics.AddCounter(64, 2);
+  // Online analytics: the wum::mine tap maintains bounded-memory top-k
+  // frequent navigation paths (SpaceSaving) as sessions close.
+  wum::mine::MinerOptions mining;
+  mining.top_k = 5;
 
   // The engine owns the whole chain: per-shard cleaning filters, order
-  // guard, and per-user incremental Smart-SRA.
+  // guard, per-user incremental Smart-SRA, and the mining tap on the
+  // emit hub.
   wum::Result<std::unique_ptr<wum::StreamEngine>> engine =
       wum::StreamEngine::Create(
           wum::EngineOptions()
               .set_num_shards(4)
               .set_queue_capacity(256)
               .use_smart_sra(&graph.ValueOrDie())
+              .set_mining(mining)
               .add_filter([] { return std::make_unique<wum::MethodFilter>(); })
               .add_filter([] { return std::make_unique<wum::StatusFilter>(); })
               .add_operator([] {
                 return std::make_unique<wum::OrderGuardOperator>(
                     wum::Minutes(5));
               }),
-          &analytics);
+          &report);
   if (!engine.ok()) {
     std::cerr << engine.status().ToString() << "\n";
     return 1;
@@ -110,7 +112,7 @@ int main() {
 
   std::cout << "\nlive top navigation pairs (SpaceSaving estimate, +-error):"
             << "\n";
-  for (const auto& entry : analytics.counter(pair_counter).TopK(5)) {
+  for (const auto& entry : (*engine)->mining()->TopK(5, 2)) {
     std::cout << "  P" << entry.path[0] << " -> P" << entry.path[1] << "  ~"
               << entry.count << " (+-" << entry.error << ")\n";
   }

@@ -45,6 +45,7 @@ inline constexpr std::string_view kManifestMagic = "wumckpt.manifest";
 inline constexpr std::string_view kCurrentMagic = "wumckpt.current";
 inline constexpr std::string_view kShardMagic = "wumckpt.shard";
 inline constexpr std::string_view kDeadLetterMagic = "wumckpt.dlq";
+inline constexpr std::string_view kMiningMagic = "wumckpt.mine";
 
 /// Whole-file read bound (checkpoint files are per-shard state, not
 /// datasets; anything larger than this is corruption, not data).

@@ -1,0 +1,335 @@
+#include "wum/mine/path_miner.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wum::mine {
+
+namespace {
+
+/// Guards the miner state frames against a slot mix-up (the framed file
+/// already carries a file-level magic; this tags the header frame).
+constexpr std::uint64_t kMinerStateMagic = 0x454e494d;  // "MINE"
+
+}  // namespace
+
+Status ValidateMinerOptions(const MinerOptions& options) {
+  if (options.top_k == 0) {
+    return Status::InvalidArgument("mining top_k must be >= 1");
+  }
+  if (options.min_length < 1) {
+    return Status::InvalidArgument("mining min_length must be >= 1");
+  }
+  if (options.max_length < options.min_length) {
+    return Status::InvalidArgument(
+        "mining max_length must be >= min_length (got " +
+        std::to_string(options.max_length) + " < " +
+        std::to_string(options.min_length) + ")");
+  }
+  const std::size_t capacity = options.EffectiveCapacity();
+  if (capacity < options.top_k) {
+    return Status::InvalidArgument(
+        "mining capacity (" + std::to_string(capacity) +
+        ") must be >= top_k (" + std::to_string(options.top_k) + ")");
+  }
+  if (options.window_paths != 0 && options.window_paths < capacity) {
+    return Status::InvalidArgument(
+        "mining window_paths (" + std::to_string(options.window_paths) +
+        ") must be 0 or >= capacity (" + std::to_string(capacity) +
+        "), else tracked paths decay away faster than they accumulate");
+  }
+  if (options.batch_sessions == 0) {
+    return Status::InvalidArgument("mining batch_sessions must be >= 1");
+  }
+  return Status::OK();
+}
+
+PathMiner::PathMiner(const MinerOptions& options, const WebGraph* graph,
+                     obs::MetricRegistry* metrics)
+    : options_(options),
+      graph_(graph),
+      m_sessions_(obs::CounterIn(metrics, "mining.sessions")),
+      m_paths_(obs::CounterIn(metrics, "mining.paths")),
+      m_topology_rejects_(obs::CounterIn(metrics, "mining.topology_rejects")),
+      g_tracked_(obs::GaugeIn(metrics, "mining.tracked")) {
+  const std::size_t capacity = options_.EffectiveCapacity();
+  summaries_.reserve(options_.max_length - options_.min_length + 1);
+  for (std::size_t length = options_.min_length;
+       length <= options_.max_length; ++length) {
+    summaries_.emplace_back(capacity, options_.window_paths);
+  }
+}
+
+void PathMiner::AddSession(const std::vector<PageId>& pages) {
+  ++sessions_seen_;
+  m_sessions_.Increment();
+  std::uint64_t offered = 0;
+  std::uint64_t rejected = 0;
+  // A path is real navigation only when every hop is a hyperlink; one
+  // probe per hop covers every overlapping n-gram of the session.
+  if (graph_ != nullptr && pages.size() >= 2) {
+    hop_ok_.resize(pages.size() - 1);
+    for (std::size_t i = 0; i + 1 < pages.size(); ++i) {
+      hop_ok_[i] = graph_->HasLink(pages[i], pages[i + 1]) ? 1 : 0;
+    }
+  }
+  for (std::size_t length = options_.min_length;
+       length <= options_.max_length; ++length) {
+    if (pages.size() < length) break;
+    StreamSummary& summary = summaries_[length - options_.min_length];
+    for (std::size_t start = 0; start + length <= pages.size(); ++start) {
+      bool valid = true;
+      if (graph_ != nullptr) {
+        for (std::size_t i = 0; i + 1 < length; ++i) {
+          if (!hop_ok_[start + i]) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      if (!valid) {
+        ++rejected;
+        continue;
+      }
+      if (summary.Offer(pages.data() + start, length, next_first_seen_)) {
+        ++next_first_seen_;
+      }
+      ++offered;
+    }
+  }
+  m_paths_.Increment(offered);
+  m_topology_rejects_.Increment(rejected);
+  if (g_tracked_.enabled()) g_tracked_.Set(tracked());
+}
+
+std::uint64_t PathMiner::paths_processed() const {
+  std::uint64_t total = 0;
+  for (const StreamSummary& summary : summaries_) {
+    total += summary.paths_processed();
+  }
+  return total;
+}
+
+std::size_t PathMiner::tracked() const {
+  std::size_t total = 0;
+  for (const StreamSummary& summary : summaries_) total += summary.tracked();
+  return total;
+}
+
+std::vector<PatternEstimate> PathMiner::TopK(std::size_t k,
+                                             std::size_t length) const {
+  if (k == 0) k = options_.top_k;
+  std::vector<PatternEstimate> all;
+  if (length == 0) {
+    all.reserve(tracked());
+    for (const StreamSummary& summary : summaries_) summary.AppendAll(&all);
+  } else if (length >= options_.min_length && length <= options_.max_length) {
+    SummaryFor(length).AppendAll(&all);
+  }
+  std::sort(all.begin(), all.end(), PatternOrderBefore);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::string PathMiner::PatternsJson(std::size_t k, std::size_t length) const {
+  if (k == 0) k = options_.top_k;
+  const std::vector<PatternEstimate> top = TopK(k, length);
+  std::string json = "{\"k\":" + std::to_string(k) +
+                     ",\"length\":" + std::to_string(length) +
+                     ",\"sessions\":" + std::to_string(sessions_seen_) +
+                     ",\"paths\":" + std::to_string(paths_processed()) +
+                     ",\"capacity\":" +
+                     std::to_string(options_.EffectiveCapacity()) +
+                     ",\"patterns\":[";
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    if (i != 0) json += ',';
+    json += "{\"path\":[";
+    for (std::size_t p = 0; p < top[i].path.size(); ++p) {
+      if (p != 0) json += ',';
+      json += std::to_string(top[i].path[p]);
+    }
+    json += "],\"count\":" + std::to_string(top[i].count) +
+            ",\"error\":" + std::to_string(top[i].error) + "}";
+  }
+  json += "]}";
+  return json;
+}
+
+Status PathMiner::SerializeState(std::vector<std::string>* frames) const {
+  ckpt::Encoder header;
+  header.PutUvarint(kMinerStateMagic);
+  header.PutUvarint(options_.min_length);
+  header.PutUvarint(options_.max_length);
+  header.PutUvarint(sessions_seen_);
+  header.PutUvarint(next_first_seen_);
+  frames->push_back(header.Release());
+  for (const StreamSummary& summary : summaries_) {
+    ckpt::Encoder encoder;
+    summary.Serialize(&encoder);
+    frames->push_back(encoder.Release());
+  }
+  return Status::OK();
+}
+
+Status PathMiner::RestoreState(std::span<const std::string> frames) {
+  if (frames.size() != summaries_.size() + 1) {
+    return Status::ParseError(
+        "mining state holds " + std::to_string(frames.size()) +
+        " frames, expected " + std::to_string(summaries_.size() + 1));
+  }
+  ckpt::Decoder header(frames[0]);
+  WUM_ASSIGN_OR_RETURN(const std::uint64_t magic, header.GetUvarint());
+  if (magic != kMinerStateMagic) {
+    return Status::ParseError("mining state header magic mismatch");
+  }
+  WUM_ASSIGN_OR_RETURN(const std::uint64_t min_length, header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(const std::uint64_t max_length, header.GetUvarint());
+  if (min_length != options_.min_length || max_length != options_.max_length) {
+    return Status::InvalidArgument(
+        "mining state was written for lengths " + std::to_string(min_length) +
+        ".." + std::to_string(max_length) + ", configured " +
+        std::to_string(options_.min_length) + ".." +
+        std::to_string(options_.max_length));
+  }
+  WUM_ASSIGN_OR_RETURN(sessions_seen_, header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(next_first_seen_, header.GetUvarint());
+  WUM_RETURN_NOT_OK(header.ExpectEnd());
+  for (std::size_t i = 0; i < summaries_.size(); ++i) {
+    ckpt::Decoder decoder(frames[i + 1]);
+    WUM_RETURN_NOT_OK(summaries_[i].Restore(&decoder));
+    WUM_RETURN_NOT_OK(decoder.ExpectEnd());
+  }
+  if (g_tracked_.enabled()) g_tracked_.Set(tracked());
+  return Status::OK();
+}
+
+MiningSink::MiningSink(SessionSink* downstream, const MinerOptions& options,
+                       const WebGraph* graph, obs::MetricRegistry* metrics)
+    : downstream_(downstream),
+      miner_(options, graph, metrics),
+      m_batches_(obs::CounterIn(metrics, "mining.batches")),
+      h_flush_us_(obs::HistogramIn(metrics, "mining.flush_latency_us")),
+      worker_(&MiningSink::WorkerLoop, this) {
+  pending_.reserve(options.batch_sessions);
+}
+
+MiningSink::~MiningSink() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+Status MiningSink::Accept(const std::string& client_ip, Session session) {
+  // Mine only sessions the downstream actually absorbed: a RetryingSink
+  // may call Accept repeatedly for one session, and a refusal ends in
+  // quarantine, not delivery — either way the session must count at
+  // most once, on success.
+  std::vector<PageId> pages = session.PageSequence();
+  if (downstream_ != nullptr) {
+    WUM_RETURN_NOT_OK(downstream_->Accept(client_ip, std::move(session)));
+  }
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  pending_.push_back(std::move(pages));
+  if (pending_.size() >= miner_.options().batch_sessions) {
+    // Double-watermark backpressure: block at kMaxQueuedBatches, resume
+    // once the miner has drained to half. Waking the producer only at
+    // the low watermark (and the worker only on the empty -> non-empty
+    // transition below) keeps the two threads from ping-ponging a
+    // context switch per batch on saturated single-core hosts.
+    if (queue_.size() >= kMaxQueuedBatches) {
+      space_available_.wait(
+          lock, [this] { return queue_.size() <= kMaxQueuedBatches / 2; });
+    }
+    queue_.push_back(std::move(pending_));
+    pending_.clear();
+    pending_.reserve(miner_.options().batch_sessions);
+    if (queue_.size() == 1) work_available_.notify_one();
+  }
+  return Status::OK();
+}
+
+bool MiningSink::MineOneBatch() const {
+  std::lock_guard<std::mutex> mine_lock(miner_mutex_);
+  std::vector<std::vector<PageId>> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.empty()) return false;
+    batch = std::move(queue_.front());
+    queue_.pop_front();
+    // Producers wait for the low watermark; every descent passes
+    // through it one pop at a time, so this can't miss a waiter.
+    if (queue_.size() == kMaxQueuedBatches / 2) {
+      space_available_.notify_all();
+    }
+  }
+  obs::ScopedTimer timer(h_flush_us_);
+  for (const std::vector<PageId>& pages : batch) {
+    miner_.AddSession(pages);
+  }
+  m_batches_.Increment();
+  return true;
+}
+
+void MiningSink::DrainAll() const {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!pending_.empty()) {
+      queue_.push_back(std::move(pending_));
+      pending_.clear();
+    }
+  }
+  while (MineOneBatch()) {
+  }
+}
+
+void MiningSink::WorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      work_available_.wait(lock,
+                           [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+    }
+    MineOneBatch();
+  }
+}
+
+void MiningSink::Flush() { DrainAll(); }
+
+std::vector<PatternEstimate> MiningSink::TopK(std::size_t k,
+                                              std::size_t length) const {
+  DrainAll();
+  std::lock_guard<std::mutex> lock(miner_mutex_);
+  return miner_.TopK(k, length);
+}
+
+std::string MiningSink::PatternsJson(std::size_t k, std::size_t length) const {
+  DrainAll();
+  std::lock_guard<std::mutex> lock(miner_mutex_);
+  return miner_.PatternsJson(k, length);
+}
+
+std::uint64_t MiningSink::sessions_seen() const {
+  DrainAll();
+  std::lock_guard<std::mutex> lock(miner_mutex_);
+  return miner_.sessions_seen();
+}
+
+Status MiningSink::SerializeState(std::vector<std::string>* frames) const {
+  DrainAll();
+  std::lock_guard<std::mutex> lock(miner_mutex_);
+  return miner_.SerializeState(frames);
+}
+
+Status MiningSink::RestoreState(std::span<const std::string> frames) {
+  std::scoped_lock lock(miner_mutex_, queue_mutex_);
+  pending_.clear();
+  queue_.clear();
+  space_available_.notify_all();
+  return miner_.RestoreState(frames);
+}
+
+}  // namespace wum::mine

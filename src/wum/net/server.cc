@@ -57,9 +57,11 @@ Status DecodeServeSinkState(std::string_view encoded,
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 
 #include "wum/clf/clf_parser.h"
+#include "wum/mine/path_miner.h"
 
 namespace wum::net {
 
@@ -616,49 +618,111 @@ Status LogServer::HandleHandshakeBuffer(Connection* conn) {
   return HandleData(conn, buffered);
 }
 
+Status LogServer::AdminPing(Connection* conn, std::string_view) {
+  Reply(conn, "OK\n");
+  return Status::OK();
+}
+
+Status LogServer::AdminStats(Connection* conn, std::string_view) {
+  if (options_.metrics == nullptr) {
+    Reply(conn, "ERR metrics disabled\n");
+  } else {
+    Reply(conn, options_.metrics->Snapshot().ToJsonLine() + "\n");
+  }
+  return Status::OK();
+}
+
+Status LogServer::AdminCheckpoint(Connection* conn, std::string_view) {
+  const Status status = driver_->CheckpointNow();
+  if (!status.ok()) {
+    Reply(conn, "ERR " + status.message() + "\n");
+    return Status::OK();
+  }
+  records_at_last_checkpoint_ = driver_->records_offered();
+  Reply(conn,
+        "OK records_seen=" + std::to_string(engine_->records_seen()) + "\n");
+  return Status::OK();
+}
+
+Status LogServer::AdminQuiesce(Connection* conn, std::string_view) {
+  std::string detail;
+  const Status status = DoQuiesce(&detail);
+  if (!status.ok()) {
+    // An engine that cannot quiesce is a fatal serve error; the reply
+    // is best-effort on the way down.
+    Reply(conn, "ERR " + status.message() + "\n");
+    return status;
+  }
+  Reply(conn, detail.empty() ? std::string("OK\n") : "OK " + detail + "\n");
+  return Status::OK();
+}
+
+Status LogServer::AdminPatterns(Connection* conn, std::string_view args) {
+  mine::MiningSink* mining = engine_->mining();
+  if (mining == nullptr) {
+    Reply(conn, "ERR mining disabled (start with --mine-topk)\n");
+    return Status::OK();
+  }
+  // PATTERNS [k] [len]: both operands optional, k defaults to the
+  // configured top_k, len 0 merges every mined length.
+  std::uint64_t operands[2] = {0, 0};
+  std::size_t parsed = 0;
+  while (!args.empty()) {
+    const std::size_t space = args.find(' ');
+    const std::string_view token = args.substr(0, space);
+    args = space == std::string_view::npos ? std::string_view()
+                                           : args.substr(space + 1);
+    if (token.empty()) continue;
+    std::uint64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || end != token.data() + token.size() ||
+        parsed >= 2) {
+      Reply(conn, "ERR usage: PATTERNS [k] [len]\n");
+      return Status::OK();
+    }
+    operands[parsed++] = value;
+  }
+  Reply(conn, mining->PatternsJson(static_cast<std::size_t>(operands[0]),
+                                   static_cast<std::size_t>(operands[1])) +
+                  "\n");
+  return Status::OK();
+}
+
 Status LogServer::HandleAdminLine(Connection* conn, std::string_view line) {
+  // One row per admin command. Commands that take no operands keep the
+  // historical exact-match contract: any trailing text falls through to
+  // the shared unknown-command reply.
+  struct AdminHandlerEntry {
+    std::string_view name;
+    bool takes_args;
+    Status (LogServer::*run)(Connection* conn, std::string_view args);
+  };
+  static constexpr AdminHandlerEntry kAdminHandlers[] = {
+      {"PING", false, &LogServer::AdminPing},
+      {"STATS", false, &LogServer::AdminStats},
+      {"CHECKPOINT", false, &LogServer::AdminCheckpoint},
+      {"QUIESCE", false, &LogServer::AdminQuiesce},
+      {"PATTERNS", true, &LogServer::AdminPatterns},
+  };
   line = StripCr(line);
   if (line.empty()) return Status::OK();
   ++stats_.admin_commands;
   m_admin_.Increment();
   obs::LogInfo("net.admin")("command", std::string(line.substr(0, 120)));
-  if (line == "PING") {
-    Reply(conn, "OK\n");
-    return Status::OK();
+  const std::size_t space = line.find(' ');
+  const std::string_view name =
+      space == std::string_view::npos ? line : line.substr(0, space);
+  const std::string_view args =
+      space == std::string_view::npos ? std::string_view()
+                                      : line.substr(space + 1);
+  for (const AdminHandlerEntry& handler : kAdminHandlers) {
+    if (handler.name != name) continue;
+    if (!handler.takes_args && space != std::string_view::npos) break;
+    return (this->*handler.run)(conn, args);
   }
-  if (line == "STATS") {
-    if (options_.metrics == nullptr) {
-      Reply(conn, "ERR metrics disabled\n");
-    } else {
-      Reply(conn, options_.metrics->Snapshot().ToJsonLine() + "\n");
-    }
-    return Status::OK();
-  }
-  if (line == "CHECKPOINT") {
-    const Status status = driver_->CheckpointNow();
-    if (!status.ok()) {
-      Reply(conn, "ERR " + status.message() + "\n");
-      return Status::OK();
-    }
-    records_at_last_checkpoint_ = driver_->records_offered();
-    Reply(conn, "OK records_seen=" + std::to_string(engine_->records_seen()) +
-                    "\n");
-    return Status::OK();
-  }
-  if (line == "QUIESCE") {
-    std::string detail;
-    const Status status = DoQuiesce(&detail);
-    if (!status.ok()) {
-      // An engine that cannot quiesce is a fatal serve error; the reply
-      // is best-effort on the way down.
-      Reply(conn, "ERR " + status.message() + "\n");
-      return status;
-    }
-    Reply(conn,
-          detail.empty() ? std::string("OK\n") : "OK " + detail + "\n");
-    return Status::OK();
-  }
-  Reply(conn, "ERR unknown command: " + std::string(line.substr(0, 200)) + "\n");
+  Reply(conn,
+        "ERR unknown command: " + std::string(line.substr(0, 200)) + "\n");
   return Status::OK();
 }
 

@@ -210,6 +210,14 @@ class LogServer {
   Status PumpConnection(Connection* conn);
   void RecordOffset(const Connection& conn);
   std::uint64_t OffsetFor(const std::string& client_id) const;
+  /// Admin commands, dispatched by HandleAdminLine through a table of
+  /// named handlers sharing one unknown-command path. `args` holds the
+  /// operand text after the command word ("" for none).
+  Status AdminPing(Connection* conn, std::string_view args);
+  Status AdminStats(Connection* conn, std::string_view args);
+  Status AdminCheckpoint(Connection* conn, std::string_view args);
+  Status AdminQuiesce(Connection* conn, std::string_view args);
+  Status AdminPatterns(Connection* conn, std::string_view args);
   Status HandleAdminLine(Connection* conn, std::string_view line);
   Status DoQuiesce(std::string* detail);
   void CloseConnection(Connection* conn, const char* why);

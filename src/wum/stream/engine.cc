@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "wum/ckpt/checkpoint.h"
+#include "wum/mine/path_miner.h"
 #include "wum/obs/log.h"
 #include "wum/stream/heuristic_registry.h"
 #include "wum/stream/operators.h"
@@ -268,6 +269,9 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument(
         "resume_with_external_replay requires resume_from");
   }
+  if (mining_.has_value()) {
+    WUM_RETURN_NOT_OK(mine::ValidateMinerOptions(*mining_));
+  }
   return Status::OK();
 }
 
@@ -300,10 +304,20 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
   if (options.num_pages_ == 0 && options.graph_ != nullptr) {
     options.num_pages_ = options.graph_->num_pages();
   }
+  // The mining tap slots in front of the caller's sink: the hub (and
+  // any RetryingSink) emits into it, and it forwards unchanged, so the
+  // hot path gains nothing but one buffered page-sequence per delivery.
+  std::unique_ptr<mine::MiningSink> mining;
+  if (options.mining_.has_value()) {
+    mining = std::make_unique<mine::MiningSink>(
+        sink, *options.mining_, options.graph_, options.metrics_);
+    sink = mining.get();
+  }
   // Two-phase construction: build the shard chains without workers so a
   // checkpoint restore never races a live thread, then start them.
   std::unique_ptr<StreamEngine> engine(
       new StreamEngine(std::move(options), std::move(factory), sink));
+  engine->mining_ = std::move(mining);
   if (!engine->resume_dir_.empty()) {
     WUM_RETURN_NOT_OK(engine->RestoreFrom(engine->resume_dir_));
   }
@@ -770,6 +784,17 @@ Status StreamEngine::Checkpoint(const std::string& dir,
   WUM_RETURN_NOT_OK(
       ckpt::WriteFramedFile(dlq_path, ckpt::kDeadLetterMagic, dlq_frames));
   add_file_size(dlq_path);
+  if (mining_ != nullptr) {
+    // The shard barrier already ran, so every delivered session is in
+    // the miner once SerializeState's implicit flush drains the pending
+    // batch — the mining state is exactly as wide as the shard states.
+    std::vector<std::string> mining_frames;
+    WUM_RETURN_NOT_OK(mining_->SerializeState(&mining_frames));
+    const std::string mining_path = (epoch_dir / "mining.state").string();
+    WUM_RETURN_NOT_OK(ckpt::WriteFramedFile(mining_path, ckpt::kMiningMagic,
+                                            mining_frames));
+    add_file_size(mining_path);
+  }
   if (registry_ != nullptr) {
     const std::string metrics_path = (epoch_dir / "metrics.json").string();
     WUM_RETURN_NOT_OK(
@@ -917,6 +942,19 @@ Status StreamEngine::RestoreFrom(const std::string& dir) {
     dlq.letters.push_back(std::move(letter));
   }
   if (dead_letters_ != nullptr) dead_letters_->Restore(std::move(dlq));
+  if (mining_ != nullptr) {
+    const std::string mining_path = (epoch_dir / "mining.state").string();
+    if (fs::exists(mining_path)) {
+      WUM_ASSIGN_OR_RETURN(
+          const std::vector<std::string> mining_frames,
+          ckpt::ReadFramedFile(mining_path, ckpt::kMiningMagic));
+      WUM_RETURN_NOT_OK(mining_->RestoreState(mining_frames));
+    } else {
+      // Checkpoint taken before mining was enabled: the miner starts
+      // empty and converges on traffic from here on.
+      obs::LogWarn("ckpt.resume")("mining_state", "absent");
+    }
+  }
   if (resume_external_replay_) {
     // The front end replays each producer from its own durable offset
     // (decoded out of sink_state), so every record offered from here on

@@ -44,6 +44,7 @@
 #include "wum/clf/user_partitioner.h"
 #include "wum/common/result.h"
 #include "wum/common/time.h"
+#include "wum/mine/options.h"
 #include "wum/obs/metrics.h"
 #include "wum/obs/trace.h"
 #include "wum/stream/dead_letter.h"
@@ -54,6 +55,10 @@
 namespace wum {
 
 class WebGraph;
+
+namespace mine {
+class MiningSink;
+}  // namespace mine
 
 /// What a failure does to the engine.
 enum class ErrorPolicy {
@@ -221,6 +226,17 @@ class EngineOptions {
   /// Sugar for add_operator: wraps the filter in a FilterOperator.
   EngineOptions& add_filter(FilterFactory factory);
 
+  /// Enables reactive top-k path mining (wum::mine): the engine wraps
+  /// the caller's sink in a MiningSink so every delivered session also
+  /// feeds one merged PathMiner, queryable any time through mining().
+  /// Topology validation uses the graph from use_graph when one is set.
+  /// Miner state rides every Checkpoint (an extra mining.state epoch
+  /// file) and is restored by resume_from.
+  EngineOptions& set_mining(mine::MinerOptions options) {
+    mining_ = std::move(options);
+    return *this;
+  }
+
   /// Resumes from the latest committed checkpoint in `dir` (written by
   /// StreamEngine::Checkpoint). Create fails when the directory holds no
   /// checkpoint, the files are corrupt, or the checkpoint was taken
@@ -285,6 +301,7 @@ class EngineOptions {
   OfferPolicy offer_policy_ = OfferPolicy::kBlock;
   DeadLetterQueue* dead_letters_ = nullptr;
   std::optional<RetryOptions> retry_;
+  std::optional<mine::MinerOptions> mining_;
   std::string resume_dir_;
   bool resume_external_replay_ = false;
 };
@@ -429,6 +446,11 @@ class StreamEngine {
 
   std::size_t num_shards() const { return shards_.size(); }
 
+  /// The mining tap (set_mining), or nullptr when mining is disabled.
+  /// All MiningSink methods are thread-safe, so PATTERNS-style queries
+  /// may run from any thread while the engine streams.
+  mine::MiningSink* mining() const { return mining_.get(); }
+
   /// Per-shard snapshots, index == shard id.
   std::vector<EngineStats> ShardStats() const;
 
@@ -466,6 +488,10 @@ class StreamEngine {
   ErrorPolicy error_policy_;
   OfferPolicy offer_policy_;
   DeadLetterQueue* dead_letters_;
+  /// When mining is enabled the hub (and any RetryingSink) emits into
+  /// this tap, which forwards to the caller's sink. Destroyed after the
+  /// shards (declaration order), so workers never outlive it.
+  std::unique_ptr<mine::MiningSink> mining_;
   std::unique_ptr<EmitHub> emit_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Per-shard staging buffers for OfferBatch's partition pass (indexed

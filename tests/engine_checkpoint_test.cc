@@ -19,6 +19,7 @@
 
 #include "wum/ckpt/checkpoint.h"
 #include "wum/clf/user_partitioner.h"
+#include "wum/mine/path_miner.h"
 #include "wum/obs/metrics.h"
 #include "wum/stream/engine.h"
 #include "wum/topology/site_generator.h"
@@ -695,6 +696,117 @@ TEST_F(EngineCheckpointTest, InternerSurvivesKillAndResumeUnderBatchedIngest) {
       EXPECT_EQ(Canonicalize(combined), Canonicalize(baseline));
     }
   }
+}
+
+// The online miner's state rides the checkpoint: a run killed after the
+// barrier and resumed must answer PATTERNS exactly as the uninterrupted
+// run — byte-identical JSON at one shard (emit order is deterministic
+// there), identical estimates under canonical path order at three
+// shards (cross-shard arrival order legitimately permutes the
+// first-seen tie-breaker).
+TEST_F(EngineCheckpointTest, MiningStateSurvivesKillAndResume) {
+  mine::MinerOptions mining;
+  mining.top_k = 10;
+  mining.capacity = 64;  // ample: every tracked estimate is exact
+  mining.batch_sessions = 4;
+  const auto options = [&](std::size_t shards) {
+    EngineOptions o = HeuristicOptions("smart-sra", &graph_, shards);
+    o.set_mining(mining);
+    return o;
+  };
+  const auto canonical_estimates = [&](const StreamEngine& engine) {
+    std::vector<mine::PatternEstimate> estimates =
+        engine.mining()->TopK(mining.capacity);
+    for (mine::PatternEstimate& estimate : estimates) {
+      estimate.first_seen = 0;  // arrival-order dependent across shards
+    }
+    std::sort(estimates.begin(), estimates.end(),
+              [](const mine::PatternEstimate& a,
+                 const mine::PatternEstimate& b) { return a.path < b.path; });
+    return estimates;
+  };
+  for (const std::size_t shards : {1u, 3u}) {
+    SCOPED_TRACE(std::to_string(shards) + " shards");
+    const fs::path dir = dir_ / ("mine" + std::to_string(shards));
+    fs::create_directories(dir);
+
+    std::string baseline_json;
+    std::vector<mine::PatternEstimate> baseline_estimates;
+    {
+      CollectingSessionSink sink;
+      Result<std::unique_ptr<StreamEngine>> engine =
+          StreamEngine::Create(options(shards), &sink);
+      ASSERT_TRUE(engine.ok()) << engine.status().message();
+      ASSERT_NE((*engine)->mining(), nullptr);
+      for (const LogRecord& record : records_) {
+        ASSERT_TRUE((*engine)->Offer(record).ok());
+      }
+      ASSERT_TRUE((*engine)->Finish().ok());
+      baseline_json = (*engine)->mining()->PatternsJson();
+      baseline_estimates = canonical_estimates(**engine);
+    }
+    ASSERT_FALSE(baseline_estimates.empty());
+
+    // Kill: checkpoint mid-stream, keep mining past the barrier, crash.
+    {
+      CollectingSessionSink sink;
+      Result<std::unique_ptr<StreamEngine>> engine =
+          StreamEngine::Create(options(shards), &sink);
+      ASSERT_TRUE(engine.ok()) << engine.status().message();
+      for (std::size_t i = 0; i < 121; ++i) {
+        ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+      }
+      ASSERT_TRUE((*engine)->Checkpoint(dir.string()).ok());
+      EXPECT_TRUE(
+          fs::exists(dir / ckpt::EpochDirName(1) / "mining.state"));
+      for (std::size_t i = 121; i < 160; ++i) {
+        ASSERT_TRUE((*engine)->Offer(records_[i]).ok());
+      }
+      engine->reset();  // the crash
+    }
+
+    // Resume and replay everything: the miner must reconverge.
+    CollectingSessionSink sink;
+    Result<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+        options(shards).resume_from(dir.string()), &sink);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    ASSERT_NE((*engine)->mining(), nullptr);
+    EXPECT_GT((*engine)->mining()->sessions_seen(), 0u);  // restored state
+    for (const LogRecord& record : records_) {
+      ASSERT_TRUE((*engine)->Offer(record).ok());
+    }
+    ASSERT_TRUE((*engine)->Finish().ok());
+    EXPECT_EQ(canonical_estimates(**engine), baseline_estimates);
+    if (shards == 1) {
+      EXPECT_EQ((*engine)->mining()->PatternsJson(), baseline_json);
+    }
+  }
+}
+
+// Resume refuses a checkpoint whose mining state was written under a
+// different miner configuration.
+TEST_F(EngineCheckpointTest, ResumeRejectsMiningConfigMismatch) {
+  mine::MinerOptions mining;
+  mining.top_k = 10;
+  mining.capacity = 64;
+  {
+    CollectingSessionSink sink;
+    EngineOptions o = HeuristicOptions("duration", &graph_, 1);
+    o.set_mining(mining);
+    Result<std::unique_ptr<StreamEngine>> engine =
+        StreamEngine::Create(std::move(o), &sink);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Offer(records_[0]).ok());
+    ASSERT_TRUE((*engine)->Checkpoint(dir_.string()).ok());
+    ASSERT_TRUE((*engine)->Finish().ok());
+  }
+  CollectingSessionSink sink;
+  EngineOptions o = HeuristicOptions("duration", &graph_, 1);
+  mining.capacity = 128;  // diverges from the snapshot
+  o.set_mining(mining);
+  o.resume_from(dir_.string());
+  const Status status = StreamEngine::Create(std::move(o), &sink).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
 }
 
 // Checkpoint after Finish is a contract violation, reported as such.

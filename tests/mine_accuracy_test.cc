@@ -1,0 +1,184 @@
+// Accuracy harness for the online miner (wum::mine): on simulated
+// workloads, the streaming top-k must (a) satisfy the SpaceSaving error
+// bound against an exact occurrence recount — estimate >= true and
+// estimate - error <= true, with every path above the N/capacity
+// frequency threshold retained — and (b) recover the batch AprioriAll
+// top-10 (recall@10, reported on stdout for the experiment log).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "wum/common/random.h"
+#include "wum/mine/options.h"
+#include "wum/mine/path_miner.h"
+#include "wum/mining/apriori_all.h"
+#include "wum/mining/pattern.h"
+#include "wum/simulator/workload.h"
+#include "wum/topology/site_generator.h"
+#include "wum/topology/web_graph.h"
+
+namespace wum::mine {
+namespace {
+
+std::vector<std::vector<PageId>> GroundTruthSessions(
+    const Workload& workload) {
+  std::vector<std::vector<PageId>> sessions;
+  for (const AgentRun& run : workload.agents) {
+    for (const Session& session : run.trace.real_sessions) {
+      sessions.push_back(session.PageSequence());
+    }
+  }
+  return sessions;
+}
+
+/// Exact occurrence counts of the topology-valid n-grams of `length`.
+/// Returns the counts and (via `total`) the stream size N of the bound.
+std::map<std::vector<PageId>, std::uint64_t> ExactCounts(
+    const std::vector<std::vector<PageId>>& sessions, const WebGraph& graph,
+    std::size_t length, std::uint64_t* total) {
+  std::map<std::vector<PageId>, std::uint64_t> exact;
+  *total = 0;
+  for (const std::vector<PageId>& session : sessions) {
+    for (std::size_t i = 0; i + length <= session.size(); ++i) {
+      bool valid = true;
+      for (std::size_t j = 1; j < length; ++j) {
+        if (!graph.HasLink(session[i + j - 1], session[i + j])) {
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) continue;
+      ++exact[std::vector<PageId>(session.begin() + i,
+                                  session.begin() + i + length)];
+      ++*total;
+    }
+  }
+  return exact;
+}
+
+/// Feeds every session through a small-capacity miner (evictions are
+/// the point) and checks the SpaceSaving guarantee per length.
+void CheckSpaceSavingBounds(const std::vector<std::vector<PageId>>& sessions,
+                            const WebGraph& graph) {
+  MinerOptions options;
+  options.top_k = 10;
+  options.capacity = 32;  // small on purpose: force evictions
+  PathMiner miner(options, &graph, nullptr);
+  for (const std::vector<PageId>& session : sessions) {
+    miner.AddSession(session);
+  }
+  for (std::size_t length = options.min_length; length <= options.max_length;
+       ++length) {
+    std::uint64_t n = 0;
+    const auto exact = ExactCounts(sessions, graph, length, &n);
+    ASSERT_GT(n, 0u);
+    const auto tracked = miner.TopK(options.capacity, length);
+    EXPECT_LE(tracked.size(), options.capacity);
+    std::set<std::vector<PageId>> tracked_paths;
+    for (const PatternEstimate& entry : tracked) {
+      tracked_paths.insert(entry.path);
+      const std::uint64_t true_count =
+          exact.contains(entry.path) ? exact.at(entry.path) : 0;
+      EXPECT_GE(entry.count, true_count)
+          << "undercount at length " << length;
+      EXPECT_LE(entry.count - entry.error, true_count)
+          << "error bound violated at length " << length;
+    }
+    for (const auto& [path, true_count] : exact) {
+      if (true_count > n / options.capacity) {
+        EXPECT_TRUE(tracked_paths.contains(path))
+            << "frequent length-" << length << " path lost (true count "
+            << true_count << " of " << n << ")";
+      }
+    }
+  }
+}
+
+/// Online top-10 (ample capacity) vs the batch AprioriAll top-10.
+double RecallAt10(const std::vector<std::vector<PageId>>& sessions,
+                  const WebGraph& graph) {
+  MinerOptions options;
+  options.top_k = 10;
+  PathMiner miner(options, &graph, nullptr);
+  for (const std::vector<PageId>& session : sessions) {
+    miner.AddSession(session);
+  }
+
+  AprioriOptions batch_options;
+  batch_options.min_support = 2;
+  batch_options.max_length = options.max_length;
+  batch_options.mode = MatchMode::kContiguous;
+  Result<std::vector<SequentialPattern>> mined =
+      AprioriAllMiner(batch_options).Mine(sessions);
+  EXPECT_TRUE(mined.ok());
+  std::vector<SequentialPattern> batch;
+  for (SequentialPattern& pattern : *mined) {
+    if (pattern.pages.size() >= options.min_length) {
+      batch.push_back(std::move(pattern));
+    }
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const SequentialPattern& a, const SequentialPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.pages < b.pages;
+            });
+  if (batch.size() > 10) batch.resize(10);
+  EXPECT_FALSE(batch.empty());
+
+  std::set<std::vector<PageId>> online;
+  for (const PatternEstimate& entry : miner.TopK(10)) {
+    online.insert(entry.path);
+  }
+  std::size_t matched = 0;
+  for (const SequentialPattern& pattern : batch) {
+    if (online.contains(pattern.pages)) ++matched;
+  }
+  return static_cast<double>(matched) / static_cast<double>(batch.size());
+}
+
+void RunHarness(const char* name, const WebGraph& graph,
+                const Workload& workload) {
+  const std::vector<std::vector<PageId>> sessions =
+      GroundTruthSessions(workload);
+  ASSERT_GT(sessions.size(), 100u);
+  CheckSpaceSavingBounds(sessions, graph);
+  const double recall = RecallAt10(sessions, graph);
+  // The online ranking counts occurrences while AprioriAll counts
+  // supporting sessions, so the two top-10s can legitimately disagree
+  // at the boundary; most of the batch answer must still be recovered.
+  std::cout << "mine_accuracy[" << name << "]: sessions=" << sessions.size()
+            << " recall@10=" << recall << "\n";
+  EXPECT_GE(recall, 0.6) << name;
+}
+
+TEST(MineAccuracyTest, UniformSiteWorkload) {
+  Rng site_rng(5);
+  SiteGeneratorOptions site;
+  site.num_pages = 60;
+  site.mean_out_degree = 6.0;
+  const WebGraph graph = *GenerateUniformSite(site, &site_rng);
+  WorkloadOptions population;
+  population.num_agents = 200;
+  Rng rng(99);
+  const Workload workload =
+      *SimulateWorkload(graph, AgentProfile(), population, &rng);
+  RunHarness("uniform-site", graph, workload);
+}
+
+TEST(MineAccuracyTest, Figure1Workload) {
+  const WebGraph graph = MakeFigure1Topology();
+  WorkloadOptions population;
+  population.num_agents = 150;
+  Rng rng(7);
+  const Workload workload =
+      *SimulateWorkload(graph, AgentProfile(), population, &rng);
+  RunHarness("figure1", graph, workload);
+}
+
+}  // namespace
+}  // namespace wum::mine

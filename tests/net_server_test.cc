@@ -27,6 +27,7 @@
 #include "wum/clf/clf_writer.h"
 #include "wum/clf/user_partitioner.h"
 #include "wum/ingest/driver.h"
+#include "wum/mine/options.h"
 #include "wum/net/server.h"
 #include "wum/net/socket.h"
 #include "wum/obs/metrics.h"
@@ -662,6 +663,99 @@ TEST(NetServerTest, AdminPingStatsAndUnknownCommands) {
       AdminCommand(harness.server->admin_port(), "CHECKPOINT");
   ASSERT_TRUE(checkpoint.ok());
   EXPECT_EQ(checkpoint->rfind("ERR", 0), 0u) << *checkpoint;
+  Result<std::string> reply =
+      AdminCommand(harness.server->admin_port(), "QUIESCE");
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  harness.Join();
+  EXPECT_TRUE(harness.serve_status.ok());
+}
+
+TEST(NetServerTest, AdminPatternsRequiresMining) {
+  if (!NetworkingAvailable()) GTEST_SKIP() << "no POSIX sockets";
+  WebGraph graph = MakeFigure1Topology();
+  obs::MetricRegistry registry;
+  CollectingSessionSink sink;
+  DeadLetterQueue dead_letters;
+  Harness harness(&registry);
+  ASSERT_TRUE(harness
+                  .Start(EngineOptions().set_num_shards(1).use_smart_sra(
+                             &graph),
+                         &sink, &dead_letters, ServerOptions{})
+                  .ok());
+  Result<std::string> patterns =
+      AdminCommand(harness.server->admin_port(), "PATTERNS");
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(*patterns, "ERR mining disabled (start with --mine-topk)");
+  Result<std::string> reply =
+      AdminCommand(harness.server->admin_port(), "QUIESCE");
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  harness.Join();
+  EXPECT_TRUE(harness.serve_status.ok());
+}
+
+TEST(NetServerTest, AdminPatternsReportsMinedPaths) {
+  if (!NetworkingAvailable()) GTEST_SKIP() << "no POSIX sockets";
+  WebGraph graph = MakeFigure1Topology();
+  obs::MetricRegistry registry;
+  CollectingSessionSink sink;
+  DeadLetterQueue dead_letters;
+  Harness harness(&registry);
+  mine::MinerOptions mining;
+  mining.batch_sessions = 1;  // flush per session: no buffered tail
+  ASSERT_TRUE(harness
+                  .Start(EngineOptions()
+                             .set_num_shards(1)
+                             .use_smart_sra(&graph)
+                             .set_metrics(&registry)
+                             .set_mining(mining),
+                         &sink, &dead_letters, ServerOptions{})
+                  .ok());
+  // Four users walk P1 -> P13 -> P34 -> P23 twice, 5000 s apart: the
+  // second walk's arrival closes the first session, so four sessions
+  // are mined while the server still runs.
+  constexpr PageId kWalk[] = {0, 1, 4, 3};
+  std::string log;
+  for (int round = 0; round < 2; ++round) {
+    for (int u = 0; u < 4; ++u) {
+      for (int i = 0; i < 4; ++i) {
+        log += ClfLine("10.0.1." + std::to_string(u), kWalk[i],
+                       1000000000 + round * 5000 + u * 10 + i * 30);
+      }
+    }
+  }
+  ASSERT_TRUE(SendData(harness.server->port(), log).ok());
+  ASSERT_TRUE(WaitForCounter(&registry, "mining.sessions", 4));
+
+  Result<std::string> patterns =
+      AdminCommand(harness.server->admin_port(), "PATTERNS");
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->front(), '{') << *patterns;
+  EXPECT_NE(patterns->find("\"patterns\":["), std::string::npos) << *patterns;
+  EXPECT_NE(patterns->find("\"path\":[0,1],\"count\":4,\"error\":0"),
+            std::string::npos)
+      << *patterns;
+
+  // Operands: k and length select the answer; the reply echoes both.
+  Result<std::string> pairs =
+      AdminCommand(harness.server->admin_port(), "PATTERNS 2 2");
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->rfind("{\"k\":2,\"length\":2,", 0), 0u) << *pairs;
+  EXPECT_EQ(pairs->find("\"path\":[0,1,4]"), std::string::npos) << *pairs;
+
+  // Malformed operands are a usage error, not a dropped connection.
+  for (const char* bad : {"PATTERNS x", "PATTERNS 1 2 3", "PATTERNS -1"}) {
+    Result<std::string> reply =
+        AdminCommand(harness.server->admin_port(), bad);
+    ASSERT_TRUE(reply.ok()) << bad;
+    EXPECT_EQ(*reply, "ERR usage: PATTERNS [k] [len]") << bad;
+  }
+  // Argless commands keep their exact-match contract under the
+  // dispatch table: trailing text is an unknown command.
+  Result<std::string> stats_with_args =
+      AdminCommand(harness.server->admin_port(), "STATS extra");
+  ASSERT_TRUE(stats_with_args.ok());
+  EXPECT_EQ(stats_with_args->rfind("ERR unknown", 0), 0u) << *stats_with_args;
+
   Result<std::string> reply =
       AdminCommand(harness.server->admin_port(), "QUIESCE");
   ASSERT_TRUE(reply.ok()) << reply.status().message();

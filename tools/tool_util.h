@@ -8,11 +8,13 @@
 
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
 #include "wum/common/result.h"
 #include "wum/common/string_util.h"
+#include "wum/mine/options.h"
 
 namespace wum_tools {
 
@@ -95,6 +97,32 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::set<std::string> switches_;
 };
+
+/// Shared "--mine-*" flag surface for the streaming tools. Mining is
+/// off unless --mine-topk is given; --mine-lengths L tracks paths of
+/// lengths 2..L (default 3) and --mine-window N decays counts every N
+/// mined paths (default 0 = cumulative). Usage text:
+/// "[--mine-topk K [--mine-lengths L=3] [--mine-window N=0]]".
+inline wum::Result<std::optional<wum::mine::MinerOptions>> GetMiningFlags(
+    const Flags& flags) {
+  if (!flags.Has("mine-topk")) {
+    if (flags.Has("mine-lengths") || flags.Has("mine-window")) {
+      return wum::Status::InvalidArgument(
+          "--mine-lengths/--mine-window require --mine-topk");
+    }
+    return std::optional<wum::mine::MinerOptions>();
+  }
+  wum::mine::MinerOptions mining;
+  WUM_ASSIGN_OR_RETURN(std::uint64_t top_k, flags.GetUint("mine-topk", 0));
+  WUM_ASSIGN_OR_RETURN(std::uint64_t max_length,
+                       flags.GetUint("mine-lengths", mining.max_length));
+  WUM_ASSIGN_OR_RETURN(std::uint64_t window, flags.GetUint("mine-window", 0));
+  mining.top_k = static_cast<std::size_t>(top_k);
+  mining.max_length = static_cast<std::size_t>(max_length);
+  mining.window_paths = static_cast<std::uint64_t>(window);
+  WUM_RETURN_NOT_OK(wum::mine::ValidateMinerOptions(mining));
+  return std::optional<wum::mine::MinerOptions>(mining);
+}
 
 /// Prints a failed status and converts it to a process exit code.
 inline int FailWith(const wum::Status& status, const char* usage) {

@@ -52,6 +52,7 @@ std::string Usage() {
          "  [--log-level debug|info|warn|error|off]\n"
          "  [--checkpoint-dir DIR] [--checkpoint-every-records N=100000]\n"
          "  [--resume]\n"
+         "  [--mine-topk K [--mine-lengths L=3] [--mine-window N=0]]\n"
          "\n"
          "Accepts line-framed CLF streams from any number of concurrent TCP\n"
          "producers on --port and feeds them all into one sharded\n"
@@ -63,7 +64,15 @@ std::string Usage() {
          "\n"
          "The admin port answers one command per line: STATS (JSON metrics\n"
          "snapshot), CHECKPOINT (durable snapshot now), QUIESCE (drain,\n"
-         "finish the engine, write --out, exit), PING.\n"
+         "finish the engine, write --out, exit), PING, and — when mining\n"
+         "is on — PATTERNS [k] [len] (top-k frequent paths as JSON).\n"
+         "\n"
+         "--mine-topk K turns on reactive top-k frequent-path mining over\n"
+         "the live session stream (see docs/mining.md): link-topology-\n"
+         "valid paths of lengths 2..--mine-lengths are counted in bounded\n"
+         "memory (SpaceSaving), --mine-window N halves all counts every N\n"
+         "mined paths so the ranking tracks recent traffic, and the miner\n"
+         "state rides the checkpoint so --resume reconverges exactly.\n"
          "\n"
          "Records are cleaned inside the engine (GET only, successful\n"
          "status, no embedded resources) unless --no-clean; the robot\n"
@@ -139,7 +148,8 @@ wum::Status Run(const wum_tools::Flags& flags) {
        "queue-capacity", "offer-policy", "no-clean", "max-connections",
        "batch-records", "format", "idle-timeout-ms", "handshake-timeout-ms",
        "read-timeout-ms", "write-timeout-ms", "client-quota-bps",
-       "client-quota-burst", "client-buffer-bytes", "ingest-budget-bytes"},
+       "client-quota-burst", "client-buffer-bytes", "ingest-budget-bytes",
+       "mine-topk", "mine-lengths", "mine-window"},
       features)));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string out_path, flags.GetRequired("out"));
@@ -213,6 +223,11 @@ wum::Status Run(const wum_tools::Flags& flags) {
       .set_trace(runtime.trace())
       .use_graph(&graph)
       .use_heuristic(flags.GetString("heuristic", "smart-sra"));
+  WUM_ASSIGN_OR_RETURN(std::optional<wum::mine::MinerOptions> mining,
+                       wum_tools::GetMiningFlags(flags));
+  if (mining.has_value()) {
+    options.set_mining(*mining);
+  }
   if (!flags.Has("no-clean")) {
     // The standard cleaning chain runs inside the engine, per record.
     // The robot filter needs a whole-log first pass, so the daemon

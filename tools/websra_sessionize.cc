@@ -19,6 +19,7 @@
 #include "wum/common/table.h"
 #include "wum/ingest/byte_source.h"
 #include "wum/ingest/driver.h"
+#include "wum/mine/path_miner.h"
 #include "wum/obs/metrics.h"
 #include "wum/session/instrumented_sessionizer.h"
 #include "wum/session/referrer_heuristic.h"
@@ -44,6 +45,7 @@ std::string Usage() {
          "  [--log-level debug|info|warn|error|off]\n"
          "  [--format text|binary] [--checkpoint-dir DIR]\n"
          "  [--checkpoint-every-records N=100000] [--resume]\n"
+         "  [--mine-topk K [--mine-lengths L=3] [--mine-window N=0]]\n"
          "\n"
          "Reads an access log, applies the standard cleaning chain (GET\n"
          "only, successful status, no embedded resources, no crawlers\n"
@@ -81,6 +83,13 @@ std::string Usage() {
          "line-oriented default; binary is the compact CRC-framed format).\n"
          "Readers auto-detect, so downstream tools accept either.\n"
          "\n"
+         "--mine-topk K (streaming only) mines the top-k frequent\n"
+         "link-topology-valid paths of lengths 2..--mine-lengths from the\n"
+         "live session stream in bounded memory and prints them as JSON on\n"
+         "stdout at the end of the run; --mine-window N halves all counts\n"
+         "every N mined paths. Miner state rides the checkpoint. See\n"
+         "docs/mining.md.\n"
+         "\n"
          "--checkpoint-dir enables durable checkpointing (streaming only):\n"
          "sessions append to a journal in DIR and the engine snapshots its\n"
          "state there every --checkpoint-every-records input records. After\n"
@@ -109,6 +118,7 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
                          wum::obs::MetricRegistry* metrics,
                          wum::obs::TraceRecorder* trace,
                          const std::optional<CheckpointConfig>& checkpoint,
+                         const std::optional<wum::mine::MinerOptions>& mining,
                          std::vector<wum::UserSession>* output) {
   if (heuristic_name == "referrer") {
     return wum::Status::InvalidArgument(
@@ -124,6 +134,9 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
       .set_trace(trace)
       .use_graph(&graph)
       .use_heuristic(heuristic_name);
+  if (mining.has_value()) {
+    options.set_mining(*mining);
+  }
 
   std::string journal_path;
   std::ofstream journal;
@@ -226,6 +239,9 @@ wum::Status RunStreaming(const std::vector<wum::LogRecord>& cleaned,
   }
   WUM_RETURN_NOT_OK(driver.OfferRefs(refs));
   WUM_RETURN_NOT_OK(engine->Finish());
+  if (engine->mining() != nullptr) {
+    std::cout << engine->mining()->PatternsJson() << "\n";
+  }
   if (checkpoint.has_value()) {
     journal.flush();
     journal.close();
@@ -270,7 +286,8 @@ wum::Status Run(const wum_tools::Flags& flags) {
                                             .always_metrics = false};
   WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::ToolRuntime::WithFlags(
       {"graph", "log", "out", "heuristic", "identity", "delta", "rho",
-       "keep-robots", "streaming", "threads", "max-parse-errors", "format"},
+       "keep-robots", "streaming", "threads", "max-parse-errors", "format",
+       "mine-topk", "mine-lengths", "mine-window"},
       features)));
   WUM_ASSIGN_OR_RETURN(std::string graph_path, flags.GetRequired("graph"));
   WUM_ASSIGN_OR_RETURN(std::string log_path, flags.GetRequired("log"));
@@ -317,6 +334,11 @@ wum::Status Run(const wum_tools::Flags& flags) {
         "--checkpoint-dir requires --streaming");
   }
   wum::obs::MetricRegistry* metrics = runtime.metrics();
+  WUM_ASSIGN_OR_RETURN(std::optional<wum::mine::MinerOptions> mining,
+                       wum_tools::GetMiningFlags(flags));
+  if (mining.has_value() && !flags.Has("streaming")) {
+    return wum::Status::InvalidArgument("--mine-topk requires --streaming");
+  }
 
   // Parse. Malformed lines are quarantined to the dead-letter channel;
   // more than --max-parse-errors of them aborts the run (default 0:
@@ -393,7 +415,8 @@ wum::Status Run(const wum_tools::Flags& flags) {
     WUM_RETURN_NOT_OK(RunStreaming(cleaned, graph, heuristic_name, identity,
                                    thresholds,
                                    static_cast<std::size_t>(threads), metrics,
-                                   runtime.trace(), checkpoint, &output));
+                                   runtime.trace(), checkpoint, mining,
+                                   &output));
     WUM_RETURN_NOT_OK(wum::WriteSessionsFile(output, out_path, format));
     std::cout << "wrote " << output.size() << " sessions (" << heuristic_name
               << ", streaming) to " << out_path << "\n";
