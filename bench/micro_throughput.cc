@@ -286,6 +286,23 @@ BENCHMARK(BM_StreamEngineShardedMining)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// End-to-end latency tracking cost: with a registry attached the
+// threaded driver stamps every batch at accept (one clock read on the
+// producer side), the emit hub reads the clock per emitted session to
+// feed the ingest_to_emit_latency_us histogram, and the sessionizer
+// maintains the per-shard event-time watermark. The spread against
+// BM_StreamEngineSharded is the full price of the live-telemetry path;
+// the CI gate holds this arm to >= 0.92x of its committed baseline so
+// the instrumentation can never quietly grow a per-record clock read.
+void BM_StreamEngineShardedLatencyTracking(benchmark::State& state) {
+  StreamEngineShardedLoop(state, &BenchMetricsRegistry());
+}
+BENCHMARK(BM_StreamEngineShardedLatencyTracking)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // Tracing cost of the same workload. state.range(1) selects the mode:
 // 0 attaches no recorder, so every ScopedSpan in the pipeline takes its
 // disabled single-branch no-op path without ever reading the clock —

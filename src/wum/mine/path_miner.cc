@@ -318,6 +318,11 @@ std::uint64_t MiningSink::sessions_seen() const {
   return miner_.sessions_seen();
 }
 
+std::size_t MiningSink::queued_batches() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
 Status MiningSink::SerializeState(std::vector<std::string>* frames) const {
   DrainAll();
   std::lock_guard<std::mutex> lock(miner_mutex_);

@@ -131,6 +131,10 @@ class MiningSink : public SessionSink {
                                     std::size_t length = 0) const;
   std::string PatternsJson(std::size_t k = 0, std::size_t length = 0) const;
   std::uint64_t sessions_seen() const;
+  /// Batches waiting for the miner thread (0..kMaxQueuedBatches, the
+  /// partial pending batch excluded) — the mining-queue-depth gauge
+  /// scrape probes read. Thread-safe.
+  std::size_t queued_batches() const;
   const MinerOptions& options() const { return miner_.options(); }
 
   Status SerializeState(std::vector<std::string>* frames) const;

@@ -59,9 +59,12 @@ Status DecodeServeSinkState(std::string_view encoded,
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <sstream>
 
 #include "wum/clf/clf_parser.h"
 #include "wum/mine/path_miner.h"
+#include "wum/net/http.h"
+#include "wum/obs/exposition.h"
 
 namespace wum::net {
 
@@ -85,6 +88,7 @@ struct LogServer::Connection {
 
   Fd fd;
   bool admin = false;
+  bool http = false;  // observability scraper: one GET, one reply, close
   bool closing = false;
   std::uint64_t serial = 0;
 
@@ -100,6 +104,9 @@ struct LogServer::Connection {
   // Admin state.
   std::string admin_buffer;
 
+  // HTTP state: the partially read request head.
+  std::string http_buffer;
+
   // Lifecycle / quota state (see DeadlineConfig, ClientQuota).
   TokenBucket bucket;                   // default: unlimited
   std::uint64_t accepted_at_ms = 0;
@@ -107,6 +114,7 @@ struct LogServer::Connection {
   std::uint64_t partial_since_ms = 0;   // 0 = no incomplete line outstanding
   bool paused = false;                  // fd withheld from poll (pushback)
   std::uint64_t resume_at_ms = 0;       // wheel wake for a rate-limit pause
+  std::uint64_t paused_since_ms = 0;    // 0 = not currently paused
 };
 
 Result<std::unique_ptr<LogServer>> LogServer::Start(
@@ -157,6 +165,10 @@ LogServer::LogServer(ServerOptions options, StreamEngine* engine,
       m_quota_shed_(obs::CounterIn(options_.metrics, "net.conn.quota_shed")),
       m_oversize_(obs::CounterIn(options_.metrics,
                                  "net.conn.oversize_rejected")),
+      m_pause_ms_(obs::CounterIn(options_.metrics,
+                                 "net.conn.pause_time_ms")),
+      m_http_requests_(obs::CounterIn(options_.metrics,
+                                      "net.http_requests")),
       g_active_(obs::GaugeIn(options_.metrics, "net.conn.active")) {}
 
 std::uint64_t LogServer::NowMs() const {
@@ -172,6 +184,12 @@ Status LogServer::BindListeners() {
                        ListenTcp(options_.host, options_.admin_port));
   WUM_RETURN_NOT_OK(SetNonBlocking(admin_listener_, true));
   WUM_ASSIGN_OR_RETURN(admin_port_, BoundPort(admin_listener_));
+  if (options_.http_port.has_value()) {
+    WUM_ASSIGN_OR_RETURN(http_listener_,
+                         ListenTcp(options_.host, *options_.http_port));
+    WUM_RETURN_NOT_OK(SetNonBlocking(http_listener_, true));
+    WUM_ASSIGN_OR_RETURN(http_port_, BoundPort(http_listener_));
+  }
   WUM_ASSIGN_OR_RETURN(auto pipe, MakePipe());
   stop_read_ = std::move(pipe.first);
   stop_write_ = std::move(pipe.second);
@@ -216,7 +234,9 @@ Status LogServer::AcceptPending(Fd* listener, bool admin) {
       // server.
       const std::size_t data_connections = static_cast<std::size_t>(
           std::count_if(connections_.begin(), connections_.end(),
-                        [](const auto& c) { return !c->admin && !c->closing; }));
+                        [](const auto& c) {
+                          return !c->admin && !c->http && !c->closing;
+                        }));
       if (data_connections >= options_.max_connections) {
         RefuseConnection(std::move(accepted), "max_connections");
         continue;
@@ -271,6 +291,40 @@ Status LogServer::AcceptPending(Fd* listener, bool admin) {
   }
 }
 
+Status LogServer::AcceptHttpPending() {
+  while (true) {
+    WUM_ASSIGN_OR_RETURN(Fd accepted, Accept(http_listener_));
+    if (!accepted.valid()) return Status::OK();  // drained
+    const std::size_t http_connections = static_cast<std::size_t>(
+        std::count_if(connections_.begin(), connections_.end(),
+                      [](const auto& c) { return c->http && !c->closing; }));
+    if (http_connections >= options_.max_http_connections) {
+      // Close without a response: a scraper retries on its next
+      // interval, and a connection flood must not buy loop time.
+      ++stats_.connections_refused;
+      m_refused_.Increment();
+      continue;  // Fd destructor closes
+    }
+    WUM_RETURN_NOT_OK(SetNonBlocking(accepted, true));
+    auto conn = std::make_unique<Connection>(options_.max_line_bytes,
+                                             options_.metrics);
+    conn->fd = std::move(accepted);
+    conn->http = true;
+    conn->serial = ++stats_.connections_accepted;
+    const std::uint64_t now = NowMs();
+    conn->accepted_at_ms = now;
+    conn->last_activity_ms = now;
+    m_accepted_.Increment();
+    tracer_.Instant("accept", 0, conn->serial);
+    obs::LogDebug("net.accept")("serial", conn->serial)("kind", "http");
+    ArmDeadline(conn.get());
+    connections_.push_back(std::move(conn));
+    g_active_.Set(static_cast<std::uint64_t>(
+        std::count_if(connections_.begin(), connections_.end(),
+                      [](const auto& c) { return !c->closing; })));
+  }
+}
+
 void LogServer::RefuseConnection(Fd accepted, const char* reason) {
   ++stats_.connections_refused;
   m_refused_.Increment();
@@ -284,6 +338,12 @@ void LogServer::RefuseConnection(Fd accepted, const char* reason) {
 
 void LogServer::CloseConnection(Connection* conn, const char* why) {
   if (conn->closing) return;
+  if (conn->paused_since_ms != 0) {
+    // Settle the open pause interval so the stall-time counter never
+    // undercounts a producer that died while paused.
+    m_pause_ms_.Increment(NowMs() - conn->paused_since_ms);
+    conn->paused_since_ms = 0;
+  }
   conn->closing = true;
   conn->fd.reset();
   wheel_.Cancel(conn->serial);
@@ -357,6 +417,15 @@ std::uint64_t LogServer::BufferedBytesTotal() const {
 
 void LogServer::ArmDeadline(Connection* conn) {
   if (conn->closing) return;
+  if (conn->http) {
+    // Always-on request-head deadline: the slow-loris cut-off for
+    // scrapers, independent of the opt-in data-port deadlines.
+    const std::uint64_t timeout = options_.http_read_timeout_ms != 0
+                                      ? options_.http_read_timeout_ms
+                                      : 5000;
+    wheel_.Schedule(conn->serial, conn->accepted_at_ms + timeout);
+    return;
+  }
   const DeadlineConfig& d = options_.deadlines;
   std::uint64_t earliest = UINT64_MAX;
   if (conn->paused && conn->resume_at_ms != 0) {
@@ -383,12 +452,32 @@ void LogServer::ArmDeadline(Connection* conn) {
 
 Status LogServer::HandleDeadline(Connection* conn, std::uint64_t now_ms) {
   if (conn->closing) return Status::OK();
+  if (conn->http) {
+    const std::uint64_t timeout = options_.http_read_timeout_ms != 0
+                                      ? options_.http_read_timeout_ms
+                                      : 5000;
+    if (now_ms < conn->accepted_at_ms + timeout) {
+      ArmDeadline(conn);  // early wake
+      return Status::OK();
+    }
+    ++stats_.connections_expired;
+    m_expired_.Increment();
+    obs::LogWarn("net.expire")("serial", conn->serial)("reason",
+                                                       "http timeout");
+    Reply(conn, RenderHttpResponse(408, "text/plain", "request timeout\n"));
+    CloseConnection(conn, "http timeout");
+    return Status::OK();
+  }
   if (conn->paused && conn->resume_at_ms != 0 && now_ms >= conn->resume_at_ms) {
     // Rate-limit pause over: the fd rejoins the poll set next
     // iteration. The pause itself was not idleness.
     conn->paused = false;
     conn->resume_at_ms = 0;
     conn->last_activity_ms = now_ms;
+    if (conn->paused_since_ms != 0) {
+      m_pause_ms_.Increment(now_ms - conn->paused_since_ms);
+      conn->paused_since_ms = 0;
+    }
   }
   const DeadlineConfig& d = options_.deadlines;
   const char* reason = nullptr;
@@ -483,6 +572,7 @@ Status LogServer::DegradeConnection(Connection* conn, const char* reason,
   if (!conn->paused) {
     conn->paused = true;
     conn->resume_at_ms = now_ms + 50;  // re-check cadence while blocked
+    if (conn->paused_since_ms == 0) conn->paused_since_ms = now_ms;
     obs::LogWarn("net.quota")("serial", conn->serial)("action", "pause")(
         "reason", reason);
     ArmDeadline(conn);
@@ -524,6 +614,7 @@ Status LogServer::PumpConnection(Connection* conn) {
       driver_->records_offered() - records_at_last_checkpoint_ >= cadence) {
     WUM_RETURN_NOT_OK(driver_->CheckpointNow());
     records_at_last_checkpoint_ = driver_->records_offered();
+    last_checkpoint_ms_ = NowMs();
   }
   return Status::OK();
 }
@@ -623,12 +714,24 @@ Status LogServer::AdminPing(Connection* conn, std::string_view) {
   return Status::OK();
 }
 
-Status LogServer::AdminStats(Connection* conn, std::string_view) {
-  if (options_.metrics == nullptr) {
-    Reply(conn, "ERR metrics disabled\n");
-  } else {
-    Reply(conn, options_.metrics->Snapshot().ToJsonLine() + "\n");
+Status LogServer::AdminStats(Connection* conn, std::string_view args) {
+  if (args.empty()) {
+    // Legacy reply, byte-identical to the pre-STATS-JSON contract (the
+    // chaos smoke greps it).
+    if (options_.metrics == nullptr) {
+      Reply(conn, "ERR metrics disabled\n");
+    } else {
+      Reply(conn, options_.metrics->Snapshot().ToJsonLine() + "\n");
+    }
+    return Status::OK();
   }
+  if (args == "JSON") {
+    // The same body /statusz serves, so scripts without an HTTP client
+    // get the operational snapshot over the admin protocol.
+    Reply(conn, StatuszJson() + "\n");
+    return Status::OK();
+  }
+  Reply(conn, "ERR usage: STATS [JSON]\n");
   return Status::OK();
 }
 
@@ -639,6 +742,7 @@ Status LogServer::AdminCheckpoint(Connection* conn, std::string_view) {
     return Status::OK();
   }
   records_at_last_checkpoint_ = driver_->records_offered();
+  last_checkpoint_ms_ = NowMs();
   Reply(conn,
         "OK records_seen=" + std::to_string(engine_->records_seen()) + "\n");
   return Status::OK();
@@ -700,7 +804,7 @@ Status LogServer::HandleAdminLine(Connection* conn, std::string_view line) {
   };
   static constexpr AdminHandlerEntry kAdminHandlers[] = {
       {"PING", false, &LogServer::AdminPing},
-      {"STATS", false, &LogServer::AdminStats},
+      {"STATS", true, &LogServer::AdminStats},
       {"CHECKPOINT", false, &LogServer::AdminCheckpoint},
       {"QUIESCE", false, &LogServer::AdminQuiesce},
       {"PATTERNS", true, &LogServer::AdminPatterns},
@@ -742,7 +846,7 @@ Status LogServer::DoQuiesce(std::string* detail) {
   // being read are dropped by the close — identified clients recover
   // them through replay.
   for (auto& conn : connections_) {
-    if (conn->admin || conn->closing) continue;
+    if (conn->admin || conn->http || conn->closing) continue;
     bool progress = true;
     while (progress && !conn->closing) {
       WUM_RETURN_NOT_OK(HandleReadable(conn.get(), &progress));
@@ -768,7 +872,167 @@ Status LogServer::DoQuiesce(std::string* detail) {
   return Status::OK();
 }
 
+std::string LogServer::HealthProblems() {
+  std::string problems;
+  const auto add = [&problems](const std::string& problem) {
+    if (!problems.empty()) problems += "; ";
+    problems += problem;
+  };
+  const std::vector<Status> health = engine_->ShardHealth();
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    if (!health[i].ok()) {
+      add("shard" + std::to_string(i) + " dead: " + health[i].message());
+    }
+  }
+  if (dead_letters_ != nullptr && dead_letters_->overflow_dropped() > 0) {
+    add("dead-letter queue saturated (" +
+        std::to_string(dead_letters_->overflow_dropped()) +
+        " letters dropped)");
+  }
+  if (options_.healthz_max_checkpoint_age_ms != 0 &&
+      driver_->checkpointing()) {
+    // Before the first checkpoint of this run the server's own start is
+    // the age baseline, so a daemon that never manages to checkpoint
+    // still turns unhealthy.
+    const std::uint64_t base =
+        last_checkpoint_ms_ != 0 ? last_checkpoint_ms_ : started_at_ms_;
+    const std::uint64_t now = NowMs();
+    if (base != 0 && now > base &&
+        now - base > options_.healthz_max_checkpoint_age_ms) {
+      add("checkpoint stale (" + std::to_string(now - base) + "ms old)");
+    }
+  }
+  return problems;
+}
+
+std::string LogServer::StatuszJson() {
+  const std::uint64_t now = NowMs();
+  const std::string problems = HealthProblems();
+  const std::vector<EngineStats> shard_stats = engine_->ShardStats();
+  const std::vector<Status> shard_health = engine_->ShardHealth();
+  const std::size_t active = static_cast<std::size_t>(
+      std::count_if(connections_.begin(), connections_.end(),
+                    [](const auto& c) { return !c->closing; }));
+  // Key order is fixed and every key is always present, so CI and
+  // websra_top can assert on the byte shape (same contract as the
+  // metrics JSON exporter).
+  std::ostringstream out;
+  out << "{\"healthy\":" << (problems.empty() ? "true" : "false")
+      << ",\"problems\":\"" << obs::internal::EscapeJson(problems)
+      << "\",\"server\":{\"uptime_ms\":"
+      << (started_at_ms_ != 0 && now > started_at_ms_ ? now - started_at_ms_
+                                                      : 0)
+      << ",\"port\":" << port_ << ",\"admin_port\":" << admin_port_
+      << ",\"http_port\":" << http_port_ << ",\"connections\":{\"active\":"
+      << active << ",\"accepted\":" << stats_.connections_accepted
+      << ",\"closed\":" << stats_.connections_closed
+      << ",\"expired\":" << stats_.connections_expired
+      << ",\"refused\":" << stats_.connections_refused
+      << "},\"checkpoint\":{\"enabled\":"
+      << (driver_->checkpointing() ? "true" : "false") << ",\"age_ms\":"
+      << (last_checkpoint_ms_ != 0 && now > last_checkpoint_ms_
+              ? now - last_checkpoint_ms_
+              : 0)
+      << "}},\"engine\":{\"records_seen\":" << engine_->records_seen()
+      << ",\"shards\":[";
+  for (std::size_t i = 0; i < shard_stats.size(); ++i) {
+    const EngineStats& stats = shard_stats[i];
+    if (i > 0) out << ",";
+    out << "{\"index\":" << i << ",\"healthy\":"
+        << (shard_health[i].ok() ? "true" : "false") << ",\"error\":\""
+        << obs::internal::EscapeJson(
+               shard_health[i].ok() ? "" : shard_health[i].message())
+        << "\",\"records_in\":" << stats.records_in
+        << ",\"sessions_emitted\":" << stats.sessions_emitted
+        << ",\"dead_letters\":" << stats.dead_letters
+        << ",\"records_shed\":" << stats.records_shed
+        << ",\"queue_depth\":" << engine_->ShardQueueDepth(i)
+        << ",\"watermark_seconds\":" << engine_->ShardWatermarkSeconds(i)
+        << "}";
+  }
+  out << "]},\"dead_letters\":{\"attached\":"
+      << (dead_letters_ != nullptr ? "true" : "false") << ",\"size\":"
+      << (dead_letters_ != nullptr ? dead_letters_->size() : 0)
+      << ",\"total_offered\":"
+      << (dead_letters_ != nullptr ? dead_letters_->total_offered() : 0)
+      << ",\"records_covered\":"
+      << (dead_letters_ != nullptr ? dead_letters_->records_covered() : 0)
+      << ",\"overflow_dropped\":"
+      << (dead_letters_ != nullptr ? dead_letters_->overflow_dropped() : 0)
+      << "},\"mining\":{\"enabled\":"
+      << (engine_->mining() != nullptr ? "true" : "false") << ",\"sessions_seen\":"
+      << (engine_->mining() != nullptr ? engine_->mining()->sessions_seen()
+                                       : 0)
+      << ",\"queue_depth\":"
+      << (engine_->mining() != nullptr ? engine_->mining()->queued_batches()
+                                       : 0)
+      << "}}";
+  return out.str();
+}
+
+Status LogServer::HandleHttpReadable(Connection* conn) {
+  obs::ScopedSpan span(tracer_, "http", 0, conn->serial);
+  Result<ReadResult> read_result =
+      ReadSome(conn->fd, read_buffer_.data(), read_buffer_.size());
+  if (!read_result.ok()) {
+    CloseConnection(conn, "http read error");
+    return Status::OK();
+  }
+  const ReadResult read = *read_result;
+  if (read.would_block) return Status::OK();
+  if (read.bytes == 0) {
+    if (read.eof) CloseConnection(conn, "http eof");
+    return Status::OK();
+  }
+  conn->http_buffer.append(read_buffer_.data(), read.bytes);
+  HttpRequest request;
+  switch (ParseHttpRequest(conn->http_buffer, &request)) {
+    case HttpParseOutcome::kNeedMore:
+      return Status::OK();  // deadline still armed; wait for the rest
+    case HttpParseOutcome::kTooLarge:
+      Reply(conn,
+            RenderHttpResponse(413, "text/plain", "request too large\n"));
+      CloseConnection(conn, "http oversized");
+      return Status::OK();
+    case HttpParseOutcome::kBad:
+      Reply(conn, RenderHttpResponse(400, "text/plain", "bad request\n"));
+      CloseConnection(conn, "http bad request");
+      return Status::OK();
+    case HttpParseOutcome::kOk:
+      break;
+  }
+  m_http_requests_.Increment();
+  std::string response;
+  if (request.method != "GET") {
+    response = RenderHttpResponse(400, "text/plain", "only GET is served\n");
+  } else if (request.target == "/metrics") {
+    response =
+        options_.metrics == nullptr
+            ? RenderHttpResponse(503, "text/plain", "metrics disabled\n")
+            : RenderHttpResponse(
+                  200, "text/plain; version=0.0.4",
+                  obs::ToPrometheusText(options_.metrics->Snapshot()));
+  } else if (request.target == "/healthz") {
+    const std::string problems = HealthProblems();
+    response = problems.empty()
+                   ? RenderHttpResponse(200, "text/plain", "ok\n")
+                   : RenderHttpResponse(503, "text/plain", problems + "\n");
+  } else if (request.target == "/statusz") {
+    response =
+        RenderHttpResponse(200, "application/json", StatuszJson() + "\n");
+  } else {
+    response = RenderHttpResponse(404, "text/plain", "unknown path\n");
+  }
+  Reply(conn, response);
+  CloseConnection(conn, "http served");
+  return Status::OK();
+}
+
 Status LogServer::HandleReadable(Connection* conn, bool* made_progress) {
+  if (conn->http) {
+    if (made_progress != nullptr) *made_progress = false;
+    return HandleHttpReadable(conn);
+  }
   obs::ScopedSpan span(tracer_, "read", 0, conn->serial);
   if (made_progress != nullptr) *made_progress = false;
   const std::uint64_t now = NowMs();
@@ -781,6 +1045,7 @@ Status LogServer::HandleReadable(Connection* conn, bool* made_progress) {
       // producer alone; nobody else notices.
       conn->paused = true;
       conn->resume_at_ms = conn->bucket.WhenAvailable(1, now);
+      if (conn->paused_since_ms == 0) conn->paused_since_ms = now;
       ArmDeadline(conn);
       return Status::OK();
     }
@@ -882,7 +1147,8 @@ Status LogServer::HandleReadable(Connection* conn, bool* made_progress) {
 
 Status LogServer::Serve() {
   obs::LogInfo("net.serve")("port", port_)("admin_port", admin_port_)(
-      "resumed_clients", client_offsets_.size());
+      "http_port", http_port_)("resumed_clients", client_offsets_.size());
+  started_at_ms_ = NowMs();
   Status result = Status::OK();
   std::vector<pollfd> pollfds;
   std::vector<Connection*> pollconns;
@@ -897,6 +1163,10 @@ Status LogServer::Serve() {
     }
     pollfds.push_back(pollfd{admin_listener_.get(), POLLIN, 0});
     pollconns.push_back(nullptr);
+    if (http_listener_.valid()) {
+      pollfds.push_back(pollfd{http_listener_.get(), POLLIN, 0});
+      pollconns.push_back(nullptr);
+    }
     for (auto& conn : connections_) {
       // Paused connections (rate quota spent, kBlock degradation) stay
       // open but out of the poll set: per-producer TCP pushback.
@@ -934,6 +1204,8 @@ Status LogServer::Serve() {
         step = AcceptPending(&data_listener_, /*admin=*/false);
       } else if (fd == admin_listener_.get()) {
         step = AcceptPending(&admin_listener_, /*admin=*/true);
+      } else if (http_listener_.valid() && fd == http_listener_.get()) {
+        step = AcceptHttpPending();
       } else if (pollconns[i] != nullptr && !pollconns[i]->closing) {
         step = HandleReadable(pollconns[i]);
       }

@@ -19,10 +19,20 @@
 //
 // Admin port, one command per line:
 //   STATS       -> one-line JSON metrics snapshot
+//   STATS JSON  -> /statusz-shaped operational JSON (fixed key order)
 //   CHECKPOINT  -> triggers StreamEngine::Checkpoint through the driver
 //   QUIESCE     -> drains all connections, Finish()es the engine, runs
 //                  the on_quiesce hook, replies, and stops the server
 //   PING        -> OK
+//
+// HTTP observability port (opt-in via ServerOptions::http_port), served
+// from the same poll loop — no extra threads:
+//   GET /metrics  -> Prometheus text exposition of the metric registry
+//   GET /healthz  -> 200 "ok" | 503 + reasons (dead shard, dead-letter
+//                    overflow, stale checkpoint)
+//   GET /statusz  -> operational JSON snapshot (same body as STATS JSON)
+// Requests are size-capped, read under a timer-wheel deadline (slow
+// loris gets 408), and every response closes the connection.
 //
 // Backpressure maps per-connection onto the engine's OfferPolicy:
 // under kBlock a full shard queue blocks the loop inside OfferBatch —
@@ -133,6 +143,24 @@ struct ServerOptions {
   /// BUSY while the budget is exhausted. 0 = unlimited.
   std::uint64_t ingest_budget_bytes = 0;
 
+  /// Observability HTTP listener (GET /metrics, /healthz, /statusz).
+  /// Unset = no HTTP port; 0 = kernel-assigned, read back via
+  /// http_port().
+  std::optional<std::uint16_t> http_port;
+  /// Concurrent HTTP connections; further accepts are closed without a
+  /// response (scrapers retry).
+  std::size_t max_http_connections = 32;
+  /// Deadline for a complete HTTP request head, enforced from the timer
+  /// wheel — a slow-loris scraper is answered 408 and dropped. Always
+  /// on (0 falls back to the default), unlike the opt-in data-port
+  /// deadlines: the HTTP port serves only tiny GETs, so a deadline can
+  /// never punish a legitimate peer.
+  std::uint64_t http_read_timeout_ms = 5000;
+  /// /healthz reports 503 once the newest checkpoint is older than this
+  /// (only while checkpointing is configured). 0 = checkpoint age never
+  /// degrades health.
+  std::uint64_t healthz_max_checkpoint_age_ms = 0;
+
   /// Monotonic-milliseconds source for deadlines and quotas; tests
   /// install a manual clock. Defaults to MonotonicMillis.
   std::function<std::uint64_t()> clock_ms;
@@ -175,6 +203,8 @@ class LogServer {
 
   std::uint16_t port() const { return port_; }
   std::uint16_t admin_port() const { return admin_port_; }
+  /// 0 when ServerOptions::http_port was unset.
+  std::uint16_t http_port() const { return http_port_; }
 
   /// The poll loop. Returns OK after a clean QUIESCE/stop, or the first
   /// fatal error (engine poisoned, listener failure). Call once.
@@ -204,6 +234,19 @@ class LogServer {
   Status BindListeners();
   Result<std::string> ComposeSinkState();
   Status AcceptPending(Fd* listener, bool admin);
+  /// Accepts pending HTTP scrapers (capped at max_http_connections).
+  Status AcceptHttpPending();
+  /// Drives one HTTP connection: buffers the request head, answers one
+  /// GET, closes. Hostile input (oversized head, bad request line) is
+  /// answered with the matching 4xx and closed.
+  Status HandleHttpReadable(Connection* conn);
+  /// ""  = healthy; otherwise a comma-joined list of what is wrong
+  /// (dead shards, dead-letter overflow, stale checkpoint).
+  std::string HealthProblems();
+  /// The /statusz (and STATS JSON) body: one line of deterministic
+  /// fixed-key-order JSON over server, engine, dead-letter and mining
+  /// state.
+  std::string StatuszJson();
   Status HandleReadable(Connection* conn, bool* made_progress = nullptr);
   Status HandleData(Connection* conn, std::string_view bytes);
   Status HandleHandshakeBuffer(Connection* conn);
@@ -258,15 +301,22 @@ class LogServer {
 
   Fd data_listener_;
   Fd admin_listener_;
+  Fd http_listener_;  // invalid unless options_.http_port is set
   Fd stop_read_;
   Fd stop_write_;
   std::uint16_t port_ = 0;
   std::uint16_t admin_port_ = 0;
+  std::uint16_t http_port_ = 0;
 
   std::vector<std::unique_ptr<Connection>> connections_;
   ClientOffsets client_offsets_;
   std::vector<char> read_buffer_;
   std::uint64_t records_at_last_checkpoint_ = 0;
+  /// Checkpoint-age baseline for /healthz: Serve() start, then each
+  /// completed checkpoint.
+  std::uint64_t last_checkpoint_ms_ = 0;
+  /// Serve() start (monotonic ms) for /statusz uptime.
+  std::uint64_t started_at_ms_ = 0;
   bool stopping_ = false;
   bool quiesced_ = false;
   ServeStats stats_;
@@ -283,6 +333,11 @@ class LogServer {
   obs::Counter m_refused_;
   obs::Counter m_quota_shed_;
   obs::Counter m_oversize_;
+  /// Total wall time data fds spent withheld from poll (rate-limit and
+  /// kBlock quota pauses) — the backpressure stall the quota layer
+  /// imposed on producers, in milliseconds.
+  obs::Counter m_pause_ms_;
+  obs::Counter m_http_requests_;
   obs::Gauge g_active_;
 };
 

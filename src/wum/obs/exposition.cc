@@ -1,0 +1,309 @@
+#include "wum/obs/exposition.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace wum::obs {
+namespace {
+
+using internal::RenderDouble;
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) { return IsNameStartChar(c) || (c >= '0' && c <= '9'); }
+
+/// One histogram family's derived series, shared by the text renderer.
+/// `_count` is rendered as the cumulative bucket total rather than the
+/// separately-tracked count atomic: under concurrent writers the two
+/// can skew by in-flight observations, and Prometheus requires
+/// `+Inf == _count` exactly.
+struct HistogramSeries {
+  std::vector<std::uint64_t> cumulative;
+  std::uint64_t total = 0;
+};
+
+HistogramSeries Cumulate(const MetricsSnapshot::HistogramValue& h) {
+  HistogramSeries series;
+  series.cumulative.reserve(h.counts.size());
+  for (std::uint64_t count : h.counts) {
+    series.total += count;
+    series.cumulative.push_back(series.total);
+  }
+  return series;
+}
+
+void RenderQuantileGauge(std::ostringstream* out, const std::string& base,
+                         const char* suffix, double value) {
+  *out << "# TYPE " << base << suffix << " gauge\n"
+       << base << suffix << " " << RenderDouble(value) << "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "wum_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    out += IsNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const MetricsSnapshot::InfoValue& info : snapshot.infos) {
+    const std::string name = PrometheusName(info.name);
+    out << "# TYPE " << name << " gauge\n" << name << "{";
+    for (std::size_t i = 0; i < info.labels.size(); ++i) {
+      out << (i == 0 ? "" : ",") << PrometheusName(info.labels[i].first).substr(4)
+          << "=\"" << EscapeLabelValue(info.labels[i].second) << "\"";
+    }
+    out << "} 1\n";
+  }
+  for (const MetricsSnapshot::CounterValue& counter : snapshot.counters) {
+    const std::string name = PrometheusName(counter.name);
+    out << "# TYPE " << name << " counter\n"
+        << name << " " << counter.value << "\n";
+  }
+  for (const MetricsSnapshot::GaugeValue& gauge : snapshot.gauges) {
+    const std::string name = PrometheusName(gauge.name);
+    out << "# TYPE " << name << " gauge\n" << name << " " << gauge.value
+        << "\n";
+  }
+  for (const MetricsSnapshot::HistogramValue& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    const HistogramSeries series = Cumulate(h);
+    out << "# TYPE " << name << " histogram\n";
+    for (std::size_t b = 0; b < series.cumulative.size(); ++b) {
+      out << name << "_bucket{le=\""
+          << (b < h.bounds.size() ? RenderDouble(h.bounds[b])
+                                  : std::string("+Inf"))
+          << "\"} " << series.cumulative[b] << "\n";
+    }
+    out << name << "_sum " << RenderDouble(h.sum) << "\n";
+    out << name << "_count " << series.total << "\n";
+    RenderQuantileGauge(&out, name, "_p50", h.p50());
+    RenderQuantileGauge(&out, name, "_p90", h.p90());
+    RenderQuantileGauge(&out, name, "_p99", h.p99());
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Per-family lint state accumulated while scanning.
+struct FamilyState {
+  std::string type;          // from the # TYPE line
+  bool saw_sample = false;
+  // Histogram families only.
+  double last_le = 0.0;
+  bool saw_le = false;
+  bool saw_inf_bucket = false;
+  std::uint64_t inf_bucket_value = 0;
+  bool saw_count = false;
+  std::uint64_t count_value = 0;
+  std::uint64_t last_bucket_value = 0;
+};
+
+Status LintError(std::size_t line_no, const std::string& message) {
+  return Status::InvalidArgument("exposition line " + std::to_string(line_no) +
+                                 ": " + message);
+}
+
+bool ValidName(std::string_view name) {
+  if (name.empty() || !IsNameStartChar(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+/// Splits `sample_name` into its histogram family when it carries a
+/// histogram suffix; returns the name itself otherwise.
+std::string FamilyOf(std::string_view sample_name, std::string_view* suffix) {
+  for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+    const std::string_view s(candidate);
+    if (sample_name.size() > s.size() &&
+        sample_name.substr(sample_name.size() - s.size()) == s) {
+      *suffix = s;
+      return std::string(sample_name.substr(0, sample_name.size() - s.size()));
+    }
+  }
+  *suffix = {};
+  return std::string(sample_name);
+}
+
+}  // namespace
+
+Status LintExposition(std::string_view text) {
+  std::map<std::string, FamilyState> families;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, end == std::string_view::npos ? text.size() - pos
+                                                       : end - pos);
+    pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only TYPE comments are structural; HELP and plain comments pass.
+      if (line.rfind("# TYPE ", 0) != 0) continue;
+      std::istringstream fields{std::string(line.substr(7))};
+      std::string name, type;
+      fields >> name >> type;
+      if (!ValidName(name)) {
+        return LintError(line_no, "bad metric name in TYPE line: " + name);
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        return LintError(line_no, "unknown metric type: " + type);
+      }
+      FamilyState& family = families[name];
+      if (family.saw_sample) {
+        return LintError(line_no, "TYPE line after samples for " + name);
+      }
+      if (!family.type.empty()) {
+        return LintError(line_no, "duplicate TYPE line for " + name);
+      }
+      family.type = type;
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::size_t name_end = 0;
+    while (name_end < line.size() && IsNameChar(line[name_end])) ++name_end;
+    const std::string_view sample_name = line.substr(0, name_end);
+    if (!ValidName(sample_name)) {
+      return LintError(line_no, "bad sample name: " + std::string(line));
+    }
+    std::string_view rest = line.substr(name_end);
+    std::string le_value;
+    if (!rest.empty() && rest[0] == '{') {
+      const std::size_t close = rest.find('}');
+      if (close == std::string_view::npos) {
+        return LintError(line_no, "unterminated label set");
+      }
+      const std::string_view labels = rest.substr(1, close - 1);
+      const std::size_t le = labels.find("le=\"");
+      if (le != std::string_view::npos) {
+        const std::size_t value_start = le + 4;
+        const std::size_t value_end = labels.find('"', value_start);
+        if (value_end == std::string_view::npos) {
+          return LintError(line_no, "unterminated le label");
+        }
+        le_value = std::string(labels.substr(value_start,
+                                             value_end - value_start));
+      }
+      rest = rest.substr(close + 1);
+    }
+    if (rest.empty() || rest[0] != ' ') {
+      return LintError(line_no, "missing value: " + std::string(line));
+    }
+    const std::string value_text{rest.substr(1)};
+    errno = 0;
+    char* parse_end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &parse_end);
+    if (parse_end == value_text.c_str() || *parse_end != '\0') {
+      return LintError(line_no, "unparseable value: " + value_text);
+    }
+
+    std::string_view suffix;
+    std::string family_name = FamilyOf(sample_name, &suffix);
+    auto it = families.find(family_name);
+    if (it == families.end() || it->second.type.empty()) {
+      // A histogram-ish suffix on a non-histogram family (e.g. a gauge
+      // legitimately named *_count) falls back to its own family.
+      it = families.find(std::string(sample_name));
+      if (it == families.end() || it->second.type.empty()) {
+        return LintError(line_no, "sample before TYPE line: " +
+                                      std::string(sample_name));
+      }
+      family_name = std::string(sample_name);
+      suffix = {};
+    }
+    FamilyState& family = it->second;
+    family.saw_sample = true;
+    if (family.type != "histogram") continue;
+
+    if (suffix == "_bucket") {
+      if (le_value.empty()) {
+        return LintError(line_no, family_name + "_bucket without le label");
+      }
+      const std::uint64_t bucket_value = static_cast<std::uint64_t>(value);
+      if (family.saw_le && bucket_value < family.last_bucket_value) {
+        return LintError(line_no, family_name +
+                                      "_bucket not cumulative at le=" +
+                                      le_value);
+      }
+      if (family.saw_inf_bucket) {
+        return LintError(line_no,
+                         family_name + "_bucket after its +Inf bucket");
+      }
+      if (le_value == "+Inf") {
+        family.saw_inf_bucket = true;
+        family.inf_bucket_value = bucket_value;
+      } else {
+        const double le = std::strtod(le_value.c_str(), nullptr);
+        if (family.saw_le && le <= family.last_le) {
+          return LintError(line_no, family_name +
+                                        "_bucket le values not increasing");
+        }
+        family.last_le = le;
+      }
+      family.saw_le = true;
+      family.last_bucket_value = bucket_value;
+    } else if (suffix == "_count") {
+      family.saw_count = true;
+      family.count_value = static_cast<std::uint64_t>(value);
+    }
+  }
+  for (const auto& [name, family] : families) {
+    if (family.type != "histogram" || !family.saw_sample) continue;
+    if (!family.saw_inf_bucket) {
+      return Status::InvalidArgument("exposition: histogram " + name +
+                                     " has no +Inf bucket");
+    }
+    if (!family.saw_count) {
+      return Status::InvalidArgument("exposition: histogram " + name +
+                                     " has no _count sample");
+    }
+    if (family.count_value != family.inf_bucket_value) {
+      return Status::InvalidArgument(
+          "exposition: histogram " + name + " +Inf bucket (" +
+          std::to_string(family.inf_bucket_value) + ") != _count (" +
+          std::to_string(family.count_value) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wum::obs

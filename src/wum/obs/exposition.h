@@ -1,0 +1,59 @@
+// Prometheus text-format exposition of a MetricsSnapshot, plus the
+// validator the tests, `websra_top --lint` and the CI smoke leg share.
+//
+// Mapping (docs/observability.md, "Scraping a live daemon"):
+//   * every metric name is prefixed `wum_` and sanitized to the
+//     Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]* (dots and any other
+//     illegal character become underscores);
+//   * counters  -> `# TYPE wum_x counter`, one sample;
+//   * gauges    -> `# TYPE wum_x gauge`, one sample;
+//   * histograms -> `# TYPE wum_x histogram` with *cumulative*
+//     `wum_x_bucket{le="..."}` samples (the snapshot stores per-bucket
+//     counts; the exporter accumulates them, and the `+Inf` bucket
+//     always equals `wum_x_count`), `wum_x_sum` and `wum_x_count`,
+//     plus the interpolated p50/p90/p99 as separate gauges
+//     `wum_x_p50` / `wum_x_p90` / `wum_x_p99` (a histogram and a
+//     summary may not share a name, so the quantiles get their own
+//     metric families);
+//   * infos     -> `# TYPE wum_x gauge`, `wum_x{label="value",...} 1`
+//     with label values escaped (backslash, double quote, newline).
+//
+// Output is deterministic for a given snapshot: families render in
+// snapshot order (sorted by name within each kind), infos first, then
+// counters, gauges, histograms.
+
+#ifndef WUM_OBS_EXPOSITION_H_
+#define WUM_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "wum/common/result.h"
+#include "wum/obs/metrics.h"
+
+namespace wum::obs {
+
+/// Sanitizes one metric name into the Prometheus charset and prefixes
+/// `wum_`: "engine.shard0.records_in" -> "wum_engine_shard0_records_in".
+std::string PrometheusName(std::string_view name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline become \\, \" and \n.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Renders `snapshot` in Prometheus text exposition format version
+/// 0.0.4 (the `text/plain; version=0.0.4` content type).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Structural validator for exposition text produced by this module (or
+/// anything claiming the format): checks metric-name charset, that every
+/// sample is preceded by a `# TYPE` line for its family, that histogram
+/// `_bucket` series are cumulative (monotonically non-decreasing in
+/// `le` order) and end in a `+Inf` bucket equal to `_count`, and that
+/// every sample line parses as `name{labels} value`. Returns the first
+/// violation as InvalidArgument, OK when clean.
+Status LintExposition(std::string_view text);
+
+}  // namespace wum::obs
+
+#endif  // WUM_OBS_EXPOSITION_H_

@@ -35,6 +35,7 @@ void AtomicMax(std::atomic<double>* cell, double value) {
 }
 
 std::atomic<ClockMicrosFn> g_clock_override{nullptr};
+std::atomic<EpochSecondsFn> g_epoch_clock_override{nullptr};
 
 double SteadyClockMicros() {
   return std::chrono::duration<double, std::micro>(
@@ -51,6 +52,20 @@ double NowMicros() {
 
 void SetClockForTesting(ClockMicrosFn fn) {
   g_clock_override.store(fn, std::memory_order_release);
+}
+
+std::uint64_t NowEpochSeconds() {
+  const EpochSecondsFn fn =
+      g_epoch_clock_override.load(std::memory_order_acquire);
+  if (fn != nullptr) return fn();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void SetEpochClockForTesting(EpochSecondsFn fn) {
+  g_epoch_clock_override.store(fn, std::memory_order_release);
 }
 
 std::string EscapeJson(const std::string& text) {
@@ -146,7 +161,41 @@ Histogram MetricRegistry::GetHistogram(const std::string& name,
   return Histogram(cell.get());
 }
 
+void MetricRegistry::SetInfo(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  infos_[name] = std::move(labels);
+}
+
+std::size_t MetricRegistry::AddProbe(std::function<void()> probe) {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  const std::size_t id = next_probe_id_++;
+  probes_.emplace_back(id, std::move(probe));
+  return id;
+}
+
+void MetricRegistry::RemoveProbe(std::size_t id) {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  for (auto it = probes_.begin(); it != probes_.end(); ++it) {
+    if (it->first == id) {
+      probes_.erase(it);
+      return;
+    }
+  }
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
+  // Run probes before reading cells so scrape-time gauges are fresh.
+  // The probe list is copied out so a probe writing a handle can never
+  // contend with a concurrent AddProbe, and no registry lock is held
+  // while user code runs.
+  std::vector<std::pair<std::size_t, std::function<void()>>> probes;
+  {
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+    probes = probes_;
+  }
+  for (const auto& [id, probe] : probes) probe();
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
@@ -177,6 +226,10 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
       value.max = cell->max.load(std::memory_order_relaxed);
     }
     snapshot.histograms.push_back(std::move(value));
+  }
+  snapshot.infos.reserve(infos_.size());
+  for (const auto& [name, labels] : infos_) {
+    snapshot.infos.push_back({name, labels});
   }
   return snapshot;  // std::map iteration => sorted by name, deterministic
 }
@@ -305,8 +358,24 @@ std::string RenderSnapshotJson(const MetricsSnapshot& snapshot, bool pretty) {
     }
     out << "]}";
   }
-  out << (snapshot.histograms.empty() ? "}" : close)
-      << (pretty ? "\n}\n" : "}");
+  out << (snapshot.histograms.empty() ? "}" : close);
+  // Rendered only when present so snapshots from registries without
+  // info metrics keep their historical byte shape.
+  if (!snapshot.infos.empty()) {
+    out << "," << outer << "\"infos\": {";
+    for (std::size_t i = 0; i < snapshot.infos.size(); ++i) {
+      const MetricsSnapshot::InfoValue& info = snapshot.infos[i];
+      out << (i == 0 ? "" : ",") << inner << "\"" << EscapeJson(info.name)
+          << "\": {";
+      for (std::size_t l = 0; l < info.labels.size(); ++l) {
+        out << (l == 0 ? "" : ", ") << "\"" << EscapeJson(info.labels[l].first)
+            << "\": \"" << EscapeJson(info.labels[l].second) << "\"";
+      }
+      out << "}";
+    }
+    out << (snapshot.infos.empty() ? "}" : close);
+  }
+  out << (pretty ? "\n}\n" : "}");
   return out.str();
 }
 
@@ -332,6 +401,8 @@ std::string MetricsSnapshot::ToCsv() const {
   for (const HistogramValue& h : histograms) {
     out << "histogram," << h.name << ",count," << h.count << "\n";
     out << "histogram," << h.name << ",sum," << RenderDouble(h.sum) << "\n";
+    out << "histogram," << h.name << ",mean," << RenderDouble(h.mean())
+        << "\n";
     out << "histogram," << h.name << ",min," << RenderDouble(h.min) << "\n";
     out << "histogram," << h.name << ",max," << RenderDouble(h.max) << "\n";
     out << "histogram," << h.name << ",p50," << RenderDouble(h.p50()) << "\n";
@@ -341,6 +412,11 @@ std::string MetricsSnapshot::ToCsv() const {
       out << "histogram," << h.name << ",le_"
           << (b < h.bounds.size() ? RenderDouble(h.bounds[b]) : "inf") << ","
           << h.counts[b] << "\n";
+    }
+  }
+  for (const InfoValue& info : infos) {
+    for (const auto& [key, value] : info.labels) {
+      out << "info," << info.name << "," << key << "," << value << "\n";
     }
   }
   return out.str();

@@ -20,10 +20,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "wum/common/result.h"
@@ -48,6 +50,17 @@ double NowMicros();
 /// Installs `fn` as the clock (nullptr restores steady_clock). Tests
 /// only; not meant for concurrent installation while timers run.
 void SetClockForTesting(ClockMicrosFn fn);
+
+/// Wall-clock source for event-time comparisons (watermark lag). Unlike
+/// NowMicros this is *epoch* time — comparable against CLF timestamps.
+using EpochSecondsFn = std::uint64_t (*)();
+
+/// UNIX seconds from std::chrono::system_clock, or the test override.
+std::uint64_t NowEpochSeconds();
+
+/// Installs `fn` as the wall clock (nullptr restores system_clock).
+/// Tests only.
+void SetEpochClockForTesting(EpochSecondsFn fn);
 
 /// JSON string escaping shared by the metrics and trace exporters.
 std::string EscapeJson(const std::string& text);
@@ -197,9 +210,18 @@ struct MetricsSnapshot {
     double p99() const { return Quantile(0.99); }
   };
 
+  /// Constant identity metric: an ordered label set rendered as a
+  /// value-1 gauge by the Prometheus exporter (`wum_build_info{...} 1`)
+  /// and as a string map in JSON. Set via MetricRegistry::SetInfo.
+  struct InfoValue {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+  };
+
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
+  std::vector<InfoValue> infos;
 
   /// Lookup helpers; return nullptr when the name is absent.
   const CounterValue* FindCounter(const std::string& name) const;
@@ -247,6 +269,26 @@ class MetricRegistry {
       const std::string& name,
       const std::vector<double>& upper_bounds = DefaultLatencyBucketsUs());
 
+  /// Registers (or replaces) the constant info metric `name` with an
+  /// ordered label set — process identity facts like version and config
+  /// fingerprint that never change after startup.
+  void SetInfo(const std::string& name,
+               std::vector<std::pair<std::string, std::string>> labels);
+
+  /// Registers a callback run at the top of every Snapshot(), before
+  /// the cells are read — the hook for scrape-time gauges (queue
+  /// depths, uptime, watermark skew) that are cheaper to compute on
+  /// demand than to maintain on the hot path. Probes must only write
+  /// through handles acquired *before* registration: calling Get* or
+  /// Snapshot from inside a probe deadlocks on the registry mutex.
+  /// Returns an id for RemoveProbe.
+  std::size_t AddProbe(std::function<void()> probe);
+
+  /// Unregisters a probe. Components whose probes capture raw pointers
+  /// into themselves (the engine does) must remove them before dying —
+  /// the registry usually outlives its clients. Unknown ids are a no-op.
+  void RemoveProbe(std::size_t id);
+
   MetricsSnapshot Snapshot() const;
 
  private:
@@ -254,6 +296,13 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> gauges_;
   std::map<std::string, std::unique_ptr<internal::HistogramCell>> histograms_;
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      infos_;
+  // Guarded separately from mutex_ so a running probe (which holds no
+  // lock) can never deadlock a concurrent Get*.
+  mutable std::mutex probe_mutex_;
+  std::size_t next_probe_id_ = 1;
+  std::vector<std::pair<std::size_t, std::function<void()>>> probes_;
 };
 
 /// Null-safe registration helpers: a nullptr registry yields a disabled

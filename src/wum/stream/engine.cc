@@ -161,6 +161,17 @@ struct StreamEngine::Shard {
   obs::Counter dead_letter_mirror;
   obs::Counter shed_mirror;
 
+  // Accept-time stamp (NowMicros) of the batch the worker is currently
+  // draining; 0 between batches and during the Finish flush, so stale
+  // stamps never pollute the latency histogram. Written by the driver's
+  // on_batch_start/on_batch_drained hooks (worker thread), read by
+  // ShardEmit::Accept — same thread while streaming, the producer
+  // thread during Finish, hence the atomic.
+  std::atomic<double> batch_accept_stamp_us{0.0};
+  // Ingest-to-emit latency: batch accept at the engine's front door to
+  // session delivery at the emit hub.
+  obs::Histogram ingest_to_emit_latency_us;
+
   // Flush/finish failure of this shard, for ShardHealth.
   std::mutex health_mutex;
   Status finish_error;
@@ -200,6 +211,14 @@ Status StreamEngine::ShardEmit::Accept(const std::string& user_key,
     delivered_sessions_.fetch_add(1, std::memory_order_relaxed);
     delivered_records_.fetch_add(covered, std::memory_order_relaxed);
     delivered_mirror_.Increment();
+    if (shard_->ingest_to_emit_latency_us.enabled()) {
+      const double stamp =
+          shard_->batch_accept_stamp_us.load(std::memory_order_relaxed);
+      if (stamp > 0.0) {
+        shard_->ingest_to_emit_latency_us.Observe(obs::internal::NowMicros() -
+                                                  stamp);
+      }
+    }
     return status;
   }
   if (engine_->error_policy_ == ErrorPolicy::kFailFast) return status;
@@ -322,7 +341,64 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
     WUM_RETURN_NOT_OK(engine->RestoreFrom(engine->resume_dir_));
   }
   engine->StartWorkers();
+  engine->RegisterScrapeProbe();
   return engine;
+}
+
+void StreamEngine::RegisterScrapeProbe() {
+  if (registry_ == nullptr) return;
+  // Every handle the probe writes is acquired here, up front — the
+  // probe body must never touch the registry (AddProbe contract). The
+  // raw shard pointers are safe: the destructor removes the probe
+  // before any member dies.
+  struct ShardProbe {
+    Shard* shard;
+    obs::Gauge watermark;
+    obs::Gauge queue_depth;
+  };
+  std::vector<ShardProbe> shard_probes;
+  shard_probes.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::string prefix =
+        "engine.shard" + std::to_string(shard->index) + ".";
+    shard_probes.push_back(
+        {shard.get(), registry_->GetGauge(prefix + "watermark_seconds"),
+         registry_->GetGauge(prefix + "queue_depth")});
+  }
+  mine::MiningSink* mining = mining_.get();
+  obs::Gauge mining_depth = mining != nullptr
+                                ? registry_->GetGauge("mining.queue_depth")
+                                : obs::Gauge();
+  obs::Gauge lag = registry_->GetGauge("engine.watermark_lag_seconds");
+  obs::Gauge skew = registry_->GetGauge("engine.watermark_skew_seconds");
+  scrape_probe_id_ = registry_->AddProbe([shard_probes =
+                                              std::move(shard_probes),
+                                          mining, mining_depth, lag,
+                                          skew]() mutable {
+    std::uint64_t min_watermark = 0;
+    std::uint64_t max_watermark = 0;
+    for (ShardProbe& probe : shard_probes) {
+      const std::uint64_t watermark =
+          probe.shard->sessionize->watermark_seconds();
+      probe.watermark.Set(watermark);
+      probe.queue_depth.Set(probe.shard->driver != nullptr
+                                ? probe.shard->driver->queue_depth()
+                                : 0);
+      if (watermark == 0) continue;  // shard has absorbed nothing yet
+      if (min_watermark == 0 || watermark < min_watermark) {
+        min_watermark = watermark;
+      }
+      if (watermark > max_watermark) max_watermark = watermark;
+    }
+    if (mining != nullptr) mining_depth.Set(mining->queued_batches());
+    // Lag is measured against the *slowest* shard (min watermark) so it
+    // never understates how far behind the pipeline is; skew is the
+    // fastest-to-slowest spread. Both undefined until event time exists.
+    if (min_watermark == 0) return;
+    const std::uint64_t now = obs::internal::NowEpochSeconds();
+    lag.Set(now > min_watermark ? now - min_watermark : 0);
+    skew.Set(max_watermark - min_watermark);
+  });
 }
 
 StreamEngine::StreamEngine(EngineOptions options,
@@ -363,6 +439,8 @@ StreamEngine::StreamEngine(EngineOptions options,
     shard->dead_letter_mirror =
         obs::CounterIn(registry, prefix + "dead_letter");
     shard->shed_mirror = obs::CounterIn(registry, prefix + "shed");
+    shard->ingest_to_emit_latency_us =
+        obs::HistogramIn(registry, prefix + "ingest_to_emit_latency_us");
     if (options.retry_.has_value()) {
       shard->retrying = std::make_unique<RetryingSink>(
           sink, *options.retry_, obs::CounterIn(registry, prefix + "retries"),
@@ -407,16 +485,32 @@ void StreamEngine::StartWorkers() {
         obs::GaugeIn(registry_, prefix + "queue_high_watermark");
     driver_metrics.drain_latency_us =
         obs::HistogramIn(registry_, prefix + "drain_latency_us");
+    driver_metrics.blocked_wait_us =
+        obs::CounterIn(registry_, prefix + "blocked_wait_us");
     driver_metrics.tracer = tracer_;
     driver_metrics.trace_shard = shard->index;
     DriverHooks hooks;
     Shard* recycle_shard = shard.get();
     hooks.on_batch_drained = [recycle_shard](RecordBatch&& batch) {
+      // Also the end-of-batch mark for latency stamping: emissions from
+      // here on (the next batch not yet started, or the Finish flush)
+      // have no meaningful accept time.
+      recycle_shard->batch_accept_stamp_us.store(0.0,
+                                                 std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(recycle_shard->recycle_mutex);
       if (recycle_shard->recycle.size() < Shard::kRecycleDepth) {
         recycle_shard->recycle.push_back(std::move(batch));
       }
     };
+    if (registry_ != nullptr) {
+      // Installing the hook is what switches on producer-side accept
+      // stamping in the driver, so an uninstrumented engine never reads
+      // the clock per batch.
+      hooks.on_batch_start = [recycle_shard](double accept_stamp_us) {
+        recycle_shard->batch_accept_stamp_us.store(accept_stamp_us,
+                                                   std::memory_order_relaxed);
+      };
+    }
     if (error_policy_ == ErrorPolicy::kDegrade) {
       // Failure-domain hooks: record-level errors quarantine only the
       // record; shard-fatal errors quarantine it too (the dying shard
@@ -454,6 +548,10 @@ void StreamEngine::StartWorkers() {
 }
 
 StreamEngine::~StreamEngine() {
+  // The scrape probe holds raw pointers into this engine; detach it
+  // before anything it reads starts dying (the registry, caller-owned,
+  // usually outlives the engine).
+  if (scrape_probe_id_ != 0) registry_->RemoveProbe(scrape_probe_id_);
   if (!finished_) (void)Finish();
 }
 
@@ -972,6 +1070,15 @@ Status StreamEngine::RestoreFrom(const std::string& dir) {
   obs::LogInfo("ckpt.resume")("epoch", epoch)(
       "records_seen", manifest.records_seen);
   return Status::OK();
+}
+
+std::uint64_t StreamEngine::ShardWatermarkSeconds(std::size_t shard) const {
+  return shards_[shard]->sessionize->watermark_seconds();
+}
+
+std::size_t StreamEngine::ShardQueueDepth(std::size_t shard) const {
+  const Shard& s = *shards_[shard];
+  return s.driver != nullptr ? s.driver->queue_depth() : 0;
 }
 
 std::vector<Status> StreamEngine::ShardHealth() const {

@@ -463,6 +463,15 @@ class StreamEngine {
   /// Finish keeps returning OK. Safe from any thread.
   std::vector<Status> ShardHealth() const;
 
+  /// Event-time watermark of shard `shard` — the largest CLF timestamp
+  /// (UNIX seconds) it has absorbed, 0 before its first record. Safe
+  /// from any thread (backs the watermark gauges and /statusz).
+  std::uint64_t ShardWatermarkSeconds(std::size_t shard) const;
+
+  /// Records currently queued ahead of shard `shard`'s worker. Safe
+  /// from any thread.
+  std::size_t ShardQueueDepth(std::size_t shard) const;
+
  private:
   struct Shard;
   class EmitHub;
@@ -483,6 +492,11 @@ class StreamEngine {
   /// Loads the committed checkpoint from `dir` into the (not yet
   /// started) shards; validates the manifest fingerprint first.
   Status RestoreFrom(const std::string& dir);
+  /// Registers the scrape-time gauge probe (watermarks, queue depths,
+  /// watermark lag/skew) on registry_. Runs after StartWorkers — the
+  /// probe reads the drivers — and is undone by the destructor, since
+  /// the registry usually outlives the engine. No-op without a registry.
+  void RegisterScrapeProbe();
 
   UserIdentity identity_;
   ErrorPolicy error_policy_;
@@ -501,6 +515,8 @@ class StreamEngine {
   std::vector<RecordBatch> staging_;
   std::vector<std::size_t> staging_used_;
   bool finished_ = false;
+  /// Probe handle from RegisterScrapeProbe (0 = none registered).
+  std::size_t scrape_probe_id_ = 0;
 
   // Checkpoint/resume state. records_seen_ is producer-thread only.
   std::size_t queue_capacity_;

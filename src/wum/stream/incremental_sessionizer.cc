@@ -97,6 +97,12 @@ SessionizeSink::SessionizeSink(UserSessionizerFactory factory,
 }
 
 Status SessionizeSink::Accept(const LogRecord& record) {
+  if (record.timestamp > 0) {
+    const std::uint64_t ts = static_cast<std::uint64_t>(record.timestamp);
+    if (ts > watermark_seconds_.load(std::memory_order_relaxed)) {
+      watermark_seconds_.store(ts, std::memory_order_relaxed);
+    }
+  }
   Result<std::uint32_t> page = PageFromUrl(record.url);
   if (!page.ok()) {
     skipped_non_page_urls_.fetch_add(1, std::memory_order_relaxed);
@@ -144,6 +150,7 @@ Status SessionizeSink::SerializeState(std::vector<std::string>* frames) const {
   header.PutUvarint(sessions_emitted_.load(std::memory_order_relaxed));
   header.PutUvarint(skipped_non_page_urls_.load(std::memory_order_relaxed));
   header.PutUvarint(records_absorbed_.load(std::memory_order_relaxed));
+  header.PutUvarint(watermark_seconds_.load(std::memory_order_relaxed));
   header.PutUvarint(users_.size());
   frames->push_back(header.Release());
   // Id order, not key order: frame position is the interner snapshot
@@ -168,6 +175,7 @@ Status SessionizeSink::RestoreState(std::span<const std::string> frames) {
   WUM_ASSIGN_OR_RETURN(std::uint64_t emitted, header.GetUvarint());
   WUM_ASSIGN_OR_RETURN(std::uint64_t skipped, header.GetUvarint());
   WUM_ASSIGN_OR_RETURN(std::uint64_t absorbed, header.GetUvarint());
+  WUM_ASSIGN_OR_RETURN(std::uint64_t watermark, header.GetUvarint());
   WUM_ASSIGN_OR_RETURN(std::uint64_t num_users, header.GetUvarint());
   WUM_RETURN_NOT_OK(header.ExpectEnd());
   if (num_users != frames.size() - 1) {
@@ -202,6 +210,7 @@ Status SessionizeSink::RestoreState(std::span<const std::string> frames) {
   sessions_emitted_.store(emitted, std::memory_order_relaxed);
   skipped_non_page_urls_.store(skipped, std::memory_order_relaxed);
   records_absorbed_.store(absorbed, std::memory_order_relaxed);
+  watermark_seconds_.store(watermark, std::memory_order_relaxed);
   return Status::OK();
 }
 

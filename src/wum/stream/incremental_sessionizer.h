@@ -149,6 +149,13 @@ class SessionizeSink : public RecordSink {
   std::uint64_t records_absorbed() const {
     return records_absorbed_.load(std::memory_order_relaxed);
   }
+  /// Event-time watermark: the largest CLF timestamp (UNIX seconds)
+  /// this shard has seen, including records skipped as non-page URLs —
+  /// every record advances event time. 0 before the first record.
+  /// Rides the checkpoint so a resumed shard's lag gauges stay sane.
+  std::uint64_t watermark_seconds() const {
+    return watermark_seconds_.load(std::memory_order_relaxed);
+  }
   std::size_t active_users() const { return users_.size(); }
 
  private:
@@ -179,6 +186,9 @@ class SessionizeSink : public RecordSink {
   std::atomic<std::uint64_t> sessions_emitted_{0};
   std::atomic<std::uint64_t> skipped_non_page_urls_{0};
   std::atomic<std::uint64_t> records_absorbed_{0};
+  // Single writer (the shard worker); read cross-thread by scrape
+  // probes, so plain load/store max is exact.
+  std::atomic<std::uint64_t> watermark_seconds_{0};
 };
 
 }  // namespace wum

@@ -33,10 +33,34 @@ void ThreadedDriver::NoteDrained(std::uint64_t count) {
   }
 }
 
+void ThreadedDriver::PushStamp() {
+  if (hooks_.on_batch_start == nullptr) return;
+  const double now = obs::internal::NowMicros();
+  std::lock_guard<std::mutex> lock(stamp_mutex_);
+  stamps_.push_back(now);
+}
+
+void ThreadedDriver::UnpushStamp() {
+  if (hooks_.on_batch_start == nullptr) return;
+  std::lock_guard<std::mutex> lock(stamp_mutex_);
+  if (!stamps_.empty()) stamps_.pop_back();
+}
+
+double ThreadedDriver::PopStamp() {
+  std::lock_guard<std::mutex> lock(stamp_mutex_);
+  if (stamps_.empty()) return 0.0;
+  const double stamp = stamps_.front();
+  stamps_.pop_front();
+  return stamp;
+}
+
 void ThreadedDriver::Run() {
   while (true) {
     std::optional<RecordBatch> batch = queue_.Pop();
     if (!batch.has_value()) return;  // closed and drained
+    if (hooks_.on_batch_start != nullptr) {
+      hooks_.on_batch_start(PopStamp());
+    }
     // Per-record semantics inside the batch are identical to the old
     // record-at-a-time loop: a sticky error set mid-batch routes every
     // later record of that batch (and of later batches) to the discard
@@ -109,23 +133,37 @@ Status ThreadedDriver::OfferBatch(RecordBatch* batch) {
   if (batch->empty()) return Status::OK();
   const std::size_t weight = batch->size();
   std::size_t depth = 0;
+  PushStamp();
   switch (queue_.TryPush(std::move(*batch), weight, &depth)) {
     case SpscQueue<RecordBatch>::PushOutcome::kOk:
       break;
     case SpscQueue<RecordBatch>::PushOutcome::kClosed:
+      UnpushStamp();
       return Status::FailedPrecondition("queue closed");
     case SpscQueue<RecordBatch>::PushOutcome::kFull: {
       blocked_enqueues_.fetch_add(1, std::memory_order_relaxed);
       metrics_.blocked_enqueues.Increment();
-      switch (queue_.PushUnless(
-          std::move(*batch),
-          [this] { return failed_.load(std::memory_order_acquire); }, weight,
-          &depth)) {
+      // Time the stall only on this already-blocked path; the fast
+      // path above never reads the clock for it.
+      const bool timed = metrics_.blocked_wait_us.enabled();
+      const double wait_start = timed ? obs::internal::NowMicros() : 0.0;
+      const SpscQueue<RecordBatch>::BlockingPushOutcome outcome =
+          queue_.PushUnless(
+              std::move(*batch),
+              [this] { return failed_.load(std::memory_order_acquire); },
+              weight, &depth);
+      if (timed) {
+        metrics_.blocked_wait_us.Increment(static_cast<std::uint64_t>(
+            obs::internal::NowMicros() - wait_start));
+      }
+      switch (outcome) {
         case SpscQueue<RecordBatch>::BlockingPushOutcome::kOk:
           break;
         case SpscQueue<RecordBatch>::BlockingPushOutcome::kClosed:
+          UnpushStamp();
           return Status::FailedPrecondition("queue closed");
         case SpscQueue<RecordBatch>::BlockingPushOutcome::kAborted:
+          UnpushStamp();
           return first_error();
       }
       break;
@@ -150,12 +188,15 @@ Status ThreadedDriver::TryOfferBatch(RecordBatch* batch, bool* accepted) {
   }
   const std::size_t weight = batch->size();
   std::size_t depth = 0;
+  PushStamp();
   switch (queue_.TryPush(std::move(*batch), weight, &depth)) {
     case SpscQueue<RecordBatch>::PushOutcome::kOk:
       break;
     case SpscQueue<RecordBatch>::PushOutcome::kClosed:
+      UnpushStamp();
       return Status::FailedPrecondition("queue closed");
     case SpscQueue<RecordBatch>::PushOutcome::kFull:
+      UnpushStamp();
       return Status::OK();
   }
   *accepted = true;

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,6 +30,11 @@ namespace wum {
 struct DriverMetrics {
   /// Mirrors blocked_enqueues() into a registry counter.
   obs::Counter blocked_enqueues;
+  /// Microseconds the producer spent blocked on a full queue (the
+  /// kBlock backpressure stall time). Only accumulated on the
+  /// already-slow blocked path, so enabling it costs the hot path
+  /// nothing.
+  obs::Counter blocked_wait_us;
   /// Mirrors queue_high_watermark() into a registry gauge.
   obs::Gauge queue_high_watermark;
   /// Wall time the worker spends draining one record through the sink
@@ -59,6 +65,13 @@ struct DriverHooks {
   /// later batches without reallocating. Runs on the worker thread,
   /// before the drained count is published.
   std::function<void(RecordBatch&&)> on_batch_drained;
+  /// Called on the worker thread just before a batch's records drain,
+  /// with the obs::internal::NowMicros() stamp captured when the
+  /// producer offered the batch (0 when the stamp was lost to a race).
+  /// Installing this hook is what turns on accept-time stamping; when
+  /// absent the offer path never reads the clock. The sharded engine
+  /// uses it to measure ingest→emit latency at the emit hub.
+  std::function<void(double accept_stamp_us)> on_batch_start;
 };
 
 /// Owns the worker thread and the queue feeding a RecordSink.
@@ -132,6 +145,10 @@ class ThreadedDriver {
     return queue_high_watermark_.load(std::memory_order_relaxed);
   }
 
+  /// Records currently queued (the live backlog, not the watermark).
+  /// Safe from any thread; scrape-time probes read this.
+  std::size_t queue_depth() const { return queue_.weight(); }
+
   /// True once the worker recorded a sticky error (the shard is dead).
   /// Safe from any thread.
   bool failed() const { return failed_.load(std::memory_order_acquire); }
@@ -144,6 +161,13 @@ class ThreadedDriver {
   void Run();
   Status CheckOfferable();
   void NoteDepth(std::size_t depth);
+  /// Producer side of the accept-stamp channel (no-ops without the
+  /// on_batch_start hook): push before enqueueing, take back on an
+  /// enqueue that failed or shed.
+  void PushStamp();
+  void UnpushStamp();
+  /// Worker side: the stamp for the batch just popped (0 when absent).
+  double PopStamp();
   /// Worker side of WaitIdle: counts `count` fully handled records and
   /// wakes a waiting producer when one is registered.
   void NoteDrained(std::uint64_t count);
@@ -172,6 +196,11 @@ class ThreadedDriver {
   std::atomic<bool> idle_waiting_{false};
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
+  // Accept stamps riding alongside the queue (same FIFO order: one
+  // producer pushes both, one worker pops both). Touched once per
+  // *batch* and only when on_batch_start is installed.
+  std::mutex stamp_mutex_;
+  std::deque<double> stamps_;
 };
 
 }  // namespace wum

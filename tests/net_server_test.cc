@@ -749,12 +749,12 @@ TEST(NetServerTest, AdminPatternsReportsMinedPaths) {
     ASSERT_TRUE(reply.ok()) << bad;
     EXPECT_EQ(*reply, "ERR usage: PATTERNS [k] [len]") << bad;
   }
-  // Argless commands keep their exact-match contract under the
-  // dispatch table: trailing text is an unknown command.
+  // STATS now takes one optional operand (JSON); anything else is a
+  // usage error, not a dropped connection.
   Result<std::string> stats_with_args =
       AdminCommand(harness.server->admin_port(), "STATS extra");
   ASSERT_TRUE(stats_with_args.ok());
-  EXPECT_EQ(stats_with_args->rfind("ERR unknown", 0), 0u) << *stats_with_args;
+  EXPECT_EQ(*stats_with_args, "ERR usage: STATS [JSON]") << *stats_with_args;
 
   Result<std::string> reply =
       AdminCommand(harness.server->admin_port(), "QUIESCE");

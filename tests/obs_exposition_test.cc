@@ -1,0 +1,230 @@
+// Prometheus text exposition: name sanitization, label escaping, the
+// golden byte shape of a rendered registry (infos, counters, gauges,
+// histograms with cumulative buckets and quantile gauges), the
+// `+Inf == _count` invariant under snapshot skew, and the lint pass
+// that CI runs over a live daemon's /metrics body.
+
+#include "wum/obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wum/obs/metrics.h"
+
+namespace wum::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Name + label-value units.
+
+TEST(PrometheusNameTest, PrefixesAndSanitizes) {
+  EXPECT_EQ(PrometheusName("engine.shard0.records_in"),
+            "wum_engine_shard0_records_in");
+  EXPECT_EQ(PrometheusName("net.conn.pause_time_ms"),
+            "wum_net_conn_pause_time_ms");
+  // Anything outside [a-zA-Z0-9_:] becomes an underscore.
+  EXPECT_EQ(PrometheusName("a-b c/d"), "wum_a_b_c_d");
+  EXPECT_EQ(PrometheusName(""), "wum_");
+}
+
+TEST(EscapeLabelValueTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+// ---------------------------------------------------------------------
+// Golden render.
+
+TEST(ToPrometheusTextTest, GoldenRegistryRender) {
+  MetricRegistry registry;
+  registry.SetInfo("build.info", {{"version", "1.0"}, {"git", "a\"b\\c\nd"}});
+  registry.GetCounter("net.bytes").Increment(7);
+  registry.GetGauge("depth").Set(3);
+  // Every observation lands in the (1, 10] bucket and min == max == 5,
+  // so the interpolated quantiles are exactly 5 — the golden text is
+  // fully determined.
+  Histogram latency = registry.GetHistogram("lat.us", {1.0, 10.0});
+  latency.Observe(5);
+  latency.Observe(5);
+  latency.Observe(5);
+
+  const std::string expected =
+      "# TYPE wum_build_info gauge\n"
+      "wum_build_info{version=\"1.0\",git=\"a\\\"b\\\\c\\nd\"} 1\n"
+      "# TYPE wum_net_bytes counter\n"
+      "wum_net_bytes 7\n"
+      "# TYPE wum_depth gauge\n"
+      "wum_depth 3\n"
+      "# TYPE wum_lat_us histogram\n"
+      "wum_lat_us_bucket{le=\"1\"} 0\n"
+      "wum_lat_us_bucket{le=\"10\"} 3\n"
+      "wum_lat_us_bucket{le=\"+Inf\"} 3\n"
+      "wum_lat_us_sum 15\n"
+      "wum_lat_us_count 3\n"
+      "# TYPE wum_lat_us_p50 gauge\n"
+      "wum_lat_us_p50 5\n"
+      "# TYPE wum_lat_us_p90 gauge\n"
+      "wum_lat_us_p90 5\n"
+      "# TYPE wum_lat_us_p99 gauge\n"
+      "wum_lat_us_p99 5\n";
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_EQ(text, expected);
+  EXPECT_TRUE(LintExposition(text).ok());
+}
+
+TEST(ToPrometheusTextTest, RenderIsDeterministicAndSorted) {
+  MetricRegistry registry;
+  registry.GetCounter("zzz").Increment();
+  registry.GetCounter("aaa").Increment();
+  registry.GetGauge("mid").Set(1);
+  const std::string first = ToPrometheusText(registry.Snapshot());
+  const std::string second = ToPrometheusText(registry.Snapshot());
+  EXPECT_EQ(first, second);
+  // Counters are sorted by name regardless of registration order.
+  EXPECT_LT(first.find("wum_aaa"), first.find("wum_zzz"));
+}
+
+TEST(ToPrometheusTextTest, InfCountMatchesBucketTotalUnderSkew) {
+  // Under concurrent writers a snapshot's separately-tracked count can
+  // skew from the bucket totals by in-flight observations. The renderer
+  // must derive _count from the cumulative buckets so +Inf == _count
+  // holds exactly (Prometheus rejects the alternative).
+  MetricsSnapshot snapshot;
+  MetricsSnapshot::HistogramValue h;
+  h.name = "skewed.us";
+  h.bounds = {1.0, 10.0};
+  h.counts = {1, 1, 1};
+  h.count = 999;  // skewed: must not leak into the rendered _count
+  h.sum = 12.0;
+  h.min = 0.5;
+  h.max = 11.0;
+  snapshot.histograms.push_back(std::move(h));
+  const std::string text = ToPrometheusText(snapshot);
+  EXPECT_NE(text.find("wum_skewed_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wum_skewed_us_count 3\n"), std::string::npos) << text;
+  EXPECT_TRUE(LintExposition(text).ok());
+}
+
+TEST(ToPrometheusTextTest, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(ToPrometheusText(MetricsSnapshot{}), "");
+  EXPECT_TRUE(LintExposition("").ok());
+}
+
+// ---------------------------------------------------------------------
+// Lint: accepts well-formed exposition, rejects each violation class.
+
+TEST(LintExpositionTest, AcceptsCommentsAndHelpLines) {
+  EXPECT_TRUE(LintExposition("# just a comment\n"
+                             "# HELP wum_x not structural\n"
+                             "# TYPE wum_x counter\n"
+                             "wum_x 1\n")
+                  .ok());
+}
+
+TEST(LintExpositionTest, RejectsSampleBeforeTypeLine) {
+  const Status status = LintExposition("wum_orphan 1\n");
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("sample before TYPE"), std::string::npos);
+}
+
+TEST(LintExpositionTest, RejectsUnknownTypeAndBadNames) {
+  EXPECT_FALSE(LintExposition("# TYPE wum_x sparkline\nwum_x 1\n").ok());
+  EXPECT_FALSE(LintExposition("# TYPE 9bad counter\n9bad 1\n").ok());
+  EXPECT_FALSE(LintExposition("# TYPE wum_x counter\n9bad 1\n").ok());
+}
+
+TEST(LintExpositionTest, RejectsDuplicateTypeAndLateType) {
+  EXPECT_FALSE(LintExposition("# TYPE wum_x counter\n"
+                              "# TYPE wum_x counter\n"
+                              "wum_x 1\n")
+                   .ok());
+  EXPECT_FALSE(LintExposition("# TYPE wum_x counter\n"
+                              "wum_x 1\n"
+                              "# TYPE wum_x counter\n")
+                   .ok());
+}
+
+TEST(LintExpositionTest, RejectsUnparseableValue) {
+  EXPECT_FALSE(LintExposition("# TYPE wum_x gauge\nwum_x banana\n").ok());
+  EXPECT_FALSE(LintExposition("# TYPE wum_x gauge\nwum_x\n").ok());
+}
+
+TEST(LintExpositionTest, RejectsNonCumulativeBuckets) {
+  EXPECT_FALSE(LintExposition("# TYPE wum_h histogram\n"
+                              "wum_h_bucket{le=\"1\"} 5\n"
+                              "wum_h_bucket{le=\"10\"} 3\n"
+                              "wum_h_bucket{le=\"+Inf\"} 5\n"
+                              "wum_h_sum 1\n"
+                              "wum_h_count 5\n")
+                   .ok());
+}
+
+TEST(LintExpositionTest, RejectsNonIncreasingLeBounds) {
+  EXPECT_FALSE(LintExposition("# TYPE wum_h histogram\n"
+                              "wum_h_bucket{le=\"10\"} 1\n"
+                              "wum_h_bucket{le=\"1\"} 2\n"
+                              "wum_h_bucket{le=\"+Inf\"} 2\n"
+                              "wum_h_sum 1\n"
+                              "wum_h_count 2\n")
+                   .ok());
+}
+
+TEST(LintExpositionTest, RejectsHistogramMissingInfBucketOrCount) {
+  const Status no_inf = LintExposition("# TYPE wum_h histogram\n"
+                                       "wum_h_bucket{le=\"1\"} 1\n"
+                                       "wum_h_sum 1\n"
+                                       "wum_h_count 1\n");
+  EXPECT_TRUE(no_inf.IsInvalidArgument());
+  EXPECT_NE(no_inf.message().find("no +Inf bucket"), std::string::npos);
+  const Status no_count = LintExposition("# TYPE wum_h histogram\n"
+                                         "wum_h_bucket{le=\"1\"} 1\n"
+                                         "wum_h_bucket{le=\"+Inf\"} 1\n"
+                                         "wum_h_sum 1\n");
+  EXPECT_TRUE(no_count.IsInvalidArgument());
+  EXPECT_NE(no_count.message().find("no _count"), std::string::npos);
+}
+
+TEST(LintExpositionTest, RejectsInfBucketCountMismatch) {
+  const Status status = LintExposition("# TYPE wum_h histogram\n"
+                                       "wum_h_bucket{le=\"+Inf\"} 3\n"
+                                       "wum_h_sum 1\n"
+                                       "wum_h_count 4\n");
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("!= _count"), std::string::npos);
+}
+
+TEST(LintExpositionTest, RejectsBucketWithoutLeLabel) {
+  EXPECT_FALSE(LintExposition("# TYPE wum_h histogram\n"
+                              "wum_h_bucket 3\n"
+                              "wum_h_bucket{le=\"+Inf\"} 3\n"
+                              "wum_h_sum 1\n"
+                              "wum_h_count 3\n")
+                   .ok());
+}
+
+TEST(LintExpositionTest, GaugeNamedLikeHistogramSuffixIsItsOwnFamily) {
+  // wum_queue_count is a gauge, not wum_queue's _count series — the
+  // linter must fall back to the exact-name family.
+  EXPECT_TRUE(LintExposition("# TYPE wum_queue_count gauge\n"
+                             "wum_queue_count 7\n")
+                  .ok());
+}
+
+TEST(LintExpositionTest, ReportsLineNumbers) {
+  const Status status = LintExposition("# TYPE wum_x counter\n"
+                                       "wum_x 1\n"
+                                       "wum_y 2\n");
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.message();
+}
+
+}  // namespace
+}  // namespace wum::obs

@@ -17,6 +17,7 @@
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <csignal>
@@ -26,10 +27,20 @@
 #include "wum/common/result.h"
 #include "wum/common/string_util.h"
 #include "wum/common/table.h"
+#include "wum/net/http.h"
 #include "wum/obs/log.h"
 #include "wum/obs/metrics.h"
 #include "wum/obs/reporter.h"
 #include "wum/obs/trace.h"
+
+// Build identity injected by tools/CMakeLists.txt; the fallbacks keep
+// non-CMake builds (clangd, one-off compiles) working.
+#ifndef WEBSRA_VERSION
+#define WEBSRA_VERSION "unknown"
+#endif
+#ifndef WEBSRA_GIT_DESCRIBE
+#define WEBSRA_GIT_DESCRIBE "unknown"
+#endif
 
 namespace wum_tools {
 
@@ -75,6 +86,11 @@ struct RuntimeFeatures {
   /// Keep the metric registry live even without --metrics-out (daemons:
   /// the admin STATS command must always have numbers to report).
   bool always_metrics = false;
+  /// Accept --http-port and run a standalone MetricsHttpServer scrape
+  /// endpoint for the duration of the run. For long-running tools with
+  /// no LogServer poll loop to ride (websra_sessionize --streaming);
+  /// websra_serve exposes /metrics through the server itself instead.
+  bool scrape_server = false;
 };
 
 /// The started runtime: a metric registry the tool wires into its
@@ -90,6 +106,9 @@ class ToolRuntime {
                                    "metrics-series", "log-level", "trace-out"};
     if (features.durability) {
       names.insert({"checkpoint-dir", "checkpoint-every-records", "resume"});
+    }
+    if (features.scrape_server) {
+      names.insert("http-port");
     }
     return names;
   }
@@ -126,8 +145,28 @@ class ToolRuntime {
       wum::obs::Logger::Default().set_min_level(level);
     }
     if (features.always_metrics || flags.Has("metrics-out") ||
-        flags.Has("metrics-every")) {
+        flags.Has("metrics-every") ||
+        (features.scrape_server && flags.Has("http-port"))) {
       runtime.metrics_ = runtime.registry_.get();
+    }
+    if (runtime.metrics_ != nullptr) {
+      // Process identity + uptime, uniform across every tool:
+      // `wum_build_info{...} 1` in the Prometheus exposition, the
+      // "infos" section in the JSON export. Tools append run-specific
+      // labels (engine config fingerprint) via SetBuildLabel.
+      runtime.build_labels_ = {{"version", WEBSRA_VERSION},
+                               {"git", WEBSRA_GIT_DESCRIBE}};
+      runtime.registry_->SetInfo("build.info", runtime.build_labels_);
+      wum::obs::Gauge uptime =
+          runtime.registry_->GetGauge("obs.uptime_seconds");
+      const double started_us = wum::obs::internal::NowMicros();
+      runtime.registry_->AddProbe([uptime, started_us]() mutable {
+        const double now_us = wum::obs::internal::NowMicros();
+        uptime.Set(now_us > started_us
+                       ? static_cast<std::uint64_t>((now_us - started_us) /
+                                                    1e6)
+                       : 0);
+      });
     }
     if (flags.Has("trace-out")) {
       wum::obs::TraceRecorder::Options options;
@@ -171,6 +210,19 @@ class ToolRuntime {
             "--checkpoint-every-records/--resume require --checkpoint-dir");
       }
     }
+    if (features.scrape_server && flags.Has("http-port")) {
+      WUM_ASSIGN_OR_RETURN(std::uint64_t port, flags.GetUint("http-port", 0));
+      if (port > 65535) {
+        return wum::Status::InvalidArgument("--http-port must be <= 65535");
+      }
+      WUM_ASSIGN_OR_RETURN(
+          runtime.scrape_server_,
+          wum::net::MetricsHttpServer::Start(
+              "127.0.0.1", static_cast<std::uint16_t>(port),
+              runtime.registry_.get()));
+      std::cout << "metrics endpoint on http://127.0.0.1:"
+                << runtime.scrape_server_->port() << "/metrics\n";
+    }
     return runtime;
   }
 
@@ -188,6 +240,28 @@ class ToolRuntime {
   /// tool is not durable).
   const std::optional<CheckpointConfig>& checkpoint() const {
     return checkpoint_;
+  }
+
+  /// The --http-port scrape endpoint, or null when the feature is off or
+  /// the flag absent.
+  const wum::net::MetricsHttpServer* scrape_server() const {
+    return scrape_server_.get();
+  }
+
+  /// Adds (or overwrites) one label on the wum_build_info metric —
+  /// run-specific identity like the engine config fingerprint, set once
+  /// the tool has parsed its own flags. No-op when metrics are off.
+  void SetBuildLabel(const std::string& key, const std::string& value) {
+    if (metrics_ == nullptr) return;
+    for (auto& [existing_key, existing_value] : build_labels_) {
+      if (existing_key == key) {
+        existing_value = value;
+        registry_->SetInfo("build.info", build_labels_);
+        return;
+      }
+    }
+    build_labels_.emplace_back(key, value);
+    registry_->SetInfo("build.info", build_labels_);
   }
 
   /// End-of-run counterpart: stops the reporter (writing its final
@@ -229,8 +303,10 @@ class ToolRuntime {
   wum::obs::MetricRegistry* metrics_ = nullptr;
   std::unique_ptr<wum::obs::TraceRecorder> trace_;
   std::unique_ptr<wum::obs::MetricsReporter> reporter_;
+  std::unique_ptr<wum::net::MetricsHttpServer> scrape_server_;
   RuntimeFeatures features_;
   std::optional<CheckpointConfig> checkpoint_;
+  std::vector<std::pair<std::string, std::string>> build_labels_;
 };
 
 }  // namespace wum_tools

@@ -36,6 +36,8 @@ std::string Usage() {
   return "usage: websra_serve --graph FILE --out FILE\n"
          "  [--host ADDR=127.0.0.1] [--port N=0] [--admin-port N=0]\n"
          "  [--port-file FILE] [--admin-port-file FILE]\n"
+         "  [--http-port N [--http-port-file FILE]]\n"
+         "  [--healthz-max-checkpoint-age-ms N=0]\n"
          "  [--heuristic " +
          wum::HeuristicRegistry::Default().NamesForUsage() +
          "]\n"
@@ -63,9 +65,19 @@ std::string Usage() {
          "ports for scripts to discover.\n"
          "\n"
          "The admin port answers one command per line: STATS (JSON metrics\n"
-         "snapshot), CHECKPOINT (durable snapshot now), QUIESCE (drain,\n"
-         "finish the engine, write --out, exit), PING, and — when mining\n"
-         "is on — PATTERNS [k] [len] (top-k frequent paths as JSON).\n"
+         "snapshot), STATS JSON (the /statusz health document),\n"
+         "CHECKPOINT (durable snapshot now), QUIESCE (drain, finish the\n"
+         "engine, write --out, exit), PING, and — when mining is on —\n"
+         "PATTERNS [k] [len] (top-k frequent paths as JSON).\n"
+         "\n"
+         "--http-port N opens an HTTP observability port on the same\n"
+         "poll loop (0 = kernel-assigned): GET /metrics (Prometheus\n"
+         "text), /healthz (200 ok / 503 + reasons: dead shard,\n"
+         "dead-letter overflow, or — with\n"
+         "--healthz-max-checkpoint-age-ms — a checkpoint older than N\n"
+         "ms), /statusz (JSON). Scrape it with Prometheus or watch it\n"
+         "live with `websra_top --http-port N`; see\n"
+         "docs/observability.md.\n"
          "\n"
          "--mine-topk K turns on reactive top-k frequent-path mining over\n"
          "the live session stream (see docs/mining.md): link-topology-\n"
@@ -144,7 +156,9 @@ wum::Status Run(const wum_tools::Flags& flags) {
                                             .always_metrics = true};
   WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::ToolRuntime::WithFlags(
       {"graph", "out", "host", "port", "admin-port", "port-file",
-       "admin-port-file", "heuristic", "identity", "delta", "rho", "threads",
+       "admin-port-file", "http-port", "http-port-file",
+       "healthz-max-checkpoint-age-ms", "heuristic", "identity", "delta",
+       "rho", "threads",
        "queue-capacity", "offer-policy", "no-clean", "max-connections",
        "batch-records", "format", "idle-timeout-ms", "handshake-timeout-ms",
        "read-timeout-ms", "write-timeout-ms", "client-quota-bps",
@@ -356,6 +370,20 @@ wum::Status Run(const wum_tools::Flags& flags) {
                        flags.GetUint("client-buffer-bytes", 0));
   WUM_ASSIGN_OR_RETURN(server_options.ingest_budget_bytes,
                        flags.GetUint("ingest-budget-bytes", 0));
+  if (flags.Has("http-port")) {
+    WUM_ASSIGN_OR_RETURN(std::uint16_t http_port, GetPort(flags, "http-port"));
+    server_options.http_port = http_port;
+  } else if (flags.Has("http-port-file")) {
+    return wum::Status::InvalidArgument(
+        "--http-port-file requires --http-port");
+  }
+  WUM_ASSIGN_OR_RETURN(server_options.healthz_max_checkpoint_age_ms,
+                       flags.GetUint("healthz-max-checkpoint-age-ms", 0));
+  if (server_options.healthz_max_checkpoint_age_ms != 0 &&
+      !checkpoint.has_value()) {
+    return wum::Status::InvalidArgument(
+        "--healthz-max-checkpoint-age-ms requires --checkpoint-dir");
+  }
   if (checkpoint.has_value()) {
     server_options.ingest.checkpoint_dir = checkpoint->dir;
     server_options.ingest.checkpoint_every_records = checkpoint->every_records;
@@ -402,12 +430,29 @@ wum::Status Run(const wum_tools::Flags& flags) {
                          flags.GetRequired("admin-port-file"));
     WUM_RETURN_NOT_OK(WritePortFile(path, server->admin_port()));
   }
+  if (flags.Has("http-port-file")) {
+    WUM_ASSIGN_OR_RETURN(std::string path, flags.GetRequired("http-port-file"));
+    WUM_RETURN_NOT_OK(WritePortFile(path, server->http_port()));
+  }
+  // Engine config fingerprint on wum_build_info: enough to tell two
+  // daemons apart when triaging a scrape.
+  runtime.SetBuildLabel(
+      "config", "heuristic=" + flags.GetString("heuristic", "smart-sra") +
+                    " identity=" + identity_name +
+                    " shards=" + std::to_string(threads) +
+                    " policy=" + policy_name +
+                    " delta=" + std::to_string(delta_minutes) +
+                    "m rho=" + std::to_string(rho_minutes) + "m");
   g_stop_fd.store(server->stop_fd(), std::memory_order_relaxed);
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
 
   std::cout << "serving on " << server_options.host << ":" << server->port()
-            << " (admin " << server->admin_port() << ")" << std::endl;
+            << " (admin " << server->admin_port();
+  if (server_options.http_port.has_value()) {
+    std::cout << ", http " << server->http_port();
+  }
+  std::cout << ")" << std::endl;
   const wum::Status served = server->Serve();
   g_stop_fd.store(-1, std::memory_order_relaxed);
   WUM_RETURN_NOT_OK(served);

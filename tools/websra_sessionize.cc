@@ -39,7 +39,7 @@ std::string Usage() {
          wum::HeuristicRegistry::Default().NamesForUsage() +
          "|referrer]\n"
          "  [--identity ip|ip-ua] [--delta MINUTES=30] [--rho MINUTES=10]\n"
-         "  [--keep-robots] [--streaming] [--threads N=4]\n"
+         "  [--keep-robots] [--streaming] [--threads N=4] [--http-port N]\n"
          "  [--max-parse-errors N=0] [--metrics-out FILE]\n"
          "  [--metrics-every SEC [--metrics-series FILE]] [--trace-out FILE]\n"
          "  [--log-level debug|info|warn|error|off]\n"
@@ -68,6 +68,11 @@ std::string Usage() {
          "--metrics-out enables the wum::obs observability layer: parser,\n"
          "engine and sessionizer metrics are written to FILE (CSV when it\n"
          "ends in .csv, JSON otherwise) and summarized on stdout.\n"
+         "\n"
+         "--http-port N serves GET /metrics (Prometheus text), /healthz\n"
+         "and /statusz on 127.0.0.1:N (0 = kernel-assigned) for the\n"
+         "duration of the run, so a long replay can be scraped or watched\n"
+         "with websra_top. Implies metrics. See docs/observability.md.\n"
          "\n"
          "--metrics-every also enables metrics and additionally appends a\n"
          "registry snapshot every SEC seconds to --metrics-series (default\n"
@@ -283,7 +288,8 @@ void PrintRunSummary(const wum::ClfParser::Stats& parse_stats,
 
 wum::Status Run(const wum_tools::Flags& flags) {
   const wum_tools::RuntimeFeatures features{.durability = true,
-                                            .always_metrics = false};
+                                            .always_metrics = false,
+                                            .scrape_server = true};
   WUM_RETURN_NOT_OK(flags.CheckKnown(wum_tools::ToolRuntime::WithFlags(
       {"graph", "log", "out", "heuristic", "identity", "delta", "rho",
        "keep-robots", "streaming", "threads", "max-parse-errors", "format",
@@ -334,6 +340,10 @@ wum::Status Run(const wum_tools::Flags& flags) {
         "--checkpoint-dir requires --streaming");
   }
   wum::obs::MetricRegistry* metrics = runtime.metrics();
+  runtime.SetBuildLabel(
+      "config", "heuristic=" + flags.GetString("heuristic", "smart-sra") +
+                    " identity=" + identity_name +
+                    (flags.Has("streaming") ? " streaming" : " batch"));
   WUM_ASSIGN_OR_RETURN(std::optional<wum::mine::MinerOptions> mining,
                        wum_tools::GetMiningFlags(flags));
   if (mining.has_value() && !flags.Has("streaming")) {
